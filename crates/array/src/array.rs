@@ -1,0 +1,412 @@
+//! Dense multi-dimensional arrays of `f64` cells.
+
+use crate::{ArrayError, Coord, Shape};
+
+/// A dense multi-dimensional array with a single `f64` attribute per cell.
+///
+/// This mirrors the portion of the SciDB data model that SubZero relies on: a
+/// combination of values along each dimension (a [`Coord`]) uniquely
+/// identifies a cell, and operators consume whole arrays and produce a single
+/// output array.
+///
+/// ```
+/// use subzero_array::{Array, Coord, Shape};
+///
+/// let mut a = Array::zeros(Shape::d2(2, 3));
+/// a.set(&Coord::d2(1, 2), 42.0);
+/// assert_eq!(a.get(&Coord::d2(1, 2)), 42.0);
+/// assert_eq!(a.get(&Coord::d2(0, 0)), 0.0);
+/// assert_eq!(a.shape().num_cells(), 6);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Array {
+    shape: Shape,
+    data: Vec<f64>,
+}
+
+impl Array {
+    /// Creates an array of the given shape filled with `value`.
+    pub fn filled(shape: Shape, value: f64) -> Self {
+        Array {
+            shape,
+            data: vec![value; shape.num_cells()],
+        }
+    }
+
+    /// Creates a zero-filled array.
+    pub fn zeros(shape: Shape) -> Self {
+        Self::filled(shape, 0.0)
+    }
+
+    /// Creates an array from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::ShapeMismatch`] if `data.len()` does not equal
+    /// `shape.num_cells()`.
+    pub fn from_vec(shape: Shape, data: Vec<f64>) -> Result<Self, ArrayError> {
+        if data.len() != shape.num_cells() {
+            return Err(ArrayError::ShapeMismatch {
+                context: format!(
+                    "data length {} does not match shape {} ({} cells)",
+                    data.len(),
+                    shape,
+                    shape.num_cells()
+                ),
+            });
+        }
+        Ok(Array { shape, data })
+    }
+
+    /// Creates a 2-D array from nested row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are empty or ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "from_rows requires at least one column");
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "from_rows requires equal-length rows"
+        );
+        let shape = Shape::d2(rows.len() as u32, cols as u32);
+        let data = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Array { shape, data }
+    }
+
+    /// Creates an array whose cell values are produced by `f(coord)`.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&Coord) -> f64) -> Self {
+        let mut data = Vec::with_capacity(shape.num_cells());
+        for c in shape.iter() {
+            data.push(f(&c));
+        }
+        Array { shape, data }
+    }
+
+    /// The shape of this array.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// The underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Reads the cell at `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is out of bounds.
+    #[inline]
+    pub fn get(&self, coord: &Coord) -> f64 {
+        self.data[self.shape.ravel(coord)]
+    }
+
+    /// Reads the cell at `coord`, returning an error for out-of-bounds access.
+    pub fn try_get(&self, coord: &Coord) -> Result<f64, ArrayError> {
+        if !self.shape.contains(coord) {
+            return Err(ArrayError::OutOfBounds {
+                coord: *coord,
+                shape: self.shape,
+            });
+        }
+        Ok(self.data[self.shape.ravel(coord)])
+    }
+
+    /// Reads the cell at linear index `idx`.
+    #[inline]
+    pub fn get_linear(&self, idx: usize) -> f64 {
+        self.data[idx]
+    }
+
+    /// Writes `value` into the cell at `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, coord: &Coord, value: f64) {
+        let idx = self.shape.ravel(coord);
+        self.data[idx] = value;
+    }
+
+    /// Writes `value` into the cell at linear index `idx`.
+    #[inline]
+    pub fn set_linear(&mut self, idx: usize, value: f64) {
+        self.data[idx] = value;
+    }
+
+    /// Iterates over `(coord, value)` pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Coord, f64)> + '_ {
+        self.shape.iter().zip(self.data.iter().copied())
+    }
+
+    /// Applies `f` to every cell value, producing a new array of the same
+    /// shape.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Array {
+        Array {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Combines two arrays of identical shape cell-by-cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_with(&self, other: &Array, f: impl Fn(f64, f64) -> f64) -> Result<Array, ArrayError> {
+        if self.shape != other.shape {
+            return Err(ArrayError::ShapeMismatch {
+                context: format!(
+                    "zip_with requires equal shapes, got {} and {}",
+                    self.shape, other.shape
+                ),
+            });
+        }
+        Ok(Array {
+            shape: self.shape,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Sum of all cell values.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all cell values.
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.data.len() as f64
+    }
+
+    /// Maximum cell value (`NaN`s are ignored; returns `f64::NEG_INFINITY`
+    /// only if every cell is `NaN`).
+    pub fn max(&self) -> f64 {
+        self.data
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum cell value (`NaN`s are ignored).
+    pub fn min(&self) -> f64 {
+        self.data
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Population standard deviation of all cell values.
+    pub fn std_dev(&self) -> f64 {
+        let mean = self.mean();
+        let var = self
+            .data
+            .iter()
+            .map(|&v| {
+                let d = v - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.data.len() as f64;
+        var.sqrt()
+    }
+
+    /// Number of cells whose value satisfies `pred`.
+    pub fn count_where(&self, pred: impl Fn(f64) -> bool) -> usize {
+        self.data.iter().filter(|&&v| pred(v)).count()
+    }
+
+    /// Coordinates of cells whose value satisfies `pred`.
+    pub fn coords_where(&self, pred: impl Fn(f64) -> bool) -> Vec<Coord> {
+        self.iter()
+            .filter(|(_, v)| pred(*v))
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Approximate in-memory size of the array payload in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Extracts the rectangular sub-array with corners `lo` (inclusive) and
+    /// `hi` (inclusive).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the corners are out of bounds or inverted.
+    pub fn slice(&self, lo: &Coord, hi: &Coord) -> Result<Array, ArrayError> {
+        if !self.shape.contains(lo) {
+            return Err(ArrayError::OutOfBounds {
+                coord: *lo,
+                shape: self.shape,
+            });
+        }
+        if !self.shape.contains(hi) {
+            return Err(ArrayError::OutOfBounds {
+                coord: *hi,
+                shape: self.shape,
+            });
+        }
+        if lo
+            .as_slice()
+            .iter()
+            .zip(hi.as_slice())
+            .any(|(&l, &h)| l > h)
+        {
+            return Err(ArrayError::ShapeMismatch {
+                context: format!("slice corners inverted: lo={lo} hi={hi}"),
+            });
+        }
+        let dims: Vec<u32> = lo
+            .as_slice()
+            .iter()
+            .zip(hi.as_slice())
+            .map(|(&l, &h)| h - l + 1)
+            .collect();
+        let out_shape = Shape::new(&dims);
+        let mut out = Array::zeros(out_shape);
+        for oc in out_shape.iter() {
+            let src: Vec<u32> = oc
+                .as_slice()
+                .iter()
+                .zip(lo.as_slice())
+                .map(|(&o, &l)| o + l)
+                .collect();
+            let v = self.get(&Coord::new(&src));
+            out.set(&oc, v);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_filled() {
+        let a = Array::zeros(Shape::d2(3, 3));
+        assert_eq!(a.sum(), 0.0);
+        let b = Array::filled(Shape::d2(2, 2), 1.5);
+        assert_eq!(b.sum(), 6.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Array::from_vec(Shape::d2(2, 2), vec![1.0, 2.0, 3.0, 4.0]).is_ok());
+        assert!(Array::from_vec(Shape::d2(2, 2), vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let a = Array::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.get(&Coord::d2(0, 1)), 2.0);
+        assert_eq!(a.get(&Coord::d2(1, 0)), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn from_rows_rejects_ragged() {
+        let _ = Array::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn from_fn_uses_coords() {
+        let a = Array::from_fn(Shape::d2(2, 3), |c| (c.get(0) * 10 + c.get(1)) as f64);
+        assert_eq!(a.get(&Coord::d2(1, 2)), 12.0);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut a = Array::zeros(Shape::d2(4, 4));
+        a.set(&Coord::d2(2, 3), 7.0);
+        assert_eq!(a.get(&Coord::d2(2, 3)), 7.0);
+        assert_eq!(a.get_linear(a.shape().ravel(&Coord::d2(2, 3))), 7.0);
+    }
+
+    #[test]
+    fn try_get_out_of_bounds() {
+        let a = Array::zeros(Shape::d2(2, 2));
+        assert!(matches!(
+            a.try_get(&Coord::d2(5, 0)),
+            Err(ArrayError::OutOfBounds { .. })
+        ));
+        assert_eq!(a.try_get(&Coord::d2(1, 1)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn map_and_zip_with() {
+        let a = Array::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = a.map(|v| v * 2.0);
+        assert_eq!(b.get(&Coord::d2(1, 1)), 8.0);
+        let c = a.zip_with(&b, |x, y| y - x).unwrap();
+        assert_eq!(c.get(&Coord::d2(1, 0)), 3.0);
+        let bad = Array::zeros(Shape::d2(3, 3));
+        assert!(a.zip_with(&bad, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn statistics() {
+        let a = Array::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), 1.0);
+        assert!((a.std_dev() - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_and_coords_where() {
+        let a = Array::from_rows(&[vec![0.0, 5.0], vec![6.0, 0.0]]);
+        assert_eq!(a.count_where(|v| v > 1.0), 2);
+        assert_eq!(
+            a.coords_where(|v| v > 1.0),
+            vec![Coord::d2(0, 1), Coord::d2(1, 0)]
+        );
+    }
+
+    #[test]
+    fn slice_extracts_window() {
+        let a = Array::from_fn(Shape::d2(4, 4), |c| (c.get(0) * 4 + c.get(1)) as f64);
+        let s = a.slice(&Coord::d2(1, 1), &Coord::d2(2, 3)).unwrap();
+        assert_eq!(s.shape(), Shape::d2(2, 3));
+        assert_eq!(s.get(&Coord::d2(0, 0)), 5.0);
+        assert_eq!(s.get(&Coord::d2(1, 2)), 11.0);
+        assert!(a.slice(&Coord::d2(2, 2), &Coord::d2(1, 1)).is_err());
+        assert!(a.slice(&Coord::d2(0, 0), &Coord::d2(9, 9)).is_err());
+    }
+
+    #[test]
+    fn size_bytes() {
+        let a = Array::zeros(Shape::d2(10, 10));
+        assert_eq!(a.size_bytes(), 800);
+    }
+
+    #[test]
+    fn iter_matches_shape_order() {
+        let a = Array::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let collected: Vec<(Coord, f64)> = a.iter().collect();
+        assert_eq!(collected[0], (Coord::d2(0, 0), 1.0));
+        assert_eq!(collected[3], (Coord::d2(1, 1), 4.0));
+    }
+}

@@ -1,0 +1,205 @@
+//! Axis-aligned bounding boxes over cell coordinates.
+//!
+//! Bounding boxes appear in two places in SubZero: the R-tree that indexes
+//! the hash keys of *Many*-encoded region pairs (so a query region can find
+//! the hash entries that intersect it), and the bounding-box predicates the
+//! paper discusses for restricted operator re-execution.
+
+use crate::coord::{Coord, MAX_NDIM};
+
+/// An axis-aligned, inclusive bounding box over coordinates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BoundingBox {
+    ndim: u8,
+    lo: [u32; MAX_NDIM],
+    hi: [u32; MAX_NDIM],
+}
+
+impl BoundingBox {
+    /// The box covering exactly one cell.
+    pub fn point(c: &Coord) -> Self {
+        let mut lo = [0u32; MAX_NDIM];
+        let mut hi = [0u32; MAX_NDIM];
+        lo[..c.ndim()].copy_from_slice(c.as_slice());
+        hi[..c.ndim()].copy_from_slice(c.as_slice());
+        BoundingBox {
+            ndim: c.ndim() as u8,
+            lo,
+            hi,
+        }
+    }
+
+    /// Builds a box from explicit inclusive corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corners have different dimensionality or are inverted.
+    pub fn new(lo: &Coord, hi: &Coord) -> Self {
+        assert_eq!(lo.ndim(), hi.ndim(), "corner dimensionality mismatch");
+        assert!(
+            lo.as_slice().iter().zip(hi.as_slice()).all(|(&l, &h)| l <= h),
+            "bounding-box corners inverted: lo={lo} hi={hi}"
+        );
+        let mut b = BoundingBox::point(lo);
+        b.hi[..hi.ndim()].copy_from_slice(hi.as_slice());
+        b
+    }
+
+    /// The smallest box containing every coordinate in `coords`.
+    ///
+    /// Returns `None` for an empty input.
+    pub fn enclosing(coords: &[Coord]) -> Option<Self> {
+        let first = coords.first()?;
+        let mut b = BoundingBox::point(first);
+        for c in &coords[1..] {
+            b.expand(c);
+        }
+        Some(b)
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.ndim as usize
+    }
+
+    /// Inclusive lower corner.
+    pub fn lo(&self) -> Coord {
+        Coord::new(&self.lo[..self.ndim()])
+    }
+
+    /// Inclusive upper corner.
+    pub fn hi(&self) -> Coord {
+        Coord::new(&self.hi[..self.ndim()])
+    }
+
+    /// Expands the box (in place) so it contains `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` has a different dimensionality.
+    pub fn expand(&mut self, c: &Coord) {
+        assert_eq!(c.ndim(), self.ndim(), "dimensionality mismatch");
+        for d in 0..self.ndim() {
+            self.lo[d] = self.lo[d].min(c.get(d));
+            self.hi[d] = self.hi[d].max(c.get(d));
+        }
+    }
+
+    /// Expands the box (in place) so it contains all of `other`.
+    pub fn merge(&mut self, other: &BoundingBox) {
+        assert_eq!(other.ndim, self.ndim, "dimensionality mismatch");
+        for d in 0..self.ndim() {
+            self.lo[d] = self.lo[d].min(other.lo[d]);
+            self.hi[d] = self.hi[d].max(other.hi[d]);
+        }
+    }
+
+    /// The merged box, without mutating either input.
+    pub fn merged(&self, other: &BoundingBox) -> BoundingBox {
+        let mut b = *self;
+        b.merge(other);
+        b
+    }
+
+    /// Whether `c` lies inside the box.
+    pub fn contains(&self, c: &Coord) -> bool {
+        c.ndim() == self.ndim()
+            && (0..self.ndim()).all(|d| self.lo[d] <= c.get(d) && c.get(d) <= self.hi[d])
+    }
+
+    /// Whether two boxes overlap (share at least one cell).
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.ndim == other.ndim
+            && (0..self.ndim()).all(|d| self.lo[d] <= other.hi[d] && other.lo[d] <= self.hi[d])
+    }
+
+    /// Number of cells covered by the box.
+    pub fn area(&self) -> u64 {
+        (0..self.ndim())
+            .map(|d| (self.hi[d] - self.lo[d] + 1) as u64)
+            .product()
+    }
+
+    /// Growth in area that merging `other` into this box would cause.
+    pub fn enlargement(&self, other: &BoundingBox) -> u64 {
+        self.merged(other).area() - self.area()
+    }
+
+    /// Margin (half-perimeter generalisation): sum of side lengths.
+    pub fn margin(&self) -> u64 {
+        (0..self.ndim())
+            .map(|d| (self.hi[d] - self.lo[d] + 1) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_box() {
+        let b = BoundingBox::point(&Coord::d2(3, 4));
+        assert_eq!(b.lo(), Coord::d2(3, 4));
+        assert_eq!(b.hi(), Coord::d2(3, 4));
+        assert_eq!(b.area(), 1);
+        assert!(b.contains(&Coord::d2(3, 4)));
+        assert!(!b.contains(&Coord::d2(3, 5)));
+    }
+
+    #[test]
+    fn new_validates_corners() {
+        let b = BoundingBox::new(&Coord::d2(1, 1), &Coord::d2(3, 4));
+        assert_eq!(b.area(), 12);
+        assert_eq!(b.margin(), 3 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn new_rejects_inverted() {
+        let _ = BoundingBox::new(&Coord::d2(3, 3), &Coord::d2(1, 1));
+    }
+
+    #[test]
+    fn enclosing_covers_all() {
+        let coords = vec![Coord::d2(5, 5), Coord::d2(2, 8), Coord::d2(7, 3)];
+        let b = BoundingBox::enclosing(&coords).unwrap();
+        assert_eq!(b.lo(), Coord::d2(2, 3));
+        assert_eq!(b.hi(), Coord::d2(7, 8));
+        for c in &coords {
+            assert!(b.contains(c));
+        }
+        assert!(BoundingBox::enclosing(&[]).is_none());
+    }
+
+    #[test]
+    fn expand_and_merge() {
+        let mut b = BoundingBox::point(&Coord::d2(5, 5));
+        b.expand(&Coord::d2(2, 9));
+        assert_eq!(b.lo(), Coord::d2(2, 5));
+        assert_eq!(b.hi(), Coord::d2(5, 9));
+
+        let other = BoundingBox::point(&Coord::d2(10, 0));
+        let merged = b.merged(&other);
+        assert!(merged.contains(&Coord::d2(10, 0)));
+        assert!(merged.contains(&Coord::d2(5, 5)));
+        assert_eq!(b.enlargement(&other), merged.area() - b.area());
+    }
+
+    #[test]
+    fn intersection() {
+        let a = BoundingBox::new(&Coord::d2(0, 0), &Coord::d2(4, 4));
+        let b = BoundingBox::new(&Coord::d2(4, 4), &Coord::d2(8, 8));
+        let c = BoundingBox::new(&Coord::d2(5, 5), &Coord::d2(8, 8));
+        assert!(a.intersects(&b), "shared corner cell intersects");
+        assert!(!a.intersects(&c));
+        assert!(b.intersects(&c));
+    }
+
+    #[test]
+    fn area_1d() {
+        let b = BoundingBox::new(&Coord::d1(2), &Coord::d1(9));
+        assert_eq!(b.area(), 8);
+    }
+}

@@ -1,0 +1,298 @@
+//! Bitmap sets of cells over a fixed shape.
+//!
+//! The SubZero query executor represents the intermediate result of every
+//! lineage-query step as "an in-memory boolean array with the same dimensions
+//! as the input (backward query) or output (forward query) array" (§VI-C of
+//! the paper).  [`CellSet`] is that structure: a compact bitmap keyed by the
+//! row-major linear index of each cell, with cheap union, membership testing,
+//! de-duplication by construction, and an inexpensive saturation check used by
+//! the *entire-array* optimization.
+
+use crate::{Coord, Shape};
+
+/// A set of cells of an array of known [`Shape`], stored as a bitmap.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellSet {
+    shape: Shape,
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl CellSet {
+    /// Creates an empty cell set over `shape`.
+    pub fn empty(shape: Shape) -> Self {
+        let nwords = shape.num_cells().div_ceil(64);
+        CellSet {
+            shape,
+            words: vec![0; nwords],
+            count: 0,
+        }
+    }
+
+    /// Creates a cell set containing every cell of `shape`.
+    pub fn full(shape: Shape) -> Self {
+        let mut s = Self::empty(shape);
+        s.set_all();
+        s
+    }
+
+    /// Creates a cell set from an iterator of coordinates.
+    ///
+    /// Out-of-bounds coordinates are ignored; this mirrors the paper's
+    /// semantics where a lineage result is always clipped to the array it
+    /// refers to.
+    pub fn from_coords<I: IntoIterator<Item = Coord>>(shape: Shape, coords: I) -> Self {
+        let mut s = Self::empty(shape);
+        for c in coords {
+            if shape.contains(&c) {
+                s.insert(&c);
+            }
+        }
+        s
+    }
+
+    /// The shape this cell set ranges over.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of cells in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether every cell of the shape is in the set.  Saturation is what the
+    /// *entire-array* query optimization checks for.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.count == self.shape.num_cells()
+    }
+
+    /// Inserts a cell.  Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is out of bounds for the set's shape.
+    #[inline]
+    pub fn insert(&mut self, coord: &Coord) -> bool {
+        let idx = self.shape.ravel(coord);
+        self.insert_linear(idx)
+    }
+
+    /// Inserts a cell identified by its row-major linear index.
+    #[inline]
+    pub fn insert_linear(&mut self, idx: usize) -> bool {
+        assert!(idx < self.shape.num_cells(), "linear index out of bounds");
+        let word = idx / 64;
+        let bit = 1u64 << (idx % 64);
+        if self.words[word] & bit == 0 {
+            self.words[word] |= bit;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks every cell as present.
+    pub fn set_all(&mut self) {
+        let n = self.shape.num_cells();
+        for w in self.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        // Clear the bits past the end of the array in the last word.
+        let tail = n % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        self.count = n;
+    }
+
+    /// Whether `coord` is present.
+    #[inline]
+    pub fn contains(&self, coord: &Coord) -> bool {
+        if !self.shape.contains(coord) {
+            return false;
+        }
+        let idx = self.shape.ravel(coord);
+        self.contains_linear(idx)
+    }
+
+    /// Whether the cell at linear index `idx` is present.
+    #[inline]
+    pub fn contains_linear(&self, idx: usize) -> bool {
+        let word = idx / 64;
+        let bit = 1u64 << (idx % 64);
+        self.words.get(word).is_some_and(|w| w & bit != 0)
+    }
+
+    /// In-place union with another cell set of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn union_with(&mut self, other: &CellSet) {
+        assert_eq!(self.shape, other.shape, "cell-set shape mismatch in union");
+        let mut count = 0usize;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+            count += a.count_ones() as usize;
+        }
+        self.count = count;
+    }
+
+    /// Intersection count with another cell set of the same shape (used by
+    /// tests and statistics; the hot path only needs union and membership).
+    pub fn intersection_len(&self, other: &CellSet) -> usize {
+        assert_eq!(self.shape, other.shape, "cell-set shape mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the coordinates in the set in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        let shape = self.shape;
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + tz)
+            })
+            .map(move |idx| shape.unravel(idx))
+        })
+    }
+
+    /// Collects the coordinates into a vector.
+    pub fn to_coords(&self) -> Vec<Coord> {
+        self.iter().collect()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let s = CellSet::empty(Shape::d2(3, 3));
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.is_full());
+
+        let f = CellSet::full(Shape::d2(3, 3));
+        assert!(f.is_full());
+        assert_eq!(f.len(), 9);
+        assert!(f.contains(&Coord::d2(2, 2)));
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = CellSet::empty(Shape::d2(10, 10));
+        assert!(s.insert(&Coord::d2(3, 4)));
+        assert!(!s.insert(&Coord::d2(3, 4)), "double insert reports false");
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&Coord::d2(3, 4)));
+        assert!(!s.contains(&Coord::d2(4, 3)));
+        assert!(!s.contains(&Coord::d2(99, 99)), "out of bounds is absent");
+    }
+
+    #[test]
+    fn from_coords_ignores_out_of_bounds_and_dedups() {
+        let s = CellSet::from_coords(
+            Shape::d2(2, 2),
+            vec![
+                Coord::d2(0, 0),
+                Coord::d2(0, 0),
+                Coord::d2(1, 1),
+                Coord::d2(5, 5),
+            ],
+        );
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn set_all_handles_partial_last_word() {
+        // 70 cells spans two words; the second word must only have 6 bits set.
+        let mut s = CellSet::empty(Shape::d2(7, 10));
+        s.set_all();
+        assert_eq!(s.len(), 70);
+        assert!(s.is_full());
+        assert_eq!(s.iter().count(), 70);
+    }
+
+    #[test]
+    fn set_all_exact_word_boundary() {
+        let mut s = CellSet::empty(Shape::d2(8, 8));
+        s.set_all();
+        assert_eq!(s.len(), 64);
+        assert!(s.is_full());
+    }
+
+    #[test]
+    fn union_counts_correctly() {
+        let shape = Shape::d2(4, 4);
+        let mut a = CellSet::from_coords(shape, vec![Coord::d2(0, 0), Coord::d2(1, 1)]);
+        let b = CellSet::from_coords(shape, vec![Coord::d2(1, 1), Coord::d2(2, 2)]);
+        a.union_with(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(&Coord::d2(2, 2)));
+    }
+
+    #[test]
+    fn intersection_len() {
+        let shape = Shape::d2(4, 4);
+        let a = CellSet::from_coords(shape, vec![Coord::d2(0, 0), Coord::d2(1, 1)]);
+        let b = CellSet::from_coords(shape, vec![Coord::d2(1, 1), Coord::d2(2, 2)]);
+        assert_eq!(a.intersection_len(&b), 1);
+    }
+
+    #[test]
+    fn iter_returns_sorted_coords() {
+        let shape = Shape::d2(3, 3);
+        let s = CellSet::from_coords(
+            shape,
+            vec![Coord::d2(2, 2), Coord::d2(0, 1), Coord::d2(1, 0)],
+        );
+        let coords = s.to_coords();
+        assert_eq!(
+            coords,
+            vec![Coord::d2(0, 1), Coord::d2(1, 0), Coord::d2(2, 2)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn union_rejects_shape_mismatch() {
+        let mut a = CellSet::empty(Shape::d2(2, 2));
+        let b = CellSet::empty(Shape::d2(3, 3));
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn size_bytes_scales_with_shape() {
+        let s = CellSet::empty(Shape::d2(512, 2000));
+        assert_eq!(s.size_bytes(), (512 * 2000usize).div_ceil(64) * 8);
+    }
+}

@@ -1,0 +1,286 @@
+//! Cell coordinates.
+//!
+//! A [`Coord`] identifies a single cell of a multi-dimensional array: one
+//! non-negative integer per dimension.  Coordinates are the currency of the
+//! whole lineage system — region pairs, encoded lineage entries, query cells
+//! and query results are all sets of coordinates — so the type is small,
+//! `Copy`, and hashable without allocation.
+
+use std::fmt;
+
+/// Maximum number of dimensions supported by [`Coord`] and
+/// [`Shape`](crate::Shape).
+///
+/// The workflows evaluated in the paper (astronomy image processing, genomics
+/// patient-feature matrices) are 1-D, 2-D, or 3-D; four dimensions leaves
+/// head-room while keeping coordinates at 24 bytes and `Copy`.
+pub const MAX_NDIM: usize = 4;
+
+/// A cell coordinate: `ndim` non-negative integers, one per dimension.
+///
+/// ```
+/// use subzero_array::Coord;
+///
+/// let c = Coord::d2(3, 7);
+/// assert_eq!(c.ndim(), 2);
+/// assert_eq!(c[0], 3);
+/// assert_eq!(c[1], 7);
+/// assert_eq!(c.as_slice(), &[3, 7]);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    ndim: u8,
+    vals: [u32; MAX_NDIM],
+}
+
+impl Coord {
+    /// Creates a coordinate from a slice of per-dimension values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` has more than [`MAX_NDIM`] entries or is empty.
+    #[inline]
+    pub fn new(vals: &[u32]) -> Self {
+        assert!(
+            !vals.is_empty() && vals.len() <= MAX_NDIM,
+            "coordinate must have between 1 and {MAX_NDIM} dimensions, got {}",
+            vals.len()
+        );
+        let mut buf = [0u32; MAX_NDIM];
+        buf[..vals.len()].copy_from_slice(vals);
+        Coord {
+            ndim: vals.len() as u8,
+            vals: buf,
+        }
+    }
+
+    /// Creates a 1-dimensional coordinate.
+    #[inline]
+    pub fn d1(x: u32) -> Self {
+        Coord {
+            ndim: 1,
+            vals: [x, 0, 0, 0],
+        }
+    }
+
+    /// Creates a 2-dimensional coordinate `(row, col)`.
+    #[inline]
+    pub fn d2(row: u32, col: u32) -> Self {
+        Coord {
+            ndim: 2,
+            vals: [row, col, 0, 0],
+        }
+    }
+
+    /// Creates a 3-dimensional coordinate.
+    #[inline]
+    pub fn d3(x: u32, y: u32, z: u32) -> Self {
+        Coord {
+            ndim: 3,
+            vals: [x, y, z, 0],
+        }
+    }
+
+    /// Number of dimensions of this coordinate.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.ndim as usize
+    }
+
+    /// The coordinate values as a slice of length [`Self::ndim`].
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.vals[..self.ndim as usize]
+    }
+
+    /// Value along dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= self.ndim()`.
+    #[inline]
+    pub fn get(&self, dim: usize) -> u32 {
+        assert!(dim < self.ndim as usize, "dimension {dim} out of range");
+        self.vals[dim]
+    }
+
+    /// Returns a copy with dimension `dim` replaced by `value`.
+    #[inline]
+    pub fn with(&self, dim: usize, value: u32) -> Self {
+        assert!(dim < self.ndim as usize, "dimension {dim} out of range");
+        let mut out = *self;
+        out.vals[dim] = value;
+        out
+    }
+
+    /// Returns a copy with dimension `dim` offset by `delta` (saturating at 0).
+    #[inline]
+    pub fn offset(&self, dim: usize, delta: i64) -> Self {
+        let cur = self.get(dim) as i64;
+        let next = (cur + delta).max(0) as u32;
+        self.with(dim, next)
+    }
+
+    /// Transposes a 2-D coordinate (`(r, c)` becomes `(c, r)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is not 2-dimensional.
+    #[inline]
+    pub fn transpose2(&self) -> Self {
+        assert_eq!(self.ndim, 2, "transpose2 requires a 2-D coordinate");
+        Coord::d2(self.vals[1], self.vals[0])
+    }
+
+    /// Chebyshev (L∞) distance to another coordinate of the same
+    /// dimensionality; the natural "radius" metric for neighbourhood
+    /// operators such as convolution and cosmic-ray detection.
+    #[inline]
+    pub fn chebyshev(&self, other: &Coord) -> u32 {
+        assert_eq!(self.ndim, other.ndim, "dimension mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| a.abs_diff(b))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl std::ops::Index<usize> for Coord {
+    type Output = u32;
+
+    #[inline]
+    fn index(&self, index: usize) -> &u32 {
+        assert!(index < self.ndim as usize, "dimension {index} out of range");
+        &self.vals[index]
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.as_slice().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<(u32, u32)> for Coord {
+    fn from((r, c): (u32, u32)) -> Self {
+        Coord::d2(r, c)
+    }
+}
+
+impl From<u32> for Coord {
+    fn from(x: u32) -> Self {
+        Coord::d1(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = Coord::new(&[1, 2, 3]);
+        assert_eq!(c.ndim(), 3);
+        assert_eq!(c.get(0), 1);
+        assert_eq!(c.get(1), 2);
+        assert_eq!(c.get(2), 3);
+        assert_eq!(c.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn d1_d2_d3_helpers() {
+        assert_eq!(Coord::d1(9).as_slice(), &[9]);
+        assert_eq!(Coord::d2(4, 5).as_slice(), &[4, 5]);
+        assert_eq!(Coord::d3(1, 2, 3).as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and")]
+    fn empty_coord_panics() {
+        let _ = Coord::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and")]
+    fn too_many_dims_panics() {
+        let _ = Coord::new(&[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn equality_ignores_unused_dims() {
+        // Internal padding must never leak into equality or hashing.
+        let a = Coord::d2(1, 2);
+        let b = Coord::new(&[1, 2]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn with_and_offset() {
+        let c = Coord::d2(5, 5);
+        assert_eq!(c.with(0, 9), Coord::d2(9, 5));
+        assert_eq!(c.offset(1, -2), Coord::d2(5, 3));
+        assert_eq!(c.offset(1, -100), Coord::d2(5, 0), "offset saturates at 0");
+        assert_eq!(c.offset(0, 3), Coord::d2(8, 5));
+    }
+
+    #[test]
+    fn transpose2_swaps() {
+        assert_eq!(Coord::d2(3, 8).transpose2(), Coord::d2(8, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "2-D")]
+    fn transpose2_rejects_non_2d() {
+        let _ = Coord::d3(1, 2, 3).transpose2();
+    }
+
+    #[test]
+    fn chebyshev_distance() {
+        assert_eq!(Coord::d2(0, 0).chebyshev(&Coord::d2(3, 1)), 3);
+        assert_eq!(Coord::d2(5, 5).chebyshev(&Coord::d2(5, 5)), 0);
+        assert_eq!(Coord::d1(10).chebyshev(&Coord::d1(2)), 8);
+    }
+
+    #[test]
+    fn indexing_and_display() {
+        let c = Coord::d2(7, 8);
+        assert_eq!(c[0], 7);
+        assert_eq!(c[1], 8);
+        assert_eq!(format!("{c}"), "(7,8)");
+        assert_eq!(format!("{c:?}"), "(7,8)");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_within_same_ndim() {
+        let mut v = vec![Coord::d2(1, 2), Coord::d2(0, 9), Coord::d2(1, 0)];
+        v.sort();
+        assert_eq!(v, vec![Coord::d2(0, 9), Coord::d2(1, 0), Coord::d2(1, 2)]);
+    }
+
+    #[test]
+    fn conversions() {
+        let c: Coord = (2u32, 3u32).into();
+        assert_eq!(c, Coord::d2(2, 3));
+        let c: Coord = 5u32.into();
+        assert_eq!(c, Coord::d1(5));
+    }
+}

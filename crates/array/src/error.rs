@@ -1,0 +1,77 @@
+//! Error type for array operations.
+
+use std::fmt;
+
+use crate::{Coord, Shape};
+
+/// Errors produced by the array substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrayError {
+    /// A coordinate fell outside the bounds of an array.
+    OutOfBounds {
+        /// The offending coordinate.
+        coord: Coord,
+        /// The shape of the array that was accessed.
+        shape: Shape,
+    },
+    /// Two arrays (or an array and a coordinate) had incompatible
+    /// dimensionality or extents.
+    ShapeMismatch {
+        /// Description of the expectation that was violated.
+        context: String,
+    },
+    /// A named array or version was not found in a [`VersionedStore`](crate::VersionedStore).
+    NotFound {
+        /// The array name that was requested.
+        name: String,
+        /// The version that was requested, if any.
+        version: Option<u64>,
+    },
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::OutOfBounds { coord, shape } => {
+                write!(f, "coordinate {coord} is out of bounds for shape {shape}")
+            }
+            ArrayError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            ArrayError::NotFound { name, version } => match version {
+                Some(v) => write!(f, "array '{name}' version {v} not found"),
+                None => write!(f, "array '{name}' not found"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ArrayError::OutOfBounds {
+            coord: Coord::d2(10, 10),
+            shape: Shape::d2(4, 4),
+        };
+        assert!(e.to_string().contains("out of bounds"));
+
+        let e = ArrayError::ShapeMismatch {
+            context: "add requires equal shapes".into(),
+        };
+        assert!(e.to_string().contains("shape mismatch"));
+
+        let e = ArrayError::NotFound {
+            name: "img".into(),
+            version: Some(3),
+        };
+        assert!(e.to_string().contains("version 3"));
+        let e = ArrayError::NotFound {
+            name: "img".into(),
+            version: None,
+        };
+        assert!(e.to_string().contains("'img' not found"));
+    }
+}

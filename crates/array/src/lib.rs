@@ -1,0 +1,41 @@
+//! # subzero-array
+//!
+//! Dense multi-dimensional array substrate used by the SubZero lineage system.
+//!
+//! SubZero (Wu, Madden, Stonebraker — ICDE 2013) assumes a SciDB-like data and
+//! execution model: data are multi-dimensional arrays whose cells are addressed
+//! by integer coordinates, intermediate results are stored persistently
+//! ("no overwrite"), and every update produces a new array version.  This crate
+//! provides that substrate:
+//!
+//! * [`Coord`] — a small, copyable coordinate (up to [`MAX_NDIM`] dimensions).
+//! * [`Shape`] — array extents with ravel/unravel (linearisation) helpers.
+//! * [`Array`] — a dense array of `f64` cells.
+//! * [`CellSet`] — a bitmap over an array's cells; the query executor's
+//!   intermediate-result representation ("in-memory boolean array", §VI-C of
+//!   the paper).
+//! * [`BoundingBox`] — axis-aligned boxes over coordinates, used by the
+//!   spatial-index side of the lineage encodings.
+//! * [`VersionedStore`] — a no-overwrite, versioned array store; the basis of
+//!   black-box lineage.
+//!
+//! The substrate is intentionally simple — single `f64` attribute per cell,
+//! dense storage — because nothing in the paper's contribution depends on
+//! richer cell schemas or sparse chunking; what matters is cell addressing,
+//! versioning and the cost of touching cells.
+
+pub mod array;
+pub mod bbox;
+pub mod cellset;
+pub mod coord;
+pub mod error;
+pub mod shape;
+pub mod version;
+
+pub use array::Array;
+pub use bbox::BoundingBox;
+pub use cellset::CellSet;
+pub use coord::{Coord, MAX_NDIM};
+pub use error::ArrayError;
+pub use shape::Shape;
+pub use version::{ArrayRef, VersionId, VersionedStore};

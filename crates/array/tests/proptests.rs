@@ -1,0 +1,146 @@
+//! Property-based tests for the array substrate.
+
+use proptest::prelude::*;
+use subzero_array::{Array, BoundingBox, CellSet, Coord, Shape};
+
+/// Strategy producing an arbitrary 1–3 dimensional shape with a bounded cell
+/// count so the exhaustive checks stay fast.
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (1u32..200).prop_map(Shape::d1),
+        (1u32..40, 1u32..40).prop_map(|(r, c)| Shape::d2(r, c)),
+        (1u32..12, 1u32..12, 1u32..12).prop_map(|(a, b, c)| Shape::d3(a, b, c)),
+    ]
+}
+
+/// Strategy producing a shape together with a valid coordinate inside it.
+fn shape_and_coord() -> impl Strategy<Value = (Shape, Coord)> {
+    shape_strategy().prop_flat_map(|shape| {
+        let n = shape.num_cells();
+        (Just(shape), 0..n).prop_map(|(shape, idx)| (shape, shape.unravel(idx)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn ravel_unravel_roundtrip((shape, coord) in shape_and_coord()) {
+        let idx = shape.ravel(&coord);
+        prop_assert!(idx < shape.num_cells());
+        prop_assert_eq!(shape.unravel(idx), coord);
+    }
+
+    #[test]
+    fn ravel_is_injective(shape in shape_strategy()) {
+        // Distinct coordinates map to distinct linear indices.
+        let mut seen = vec![false; shape.num_cells()];
+        for c in shape.iter() {
+            let idx = shape.ravel(&c);
+            prop_assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn cellset_matches_hashset_semantics(
+        (shape, _c) in shape_and_coord(),
+        picks in prop::collection::vec(0usize..4096, 0..200),
+    ) {
+        let mut set = CellSet::empty(shape);
+        let mut reference = std::collections::HashSet::new();
+        for p in picks {
+            let idx = p % shape.num_cells();
+            let coord = shape.unravel(idx);
+            set.insert(&coord);
+            reference.insert(idx);
+        }
+        prop_assert_eq!(set.len(), reference.len());
+        for idx in 0..shape.num_cells() {
+            prop_assert_eq!(set.contains_linear(idx), reference.contains(&idx));
+        }
+        prop_assert_eq!(set.is_full(), reference.len() == shape.num_cells());
+    }
+
+    #[test]
+    fn cellset_union_is_commutative(
+        shape in (1u32..30, 1u32..30).prop_map(|(r, c)| Shape::d2(r, c)),
+        xs in prop::collection::vec(0usize..900, 0..100),
+        ys in prop::collection::vec(0usize..900, 0..100),
+    ) {
+        let coords_a: Vec<Coord> = xs.iter().map(|&i| shape.unravel(i % shape.num_cells())).collect();
+        let coords_b: Vec<Coord> = ys.iter().map(|&i| shape.unravel(i % shape.num_cells())).collect();
+        let mut ab = CellSet::from_coords(shape, coords_a.iter().copied());
+        ab.union_with(&CellSet::from_coords(shape, coords_b.iter().copied()));
+        let mut ba = CellSet::from_coords(shape, coords_b.iter().copied());
+        ba.union_with(&CellSet::from_coords(shape, coords_a.iter().copied()));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn bounding_box_encloses_every_input(
+        shape in (2u32..50, 2u32..50).prop_map(|(r, c)| Shape::d2(r, c)),
+        picks in prop::collection::vec(0usize..2500, 1..64),
+    ) {
+        let coords: Vec<Coord> = picks.iter().map(|&i| shape.unravel(i % shape.num_cells())).collect();
+        let bbox = BoundingBox::enclosing(&coords).unwrap();
+        for c in &coords {
+            prop_assert!(bbox.contains(c));
+        }
+        // The box is tight: its corners are realised by some input coordinate
+        // in every dimension.
+        for d in 0..2 {
+            let lo = coords.iter().map(|c| c.get(d)).min().unwrap();
+            let hi = coords.iter().map(|c| c.get(d)).max().unwrap();
+            prop_assert_eq!(bbox.lo().get(d), lo);
+            prop_assert_eq!(bbox.hi().get(d), hi);
+        }
+    }
+
+    #[test]
+    fn neighborhood_is_chebyshev_ball(
+        (shape, center) in shape_and_coord(),
+        radius in 0u32..4,
+    ) {
+        let neigh = shape.neighborhood(&center, radius);
+        // Every returned coordinate is in bounds and within the radius.
+        for c in &neigh {
+            prop_assert!(shape.contains(c));
+            prop_assert!(c.chebyshev(&center) <= radius);
+        }
+        // Every in-bounds cell within the radius is returned.
+        let expect = shape
+            .iter()
+            .filter(|c| c.chebyshev(&center) <= radius)
+            .count();
+        prop_assert_eq!(neigh.len(), expect);
+    }
+
+    #[test]
+    fn array_map_preserves_shape_and_applies_fn(
+        shape in (1u32..20, 1u32..20).prop_map(|(r, c)| Shape::d2(r, c)),
+        scale in -10.0f64..10.0,
+    ) {
+        let a = Array::from_fn(shape, |c| c.get(0) as f64 + c.get(1) as f64);
+        let b = a.map(|v| v * scale);
+        prop_assert_eq!(b.shape(), shape);
+        for (c, v) in a.iter() {
+            prop_assert_eq!(b.get(&c), v * scale);
+        }
+    }
+
+    #[test]
+    fn array_slice_matches_direct_indexing(
+        rows in 2u32..20,
+        cols in 2u32..20,
+    ) {
+        let shape = Shape::d2(rows, cols);
+        let a = Array::from_fn(shape, |c| (c.get(0) * 1000 + c.get(1)) as f64);
+        let lo = Coord::d2(rows / 4, cols / 4);
+        let hi = Coord::d2(rows - 1, cols - 1);
+        let s = a.slice(&lo, &hi).unwrap();
+        for (c, v) in s.iter() {
+            let src = Coord::d2(c.get(0) + lo.get(0), c.get(1) + lo.get(1));
+            prop_assert_eq!(v, a.get(&src));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the lineage strategy optimizer: ILP solve time
+//! (the paper reports "about 1 ms" for the benchmark-sized problems) and the
+//! end-to-end optimize call on the genomics workflow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use subzero::SubZero;
+use subzero_bench::genomics::{CohortConfig, CohortGenerator, GenomicsWorkflow};
+use subzero_optimizer::ilp::{IlpChoice, IlpProblem};
+use subzero_optimizer::{Optimizer, OptimizerConfig, QueryWorkload};
+
+fn synthetic_problem(groups: usize, choices: usize) -> IlpProblem {
+    let mut seed = 0xC0FFEEu64;
+    let mut next = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((seed >> 33) % 10_000) as f64
+    };
+    IlpProblem {
+        groups: (0..groups)
+            .map(|g| {
+                (0..choices)
+                    .map(|c| IlpChoice {
+                        label: format!("g{g}c{c}"),
+                        query_cost: next(),
+                        disk: next(),
+                        runtime: next() / 1000.0,
+                    })
+                    .collect()
+            })
+            .collect(),
+        max_disk: 5_000.0 * groups as f64,
+        max_runtime: f64::INFINITY,
+        epsilon: 1e-6,
+        beta: 1.0,
+    }
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_solve");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for &(groups, choices) in &[(4usize, 4usize), (14, 8), (26, 12)] {
+        let problem = synthetic_problem(groups, choices);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{groups}ops_x_{choices}strategies")),
+            &problem,
+            |b, p| b.iter(|| p.solve()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_optimize(c: &mut Criterion) {
+    let config = CohortConfig::tiny();
+    let (train, test) = CohortGenerator::new(config).generate();
+    let wf = GenomicsWorkflow::build(&config);
+    let inputs = GenomicsWorkflow::inputs(train, test);
+    let mut profiler = SubZero::new();
+    profiler.set_strategy(Optimizer::profiling_strategy(&wf.workflow));
+    let run = profiler.execute(&wf.workflow, &inputs).unwrap();
+    let stats: std::collections::HashMap<_, _> = profiler
+        .runtime()
+        .run_stats(run.run_id)
+        .into_iter()
+        .map(|(op, s)| (op, s.clone()))
+        .collect();
+    let queries: Vec<_> = wf
+        .queries(&mut profiler, &run)
+        .into_iter()
+        .map(|nq| (nq.query, 1.0))
+        .collect();
+    let workload = QueryWorkload::from_queries(&queries);
+
+    let mut group = c.benchmark_group("optimizer");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group.bench_function("genomics_optimize_20mb", |b| {
+        let optimizer = Optimizer::new(OptimizerConfig::with_disk_budget_mb(20.0));
+        b.iter(|| optimizer.optimize(&wf.workflow, &stats, &workload));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ilp, bench_end_to_end_optimize);
+criterion_main!(benches);

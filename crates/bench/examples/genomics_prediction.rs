@@ -1,0 +1,130 @@
+//! The genomics (relapse prediction) workflow end to end, with the lineage
+//! strategy chosen automatically by the optimizer under a storage budget —
+//! the clinician-visualisation scenario of §II-B.
+//!
+//! Run with `cargo run --release -p subzero-bench --example genomics_prediction`.
+
+use subzero::query::LineageQuery;
+use subzero::SubZero;
+use subzero_array::Coord;
+use subzero_bench::genomics::{CohortConfig, CohortGenerator, GenomicsWorkflow};
+use subzero_bench::report::mb;
+use subzero_optimizer::{Optimizer, OptimizerConfig, QueryWorkload};
+
+fn main() {
+    let config = CohortConfig::default();
+    println!(
+        "generating a synthetic cohort: {} features x {} patients (training + test)",
+        config.features,
+        config.patients * config.scale
+    );
+    let (train, test) = CohortGenerator::new(config).generate();
+    let wf = GenomicsWorkflow::build(&config);
+    let inputs = GenomicsWorkflow::inputs(train, test);
+
+    // 1. Profiling run: black-box everywhere except the UDFs, which emit
+    //    their cheapest pair-producing mode so the optimizer can see pair
+    //    counts, fanin/fanout and payload sizes.
+    let mut profiler = SubZero::new();
+    profiler.set_strategy(Optimizer::profiling_strategy(&wf.workflow));
+    let profile_run = profiler.execute(&wf.workflow, &inputs).unwrap();
+    let stats: std::collections::HashMap<_, _> = profiler
+        .runtime()
+        .run_stats(profile_run.run_id)
+        .into_iter()
+        .map(|(op, s)| (op, s.clone()))
+        .collect();
+
+    // 2. Describe the query workload the visualisation will issue (an equal
+    //    mix of backward and forward queries) and run the optimizer with a
+    //    20 MB lineage budget.
+    let sample: Vec<_> = wf
+        .queries(&mut profiler, &profile_run)
+        .into_iter()
+        .map(|nq| (nq.query, 1.0))
+        .collect();
+    let workload = QueryWorkload::from_queries(&sample);
+    let optimizer = Optimizer::new(OptimizerConfig::with_disk_budget_mb(20.0));
+    let plan = optimizer.optimize(&wf.workflow, &stats, &workload);
+    println!("\noptimizer picked (20 MB budget):");
+    for choice in &plan.per_op {
+        let labels = if choice.strategies.is_empty() {
+            "BlackBox".to_string()
+        } else {
+            choice
+                .strategies
+                .iter()
+                .map(|s| s.label())
+                .collect::<Vec<_>>()
+                .join(" + ")
+        };
+        let name = &wf.workflow.node(choice.op_id).unwrap().operator.name().to_string();
+        println!(
+            "  {:24} -> {:28} (predicted {:>8.2} KB, {:.4} s/query)",
+            name,
+            labels,
+            choice.disk_bytes / 1024.0,
+            choice.query_secs
+        );
+    }
+
+    // 3. Re-run the workflow under the chosen strategy and serve queries.
+    let mut subzero = SubZero::new();
+    subzero.set_strategy(plan.strategy);
+    let run = subzero.execute(&wf.workflow, &inputs).unwrap();
+    println!(
+        "\nexecuted in {:?}; lineage stored: {} MB",
+        run.total_elapsed,
+        mb(subzero.lineage_bytes(run.run_id))
+    );
+
+    let predictions = subzero.engine().output_of(&run, wf.predict_round).unwrap();
+    let relapses = predictions.coords_where(|v| v > 0.5);
+    println!("predicted relapse for {} of {} patients", relapses.len(), predictions.shape().cols());
+
+    // Clinician clicks a prediction: why does the model think this patient
+    // will relapse?
+    let patient = relapses.first().copied().unwrap_or(Coord::d2(0, 0));
+    let backward = LineageQuery::backward(
+        vec![patient],
+        vec![
+            (wf.predict_round, 0),
+            (wf.predict, 0),
+            (wf.model_scale, 0),
+            (wf.compute_model, 0),
+            (wf.extract_train, 0),
+            (wf.train_scale, 0),
+            (wf.train_center, 0),
+            (wf.train_clamp, 0),
+        ],
+    );
+    let answer = subzero.query(&run, &backward).unwrap();
+    println!(
+        "\nprediction for patient column {} is supported by {} training-matrix cells (query took {:?})",
+        patient.get(1),
+        answer.cells.len(),
+        answer.report.total_elapsed
+    );
+
+    // Forward: which predictions would change if one suspicious training
+    // value were corrected?
+    let forward = LineageQuery::forward(
+        vec![Coord::d2(1, 0)],
+        vec![
+            (wf.train_clamp, 0),
+            (wf.train_center, 0),
+            (wf.train_scale, 0),
+            (wf.extract_train, 0),
+            (wf.compute_model, 0),
+            (wf.model_scale, 0),
+            (wf.predict, 0),
+            (wf.predict_round, 0),
+        ],
+    );
+    let answer = subzero.query(&run, &forward).unwrap();
+    println!(
+        "training cell (feature 1, patient 0) influences {} predictions (query took {:?})",
+        answer.cells.len(),
+        answer.report.total_elapsed
+    );
+}

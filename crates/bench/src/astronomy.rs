@@ -1,0 +1,957 @@
+//! The astronomy (LSST) benchmark of §II-A / §VIII-A.
+//!
+//! The workflow ingests two consecutive exposures of the same patch of sky,
+//! cleans each one (bias subtraction, flat fielding, clamping, smoothing),
+//! detects cosmic rays in each exposure (UDFs *A* and *B*), composites the
+//! exposures, removes the cosmic rays from the composite (UDF *C*),
+//! background-subtracts and sharpens the cleaned image, and finally detects
+//! celestial bodies (UDF *D*).  Twenty-two built-in mapping operators and
+//! four UDFs, matching the shape of Figure 1 of the paper.
+//!
+//! The paper's real 512×2000 LSST exposures are replaced by a synthetic sky
+//! generator with the same statistical structure: a noisy background, a small
+//! number of compact Gaussian stars (high locality, sparse), and rare
+//! single-pixel cosmic-ray hits that differ between the two exposures.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use subzero::query::LineageQuery;
+use subzero::SubZero;
+use subzero_array::{Array, ArrayRef, Coord, Shape};
+use subzero_engine::executor::WorkflowRun;
+use subzero_engine::ops::{
+    AggregateKind, AxisAggregate, BinaryKind, Convolve, Elementwise1, Elementwise2,
+    GlobalAggregate, ScaleToUnit, SliceOp, Transpose, UnaryKind, ZScore,
+};
+use subzero_engine::{
+    InputSource, LineageMode, LineageSink, OpId, OpMeta, Operator, Workflow,
+};
+
+use crate::harness::NamedQuery;
+
+/// Parameters of the synthetic sky.
+#[derive(Clone, Copy, Debug)]
+pub struct SkyConfig {
+    /// Exposure shape.  The paper uses 512×2000; the default here is a
+    /// quarter-scale exposure so the full benchmark fits comfortably in a
+    /// test run (`SkyConfig::paper_scale()` restores the full size).
+    pub shape: Shape,
+    /// Number of stars placed in the sky.
+    pub num_stars: usize,
+    /// Gaussian radius of the stellar point-spread function, in pixels.
+    pub star_radius: u32,
+    /// Fraction of pixels hit by a cosmic ray in each exposure.
+    pub cosmic_ray_rate: f64,
+    /// Background level (ADU).
+    pub background: f64,
+    /// Background noise amplitude.
+    pub noise: f64,
+    /// RNG seed (the benchmark is fully deterministic).
+    pub seed: u64,
+}
+
+impl Default for SkyConfig {
+    fn default() -> Self {
+        SkyConfig {
+            shape: Shape::d2(128, 500),
+            num_stars: 24,
+            star_radius: 2,
+            cosmic_ray_rate: 0.0005,
+            background: 100.0,
+            noise: 4.0,
+            seed: 7,
+        }
+    }
+}
+
+impl SkyConfig {
+    /// The paper's full 512×2000 exposure size.
+    pub fn paper_scale() -> Self {
+        SkyConfig {
+            shape: Shape::d2(512, 2000),
+            num_stars: 96,
+            cosmic_ray_rate: 0.0005,
+            ..Default::default()
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        SkyConfig {
+            shape: Shape::d2(48, 64),
+            num_stars: 5,
+            cosmic_ray_rate: 0.003,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generates pairs of synthetic exposures of the same sky.
+#[derive(Clone, Debug)]
+pub struct SkyGenerator {
+    config: SkyConfig,
+}
+
+impl SkyGenerator {
+    /// Creates a generator.
+    pub fn new(config: SkyConfig) -> Self {
+        SkyGenerator { config }
+    }
+
+    /// Generates the two exposures: identical stars and background, but
+    /// independent noise realisations and independent cosmic-ray hits.
+    pub fn generate(&self) -> (Array, Array) {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let shape = cfg.shape;
+
+        // Shared sky: background plus Gaussian stars.
+        let mut sky = Array::filled(shape, cfg.background);
+        for _ in 0..cfg.num_stars {
+            let r = rng.gen_range(0..shape.rows());
+            let c = rng.gen_range(0..shape.cols());
+            let peak = rng.gen_range(600.0..2500.0);
+            let center = Coord::d2(r, c);
+            for cell in shape.neighborhood(&center, cfg.star_radius) {
+                let d = cell.chebyshev(&center) as f64;
+                let flux = peak * (-d * d / (0.7 * cfg.star_radius.max(1) as f64).powi(2)).exp();
+                let prev = sky.get(&cell);
+                sky.set(&cell, prev + flux);
+            }
+        }
+
+        let make_exposure = |rng: &mut StdRng| {
+            let mut exp = sky.clone();
+            for idx in 0..shape.num_cells() {
+                let noise = rng.gen_range(-cfg.noise..cfg.noise);
+                exp.set_linear(idx, exp.get_linear(idx) + noise);
+            }
+            let hits = ((shape.num_cells() as f64) * cfg.cosmic_ray_rate).round() as usize;
+            for _ in 0..hits {
+                let idx = rng.gen_range(0..shape.num_cells());
+                exp.set_linear(idx, exp.get_linear(idx) + rng.gen_range(3000.0..8000.0));
+            }
+            exp
+        };
+        let exp1 = make_exposure(&mut rng);
+        let exp2 = make_exposure(&mut rng);
+        (exp1, exp2)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UDFs
+// ---------------------------------------------------------------------------
+
+/// UDF *A*/*B*: cosmic-ray detection.
+///
+/// A pixel whose value exceeds `threshold` is flagged as a cosmic ray (output
+/// 1) and depends on its neighbours within `radius` pixels; every other pixel
+/// is 0 and depends only on the corresponding input pixel — exactly the
+/// running example of §V of the paper.
+#[derive(Debug, Clone)]
+pub struct CosmicRayDetect {
+    /// Neighbourhood radius of a flagged pixel's lineage (3 in the paper).
+    pub radius: u32,
+    /// Absolute brightness above which a pixel is considered a cosmic ray.
+    pub threshold: f64,
+}
+
+impl CosmicRayDetect {
+    /// The paper's configuration: radius 3.
+    pub fn new(threshold: f64) -> Self {
+        CosmicRayDetect {
+            radius: 3,
+            threshold,
+        }
+    }
+}
+
+impl Operator for CosmicRayDetect {
+    fn name(&self) -> &str {
+        "udf_cosmic_ray_detect"
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        input_shapes[0]
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![
+            LineageMode::Full,
+            LineageMode::Pay,
+            LineageMode::Comp,
+            LineageMode::Blackbox,
+        ]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let input = &inputs[0];
+        let shape = input.shape();
+        let full = cur_modes.contains(&LineageMode::Full);
+        let pay = cur_modes.contains(&LineageMode::Pay);
+        let comp = cur_modes.contains(&LineageMode::Comp);
+        let mut out = Array::zeros(shape);
+        for (c, v) in input.iter() {
+            let is_cr = v > self.threshold;
+            if is_cr {
+                out.set(&c, 1.0);
+                if full {
+                    sink.lwrite(vec![c], vec![shape.neighborhood(&c, self.radius)]);
+                }
+                if pay || comp {
+                    sink.lwrite_payload(vec![c], vec![self.radius as u8]);
+                }
+            } else {
+                if full {
+                    sink.lwrite(vec![c], vec![vec![c]]);
+                }
+                if pay {
+                    sink.lwrite_payload(vec![c], vec![0]);
+                }
+                // Composite mode stores nothing: the default mapping covers it.
+            }
+        }
+        out
+    }
+
+    fn map_backward(&self, outcell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        // Default (non cosmic ray) relationship.
+        Some(vec![*outcell])
+    }
+
+    fn map_forward(&self, incell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        // Default relationship: an input pixel feeds the mask pixel at the
+        // same coordinate (cosmic-ray overrides are stored explicitly).
+        Some(vec![*incell])
+    }
+
+    fn map_payload(
+        &self,
+        outcell: &Coord,
+        payload: &[u8],
+        _i: usize,
+        meta: &OpMeta,
+    ) -> Option<Vec<Coord>> {
+        let r = payload.first().copied().unwrap_or(0) as u32;
+        Some(meta.input_shape(0).neighborhood(outcell, r))
+    }
+
+    fn spans_entire_array(&self, _input_idx: usize, _backward: bool) -> bool {
+        true
+    }
+}
+
+/// UDF *C*: cosmic-ray removal.
+///
+/// Takes the composited image and the combined cosmic-ray mask; masked pixels
+/// are replaced by the mean of their unmasked neighbours (and depend on that
+/// neighbourhood plus the mask cell), unmasked pixels pass through (and
+/// depend only on the corresponding image and mask cells).
+#[derive(Debug, Clone)]
+pub struct CosmicRayRemove {
+    /// Neighbourhood radius used for in-painting masked pixels.
+    pub radius: u32,
+}
+
+impl Default for CosmicRayRemove {
+    fn default() -> Self {
+        CosmicRayRemove { radius: 2 }
+    }
+}
+
+impl Operator for CosmicRayRemove {
+    fn name(&self) -> &str {
+        "udf_cosmic_ray_remove"
+    }
+
+    fn num_inputs(&self) -> usize {
+        2
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        input_shapes[0]
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![
+            LineageMode::Full,
+            LineageMode::Pay,
+            LineageMode::Comp,
+            LineageMode::Blackbox,
+        ]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let image = &inputs[0];
+        let mask = &inputs[1];
+        let shape = image.shape();
+        let full = cur_modes.contains(&LineageMode::Full);
+        let pay = cur_modes.contains(&LineageMode::Pay);
+        let comp = cur_modes.contains(&LineageMode::Comp);
+        let mut out = Array::zeros(shape);
+        for (c, v) in image.iter() {
+            let masked = mask.get(&c) > 0.5;
+            if masked {
+                let neigh = shape.neighborhood(&c, self.radius);
+                let clean: Vec<f64> = neigh
+                    .iter()
+                    .filter(|n| mask.get(n) <= 0.5)
+                    .map(|n| image.get(n))
+                    .collect();
+                let replacement = if clean.is_empty() {
+                    v
+                } else {
+                    clean.iter().sum::<f64>() / clean.len() as f64
+                };
+                out.set(&c, replacement);
+                if full {
+                    sink.lwrite(vec![c], vec![neigh.clone(), vec![c]]);
+                }
+                if pay || comp {
+                    sink.lwrite_payload(vec![c], vec![self.radius as u8]);
+                }
+            } else {
+                out.set(&c, v);
+                if full {
+                    sink.lwrite(vec![c], vec![vec![c], vec![c]]);
+                }
+                if pay {
+                    sink.lwrite_payload(vec![c], vec![0]);
+                }
+            }
+        }
+        out
+    }
+
+    fn map_backward(&self, outcell: &Coord, _input_idx: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        // Default relationship for both the image and the mask input.
+        Some(vec![*outcell])
+    }
+
+    fn map_forward(&self, incell: &Coord, _input_idx: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        // Default relationship: pass-through pixels map one-to-one (the
+        // in-painted overrides are stored explicitly).
+        Some(vec![*incell])
+    }
+
+    fn map_payload(
+        &self,
+        outcell: &Coord,
+        payload: &[u8],
+        input_idx: usize,
+        meta: &OpMeta,
+    ) -> Option<Vec<Coord>> {
+        let r = payload.first().copied().unwrap_or(0) as u32;
+        Some(match input_idx {
+            0 => meta.input_shape(0).neighborhood(outcell, r),
+            _ => vec![*outcell],
+        })
+    }
+
+    fn spans_entire_array(&self, _input_idx: usize, _backward: bool) -> bool {
+        true
+    }
+}
+
+/// UDF *D*: celestial-body (star) detection.
+///
+/// Finds connected components of pixels brighter than `threshold` and labels
+/// each output pixel with the id of the star it belongs to (0 for
+/// background).  Every pixel of star *X* depends on all the input pixels in
+/// star *X*'s bounding box; the payload stores that bounding box (8 bytes).
+#[derive(Debug, Clone)]
+pub struct StarDetect {
+    /// Detection threshold applied to the background-subtracted image.
+    pub threshold: f64,
+}
+
+impl StarDetect {
+    /// Creates a detector with the given threshold.
+    pub fn new(threshold: f64) -> Self {
+        StarDetect { threshold }
+    }
+
+    /// Connected components (4-connectivity) of above-threshold pixels.
+    fn components(&self, input: &Array) -> Vec<Vec<Coord>> {
+        let shape = input.shape();
+        let mut labels = vec![0u32; shape.num_cells()];
+        let mut components: Vec<Vec<Coord>> = Vec::new();
+        for idx in 0..shape.num_cells() {
+            if labels[idx] != 0 || input.get_linear(idx) <= self.threshold {
+                continue;
+            }
+            // Breadth-first flood fill.
+            let label = components.len() as u32 + 1;
+            let mut queue = vec![idx];
+            labels[idx] = label;
+            let mut cells = Vec::new();
+            while let Some(i) = queue.pop() {
+                let c = shape.unravel(i);
+                cells.push(c);
+                let (r, col) = (c.get(0) as i64, c.get(1) as i64);
+                for (dr, dc) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+                    if let Some(n) = shape.checked_coord(&[r + dr, col + dc]) {
+                        let ni = shape.ravel(&n);
+                        if labels[ni] == 0 && input.get_linear(ni) > self.threshold {
+                            labels[ni] = label;
+                            queue.push(ni);
+                        }
+                    }
+                }
+            }
+            components.push(cells);
+        }
+        components
+    }
+
+    fn bbox_payload(cells: &[Coord]) -> Vec<u8> {
+        let bbox = subzero_array::BoundingBox::enclosing(cells).expect("non-empty component");
+        let lo = bbox.lo();
+        let hi = bbox.hi();
+        let mut payload = Vec::with_capacity(8);
+        for v in [lo.get(0), lo.get(1), hi.get(0), hi.get(1)] {
+            payload.extend_from_slice(&(v as u16).to_le_bytes());
+        }
+        payload
+    }
+}
+
+impl Operator for StarDetect {
+    fn name(&self) -> &str {
+        "udf_star_detect"
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        input_shapes[0]
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![
+            LineageMode::Full,
+            LineageMode::Pay,
+            LineageMode::Comp,
+            LineageMode::Blackbox,
+        ]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let input = &inputs[0];
+        let shape = input.shape();
+        let full = cur_modes.contains(&LineageMode::Full);
+        let pay = cur_modes.contains(&LineageMode::Pay) || cur_modes.contains(&LineageMode::Comp);
+        let mut out = Array::zeros(shape);
+        let components = self.components(input);
+        for (label, cells) in components.iter().enumerate() {
+            for c in cells {
+                out.set(c, (label + 1) as f64);
+            }
+            if full {
+                let bbox = subzero_array::BoundingBox::enclosing(cells).expect("non-empty");
+                let mut bbox_cells = Vec::new();
+                for r in bbox.lo().get(0)..=bbox.hi().get(0) {
+                    for col in bbox.lo().get(1)..=bbox.hi().get(1) {
+                        bbox_cells.push(Coord::d2(r, col));
+                    }
+                }
+                sink.lwrite(cells.clone(), vec![bbox_cells]);
+            }
+            if pay {
+                sink.lwrite_payload(cells.clone(), Self::bbox_payload(cells));
+            }
+        }
+        if full {
+            // Background pixels depend on the corresponding input pixel.
+            for (c, _) in out.iter() {
+                if out.get(&c) == 0.0 {
+                    sink.lwrite(vec![c], vec![vec![c]]);
+                }
+            }
+        }
+        out
+    }
+
+    fn map_backward(&self, outcell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        // Default relationship for background pixels.
+        Some(vec![*outcell])
+    }
+
+    fn map_forward(&self, incell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        // Default relationship: a background pixel only influences the label
+        // at its own coordinate (star memberships are stored explicitly).
+        Some(vec![*incell])
+    }
+
+    fn map_payload(
+        &self,
+        _outcell: &Coord,
+        payload: &[u8],
+        _i: usize,
+        meta: &OpMeta,
+    ) -> Option<Vec<Coord>> {
+        if payload.len() < 8 {
+            return Some(vec![]);
+        }
+        let read = |i: usize| u16::from_le_bytes([payload[i], payload[i + 1]]) as u32;
+        let (r0, c0, r1, c1) = (read(0), read(2), read(4), read(6));
+        let shape = meta.input_shape(0);
+        let mut cells = Vec::new();
+        for r in r0..=r1.min(shape.rows().saturating_sub(1)) {
+            for c in c0..=c1.min(shape.cols().saturating_sub(1)) {
+                cells.push(Coord::d2(r, c));
+            }
+        }
+        Some(cells)
+    }
+
+    fn spans_entire_array(&self, _input_idx: usize, _backward: bool) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workflow
+// ---------------------------------------------------------------------------
+
+/// The LSST-style workflow: 22 built-in operators and 4 UDFs, with the
+/// operator ids of every stage exposed for query construction.
+#[derive(Debug, Clone)]
+pub struct AstronomyWorkflow {
+    /// The workflow specification.
+    pub workflow: Arc<Workflow>,
+    /// Exposure shape.
+    pub shape: Shape,
+    /// Per-exposure bias subtraction (built-in).
+    pub offset: [OpId; 2],
+    /// Per-exposure flat-field scaling (built-in).
+    pub scale: [OpId; 2],
+    /// Per-exposure clamping (built-in).
+    pub clamp: [OpId; 2],
+    /// Per-exposure smoothing convolution (built-in).
+    pub smooth: [OpId; 2],
+    /// UDFs A and B: cosmic-ray detection per exposure.
+    pub crd: [OpId; 2],
+    /// Exposure compositing (built-in `mean2`).
+    pub composite: OpId,
+    /// Cosmic-ray mask union (built-in `max`).
+    pub mask_union: OpId,
+    /// UDF C: cosmic-ray removal.
+    pub cr_remove: OpId,
+    /// Background estimation convolution (built-in).
+    pub background: OpId,
+    /// Background subtraction (built-in).
+    pub subtract: OpId,
+    /// Sharpening convolution (built-in).
+    pub sharpen: OpId,
+    /// UDF D: star detection.
+    pub star_detect: OpId,
+    /// QC global mean of the cleaned image (built-in, all-to-all).
+    pub mean_qc: OpId,
+    /// QC global standard deviation (built-in, all-to-all).
+    pub std_qc: OpId,
+    /// QC global maximum (built-in, all-to-all).
+    pub max_qc: OpId,
+    /// Whole-image normalisation (built-in, all-to-all).
+    pub unit: OpId,
+    /// Z-score normalisation of the sharpened image (built-in, all-to-all).
+    pub zscore: OpId,
+    /// Thresholded z-score map (built-in).
+    pub zscore_threshold: OpId,
+    /// Thumbnail slice (built-in).
+    pub thumbnail: OpId,
+    /// Thumbnail transpose (built-in).
+    pub thumbnail_t: OpId,
+    /// Per-row mean profile (built-in).
+    pub row_profile: OpId,
+}
+
+impl AstronomyWorkflow {
+    /// Builds the workflow for exposures of the given shape.
+    pub fn build(shape: Shape) -> Self {
+        let mut b = Workflow::builder("astronomy");
+        let mut offset = [0; 2];
+        let mut scale = [0; 2];
+        let mut clamp = [0; 2];
+        let mut smooth = [0; 2];
+        let mut crd = [0; 2];
+        for (i, ext) in ["exposure1", "exposure2"].iter().enumerate() {
+            offset[i] = b.add(
+                Arc::new(Elementwise1::new(UnaryKind::Offset(-100.0))),
+                vec![InputSource::External(ext.to_string())],
+            );
+            scale[i] = b.add_unary(Arc::new(Elementwise1::new(UnaryKind::Scale(1.02))), offset[i]);
+            clamp[i] = b.add_unary(
+                Arc::new(Elementwise1::new(UnaryKind::Clamp(0.0, 1.0e9))),
+                scale[i],
+            );
+            smooth[i] = b.add_unary(Arc::new(Convolve::gaussian(1)), clamp[i]);
+            crd[i] = b.add_unary(Arc::new(CosmicRayDetect::new(1500.0)), smooth[i]);
+        }
+        let composite = b.add_binary(
+            Arc::new(Elementwise2::new(BinaryKind::Mean)),
+            smooth[0],
+            smooth[1],
+        );
+        let mask_union = b.add_binary(Arc::new(Elementwise2::new(BinaryKind::Max)), crd[0], crd[1]);
+        let cr_remove = b.add_binary(Arc::new(CosmicRayRemove::default()), composite, mask_union);
+        let background = b.add_unary(Arc::new(Convolve::box_blur(3)), cr_remove);
+        let subtract = b.add_binary(
+            Arc::new(Elementwise2::new(BinaryKind::Subtract)),
+            cr_remove,
+            background,
+        );
+        let sharpen = b.add_unary(Arc::new(Convolve::gaussian(1)), subtract);
+        let star_detect = b.add_unary(Arc::new(StarDetect::new(120.0)), sharpen);
+        let mean_qc = b.add_unary(Arc::new(GlobalAggregate::new(AggregateKind::Mean)), cr_remove);
+        let std_qc = b.add_unary(Arc::new(GlobalAggregate::new(AggregateKind::Std)), cr_remove);
+        let max_qc = b.add_unary(Arc::new(GlobalAggregate::new(AggregateKind::Max)), subtract);
+        let unit = b.add_unary(Arc::new(ScaleToUnit), subtract);
+        let zscore = b.add_unary(Arc::new(ZScore), sharpen);
+        let zscore_threshold = b.add_unary(
+            Arc::new(Elementwise1::new(UnaryKind::Threshold(3.0))),
+            zscore,
+        );
+        let thumb_hi = Coord::d2(
+            (shape.rows() / 4).max(1).min(shape.rows() - 1),
+            (shape.cols() / 4).max(1).min(shape.cols() - 1),
+        );
+        let thumbnail = b.add_unary(Arc::new(SliceOp::new(Coord::d2(0, 0), thumb_hi)), subtract);
+        let thumbnail_t = b.add_unary(Arc::new(Transpose), thumbnail);
+        let row_profile = b.add_unary(
+            Arc::new(AxisAggregate::new(AggregateKind::Mean, 1)),
+            subtract,
+        );
+        let workflow = Arc::new(b.build().expect("astronomy workflow is a valid DAG"));
+        AstronomyWorkflow {
+            workflow,
+            shape,
+            offset,
+            scale,
+            clamp,
+            smooth,
+            crd,
+            composite,
+            mask_union,
+            cr_remove,
+            background,
+            subtract,
+            sharpen,
+            star_detect,
+            mean_qc,
+            std_qc,
+            max_qc,
+            unit,
+            zscore,
+            zscore_threshold,
+            thumbnail,
+            thumbnail_t,
+            row_profile,
+        }
+    }
+
+    /// Ids of the four UDFs (A, B, C, D).
+    pub fn udfs(&self) -> Vec<OpId> {
+        vec![self.crd[0], self.crd[1], self.cr_remove, self.star_detect]
+    }
+
+    /// Ids of the 22 built-in operators.
+    pub fn builtins(&self) -> Vec<OpId> {
+        let udfs = self.udfs();
+        self.workflow
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .filter(|id| !udfs.contains(id))
+            .collect()
+    }
+
+    /// The per-exposure cleaning chain, from the smoothing convolution back
+    /// to the exposure's bias subtraction, as backward path steps.
+    fn cleaning_chain_back(&self, exposure: usize) -> Vec<(OpId, usize)> {
+        vec![
+            (self.smooth[exposure], 0),
+            (self.clamp[exposure], 0),
+            (self.scale[exposure], 0),
+            (self.offset[exposure], 0),
+        ]
+    }
+
+    /// External input map from a generated exposure pair.
+    pub fn inputs(exp1: Array, exp2: Array) -> HashMap<String, Array> {
+        let mut m = HashMap::new();
+        m.insert("exposure1".to_string(), exp1);
+        m.insert("exposure2".to_string(), exp2);
+        m
+    }
+
+    /// The benchmark's lineage queries (five backward, one forward, plus the
+    /// `FQ 0 Slow` variant without the entire-array optimization), derived
+    /// from the actual outputs of `run`.
+    pub fn queries(&self, sz: &mut SubZero, run: &WorkflowRun) -> Vec<NamedQuery> {
+        let stars = sz
+            .engine()
+            .output_of(run, self.star_detect)
+            .expect("star detect output");
+        let star_cells = stars.coords_where(|v| v > 0.0);
+        let star_cell = star_cells
+            .first()
+            .copied()
+            .unwrap_or_else(|| Coord::d2(self.shape.rows() / 2, self.shape.cols() / 2));
+
+        let crd_out = sz.engine().output_of(run, self.crd[0]).expect("crd output");
+        let mut cr_cells = crd_out.coords_where(|v| v > 0.0);
+        cr_cells.truncate(16);
+        if cr_cells.is_empty() {
+            cr_cells.push(Coord::d2(0, 0));
+        }
+
+        // A small region of the cleaned image around the first star.
+        let region: Vec<Coord> = self
+            .shape
+            .neighborhood(&star_cell, 2)
+            .into_iter()
+            .collect();
+
+        // BQ 0: star pixel -> first exposure, through the whole chain.
+        let mut bq0_path = vec![
+            (self.star_detect, 0),
+            (self.sharpen, 0),
+            (self.subtract, 0),
+            (self.cr_remove, 0),
+            (self.composite, 0),
+        ];
+        bq0_path.extend(self.cleaning_chain_back(0));
+
+        // BQ 1: region of the cleaned image -> second exposure.
+        let mut bq1_path = vec![(self.cr_remove, 0), (self.composite, 1)];
+        bq1_path.extend(self.cleaning_chain_back(1));
+
+        // BQ 2: region of the sharpened image -> cleaned image (short path,
+        // isolates a single suspect operator).
+        let bq2_path = vec![(self.sharpen, 0), (self.subtract, 0)];
+
+        // BQ 3: cosmic-ray mask pixels -> first exposure.
+        let mut bq3_path = vec![(self.crd[0], 0)];
+        bq3_path.extend(self.cleaning_chain_back(0));
+
+        // BQ 4: the QC mean -> first exposure (starts at an all-to-all
+        // operator, exercising the entire-array optimization).
+        let mut bq4_path = vec![(self.mean_qc, 0), (self.cr_remove, 0), (self.composite, 0)];
+        bq4_path.extend(self.cleaning_chain_back(0));
+
+        // FQ 0: a small region of the first exposure -> thresholded z-score
+        // map at the end of the workflow (traverses the all-to-all z-score).
+        let fq0_path = vec![
+            (self.offset[0], 0),
+            (self.scale[0], 0),
+            (self.clamp[0], 0),
+            (self.smooth[0], 0),
+            (self.composite, 0),
+            (self.cr_remove, 0),
+            (self.subtract, 0),
+            (self.sharpen, 0),
+            (self.zscore, 0),
+            (self.zscore_threshold, 0),
+        ];
+
+        let fq0 = NamedQuery::new(
+            "FQ 0",
+            LineageQuery::forward(region.clone(), fq0_path.clone()),
+        );
+        let fq0_slow = NamedQuery::new("FQ 0", LineageQuery::forward(region.clone(), fq0_path))
+            .without_entire_array("FQ 0 Slow");
+
+        vec![
+            NamedQuery::new("BQ 0", LineageQuery::backward(vec![star_cell], bq0_path)),
+            NamedQuery::new("BQ 1", LineageQuery::backward(region.clone(), bq1_path)),
+            NamedQuery::new("BQ 2", LineageQuery::backward(region, bq2_path)),
+            NamedQuery::new("BQ 3", LineageQuery::backward(cr_cells, bq3_path)),
+            NamedQuery::new(
+                "BQ 4",
+                LineageQuery::backward(vec![Coord::d2(0, 0)], bq4_path),
+            ),
+            fq0,
+            fq0_slow,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subzero::model::{LineageStrategy, StorageStrategy};
+    use subzero_engine::OperatorExt;
+
+    #[test]
+    fn sky_generator_is_deterministic_and_has_structure() {
+        let gen = SkyGenerator::new(SkyConfig::tiny());
+        let (a1, b1) = gen.generate();
+        let (a2, _b2) = gen.generate();
+        assert_eq!(a1, a2, "same seed, same sky");
+        assert_eq!(a1.shape(), SkyConfig::tiny().shape);
+        // Stars make some pixels far brighter than the background.
+        assert!(a1.max() > 500.0);
+        // The two exposures differ (noise and cosmic rays).
+        assert_ne!(a1, b1);
+    }
+
+    #[test]
+    fn workflow_has_22_builtins_and_4_udfs() {
+        let wf = AstronomyWorkflow::build(SkyConfig::tiny().shape);
+        assert_eq!(wf.workflow.len(), 26);
+        assert_eq!(wf.udfs().len(), 4);
+        assert_eq!(wf.builtins().len(), 22);
+        // Every built-in is a mapping operator; no UDF is.
+        for id in wf.builtins() {
+            assert!(wf.workflow.node(id).unwrap().operator.is_mapping(), "op {id}");
+        }
+        for id in wf.udfs() {
+            assert!(!wf.workflow.node(id).unwrap().operator.is_mapping(), "op {id}");
+        }
+    }
+
+    #[test]
+    fn cosmic_ray_detect_lineage_modes() {
+        let op = CosmicRayDetect::new(10.0);
+        let shape = Shape::d2(8, 8);
+        let mut img = Array::zeros(shape);
+        img.set(&Coord::d2(4, 4), 100.0);
+        let input: ArrayRef = Arc::new(img);
+        let meta = OpMeta::new(vec![shape], shape);
+
+        // Full mode emits one pair per pixel; the cosmic-ray pixel's pair has
+        // the neighbourhood as its input side.
+        let mut sink = subzero_engine::BufferSink::new();
+        let out = op.run(&[Arc::clone(&input)], &[LineageMode::Full], &mut sink);
+        assert_eq!(out.get(&Coord::d2(4, 4)), 1.0);
+        assert_eq!(out.sum(), 1.0, "exactly one cosmic ray detected");
+        assert_eq!(sink.len(), 64);
+
+        // Composite mode only stores the cosmic-ray pixel.
+        let mut sink = subzero_engine::BufferSink::new();
+        op.run(&[Arc::clone(&input)], &[LineageMode::Comp], &mut sink);
+        assert_eq!(sink.len(), 1);
+
+        // Payload mode stores every pixel.
+        let mut sink = subzero_engine::BufferSink::new();
+        op.run(&[input], &[LineageMode::Pay], &mut sink);
+        assert_eq!(sink.len(), 64);
+
+        // map_p resolves the radius payload; map_b is the identity default.
+        assert_eq!(
+            op.map_payload(&Coord::d2(4, 4), &[3], 0, &meta).unwrap().len(),
+            49
+        );
+        assert_eq!(
+            op.map_backward(&Coord::d2(4, 4), 0, &meta),
+            Some(vec![Coord::d2(4, 4)])
+        );
+    }
+
+    #[test]
+    fn cosmic_ray_remove_inpaints_masked_pixels() {
+        let op = CosmicRayRemove::default();
+        let shape = Shape::d2(5, 5);
+        let mut img = Array::filled(shape, 10.0);
+        img.set(&Coord::d2(2, 2), 5000.0);
+        let mut mask = Array::zeros(shape);
+        mask.set(&Coord::d2(2, 2), 1.0);
+        let out = op.run(
+            &[Arc::new(img), Arc::new(mask)],
+            &[LineageMode::Blackbox],
+            &mut subzero_engine::BufferSink::new(),
+        );
+        assert_eq!(out.get(&Coord::d2(2, 2)), 10.0, "spike replaced by neighbours");
+        assert_eq!(out.get(&Coord::d2(0, 0)), 10.0);
+
+        let meta = OpMeta::new(vec![shape, shape], shape);
+        assert_eq!(
+            op.map_payload(&Coord::d2(2, 2), &[2], 0, &meta).unwrap().len(),
+            25
+        );
+        assert_eq!(
+            op.map_payload(&Coord::d2(2, 2), &[2], 1, &meta).unwrap(),
+            vec![Coord::d2(2, 2)]
+        );
+    }
+
+    #[test]
+    fn star_detect_labels_components_and_exposes_bbox_lineage() {
+        let op = StarDetect::new(50.0);
+        let shape = Shape::d2(10, 10);
+        let mut img = Array::zeros(shape);
+        // Two separate bright blobs.
+        for c in [Coord::d2(2, 2), Coord::d2(2, 3), Coord::d2(3, 2)] {
+            img.set(&c, 100.0);
+        }
+        img.set(&Coord::d2(7, 7), 200.0);
+        let mut sink = subzero_engine::BufferSink::new();
+        let out = op.run(&[Arc::new(img)], &[LineageMode::Pay], &mut sink);
+        let labels: std::collections::HashSet<u64> = out
+            .data()
+            .iter()
+            .filter(|&&v| v > 0.0)
+            .map(|&v| v as u64)
+            .collect();
+        assert_eq!(labels.len(), 2, "two stars detected");
+        assert_eq!(sink.len(), 2, "one payload pair per star");
+
+        // The payload decodes to the star's bounding box in the input.
+        let meta = OpMeta::new(vec![shape], shape);
+        if let subzero_engine::RegionPair::Payload { outcells, payload } = &sink.pairs[0] {
+            let cells = op.map_payload(&outcells[0], payload, 0, &meta).unwrap();
+            assert!(cells.len() >= outcells.len());
+            for oc in outcells {
+                assert!(cells.contains(oc));
+            }
+        } else {
+            panic!("expected payload pair");
+        }
+    }
+
+    #[test]
+    fn end_to_end_star_query_traces_to_exposure() {
+        let cfg = SkyConfig::tiny();
+        let (e1, e2) = SkyGenerator::new(cfg).generate();
+        let wf = AstronomyWorkflow::build(cfg.shape);
+        let mut sz = SubZero::new();
+        // Use the paper's "SubZero" configuration: composite lineage for UDFs.
+        let mut strategy = LineageStrategy::new();
+        for udf in wf.udfs() {
+            strategy.set(udf, vec![StorageStrategy::composite_one()]);
+        }
+        sz.set_strategy(strategy);
+        let run = sz
+            .execute(&wf.workflow, &AstronomyWorkflow::inputs(e1, e2))
+            .unwrap();
+        let queries = wf.queries(&mut sz, &run);
+        assert_eq!(queries.len(), 7);
+        for nq in &queries {
+            let result = sz.query(&run, &nq.query).expect("query executes");
+            assert!(
+                !result.cells.is_empty(),
+                "query {} returned no lineage",
+                nq.name
+            );
+        }
+    }
+}

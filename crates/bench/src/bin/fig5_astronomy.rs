@@ -1,0 +1,92 @@
+//! Figure 5 — Astronomy benchmark.
+//!
+//! Reproduces both panels of Figure 5 of the paper:
+//! * 5(a): lineage disk and runtime overhead per strategy
+//!   (BlackBox, BlackBoxOpt, FullOne, FullMany, SubZero);
+//! * 5(b): per-query latency (BQ 0–4, FQ 0, FQ 0 Slow) per strategy.
+//!
+//! Run with `--paper-scale` for the full 512×2000 exposures (slow — the
+//! BlackBox baseline re-runs every operator per query); the default is a
+//! quarter-scale sky that preserves the relative ordering.
+
+use subzero_bench::astronomy::{AstronomyWorkflow, SkyConfig, SkyGenerator};
+use subzero_bench::harness::run_benchmark;
+use subzero_bench::report::{mb, ratio, secs, Table};
+use subzero_bench::strategies::astronomy_strategies;
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper-scale");
+    let config = if paper_scale {
+        SkyConfig::paper_scale()
+    } else {
+        SkyConfig::default()
+    };
+    println!(
+        "Astronomy benchmark (Figure 5) — exposures {} ({} cells each){}",
+        config.shape,
+        config.shape.num_cells(),
+        if paper_scale { ", paper scale" } else { "" }
+    );
+
+    let (exp1, exp2) = SkyGenerator::new(config).generate();
+    let wf = AstronomyWorkflow::build(config.shape);
+    let inputs = AstronomyWorkflow::inputs(exp1, exp2);
+    let input_mb = inputs.values().map(|a| a.size_bytes()).sum::<usize>();
+    println!(
+        "workflow: {} operators ({} built-in, {} UDFs); input arrays: {} MB\n",
+        wf.workflow.len(),
+        wf.builtins().len(),
+        wf.udfs().len(),
+        mb(input_mb)
+    );
+
+    let mut overhead = Table::new(
+        "Figure 5(a): disk and runtime overhead",
+        &["strategy", "lineage(MB)", "disk_vs_input", "workflow(s)", "runtime_vs_blackbox"],
+    );
+    let mut query_cost = Table::new(
+        "Figure 5(b): query costs (seconds)",
+        &["strategy", "BQ 0", "BQ 1", "BQ 2", "BQ 3", "BQ 4", "FQ 0", "FQ 0 Slow"],
+    );
+
+    let mut blackbox_runtime = None;
+    for named in astronomy_strategies(&wf) {
+        eprintln!("running strategy {} ...", named.name);
+        let m = run_benchmark(
+            &named.name,
+            &wf.workflow,
+            &inputs,
+            named.strategy,
+            true,
+            |sz, run| wf.queries(sz, run),
+        );
+        let base = *blackbox_runtime.get_or_insert(m.workflow_runtime.as_secs_f64());
+        overhead.row(vec![
+            m.strategy_name.clone(),
+            mb(m.lineage_bytes),
+            format!("{:.2}x", m.disk_overhead_ratio()),
+            secs(m.workflow_runtime),
+            ratio(m.workflow_runtime.as_secs_f64(), base),
+        ]);
+        let q = |name: &str| {
+            m.query_secs(name)
+                .map(|s| format!("{s:.4}"))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        query_cost.row(vec![
+            m.strategy_name.clone(),
+            q("BQ 0"),
+            q("BQ 1"),
+            q("BQ 2"),
+            q("BQ 3"),
+            q("BQ 4"),
+            q("FQ 0"),
+            q("FQ 0 Slow"),
+        ]);
+    }
+
+    println!("{}", overhead.render());
+    println!("{}", query_cost.render());
+    println!("csv:\n{}", overhead.to_csv());
+    println!("csv:\n{}", query_cost.to_csv());
+}

@@ -1,0 +1,109 @@
+//! Figure 6 — Genomics benchmark, static strategies and the query-time
+//! optimizer.
+//!
+//! Reproduces the three panels of Figure 6:
+//! * 6(a): disk and runtime overhead of the eight static strategies
+//!   (BlackBox, FullOne, FullMany, FullForw, FullBoth, PayOne, PayMany,
+//!   PayBoth);
+//! * 6(b): per-query latency without the query-time optimizer ("static");
+//! * 6(c): per-query latency with the query-time optimizer ("dynamic").
+//!
+//! `--paper-scale` uses the 56×10000 (100× replicated) cohort of the paper.
+
+use subzero_bench::genomics::{CohortConfig, CohortGenerator, GenomicsWorkflow};
+use subzero_bench::harness::run_benchmark;
+use subzero_bench::report::{mb, secs, Table};
+use subzero_bench::strategies::genomics_strategies;
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper-scale");
+    let config = if paper_scale {
+        CohortConfig::paper_scale()
+    } else {
+        CohortConfig::default()
+    };
+    println!(
+        "Genomics benchmark (Figure 6) — patient-feature matrices {}{}",
+        config.shape(),
+        if paper_scale { ", paper scale (100x replication)" } else { "" }
+    );
+
+    let (train, test) = CohortGenerator::new(config).generate();
+    let wf = GenomicsWorkflow::build(&config);
+    let inputs = GenomicsWorkflow::inputs(train, test);
+    println!(
+        "workflow: {} operators ({} UDFs); input arrays: {} MB\n",
+        wf.workflow.len(),
+        wf.udfs().len(),
+        mb(inputs.values().map(|a| a.size_bytes()).sum())
+    );
+
+    let mut overhead = Table::new(
+        "Figure 6(a): disk and runtime overhead",
+        &["strategy", "lineage(MB)", "disk_vs_input", "workflow(s)"],
+    );
+    let mut static_costs = Table::new(
+        "Figure 6(b): query costs, static (seconds)",
+        &["strategy", "BQ 0", "BQ 1", "FQ 0", "FQ 1"],
+    );
+    let mut dynamic_costs = Table::new(
+        "Figure 6(c): query costs, dynamic (query-time optimizer, seconds)",
+        &["strategy", "BQ 0", "BQ 1", "FQ 0", "FQ 1"],
+    );
+
+    for named in genomics_strategies(&wf) {
+        eprintln!("running strategy {} ...", named.name);
+        // Static: executor uses whatever the strategy stored, even when a
+        // mismatched index forces a scan.
+        let static_m = run_benchmark(
+            &named.name,
+            &wf.workflow,
+            &inputs,
+            named.strategy.clone(),
+            false,
+            |sz, run| wf.queries(sz, run),
+        );
+        // Dynamic: the query-time optimizer may fall back to re-execution.
+        let dynamic_m = run_benchmark(
+            &named.name,
+            &wf.workflow,
+            &inputs,
+            named.strategy,
+            true,
+            |sz, run| wf.queries(sz, run),
+        );
+
+        overhead.row(vec![
+            static_m.strategy_name.clone(),
+            mb(static_m.lineage_bytes),
+            format!("{:.2}x", static_m.disk_overhead_ratio()),
+            secs(static_m.workflow_runtime),
+        ]);
+        let q = |m: &subzero_bench::BenchmarkMeasurement, name: &str| {
+            m.query_secs(name)
+                .map(|s| format!("{s:.4}"))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        static_costs.row(vec![
+            static_m.strategy_name.clone(),
+            q(&static_m, "BQ 0"),
+            q(&static_m, "BQ 1"),
+            q(&static_m, "FQ 0"),
+            q(&static_m, "FQ 1"),
+        ]);
+        dynamic_costs.row(vec![
+            dynamic_m.strategy_name.clone(),
+            q(&dynamic_m, "BQ 0"),
+            q(&dynamic_m, "BQ 1"),
+            q(&dynamic_m, "FQ 0"),
+            q(&dynamic_m, "FQ 1"),
+        ]);
+    }
+
+    println!("{}", overhead.render());
+    println!("{}", static_costs.render());
+    println!("{}", dynamic_costs.render());
+    println!("csv:\n{}", overhead.to_csv());
+    println!("csv:\n{}", static_costs.to_csv());
+    println!("csv:\n{}", dynamic_costs.to_csv());
+}

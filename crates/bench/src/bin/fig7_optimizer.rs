@@ -1,0 +1,147 @@
+//! Figure 7 — Genomics benchmark under the lineage strategy optimizer.
+//!
+//! Varies the storage constraint `MaxDISK` (1, 10, 20, 50, 100 MB as in the
+//! paper, scaled down proportionally when the workload itself is scaled
+//! down), runs the optimizer, installs the strategy it picks, and reports:
+//! * 7(a): disk and runtime overhead per constraint (`SubZero-X`),
+//! * 7(b): query costs per constraint,
+//! plus the chosen per-UDF strategies so the "black-box when the budget is
+//! tiny → space-efficient → query-optimized" progression is visible.
+
+use subzero::query::LineageQuery;
+use subzero_bench::genomics::{CohortConfig, CohortGenerator, GenomicsWorkflow};
+use subzero_bench::harness::run_benchmark;
+use subzero_bench::report::{mb, secs, Table};
+use subzero_optimizer::{Optimizer, OptimizerConfig, QueryWorkload};
+use subzero::SubZero;
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper-scale");
+    let config = if paper_scale {
+        CohortConfig::paper_scale()
+    } else {
+        CohortConfig::default()
+    };
+    println!(
+        "Genomics optimizer benchmark (Figure 7) — matrices {}{}\n",
+        config.shape(),
+        if paper_scale { ", paper scale" } else { "" }
+    );
+
+    let (train, test) = CohortGenerator::new(config).generate();
+    let wf = GenomicsWorkflow::build(&config);
+    let inputs = GenomicsWorkflow::inputs(train, test);
+
+    // --- Profiling run: gather lineage statistics for the cost model. ------
+    let mut profiler = SubZero::new();
+    profiler.set_strategy(Optimizer::profiling_strategy(&wf.workflow));
+    let profile_run = profiler
+        .execute(&wf.workflow, &inputs)
+        .expect("profiling run");
+    let stats: std::collections::HashMap<_, _> = profiler
+        .runtime()
+        .run_stats(profile_run.run_id)
+        .into_iter()
+        .map(|(op, s)| (op, s.clone()))
+        .collect();
+
+    // --- Sample query workload (equal mix of backward and forward). --------
+    let sample_queries: Vec<(LineageQuery, f64)> = wf
+        .queries(&mut profiler, &profile_run)
+        .into_iter()
+        .map(|nq| (nq.query, 1.0))
+        .collect();
+    let workload = QueryWorkload::from_queries(&sample_queries);
+
+    // The paper's constraints assume the 100x cohort; scale them with the
+    // dataset so the small default configuration sees the same transitions.
+    let scale_factor = if paper_scale { 1.0 } else { config.scale as f64 / 100.0 };
+    let budgets_mb = [1.0, 10.0, 20.0, 50.0, 100.0];
+
+    let mut overhead = Table::new(
+        "Figure 7(a): disk and runtime overhead vs storage constraint",
+        &["configuration", "budget(MB)", "lineage(MB)", "workflow(s)"],
+    );
+    let mut query_cost = Table::new(
+        "Figure 7(b): query costs vs storage constraint (seconds)",
+        &["configuration", "BQ 0", "BQ 1", "FQ 0", "FQ 1"],
+    );
+    let mut choices = Table::new(
+        "Optimizer choices per UDF",
+        &["configuration", "E extract", "F model", "G extract", "H predict"],
+    );
+
+    // Baseline: black-box only.
+    let baseline = run_benchmark(
+        "BlackBox",
+        &wf.workflow,
+        &inputs,
+        subzero::model::LineageStrategy::new(),
+        true,
+        |sz, run| wf.queries(sz, run),
+    );
+    overhead.row(vec![
+        "BlackBox".into(),
+        "0".into(),
+        mb(baseline.lineage_bytes),
+        secs(baseline.workflow_runtime),
+    ]);
+    let fmt_q = |m: &subzero_bench::BenchmarkMeasurement, name: &str| {
+        m.query_secs(name)
+            .map(|s| format!("{s:.4}"))
+            .unwrap_or_else(|| "-".to_string())
+    };
+    query_cost.row(vec![
+        "BlackBox".into(),
+        fmt_q(&baseline, "BQ 0"),
+        fmt_q(&baseline, "BQ 1"),
+        fmt_q(&baseline, "FQ 0"),
+        fmt_q(&baseline, "FQ 1"),
+    ]);
+
+    for budget in budgets_mb {
+        let effective_mb = budget * scale_factor;
+        let name = format!("SubZero{}", budget as u64);
+        eprintln!("optimizing for {name} ({effective_mb:.2} MB effective budget) ...");
+        let optimizer = Optimizer::new(OptimizerConfig::with_disk_budget_mb(effective_mb));
+        let result = optimizer.optimize(&wf.workflow, &stats, &workload);
+
+        let strategy_label = |op: subzero_engine::OpId| {
+            result
+                .strategy
+                .get(op)
+                .map(|ss| ss.iter().map(|s| s.label()).collect::<Vec<_>>().join("+"))
+                .unwrap_or_else(|| "BlackBox".to_string())
+        };
+        choices.row(vec![
+            name.clone(),
+            strategy_label(wf.extract_train),
+            strategy_label(wf.compute_model),
+            strategy_label(wf.extract_test),
+            strategy_label(wf.predict),
+        ]);
+
+        let m = run_benchmark(&name, &wf.workflow, &inputs, result.strategy, true, |sz, run| {
+            wf.queries(sz, run)
+        });
+        overhead.row(vec![
+            name.clone(),
+            format!("{budget}"),
+            mb(m.lineage_bytes),
+            secs(m.workflow_runtime),
+        ]);
+        query_cost.row(vec![
+            name,
+            fmt_q(&m, "BQ 0"),
+            fmt_q(&m, "BQ 1"),
+            fmt_q(&m, "FQ 0"),
+            fmt_q(&m, "FQ 1"),
+        ]);
+    }
+
+    println!("{}", choices.render());
+    println!("{}", overhead.render());
+    println!("{}", query_cost.render());
+    println!("csv:\n{}", overhead.to_csv());
+    println!("csv:\n{}", query_cost.to_csv());
+}

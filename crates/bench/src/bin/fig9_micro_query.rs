@@ -1,0 +1,82 @@
+//! Figure 9 — Microbenchmark: backward query cost vs fanin.
+//!
+//! For the backward-optimized strategies (←PayMany, ←PayOne, ←FullMany,
+//! ←FullOne) runs 1000-cell backward lineage queries over the synthetic
+//! operator while sweeping fanin for fanout ∈ {1, 100}; also reports the
+//! BlackBox and mismatched →FullOne numbers the paper quotes in the text
+//! (2–20 s for BlackBox, up to two orders of magnitude worse for a
+//! mismatched index).
+
+use subzero_array::Shape;
+use subzero_bench::harness::run_benchmark;
+use subzero_bench::micro::{MicroConfig, MicroWorkflow};
+use subzero_bench::report::Table;
+use subzero_bench::strategies::micro_strategies;
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper-scale");
+    let shape = if paper_scale {
+        Shape::d2(1000, 1000)
+    } else {
+        Shape::d2(400, 400)
+    };
+    let query_cells = 1000usize;
+    let fanins = [1usize, 25, 50, 75, 100];
+    let fanouts = [1usize, 100];
+    println!(
+        "Microbenchmark query cost (Figure 9) — array {shape}, {query_cells}-cell backward queries\n"
+    );
+
+    let mut table = Table::new(
+        "Figure 9: backward query cost (seconds)",
+        &["fanout", "fanin", "strategy", "backward(s)", "forward(s)"],
+    );
+
+    for &fanout in &fanouts {
+        for &fanin in &fanins {
+            let config = MicroConfig {
+                shape,
+                fanin,
+                fanout,
+                ..MicroConfig::default()
+            };
+            let micro = MicroWorkflow::build(config);
+            let inputs = micro.inputs();
+            for named in micro_strategies(&micro) {
+                // The static comparison (no query-time optimizer) exposes the
+                // raw cost of each layout, as in the paper's figure.
+                let m = run_benchmark(
+                    &named.name,
+                    &micro.workflow,
+                    &inputs,
+                    named.strategy,
+                    false,
+                    |sz, run| {
+                        let mut qs = vec![micro.backward_query(query_cells)];
+                        qs[0].name = "backward".to_string();
+                        let mut fq = micro.forward_query(query_cells);
+                        fq.name = "forward".to_string();
+                        qs.push(fq);
+                        let _ = (sz, run);
+                        qs
+                    },
+                );
+                table.row(vec![
+                    fanout.to_string(),
+                    fanin.to_string(),
+                    m.strategy_name.clone(),
+                    m.query_secs("backward")
+                        .map(|s| format!("{s:.4}"))
+                        .unwrap_or_default(),
+                    m.query_secs("forward")
+                        .map(|s| format!("{s:.4}"))
+                        .unwrap_or_default(),
+                ]);
+            }
+            eprintln!("fanout={fanout} fanin={fanin} done");
+        }
+    }
+
+    println!("{}", table.render());
+    println!("csv:\n{}", table.to_csv());
+}

@@ -1,0 +1,825 @@
+//! The genomics (medulloblastoma relapse prediction) benchmark of §II-B /
+//! §VIII-B.
+//!
+//! A two-phase workflow: a modelling phase that extracts the predictive
+//! features from a training patient-feature matrix and computes a naive
+//! Bayesian-style model (UDFs *E* and *F*), and a testing phase that extracts
+//! the same features from a test matrix and predicts relapse per patient
+//! (UDFs *G* and *H*).  Ten built-in mapping operators surround the four
+//! UDFs, matching Figure 2 of the paper.
+//!
+//! The Broad Institute's real 56×100 patient-feature matrix is replaced by a
+//! synthetic cohort generator with the same shape and, as in the paper, the
+//! cohort is replicated (`scale`) to produce larger datasets.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use subzero::query::LineageQuery;
+use subzero::SubZero;
+use subzero_array::{Array, ArrayRef, Coord, Shape};
+use subzero_engine::executor::WorkflowRun;
+use subzero_engine::ops::{
+    AggregateKind, AxisAggregate, Elementwise1, Elementwise2, BinaryKind, GlobalAggregate,
+    Transpose, UnaryKind,
+};
+use subzero_engine::{
+    InputSource, LineageMode, LineageSink, OpId, OpMeta, Operator, Workflow,
+};
+
+use crate::harness::NamedQuery;
+
+/// Parameters of the synthetic cohort.
+#[derive(Clone, Copy, Debug)]
+pub struct CohortConfig {
+    /// Number of features (rows); the paper's matrix has 55 features plus a
+    /// relapse label row.
+    pub features: u32,
+    /// Number of patients (columns) before replication.
+    pub patients: u32,
+    /// Replication factor applied to the patient axis (the paper reports
+    /// results for the dataset scaled by 100×).
+    pub scale: u32,
+    /// Number of features that actually carry signal (selected by UDF E).
+    pub informative_features: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CohortConfig {
+    fn default() -> Self {
+        CohortConfig {
+            features: 56,
+            patients: 100,
+            scale: 10,
+            informative_features: 12,
+            seed: 11,
+        }
+    }
+}
+
+impl CohortConfig {
+    /// The paper's configuration: the 56×100 matrix replicated 100×.
+    pub fn paper_scale() -> Self {
+        CohortConfig {
+            scale: 100,
+            ..Default::default()
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        CohortConfig {
+            features: 12,
+            patients: 20,
+            scale: 1,
+            informative_features: 4,
+            seed: 11,
+        }
+    }
+
+    /// Shape of the generated matrices: features × (patients × scale).
+    pub fn shape(&self) -> Shape {
+        Shape::d2(self.features, self.patients * self.scale)
+    }
+}
+
+/// Generates training and test patient-feature matrices.
+///
+/// Row 0 of the training matrix holds the relapse label; informative feature
+/// rows are correlated with it, the rest are noise.
+#[derive(Clone, Debug)]
+pub struct CohortGenerator {
+    config: CohortConfig,
+}
+
+impl CohortGenerator {
+    /// Creates a generator.
+    pub fn new(config: CohortConfig) -> Self {
+        CohortGenerator { config }
+    }
+
+    fn matrix(&self, rng: &mut StdRng) -> Array {
+        let cfg = &self.config;
+        let shape = cfg.shape();
+        let mut m = Array::zeros(shape);
+        for p in 0..shape.cols() {
+            let relapse = if rng.gen_bool(0.4) { 1.0 } else { 0.0 };
+            m.set(&Coord::d2(0, p), relapse);
+            for f in 1..cfg.features {
+                let v = if f <= cfg.informative_features {
+                    // Correlated with relapse, with noise.
+                    relapse * 0.8 + rng.gen_range(-0.3..0.3)
+                } else {
+                    rng.gen_range(0.0..1.0)
+                };
+                m.set(&Coord::d2(f, p), v.clamp(0.0, 1.0));
+            }
+        }
+        m
+    }
+
+    /// Generates the `(training, test)` matrices.
+    pub fn generate(&self) -> (Array, Array) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        (self.matrix(&mut rng), self.matrix(&mut rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UDFs
+// ---------------------------------------------------------------------------
+
+/// UDFs *E* and *G*: extract the informative feature rows from a
+/// patient-feature matrix.
+///
+/// The rows to keep are chosen from the data (by variance against row 0), so
+/// the operator is not a mapping operator; each output cell depends on one
+/// input cell and the payload stores the source row index.
+#[derive(Debug, Clone)]
+pub struct ExtractFeatures {
+    /// Number of feature rows to keep.
+    pub keep: u32,
+}
+
+impl ExtractFeatures {
+    /// Creates an extractor keeping the `keep` most label-correlated rows.
+    pub fn new(keep: u32) -> Self {
+        ExtractFeatures { keep }
+    }
+
+    /// The source rows selected for the given input, ordered by output row.
+    fn selected_rows(&self, input: &Array) -> Vec<u32> {
+        let shape = input.shape();
+        // Score each feature row by absolute correlation with row 0 (label).
+        let label: Vec<f64> = (0..shape.cols())
+            .map(|p| input.get(&Coord::d2(0, p)))
+            .collect();
+        let label_mean = label.iter().sum::<f64>() / label.len() as f64;
+        let mut scored: Vec<(u32, f64)> = (1..shape.rows())
+            .map(|f| {
+                let row: Vec<f64> = (0..shape.cols())
+                    .map(|p| input.get(&Coord::d2(f, p)))
+                    .collect();
+                let row_mean = row.iter().sum::<f64>() / row.len() as f64;
+                let cov: f64 = row
+                    .iter()
+                    .zip(&label)
+                    .map(|(r, l)| (r - row_mean) * (l - label_mean))
+                    .sum();
+                (f, cov.abs())
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut rows: Vec<u32> = scored
+            .into_iter()
+            .take(self.keep as usize)
+            .map(|(f, _)| f)
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+}
+
+impl Operator for ExtractFeatures {
+    fn name(&self) -> &str {
+        "udf_extract_features"
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        Shape::d2(self.keep, input_shapes[0].cols())
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Full, LineageMode::Pay, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let input = &inputs[0];
+        let shape = input.shape();
+        let rows = self.selected_rows(input);
+        let out_shape = Shape::d2(rows.len() as u32, shape.cols());
+        let mut out = Array::zeros(out_shape);
+        let full = cur_modes.contains(&LineageMode::Full);
+        let pay = cur_modes.contains(&LineageMode::Pay) || cur_modes.contains(&LineageMode::Comp);
+        for (out_row, &src_row) in rows.iter().enumerate() {
+            for p in 0..shape.cols() {
+                let oc = Coord::d2(out_row as u32, p);
+                let ic = Coord::d2(src_row, p);
+                out.set(&oc, input.get(&ic));
+                if full {
+                    sink.lwrite(vec![oc], vec![vec![ic]]);
+                }
+                if pay {
+                    sink.lwrite_payload(vec![oc], (src_row as u16).to_le_bytes().to_vec());
+                }
+            }
+        }
+        out
+    }
+
+    fn map_payload(
+        &self,
+        outcell: &Coord,
+        payload: &[u8],
+        _i: usize,
+        meta: &OpMeta,
+    ) -> Option<Vec<Coord>> {
+        if payload.len() < 2 {
+            return Some(vec![]);
+        }
+        let src_row = u16::from_le_bytes([payload[0], payload[1]]) as u32;
+        let shape = meta.input_shape(0);
+        if src_row < shape.rows() && outcell.get(1) < shape.cols() {
+            Some(vec![Coord::d2(src_row, outcell.get(1))])
+        } else {
+            Some(vec![])
+        }
+    }
+}
+
+/// UDF *F*: compute the model.
+///
+/// For each extracted feature the model stores, per class (no relapse /
+/// relapse), the mean feature value over the training patients of that class
+/// — a naive-Bayes style summary.  Every model cell depends on the feature's
+/// entire row of the extracted training matrix plus the label row; the
+/// payload stores the feature (row) index.
+#[derive(Debug, Clone, Default)]
+pub struct ComputeModel;
+
+impl Operator for ComputeModel {
+    fn name(&self) -> &str {
+        "udf_compute_model"
+    }
+
+    fn num_inputs(&self) -> usize {
+        2
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        Shape::d2(input_shapes[0].rows(), 2)
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Full, LineageMode::Pay, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let features = &inputs[0]; // extracted features × patients
+        let labels = &inputs[1]; // 1 × patients (relapse labels)
+        let shape = features.shape();
+        let patients = shape.cols();
+        let out_shape = Shape::d2(shape.rows(), 2);
+        let mut out = Array::zeros(out_shape);
+        let full = cur_modes.contains(&LineageMode::Full);
+        let pay = cur_modes.contains(&LineageMode::Pay) || cur_modes.contains(&LineageMode::Comp);
+        for f in 0..shape.rows() {
+            let mut sums = [0.0f64; 2];
+            let mut counts = [0.0f64; 2];
+            for p in 0..patients {
+                let class = if labels.get(&Coord::d2(0, p)) > 0.5 { 1 } else { 0 };
+                sums[class] += features.get(&Coord::d2(f, p));
+                counts[class] += 1.0;
+            }
+            for class in 0..2 {
+                let mean = if counts[class] > 0.0 { sums[class] / counts[class] } else { 0.0 };
+                out.set(&Coord::d2(f, class as u32), mean);
+            }
+            let feature_row: Vec<Coord> = (0..patients).map(|p| Coord::d2(f, p)).collect();
+            let label_row: Vec<Coord> = (0..patients).map(|p| Coord::d2(0, p)).collect();
+            let outcells = vec![Coord::d2(f, 0), Coord::d2(f, 1)];
+            if full {
+                sink.lwrite(outcells.clone(), vec![feature_row, label_row]);
+            }
+            if pay {
+                sink.lwrite_payload(outcells, (f as u16).to_le_bytes().to_vec());
+            }
+        }
+        out
+    }
+
+    fn map_payload(
+        &self,
+        _outcell: &Coord,
+        payload: &[u8],
+        input_idx: usize,
+        meta: &OpMeta,
+    ) -> Option<Vec<Coord>> {
+        if payload.len() < 2 {
+            return Some(vec![]);
+        }
+        let f = u16::from_le_bytes([payload[0], payload[1]]) as u32;
+        let patients = meta.input_shape(0).cols();
+        Some(match input_idx {
+            0 => (0..patients).map(|p| Coord::d2(f, p)).collect(),
+            _ => (0..patients).map(|p| Coord::d2(0, p)).collect(),
+        })
+    }
+
+    fn spans_entire_array(&self, input_idx: usize, backward: bool) -> bool {
+        // The whole extracted matrix feeds the model and vice versa; the
+        // label row (input 1) is entirely consumed too, but the model's
+        // backward lineage into input 1 is only row 0 of the *training*
+        // matrix further upstream — still the entire input at this step.
+        let _ = (input_idx, backward);
+        true
+    }
+}
+
+/// UDF *H*: predict relapse per test patient.
+///
+/// Each prediction compares the patient's extracted feature column against
+/// the two class profiles of the model; it therefore depends on the entire
+/// model and on that patient's column.  The payload stores the patient
+/// (column) index.
+#[derive(Debug, Clone, Default)]
+pub struct PredictRelapse;
+
+impl Operator for PredictRelapse {
+    fn name(&self) -> &str {
+        "udf_predict_relapse"
+    }
+
+    fn num_inputs(&self) -> usize {
+        2
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        Shape::d2(1, input_shapes[1].cols())
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Full, LineageMode::Pay, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let model = &inputs[0]; // features × 2
+        let test = &inputs[1]; // features × patients
+        let features = model.shape().rows();
+        let patients = test.shape().cols();
+        let mut out = Array::zeros(Shape::d2(1, patients));
+        let full = cur_modes.contains(&LineageMode::Full);
+        let pay = cur_modes.contains(&LineageMode::Pay) || cur_modes.contains(&LineageMode::Comp);
+        let model_cells: Vec<Coord> = model.shape().iter().collect();
+        for p in 0..patients {
+            // Distance to each class profile; predict the closer class's
+            // posterior-like score in [0, 1].
+            let mut dist = [0.0f64; 2];
+            for f in 0..features {
+                let v = test.get(&Coord::d2(f, p));
+                for class in 0..2 {
+                    let m = model.get(&Coord::d2(f, class as u32));
+                    dist[class] += (v - m) * (v - m);
+                }
+            }
+            let score = dist[0] / (dist[0] + dist[1]).max(1e-12);
+            out.set(&Coord::d2(0, p), score);
+            let column: Vec<Coord> = (0..features).map(|f| Coord::d2(f, p)).collect();
+            if full {
+                sink.lwrite(vec![Coord::d2(0, p)], vec![model_cells.clone(), column]);
+            }
+            if pay {
+                sink.lwrite_payload(vec![Coord::d2(0, p)], (p as u32).to_le_bytes().to_vec());
+            }
+        }
+        out
+    }
+
+    fn map_payload(
+        &self,
+        _outcell: &Coord,
+        payload: &[u8],
+        input_idx: usize,
+        meta: &OpMeta,
+    ) -> Option<Vec<Coord>> {
+        if payload.len() < 4 {
+            return Some(vec![]);
+        }
+        let p = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+        Some(match input_idx {
+            0 => meta.input_shape(0).iter().collect(),
+            _ => {
+                let features = meta.input_shape(1).rows();
+                (0..features).map(|f| Coord::d2(f, p)).collect()
+            }
+        })
+    }
+
+    fn spans_entire_array(&self, _input_idx: usize, _backward: bool) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workflow
+// ---------------------------------------------------------------------------
+
+/// The genomics workflow: 10 built-in operators and 4 UDFs.
+#[derive(Debug, Clone)]
+pub struct GenomicsWorkflow {
+    /// The workflow specification.
+    pub workflow: Arc<Workflow>,
+    /// Shape of the training/test matrices.
+    pub matrix_shape: Shape,
+    /// Training-side clamp (built-in).
+    pub train_clamp: OpId,
+    /// Training-side centering (built-in).
+    pub train_center: OpId,
+    /// Training-side scaling (built-in).
+    pub train_scale: OpId,
+    /// Training label-row per-feature mean (built-in, QC sink).
+    pub train_row_mean: OpId,
+    /// UDF E: extract features from the training matrix.
+    pub extract_train: OpId,
+    /// Transposed extraction (built-in, visualisation sink).
+    pub extract_t: OpId,
+    /// UDF F: compute the model.
+    pub compute_model: OpId,
+    /// Model normalisation (built-in).
+    pub model_scale: OpId,
+    /// Test-side clamp (built-in).
+    pub test_clamp: OpId,
+    /// Test-side centering (built-in).
+    pub test_center: OpId,
+    /// Test-side scaling (built-in).
+    pub test_scale: OpId,
+    /// UDF G: extract features from the test matrix.
+    pub extract_test: OpId,
+    /// UDF H: predict relapse per patient.
+    pub predict: OpId,
+    /// Thresholded predictions (built-in).
+    pub predict_round: OpId,
+    /// Total predicted relapses (built-in, all-to-all sink).
+    pub relapse_count: OpId,
+}
+
+impl GenomicsWorkflow {
+    /// Builds the workflow for the given cohort configuration.
+    pub fn build(config: &CohortConfig) -> Self {
+        let mut b = Workflow::builder("genomics");
+        let keep = config.informative_features;
+
+        // Training phase.
+        let train_clamp = b.add(
+            Arc::new(Elementwise1::new(UnaryKind::Clamp(0.0, 1.0))),
+            vec![InputSource::External("training".to_string())],
+        );
+        let train_center = b.add_unary(
+            Arc::new(Elementwise1::new(UnaryKind::Offset(-0.5))),
+            train_clamp,
+        );
+        let train_scale = b.add_unary(
+            Arc::new(Elementwise1::new(UnaryKind::Scale(2.0))),
+            train_center,
+        );
+        let train_row_mean = b.add_unary(
+            Arc::new(AxisAggregate::new(AggregateKind::Mean, 1)),
+            train_clamp,
+        );
+        let extract_train = b.add_unary(Arc::new(ExtractFeatures::new(keep)), train_scale);
+        let extract_t = b.add_unary(Arc::new(Transpose), extract_train);
+        // The model consumes the extracted features and the (clamped) label
+        // row; the label row is obtained by slicing row 0 of the training
+        // matrix with a built-in.
+        let label_row = b.add_unary(
+            Arc::new(subzero_engine::ops::SliceOp::new(
+                Coord::d2(0, 0),
+                Coord::d2(0, config.shape().cols() - 1),
+            )),
+            train_clamp,
+        );
+        let compute_model = b.add_binary(Arc::new(ComputeModel), extract_train, label_row);
+        let model_scale = b.add_unary(Arc::new(Elementwise1::new(UnaryKind::Scale(1.0))), compute_model);
+
+        // Testing phase.
+        let test_clamp = b.add(
+            Arc::new(Elementwise1::new(UnaryKind::Clamp(0.0, 1.0))),
+            vec![InputSource::External("test".to_string())],
+        );
+        let test_center = b.add_unary(
+            Arc::new(Elementwise1::new(UnaryKind::Offset(-0.5))),
+            test_clamp,
+        );
+        let test_scale = b.add_unary(
+            Arc::new(Elementwise1::new(UnaryKind::Scale(2.0))),
+            test_center,
+        );
+        let extract_test = b.add_unary(Arc::new(ExtractFeatures::new(keep)), test_scale);
+        let predict = b.add_binary(Arc::new(PredictRelapse), model_scale, extract_test);
+        let predict_round = b.add_unary(
+            Arc::new(Elementwise1::new(UnaryKind::Threshold(0.5))),
+            predict,
+        );
+        let relapse_count = b.add_unary(
+            Arc::new(GlobalAggregate::new(AggregateKind::Sum)),
+            predict_round,
+        );
+        // One more built-in provides a relapse-rate style sink that combines
+        // the count with itself (a stand-in for a report-formatting step).
+        let _relapse_rate = b.add_binary(
+            Arc::new(Elementwise2::new(BinaryKind::Min)),
+            relapse_count,
+            relapse_count,
+        );
+
+        let workflow = Arc::new(b.build().expect("genomics workflow is a valid DAG"));
+        GenomicsWorkflow {
+            workflow,
+            matrix_shape: config.shape(),
+            train_clamp,
+            train_center,
+            train_scale,
+            train_row_mean,
+            extract_train,
+            extract_t,
+            compute_model,
+            model_scale,
+            test_clamp,
+            test_center,
+            test_scale,
+            extract_test,
+            predict,
+            predict_round,
+            relapse_count,
+        }
+    }
+
+    /// Ids of the four UDFs (E, F, G, H).
+    pub fn udfs(&self) -> Vec<OpId> {
+        vec![
+            self.extract_train,
+            self.compute_model,
+            self.extract_test,
+            self.predict,
+        ]
+    }
+
+    /// External input map.
+    pub fn inputs(training: Array, test: Array) -> HashMap<String, Array> {
+        let mut m = HashMap::new();
+        m.insert("training".to_string(), training);
+        m.insert("test".to_string(), test);
+        m
+    }
+
+    /// The benchmark's lineage queries: two backward, two forward, matching
+    /// the visualisation-driven queries of §II-B.
+    pub fn queries(&self, sz: &mut SubZero, run: &WorkflowRun) -> Vec<NamedQuery> {
+        let predictions = sz
+            .engine()
+            .output_of(run, self.predict_round)
+            .expect("prediction output");
+        // The first predicted relapse (or patient 0 if none).
+        let relapse_cell = predictions
+            .coords_where(|v| v > 0.5)
+            .first()
+            .copied()
+            .unwrap_or(Coord::d2(0, 0));
+
+        // BQ 0: a relapse prediction -> training matrix (through the model).
+        let bq0 = LineageQuery::backward(
+            vec![relapse_cell],
+            vec![
+                (self.predict_round, 0),
+                (self.predict, 0),
+                (self.model_scale, 0),
+                (self.compute_model, 0),
+                (self.extract_train, 0),
+                (self.train_scale, 0),
+                (self.train_center, 0),
+                (self.train_clamp, 0),
+            ],
+        );
+
+        // BQ 1: a model feature -> training matrix.
+        let bq1 = LineageQuery::backward(
+            vec![Coord::d2(0, 1)],
+            vec![
+                (self.compute_model, 0),
+                (self.extract_train, 0),
+                (self.train_scale, 0),
+                (self.train_center, 0),
+                (self.train_clamp, 0),
+            ],
+        );
+
+        // A handful of training cells: one informative feature's values for
+        // the first few patients.
+        let training_cells: Vec<Coord> = (0..8.min(self.matrix_shape.cols()))
+            .map(|p| Coord::d2(1, p))
+            .collect();
+
+        // FQ 0: training cells -> the model.
+        let fq0 = LineageQuery::forward(
+            training_cells.clone(),
+            vec![
+                (self.train_clamp, 0),
+                (self.train_center, 0),
+                (self.train_scale, 0),
+                (self.extract_train, 0),
+                (self.compute_model, 0),
+            ],
+        );
+
+        // FQ 1: training cells -> the final predictions.
+        let fq1 = LineageQuery::forward(
+            training_cells,
+            vec![
+                (self.train_clamp, 0),
+                (self.train_center, 0),
+                (self.train_scale, 0),
+                (self.extract_train, 0),
+                (self.compute_model, 0),
+                (self.model_scale, 0),
+                (self.predict, 0),
+                (self.predict_round, 0),
+            ],
+        );
+
+        vec![
+            NamedQuery::new("BQ 0", bq0),
+            NamedQuery::new("BQ 1", bq1),
+            NamedQuery::new("FQ 0", fq0),
+            NamedQuery::new("FQ 1", fq1),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subzero::model::{LineageStrategy, StorageStrategy};
+    use subzero_engine::OperatorExt;
+
+    #[test]
+    fn cohort_generator_shapes_and_determinism() {
+        let cfg = CohortConfig::tiny();
+        let (train, test) = CohortGenerator::new(cfg).generate();
+        assert_eq!(train.shape(), cfg.shape());
+        assert_eq!(test.shape(), cfg.shape());
+        let (train2, _) = CohortGenerator::new(cfg).generate();
+        assert_eq!(train, train2);
+        // Labels are binary.
+        for p in 0..cfg.shape().cols() {
+            let label = train.get(&Coord::d2(0, p));
+            assert!(label == 0.0 || label == 1.0);
+        }
+    }
+
+    #[test]
+    fn paper_scale_replicates_patients() {
+        let cfg = CohortConfig::paper_scale();
+        assert_eq!(cfg.shape(), Shape::d2(56, 10_000));
+    }
+
+    #[test]
+    fn workflow_structure() {
+        let cfg = CohortConfig::tiny();
+        let wf = GenomicsWorkflow::build(&cfg);
+        assert_eq!(wf.udfs().len(), 4);
+        // 4 UDFs + built-ins; every UDF is a non-mapping operator.
+        for id in wf.udfs() {
+            assert!(!wf.workflow.node(id).unwrap().operator.is_mapping());
+        }
+        let builtins = wf.workflow.len() - 4;
+        assert!(builtins >= 10, "at least ten built-in operators, got {builtins}");
+    }
+
+    #[test]
+    fn extract_features_keeps_informative_rows() {
+        let cfg = CohortConfig::tiny();
+        let (train, _) = CohortGenerator::new(cfg).generate();
+        let op = ExtractFeatures::new(cfg.informative_features);
+        let rows = op.selected_rows(&train);
+        assert_eq!(rows.len(), cfg.informative_features as usize);
+        // The informative rows are 1..=informative_features by construction;
+        // correlation-based selection should recover most of them.
+        let informative: Vec<u32> = (1..=cfg.informative_features).collect();
+        let recovered = rows.iter().filter(|r| informative.contains(r)).count();
+        assert!(
+            recovered * 2 >= informative.len(),
+            "selected {rows:?}, expected mostly {informative:?}"
+        );
+        // map_p maps an output cell back to the stored source row.
+        let meta = OpMeta::new(vec![cfg.shape()], Shape::d2(cfg.informative_features, cfg.shape().cols()));
+        let cells = op
+            .map_payload(&Coord::d2(0, 3), &(5u16).to_le_bytes(), 0, &meta)
+            .unwrap();
+        assert_eq!(cells, vec![Coord::d2(5, 3)]);
+    }
+
+    #[test]
+    fn compute_model_separates_classes() {
+        let shape = Shape::d2(2, 6);
+        // Feature row 0: high for relapse patients; labels alternate.
+        let mut features = Array::zeros(shape);
+        let mut labels = Array::zeros(Shape::d2(1, 6));
+        for p in 0..6 {
+            let relapse = p % 2 == 0;
+            labels.set(&Coord::d2(0, p), if relapse { 1.0 } else { 0.0 });
+            features.set(&Coord::d2(0, p), if relapse { 0.9 } else { 0.1 });
+            features.set(&Coord::d2(1, p), 0.5);
+        }
+        let op = ComputeModel;
+        let out = op.run(
+            &[Arc::new(features), Arc::new(labels)],
+            &[LineageMode::Blackbox],
+            &mut subzero_engine::BufferSink::new(),
+        );
+        assert_eq!(out.shape(), Shape::d2(2, 2));
+        assert!(out.get(&Coord::d2(0, 1)) > out.get(&Coord::d2(0, 0)));
+        assert!((out.get(&Coord::d2(1, 0)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn end_to_end_queries_return_lineage_under_all_strategies() {
+        let cfg = CohortConfig::tiny();
+        let (train, test) = CohortGenerator::new(cfg).generate();
+        let wf = GenomicsWorkflow::build(&cfg);
+
+        for strategy_ctor in [
+            LineageStrategy::new(),
+            {
+                let mut s = LineageStrategy::new();
+                for udf in wf.udfs() {
+                    s.set(udf, vec![StorageStrategy::pay_one()]);
+                }
+                s
+            },
+            {
+                let mut s = LineageStrategy::new();
+                for udf in wf.udfs() {
+                    s.set(
+                        udf,
+                        vec![StorageStrategy::full_one(), StorageStrategy::full_one_forward()],
+                    );
+                }
+                s
+            },
+        ] {
+            let mut sz = SubZero::new();
+            sz.set_strategy(strategy_ctor);
+            let run = sz
+                .execute(&wf.workflow, &GenomicsWorkflow::inputs(train.clone(), test.clone()))
+                .unwrap();
+            let queries = wf.queries(&mut sz, &run);
+            assert_eq!(queries.len(), 4);
+            for nq in &queries {
+                let result = sz.query(&run, &nq.query).expect("query executes");
+                assert!(
+                    !result.cells.is_empty(),
+                    "query {} returned no lineage",
+                    nq.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_and_backward_answers_are_consistent() {
+        // If a training cell appears in the backward lineage of a prediction,
+        // that prediction must appear in the training cell's forward lineage.
+        let cfg = CohortConfig::tiny();
+        let (train, test) = CohortGenerator::new(cfg).generate();
+        let wf = GenomicsWorkflow::build(&cfg);
+        let mut sz = SubZero::new();
+        let run = sz
+            .execute(&wf.workflow, &GenomicsWorkflow::inputs(train, test))
+            .unwrap();
+        let queries = wf.queries(&mut sz, &run);
+        let bq0 = &queries[0];
+        let fq1 = &queries[3];
+        let backward = sz.query(&run, &bq0.query).unwrap();
+        // The backward query returns training-matrix cells; FQ1 starts from
+        // feature row 1 cells.  If any of those cells are in the backward
+        // result, the forward result must contain the original prediction.
+        let overlap = fq1
+            .query
+            .cells
+            .iter()
+            .any(|c| backward.cells.contains(c));
+        if overlap {
+            let forward = sz.query(&run, &fq1.query).unwrap();
+            assert!(forward.cells.contains(&bq0.query.cells[0]));
+        }
+    }
+}

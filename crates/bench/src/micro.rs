@@ -1,0 +1,373 @@
+//! The synthetic microbenchmark of §VIII-C.
+//!
+//! A single operator processes a square array and generates lineage with
+//! tunable characteristics: region pairs are created by picking a cluster of
+//! output cells whose radius is defined by the *fanout*, and *fanin* input
+//! cells from the same area, until the pairs cover a configurable fraction of
+//! the output array (10% in the paper).  The payload variant stores
+//! `fanin × 4` bytes per pair.  Figures 8 and 9 sweep the fanin and fanout of
+//! this operator across the storage strategies.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use subzero::query::LineageQuery;
+use subzero::SubZero;
+use subzero_array::{Array, ArrayRef, Coord, Shape};
+use subzero_engine::executor::WorkflowRun;
+use subzero_engine::{
+    InputSource, LineageMode, LineageSink, OpId, OpMeta, Operator, Workflow,
+};
+
+use crate::harness::NamedQuery;
+
+/// Parameters of the synthetic lineage generator.
+#[derive(Clone, Copy, Debug)]
+pub struct MicroConfig {
+    /// Array shape (1000×1000 in the paper).
+    pub shape: Shape,
+    /// Number of input cells per region pair.
+    pub fanin: usize,
+    /// Number of output cells per region pair (the cluster radius follows
+    /// from it).
+    pub fanout: usize,
+    /// Fraction of output cells covered by lineage (0.1 in the paper).
+    pub coverage: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        MicroConfig {
+            shape: Shape::d2(1000, 1000),
+            fanin: 10,
+            fanout: 1,
+            coverage: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+impl MicroConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        MicroConfig {
+            shape: Shape::d2(64, 64),
+            fanin: 5,
+            fanout: 3,
+            coverage: 0.1,
+            seed: 42,
+        }
+    }
+
+    /// Number of region pairs the generator will produce.
+    pub fn num_pairs(&self) -> usize {
+        let target = (self.shape.num_cells() as f64 * self.coverage) as usize;
+        (target / self.fanout.max(1)).max(1)
+    }
+}
+
+/// One synthetically generated region pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntheticPair {
+    /// Output cells of the pair.
+    pub outcells: Vec<Coord>,
+    /// Input cells of the pair.
+    pub incells: Vec<Coord>,
+}
+
+/// Deterministically generates the benchmark's region pairs from the config.
+pub fn generate_pairs(config: &MicroConfig) -> Vec<SyntheticPair> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let shape = config.shape;
+    let cluster_radius = ((config.fanout.max(config.fanin) as f64).sqrt().ceil() as u32).max(1);
+    let mut pairs = Vec::with_capacity(config.num_pairs());
+    for _ in 0..config.num_pairs() {
+        let center = Coord::d2(
+            rng.gen_range(0..shape.rows()),
+            rng.gen_range(0..shape.cols()),
+        );
+        let area = shape.neighborhood(&center, cluster_radius * 2);
+        let mut outcells = Vec::with_capacity(config.fanout);
+        let mut incells = Vec::with_capacity(config.fanin);
+        for i in 0..config.fanout {
+            outcells.push(area[(i * 7) % area.len()]);
+        }
+        for i in 0..config.fanin {
+            incells.push(area[(i * 11 + 3) % area.len()]);
+        }
+        outcells.sort_unstable();
+        outcells.dedup();
+        incells.sort_unstable();
+        incells.dedup();
+        pairs.push(SyntheticPair { outcells, incells });
+    }
+    pairs
+}
+
+/// The synthetic operator: copies its input and emits the generated pairs as
+/// lineage in whatever modes are requested.
+#[derive(Debug, Clone)]
+pub struct SyntheticOp {
+    config: MicroConfig,
+    pairs: Vec<SyntheticPair>,
+}
+
+impl SyntheticOp {
+    /// Creates the operator (pre-generating its pairs so repeated runs are
+    /// identical — a requirement for black-box re-execution).
+    pub fn new(config: MicroConfig) -> Self {
+        SyntheticOp {
+            pairs: generate_pairs(&config),
+            config,
+        }
+    }
+
+    /// The pairs this operator emits.
+    pub fn pairs(&self) -> &[SyntheticPair] {
+        &self.pairs
+    }
+
+    fn payload_for(&self, pair: &SyntheticPair) -> Vec<u8> {
+        // fanin × 4 bytes: the packed linear index of each input cell.
+        let mut payload = Vec::with_capacity(pair.incells.len() * 4);
+        for c in &pair.incells {
+            payload.extend_from_slice(&(self.config.shape.ravel(c) as u32).to_le_bytes());
+        }
+        payload
+    }
+}
+
+impl Operator for SyntheticOp {
+    fn name(&self) -> &str {
+        "synthetic"
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        input_shapes[0]
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![
+            LineageMode::Full,
+            LineageMode::Pay,
+            LineageMode::Comp,
+            LineageMode::Blackbox,
+        ]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let full = cur_modes.contains(&LineageMode::Full);
+        let pay = cur_modes.contains(&LineageMode::Pay) || cur_modes.contains(&LineageMode::Comp);
+        for pair in &self.pairs {
+            if full {
+                sink.lwrite(pair.outcells.clone(), vec![pair.incells.clone()]);
+            }
+            if pay {
+                sink.lwrite_payload(pair.outcells.clone(), self.payload_for(pair));
+            }
+        }
+        (*inputs[0]).clone()
+    }
+
+    fn map_payload(
+        &self,
+        _outcell: &Coord,
+        payload: &[u8],
+        _i: usize,
+        meta: &OpMeta,
+    ) -> Option<Vec<Coord>> {
+        let shape = meta.input_shape(0);
+        let mut cells = Vec::with_capacity(payload.len() / 4);
+        for chunk in payload.chunks_exact(4) {
+            let idx = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) as usize;
+            if idx < shape.num_cells() {
+                cells.push(shape.unravel(idx));
+            }
+        }
+        Some(cells)
+    }
+}
+
+/// The single-operator micro workflow and helpers for building its queries.
+#[derive(Debug, Clone)]
+pub struct MicroWorkflow {
+    /// The workflow (one synthetic operator reading one external array).
+    pub workflow: Arc<Workflow>,
+    /// Configuration used to build it.
+    pub config: MicroConfig,
+    /// The synthetic operator's id.
+    pub op: OpId,
+    /// The generated pairs (for query construction and oracles).
+    pub pairs: Vec<SyntheticPair>,
+}
+
+impl MicroWorkflow {
+    /// Builds the workflow.
+    pub fn build(config: MicroConfig) -> Self {
+        let op_impl = SyntheticOp::new(config);
+        let pairs = op_impl.pairs().to_vec();
+        let mut b = Workflow::builder("micro");
+        let op = b.add(
+            Arc::new(op_impl),
+            vec![InputSource::External("input".to_string())],
+        );
+        MicroWorkflow {
+            workflow: Arc::new(b.build().expect("micro workflow builds")),
+            config,
+            op,
+            pairs,
+        }
+    }
+
+    /// The external input map (a zero array: the operator's behaviour does
+    /// not depend on values).
+    pub fn inputs(&self) -> HashMap<String, Array> {
+        let mut m = HashMap::new();
+        m.insert("input".to_string(), Array::zeros(self.config.shape));
+        m
+    }
+
+    /// A backward query over `n` output cells that are known to have lineage.
+    pub fn backward_query(&self, n: usize) -> NamedQuery {
+        let cells: Vec<Coord> = self
+            .pairs
+            .iter()
+            .flat_map(|p| p.outcells.iter().copied())
+            .take(n)
+            .collect();
+        NamedQuery::new(
+            format!("BQ({} cells)", cells.len()),
+            LineageQuery::backward(cells, vec![(self.op, 0)]),
+        )
+    }
+
+    /// A forward query over `n` input cells that are known to have lineage.
+    pub fn forward_query(&self, n: usize) -> NamedQuery {
+        let cells: Vec<Coord> = self
+            .pairs
+            .iter()
+            .flat_map(|p| p.incells.iter().copied())
+            .take(n)
+            .collect();
+        NamedQuery::new(
+            format!("FQ({} cells)", cells.len()),
+            LineageQuery::forward(cells, vec![(self.op, 0)]),
+        )
+    }
+
+    /// Benchmark queries of §VIII-C: 1000-cell backward and forward queries.
+    pub fn queries(&self, _sz: &mut SubZero, _run: &WorkflowRun) -> Vec<NamedQuery> {
+        vec![self.backward_query(1000), self.forward_query(1000)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subzero::model::{LineageStrategy, StorageStrategy};
+
+    #[test]
+    fn pair_generation_is_deterministic_and_respects_coverage() {
+        let cfg = MicroConfig::tiny();
+        let a = generate_pairs(&cfg);
+        let b = generate_pairs(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.num_pairs());
+        let total_out: usize = a.iter().map(|p| p.outcells.len()).sum();
+        let target = (cfg.shape.num_cells() as f64 * cfg.coverage) as usize;
+        assert!(total_out <= target + cfg.fanout * 2);
+        for pair in &a {
+            assert!(!pair.outcells.is_empty());
+            assert!(!pair.incells.is_empty());
+            assert!(pair.incells.len() <= cfg.fanin);
+            assert!(pair.outcells.len() <= cfg.fanout);
+        }
+    }
+
+    #[test]
+    fn fanout_controls_pair_count() {
+        let low = MicroConfig {
+            fanout: 1,
+            ..MicroConfig::tiny()
+        };
+        let high = MicroConfig {
+            fanout: 16,
+            ..MicroConfig::tiny()
+        };
+        assert!(generate_pairs(&low).len() > generate_pairs(&high).len());
+    }
+
+    #[test]
+    fn payload_roundtrips_through_map_payload() {
+        let cfg = MicroConfig::tiny();
+        let op = SyntheticOp::new(cfg);
+        let meta = OpMeta::new(vec![cfg.shape], cfg.shape);
+        let pair = &op.pairs()[0];
+        let payload = op.payload_for(pair);
+        assert_eq!(payload.len(), pair.incells.len() * 4);
+        let cells = op
+            .map_payload(&pair.outcells[0], &payload, 0, &meta)
+            .unwrap();
+        assert_eq!(cells.len(), pair.incells.len());
+        for c in &pair.incells {
+            assert!(cells.contains(c));
+        }
+    }
+
+    #[test]
+    fn queries_agree_across_strategies() {
+        let cfg = MicroConfig::tiny();
+        let micro = MicroWorkflow::build(cfg);
+        let strategies: Vec<(&str, LineageStrategy)> = vec![
+            ("blackbox", LineageStrategy::new()),
+            ("full_one", LineageStrategy::uniform([micro.op], vec![StorageStrategy::full_one()])),
+            ("full_many", LineageStrategy::uniform([micro.op], vec![StorageStrategy::full_many()])),
+            ("pay_one", LineageStrategy::uniform([micro.op], vec![StorageStrategy::pay_one()])),
+            ("pay_many", LineageStrategy::uniform([micro.op], vec![StorageStrategy::pay_many()])),
+            (
+                "full_fwd",
+                LineageStrategy::uniform([micro.op], vec![StorageStrategy::full_one_forward()]),
+            ),
+        ];
+        let mut reference_back: Option<Vec<Coord>> = None;
+        let mut reference_fwd: Option<Vec<Coord>> = None;
+        for (name, strategy) in strategies {
+            let mut sz = SubZero::new();
+            sz.set_strategy(strategy);
+            let run = sz.execute(&micro.workflow, &micro.inputs()).unwrap();
+            let bq = micro.backward_query(50);
+            let fq = micro.forward_query(50);
+            let back = sz.query(&run, &bq.query).unwrap().cells.to_coords();
+            let fwd = sz.query(&run, &fq.query).unwrap().cells.to_coords();
+            match &reference_back {
+                None => {
+                    reference_back = Some(back);
+                    reference_fwd = Some(fwd);
+                }
+                Some(expected) => {
+                    assert_eq!(&back, expected, "backward answer differs under {name}");
+                    assert_eq!(&fwd, reference_fwd.as_ref().unwrap(), "forward answer differs under {name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn micro_queries_have_requested_sizes() {
+        let micro = MicroWorkflow::build(MicroConfig::tiny());
+        let bq = micro.backward_query(10);
+        assert_eq!(bq.query.cells.len(), 10);
+        let fq = micro.forward_query(10);
+        assert_eq!(fq.query.cells.len(), 10);
+    }
+}

@@ -1,0 +1,196 @@
+//! The named lineage strategies of Table II.
+//!
+//! Built-in operators are mapping operators and are handled by mapping
+//! lineage whenever a configuration allows it; the named strategies therefore
+//! mostly differ in what the UDFs store.  The astronomy `BlackBox` baseline
+//! is the exception: it re-runs *every* operator (built-ins included) at
+//! query time, which is expressed by pinning every operator to an explicit
+//! black-box assignment.
+
+use subzero::model::{LineageStrategy, StorageStrategy};
+use subzero_engine::OpId;
+
+use crate::astronomy::AstronomyWorkflow;
+use crate::genomics::GenomicsWorkflow;
+use crate::micro::MicroWorkflow;
+
+/// A named strategy configuration: a display name plus the workflow-level
+/// assignment it induces.
+#[derive(Clone, Debug)]
+pub struct NamedStrategy {
+    /// Table II name (e.g. `FullMany`, `PayBoth`, `SubZero`).
+    pub name: String,
+    /// The assignment to install before executing the workflow.
+    pub strategy: LineageStrategy,
+}
+
+impl NamedStrategy {
+    fn new(name: &str, strategy: LineageStrategy) -> Self {
+        NamedStrategy {
+            name: name.to_string(),
+            strategy,
+        }
+    }
+}
+
+fn assign_all(ops: &[OpId], strategies: Vec<StorageStrategy>) -> LineageStrategy {
+    let mut s = LineageStrategy::new();
+    for &op in ops {
+        s.set(op, strategies.clone());
+    }
+    s
+}
+
+/// Table II, astronomy benchmark: `BlackBox`, `BlackBoxOpt`, `FullOne`,
+/// `FullMany`, `SubZero`.
+pub fn astronomy_strategies(wf: &AstronomyWorkflow) -> Vec<NamedStrategy> {
+    let udfs = wf.udfs();
+    let all_ops: Vec<OpId> = wf.workflow.nodes().iter().map(|n| n.id).collect();
+    vec![
+        // Every operator (built-ins included) is re-run at query time.
+        NamedStrategy::new(
+            "BlackBox",
+            assign_all(&all_ops, vec![StorageStrategy::blackbox()]),
+        ),
+        // Built-ins use mapping lineage, UDFs stay black-box.
+        NamedStrategy::new("BlackBoxOpt", LineageStrategy::new()),
+        // Like BlackBoxOpt, but UDFs store full lineage.
+        NamedStrategy::new(
+            "FullOne",
+            assign_all(&udfs, vec![StorageStrategy::full_one()]),
+        ),
+        NamedStrategy::new(
+            "FullMany",
+            assign_all(&udfs, vec![StorageStrategy::full_many()]),
+        ),
+        // The optimizer's pick: composite lineage stored with PayOne for the
+        // cosmic-ray UDFs and payload lineage for star detection.
+        NamedStrategy::new(
+            "SubZero",
+            assign_all(&udfs, vec![StorageStrategy::composite_one()]),
+        ),
+    ]
+}
+
+/// Table II, genomics benchmark: `BlackBox`, `FullOne`, `FullMany`,
+/// `FullForw`, `FullBoth`, `PayOne`, `PayMany`, `PayBoth`.
+pub fn genomics_strategies(wf: &GenomicsWorkflow) -> Vec<NamedStrategy> {
+    let udfs = wf.udfs();
+    vec![
+        NamedStrategy::new("BlackBox", LineageStrategy::new()),
+        NamedStrategy::new(
+            "FullOne",
+            assign_all(&udfs, vec![StorageStrategy::full_one()]),
+        ),
+        NamedStrategy::new(
+            "FullMany",
+            assign_all(&udfs, vec![StorageStrategy::full_many()]),
+        ),
+        NamedStrategy::new(
+            "FullForw",
+            assign_all(&udfs, vec![StorageStrategy::full_one_forward()]),
+        ),
+        NamedStrategy::new(
+            "FullBoth",
+            assign_all(
+                &udfs,
+                vec![StorageStrategy::full_one(), StorageStrategy::full_one_forward()],
+            ),
+        ),
+        NamedStrategy::new(
+            "PayOne",
+            assign_all(&udfs, vec![StorageStrategy::pay_one()]),
+        ),
+        NamedStrategy::new(
+            "PayMany",
+            assign_all(&udfs, vec![StorageStrategy::pay_many()]),
+        ),
+        NamedStrategy::new(
+            "PayBoth",
+            assign_all(
+                &udfs,
+                vec![StorageStrategy::pay_one(), StorageStrategy::full_one_forward()],
+            ),
+        ),
+    ]
+}
+
+/// The strategies compared by the microbenchmark (Figures 8 and 9):
+/// `←PayMany`, `←PayOne`, `←FullMany`, `←FullOne`, `→FullOne`, `BlackBox`.
+pub fn micro_strategies(wf: &MicroWorkflow) -> Vec<NamedStrategy> {
+    let op = [wf.op];
+    vec![
+        NamedStrategy::new("<-PayMany", assign_all(&op, vec![StorageStrategy::pay_many()])),
+        NamedStrategy::new("<-PayOne", assign_all(&op, vec![StorageStrategy::pay_one()])),
+        NamedStrategy::new(
+            "<-FullMany",
+            assign_all(&op, vec![StorageStrategy::full_many()]),
+        ),
+        NamedStrategy::new("<-FullOne", assign_all(&op, vec![StorageStrategy::full_one()])),
+        NamedStrategy::new(
+            "->FullOne",
+            assign_all(&op, vec![StorageStrategy::full_one_forward()]),
+        ),
+        NamedStrategy::new("BlackBox", LineageStrategy::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astronomy::SkyConfig;
+    use crate::genomics::CohortConfig;
+    use crate::micro::MicroConfig;
+
+    #[test]
+    fn astronomy_table_ii_names_and_assignments() {
+        let wf = AstronomyWorkflow::build(SkyConfig::tiny().shape);
+        let strategies = astronomy_strategies(&wf);
+        let names: Vec<&str> = strategies.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["BlackBox", "BlackBoxOpt", "FullOne", "FullMany", "SubZero"]
+        );
+        // BlackBox pins every operator; BlackBoxOpt pins none.
+        assert_eq!(
+            strategies[0].strategy.assigned_ops().len(),
+            wf.workflow.len()
+        );
+        assert!(strategies[1].strategy.assigned_ops().is_empty());
+        // The others only touch the UDFs.
+        for s in &strategies[2..] {
+            assert_eq!(s.strategy.assigned_ops(), wf.udfs());
+        }
+        assert_eq!(
+            strategies[4].strategy.get(wf.star_detect).unwrap(),
+            &[StorageStrategy::composite_one()]
+        );
+    }
+
+    #[test]
+    fn genomics_table_ii_names_and_assignments() {
+        let wf = GenomicsWorkflow::build(&CohortConfig::tiny());
+        let strategies = genomics_strategies(&wf);
+        assert_eq!(strategies.len(), 8);
+        let both = strategies.iter().find(|s| s.name == "FullBoth").unwrap();
+        assert_eq!(both.strategy.get(wf.predict).unwrap().len(), 2);
+        let pay_both = strategies.iter().find(|s| s.name == "PayBoth").unwrap();
+        let assigned = pay_both.strategy.get(wf.compute_model).unwrap();
+        assert!(assigned.contains(&StorageStrategy::pay_one()));
+        assert!(assigned.contains(&StorageStrategy::full_one_forward()));
+        for s in &strategies {
+            assert!(s.strategy.validate().is_ok(), "{} is valid", s.name);
+        }
+    }
+
+    #[test]
+    fn micro_strategy_list_matches_figure_legend() {
+        let wf = MicroWorkflow::build(MicroConfig::tiny());
+        let strategies = micro_strategies(&wf);
+        let names: Vec<&str> = strategies.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["<-PayMany", "<-PayOne", "<-FullMany", "<-FullOne", "->FullOne", "BlackBox"]
+        );
+    }
+}

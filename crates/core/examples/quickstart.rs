@@ -1,0 +1,66 @@
+//! Quickstart: build a tiny workflow, execute it under SubZero, and run
+//! backward and forward lineage queries.
+//!
+//! Run with `cargo run -p subzero --example quickstart`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use subzero::prelude::*;
+use subzero_engine::ops::{Convolve, Elementwise1, UnaryKind};
+
+fn main() {
+    // A three-operator image pipeline: bias-subtract, smooth, threshold.
+    let mut builder = Workflow::builder("quickstart");
+    let debias = builder.add_source(
+        Arc::new(Elementwise1::new(UnaryKind::Offset(-10.0))),
+        "image",
+    );
+    let smooth = builder.add_unary(Arc::new(Convolve::box_blur(1)), debias);
+    let detect = builder.add_unary(
+        Arc::new(Elementwise1::new(UnaryKind::Threshold(5.0))),
+        smooth,
+    );
+    let workflow = Arc::new(builder.build().expect("valid workflow"));
+
+    // A 16x16 image with one bright blob.
+    let mut image = Array::filled(Shape::d2(16, 16), 10.0);
+    for c in Shape::d2(16, 16).neighborhood(&Coord::d2(8, 8), 1) {
+        image.set(&c, 200.0);
+    }
+    let mut inputs = HashMap::new();
+    inputs.insert("image".to_string(), image);
+
+    // Execute under the default strategy (mapping lineage for built-ins,
+    // black-box otherwise) — nothing extra is stored.
+    let mut subzero = SubZero::new();
+    let run = subzero.execute(&workflow, &inputs).expect("execution succeeds");
+    println!(
+        "executed workflow '{}' with {} operators in {:?}",
+        workflow.name(),
+        workflow.len(),
+        run.total_elapsed
+    );
+
+    // Backward: why is the output pixel at (8, 8) bright?
+    let backward = LineageQuery::backward(vec![Coord::d2(8, 8)], vec![(detect, 0), (smooth, 0), (debias, 0)]);
+    let answer = subzero.query(&run, &backward).expect("query succeeds");
+    println!(
+        "backward lineage of detection (8,8): {} input pixels",
+        answer.cells.len()
+    );
+    for (step, report) in answer.report.steps.iter().enumerate() {
+        println!(
+            "  step {step}: operator {} answered via {} in {:?}",
+            report.op_id, report.method, report.elapsed
+        );
+    }
+
+    // Forward: which detections does the input pixel (8, 9) influence?
+    let forward = LineageQuery::forward(vec![Coord::d2(8, 9)], vec![(debias, 0), (smooth, 0), (detect, 0)]);
+    let answer = subzero.query(&run, &forward).expect("query succeeds");
+    println!(
+        "forward lineage of input (8,9): {} output pixels",
+        answer.cells.len()
+    );
+}

@@ -1,0 +1,950 @@
+//! Per-operator lineage datastores.
+//!
+//! "The runtime allocates a new BerkeleyDB database for each operator
+//! instance that stores region lineage" (§VI-A).  An [`OpDatastore`] is that
+//! database: it owns a [`Database`] of encoded region-pair entries, the
+//! R-tree over key-side cells for the *Many* encodings, and the statistics
+//! (bytes, entries, encode time) the optimizer's cost model consumes.
+//!
+//! A datastore is created for one `(operator execution, storage strategy)`
+//! pair and answers backward/forward lookups for the query executor.  When a
+//! query direction does not match the strategy's index direction the lookup
+//! degrades to a full scan — deliberately so, because that mismatch penalty
+//! (up to two orders of magnitude in the paper's genomics benchmark) is one
+//! of the effects SubZero's optimizer exists to avoid.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use subzero_array::{BoundingBox, CellSet, Coord, Shape};
+use subzero_engine::{OpMeta, Operator, RegionPair};
+use subzero_store::kv::{Database, KvBackend, MemBackend};
+use subzero_store::RTree;
+
+use crate::encoder::{
+    self, decode_entry_ids, decode_full_entry, decode_key, decode_pay_entry, decode_payloads,
+    DecodedKey,
+};
+use crate::model::{Direction, Granularity, StorageStrategy};
+use subzero_engine::LineageMode;
+
+/// Outcome of one datastore lookup.
+#[derive(Debug, Clone)]
+pub struct LookupOutcome {
+    /// Lineage cells found (input cells for backward lookups, output cells
+    /// for forward lookups).
+    pub result: CellSet,
+    /// The query cells for which stored lineage was found.  Composite
+    /// lineage uses this to decide which cells fall back to the default
+    /// mapping function.
+    pub covered: CellSet,
+    /// Number of hash entries fetched.
+    pub entries_fetched: usize,
+    /// Whether the lookup had to scan the whole datastore because the
+    /// stored index direction did not match the query direction.
+    pub scanned: bool,
+}
+
+/// One operator's materialised lineage under one storage strategy.
+pub struct OpDatastore {
+    strategy: StorageStrategy,
+    out_shape: Shape,
+    in_shapes: Vec<Shape>,
+    db: Database,
+    rtree: Option<RTree>,
+    next_entry_id: u64,
+    pairs_stored: u64,
+    cells_stored: u64,
+    encode_time: Duration,
+}
+
+impl OpDatastore {
+    /// Creates a datastore backed by the given key-value backend.
+    pub fn new(
+        name: impl Into<String>,
+        strategy: StorageStrategy,
+        meta: &OpMeta,
+        backend: Box<dyn KvBackend>,
+    ) -> Self {
+        let rtree = match strategy.granularity {
+            Granularity::Many if strategy.stores_pairs() => Some(RTree::new()),
+            _ => None,
+        };
+        OpDatastore {
+            strategy,
+            out_shape: meta.output_shape,
+            in_shapes: meta.input_shapes.clone(),
+            db: Database::new(name, backend),
+            rtree,
+            next_entry_id: 0,
+            pairs_stored: 0,
+            cells_stored: 0,
+            encode_time: Duration::ZERO,
+        }
+    }
+
+    /// Creates an in-memory datastore (the common case for tests and
+    /// benchmarks; the paper's prototype also treats lineage as a cache).
+    pub fn in_memory(
+        name: impl Into<String>,
+        strategy: StorageStrategy,
+        meta: &OpMeta,
+    ) -> Self {
+        Self::new(name, strategy, meta, Box::new(MemBackend::new()))
+    }
+
+    /// The storage strategy this datastore implements.
+    pub fn strategy(&self) -> StorageStrategy {
+        self.strategy
+    }
+
+    /// Number of region pairs stored.
+    pub fn pairs_stored(&self) -> u64 {
+        self.pairs_stored
+    }
+
+    /// Total number of coordinates stored across all pairs.
+    pub fn cells_stored(&self) -> u64 {
+        self.cells_stored
+    }
+
+    /// Time spent encoding and writing pairs (the runtime overhead charged to
+    /// this strategy).
+    pub fn encode_time(&self) -> Duration {
+        self.encode_time
+    }
+
+    /// Logical bytes used by the hash entries plus the spatial index.
+    pub fn bytes_used(&self) -> usize {
+        self.db.bytes_used() + self.rtree.as_ref().map(|t| t.size_bytes()).unwrap_or(0)
+    }
+
+    /// Number of live hash entries.
+    pub fn num_entries(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Stores one region pair according to the strategy.
+    ///
+    /// Pairs whose kind does not match the strategy's mode (e.g. a payload
+    /// pair arriving for a `Full` strategy) are ignored: operators may emit
+    /// several kinds when asked for several modes, and each datastore keeps
+    /// only what it understands.
+    pub fn store_pair(&mut self, pair: &RegionPair) {
+        let start = Instant::now();
+        match (self.strategy.mode, pair) {
+            (LineageMode::Full, RegionPair::Full { outcells, incells }) => {
+                self.store_full(outcells, incells);
+            }
+            (LineageMode::Pay | LineageMode::Comp, RegionPair::Payload { outcells, payload }) => {
+                self.store_payload(outcells, payload);
+            }
+            _ => return,
+        }
+        self.pairs_stored += 1;
+        self.cells_stored += pair.num_cells() as u64;
+        self.encode_time += start.elapsed();
+    }
+
+    fn store_full(&mut self, outcells: &[Coord], incells: &[Vec<Coord>]) {
+        if outcells.is_empty() {
+            return;
+        }
+        match (self.strategy.granularity, self.strategy.direction) {
+            (Granularity::One, Direction::Backward) => {
+                // Shared entry holds the input cells; one hash entry per
+                // output cell references it.
+                let id = self.alloc_entry();
+                let body = encoder::encode_full_entry(
+                    &self.out_shape,
+                    &self.in_shapes,
+                    &[],
+                    incells,
+                    false,
+                );
+                self.db.put(&encoder::entry_key(id), &body);
+                for oc in outcells {
+                    let key = encoder::out_cell_key(&self.out_shape, oc);
+                    self.db.merge(&key, |old| {
+                        let mut v = old.unwrap_or_default();
+                        encoder::append_entry_id(&mut v, id);
+                        v
+                    });
+                }
+            }
+            (Granularity::Many, Direction::Backward) => {
+                let id = self.alloc_entry();
+                let body = encoder::encode_full_entry(
+                    &self.out_shape,
+                    &self.in_shapes,
+                    outcells,
+                    incells,
+                    true,
+                );
+                self.db.put(&encoder::entry_key(id), &body);
+                if let (Some(tree), Some(bbox)) =
+                    (self.rtree.as_mut(), BoundingBox::enclosing(outcells))
+                {
+                    tree.insert(bbox, id);
+                }
+            }
+            (Granularity::One, Direction::Forward) => {
+                // Shared entry holds the output cells; one hash entry per
+                // input cell (tagged with its input index) references it.
+                let id = self.alloc_entry();
+                let body = encoder::encode_full_entry(
+                    &self.out_shape,
+                    &self.in_shapes,
+                    outcells,
+                    &vec![Vec::new(); self.in_shapes.len()],
+                    true,
+                );
+                self.db.put(&encoder::entry_key(id), &body);
+                for (i, cells) in incells.iter().enumerate() {
+                    for ic in cells {
+                        let key = encoder::in_cell_key(&self.in_shapes[i], i, ic);
+                        self.db.merge(&key, |old| {
+                            let mut v = old.unwrap_or_default();
+                            encoder::append_entry_id(&mut v, id);
+                            v
+                        });
+                    }
+                }
+            }
+            (Granularity::Many, Direction::Forward) => {
+                let id = self.alloc_entry();
+                let body = encoder::encode_full_entry(
+                    &self.out_shape,
+                    &self.in_shapes,
+                    outcells,
+                    incells,
+                    true,
+                );
+                self.db.put(&encoder::entry_key(id), &body);
+                if let Some(tree) = self.rtree.as_mut() {
+                    for cells in incells {
+                        if let Some(bbox) = BoundingBox::enclosing(cells) {
+                            tree.insert(bbox, id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn store_payload(&mut self, outcells: &[Coord], payload: &[u8]) {
+        if outcells.is_empty() {
+            return;
+        }
+        match self.strategy.granularity {
+            Granularity::One => {
+                // The payload is duplicated into every output cell's entry
+                // (the PayOne layout of Fig. 4.4).
+                for oc in outcells {
+                    let key = encoder::out_cell_key(&self.out_shape, oc);
+                    self.db.merge(&key, |old| {
+                        let mut v = old.unwrap_or_default();
+                        encoder::append_payload(&mut v, payload);
+                        v
+                    });
+                }
+            }
+            Granularity::Many => {
+                let id = self.alloc_entry();
+                let body = encoder::encode_pay_entry(&self.out_shape, outcells, payload);
+                self.db.put(&encoder::entry_key(id), &body);
+                if let (Some(tree), Some(bbox)) =
+                    (self.rtree.as_mut(), BoundingBox::enclosing(outcells))
+                {
+                    tree.insert(bbox, id);
+                }
+            }
+        }
+    }
+
+    fn alloc_entry(&mut self) -> u64 {
+        let id = self.next_entry_id;
+        self.next_entry_id += 1;
+        id
+    }
+
+    /// Answers a backward lookup: which cells of input `input_idx` do the
+    /// query output cells depend on, according to the stored lineage?
+    pub fn lookup_backward(
+        &mut self,
+        query: &CellSet,
+        input_idx: usize,
+        op: &dyn Operator,
+        meta: &OpMeta,
+    ) -> LookupOutcome {
+        let mut result = CellSet::empty(self.in_shapes[input_idx]);
+        let mut covered = CellSet::empty(self.out_shape);
+        let mut entries_fetched = 0usize;
+        let mut scanned = false;
+
+        match (self.strategy.mode, self.strategy.direction, self.strategy.granularity) {
+            // --- Indexed (backward-optimized) paths -------------------------
+            (LineageMode::Full, Direction::Backward, Granularity::One) => {
+                for qc in query.iter() {
+                    let key = encoder::out_cell_key(&self.out_shape, &qc);
+                    if let Some(value) = self.db.get(&key) {
+                        covered.insert(&qc);
+                        for id in decode_entry_ids(&value).unwrap_or_default() {
+                            if let Some(body) = self.db.get(&encoder::entry_key(id)) {
+                                entries_fetched += 1;
+                                if let Ok(entry) =
+                                    decode_full_entry(&self.out_shape, &self.in_shapes, &body)
+                                {
+                                    for c in entry.incells.get(input_idx).into_iter().flatten() {
+                                        result.insert(c);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            (LineageMode::Full, Direction::Backward, Granularity::Many) => {
+                let ids = self.candidate_entries(query);
+                for id in ids {
+                    if let Some(body) = self.db.get(&encoder::entry_key(id)) {
+                        entries_fetched += 1;
+                        if let Ok(entry) =
+                            decode_full_entry(&self.out_shape, &self.in_shapes, &body)
+                        {
+                            let hits: Vec<&Coord> = entry
+                                .outcells
+                                .iter()
+                                .filter(|c| query.contains(c))
+                                .collect();
+                            if !hits.is_empty() {
+                                for c in &hits {
+                                    covered.insert(c);
+                                }
+                                for c in entry.incells.get(input_idx).into_iter().flatten() {
+                                    result.insert(c);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            (LineageMode::Pay | LineageMode::Comp, _, Granularity::One) => {
+                for qc in query.iter() {
+                    let key = encoder::out_cell_key(&self.out_shape, &qc);
+                    if let Some(value) = self.db.get(&key) {
+                        covered.insert(&qc);
+                        entries_fetched += 1;
+                        for payload in decode_payloads(&value).unwrap_or_default() {
+                            for c in op
+                                .map_payload(&qc, &payload, input_idx, meta)
+                                .unwrap_or_default()
+                            {
+                                result.insert(&c);
+                            }
+                        }
+                    }
+                }
+            }
+            (LineageMode::Pay | LineageMode::Comp, _, Granularity::Many) => {
+                let ids = self.candidate_entries(query);
+                for id in ids {
+                    if let Some(body) = self.db.get(&encoder::entry_key(id)) {
+                        entries_fetched += 1;
+                        if let Ok(entry) = decode_pay_entry(&self.out_shape, &body) {
+                            for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
+                                covered.insert(oc);
+                                for c in op
+                                    .map_payload(oc, &entry.payload, input_idx, meta)
+                                    .unwrap_or_default()
+                                {
+                                    result.insert(&c);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // --- Mismatched index: forward-optimized store, backward query --
+            (LineageMode::Full, Direction::Forward, _) => {
+                scanned = true;
+                let pairs: Vec<(Vec<u8>, Vec<u8>)> = self.db.iter().collect();
+                match self.strategy.granularity {
+                    Granularity::One => {
+                        // Keys are (input idx, input cell); entries hold
+                        // output cells.  Scan every input-cell record.
+                        for (key, value) in &pairs {
+                            let Ok(DecodedKey::InCell { input_idx: i, cell }) =
+                                decode_key(&self.out_shape, &self.in_shapes, key)
+                            else {
+                                continue;
+                            };
+                            if i != input_idx {
+                                continue;
+                            }
+                            for id in decode_entry_ids(value).unwrap_or_default() {
+                                if let Some(body) = self.db.peek(&encoder::entry_key(id)) {
+                                    entries_fetched += 1;
+                                    if let Ok(entry) = decode_full_entry(
+                                        &self.out_shape,
+                                        &self.in_shapes,
+                                        &body,
+                                    ) {
+                                        let hit = entry
+                                            .outcells
+                                            .iter()
+                                            .any(|c| query.contains(c));
+                                        if hit {
+                                            result.insert(&cell);
+                                            for oc in
+                                                entry.outcells.iter().filter(|c| query.contains(c))
+                                            {
+                                                covered.insert(oc);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Granularity::Many => {
+                        for (key, body) in &pairs {
+                            if !matches!(
+                                decode_key(&self.out_shape, &self.in_shapes, key),
+                                Ok(DecodedKey::Entry(_))
+                            ) {
+                                continue;
+                            }
+                            entries_fetched += 1;
+                            if let Ok(entry) =
+                                decode_full_entry(&self.out_shape, &self.in_shapes, body)
+                            {
+                                let hit = entry.outcells.iter().any(|c| query.contains(c));
+                                if hit {
+                                    for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
+                                        covered.insert(oc);
+                                    }
+                                    for c in entry.incells.get(input_idx).into_iter().flatten() {
+                                        result.insert(c);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            (LineageMode::Map | LineageMode::Blackbox, _, _) => {
+                // These strategies store nothing; the query executor never
+                // routes lookups here, but returning an empty outcome keeps
+                // the datastore total.
+            }
+        }
+
+        LookupOutcome {
+            result,
+            covered,
+            entries_fetched,
+            scanned,
+        }
+    }
+
+    /// Answers a forward lookup: which output cells depend on the query cells
+    /// of input `input_idx`, according to the stored lineage?
+    pub fn lookup_forward(
+        &mut self,
+        query: &CellSet,
+        input_idx: usize,
+        op: &dyn Operator,
+        meta: &OpMeta,
+    ) -> LookupOutcome {
+        let mut result = CellSet::empty(self.out_shape);
+        let mut covered = CellSet::empty(self.in_shapes[input_idx]);
+        let mut entries_fetched = 0usize;
+        let mut scanned = false;
+
+        match (self.strategy.mode, self.strategy.direction, self.strategy.granularity) {
+            // --- Indexed (forward-optimized) paths ---------------------------
+            (LineageMode::Full, Direction::Forward, Granularity::One) => {
+                for qc in query.iter() {
+                    let key = encoder::in_cell_key(&self.in_shapes[input_idx], input_idx, &qc);
+                    if let Some(value) = self.db.get(&key) {
+                        covered.insert(&qc);
+                        for id in decode_entry_ids(&value).unwrap_or_default() {
+                            if let Some(body) = self.db.get(&encoder::entry_key(id)) {
+                                entries_fetched += 1;
+                                if let Ok(entry) =
+                                    decode_full_entry(&self.out_shape, &self.in_shapes, &body)
+                                {
+                                    for c in &entry.outcells {
+                                        result.insert(c);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            (LineageMode::Full, Direction::Forward, Granularity::Many) => {
+                let ids = self.candidate_entries(query);
+                for id in ids {
+                    if let Some(body) = self.db.get(&encoder::entry_key(id)) {
+                        entries_fetched += 1;
+                        if let Ok(entry) =
+                            decode_full_entry(&self.out_shape, &self.in_shapes, &body)
+                        {
+                            let hits: Vec<&Coord> = entry
+                                .incells
+                                .get(input_idx)
+                                .into_iter()
+                                .flatten()
+                                .filter(|c| query.contains(c))
+                                .collect();
+                            if !hits.is_empty() {
+                                for c in &hits {
+                                    covered.insert(c);
+                                }
+                                for c in &entry.outcells {
+                                    result.insert(c);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // --- Mismatched index: backward-optimized store, forward query ---
+            (LineageMode::Full, Direction::Backward, Granularity::One) => {
+                scanned = true;
+                let pairs: Vec<(Vec<u8>, Vec<u8>)> = self.db.iter().collect();
+                for (key, value) in &pairs {
+                    let Ok(DecodedKey::OutCell(oc)) =
+                        decode_key(&self.out_shape, &self.in_shapes, key)
+                    else {
+                        continue;
+                    };
+                    for id in decode_entry_ids(value).unwrap_or_default() {
+                        if let Some(body) = self.db.peek(&encoder::entry_key(id)) {
+                            entries_fetched += 1;
+                            if let Ok(entry) =
+                                decode_full_entry(&self.out_shape, &self.in_shapes, &body)
+                            {
+                                let hits: Vec<&Coord> = entry
+                                    .incells
+                                    .get(input_idx)
+                                    .into_iter()
+                                    .flatten()
+                                    .filter(|c| query.contains(c))
+                                    .collect();
+                                if !hits.is_empty() {
+                                    result.insert(&oc);
+                                    for c in &hits {
+                                        covered.insert(c);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            (LineageMode::Full, Direction::Backward, Granularity::Many) => {
+                scanned = true;
+                let pairs: Vec<(Vec<u8>, Vec<u8>)> = self.db.iter().collect();
+                for (key, body) in &pairs {
+                    if !matches!(
+                        decode_key(&self.out_shape, &self.in_shapes, key),
+                        Ok(DecodedKey::Entry(_))
+                    ) {
+                        continue;
+                    }
+                    entries_fetched += 1;
+                    if let Ok(entry) = decode_full_entry(&self.out_shape, &self.in_shapes, body) {
+                        let hits: Vec<&Coord> = entry
+                            .incells
+                            .get(input_idx)
+                            .into_iter()
+                            .flatten()
+                            .filter(|c| query.contains(c))
+                            .collect();
+                        if !hits.is_empty() {
+                            for c in &hits {
+                                covered.insert(c);
+                            }
+                            for c in &entry.outcells {
+                                result.insert(c);
+                            }
+                        }
+                    }
+                }
+            }
+            // --- Payload lineage: always requires iterating the pairs --------
+            (LineageMode::Pay | LineageMode::Comp, _, Granularity::One) => {
+                scanned = true;
+                let pairs: Vec<(Vec<u8>, Vec<u8>)> = self.db.iter().collect();
+                for (key, value) in &pairs {
+                    let Ok(DecodedKey::OutCell(oc)) =
+                        decode_key(&self.out_shape, &self.in_shapes, key)
+                    else {
+                        continue;
+                    };
+                    entries_fetched += 1;
+                    for payload in decode_payloads(value).unwrap_or_default() {
+                        let incells = op
+                            .map_payload(&oc, &payload, input_idx, meta)
+                            .unwrap_or_default();
+                        let hits: Vec<&Coord> =
+                            incells.iter().filter(|c| query.contains(c)).collect();
+                        if !hits.is_empty() {
+                            result.insert(&oc);
+                            for c in &hits {
+                                covered.insert(c);
+                            }
+                        }
+                    }
+                }
+            }
+            (LineageMode::Pay | LineageMode::Comp, _, Granularity::Many) => {
+                scanned = true;
+                let pairs: Vec<(Vec<u8>, Vec<u8>)> = self.db.iter().collect();
+                for (key, body) in &pairs {
+                    if !matches!(
+                        decode_key(&self.out_shape, &self.in_shapes, key),
+                        Ok(DecodedKey::Entry(_))
+                    ) {
+                        continue;
+                    }
+                    entries_fetched += 1;
+                    if let Ok(entry) = decode_pay_entry(&self.out_shape, body) {
+                        for oc in &entry.outcells {
+                            let incells = op
+                                .map_payload(oc, &entry.payload, input_idx, meta)
+                                .unwrap_or_default();
+                            let hits: Vec<&Coord> =
+                                incells.iter().filter(|c| query.contains(c)).collect();
+                            if !hits.is_empty() {
+                                result.insert(oc);
+                                for c in &hits {
+                                    covered.insert(c);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            (LineageMode::Map | LineageMode::Blackbox, _, _) => {}
+        }
+
+        LookupOutcome {
+            result,
+            covered,
+            entries_fetched,
+            scanned,
+        }
+    }
+
+    /// Entry ids whose key-side bounding box intersects any query cell,
+    /// according to the R-tree (a superset: exact membership is re-checked
+    /// after decoding).
+    fn candidate_entries(&self, query: &CellSet) -> Vec<u64> {
+        let Some(tree) = self.rtree.as_ref() else {
+            return Vec::new();
+        };
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        // Query the R-tree with the bounding box of the query cells first; if
+        // the query is small, per-cell point queries are more selective.
+        if query.len() <= 64 {
+            for c in query.iter() {
+                for id in tree.query_point(&c) {
+                    if seen.insert(id) {
+                        out.push(id);
+                    }
+                }
+            }
+        } else {
+            let coords = query.to_coords();
+            if let Some(bbox) = BoundingBox::enclosing(&coords) {
+                for id in tree.query(&bbox) {
+                    if seen.insert(id) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for OpDatastore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpDatastore")
+            .field("strategy", &self.strategy.label())
+            .field("pairs", &self.pairs_stored)
+            .field("bytes", &self.bytes_used())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subzero_array::{Array, ArrayRef};
+    use subzero_engine::{LineageSink, OpId};
+
+    /// A toy payload operator: payload byte r means "depends on the
+    /// neighbourhood of radius r around the output cell".
+    struct RadiusOp;
+
+    impl Operator for RadiusOp {
+        fn name(&self) -> &str {
+            "radius"
+        }
+        fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+            input_shapes[0]
+        }
+        fn run(
+            &self,
+            inputs: &[ArrayRef],
+            _m: &[LineageMode],
+            _s: &mut dyn LineageSink,
+        ) -> Array {
+            (*inputs[0]).clone()
+        }
+        fn map_payload(
+            &self,
+            outcell: &Coord,
+            payload: &[u8],
+            _i: usize,
+            meta: &OpMeta,
+        ) -> Option<Vec<Coord>> {
+            let r = payload.first().copied().unwrap_or(0) as u32;
+            Some(meta.input_shape(0).neighborhood(outcell, r))
+        }
+        fn map_backward(&self, outcell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+            Some(vec![*outcell])
+        }
+    }
+
+    fn meta() -> OpMeta {
+        OpMeta::new(vec![Shape::d2(8, 8), Shape::d2(8, 8)], Shape::d2(8, 8))
+    }
+
+    fn full_pair(out: &[Coord], in0: &[Coord], in1: &[Coord]) -> RegionPair {
+        RegionPair::Full {
+            outcells: out.to_vec(),
+            incells: vec![in0.to_vec(), in1.to_vec()],
+        }
+    }
+
+    fn query_of(shape: Shape, cells: &[Coord]) -> CellSet {
+        CellSet::from_coords(shape, cells.iter().copied())
+    }
+
+    const _: OpId = 0;
+
+    fn full_strategies() -> Vec<StorageStrategy> {
+        vec![
+            StorageStrategy::full_one(),
+            StorageStrategy::full_many(),
+            StorageStrategy::full_one_forward(),
+            StorageStrategy::full_many_forward(),
+        ]
+    }
+
+    #[test]
+    fn full_strategies_answer_backward_and_forward_lookups() {
+        let m = meta();
+        let op = RadiusOp;
+        for strategy in full_strategies() {
+            let mut ds = OpDatastore::in_memory("t", strategy, &m);
+            ds.store_pair(&full_pair(
+                &[Coord::d2(0, 0), Coord::d2(0, 1)],
+                &[Coord::d2(1, 1), Coord::d2(1, 2)],
+                &[Coord::d2(7, 7)],
+            ));
+            ds.store_pair(&full_pair(&[Coord::d2(5, 5)], &[Coord::d2(6, 6)], &[]));
+            assert_eq!(ds.pairs_stored(), 2);
+
+            // Backward: lineage of (0,1) in input 0 is {(1,1),(1,2)}.
+            let q = query_of(Shape::d2(8, 8), &[Coord::d2(0, 1)]);
+            let out = ds.lookup_backward(&q, 0, &op, &m);
+            assert_eq!(
+                out.result.to_coords(),
+                vec![Coord::d2(1, 1), Coord::d2(1, 2)],
+                "strategy {strategy}"
+            );
+            assert!(out.covered.contains(&Coord::d2(0, 1)));
+            // Backward in input 1.
+            let out1 = ds.lookup_backward(&q, 1, &op, &m);
+            assert_eq!(out1.result.to_coords(), vec![Coord::d2(7, 7)]);
+
+            // Forward: input cell (6,6) of input 0 influenced output (5,5).
+            let q = query_of(Shape::d2(8, 8), &[Coord::d2(6, 6)]);
+            let out = ds.lookup_forward(&q, 0, &op, &m);
+            assert_eq!(
+                out.result.to_coords(),
+                vec![Coord::d2(5, 5)],
+                "strategy {strategy}"
+            );
+            // Forward query for a cell with no lineage is empty.
+            let q = query_of(Shape::d2(8, 8), &[Coord::d2(0, 0)]);
+            let out = ds.lookup_forward(&q, 0, &op, &m);
+            assert!(out.result.is_empty(), "strategy {strategy}");
+        }
+    }
+
+    #[test]
+    fn mismatched_direction_falls_back_to_scan() {
+        let m = meta();
+        let op = RadiusOp;
+        // Backward-optimized store, forward query => scan.
+        let mut ds = OpDatastore::in_memory("t", StorageStrategy::full_one(), &m);
+        ds.store_pair(&full_pair(&[Coord::d2(2, 2)], &[Coord::d2(3, 3)], &[]));
+        let q = query_of(Shape::d2(8, 8), &[Coord::d2(3, 3)]);
+        let out = ds.lookup_forward(&q, 0, &op, &m);
+        assert!(out.scanned);
+        assert_eq!(out.result.to_coords(), vec![Coord::d2(2, 2)]);
+
+        // Forward-optimized store, backward query => scan.
+        let mut ds = OpDatastore::in_memory("t", StorageStrategy::full_one_forward(), &m);
+        ds.store_pair(&full_pair(&[Coord::d2(2, 2)], &[Coord::d2(3, 3)], &[]));
+        let q = query_of(Shape::d2(8, 8), &[Coord::d2(2, 2)]);
+        let out = ds.lookup_backward(&q, 0, &op, &m);
+        assert!(out.scanned);
+        assert_eq!(out.result.to_coords(), vec![Coord::d2(3, 3)]);
+
+        // Matched directions never scan.
+        let mut ds = OpDatastore::in_memory("t", StorageStrategy::full_many(), &m);
+        ds.store_pair(&full_pair(&[Coord::d2(2, 2)], &[Coord::d2(3, 3)], &[]));
+        let q = query_of(Shape::d2(8, 8), &[Coord::d2(2, 2)]);
+        assert!(!ds.lookup_backward(&q, 0, &op, &m).scanned);
+    }
+
+    #[test]
+    fn payload_strategies_use_map_payload() {
+        let m = meta();
+        let op = RadiusOp;
+        for strategy in [StorageStrategy::pay_one(), StorageStrategy::pay_many()] {
+            let mut ds = OpDatastore::in_memory("t", strategy, &m);
+            // Cell (4,4) has radius-1 lineage; cell (0,0) has radius-0.
+            ds.store_pair(&RegionPair::Payload {
+                outcells: vec![Coord::d2(4, 4)],
+                payload: vec![1],
+            });
+            ds.store_pair(&RegionPair::Payload {
+                outcells: vec![Coord::d2(0, 0)],
+                payload: vec![0],
+            });
+            let q = query_of(Shape::d2(8, 8), &[Coord::d2(4, 4)]);
+            let out = ds.lookup_backward(&q, 0, &op, &m);
+            assert_eq!(out.result.len(), 9, "strategy {strategy}");
+            assert!(out.covered.contains(&Coord::d2(4, 4)));
+
+            let q = query_of(Shape::d2(8, 8), &[Coord::d2(0, 0)]);
+            let out = ds.lookup_backward(&q, 0, &op, &m);
+            assert_eq!(out.result.to_coords(), vec![Coord::d2(0, 0)]);
+
+            // Forward payload queries iterate all pairs.
+            let q = query_of(Shape::d2(8, 8), &[Coord::d2(3, 4)]);
+            let out = ds.lookup_forward(&q, 0, &op, &m);
+            assert!(out.scanned);
+            assert_eq!(out.result.to_coords(), vec![Coord::d2(4, 4)]);
+        }
+    }
+
+    #[test]
+    fn composite_reports_uncovered_cells() {
+        let m = meta();
+        let op = RadiusOp;
+        let mut ds = OpDatastore::in_memory("t", StorageStrategy::composite_one(), &m);
+        // Only the "exceptional" cell stores a payload pair.
+        ds.store_pair(&RegionPair::Payload {
+            outcells: vec![Coord::d2(6, 6)],
+            payload: vec![2],
+        });
+        let q = query_of(Shape::d2(8, 8), &[Coord::d2(6, 6), Coord::d2(1, 1)]);
+        let out = ds.lookup_backward(&q, 0, &op, &m);
+        assert!(out.covered.contains(&Coord::d2(6, 6)));
+        assert!(!out.covered.contains(&Coord::d2(1, 1)));
+        // The covered cell contributed its radius-2 neighbourhood (clipped).
+        assert!(out.result.len() >= 9);
+    }
+
+    #[test]
+    fn payload_one_duplicates_payload_per_cell() {
+        let m = meta();
+        let mut one = OpDatastore::in_memory("one", StorageStrategy::pay_one(), &m);
+        let mut many = OpDatastore::in_memory("many", StorageStrategy::pay_many(), &m);
+        let outcells: Vec<Coord> = (0..8).map(|i| Coord::d2(3, i)).collect();
+        let pair = RegionPair::Payload {
+            outcells,
+            payload: vec![42; 16],
+        };
+        one.store_pair(&pair);
+        many.store_pair(&pair);
+        // PayOne stores 8 copies of the payload; PayMany stores one entry
+        // (plus the R-tree).  The hash-entry bytes alone must be larger for
+        // PayOne.
+        assert!(one.db.bytes_used() > many.db.bytes_used());
+        assert_eq!(one.num_entries(), 8);
+        assert_eq!(many.num_entries(), 1);
+    }
+
+    #[test]
+    fn full_one_vs_full_many_storage_tradeoff() {
+        let m = meta();
+        // High fanout: many output cells share the same input cells.  The
+        // FullMany encoding stores the output cells once; FullOne duplicates
+        // a hash entry per output cell.
+        let outcells: Vec<Coord> = Shape::d2(8, 8).iter().take(48).collect();
+        let incells = vec![Coord::d2(0, 0), Coord::d2(0, 1)];
+        let pair = full_pair(&outcells, &incells, &[]);
+        let mut one = OpDatastore::in_memory("one", StorageStrategy::full_one(), &m);
+        let mut many = OpDatastore::in_memory("many", StorageStrategy::full_many(), &m);
+        one.store_pair(&pair);
+        many.store_pair(&pair);
+        assert!(one.num_entries() > many.num_entries());
+        assert!(one.db.bytes_used() > many.db.bytes_used());
+    }
+
+    #[test]
+    fn wrong_pair_kind_is_ignored() {
+        let m = meta();
+        let mut ds = OpDatastore::in_memory("t", StorageStrategy::full_one(), &m);
+        ds.store_pair(&RegionPair::Payload {
+            outcells: vec![Coord::d2(0, 0)],
+            payload: vec![1],
+        });
+        assert_eq!(ds.pairs_stored(), 0);
+        assert_eq!(ds.num_entries(), 0);
+
+        let mut ds = OpDatastore::in_memory("t", StorageStrategy::pay_one(), &m);
+        ds.store_pair(&full_pair(&[Coord::d2(0, 0)], &[Coord::d2(1, 1)], &[]));
+        assert_eq!(ds.pairs_stored(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let m = meta();
+        let mut ds = OpDatastore::in_memory("t", StorageStrategy::full_many(), &m);
+        assert_eq!(ds.bytes_used(), 0);
+        for i in 0..10u32 {
+            ds.store_pair(&full_pair(
+                &[Coord::d2(i % 8, 0)],
+                &[Coord::d2(i % 8, 1), Coord::d2(i % 8, 2)],
+                &[],
+            ));
+        }
+        assert_eq!(ds.pairs_stored(), 10);
+        assert_eq!(ds.cells_stored(), 30);
+        assert!(ds.bytes_used() > 0);
+        assert!(ds.encode_time() > Duration::ZERO);
+        assert_eq!(ds.strategy(), StorageStrategy::full_many());
+    }
+
+    #[test]
+    fn empty_pairs_are_skipped() {
+        let m = meta();
+        let mut ds = OpDatastore::in_memory("t", StorageStrategy::full_one(), &m);
+        ds.store_pair(&full_pair(&[], &[Coord::d2(0, 0)], &[]));
+        assert_eq!(ds.num_entries(), 0);
+    }
+}

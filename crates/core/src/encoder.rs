@@ -1,0 +1,347 @@
+//! Byte-level encodings of region-pair entries (Fig. 4 of the paper).
+//!
+//! The Encoder turns the region pairs produced by `lwrite()` into hash-table
+//! keys and values.  Four encoding families exist:
+//!
+//! * **FullOne** — one hash entry per key-side cell; its value references a
+//!   shared entry holding the other side's cells.
+//! * **FullMany** — one hash entry per region pair holding both sides; an
+//!   R-tree over the key-side cells locates intersecting entries.
+//! * **PayOne** — one hash entry per output cell, duplicating the payload in
+//!   each value.
+//! * **PayMany** — one hash entry per region pair holding the output cells
+//!   and the payload, indexed by the R-tree.
+//!
+//! The functions here are pure byte codecs: key construction, entry bodies,
+//! entry-id lists and payload lists.  The [`datastore`](crate::datastore)
+//! module decides which of them to use for a given
+//! [`StorageStrategy`](crate::model::StorageStrategy).
+
+use subzero_array::{Coord, Shape};
+use subzero_store::codec::{
+    self, decode_cells_at, decode_payload, encode_cells, encode_payload, read_varint, write_varint,
+    CodecError,
+};
+
+/// Key-space tags: every key in an operator datastore starts with one of
+/// these bytes so entry records and cell records can share one database.
+mod tag {
+    /// A shared entry record (`entry id -> entry body`).
+    pub const ENTRY: u8 = b'e';
+    /// A backward cell record (`output cell -> entry ids / payloads`).
+    pub const OUT_CELL: u8 = b'o';
+    /// A forward cell record (`(input idx, input cell) -> entry ids`).
+    pub const IN_CELL: u8 = b'i';
+}
+
+/// Builds the key of a shared entry record.
+pub fn entry_key(entry_id: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(9);
+    k.push(tag::ENTRY);
+    k.extend_from_slice(&codec::encode_fixed_u64(entry_id));
+    k
+}
+
+/// Builds the key of a backward (output-cell) record.
+pub fn out_cell_key(out_shape: &Shape, cell: &Coord) -> Vec<u8> {
+    let mut k = Vec::with_capacity(9);
+    k.push(tag::OUT_CELL);
+    k.extend_from_slice(&codec::encode_fixed_u64(codec::pack_coord(out_shape, cell)));
+    k
+}
+
+/// Builds the key of a forward (input-cell) record.
+pub fn in_cell_key(in_shape: &Shape, input_idx: usize, cell: &Coord) -> Vec<u8> {
+    let mut k = Vec::with_capacity(10);
+    k.push(tag::IN_CELL);
+    k.push(input_idx as u8);
+    k.extend_from_slice(&codec::encode_fixed_u64(codec::pack_coord(in_shape, cell)));
+    k
+}
+
+/// Classification of a raw datastore key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodedKey {
+    /// A shared entry record.
+    Entry(u64),
+    /// A backward (output-cell) record.
+    OutCell(Coord),
+    /// A forward (input-cell) record for the given input index.
+    InCell {
+        /// Which input array the cell belongs to.
+        input_idx: usize,
+        /// The input cell.
+        cell: Coord,
+    },
+}
+
+/// Decodes a raw key back into its meaning, given the operator's shapes.
+pub fn decode_key(
+    out_shape: &Shape,
+    in_shapes: &[Shape],
+    key: &[u8],
+) -> Result<DecodedKey, CodecError> {
+    match key.first() {
+        Some(&tag::ENTRY) => Ok(DecodedKey::Entry(codec::decode_fixed_u64(&key[1..])?)),
+        Some(&tag::OUT_CELL) => {
+            let packed = codec::decode_fixed_u64(&key[1..])?;
+            Ok(DecodedKey::OutCell(codec::unpack_coord(out_shape, packed)?))
+        }
+        Some(&tag::IN_CELL) => {
+            let input_idx = *key.get(1).ok_or(CodecError::UnexpectedEof)? as usize;
+            let packed = codec::decode_fixed_u64(&key[2..])?;
+            let shape = in_shapes.get(input_idx).ok_or(CodecError::UnexpectedEof)?;
+            Ok(DecodedKey::InCell {
+                input_idx,
+                cell: codec::unpack_coord(shape, packed)?,
+            })
+        }
+        _ => Err(CodecError::UnexpectedEof),
+    }
+}
+
+/// A decoded *full* entry body.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FullEntry {
+    /// Output cells of the region pair (empty when the encoding omits them —
+    /// the backward `FullOne` layout stores only input cells because the
+    /// output cell is the hash key).
+    pub outcells: Vec<Coord>,
+    /// Input cells per input array.
+    pub incells: Vec<Vec<Coord>>,
+}
+
+/// Encodes a full entry body.
+///
+/// `include_outcells` selects between the `FullOne` layout (input cells only)
+/// and the `FullMany` layout (both sides).
+pub fn encode_full_entry(
+    out_shape: &Shape,
+    in_shapes: &[Shape],
+    outcells: &[Coord],
+    incells: &[Vec<Coord>],
+    include_outcells: bool,
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.push(if include_outcells { 1 } else { 0 });
+    if include_outcells {
+        buf.extend(encode_cells(out_shape, outcells));
+    }
+    write_varint(&mut buf, incells.len() as u64);
+    for (i, cells) in incells.iter().enumerate() {
+        buf.extend(encode_cells(&in_shapes[i], cells));
+    }
+    buf
+}
+
+/// Decodes a full entry body produced by [`encode_full_entry`].
+pub fn decode_full_entry(
+    out_shape: &Shape,
+    in_shapes: &[Shape],
+    buf: &[u8],
+) -> Result<FullEntry, CodecError> {
+    let mut pos = 0usize;
+    let has_outcells = *buf.first().ok_or(CodecError::UnexpectedEof)? == 1;
+    pos += 1;
+    let outcells = if has_outcells {
+        decode_cells_at(out_shape, buf, &mut pos)?
+    } else {
+        Vec::new()
+    };
+    let n_inputs = read_varint(buf, &mut pos)? as usize;
+    let mut incells = Vec::with_capacity(n_inputs);
+    for i in 0..n_inputs {
+        let shape = in_shapes.get(i).ok_or(CodecError::UnexpectedEof)?;
+        incells.push(decode_cells_at(shape, buf, &mut pos)?);
+    }
+    Ok(FullEntry { outcells, incells })
+}
+
+/// A decoded *payload* entry body.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PayEntry {
+    /// Output cells of the region pair (empty for the `PayOne` layout, where
+    /// the output cell is the hash key).
+    pub outcells: Vec<Coord>,
+    /// The developer-defined payload blob.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes a payload entry body (the `PayMany` layout: output cells followed
+/// by the payload).
+pub fn encode_pay_entry(out_shape: &Shape, outcells: &[Coord], payload: &[u8]) -> Vec<u8> {
+    let mut buf = encode_cells(out_shape, outcells);
+    encode_payload(&mut buf, payload);
+    buf
+}
+
+/// Decodes a payload entry body produced by [`encode_pay_entry`].
+pub fn decode_pay_entry(out_shape: &Shape, buf: &[u8]) -> Result<PayEntry, CodecError> {
+    let mut pos = 0usize;
+    let outcells = decode_cells_at(out_shape, buf, &mut pos)?;
+    let payload = decode_payload(buf, &mut pos)?;
+    Ok(PayEntry { outcells, payload })
+}
+
+/// Appends one entry id to an entry-id-list value (the value format of cell
+/// records for the `Full*` encodings).
+pub fn append_entry_id(value: &mut Vec<u8>, entry_id: u64) {
+    write_varint(value, entry_id);
+}
+
+/// Decodes an entry-id-list value.
+pub fn decode_entry_ids(value: &[u8]) -> Result<Vec<u64>, CodecError> {
+    let mut pos = 0usize;
+    let mut ids = Vec::new();
+    while pos < value.len() {
+        ids.push(read_varint(value, &mut pos)?);
+    }
+    Ok(ids)
+}
+
+/// Appends one payload blob to a payload-list value (the value format of cell
+/// records for the `PayOne` encoding, which duplicates the payload per cell).
+pub fn append_payload(value: &mut Vec<u8>, payload: &[u8]) {
+    encode_payload(value, payload);
+}
+
+/// Decodes a payload-list value.
+pub fn decode_payloads(value: &[u8]) -> Result<Vec<Vec<u8>>, CodecError> {
+    let mut pos = 0usize;
+    let mut payloads = Vec::new();
+    while pos < value.len() {
+        payloads.push(decode_payload(value, &mut pos)?);
+    }
+    Ok(payloads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shapes() -> (Shape, Vec<Shape>) {
+        (Shape::d2(8, 8), vec![Shape::d2(8, 8), Shape::d2(4, 4)])
+    }
+
+    #[test]
+    fn key_roundtrips() {
+        let (out_shape, in_shapes) = shapes();
+        let ek = entry_key(42);
+        assert_eq!(
+            decode_key(&out_shape, &in_shapes, &ek).unwrap(),
+            DecodedKey::Entry(42)
+        );
+        let ok = out_cell_key(&out_shape, &Coord::d2(3, 4));
+        assert_eq!(
+            decode_key(&out_shape, &in_shapes, &ok).unwrap(),
+            DecodedKey::OutCell(Coord::d2(3, 4))
+        );
+        let ik = in_cell_key(&in_shapes[1], 1, &Coord::d2(2, 2));
+        assert_eq!(
+            decode_key(&out_shape, &in_shapes, &ik).unwrap(),
+            DecodedKey::InCell {
+                input_idx: 1,
+                cell: Coord::d2(2, 2)
+            }
+        );
+    }
+
+    #[test]
+    fn keys_are_distinct_across_tags_and_cells() {
+        let (out_shape, in_shapes) = shapes();
+        let a = out_cell_key(&out_shape, &Coord::d2(0, 1));
+        let b = out_cell_key(&out_shape, &Coord::d2(1, 0));
+        let c = in_cell_key(&in_shapes[0], 0, &Coord::d2(0, 1));
+        let d = entry_key(1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn full_entry_roundtrip_with_outcells() {
+        let (out_shape, in_shapes) = shapes();
+        let outcells = vec![Coord::d2(0, 1), Coord::d2(2, 3)];
+        let incells = vec![
+            vec![Coord::d2(4, 5), Coord::d2(6, 7)],
+            vec![Coord::d2(0, 0)],
+        ];
+        let buf = encode_full_entry(&out_shape, &in_shapes, &outcells, &incells, true);
+        let decoded = decode_full_entry(&out_shape, &in_shapes, &buf).unwrap();
+        assert_eq!(decoded.outcells, outcells);
+        assert_eq!(decoded.incells, incells);
+    }
+
+    #[test]
+    fn full_entry_roundtrip_without_outcells() {
+        let (out_shape, in_shapes) = shapes();
+        let incells = vec![vec![Coord::d2(1, 1)], vec![]];
+        let buf = encode_full_entry(&out_shape, &in_shapes, &[], &incells, false);
+        let decoded = decode_full_entry(&out_shape, &in_shapes, &buf).unwrap();
+        assert!(decoded.outcells.is_empty());
+        assert_eq!(decoded.incells, incells);
+        // The FullOne layout must be strictly smaller than the FullMany one
+        // for the same pair (that is its reason to exist).
+        let with = encode_full_entry(
+            &out_shape,
+            &in_shapes,
+            &[Coord::d2(0, 0), Coord::d2(1, 1)],
+            &incells,
+            true,
+        );
+        assert!(buf.len() < with.len());
+    }
+
+    #[test]
+    fn pay_entry_roundtrip() {
+        let (out_shape, _) = shapes();
+        let outcells = vec![Coord::d2(7, 7)];
+        let payload = vec![3, 0, 0, 0];
+        let buf = encode_pay_entry(&out_shape, &outcells, &payload);
+        let decoded = decode_pay_entry(&out_shape, &buf).unwrap();
+        assert_eq!(decoded.outcells, outcells);
+        assert_eq!(decoded.payload, payload);
+    }
+
+    #[test]
+    fn pay_entry_empty_payload() {
+        let (out_shape, _) = shapes();
+        let buf = encode_pay_entry(&out_shape, &[Coord::d2(0, 0)], &[]);
+        let decoded = decode_pay_entry(&out_shape, &buf).unwrap();
+        assert!(decoded.payload.is_empty());
+    }
+
+    #[test]
+    fn entry_id_lists_merge_by_appending() {
+        let mut value = Vec::new();
+        append_entry_id(&mut value, 7);
+        append_entry_id(&mut value, 300);
+        append_entry_id(&mut value, 7);
+        assert_eq!(decode_entry_ids(&value).unwrap(), vec![7, 300, 7]);
+        assert_eq!(decode_entry_ids(&[]).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn payload_lists_merge_by_appending() {
+        let mut value = Vec::new();
+        append_payload(&mut value, &[1, 2, 3]);
+        append_payload(&mut value, &[]);
+        append_payload(&mut value, &[9]);
+        assert_eq!(
+            decode_payloads(&value).unwrap(),
+            vec![vec![1, 2, 3], vec![], vec![9]]
+        );
+    }
+
+    #[test]
+    fn decode_key_rejects_garbage() {
+        let (out_shape, in_shapes) = shapes();
+        assert!(decode_key(&out_shape, &in_shapes, &[]).is_err());
+        assert!(decode_key(&out_shape, &in_shapes, b"zzzz").is_err());
+        // An in-cell key referencing a non-existent input index fails.
+        let mut bad = in_cell_key(&in_shapes[0], 0, &Coord::d2(0, 0));
+        bad[1] = 9;
+        assert!(decode_key(&out_shape, &in_shapes, &bad).is_err());
+    }
+}

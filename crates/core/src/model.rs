@@ -1,0 +1,443 @@
+//! Storage strategies and workflow-level strategy assignments.
+//!
+//! "Each storage strategy is fully specified by a lineage mode (Full, Map,
+//! Payload, Composite, or Black-box), encoding strategy, and whether it is
+//! forward or backward optimized.  SubZero can use multiple storage
+//! strategies to optimize for different query types." (§VI-B)
+//!
+//! This module defines those strategies ([`StorageStrategy`]) and the
+//! per-workflow assignment of strategies to operators ([`LineageStrategy`]),
+//! which is what the optimizer produces.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use subzero_engine::{LineageMode, OpId};
+
+/// Whether an encoding keys its hash entries by output cells (serving
+/// backward queries with direct lookups) or by input cells (serving forward
+/// queries).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Hash keys are output cells: backward-optimized (`←` in the paper).
+    Backward,
+    /// Hash keys are input cells: forward-optimized (`→` in the paper).
+    Forward,
+}
+
+impl Direction {
+    /// Short arrow notation used in reports (matches the paper's figures).
+    pub fn arrow(&self) -> &'static str {
+        match self {
+            Direction::Backward => "<-",
+            Direction::Forward => "->",
+        }
+    }
+}
+
+/// Whether each key-side cell gets its own hash entry (`One`) or the whole
+/// cell set of a region pair is stored as a single entry indexed by an R-tree
+/// (`Many`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One hash entry per key-side cell (`FullOne` / `PayOne`).
+    One,
+    /// One hash entry per region pair, with a spatial index over the key
+    /// cells (`FullMany` / `PayMany`).
+    Many,
+}
+
+/// Errors raised when constructing invalid strategies or assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyError {
+    /// The combination of mode/granularity/direction is not meaningful.
+    InvalidCombination(String),
+    /// A strategy references an operator that does not support the requested
+    /// lineage mode.
+    UnsupportedMode {
+        /// The operator id.
+        op: OpId,
+        /// The requested mode.
+        mode: LineageMode,
+    },
+}
+
+impl fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyError::InvalidCombination(msg) => write!(f, "invalid strategy: {msg}"),
+            StrategyError::UnsupportedMode { op, mode } => {
+                write!(f, "operator {op} does not support lineage mode {mode}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+/// A fully-specified storage strategy for one operator.
+///
+/// The paper's named strategies map to this type as:
+///
+/// | Paper name | Constructor |
+/// |---|---|
+/// | BlackBox     | [`StorageStrategy::blackbox()`] |
+/// | mapping lineage | [`StorageStrategy::mapping()`] |
+/// | ← FullOne    | [`StorageStrategy::full_one()`] |
+/// | ← FullMany   | [`StorageStrategy::full_many()`] |
+/// | → FullOne    | [`StorageStrategy::full_one_forward()`] |
+/// | ← PayOne     | [`StorageStrategy::pay_one()`] |
+/// | ← PayMany    | [`StorageStrategy::pay_many()`] |
+/// | composite (PayOne overrides + mapping default) | [`StorageStrategy::composite_one()`] |
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct StorageStrategy {
+    /// The lineage mode the operator is asked to generate.
+    pub mode: LineageMode,
+    /// Hash-entry granularity (ignored for `Map`/`Blackbox`).
+    pub granularity: Granularity,
+    /// Index direction (ignored for `Map`/`Blackbox`; payload lineage is
+    /// always backward-optimized because payloads cannot be indexed by input
+    /// cell).
+    pub direction: Direction,
+}
+
+impl StorageStrategy {
+    /// Black-box lineage only: re-run the operator at query time.
+    pub fn blackbox() -> Self {
+        StorageStrategy {
+            mode: LineageMode::Blackbox,
+            granularity: Granularity::One,
+            direction: Direction::Backward,
+        }
+    }
+
+    /// Mapping lineage: no stored pairs; queries call `map_b`/`map_f`.
+    pub fn mapping() -> Self {
+        StorageStrategy {
+            mode: LineageMode::Map,
+            granularity: Granularity::One,
+            direction: Direction::Backward,
+        }
+    }
+
+    /// Backward-optimized `FullOne`.
+    pub fn full_one() -> Self {
+        StorageStrategy {
+            mode: LineageMode::Full,
+            granularity: Granularity::One,
+            direction: Direction::Backward,
+        }
+    }
+
+    /// Backward-optimized `FullMany`.
+    pub fn full_many() -> Self {
+        StorageStrategy {
+            mode: LineageMode::Full,
+            granularity: Granularity::Many,
+            direction: Direction::Backward,
+        }
+    }
+
+    /// Forward-optimized `FullOne` (`→ FullOne` / `FullForw` in the paper).
+    pub fn full_one_forward() -> Self {
+        StorageStrategy {
+            mode: LineageMode::Full,
+            granularity: Granularity::One,
+            direction: Direction::Forward,
+        }
+    }
+
+    /// Forward-optimized `FullMany`.
+    pub fn full_many_forward() -> Self {
+        StorageStrategy {
+            mode: LineageMode::Full,
+            granularity: Granularity::Many,
+            direction: Direction::Forward,
+        }
+    }
+
+    /// Backward-optimized `PayOne`.
+    pub fn pay_one() -> Self {
+        StorageStrategy {
+            mode: LineageMode::Pay,
+            granularity: Granularity::One,
+            direction: Direction::Backward,
+        }
+    }
+
+    /// Backward-optimized `PayMany`.
+    pub fn pay_many() -> Self {
+        StorageStrategy {
+            mode: LineageMode::Pay,
+            granularity: Granularity::Many,
+            direction: Direction::Backward,
+        }
+    }
+
+    /// Composite lineage stored with the `PayOne` encoding (the strategy the
+    /// paper's `SubZero` configuration uses for the astronomy UDFs).
+    pub fn composite_one() -> Self {
+        StorageStrategy {
+            mode: LineageMode::Comp,
+            granularity: Granularity::One,
+            direction: Direction::Backward,
+        }
+    }
+
+    /// Composite lineage stored with the `PayMany` encoding.
+    pub fn composite_many() -> Self {
+        StorageStrategy {
+            mode: LineageMode::Comp,
+            granularity: Granularity::Many,
+            direction: Direction::Backward,
+        }
+    }
+
+    /// Whether the strategy materialises region pairs at workflow runtime.
+    pub fn stores_pairs(&self) -> bool {
+        self.mode.stores_pairs()
+    }
+
+    /// Whether this strategy's stored layout directly serves queries of the
+    /// given direction with indexed lookups (as opposed to a full scan).
+    pub fn serves(&self, query_direction: Direction) -> bool {
+        match self.mode {
+            LineageMode::Blackbox => true,
+            LineageMode::Map => true,
+            // Payload/composite lineage can only be indexed by output cells.
+            LineageMode::Pay | LineageMode::Comp => query_direction == Direction::Backward,
+            LineageMode::Full => self.direction == query_direction,
+        }
+    }
+
+    /// Validates mode/granularity/direction coherence.
+    pub fn validate(&self) -> Result<(), StrategyError> {
+        if matches!(self.mode, LineageMode::Pay | LineageMode::Comp)
+            && self.direction == Direction::Forward
+        {
+            return Err(StrategyError::InvalidCombination(
+                "payload and composite lineage cannot be forward-optimized: the payload is an \
+                 opaque blob that cannot be indexed by input cell"
+                    .to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The short, paper-style display name, e.g. `<-FullMany` or `Map`.
+    pub fn label(&self) -> String {
+        match self.mode {
+            LineageMode::Blackbox => "BlackBox".to_string(),
+            LineageMode::Map => "Map".to_string(),
+            LineageMode::Full => format!(
+                "{}Full{}",
+                self.direction.arrow(),
+                match self.granularity {
+                    Granularity::One => "One",
+                    Granularity::Many => "Many",
+                }
+            ),
+            LineageMode::Pay => format!(
+                "{}Pay{}",
+                self.direction.arrow(),
+                match self.granularity {
+                    Granularity::One => "One",
+                    Granularity::Many => "Many",
+                }
+            ),
+            LineageMode::Comp => format!(
+                "{}Comp{}",
+                self.direction.arrow(),
+                match self.granularity {
+                    Granularity::One => "One",
+                    Granularity::Many => "Many",
+                }
+            ),
+        }
+    }
+
+    /// A filesystem/database-safe identifier for this strategy.
+    pub fn db_suffix(&self) -> String {
+        format!(
+            "{}_{}_{}",
+            self.mode.short_name(),
+            match self.granularity {
+                Granularity::One => "one",
+                Granularity::Many => "many",
+            },
+            match self.direction {
+                Direction::Backward => "bwd",
+                Direction::Forward => "fwd",
+            }
+        )
+    }
+}
+
+impl fmt::Display for StorageStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A workflow-level lineage strategy: for every operator, the set of storage
+/// strategies it should use (an operator "may store its lineage data using
+/// multiple strategies", §VII).
+///
+/// Operators without an entry use the default strategy, which is black-box
+/// plus mapping lineage when the operator is a mapping operator (that mirrors
+/// the paper's `BlackBoxOpt` baseline and the optimizer's unconditional
+/// preference for mapping functions).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LineageStrategy {
+    assignments: HashMap<OpId, Vec<StorageStrategy>>,
+}
+
+impl LineageStrategy {
+    /// An empty assignment (every operator uses the default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an assignment where every operator in `ops` uses `strategies`.
+    pub fn uniform(ops: impl IntoIterator<Item = OpId>, strategies: Vec<StorageStrategy>) -> Self {
+        let mut s = Self::new();
+        for op in ops {
+            s.assignments.insert(op, strategies.clone());
+        }
+        s
+    }
+
+    /// Sets the strategies for one operator, replacing any previous entry.
+    pub fn set(&mut self, op: OpId, strategies: Vec<StorageStrategy>) -> &mut Self {
+        self.assignments.insert(op, strategies);
+        self
+    }
+
+    /// Adds one strategy to an operator's set.
+    pub fn add(&mut self, op: OpId, strategy: StorageStrategy) -> &mut Self {
+        self.assignments.entry(op).or_default().push(strategy);
+        self
+    }
+
+    /// The strategies assigned to `op`, if any were set explicitly.
+    pub fn get(&self, op: OpId) -> Option<&[StorageStrategy]> {
+        self.assignments.get(&op).map(|v| v.as_slice())
+    }
+
+    /// Operators with explicit assignments.
+    pub fn assigned_ops(&self) -> Vec<OpId> {
+        let mut ops: Vec<OpId> = self.assignments.keys().copied().collect();
+        ops.sort_unstable();
+        ops
+    }
+
+    /// Whether any assigned strategy for `op` materialises pairs.
+    pub fn stores_pairs_for(&self, op: OpId) -> bool {
+        self.get(op)
+            .map(|ss| ss.iter().any(|s| s.stores_pairs()))
+            .unwrap_or(false)
+    }
+
+    /// Validates every assigned strategy.
+    pub fn validate(&self) -> Result<(), StrategyError> {
+        for strategies in self.assignments.values() {
+            for s in strategies {
+                s.validate()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(StorageStrategy::blackbox().label(), "BlackBox");
+        assert_eq!(StorageStrategy::mapping().label(), "Map");
+        assert_eq!(StorageStrategy::full_one().label(), "<-FullOne");
+        assert_eq!(StorageStrategy::full_many().label(), "<-FullMany");
+        assert_eq!(StorageStrategy::full_one_forward().label(), "->FullOne");
+        assert_eq!(StorageStrategy::pay_one().label(), "<-PayOne");
+        assert_eq!(StorageStrategy::pay_many().label(), "<-PayMany");
+        assert_eq!(StorageStrategy::composite_one().label(), "<-CompOne");
+    }
+
+    #[test]
+    fn db_suffix_is_filesystem_safe() {
+        for s in [
+            StorageStrategy::full_many(),
+            StorageStrategy::pay_one(),
+            StorageStrategy::full_one_forward(),
+        ] {
+            let suffix = s.db_suffix();
+            assert!(suffix.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+        assert_eq!(StorageStrategy::full_many().db_suffix(), "full_many_bwd");
+    }
+
+    #[test]
+    fn serves_matches_index_direction() {
+        assert!(StorageStrategy::full_one().serves(Direction::Backward));
+        assert!(!StorageStrategy::full_one().serves(Direction::Forward));
+        assert!(StorageStrategy::full_one_forward().serves(Direction::Forward));
+        assert!(!StorageStrategy::full_one_forward().serves(Direction::Backward));
+        assert!(StorageStrategy::pay_many().serves(Direction::Backward));
+        assert!(!StorageStrategy::pay_many().serves(Direction::Forward));
+        assert!(StorageStrategy::mapping().serves(Direction::Forward));
+        assert!(StorageStrategy::blackbox().serves(Direction::Backward));
+    }
+
+    #[test]
+    fn forward_payload_is_invalid() {
+        let s = StorageStrategy {
+            mode: LineageMode::Pay,
+            granularity: Granularity::One,
+            direction: Direction::Forward,
+        };
+        assert!(s.validate().is_err());
+        assert!(StorageStrategy::pay_one().validate().is_ok());
+        assert!(StorageStrategy::composite_one().validate().is_ok());
+    }
+
+    #[test]
+    fn stores_pairs_follows_mode() {
+        assert!(!StorageStrategy::blackbox().stores_pairs());
+        assert!(!StorageStrategy::mapping().stores_pairs());
+        assert!(StorageStrategy::full_one().stores_pairs());
+        assert!(StorageStrategy::pay_many().stores_pairs());
+        assert!(StorageStrategy::composite_one().stores_pairs());
+    }
+
+    #[test]
+    fn lineage_strategy_assignment() {
+        let mut ls = LineageStrategy::new();
+        assert!(ls.get(0).is_none());
+        ls.set(0, vec![StorageStrategy::full_one()]);
+        ls.add(0, StorageStrategy::full_one_forward());
+        ls.add(3, StorageStrategy::pay_one());
+        assert_eq!(ls.get(0).unwrap().len(), 2);
+        assert_eq!(ls.assigned_ops(), vec![0, 3]);
+        assert!(ls.stores_pairs_for(0));
+        assert!(!ls.stores_pairs_for(1));
+        assert!(ls.validate().is_ok());
+    }
+
+    #[test]
+    fn uniform_assignment() {
+        let ls = LineageStrategy::uniform(0..3, vec![StorageStrategy::pay_one()]);
+        assert_eq!(ls.assigned_ops(), vec![0, 1, 2]);
+        assert_eq!(ls.get(2).unwrap()[0], StorageStrategy::pay_one());
+    }
+
+    #[test]
+    fn strategy_error_display() {
+        let e = StrategyError::UnsupportedMode {
+            op: 4,
+            mode: LineageMode::Pay,
+        };
+        assert!(e.to_string().contains("operator 4"));
+    }
+}

@@ -1,0 +1,813 @@
+//! The lineage query executor.
+//!
+//! "The Query Executor iteratively executes each step in the lineage query
+//! path by joining the lineage with the coordinates of the query cells, or
+//! the intermediate cells generated from the previous step." (§VI-C)
+//!
+//! A [`LineageQuery`] names an initial set of cells and a path of
+//! `(operator, input index)` steps; the executor walks the path backward
+//! (toward the workflow inputs) or forward (toward the outputs), producing a
+//! [`CellSet`] intermediate per step.  Each step is answered by one of:
+//!
+//! * the operator's **mapping functions** (free — nothing was stored),
+//! * **materialised region lineage** from the operator's datastores
+//!   (for composite lineage, combined with the default mapping function),
+//! * **re-execution** of the operator in tracing mode (black-box lineage),
+//! * the **entire-array optimization**: when every cell of the intermediate
+//!   is set and the operator is annotated all-to-all, the step's answer is
+//!   the entire input/output array without touching any lineage.
+//!
+//! The **query-time optimizer** (§VII-A) decides between materialised lineage
+//! and re-execution using the statistics gathered at capture time, bounding
+//! the worst case to roughly the cost of the black-box approach.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use subzero_array::{CellSet, Coord};
+use subzero_engine::executor::{EngineError, WorkflowRun};
+use subzero_engine::{Engine, LineageMode, OpId, OperatorExt};
+
+use crate::model::Direction;
+use crate::reexec;
+use crate::runtime::Runtime;
+
+/// Errors produced while executing a lineage query.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The query path was empty.
+    EmptyPath,
+    /// A path step referenced an input index the operator does not have.
+    BadInputIndex {
+        /// The operator.
+        op: OpId,
+        /// The requested input index.
+        input_idx: usize,
+    },
+    /// The cells flowing into a step did not match the array they should
+    /// belong to (the path is inconsistent with the workflow graph).
+    PathMismatch {
+        /// The step at which the mismatch was detected (0-based).
+        step: usize,
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// An engine-level failure (missing run record, missing array version).
+    Engine(EngineError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyPath => write!(f, "lineage query path is empty"),
+            QueryError::BadInputIndex { op, input_idx } => {
+                write!(f, "operator {op} has no input {input_idx}")
+            }
+            QueryError::PathMismatch { step, detail } => {
+                write!(f, "query path inconsistent at step {step}: {detail}")
+            }
+            QueryError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<EngineError> for QueryError {
+    fn from(e: EngineError) -> Self {
+        QueryError::Engine(e)
+    }
+}
+
+/// A lineage query: a set of starting cells and a path of
+/// `(operator, input index)` steps to trace through.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LineageQuery {
+    /// The starting cells (output cells of the first path operator for a
+    /// backward query; cells of its `input index`'th input for a forward
+    /// query).
+    pub cells: Vec<Coord>,
+    /// The path of `(operator, input index)` steps, ordered from the query's
+    /// starting operator toward its destination.
+    pub path: Vec<(OpId, usize)>,
+    /// Whether the path walks backward (toward inputs) or forward (toward
+    /// outputs).
+    pub direction: Direction,
+}
+
+impl LineageQuery {
+    /// A backward query: trace `cells` (output cells of `path[0].0`) back
+    /// through the path toward the workflow inputs.
+    pub fn backward(cells: Vec<Coord>, path: Vec<(OpId, usize)>) -> Self {
+        LineageQuery {
+            cells,
+            path,
+            direction: Direction::Backward,
+        }
+    }
+
+    /// A forward query: trace `cells` (cells of input `path[0].1` of
+    /// `path[0].0`) forward through the path toward the workflow outputs.
+    pub fn forward(cells: Vec<Coord>, path: Vec<(OpId, usize)>) -> Self {
+        LineageQuery {
+            cells,
+            path,
+            direction: Direction::Forward,
+        }
+    }
+}
+
+/// How one step of a query was answered.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StepMethod {
+    /// Forward/backward mapping functions.
+    Mapping,
+    /// Materialised region lineage.
+    Stored,
+    /// Materialised lineage combined with the default mapping function
+    /// (composite lineage).
+    StoredPlusMapping,
+    /// Operator re-execution in tracing mode (black-box lineage).
+    Reexecution,
+    /// The entire-array optimization short-circuited the step.
+    EntireArray,
+}
+
+impl fmt::Display for StepMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StepMethod::Mapping => "mapping",
+            StepMethod::Stored => "stored",
+            StepMethod::StoredPlusMapping => "stored+mapping",
+            StepMethod::Reexecution => "re-execution",
+            StepMethod::EntireArray => "entire-array",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-step execution report.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// The operator traversed.
+    pub op_id: OpId,
+    /// The input index traversed.
+    pub input_idx: usize,
+    /// How the step was answered.
+    pub method: StepMethod,
+    /// Step wall-clock time.
+    pub elapsed: Duration,
+    /// Number of cells in the step's result.
+    pub result_cells: usize,
+    /// Whether a stored-lineage lookup had to scan the whole datastore
+    /// because the index direction did not match.
+    pub scanned: bool,
+}
+
+/// Whole-query execution report.
+#[derive(Clone, Debug, Default)]
+pub struct QueryReport {
+    /// Reports for each step, in traversal order.
+    pub steps: Vec<StepReport>,
+    /// Total query wall-clock time.
+    pub total_elapsed: Duration,
+}
+
+impl QueryReport {
+    /// Number of steps answered by re-execution.
+    pub fn reexecutions(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.method == StepMethod::Reexecution)
+            .count()
+    }
+
+    /// Whether any step required a full datastore scan.
+    pub fn any_scan(&self) -> bool {
+        self.steps.iter().any(|s| s.scanned)
+    }
+}
+
+/// The result of a lineage query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The cells of the destination array the query resolved to.
+    pub cells: CellSet,
+    /// Per-step diagnostics.
+    pub report: QueryReport,
+}
+
+/// Tuning knobs of the query executor.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOptions {
+    /// Enable the entire-array optimization (§VI-C).
+    pub entire_array_optimization: bool,
+    /// Enable the query-time optimizer (§VII-A): fall back to re-execution
+    /// when the materialised lineage is predicted (or observed) to be slower.
+    pub query_time_optimizer: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            entire_array_optimization: true,
+            query_time_optimizer: true,
+        }
+    }
+}
+
+/// The query-time optimizer's cost thresholds.
+///
+/// The estimates are deliberately coarse — a per-entry fetch cost and a
+/// per-cell mapping cost — because all the decision needs is the order of
+/// magnitude: indexed lookups touching a handful of entries versus a full
+/// scan of a datastore versus re-running the operator.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryTimePolicy {
+    /// Estimated cost of fetching and decoding one hash entry.
+    pub entry_cost: Duration,
+    /// Estimated cost of applying a mapping function to one cell.
+    pub map_cost: Duration,
+    /// Stored-lineage access is abandoned in favour of re-execution when its
+    /// estimate exceeds this multiple of the re-execution estimate (the paper
+    /// bounds the worst case to 2× the black-box approach).
+    pub reexec_multiple: f64,
+}
+
+impl Default for QueryTimePolicy {
+    fn default() -> Self {
+        QueryTimePolicy {
+            entry_cost: Duration::from_micros(3),
+            map_cost: Duration::from_nanos(300),
+            reexec_multiple: 2.0,
+        }
+    }
+}
+
+impl QueryTimePolicy {
+    /// Estimates the cost of answering a step from stored lineage.
+    pub fn stored_estimate(
+        &self,
+        serving: bool,
+        query_cells: usize,
+        total_entries: usize,
+    ) -> Duration {
+        let entries = if serving {
+            query_cells.min(total_entries.max(1))
+        } else {
+            total_entries
+        };
+        self.entry_cost * entries.max(1) as u32
+    }
+
+    /// Whether stored lineage should be used instead of re-execution.
+    pub fn prefer_stored(
+        &self,
+        serving: bool,
+        query_cells: usize,
+        total_entries: usize,
+        reexec_estimate: Duration,
+    ) -> bool {
+        let stored = self.stored_estimate(serving, query_cells, total_entries);
+        stored.as_secs_f64() <= reexec_estimate.as_secs_f64() * self.reexec_multiple
+    }
+}
+
+/// Executes lineage queries against one engine + runtime pair.
+pub struct QueryExecutor<'a> {
+    engine: &'a Engine,
+    runtime: &'a mut Runtime,
+    options: QueryOptions,
+    policy: QueryTimePolicy,
+}
+
+impl<'a> QueryExecutor<'a> {
+    /// Creates an executor with default options.
+    pub fn new(engine: &'a Engine, runtime: &'a mut Runtime) -> Self {
+        QueryExecutor {
+            engine,
+            runtime,
+            options: QueryOptions::default(),
+            policy: QueryTimePolicy::default(),
+        }
+    }
+
+    /// Overrides the executor options.
+    pub fn with_options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the query-time policy.
+    pub fn with_policy(mut self, policy: QueryTimePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Executes a lineage query against a previously executed workflow run.
+    pub fn execute(
+        &mut self,
+        run: &WorkflowRun,
+        query: &LineageQuery,
+    ) -> Result<QueryResult, QueryError> {
+        if query.path.is_empty() {
+            return Err(QueryError::EmptyPath);
+        }
+        let start = Instant::now();
+        let mut report = QueryReport::default();
+
+        // Build the initial cell set over the array the query cells belong to.
+        let (first_op, first_idx) = query.path[0];
+        let first_record = run.record(first_op)?;
+        let initial_shape = match query.direction {
+            Direction::Backward => first_record.meta.output_shape,
+            Direction::Forward => *first_record
+                .meta
+                .input_shapes
+                .get(first_idx)
+                .ok_or(QueryError::BadInputIndex {
+                    op: first_op,
+                    input_idx: first_idx,
+                })?,
+        };
+        let mut current = CellSet::from_coords(initial_shape, query.cells.iter().copied());
+
+        for (step, &(op_id, input_idx)) in query.path.iter().enumerate() {
+            let record = run.record(op_id)?;
+            let meta = &record.meta;
+            if input_idx >= meta.input_shapes.len() {
+                return Err(QueryError::BadInputIndex { op: op_id, input_idx });
+            }
+            // Validate that the incoming cells live in the right array.
+            let expected = match query.direction {
+                Direction::Backward => meta.output_shape,
+                Direction::Forward => meta.input_shapes[input_idx],
+            };
+            if current.shape() != expected {
+                return Err(QueryError::PathMismatch {
+                    step,
+                    detail: format!(
+                        "cells are over {} but operator {} expects {}",
+                        current.shape(),
+                        op_id,
+                        expected
+                    ),
+                });
+            }
+
+            let step_start = Instant::now();
+            let node = run.workflow.node(op_id).map_err(EngineError::Workflow)?;
+            let op = node.operator.as_ref();
+            let target_shape = match query.direction {
+                Direction::Backward => meta.input_shapes[input_idx],
+                Direction::Forward => meta.output_shape,
+            };
+
+            // --- Entire-array optimization --------------------------------
+            // Two cases (§VI-C): (a) the operator is all-to-all, so any
+            // non-empty intermediate spans the whole target array; (b) the
+            // intermediate already covers its whole array and the operator is
+            // annotated as safe to span across in this direction.
+            let backward = query.direction == Direction::Backward;
+            let entire = self.options.entire_array_optimization
+                && ((op.all_to_all() && !current.is_empty())
+                    || (current.is_full() && op.spans_entire_array(input_idx, backward)));
+            if entire {
+                current = CellSet::full(target_shape);
+                report.steps.push(StepReport {
+                    op_id,
+                    input_idx,
+                    method: StepMethod::EntireArray,
+                    elapsed: step_start.elapsed(),
+                    result_cells: current.len(),
+                    scanned: false,
+                });
+                continue;
+            }
+
+            // --- Choose the step method -----------------------------------
+            let strategies = self.runtime.strategies_for(op_id);
+            let has_stored = self.runtime.has_lineage(run.run_id, op_id);
+            let explicit_map = strategies.iter().any(|s| s.mode == LineageMode::Map);
+            // An explicit all-Blackbox assignment means "re-run this operator
+            // at query time even if it has mapping functions" — that is what
+            // the paper's BlackBox baseline does for every operator.
+            let forced_blackbox = !strategies.is_empty()
+                && strategies.iter().all(|s| s.mode == LineageMode::Blackbox);
+            let use_mapping_only = if forced_blackbox {
+                false
+            } else if has_stored {
+                explicit_map
+            } else {
+                // No materialised lineage: a mapping operator answers from its
+                // mapping functions; anything else re-executes.
+                op.is_mapping()
+            };
+
+            let mut method;
+            let mut scanned = false;
+            let mut result;
+            if forced_blackbox {
+                result = self.reexecute(run, op_id, op, meta, &current, input_idx, query.direction)?;
+                method = StepMethod::Reexecution;
+            } else if use_mapping_only {
+                result = self.apply_mapping(op, meta, &current, input_idx, query.direction);
+                method = StepMethod::Mapping;
+            } else if has_stored {
+                // Decide between stored lineage and re-execution.
+                let serving = strategies
+                    .iter()
+                    .any(|s| s.stores_pairs() && s.serves(query.direction));
+                let total_entries: usize = self
+                    .runtime
+                    .datastores(run.run_id, op_id)
+                    .iter()
+                    .map(|d| d.num_entries())
+                    .max()
+                    .unwrap_or(0);
+                let reexec_estimate = record.elapsed;
+                let use_stored = !self.options.query_time_optimizer
+                    || self.policy.prefer_stored(
+                        serving,
+                        current.len(),
+                        total_entries,
+                        reexec_estimate,
+                    );
+                if use_stored {
+                    let (r, covered, did_scan) = self.lookup_stored(
+                        run.run_id,
+                        op_id,
+                        op,
+                        meta,
+                        &current,
+                        input_idx,
+                        query.direction,
+                    );
+                    scanned = did_scan;
+                    result = r;
+                    method = StepMethod::Stored;
+                    // Composite lineage: the stored pairs only cover the
+                    // exceptional cells; the rest follow the default mapping.
+                    let is_composite = strategies.iter().any(|s| s.mode == LineageMode::Comp);
+                    if is_composite {
+                        let default = match query.direction {
+                            Direction::Backward => {
+                                let uncovered: Vec<Coord> =
+                                    current.iter().filter(|c| !covered.contains(c)).collect();
+                                let uncovered_set =
+                                    CellSet::from_coords(current.shape(), uncovered);
+                                self.apply_mapping(op, meta, &uncovered_set, input_idx, query.direction)
+                            }
+                            Direction::Forward => {
+                                // Every query cell keeps its default forward
+                                // relationship in addition to any stored
+                                // overrides.
+                                self.apply_mapping(op, meta, &current, input_idx, query.direction)
+                            }
+                        };
+                        result.union_with(&default);
+                        method = StepMethod::StoredPlusMapping;
+                    }
+                } else {
+                    result = self.reexecute(run, op_id, op, meta, &current, input_idx, query.direction)?;
+                    method = StepMethod::Reexecution;
+                }
+            } else {
+                result = self.reexecute(run, op_id, op, meta, &current, input_idx, query.direction)?;
+                method = StepMethod::Reexecution;
+            }
+
+            current = result;
+            report.steps.push(StepReport {
+                op_id,
+                input_idx,
+                method,
+                elapsed: step_start.elapsed(),
+                result_cells: current.len(),
+                scanned,
+            });
+        }
+
+        report.total_elapsed = start.elapsed();
+        Ok(QueryResult {
+            cells: current,
+            report,
+        })
+    }
+
+    fn apply_mapping(
+        &self,
+        op: &dyn subzero_engine::Operator,
+        meta: &subzero_engine::OpMeta,
+        current: &CellSet,
+        input_idx: usize,
+        direction: Direction,
+    ) -> CellSet {
+        let target_shape = match direction {
+            Direction::Backward => meta.input_shapes[input_idx],
+            Direction::Forward => meta.output_shape,
+        };
+        let mut result = CellSet::empty(target_shape);
+        for cell in current.iter() {
+            let mapped = match direction {
+                Direction::Backward => op.map_backward(&cell, input_idx, meta),
+                Direction::Forward => op.map_forward(&cell, input_idx, meta),
+            };
+            for c in mapped.unwrap_or_default() {
+                if target_shape.contains(&c) {
+                    result.insert(&c);
+                }
+            }
+            // Saturated intermediates cannot grow further; stop early.
+            if result.is_full() {
+                break;
+            }
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lookup_stored(
+        &mut self,
+        run_id: u64,
+        op_id: OpId,
+        op: &dyn subzero_engine::Operator,
+        meta: &subzero_engine::OpMeta,
+        current: &CellSet,
+        input_idx: usize,
+        direction: Direction,
+    ) -> (CellSet, CellSet, bool) {
+        // Prefer a datastore whose index direction matches the query; fall
+        // back to any available one (which will scan).
+        let stores = self.runtime.datastores(run_id, op_id);
+        let pick = stores
+            .iter()
+            .position(|d| d.strategy().serves(direction))
+            .or(if stores.is_empty() { None } else { Some(0) });
+        let Some(idx) = pick else {
+            let target_shape = match direction {
+                Direction::Backward => meta.input_shapes[input_idx],
+                Direction::Forward => meta.output_shape,
+            };
+            let source_shape = current.shape();
+            return (CellSet::empty(target_shape), CellSet::empty(source_shape), false);
+        };
+        let outcome = match direction {
+            Direction::Backward => stores[idx].lookup_backward(current, input_idx, op, meta),
+            Direction::Forward => stores[idx].lookup_forward(current, input_idx, op, meta),
+        };
+        (outcome.result, outcome.covered, outcome.scanned)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn reexecute(
+        &self,
+        run: &WorkflowRun,
+        op_id: OpId,
+        op: &dyn subzero_engine::Operator,
+        meta: &subzero_engine::OpMeta,
+        current: &CellSet,
+        input_idx: usize,
+        direction: Direction,
+    ) -> Result<CellSet, QueryError> {
+        let (pairs, _elapsed) = self.engine.rerun_tracing(run, op_id)?;
+        Ok(match direction {
+            Direction::Backward => reexec::backward_from_pairs(&pairs, current, input_idx, op, meta),
+            Direction::Forward => reexec::forward_from_pairs(&pairs, current, input_idx, op, meta),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LineageStrategy, StorageStrategy};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use subzero_array::{Array, Shape};
+    use subzero_engine::ops::{Convolve, Elementwise1, GlobalAggregate, AggregateKind, UnaryKind};
+    use subzero_engine::Workflow;
+
+    /// scale -> convolve(r=1) -> global mean
+    fn pipeline() -> Arc<Workflow> {
+        let mut b = Workflow::builder("q");
+        let a = b.add_source(Arc::new(Elementwise1::new(UnaryKind::Scale(2.0))), "img");
+        let c = b.add_unary(Arc::new(Convolve::box_blur(1)), a);
+        let _m = b.add_unary(Arc::new(GlobalAggregate::new(AggregateKind::Mean)), c);
+        Arc::new(b.build().unwrap())
+    }
+
+    fn externals() -> HashMap<String, Array> {
+        let mut m = HashMap::new();
+        m.insert("img".to_string(), Array::filled(Shape::d2(6, 6), 1.0));
+        m
+    }
+
+    fn run_pipeline(strategy: LineageStrategy) -> (Engine, Runtime, WorkflowRun) {
+        let wf = pipeline();
+        let mut rt = Runtime::in_memory();
+        rt.set_strategy(strategy);
+        let mut engine = Engine::new();
+        let run = engine.execute(&wf, &externals(), &mut rt).unwrap();
+        (engine, rt, run)
+    }
+
+    #[test]
+    fn backward_query_through_mapping_operators() {
+        let (engine, mut rt, run) = run_pipeline(LineageStrategy::new());
+        let mut exec = QueryExecutor::new(&engine, &mut rt);
+        // Trace one cell of the convolve output back through convolve and
+        // scale: radius-1 neighbourhood, then identity.
+        let q = LineageQuery::backward(vec![Coord::d2(3, 3)], vec![(1, 0), (0, 0)]);
+        let result = exec.execute(&run, &q).unwrap();
+        assert_eq!(result.cells.len(), 9);
+        assert!(result.cells.contains(&Coord::d2(2, 2)));
+        assert_eq!(result.report.steps.len(), 2);
+        assert!(result
+            .report
+            .steps
+            .iter()
+            .all(|s| s.method == StepMethod::Mapping));
+    }
+
+    #[test]
+    fn forward_query_through_mapping_operators() {
+        let (engine, mut rt, run) = run_pipeline(LineageStrategy::new());
+        let mut exec = QueryExecutor::new(&engine, &mut rt);
+        // A corner input pixel influences its 4-cell neighbourhood after the
+        // convolve, and the single mean cell at the end.
+        let q = LineageQuery::forward(vec![Coord::d2(0, 0)], vec![(0, 0), (1, 0), (2, 0)]);
+        let result = exec.execute(&run, &q).unwrap();
+        assert_eq!(result.cells.to_coords(), vec![Coord::d2(0, 0)]);
+        assert_eq!(result.report.steps.len(), 3);
+    }
+
+    #[test]
+    fn entire_array_optimization_short_circuits_all_to_all() {
+        let (engine, mut rt, run) = run_pipeline(LineageStrategy::new());
+        // Backward from the global mean: its lineage is the whole convolve
+        // output, so the step is answered by the entire-array optimization
+        // and the remaining steps saturate.
+        let q = LineageQuery::backward(vec![Coord::d2(0, 0)], vec![(2, 0), (1, 0), (0, 0)]);
+        let mut exec = QueryExecutor::new(&engine, &mut rt);
+        let result = exec.execute(&run, &q).unwrap();
+        assert!(result.cells.is_full());
+        // The first step (global mean) saturates via mapping or entire-array;
+        // with a full intermediate the later all-to-all steps do not apply
+        // (convolve is not all-to-all) but mapping still saturates them.
+        assert_eq!(result.report.steps.len(), 3);
+
+        // With the optimization disabled the answer is identical, just slower.
+        let mut exec = QueryExecutor::new(&engine, &mut rt).with_options(QueryOptions {
+            entire_array_optimization: false,
+            query_time_optimizer: true,
+        });
+        let result2 = exec.execute(&run, &q).unwrap();
+        assert!(result2.cells.is_full());
+    }
+
+    #[test]
+    fn stored_lineage_answers_when_mapping_not_assigned() {
+        // Store full lineage for the convolve operator and force its use by
+        // assigning only a Full strategy.
+        let mut strategy = LineageStrategy::new();
+        strategy.set(1, vec![StorageStrategy::full_one()]);
+        let (engine, mut rt, run) = run_pipeline(strategy);
+        assert!(rt.has_lineage(run.run_id, 1));
+        let mut exec = QueryExecutor::new(&engine, &mut rt);
+        let q = LineageQuery::backward(vec![Coord::d2(3, 3)], vec![(1, 0)]);
+        let result = exec.execute(&run, &q).unwrap();
+        assert_eq!(result.cells.len(), 9);
+        assert_eq!(result.report.steps[0].method, StepMethod::Stored);
+    }
+
+    #[test]
+    fn blackbox_step_reexecutes() {
+        // No strategy and a non-mapping operator: force re-execution by
+        // wrapping convolve in a black-box-only operator.
+        use subzero_array::ArrayRef;
+        use subzero_engine::{LineageSink, Operator};
+
+        struct OpaqueBlur;
+        impl Operator for OpaqueBlur {
+            fn name(&self) -> &str {
+                "opaque-blur"
+            }
+            fn output_shape(&self, s: &[Shape]) -> Shape {
+                s[0]
+            }
+            fn supported_modes(&self) -> Vec<LineageMode> {
+                vec![LineageMode::Full, LineageMode::Blackbox]
+            }
+            fn run(
+                &self,
+                inputs: &[ArrayRef],
+                cur_modes: &[LineageMode],
+                sink: &mut dyn LineageSink,
+            ) -> Array {
+                let input = &inputs[0];
+                if cur_modes.contains(&LineageMode::Full) {
+                    for (c, _) in input.iter() {
+                        sink.lwrite(vec![c], vec![input.shape().neighborhood(&c, 1)]);
+                    }
+                }
+                input.clone().map(|v| v)
+            }
+        }
+
+        let mut b = Workflow::builder("bb");
+        let _x = b.add_source(Arc::new(OpaqueBlur), "img");
+        let wf = Arc::new(b.build().unwrap());
+        let mut rt = Runtime::in_memory();
+        let mut engine = Engine::new();
+        let run = engine.execute(&wf, &externals(), &mut rt).unwrap();
+
+        let mut exec = QueryExecutor::new(&engine, &mut rt);
+        let q = LineageQuery::backward(vec![Coord::d2(2, 2)], vec![(0, 0)]);
+        let result = exec.execute(&run, &q).unwrap();
+        assert_eq!(result.cells.len(), 9);
+        assert_eq!(result.report.steps[0].method, StepMethod::Reexecution);
+        assert_eq!(result.report.reexecutions(), 1);
+    }
+
+    #[test]
+    fn errors_for_bad_queries() {
+        let (engine, mut rt, run) = run_pipeline(LineageStrategy::new());
+        let mut exec = QueryExecutor::new(&engine, &mut rt);
+        assert!(matches!(
+            exec.execute(&run, &LineageQuery::backward(vec![], vec![])),
+            Err(QueryError::EmptyPath)
+        ));
+        assert!(matches!(
+            exec.execute(&run, &LineageQuery::backward(vec![Coord::d2(0, 0)], vec![(0, 7)])),
+            Err(QueryError::BadInputIndex { .. })
+        ));
+        assert!(matches!(
+            exec.execute(&run, &LineageQuery::backward(vec![Coord::d2(0, 0)], vec![(99, 0)])),
+            Err(QueryError::Engine(_))
+        ));
+    }
+
+    #[test]
+    fn path_mismatch_detected() {
+        let (engine, mut rt, run) = run_pipeline(LineageStrategy::new());
+        let mut exec = QueryExecutor::new(&engine, &mut rt);
+        // Backward from the mean (1x1) directly into the scale operator (6x6
+        // output): shapes do not line up.
+        let q = LineageQuery::backward(vec![Coord::d2(0, 0)], vec![(2, 0), (0, 0)]);
+        // Step 0 produces a 6x6 set (input of mean), and scale's output is
+        // also 6x6, so that particular path happens to be consistent; use a
+        // truly inconsistent one instead: forward into the mean from a 6x6
+        // input, then forward again treating its 1x1 output as a 6x6 input.
+        let _ = q;
+        let q = LineageQuery::forward(vec![Coord::d2(0, 0)], vec![(2, 0), (1, 0)]);
+        let err = exec.execute(&run, &q).unwrap_err();
+        assert!(matches!(err, QueryError::PathMismatch { step: 1, .. }));
+    }
+
+    #[test]
+    fn query_time_policy_estimates() {
+        let policy = QueryTimePolicy::default();
+        // Indexed lookups over a few cells are always preferred.
+        assert!(policy.prefer_stored(true, 10, 100_000, Duration::from_millis(1)));
+        // A full scan of a huge store versus a fast operator prefers re-execution.
+        assert!(!policy.prefer_stored(false, 10, 10_000_000, Duration::from_micros(50)));
+        // Estimates scale with entry counts.
+        assert!(
+            policy.stored_estimate(false, 10, 1000) > policy.stored_estimate(true, 10, 1000)
+        );
+    }
+
+    #[test]
+    fn query_time_optimizer_switches_to_reexecution_on_mismatched_index() {
+        // Store only forward-optimized lineage, then run a backward query.
+        // With the query-time optimizer the step may fall back to
+        // re-execution; without it the step must scan.
+        let mut strategy = LineageStrategy::new();
+        strategy.set(1, vec![StorageStrategy::full_one_forward()]);
+        let (engine, mut rt, run) = run_pipeline(strategy.clone());
+        let q = LineageQuery::backward(vec![Coord::d2(3, 3)], vec![(1, 0)]);
+
+        let mut exec = QueryExecutor::new(&engine, &mut rt).with_options(QueryOptions {
+            entire_array_optimization: true,
+            query_time_optimizer: false,
+        });
+        let static_result = exec.execute(&run, &q).unwrap();
+        assert_eq!(static_result.report.steps[0].method, StepMethod::Stored);
+        assert!(static_result.report.any_scan());
+
+        let (engine, mut rt, run) = run_pipeline(strategy);
+        let mut exec = QueryExecutor::new(&engine, &mut rt).with_policy(QueryTimePolicy {
+            // Make scans look expensive so the optimizer re-executes.
+            entry_cost: Duration::from_millis(10),
+            ..QueryTimePolicy::default()
+        });
+        let dynamic_result = exec.execute(&run, &q).unwrap();
+        assert_eq!(
+            dynamic_result.report.steps[0].method,
+            StepMethod::Reexecution
+        );
+        // Both approaches agree on the answer.
+        assert_eq!(static_result.cells, dynamic_result.cells);
+    }
+}

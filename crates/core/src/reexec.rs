@@ -1,0 +1,180 @@
+//! Deriving query answers from traced region pairs.
+//!
+//! When an operator only has black-box lineage, the query executor re-runs it
+//! in tracing mode (`cur_modes = [Full]`); the operator's `lwrite()` calls are
+//! captured in memory and joined against the query cells here (§V-B of the
+//! paper).  The same helpers are used by tests as a trusted oracle for the
+//! stored-lineage paths.
+
+use subzero_array::CellSet;
+use subzero_engine::{OpMeta, Operator, RegionPair};
+
+/// Joins traced pairs against backward-query cells: returns the cells of
+/// input `input_idx` that any queried output cell depends on.
+pub fn backward_from_pairs(
+    pairs: &[RegionPair],
+    query: &CellSet,
+    input_idx: usize,
+    op: &dyn Operator,
+    meta: &OpMeta,
+) -> CellSet {
+    let mut result = CellSet::empty(meta.input_shapes[input_idx]);
+    for pair in pairs {
+        match pair {
+            RegionPair::Full { outcells, incells } => {
+                if outcells.iter().any(|c| query.contains(c)) {
+                    for c in incells.get(input_idx).into_iter().flatten() {
+                        result.insert(c);
+                    }
+                }
+            }
+            RegionPair::Payload { outcells, payload } => {
+                for oc in outcells.iter().filter(|c| query.contains(c)) {
+                    for c in op
+                        .map_payload(oc, payload, input_idx, meta)
+                        .unwrap_or_default()
+                    {
+                        result.insert(&c);
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Joins traced pairs against forward-query cells: returns the output cells
+/// that depend on any queried cell of input `input_idx`.
+pub fn forward_from_pairs(
+    pairs: &[RegionPair],
+    query: &CellSet,
+    input_idx: usize,
+    op: &dyn Operator,
+    meta: &OpMeta,
+) -> CellSet {
+    let mut result = CellSet::empty(meta.output_shape);
+    for pair in pairs {
+        match pair {
+            RegionPair::Full { outcells, incells } => {
+                let hit = incells
+                    .get(input_idx)
+                    .into_iter()
+                    .flatten()
+                    .any(|c| query.contains(c));
+                if hit {
+                    for c in outcells {
+                        result.insert(c);
+                    }
+                }
+            }
+            RegionPair::Payload { outcells, payload } => {
+                for oc in outcells {
+                    let incells = op
+                        .map_payload(oc, payload, input_idx, meta)
+                        .unwrap_or_default();
+                    if incells.iter().any(|c| query.contains(c)) {
+                        result.insert(oc);
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subzero_array::{Array, ArrayRef, Coord, Shape};
+    use subzero_engine::{LineageMode, LineageSink};
+
+    struct RadiusOp;
+
+    impl Operator for RadiusOp {
+        fn name(&self) -> &str {
+            "radius"
+        }
+        fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+            input_shapes[0]
+        }
+        fn run(
+            &self,
+            inputs: &[ArrayRef],
+            _m: &[LineageMode],
+            _s: &mut dyn LineageSink,
+        ) -> Array {
+            (*inputs[0]).clone()
+        }
+        fn map_payload(
+            &self,
+            outcell: &Coord,
+            payload: &[u8],
+            _i: usize,
+            meta: &OpMeta,
+        ) -> Option<Vec<Coord>> {
+            let r = payload.first().copied().unwrap_or(0) as u32;
+            Some(meta.input_shape(0).neighborhood(outcell, r))
+        }
+    }
+
+    fn meta() -> OpMeta {
+        OpMeta::new(vec![Shape::d2(6, 6), Shape::d2(6, 6)], Shape::d2(6, 6))
+    }
+
+    #[test]
+    fn backward_join_full_pairs() {
+        let m = meta();
+        let pairs = vec![
+            RegionPair::Full {
+                outcells: vec![Coord::d2(0, 0)],
+                incells: vec![vec![Coord::d2(1, 1)], vec![Coord::d2(2, 2)]],
+            },
+            RegionPair::Full {
+                outcells: vec![Coord::d2(5, 5)],
+                incells: vec![vec![Coord::d2(4, 4)], vec![]],
+            },
+        ];
+        let q = CellSet::from_coords(Shape::d2(6, 6), [Coord::d2(0, 0)]);
+        let r = backward_from_pairs(&pairs, &q, 0, &RadiusOp, &m);
+        assert_eq!(r.to_coords(), vec![Coord::d2(1, 1)]);
+        let r1 = backward_from_pairs(&pairs, &q, 1, &RadiusOp, &m);
+        assert_eq!(r1.to_coords(), vec![Coord::d2(2, 2)]);
+        // Querying a cell with no pairs yields nothing.
+        let q = CellSet::from_coords(Shape::d2(6, 6), [Coord::d2(3, 3)]);
+        assert!(backward_from_pairs(&pairs, &q, 0, &RadiusOp, &m).is_empty());
+    }
+
+    #[test]
+    fn forward_join_full_pairs() {
+        let m = meta();
+        let pairs = vec![RegionPair::Full {
+            outcells: vec![Coord::d2(0, 0), Coord::d2(0, 1)],
+            incells: vec![vec![Coord::d2(1, 1)], vec![]],
+        }];
+        let q = CellSet::from_coords(Shape::d2(6, 6), [Coord::d2(1, 1)]);
+        let r = forward_from_pairs(&pairs, &q, 0, &RadiusOp, &m);
+        assert_eq!(r.len(), 2);
+        // The same query against input 1 finds nothing (its cell list is empty).
+        assert!(forward_from_pairs(&pairs, &q, 1, &RadiusOp, &m).is_empty());
+    }
+
+    #[test]
+    fn payload_pairs_resolved_through_map_payload() {
+        let m = meta();
+        let pairs = vec![RegionPair::Payload {
+            outcells: vec![Coord::d2(3, 3)],
+            payload: vec![1],
+        }];
+        let q = CellSet::from_coords(Shape::d2(6, 6), [Coord::d2(3, 3)]);
+        let r = backward_from_pairs(&pairs, &q, 0, &RadiusOp, &m);
+        assert_eq!(r.len(), 9, "radius-1 neighbourhood");
+
+        // Forward: an input cell adjacent to (3,3) influenced it.
+        let q = CellSet::from_coords(Shape::d2(6, 6), [Coord::d2(2, 3)]);
+        let r = forward_from_pairs(&pairs, &q, 0, &RadiusOp, &m);
+        assert_eq!(r.to_coords(), vec![Coord::d2(3, 3)]);
+        // A far-away input cell did not.
+        let q = CellSet::from_coords(Shape::d2(6, 6), [Coord::d2(5, 0)]);
+        assert!(forward_from_pairs(&pairs, &q, 0, &RadiusOp, &m).is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! The lineage capture runtime.
+//!
+//! [`Runtime`] is SubZero's implementation of the workflow executor's
+//! [`LineageCollector`] hook: as operators run, it receives their region
+//! pairs, routes them to one [`OpDatastore`] per assigned storage strategy,
+//! and gathers the per-operator statistics (pair counts, fanin/fanout,
+//! capture time, bytes) that the optimizer's cost model consumes.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use subzero_engine::executor::{LineageCollector, OpExecution};
+use subzero_engine::{LineageMode, OpId, OperatorExt, RegionPair, Workflow};
+use subzero_store::kv::{FileBackend, KvBackend, MemBackend};
+
+use crate::datastore::OpDatastore;
+use crate::model::{LineageStrategy, StorageStrategy};
+
+pub use subzero_engine::operator::OperatorExt as _;
+
+/// Per-operator lineage statistics gathered during capture.
+#[derive(Clone, Debug, Default)]
+pub struct OperatorLineageStats {
+    /// Operator name.
+    pub op_name: String,
+    /// Number of region pairs emitted.
+    pub pairs: u64,
+    /// Total output cells across pairs.
+    pub out_cells: u64,
+    /// Total input cells across pairs (all inputs).
+    pub in_cells: u64,
+    /// Total payload bytes across payload pairs.
+    pub payload_bytes: u64,
+    /// Operator execution time (excluding capture).
+    pub exec_time: Duration,
+    /// Time spent encoding and storing lineage for this operator.
+    pub capture_time: Duration,
+}
+
+impl OperatorLineageStats {
+    /// Average number of input cells per region pair ("fanin").
+    pub fn avg_fanin(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.in_cells as f64 / self.pairs as f64
+        }
+    }
+
+    /// Average number of output cells per region pair ("fanout").
+    pub fn avg_fanout(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.out_cells as f64 / self.pairs as f64
+        }
+    }
+}
+
+/// Aggregate capture statistics across a whole run.
+#[derive(Clone, Debug, Default)]
+pub struct CaptureStats {
+    /// Lineage bytes stored (hash entries plus spatial indexes).
+    pub bytes: usize,
+    /// Total time spent capturing (encoding + storing) lineage.
+    pub capture_time: Duration,
+    /// Total operator execution time.
+    pub exec_time: Duration,
+    /// Number of region pairs stored across all operators and strategies.
+    pub pairs: u64,
+}
+
+/// The SubZero lineage capture runtime.
+pub struct Runtime {
+    storage_dir: Option<PathBuf>,
+    strategy: LineageStrategy,
+    /// Datastores keyed by `(run_id, op_id)`; one per assigned strategy that
+    /// stores pairs.
+    datastores: HashMap<(u64, OpId), Vec<OpDatastore>>,
+    /// Capture statistics keyed by `(run_id, op_id)`.
+    stats: HashMap<(u64, OpId), OperatorLineageStats>,
+}
+
+impl Runtime {
+    /// A runtime whose datastores live in memory.
+    pub fn in_memory() -> Self {
+        Runtime {
+            storage_dir: None,
+            strategy: LineageStrategy::new(),
+            datastores: HashMap::new(),
+            stats: HashMap::new(),
+        }
+    }
+
+    /// A runtime whose datastores persist under `dir`.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        Runtime {
+            storage_dir: Some(dir.into()),
+            ..Self::in_memory()
+        }
+    }
+
+    /// Replaces the workflow-level lineage strategy.  Takes effect for
+    /// subsequent executions (the paper's operators "initially generate
+    /// black-box lineage but over time change strategy through
+    /// optimization").
+    pub fn set_strategy(&mut self, strategy: LineageStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The current lineage strategy.
+    pub fn strategy(&self) -> &LineageStrategy {
+        &self.strategy
+    }
+
+    /// The storage strategies assigned to one operator (empty when the
+    /// operator runs under the default black-box + mapping behaviour).
+    pub fn strategies_for(&self, op_id: OpId) -> Vec<StorageStrategy> {
+        self.strategy.get(op_id).map(|s| s.to_vec()).unwrap_or_default()
+    }
+
+    /// The datastores holding lineage captured for `(run_id, op_id)`.
+    pub fn datastores(&mut self, run_id: u64, op_id: OpId) -> &mut [OpDatastore] {
+        self.datastores
+            .get_mut(&(run_id, op_id))
+            .map(|v| v.as_mut_slice())
+            .unwrap_or(&mut [])
+    }
+
+    /// Whether any materialised lineage exists for `(run_id, op_id)`.
+    pub fn has_lineage(&self, run_id: u64, op_id: OpId) -> bool {
+        self.datastores
+            .get(&(run_id, op_id))
+            .map(|v| !v.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Per-operator capture statistics for a run.
+    pub fn op_stats(&self, run_id: u64, op_id: OpId) -> Option<&OperatorLineageStats> {
+        self.stats.get(&(run_id, op_id))
+    }
+
+    /// All per-operator statistics for a run.
+    pub fn run_stats(&self, run_id: u64) -> HashMap<OpId, &OperatorLineageStats> {
+        self.stats
+            .iter()
+            .filter(|((r, _), _)| *r == run_id)
+            .map(|((_, op), s)| (*op, s))
+            .collect()
+    }
+
+    /// Aggregate capture statistics for a run.
+    pub fn capture_stats(&self, run_id: u64) -> CaptureStats {
+        let mut agg = CaptureStats::default();
+        for ((r, op), stats) in &self.stats {
+            if *r != run_id {
+                continue;
+            }
+            agg.capture_time += stats.capture_time;
+            agg.exec_time += stats.exec_time;
+            if let Some(stores) = self.datastores.get(&(*r, *op)) {
+                for ds in stores {
+                    agg.bytes += ds.bytes_used();
+                    agg.pairs += ds.pairs_stored();
+                }
+            }
+        }
+        agg
+    }
+
+    /// Total lineage bytes stored for a run.
+    pub fn bytes_for_run(&self, run_id: u64) -> usize {
+        self.capture_stats(run_id).bytes
+    }
+
+    /// Drops all lineage stored for a run (used by the benchmark harness to
+    /// bound memory between strategy configurations).
+    pub fn clear_run(&mut self, run_id: u64) {
+        self.datastores.retain(|(r, _), _| *r != run_id);
+        self.stats.retain(|(r, _), _| *r != run_id);
+    }
+
+    fn make_backend(&self, name: &str) -> Box<dyn KvBackend> {
+        match &self.storage_dir {
+            None => Box::new(MemBackend::new()),
+            Some(dir) => {
+                let file = dir.join(format!("{}.kv", sanitize(name)));
+                Box::new(FileBackend::open(&file).expect("open lineage database file"))
+            }
+        }
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
+}
+
+impl LineageCollector for Runtime {
+    fn modes_for(&self, workflow: &Workflow, op_id: OpId) -> Vec<LineageMode> {
+        let Ok(node) = workflow.node(op_id) else {
+            return vec![LineageMode::Blackbox];
+        };
+        let mut modes: Vec<LineageMode> = self
+            .strategies_for(op_id)
+            .iter()
+            .map(|s| s.mode)
+            .filter(|m| m.stores_pairs())
+            .filter(|m| node.operator.supports(*m))
+            .collect();
+        modes.sort_unstable();
+        modes.dedup();
+        if modes.is_empty() {
+            vec![LineageMode::Blackbox]
+        } else {
+            modes
+        }
+    }
+
+    fn collect(&mut self, exec: &OpExecution<'_>, pairs: Vec<RegionPair>) {
+        let start = Instant::now();
+        let key = (exec.run_id, exec.op_id);
+
+        // Record execution statistics even for operators with no pairs.
+        let stats = self.stats.entry(key).or_insert_with(|| OperatorLineageStats {
+            op_name: exec.op_name.to_string(),
+            ..Default::default()
+        });
+        stats.exec_time += exec.elapsed;
+        for pair in &pairs {
+            stats.pairs += 1;
+            stats.out_cells += pair.outcells().len() as u64;
+            match pair {
+                RegionPair::Full { incells, .. } => {
+                    stats.in_cells += incells.iter().map(Vec::len).sum::<usize>() as u64;
+                }
+                RegionPair::Payload { payload, .. } => {
+                    stats.payload_bytes += payload.len() as u64;
+                }
+            }
+        }
+
+        // Route pairs to one datastore per pair-storing strategy.
+        let strategies: Vec<StorageStrategy> = self
+            .strategies_for(exec.op_id)
+            .into_iter()
+            .filter(|s| s.stores_pairs())
+            .collect();
+        if !strategies.is_empty() && !pairs.is_empty() {
+            if !self.datastores.contains_key(&key) {
+                let mut stores = Vec::with_capacity(strategies.len());
+                for s in &strategies {
+                    let name = format!("run{}_op{}_{}", exec.run_id, exec.op_id, s.db_suffix());
+                    let backend = self.make_backend(&name);
+                    stores.push(OpDatastore::new(name, *s, exec.meta, backend));
+                }
+                self.datastores.insert(key, stores);
+            }
+            let stores = self.datastores.get_mut(&key).expect("just inserted");
+            for pair in &pairs {
+                for ds in stores.iter_mut() {
+                    ds.store_pair(pair);
+                }
+            }
+        }
+
+        // Charge the full collect() time (routing + encoding + storing) to
+        // this operator's capture overhead.
+        let elapsed = start.elapsed();
+        if let Some(stats) = self.stats.get_mut(&key) {
+            stats.capture_time += elapsed;
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("datastores", &self.datastores.len())
+            .field("storage_dir", &self.storage_dir)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as StdHashMap;
+    use std::sync::Arc;
+    use subzero_array::{Array, Coord, Shape};
+    use subzero_engine::ops::{Elementwise1, UnaryKind};
+    use subzero_engine::{Engine, Workflow};
+
+    fn workflow() -> Arc<Workflow> {
+        let mut b = Workflow::builder("wf");
+        let a = b.add_source(Arc::new(Elementwise1::new(UnaryKind::Scale(2.0))), "x");
+        let _c = b.add_unary(Arc::new(Elementwise1::new(UnaryKind::Offset(1.0))), a);
+        Arc::new(b.build().unwrap())
+    }
+
+    fn externals() -> StdHashMap<String, Array> {
+        let mut m = StdHashMap::new();
+        m.insert("x".to_string(), Array::filled(Shape::d2(4, 4), 1.0));
+        m
+    }
+
+    #[test]
+    fn modes_follow_strategy_and_operator_support() {
+        let wf = workflow();
+        let mut rt = Runtime::in_memory();
+        assert_eq!(
+            rt.modes_for(&wf, 0),
+            vec![LineageMode::Blackbox],
+            "no strategy => black-box"
+        );
+        let mut strategy = LineageStrategy::new();
+        strategy.set(0, vec![StorageStrategy::full_one(), StorageStrategy::full_many()]);
+        strategy.set(1, vec![StorageStrategy::pay_one()]);
+        rt.set_strategy(strategy);
+        assert_eq!(rt.modes_for(&wf, 0), vec![LineageMode::Full]);
+        // Elementwise operators do not support Pay, so the mode falls back to
+        // black-box rather than asking for something the operator cannot do.
+        assert_eq!(rt.modes_for(&wf, 1), vec![LineageMode::Blackbox]);
+    }
+
+    #[test]
+    fn capture_stores_pairs_per_strategy() {
+        let wf = workflow();
+        let mut rt = Runtime::in_memory();
+        let mut strategy = LineageStrategy::new();
+        strategy.set(0, vec![StorageStrategy::full_one(), StorageStrategy::full_one_forward()]);
+        rt.set_strategy(strategy);
+
+        let mut engine = Engine::new();
+        let run = engine.execute(&wf, &externals(), &mut rt).unwrap();
+
+        assert!(rt.has_lineage(run.run_id, 0));
+        assert!(!rt.has_lineage(run.run_id, 1));
+        assert_eq!(rt.datastores(run.run_id, 0).len(), 2);
+        let stats = rt.op_stats(run.run_id, 0).unwrap();
+        assert_eq!(stats.pairs, 16, "one identity pair per cell");
+        assert_eq!(stats.out_cells, 16);
+        assert_eq!(stats.in_cells, 16);
+        assert!((stats.avg_fanin() - 1.0).abs() < 1e-9);
+        assert!((stats.avg_fanout() - 1.0).abs() < 1e-9);
+
+        let agg = rt.capture_stats(run.run_id);
+        assert!(agg.bytes > 0);
+        assert_eq!(agg.pairs, 32, "16 pairs stored under each of 2 strategies");
+        assert!(rt.bytes_for_run(run.run_id) > 0);
+    }
+
+    #[test]
+    fn blackbox_strategy_stores_nothing() {
+        let wf = workflow();
+        let mut rt = Runtime::in_memory();
+        let mut engine = Engine::new();
+        let run = engine.execute(&wf, &externals(), &mut rt).unwrap();
+        assert!(!rt.has_lineage(run.run_id, 0));
+        let agg = rt.capture_stats(run.run_id);
+        assert_eq!(agg.bytes, 0);
+        assert_eq!(agg.pairs, 0);
+        // Execution statistics are still recorded.
+        assert!(rt.op_stats(run.run_id, 0).is_some());
+    }
+
+    #[test]
+    fn clear_run_releases_lineage() {
+        let wf = workflow();
+        let mut rt = Runtime::in_memory();
+        let mut strategy = LineageStrategy::new();
+        strategy.set(0, vec![StorageStrategy::full_one()]);
+        rt.set_strategy(strategy);
+        let mut engine = Engine::new();
+        let run = engine.execute(&wf, &externals(), &mut rt).unwrap();
+        assert!(rt.has_lineage(run.run_id, 0));
+        rt.clear_run(run.run_id);
+        assert!(!rt.has_lineage(run.run_id, 0));
+        assert!(rt.op_stats(run.run_id, 0).is_none());
+    }
+
+    #[test]
+    fn on_disk_runtime_persists_to_files() {
+        let dir = std::env::temp_dir().join(format!("subzero-rt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let wf = workflow();
+        let mut rt = Runtime::on_disk(&dir);
+        let mut strategy = LineageStrategy::new();
+        strategy.set(0, vec![StorageStrategy::full_one()]);
+        rt.set_strategy(strategy);
+        let mut engine = Engine::new();
+        let run = engine.execute(&wf, &externals(), &mut rt).unwrap();
+        assert!(rt.has_lineage(run.run_id, 0));
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(!files.is_empty(), "lineage database files were created");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_stats_filters_by_run() {
+        let wf = workflow();
+        let mut rt = Runtime::in_memory();
+        let mut engine = Engine::new();
+        let r1 = engine.execute(&wf, &externals(), &mut rt).unwrap();
+        let r2 = engine.execute(&wf, &externals(), &mut rt).unwrap();
+        assert_eq!(rt.run_stats(r1.run_id).len(), 2);
+        assert_eq!(rt.run_stats(r2.run_id).len(), 2);
+        // Lineage query cells: coordinate sanity for the recorded stats.
+        assert!(rt.op_stats(r1.run_id, 1).unwrap().exec_time >= Duration::ZERO);
+        let _ = Coord::d2(0, 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! The SubZero system façade.
+//!
+//! [`SubZero`] wires the pieces together the way Figure 3 of the paper does:
+//! a workflow executor ([`Engine`]), the lineage capture [`Runtime`] with its
+//! operator-specific datastores, and the [`QueryExecutor`].  The lineage
+//! strategy is supplied either manually or by the `subzero-optimizer` crate.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use subzero_array::Array;
+use subzero_engine::executor::{EngineError, WorkflowRun};
+use subzero_engine::{Engine, Workflow};
+
+use crate::model::LineageStrategy;
+use crate::query::{LineageQuery, QueryError, QueryExecutor, QueryOptions, QueryResult, QueryTimePolicy};
+use crate::runtime::{CaptureStats, Runtime};
+
+/// The SubZero lineage system: workflow execution with lineage capture, plus
+/// lineage query execution.
+pub struct SubZero {
+    engine: Engine,
+    runtime: Runtime,
+    options: QueryOptions,
+    policy: QueryTimePolicy,
+}
+
+impl Default for SubZero {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SubZero {
+    /// Creates a system whose lineage datastores live in memory.
+    pub fn new() -> Self {
+        SubZero {
+            engine: Engine::new(),
+            runtime: Runtime::in_memory(),
+            options: QueryOptions::default(),
+            policy: QueryTimePolicy::default(),
+        }
+    }
+
+    /// Creates a system whose lineage datastores persist under `dir`.
+    pub fn with_storage_dir(dir: impl Into<PathBuf>) -> Self {
+        SubZero {
+            engine: Engine::new(),
+            runtime: Runtime::on_disk(dir),
+            options: QueryOptions::default(),
+            policy: QueryTimePolicy::default(),
+        }
+    }
+
+    /// Replaces the workflow-level lineage strategy (applies to subsequent
+    /// executions).
+    pub fn set_strategy(&mut self, strategy: LineageStrategy) {
+        self.runtime.set_strategy(strategy);
+    }
+
+    /// The current lineage strategy.
+    pub fn strategy(&self) -> &LineageStrategy {
+        self.runtime.strategy()
+    }
+
+    /// Overrides the query executor options (entire-array optimization,
+    /// query-time optimizer).
+    pub fn set_query_options(&mut self, options: QueryOptions) {
+        self.options = options;
+    }
+
+    /// Overrides the query-time optimizer cost policy.
+    pub fn set_query_time_policy(&mut self, policy: QueryTimePolicy) {
+        self.policy = policy;
+    }
+
+    /// Executes one instance of `workflow` over the given external inputs,
+    /// capturing lineage according to the current strategy.
+    pub fn execute(
+        &mut self,
+        workflow: &Arc<Workflow>,
+        inputs: &HashMap<String, Array>,
+    ) -> Result<WorkflowRun, EngineError> {
+        self.engine.execute(workflow, inputs, &mut self.runtime)
+    }
+
+    /// Executes a lineage query against a previous run.
+    pub fn query(
+        &mut self,
+        run: &WorkflowRun,
+        query: &LineageQuery,
+    ) -> Result<QueryResult, QueryError> {
+        QueryExecutor::new(&self.engine, &mut self.runtime)
+            .with_options(self.options)
+            .with_policy(self.policy)
+            .execute(run, query)
+    }
+
+    /// The underlying workflow engine (array store, WAL, re-execution).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The lineage capture runtime (datastores and statistics).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Mutable access to the runtime (used by the optimizer to inspect
+    /// datastores and by the harness to clear runs).
+    pub fn runtime_mut(&mut self) -> &mut Runtime {
+        &mut self.runtime
+    }
+
+    /// Aggregate lineage capture statistics for a run.
+    pub fn capture_stats(&self, run_id: u64) -> CaptureStats {
+        self.runtime.capture_stats(run_id)
+    }
+
+    /// Lineage bytes stored for a run (hash entries plus spatial indexes).
+    pub fn lineage_bytes(&self, run_id: u64) -> usize {
+        self.runtime.bytes_for_run(run_id)
+    }
+
+    /// Bytes of array data (inputs, intermediates and outputs) persisted by
+    /// the no-overwrite store.  The paper compares lineage overhead to this
+    /// number.
+    pub fn array_bytes(&self) -> usize {
+        self.engine.store().bytes_stored()
+    }
+
+    /// Drops all lineage stored for a run.
+    pub fn clear_lineage(&mut self, run_id: u64) {
+        self.runtime.clear_run(run_id);
+    }
+}
+
+impl std::fmt::Debug for SubZero {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubZero")
+            .field("engine", &self.engine)
+            .field("runtime", &self.runtime)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StorageStrategy;
+    use crate::query::StepMethod;
+    use subzero_array::{Coord, Shape};
+    use subzero_engine::ops::{BinaryKind, Convolve, Elementwise1, Elementwise2, UnaryKind};
+
+    /// A small two-exposure pipeline reminiscent of the astronomy workflow:
+    /// blur both inputs, average them, then threshold.
+    fn workflow() -> Arc<Workflow> {
+        let mut b = Workflow::builder("mini-lsst");
+        let blur_a = b.add_source(Arc::new(Convolve::box_blur(1)), "exp1");
+        let blur_b = b.add_source(Arc::new(Convolve::box_blur(1)), "exp2");
+        let merged = b.add_binary(Arc::new(Elementwise2::new(BinaryKind::Mean)), blur_a, blur_b);
+        let _detect = b.add_unary(Arc::new(Elementwise1::new(UnaryKind::Threshold(0.5))), merged);
+        Arc::new(b.build().unwrap())
+    }
+
+    fn inputs() -> HashMap<String, Array> {
+        let mut m = HashMap::new();
+        let mut img = Array::zeros(Shape::d2(8, 8));
+        img.set(&Coord::d2(4, 4), 10.0);
+        m.insert("exp1".to_string(), img.clone());
+        m.insert("exp2".to_string(), img);
+        m
+    }
+
+    #[test]
+    fn execute_and_query_end_to_end() {
+        let mut sz = SubZero::new();
+        let wf = workflow();
+        let run = sz.execute(&wf, &inputs()).unwrap();
+        // The bright source survives thresholding.
+        let out = sz.engine().output_of(&run, 3).unwrap();
+        assert_eq!(out.get(&Coord::d2(4, 4)), 1.0);
+
+        // Backward query: the detected pixel traces to the 3x3 neighbourhood
+        // in the first exposure.
+        let q = LineageQuery::backward(
+            vec![Coord::d2(4, 4)],
+            vec![(3, 0), (2, 0), (0, 0)],
+        );
+        let result = sz.query(&run, &q).unwrap();
+        assert_eq!(result.cells.len(), 9);
+        assert!(result.cells.contains(&Coord::d2(3, 3)));
+        assert!(result.cells.contains(&Coord::d2(5, 5)));
+
+        // Forward query: the bright input pixel influences its neighbourhood
+        // in the final detection.
+        let q = LineageQuery::forward(
+            vec![Coord::d2(4, 4)],
+            vec![(0, 0), (2, 0), (3, 0)],
+        );
+        let result = sz.query(&run, &q).unwrap();
+        assert_eq!(result.cells.len(), 9);
+    }
+
+    #[test]
+    fn strategies_change_query_method_but_not_answers() {
+        let wf = workflow();
+        let q = LineageQuery::backward(vec![Coord::d2(4, 4)], vec![(2, 0), (0, 0)]);
+
+        // Mapping-only (default).
+        let mut sz = SubZero::new();
+        let run = sz.execute(&wf, &inputs()).unwrap();
+        let mapping_answer = sz.query(&run, &q).unwrap();
+        assert!(mapping_answer
+            .report
+            .steps
+            .iter()
+            .all(|s| s.method == StepMethod::Mapping));
+
+        // Full lineage stored for every operator.
+        let mut sz = SubZero::new();
+        let mut strategy = LineageStrategy::new();
+        for op in 0..4 {
+            strategy.set(op, vec![StorageStrategy::full_many()]);
+        }
+        sz.set_strategy(strategy);
+        let run = sz.execute(&wf, &inputs()).unwrap();
+        assert!(sz.lineage_bytes(run.run_id) > 0);
+        let stored_answer = sz.query(&run, &q).unwrap();
+        assert_eq!(stored_answer.cells, mapping_answer.cells);
+        assert!(stored_answer
+            .report
+            .steps
+            .iter()
+            .all(|s| s.method == StepMethod::Stored));
+    }
+
+    #[test]
+    fn capture_stats_and_array_bytes_reported() {
+        let mut sz = SubZero::new();
+        let mut strategy = LineageStrategy::new();
+        strategy.set(0, vec![StorageStrategy::full_one()]);
+        sz.set_strategy(strategy);
+        let wf = workflow();
+        let run = sz.execute(&wf, &inputs()).unwrap();
+        let stats = sz.capture_stats(run.run_id);
+        assert!(stats.pairs > 0);
+        assert!(stats.bytes > 0);
+        assert!(sz.array_bytes() >= 6 * 8 * 8 * 8, "inputs + 4 outputs stored");
+        sz.clear_lineage(run.run_id);
+        assert_eq!(sz.lineage_bytes(run.run_id), 0);
+    }
+}

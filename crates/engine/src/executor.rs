@@ -1,0 +1,608 @@
+//! The workflow executor.
+//!
+//! [`Engine`] owns the no-overwrite [`VersionedStore`] and the black-box
+//! [`WriteAheadLog`].  Executing a workflow instance runs its operators in
+//! topological order, persists every intermediate result as a new array
+//! version (SciDB's "no overwrite" property), appends the black-box record to
+//! the WAL *before* the output array version becomes visible, and hands the
+//! region pairs emitted by each operator to a [`LineageCollector`]
+//! (implemented by the SubZero runtime).
+//!
+//! The engine also provides operator re-execution in *tracing mode*
+//! ([`Engine::rerun_tracing`]) which is how black-box lineage answers queries
+//! at query time (§V-B).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use subzero_array::{Array, ArrayError, ArrayRef, Shape, VersionId, VersionedStore};
+use subzero_store::{WalEntry, WriteAheadLog};
+
+use crate::lineage::{BufferSink, LineageMode, RegionPair};
+use crate::operator::OpMeta;
+use crate::workflow::{InputSource, OpId, Workflow, WorkflowError};
+
+/// Errors produced while executing a workflow.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A workflow structure problem (missing operator, cycle, ...).
+    Workflow(WorkflowError),
+    /// An array-level problem (missing version, shape mismatch, ...).
+    Array(ArrayError),
+    /// An external input named by the workflow was not supplied.
+    MissingExternalInput(String),
+    /// A lineage query or re-execution referenced a run/operator that never
+    /// executed.
+    NotExecuted {
+        /// The run id that was referenced.
+        run_id: u64,
+        /// The operator id that was referenced.
+        op_id: OpId,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Workflow(e) => write!(f, "workflow error: {e}"),
+            EngineError::Array(e) => write!(f, "array error: {e}"),
+            EngineError::MissingExternalInput(name) => {
+                write!(f, "external input array '{name}' was not provided")
+            }
+            EngineError::NotExecuted { run_id, op_id } => {
+                write!(f, "operator {op_id} has no execution record in run {run_id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<WorkflowError> for EngineError {
+    fn from(e: WorkflowError) -> Self {
+        EngineError::Workflow(e)
+    }
+}
+
+impl From<ArrayError> for EngineError {
+    fn from(e: ArrayError) -> Self {
+        EngineError::Array(e)
+    }
+}
+
+/// Everything recorded about one operator execution inside a run.
+#[derive(Clone, Debug)]
+pub struct ExecutionRecord {
+    /// The operator that ran.
+    pub op_id: OpId,
+    /// Its name (copied for reporting convenience).
+    pub op_name: String,
+    /// Version ids of the input arrays, in input order.
+    pub input_versions: Vec<VersionId>,
+    /// Version id of the output array.
+    pub output_version: VersionId,
+    /// Shapes of inputs and output (the metadata mapping functions may use).
+    pub meta: OpMeta,
+    /// Wall-clock time of the operator's `run()` call, including any lineage
+    /// emission it performed.
+    pub elapsed: Duration,
+    /// Number of region pairs the operator emitted during this execution.
+    pub pairs_emitted: usize,
+}
+
+/// The result of executing one workflow instance.
+#[derive(Clone, Debug)]
+pub struct WorkflowRun {
+    /// Unique id of this run within the engine.
+    pub run_id: u64,
+    /// The workflow that was executed.
+    pub workflow: Arc<Workflow>,
+    /// Per-operator execution records, keyed by operator id.
+    pub records: HashMap<OpId, ExecutionRecord>,
+    /// Total wall-clock time of the run (operators plus collector time).
+    pub total_elapsed: Duration,
+}
+
+impl WorkflowRun {
+    /// The execution record of `op_id`.
+    pub fn record(&self, op_id: OpId) -> Result<&ExecutionRecord, EngineError> {
+        self.records.get(&op_id).ok_or(EngineError::NotExecuted {
+            run_id: self.run_id,
+            op_id,
+        })
+    }
+
+    /// Shape of the output array of `op_id`.
+    pub fn output_shape(&self, op_id: OpId) -> Result<Shape, EngineError> {
+        Ok(self.record(op_id)?.meta.output_shape)
+    }
+
+    /// Shape of the `input_idx`'th input array of `op_id`.
+    pub fn input_shape(&self, op_id: OpId, input_idx: usize) -> Result<Shape, EngineError> {
+        Ok(self.record(op_id)?.meta.input_shapes[input_idx])
+    }
+
+    /// Sum of the per-operator execution times (excludes collector overhead).
+    pub fn operator_elapsed(&self) -> Duration {
+        self.records.values().map(|r| r.elapsed).sum()
+    }
+}
+
+/// Context handed to a [`LineageCollector`] when an operator finishes.
+#[derive(Debug)]
+pub struct OpExecution<'a> {
+    /// The run this execution belongs to.
+    pub run_id: u64,
+    /// The operator id.
+    pub op_id: OpId,
+    /// The operator name.
+    pub op_name: &'a str,
+    /// Input/output shapes.
+    pub meta: &'a OpMeta,
+    /// The operator's wall-clock run time.
+    pub elapsed: Duration,
+}
+
+/// Receives lineage captured while a workflow executes.
+///
+/// The SubZero runtime implements this trait; [`NullCollector`] records
+/// nothing (black-box-only execution).
+pub trait LineageCollector {
+    /// The lineage modes to request from `op_id` for this execution.
+    /// Returning only `Blackbox` (or an empty vector) makes the operator skip
+    /// all lineage-generation code.
+    fn modes_for(&self, workflow: &Workflow, op_id: OpId) -> Vec<LineageMode>;
+
+    /// Called once per operator execution with every region pair it emitted.
+    /// The time spent in this call is part of the workflow's lineage capture
+    /// overhead and is charged to the run's total elapsed time.
+    fn collect(&mut self, exec: &OpExecution<'_>, pairs: Vec<RegionPair>);
+}
+
+/// A collector that requests black-box lineage only and discards any pairs.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct NullCollector;
+
+impl LineageCollector for NullCollector {
+    fn modes_for(&self, _workflow: &Workflow, _op_id: OpId) -> Vec<LineageMode> {
+        vec![LineageMode::Blackbox]
+    }
+
+    fn collect(&mut self, _exec: &OpExecution<'_>, _pairs: Vec<RegionPair>) {}
+}
+
+/// The workflow execution engine.
+pub struct Engine {
+    store: VersionedStore,
+    wal: WriteAheadLog,
+    next_run_id: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with an empty array store and WAL.
+    pub fn new() -> Self {
+        Engine {
+            store: VersionedStore::new(),
+            wal: WriteAheadLog::new(),
+            next_run_id: 0,
+        }
+    }
+
+    /// The versioned array store (intermediate and final results).
+    pub fn store(&self) -> &VersionedStore {
+        &self.store
+    }
+
+    /// Mutable access to the versioned array store (used to pre-load
+    /// external arrays).
+    pub fn store_mut(&mut self) -> &mut VersionedStore {
+        &mut self.store
+    }
+
+    /// The black-box write-ahead log.
+    pub fn wal(&self) -> &WriteAheadLog {
+        &self.wal
+    }
+
+    /// Executes one instance of `workflow` over the given external input
+    /// arrays, capturing lineage through `collector`.
+    pub fn execute(
+        &mut self,
+        workflow: &Arc<Workflow>,
+        externals: &HashMap<String, Array>,
+        collector: &mut dyn LineageCollector,
+    ) -> Result<WorkflowRun, EngineError> {
+        let run_id = self.next_run_id;
+        self.next_run_id += 1;
+        let run_start = Instant::now();
+
+        // Register external inputs as array versions so that black-box
+        // re-execution can find them later.
+        let mut external_versions: HashMap<String, VersionId> = HashMap::new();
+        for name in workflow.external_inputs() {
+            let array = externals
+                .get(name)
+                .ok_or_else(|| EngineError::MissingExternalInput(name.to_string()))?;
+            let vid = self.store.put(name, array.clone());
+            external_versions.insert(name.to_string(), vid);
+        }
+
+        let mut records: HashMap<OpId, ExecutionRecord> = HashMap::new();
+        for &op_id in workflow.topo_order() {
+            let node = workflow.node(op_id)?;
+            // Resolve input arrays.
+            let mut input_versions = Vec::with_capacity(node.inputs.len());
+            let mut input_arrays: Vec<ArrayRef> = Vec::with_capacity(node.inputs.len());
+            for src in &node.inputs {
+                let vid = match src {
+                    InputSource::External(name) => *external_versions
+                        .get(name)
+                        .ok_or_else(|| EngineError::MissingExternalInput(name.clone()))?,
+                    InputSource::Operator(up) =>
+
+                        records
+                            .get(up)
+                            .ok_or(EngineError::NotExecuted { run_id, op_id: *up })?
+                            .output_version,
+                };
+                input_versions.push(vid);
+                input_arrays.push(self.store.get_version(vid)?);
+            }
+            let input_shapes: Vec<Shape> = input_arrays.iter().map(|a| a.shape()).collect();
+
+            // Ask the collector which lineage modes to capture.
+            let cur_modes = collector.modes_for(workflow, op_id);
+            let mut sink = BufferSink::new();
+
+            let op_start = Instant::now();
+            let output = node.operator.run(&input_arrays, &cur_modes, &mut sink);
+            let elapsed = op_start.elapsed();
+
+            let meta = OpMeta::new(input_shapes, output.shape());
+
+            // Black-box lineage is written *before* the array data becomes
+            // visible: append the WAL record first, using the version id the
+            // store will assign next, then store the output.
+            let pairs_emitted = sink.pairs.len();
+            let output_name = format!("{}/op{}", workflow.name(), op_id);
+            let predicted_version = self.store.next_version_id();
+            let wal_entry = WalEntry {
+                run_id,
+                op_id,
+                op_name: node.operator.name().to_string(),
+                input_versions: input_versions.iter().map(|v| v.0).collect(),
+                output_version: predicted_version.0,
+                elapsed_us: elapsed.as_micros() as u64,
+            };
+            self.wal.append(wal_entry);
+            let output_version = self.store.put(&output_name, output);
+            debug_assert_eq!(output_version, predicted_version);
+
+            let record = ExecutionRecord {
+                op_id,
+                op_name: node.operator.name().to_string(),
+                input_versions,
+                output_version,
+                meta: meta.clone(),
+                elapsed,
+                pairs_emitted,
+            };
+
+            // Hand the captured pairs to the collector (charged to the run).
+            let exec = OpExecution {
+                run_id,
+                op_id,
+                op_name: node.operator.name(),
+                meta: &meta,
+                elapsed,
+            };
+            collector.collect(&exec, sink.pairs);
+
+            records.insert(op_id, record);
+        }
+
+        Ok(WorkflowRun {
+            run_id,
+            workflow: Arc::clone(workflow),
+            records,
+            total_elapsed: run_start.elapsed(),
+        })
+    }
+
+    /// Fetches the output array produced by `op_id` during `run`.
+    pub fn output_of(&self, run: &WorkflowRun, op_id: OpId) -> Result<ArrayRef, EngineError> {
+        let record = run.record(op_id)?;
+        Ok(self.store.get_version(record.output_version)?)
+    }
+
+    /// Fetches the `input_idx`'th input array consumed by `op_id` during
+    /// `run`.
+    pub fn input_of(
+        &self,
+        run: &WorkflowRun,
+        op_id: OpId,
+        input_idx: usize,
+    ) -> Result<ArrayRef, EngineError> {
+        let record = run.record(op_id)?;
+        let vid = record
+            .input_versions
+            .get(input_idx)
+            .copied()
+            .ok_or(EngineError::NotExecuted {
+                run_id: run.run_id,
+                op_id,
+            })?;
+        Ok(self.store.get_version(vid)?)
+    }
+
+    /// Re-executes `op_id` of a previous run in *tracing mode*: the operator
+    /// is re-run over its recorded input versions with `cur_modes = [Full]`
+    /// so that it emits full region pairs, which are returned together with
+    /// the re-execution time.  This is how black-box lineage is materialised
+    /// at query time.
+    pub fn rerun_tracing(
+        &self,
+        run: &WorkflowRun,
+        op_id: OpId,
+    ) -> Result<(Vec<RegionPair>, Duration), EngineError> {
+        let record = run.record(op_id)?;
+        let node = run.workflow.node(op_id)?;
+        let mut inputs = Vec::with_capacity(record.input_versions.len());
+        for vid in &record.input_versions {
+            inputs.push(self.store.get_version(*vid)?);
+        }
+        let mut sink = BufferSink::new();
+        let start = Instant::now();
+        let _output = node.operator.run(&inputs, &[LineageMode::Full], &mut sink);
+        Ok((sink.pairs, start.elapsed()))
+    }
+
+    /// Re-executes `op_id` of a previous run without tracing (used by the
+    /// query-time optimizer to measure pure re-execution cost).
+    pub fn rerun_plain(&self, run: &WorkflowRun, op_id: OpId) -> Result<Duration, EngineError> {
+        let record = run.record(op_id)?;
+        let node = run.workflow.node(op_id)?;
+        let mut inputs = Vec::with_capacity(record.input_versions.len());
+        for vid in &record.input_versions {
+            inputs.push(self.store.get_version(*vid)?);
+        }
+        let start = Instant::now();
+        let mut sink = crate::lineage::NullSink;
+        let _output = node
+            .operator
+            .run(&inputs, &[LineageMode::Blackbox], &mut sink);
+        Ok(start.elapsed())
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("versions", &self.store.num_versions())
+            .field("wal_entries", &self.wal.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::LineageSink;
+    use crate::operator::Operator;
+    use subzero_array::Coord;
+
+    /// Doubles every cell; emits one full region pair per cell when asked.
+    struct Double;
+
+    impl Operator for Double {
+        fn name(&self) -> &str {
+            "double"
+        }
+        fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+            input_shapes[0]
+        }
+        fn supported_modes(&self) -> Vec<LineageMode> {
+            vec![LineageMode::Full, LineageMode::Map, LineageMode::Blackbox]
+        }
+        fn run(
+            &self,
+            inputs: &[ArrayRef],
+            cur_modes: &[LineageMode],
+            sink: &mut dyn LineageSink,
+        ) -> Array {
+            let input = &inputs[0];
+            if cur_modes.contains(&LineageMode::Full) {
+                for (c, _) in input.iter() {
+                    sink.lwrite(vec![c], vec![vec![c]]);
+                }
+            }
+            input.map(|v| v * 2.0)
+        }
+        fn map_backward(&self, out: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+            Some(vec![*out])
+        }
+        fn map_forward(&self, inc: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+            Some(vec![*inc])
+        }
+    }
+
+    /// Sums both inputs cell-wise.
+    struct AddTwo;
+
+    impl Operator for AddTwo {
+        fn name(&self) -> &str {
+            "add"
+        }
+        fn num_inputs(&self) -> usize {
+            2
+        }
+        fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+            input_shapes[0]
+        }
+        fn run(
+            &self,
+            inputs: &[ArrayRef],
+            _cur_modes: &[LineageMode],
+            _sink: &mut dyn LineageSink,
+        ) -> Array {
+            inputs[0].zip_with(&inputs[1], |a, b| a + b).expect("shapes")
+        }
+    }
+
+    fn simple_workflow() -> Arc<Workflow> {
+        let mut b = Workflow::builder("wf");
+        let d1 = b.add_source(Arc::new(Double), "img");
+        let d2 = b.add_unary(Arc::new(Double), d1);
+        let _sum = b.add_binary(Arc::new(AddTwo), d1, d2);
+        Arc::new(b.build().unwrap())
+    }
+
+    fn externals() -> HashMap<String, Array> {
+        let mut m = HashMap::new();
+        m.insert(
+            "img".to_string(),
+            Array::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]),
+        );
+        m
+    }
+
+    #[test]
+    fn execute_produces_expected_outputs_and_records() {
+        let mut engine = Engine::new();
+        let wf = simple_workflow();
+        let run = engine
+            .execute(&wf, &externals(), &mut NullCollector)
+            .unwrap();
+        assert_eq!(run.records.len(), 3);
+        // op0 = 2*img, op1 = 4*img, op2 = op0 + op1 = 6*img
+        let out = engine.output_of(&run, 2).unwrap();
+        assert_eq!(out.get(&Coord::d2(1, 1)), 24.0);
+        assert_eq!(run.output_shape(2).unwrap(), Shape::d2(2, 2));
+        assert_eq!(run.input_shape(2, 1).unwrap(), Shape::d2(2, 2));
+        // WAL recorded one entry per operator.
+        assert_eq!(engine.wal().len(), 3);
+        // No-overwrite: externals + 3 operator outputs are all stored.
+        assert_eq!(engine.store().num_versions(), 4);
+    }
+
+    #[test]
+    fn missing_external_input_errors() {
+        let mut engine = Engine::new();
+        let wf = simple_workflow();
+        let err = engine
+            .execute(&wf, &HashMap::new(), &mut NullCollector)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::MissingExternalInput(_)));
+    }
+
+    #[test]
+    fn collector_receives_pairs_when_full_requested() {
+        struct FullCollector {
+            pairs_seen: usize,
+            ops_seen: Vec<OpId>,
+        }
+        impl LineageCollector for FullCollector {
+            fn modes_for(&self, _w: &Workflow, _op: OpId) -> Vec<LineageMode> {
+                vec![LineageMode::Full]
+            }
+            fn collect(&mut self, exec: &OpExecution<'_>, pairs: Vec<RegionPair>) {
+                self.pairs_seen += pairs.len();
+                self.ops_seen.push(exec.op_id);
+            }
+        }
+        let mut engine = Engine::new();
+        let wf = simple_workflow();
+        let mut collector = FullCollector {
+            pairs_seen: 0,
+            ops_seen: vec![],
+        };
+        let run = engine.execute(&wf, &externals(), &mut collector).unwrap();
+        // The two Double operators emit one pair per cell (4 each); AddTwo
+        // emits none even when asked because it has no lineage code.
+        assert_eq!(collector.pairs_seen, 8);
+        assert_eq!(collector.ops_seen.len(), 3);
+        assert_eq!(run.record(0).unwrap().pairs_emitted, 4);
+        assert_eq!(run.record(2).unwrap().pairs_emitted, 0);
+    }
+
+    #[test]
+    fn blackbox_execution_emits_no_pairs() {
+        let mut engine = Engine::new();
+        let wf = simple_workflow();
+        let run = engine
+            .execute(&wf, &externals(), &mut NullCollector)
+            .unwrap();
+        assert!(run.records.values().all(|r| r.pairs_emitted == 0));
+    }
+
+    #[test]
+    fn rerun_tracing_reproduces_lineage() {
+        let mut engine = Engine::new();
+        let wf = simple_workflow();
+        let run = engine
+            .execute(&wf, &externals(), &mut NullCollector)
+            .unwrap();
+        let (pairs, elapsed) = engine.rerun_tracing(&run, 1).unwrap();
+        assert_eq!(pairs.len(), 4);
+        assert!(elapsed.as_nanos() > 0);
+        // Every pair is the identity relationship of the Double operator.
+        for p in &pairs {
+            match p {
+                RegionPair::Full { outcells, incells } => {
+                    assert_eq!(outcells, &incells[0]);
+                }
+                _ => panic!("tracing mode must emit full pairs"),
+            }
+        }
+    }
+
+    #[test]
+    fn rerun_plain_measures_time_without_pairs() {
+        let mut engine = Engine::new();
+        let wf = simple_workflow();
+        let run = engine
+            .execute(&wf, &externals(), &mut NullCollector)
+            .unwrap();
+        let elapsed = engine.rerun_plain(&run, 0).unwrap();
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn multiple_runs_get_distinct_ids_and_versions() {
+        let mut engine = Engine::new();
+        let wf = simple_workflow();
+        let r1 = engine
+            .execute(&wf, &externals(), &mut NullCollector)
+            .unwrap();
+        let r2 = engine
+            .execute(&wf, &externals(), &mut NullCollector)
+            .unwrap();
+        assert_ne!(r1.run_id, r2.run_id);
+        assert_ne!(
+            r1.record(0).unwrap().output_version,
+            r2.record(0).unwrap().output_version
+        );
+        assert_eq!(engine.wal().for_run(r1.run_id).len(), 3);
+        assert_eq!(engine.wal().for_run(r2.run_id).len(), 3);
+    }
+
+    #[test]
+    fn not_executed_errors() {
+        let mut engine = Engine::new();
+        let wf = simple_workflow();
+        let run = engine
+            .execute(&wf, &externals(), &mut NullCollector)
+            .unwrap();
+        assert!(run.record(99).is_err());
+        assert!(engine.output_of(&run, 99).is_err());
+        assert!(engine.input_of(&run, 0, 5).is_err());
+    }
+}

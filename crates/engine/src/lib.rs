@@ -1,0 +1,41 @@
+//! # subzero-engine
+//!
+//! A SciDB-like workflow executor: the substrate SubZero instruments.
+//!
+//! SubZero "is designed to work with a workflow executor system that applies
+//! a fixed sequence of operators to some set of inputs" (§IV of the paper).
+//! Each operator consumes one or more arrays and produces a single output
+//! array; operators are composed into a DAG (the *workflow specification*);
+//! an *instance* of the workflow executes it over concrete input arrays; and
+//! every intermediate result is persisted in a no-overwrite versioned store,
+//! which is what makes black-box lineage free.
+//!
+//! This crate provides:
+//!
+//! * [`lineage`] — the operator-facing lineage API: [`LineageMode`],
+//!   [`RegionPair`], and the [`LineageSink`] the `lwrite()` calls go to
+//!   (Table I of the paper).
+//! * [`operator`] — the [`Operator`] trait with `run()`,
+//!   `supported_modes()`, and the `map_b`/`map_f`/`map_p` mapping functions.
+//! * [`workflow`] — workflow specifications (DAGs of operators).
+//! * [`executor`] — the [`Engine`](executor::Engine) that runs workflow
+//!   instances, persists array versions, appends black-box records to the
+//!   write-ahead log, and forwards captured lineage to a
+//!   [`LineageCollector`](executor::LineageCollector) (implemented by the
+//!   `subzero` crate's runtime).
+//! * [`ops`] — the built-in operators (matrix arithmetic, transpose,
+//!   convolution, matrix multiply, aggregation, normalisation, slicing,
+//!   concatenation, …), all instrumented as *mapping operators* with
+//!   forward and backward mapping functions, as the paper describes for
+//!   SciDB's built-ins.
+
+pub mod executor;
+pub mod lineage;
+pub mod operator;
+pub mod ops;
+pub mod workflow;
+
+pub use executor::{Engine, ExecutionRecord, LineageCollector, NullCollector, WorkflowRun};
+pub use lineage::{BufferSink, LineageMode, LineageSink, NullSink, RegionPair};
+pub use operator::{OpMeta, Operator, OperatorExt};
+pub use workflow::{InputSource, OpId, Workflow, WorkflowBuilder, WorkflowError, WorkflowNode};

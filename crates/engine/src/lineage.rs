@@ -1,0 +1,230 @@
+//! The operator-facing lineage API.
+//!
+//! This module defines the vocabulary shared between operators (which *emit*
+//! lineage) and the SubZero runtime (which *stores* it): the lineage modes of
+//! §V-A, the region pair of §IV, and the `lwrite()` sink of Table I.
+
+use subzero_array::Coord;
+
+/// The lineage modes an operator can generate (§V-A of the paper).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LineageMode {
+    /// Explicitly store every region pair.
+    Full,
+    /// No stored pairs; lineage is computed at query time from the operator's
+    /// forward/backward mapping functions (`map_f` / `map_b`).
+    Map,
+    /// Store `(outcells, payload)` pairs; backward lineage is recomputed at
+    /// query time by the payload mapping function `map_p`.
+    Pay,
+    /// Composite: a mapping function defines the default relationship and
+    /// payload pairs override it for the (few) cells that differ.
+    Comp,
+    /// Only black-box lineage: record nothing beyond the input/output array
+    /// versions; queries re-run the operator in tracing mode.
+    Blackbox,
+}
+
+impl LineageMode {
+    /// All modes, in the order used for display and iteration.
+    pub const ALL: [LineageMode; 5] = [
+        LineageMode::Full,
+        LineageMode::Map,
+        LineageMode::Pay,
+        LineageMode::Comp,
+        LineageMode::Blackbox,
+    ];
+
+    /// Whether this mode stores per-region data at workflow runtime
+    /// (`Full`, `Pay` and `Comp` do; `Map` and `Blackbox` do not).
+    pub fn stores_pairs(&self) -> bool {
+        matches!(self, LineageMode::Full | LineageMode::Pay | LineageMode::Comp)
+    }
+
+    /// Short name used in reports and database names.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            LineageMode::Full => "full",
+            LineageMode::Map => "map",
+            LineageMode::Pay => "pay",
+            LineageMode::Comp => "comp",
+            LineageMode::Blackbox => "blackbox",
+        }
+    }
+}
+
+impl std::fmt::Display for LineageMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// One region pair emitted through `lwrite()`.
+///
+/// A region pair describes an all-to-all relationship between a set of output
+/// cells and, either a set of input cells per input array (*full* pairs), or
+/// a small binary payload from which the input cells can be recomputed by the
+/// operator's `map_p` function (*payload* pairs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RegionPair {
+    /// `lwrite(outcells, incells_1, ..., incells_n)`
+    Full {
+        /// Output cells of the region pair.
+        outcells: Vec<Coord>,
+        /// For each input array (in input order), the input cells the output
+        /// cells depend on.
+        incells: Vec<Vec<Coord>>,
+    },
+    /// `lwrite(outcells, payload)`
+    Payload {
+        /// Output cells of the region pair.
+        outcells: Vec<Coord>,
+        /// Developer-defined binary blob handed back to `map_p` at query time.
+        payload: Vec<u8>,
+    },
+}
+
+impl RegionPair {
+    /// The output cells of the pair.
+    pub fn outcells(&self) -> &[Coord] {
+        match self {
+            RegionPair::Full { outcells, .. } | RegionPair::Payload { outcells, .. } => outcells,
+        }
+    }
+
+    /// Total number of coordinates stored in the pair (both sides), used by
+    /// statistics and the cost model.
+    pub fn num_cells(&self) -> usize {
+        match self {
+            RegionPair::Full { outcells, incells } => {
+                outcells.len() + incells.iter().map(Vec::len).sum::<usize>()
+            }
+            RegionPair::Payload { outcells, .. } => outcells.len(),
+        }
+    }
+
+    /// Payload length in bytes (0 for full pairs).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            RegionPair::Full { .. } => 0,
+            RegionPair::Payload { payload, .. } => payload.len(),
+        }
+    }
+}
+
+/// Receiver of `lwrite()` calls made by an operator while it runs.
+///
+/// The SubZero runtime implements this to buffer, encode and store region
+/// pairs; the re-executor implements it to trace lineage at query time; and
+/// [`NullSink`] implements it to discard lineage when only black-box lineage
+/// is requested.
+pub trait LineageSink {
+    /// `lwrite(outcells, incells_1, ..., incells_n)`: record that every cell
+    /// in `outcells` depends on every cell in `incells[i]` of input `i`.
+    fn lwrite(&mut self, outcells: Vec<Coord>, incells: Vec<Vec<Coord>>);
+
+    /// `lwrite(outcells, payload)`: record a payload region pair.
+    fn lwrite_payload(&mut self, outcells: Vec<Coord>, payload: Vec<u8>);
+}
+
+/// A sink that discards all lineage (used for `Blackbox`-only execution).
+#[derive(Default, Debug, Clone, Copy)]
+pub struct NullSink;
+
+impl LineageSink for NullSink {
+    fn lwrite(&mut self, _outcells: Vec<Coord>, _incells: Vec<Vec<Coord>>) {}
+    fn lwrite_payload(&mut self, _outcells: Vec<Coord>, _payload: Vec<u8>) {}
+}
+
+/// A sink that buffers every region pair in memory.
+///
+/// Used by the tracing-mode re-executor ("when the operator is re-run at
+/// lineage query time, SubZero passes `cur_modes = Full`, which causes the
+/// operator to perform `lwrite()` calls; the arguments to these calls are
+/// sent to the query executor", §V-B), and by unit tests.
+#[derive(Default, Debug, Clone)]
+pub struct BufferSink {
+    /// The buffered pairs, in emission order.
+    pub pairs: Vec<RegionPair>,
+}
+
+impl BufferSink {
+    /// Creates an empty buffer sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of buffered pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pairs have been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+impl LineageSink for BufferSink {
+    fn lwrite(&mut self, outcells: Vec<Coord>, incells: Vec<Vec<Coord>>) {
+        self.pairs.push(RegionPair::Full { outcells, incells });
+    }
+
+    fn lwrite_payload(&mut self, outcells: Vec<Coord>, payload: Vec<u8>) {
+        self.pairs.push(RegionPair::Payload { outcells, payload });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_properties() {
+        assert!(LineageMode::Full.stores_pairs());
+        assert!(LineageMode::Pay.stores_pairs());
+        assert!(LineageMode::Comp.stores_pairs());
+        assert!(!LineageMode::Map.stores_pairs());
+        assert!(!LineageMode::Blackbox.stores_pairs());
+        assert_eq!(LineageMode::ALL.len(), 5);
+        assert_eq!(LineageMode::Comp.to_string(), "comp");
+    }
+
+    #[test]
+    fn region_pair_accessors() {
+        let full = RegionPair::Full {
+            outcells: vec![Coord::d2(0, 0), Coord::d2(0, 1)],
+            incells: vec![vec![Coord::d2(1, 1)], vec![Coord::d2(2, 2), Coord::d2(2, 3)]],
+        };
+        assert_eq!(full.outcells().len(), 2);
+        assert_eq!(full.num_cells(), 5);
+        assert_eq!(full.payload_len(), 0);
+
+        let pay = RegionPair::Payload {
+            outcells: vec![Coord::d2(0, 0)],
+            payload: vec![3],
+        };
+        assert_eq!(pay.outcells(), &[Coord::d2(0, 0)]);
+        assert_eq!(pay.num_cells(), 1);
+        assert_eq!(pay.payload_len(), 1);
+    }
+
+    #[test]
+    fn buffer_sink_collects_in_order() {
+        let mut sink = BufferSink::new();
+        assert!(sink.is_empty());
+        sink.lwrite(vec![Coord::d1(0)], vec![vec![Coord::d1(1)]]);
+        sink.lwrite_payload(vec![Coord::d1(2)], vec![9, 9]);
+        assert_eq!(sink.len(), 2);
+        assert!(matches!(sink.pairs[0], RegionPair::Full { .. }));
+        assert!(matches!(sink.pairs[1], RegionPair::Payload { .. }));
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut sink = NullSink;
+        sink.lwrite(vec![Coord::d1(0)], vec![]);
+        sink.lwrite_payload(vec![Coord::d1(0)], vec![1]);
+        // Nothing observable; the test simply exercises the no-op paths.
+    }
+}

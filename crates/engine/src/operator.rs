@@ -1,0 +1,214 @@
+//! The operator trait and its query-time metadata.
+//!
+//! Operators are the unit SubZero instruments: each one consumes `n` input
+//! arrays and produces a single output array.  Developers expose lineage by
+//! (a) calling `lwrite()` on the [`LineageSink`] passed to [`Operator::run`]
+//! when the requested modes include `Full`, `Pay` or `Comp`, and/or
+//! (b) implementing the mapping functions `map_b` / `map_f` / `map_p`, which
+//! compute lineage purely from cell coordinates, operator arguments and array
+//! metadata — never from array data values (§V-A2, §V-A3).
+
+use subzero_array::{Array, ArrayRef, Coord, Shape};
+
+use crate::lineage::{LineageMode, LineageSink};
+
+/// Metadata about one execution of an operator, available to mapping
+/// functions at query time: the shapes of the input arrays and of the output
+/// array.  Mapping functions may use nothing else (by construction they have
+/// no access to array values).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpMeta {
+    /// Shape of each input array, in input order.
+    pub input_shapes: Vec<Shape>,
+    /// Shape of the output array.
+    pub output_shape: Shape,
+}
+
+impl OpMeta {
+    /// Convenience constructor.
+    pub fn new(input_shapes: Vec<Shape>, output_shape: Shape) -> Self {
+        OpMeta {
+            input_shapes,
+            output_shape,
+        }
+    }
+
+    /// Shape of input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn input_shape(&self, i: usize) -> Shape {
+        self.input_shapes[i]
+    }
+}
+
+/// A workflow operator.
+///
+/// The structure mirrors the paper's operator skeleton (§V): `run()` executes
+/// the operator and emits lineage for the modes in `cur_modes`;
+/// `supported_modes()` declares which modes the runtime may ask for; and the
+/// optional mapping functions expose coordinate-only lineage.
+///
+/// Implementations must be deterministic: re-running the operator on the same
+/// inputs must produce the same output and the same lineage, because black-box
+/// lineage relies on re-execution in tracing mode.
+pub trait Operator: Send + Sync {
+    /// Human-readable operator name (used in reports and database names).
+    fn name(&self) -> &str;
+
+    /// Number of input arrays the operator consumes.
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    /// Computes the output shape from the input shapes (used for planning and
+    /// to build [`OpMeta`] without re-reading arrays).
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape;
+
+    /// Executes the operator.
+    ///
+    /// `cur_modes` lists the lineage modes the runtime wants this execution
+    /// to emit; an operator should skip its lineage-generation code entirely
+    /// when the relevant mode is absent (that is what makes `Blackbox`
+    /// capture nearly free).  Lineage is emitted through `sink`.
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array;
+
+    /// The lineage modes this operator can generate.  `Blackbox` is always
+    /// implicitly supported; operators that do not override this are treated
+    /// as black boxes with an assumed all-to-all relationship.
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Blackbox]
+    }
+
+    /// Backward mapping function `map_b(outcell, i)`: the input cells of
+    /// input `i` that contribute to `outcell`.  Returns `None` if the
+    /// operator is not a mapping operator (for that input).
+    fn map_backward(&self, _outcell: &Coord, _input_idx: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        None
+    }
+
+    /// Forward mapping function `map_f(incell, i)`: the output cells that
+    /// depend on `incell` of input `i`.
+    fn map_forward(&self, _incell: &Coord, _input_idx: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        None
+    }
+
+    /// Payload mapping function `map_p(outcell, payload, i)`: the input cells
+    /// of input `i` that contribute to `outcell`, given the payload stored
+    /// for `outcell`'s region pair.
+    fn map_payload(
+        &self,
+        _outcell: &Coord,
+        _payload: &[u8],
+        _input_idx: usize,
+        _meta: &OpMeta,
+    ) -> Option<Vec<Coord>> {
+        None
+    }
+
+    /// Whether every output cell depends on every input cell (e.g. matrix
+    /// inversion, global aggregation, whole-array normalisation).  For such
+    /// operators the forward lineage of *any* non-empty input set is the
+    /// entire output array and vice versa, which the entire-array query
+    /// optimization exploits (§VI-C).
+    fn all_to_all(&self) -> bool {
+        false
+    }
+
+    /// Whether the *entire-array* optimization may be applied across this
+    /// operator when the intermediate cell set already covers a whole array:
+    /// `backward == true` asks "is the backward lineage of the entire output
+    /// array the entire `input_idx`'th input array?", `backward == false`
+    /// asks "is the forward lineage of the entire `input_idx`'th input array
+    /// the entire output array?".
+    ///
+    /// The paper relies on a manual annotation because the property cannot be
+    /// inferred safely (concatenation is the counterexample); the default is
+    /// `true` only for all-to-all operators.
+    fn spans_entire_array(&self, _input_idx: usize, _backward: bool) -> bool {
+        self.all_to_all()
+    }
+}
+
+/// Blanket helpers available on all operators.
+pub trait OperatorExt: Operator {
+    /// Whether the operator declared support for `mode`.
+    fn supports(&self, mode: LineageMode) -> bool {
+        mode == LineageMode::Blackbox || self.supported_modes().contains(&mode)
+    }
+
+    /// Whether the operator is a *mapping operator* (declares `Map` support).
+    fn is_mapping(&self) -> bool {
+        self.supported_modes().contains(&LineageMode::Map)
+    }
+}
+
+impl<T: Operator + ?Sized> OperatorExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::BufferSink;
+    use std::sync::Arc;
+
+    /// A minimal identity operator used to exercise the trait defaults.
+    struct Identity;
+
+    impl Operator for Identity {
+        fn name(&self) -> &str {
+            "identity"
+        }
+
+        fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+            input_shapes[0]
+        }
+
+        fn run(
+            &self,
+            inputs: &[ArrayRef],
+            _cur_modes: &[LineageMode],
+            _sink: &mut dyn LineageSink,
+        ) -> Array {
+            (*inputs[0]).clone()
+        }
+    }
+
+    #[test]
+    fn trait_defaults_are_blackbox_all_to_nothing() {
+        let op = Identity;
+        assert_eq!(op.num_inputs(), 1);
+        assert_eq!(op.supported_modes(), vec![LineageMode::Blackbox]);
+        assert!(op.supports(LineageMode::Blackbox));
+        assert!(!op.supports(LineageMode::Map));
+        assert!(!op.is_mapping());
+        assert!(!op.all_to_all());
+        let meta = OpMeta::new(vec![Shape::d2(2, 2)], Shape::d2(2, 2));
+        assert_eq!(op.map_backward(&Coord::d2(0, 0), 0, &meta), None);
+        assert_eq!(op.map_forward(&Coord::d2(0, 0), 0, &meta), None);
+        assert_eq!(op.map_payload(&Coord::d2(0, 0), &[1], 0, &meta), None);
+    }
+
+    #[test]
+    fn run_produces_output() {
+        let op = Identity;
+        let input = Arc::new(Array::filled(Shape::d2(2, 2), 3.0));
+        let mut sink = BufferSink::new();
+        let out = op.run(&[input], &[LineageMode::Blackbox], &mut sink);
+        assert_eq!(out.sum(), 12.0);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn op_meta_accessors() {
+        let meta = OpMeta::new(vec![Shape::d2(2, 3), Shape::d1(7)], Shape::d2(3, 2));
+        assert_eq!(meta.input_shape(0), Shape::d2(2, 3));
+        assert_eq!(meta.input_shape(1), Shape::d1(7));
+        assert_eq!(meta.output_shape, Shape::d2(3, 2));
+    }
+}

@@ -1,0 +1,320 @@
+//! Aggregation operators.
+//!
+//! Global aggregates (mean, sum, …) collapse an entire array into a single
+//! cell; like matrix inversion they are all-to-all and therefore benefit from
+//! the entire-array query optimization.  Axis aggregates collapse one axis
+//! (e.g. per-patient or per-row statistics in the genomics workflow) and have
+//! row/column-shaped lineage expressible as a mapping function.
+
+use subzero_array::{Array, ArrayRef, Coord, Shape};
+
+use crate::lineage::{LineageMode, LineageSink};
+use crate::operator::{OpMeta, Operator};
+
+/// The aggregate statistics supported by [`GlobalAggregate`] and
+/// [`AxisAggregate`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AggregateKind {
+    /// Sum of values.
+    Sum,
+    /// Arithmetic mean.
+    Mean,
+    /// Maximum value.
+    Max,
+    /// Minimum value.
+    Min,
+    /// Population standard deviation.
+    Std,
+}
+
+impl AggregateKind {
+    fn apply(&self, values: impl Iterator<Item = f64>) -> f64 {
+        let vals: Vec<f64> = values.collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
+        let n = vals.len() as f64;
+        match self {
+            AggregateKind::Sum => vals.iter().sum(),
+            AggregateKind::Mean => vals.iter().sum::<f64>() / n,
+            AggregateKind::Max => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            AggregateKind::Min => vals.iter().copied().fold(f64::INFINITY, f64::min),
+            AggregateKind::Std => {
+                let mean = vals.iter().sum::<f64>() / n;
+                (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt()
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AggregateKind::Sum => "sum",
+            AggregateKind::Mean => "mean",
+            AggregateKind::Max => "max",
+            AggregateKind::Min => "min",
+            AggregateKind::Std => "std",
+        }
+    }
+}
+
+/// Reduces the entire input array to a single `1×1` cell.
+#[derive(Debug, Clone)]
+pub struct GlobalAggregate {
+    kind: AggregateKind,
+    name: String,
+}
+
+impl GlobalAggregate {
+    /// Creates a global aggregate of the given kind.
+    pub fn new(kind: AggregateKind) -> Self {
+        GlobalAggregate {
+            name: format!("global_{}", kind.name()),
+            kind,
+        }
+    }
+}
+
+impl Operator for GlobalAggregate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, _input_shapes: &[Shape]) -> Shape {
+        Shape::d2(1, 1)
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Map, LineageMode::Full, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let input = &inputs[0];
+        let value = self.kind.apply(input.data().iter().copied());
+        let mut out = Array::zeros(Shape::d2(1, 1));
+        out.set(&Coord::d2(0, 0), value);
+        if cur_modes.contains(&LineageMode::Full) {
+            let all: Vec<Coord> = input.shape().iter().collect();
+            sink.lwrite(vec![Coord::d2(0, 0)], vec![all]);
+        }
+        out
+    }
+
+    fn map_backward(&self, _outcell: &Coord, _i: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(meta.input_shape(0).iter().collect())
+    }
+
+    fn map_forward(&self, _incell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(vec![Coord::d2(0, 0)])
+    }
+
+    fn all_to_all(&self) -> bool {
+        true
+    }
+}
+
+/// Reduces one axis of a 2-D array: axis 1 collapses columns (producing an
+/// `m×1` column of per-row statistics), axis 0 collapses rows (producing a
+/// `1×n` row of per-column statistics).
+#[derive(Debug, Clone)]
+pub struct AxisAggregate {
+    kind: AggregateKind,
+    axis: usize,
+    name: String,
+}
+
+impl AxisAggregate {
+    /// Creates an axis aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is not 0 or 1.
+    pub fn new(kind: AggregateKind, axis: usize) -> Self {
+        assert!(axis < 2, "AxisAggregate supports 2-D arrays (axis 0 or 1)");
+        AxisAggregate {
+            name: format!("{}(axis={axis})", kind.name()),
+            kind,
+            axis,
+        }
+    }
+}
+
+impl Operator for AxisAggregate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        let s = input_shapes[0];
+        if self.axis == 1 {
+            Shape::d2(s.rows(), 1)
+        } else {
+            Shape::d2(1, s.cols())
+        }
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Map, LineageMode::Full, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let input = &inputs[0];
+        let shape = input.shape();
+        let out_shape = self.output_shape(&[shape]);
+        let mut out = Array::zeros(out_shape);
+        if self.axis == 1 {
+            for r in 0..shape.rows() {
+                let vals = (0..shape.cols()).map(|c| input.get(&Coord::d2(r, c)));
+                out.set(&Coord::d2(r, 0), self.kind.apply(vals));
+            }
+        } else {
+            for c in 0..shape.cols() {
+                let vals = (0..shape.rows()).map(|r| input.get(&Coord::d2(r, c)));
+                out.set(&Coord::d2(0, c), self.kind.apply(vals));
+            }
+        }
+        if cur_modes.contains(&LineageMode::Full) {
+            for (oc, _) in out.iter() {
+                let incells = self
+                    .map_backward(&oc, 0, &OpMeta::new(vec![shape], out_shape))
+                    .unwrap_or_default();
+                sink.lwrite(vec![oc], vec![incells]);
+            }
+        }
+        out
+    }
+
+    fn map_backward(&self, outcell: &Coord, _i: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        let s = meta.input_shape(0);
+        Some(if self.axis == 1 {
+            (0..s.cols()).map(|c| Coord::d2(outcell.get(0), c)).collect()
+        } else {
+            (0..s.rows()).map(|r| Coord::d2(r, outcell.get(1))).collect()
+        })
+    }
+
+    fn map_forward(&self, incell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(if self.axis == 1 {
+            vec![Coord::d2(incell.get(0), 0)]
+        } else {
+            vec![Coord::d2(0, incell.get(1))]
+        })
+    }
+
+    fn spans_entire_array(&self, _input_idx: usize, _backward: bool) -> bool {
+        // Every input row/column contributes to some output cell and every
+        // output cell covers a full row/column of the input.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::BufferSink;
+    use std::sync::Arc;
+
+    fn arr(vals: &[Vec<f64>]) -> ArrayRef {
+        Arc::new(Array::from_rows(vals))
+    }
+
+    #[test]
+    fn aggregate_kinds_compute_expected_values() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(AggregateKind::Sum.apply(vals.iter().copied()), 10.0);
+        assert_eq!(AggregateKind::Mean.apply(vals.iter().copied()), 2.5);
+        assert_eq!(AggregateKind::Max.apply(vals.iter().copied()), 4.0);
+        assert_eq!(AggregateKind::Min.apply(vals.iter().copied()), 1.0);
+        assert!((AggregateKind::Std.apply(vals.iter().copied()) - 1.118033988749895).abs() < 1e-12);
+        assert_eq!(AggregateKind::Sum.apply(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn global_aggregate_output_and_lineage() {
+        let op = GlobalAggregate::new(AggregateKind::Mean);
+        let input = arr(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut sink = BufferSink::new();
+        let out = op.run(&[input], &[LineageMode::Full], &mut sink);
+        assert_eq!(out.shape(), Shape::d2(1, 1));
+        assert_eq!(out.get(&Coord::d2(0, 0)), 2.5);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.pairs[0].num_cells(), 1 + 4);
+        assert!(op.all_to_all());
+
+        let meta = OpMeta::new(vec![Shape::d2(2, 2)], Shape::d2(1, 1));
+        assert_eq!(op.map_backward(&Coord::d2(0, 0), 0, &meta).unwrap().len(), 4);
+        assert_eq!(
+            op.map_forward(&Coord::d2(1, 1), 0, &meta),
+            Some(vec![Coord::d2(0, 0)])
+        );
+    }
+
+    #[test]
+    fn axis_aggregate_rows() {
+        let op = AxisAggregate::new(AggregateKind::Sum, 1);
+        let input = arr(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let out = op.run(&[input], &[LineageMode::Blackbox], &mut BufferSink::new());
+        assert_eq!(out.shape(), Shape::d2(2, 1));
+        assert_eq!(out.get(&Coord::d2(0, 0)), 6.0);
+        assert_eq!(out.get(&Coord::d2(1, 0)), 15.0);
+
+        let meta = OpMeta::new(vec![Shape::d2(2, 3)], Shape::d2(2, 1));
+        assert_eq!(
+            op.map_backward(&Coord::d2(1, 0), 0, &meta).unwrap(),
+            vec![Coord::d2(1, 0), Coord::d2(1, 1), Coord::d2(1, 2)]
+        );
+        assert_eq!(
+            op.map_forward(&Coord::d2(1, 2), 0, &meta),
+            Some(vec![Coord::d2(1, 0)])
+        );
+        assert!(!op.all_to_all(), "axis aggregates are not all-to-all");
+    }
+
+    #[test]
+    fn axis_aggregate_columns() {
+        let op = AxisAggregate::new(AggregateKind::Max, 0);
+        let input = arr(&[vec![1.0, 9.0], vec![4.0, 5.0]]);
+        let out = op.run(&[input], &[LineageMode::Blackbox], &mut BufferSink::new());
+        assert_eq!(out.shape(), Shape::d2(1, 2));
+        assert_eq!(out.get(&Coord::d2(0, 0)), 4.0);
+        assert_eq!(out.get(&Coord::d2(0, 1)), 9.0);
+
+        let meta = OpMeta::new(vec![Shape::d2(2, 2)], Shape::d2(1, 2));
+        assert_eq!(
+            op.map_backward(&Coord::d2(0, 1), 0, &meta).unwrap(),
+            vec![Coord::d2(0, 1), Coord::d2(1, 1)]
+        );
+        assert_eq!(
+            op.map_forward(&Coord::d2(1, 0), 0, &meta),
+            Some(vec![Coord::d2(0, 0)])
+        );
+    }
+
+    #[test]
+    fn axis_aggregate_full_lineage_covers_output() {
+        let op = AxisAggregate::new(AggregateKind::Mean, 1);
+        let mut sink = BufferSink::new();
+        op.run(
+            &[arr(&[vec![1.0, 2.0], vec![3.0, 4.0]])],
+            &[LineageMode::Full],
+            &mut sink,
+        );
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.pairs[0].num_cells(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis 0 or 1")]
+    fn axis_aggregate_rejects_bad_axis() {
+        let _ = AxisAggregate::new(AggregateKind::Sum, 2);
+    }
+}

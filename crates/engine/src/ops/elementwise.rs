@@ -1,0 +1,360 @@
+//! Element-wise (one-to-one) operators.
+//!
+//! These are the simplest *mapping operators* in the paper's terminology: an
+//! output cell depends only on the input cell(s) at the same coordinate,
+//! regardless of the value, so lineage never needs to be stored — `map_b` and
+//! `map_f` are the identity on coordinates.
+
+use subzero_array::{Array, ArrayRef, Coord, Shape};
+
+use crate::lineage::{LineageMode, LineageSink};
+use crate::operator::{OpMeta, Operator};
+
+/// The unary element-wise transformations supported by [`Elementwise1`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum UnaryKind {
+    /// Multiply every cell by a constant.
+    Scale(f64),
+    /// Add a constant to every cell.
+    Offset(f64),
+    /// Absolute value.
+    Abs,
+    /// Square root (of the absolute value, to stay total).
+    Sqrt,
+    /// `ln(1 + |x|)` — a total logarithm used for dynamic-range compression.
+    Log1p,
+    /// Negation.
+    Negate,
+    /// Square.
+    Square,
+    /// Clamp into `[lo, hi]`.
+    Clamp(f64, f64),
+    /// Binary threshold: 1.0 if the value exceeds the constant, else 0.0.
+    Threshold(f64),
+}
+
+impl UnaryKind {
+    fn apply(&self, v: f64) -> f64 {
+        match *self {
+            UnaryKind::Scale(k) => v * k,
+            UnaryKind::Offset(k) => v + k,
+            UnaryKind::Abs => v.abs(),
+            UnaryKind::Sqrt => v.abs().sqrt(),
+            UnaryKind::Log1p => (1.0 + v.abs()).ln(),
+            UnaryKind::Negate => -v,
+            UnaryKind::Square => v * v,
+            UnaryKind::Clamp(lo, hi) => v.clamp(lo, hi),
+            UnaryKind::Threshold(t) => {
+                if v > t {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        match self {
+            UnaryKind::Scale(k) => format!("scale({k})"),
+            UnaryKind::Offset(k) => format!("offset({k})"),
+            UnaryKind::Abs => "abs".to_string(),
+            UnaryKind::Sqrt => "sqrt".to_string(),
+            UnaryKind::Log1p => "log1p".to_string(),
+            UnaryKind::Negate => "negate".to_string(),
+            UnaryKind::Square => "square".to_string(),
+            UnaryKind::Clamp(lo, hi) => format!("clamp({lo},{hi})"),
+            UnaryKind::Threshold(t) => format!("threshold({t})"),
+        }
+    }
+}
+
+/// A single-input element-wise operator.
+#[derive(Debug, Clone)]
+pub struct Elementwise1 {
+    kind: UnaryKind,
+    name: String,
+}
+
+impl Elementwise1 {
+    /// Creates an element-wise operator of the given kind.
+    pub fn new(kind: UnaryKind) -> Self {
+        Elementwise1 {
+            name: kind.name(),
+            kind,
+        }
+    }
+}
+
+impl Operator for Elementwise1 {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        input_shapes[0]
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Map, LineageMode::Full, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let input = &inputs[0];
+        if cur_modes.contains(&LineageMode::Full) {
+            for (c, _) in input.iter() {
+                sink.lwrite(vec![c], vec![vec![c]]);
+            }
+        }
+        input.map(|v| self.kind.apply(v))
+    }
+
+    fn map_backward(&self, outcell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(vec![*outcell])
+    }
+
+    fn map_forward(&self, incell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(vec![*incell])
+    }
+
+    fn spans_entire_array(&self, _input_idx: usize, _backward: bool) -> bool {
+        // One-to-one: the whole input maps to the whole output and back.
+        true
+    }
+}
+
+/// The binary element-wise combinations supported by [`Elementwise2`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BinaryKind {
+    /// Cell-wise sum.
+    Add,
+    /// Cell-wise difference (`left - right`).
+    Subtract,
+    /// Cell-wise product.
+    Multiply,
+    /// Cell-wise quotient (0 where the divisor is 0).
+    Divide,
+    /// Cell-wise minimum.
+    Min,
+    /// Cell-wise maximum.
+    Max,
+    /// Cell-wise average, used e.g. to composite two telescope exposures.
+    Mean,
+}
+
+impl BinaryKind {
+    fn apply(&self, a: f64, b: f64) -> f64 {
+        match self {
+            BinaryKind::Add => a + b,
+            BinaryKind::Subtract => a - b,
+            BinaryKind::Multiply => a * b,
+            BinaryKind::Divide => {
+                if b == 0.0 {
+                    0.0
+                } else {
+                    a / b
+                }
+            }
+            BinaryKind::Min => a.min(b),
+            BinaryKind::Max => a.max(b),
+            BinaryKind::Mean => (a + b) / 2.0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            BinaryKind::Add => "add",
+            BinaryKind::Subtract => "subtract",
+            BinaryKind::Multiply => "multiply",
+            BinaryKind::Divide => "divide",
+            BinaryKind::Min => "min",
+            BinaryKind::Max => "max",
+            BinaryKind::Mean => "mean2",
+        }
+    }
+}
+
+/// A two-input element-wise operator over arrays of identical shape.
+#[derive(Debug, Clone)]
+pub struct Elementwise2 {
+    kind: BinaryKind,
+}
+
+impl Elementwise2 {
+    /// Creates a binary element-wise operator of the given kind.
+    pub fn new(kind: BinaryKind) -> Self {
+        Elementwise2 { kind }
+    }
+}
+
+impl Operator for Elementwise2 {
+    fn name(&self) -> &str {
+        self.kind.name()
+    }
+
+    fn num_inputs(&self) -> usize {
+        2
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        input_shapes[0]
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Map, LineageMode::Full, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let (a, b) = (&inputs[0], &inputs[1]);
+        if cur_modes.contains(&LineageMode::Full) {
+            for (c, _) in a.iter() {
+                sink.lwrite(vec![c], vec![vec![c], vec![c]]);
+            }
+        }
+        a.zip_with(b, |x, y| self.kind.apply(x, y))
+            .expect("binary element-wise operators require equal input shapes")
+    }
+
+    fn map_backward(&self, outcell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(vec![*outcell])
+    }
+
+    fn map_forward(&self, incell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(vec![*incell])
+    }
+
+    fn spans_entire_array(&self, _input_idx: usize, _backward: bool) -> bool {
+        // One-to-one: the whole input maps to the whole output and back.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::BufferSink;
+    use crate::operator::OperatorExt;
+    use std::sync::Arc;
+
+    fn arr(vals: &[Vec<f64>]) -> ArrayRef {
+        Arc::new(Array::from_rows(vals))
+    }
+
+    #[test]
+    fn unary_kinds_compute_expected_values() {
+        let cases: Vec<(UnaryKind, f64, f64)> = vec![
+            (UnaryKind::Scale(2.0), 3.0, 6.0),
+            (UnaryKind::Offset(1.5), 3.0, 4.5),
+            (UnaryKind::Abs, -3.0, 3.0),
+            (UnaryKind::Sqrt, 9.0, 3.0),
+            (UnaryKind::Negate, 2.0, -2.0),
+            (UnaryKind::Square, -3.0, 9.0),
+            (UnaryKind::Clamp(0.0, 1.0), 4.0, 1.0),
+            (UnaryKind::Clamp(0.0, 1.0), -4.0, 0.0),
+            (UnaryKind::Threshold(2.0), 3.0, 1.0),
+            (UnaryKind::Threshold(2.0), 1.0, 0.0),
+        ];
+        for (kind, input, expected) in cases {
+            let op = Elementwise1::new(kind);
+            let a = arr(&[vec![input]]);
+            let out = op.run(&[a], &[LineageMode::Blackbox], &mut BufferSink::new());
+            assert_eq!(out.get(&Coord::d2(0, 0)), expected, "kind {kind:?}");
+        }
+        // Log1p is monotone and total.
+        let op = Elementwise1::new(UnaryKind::Log1p);
+        let out = op.run(
+            &[arr(&[vec![0.0, -10.0]])],
+            &[LineageMode::Blackbox],
+            &mut BufferSink::new(),
+        );
+        assert_eq!(out.get(&Coord::d2(0, 0)), 0.0);
+        assert!(out.get(&Coord::d2(0, 1)) > 2.0);
+    }
+
+    #[test]
+    fn unary_mapping_is_identity() {
+        let op = Elementwise1::new(UnaryKind::Abs);
+        let meta = OpMeta::new(vec![Shape::d2(4, 4)], Shape::d2(4, 4));
+        let c = Coord::d2(2, 3);
+        assert_eq!(op.map_backward(&c, 0, &meta), Some(vec![c]));
+        assert_eq!(op.map_forward(&c, 0, &meta), Some(vec![c]));
+        assert!(op.is_mapping());
+        assert!(!op.all_to_all());
+    }
+
+    #[test]
+    fn unary_full_mode_emits_identity_pairs() {
+        let op = Elementwise1::new(UnaryKind::Scale(3.0));
+        let mut sink = BufferSink::new();
+        let input = arr(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        op.run(&[input], &[LineageMode::Full], &mut sink);
+        assert_eq!(sink.len(), 4);
+    }
+
+    #[test]
+    fn binary_kinds_compute_expected_values() {
+        let cases: Vec<(BinaryKind, f64, f64, f64)> = vec![
+            (BinaryKind::Add, 2.0, 3.0, 5.0),
+            (BinaryKind::Subtract, 2.0, 3.0, -1.0),
+            (BinaryKind::Multiply, 2.0, 3.0, 6.0),
+            (BinaryKind::Divide, 6.0, 3.0, 2.0),
+            (BinaryKind::Divide, 6.0, 0.0, 0.0),
+            (BinaryKind::Min, 2.0, 3.0, 2.0),
+            (BinaryKind::Max, 2.0, 3.0, 3.0),
+            (BinaryKind::Mean, 2.0, 4.0, 3.0),
+        ];
+        for (kind, a, b, expected) in cases {
+            let op = Elementwise2::new(kind);
+            let out = op.run(
+                &[arr(&[vec![a]]), arr(&[vec![b]])],
+                &[LineageMode::Blackbox],
+                &mut BufferSink::new(),
+            );
+            assert_eq!(out.get(&Coord::d2(0, 0)), expected, "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn binary_maps_both_inputs_identically() {
+        let op = Elementwise2::new(BinaryKind::Add);
+        let meta = OpMeta::new(vec![Shape::d2(4, 4), Shape::d2(4, 4)], Shape::d2(4, 4));
+        let c = Coord::d2(1, 2);
+        assert_eq!(op.map_backward(&c, 0, &meta), Some(vec![c]));
+        assert_eq!(op.map_backward(&c, 1, &meta), Some(vec![c]));
+        assert_eq!(op.map_forward(&c, 1, &meta), Some(vec![c]));
+        assert_eq!(op.num_inputs(), 2);
+    }
+
+    #[test]
+    fn binary_full_mode_emits_pairs_referencing_both_inputs() {
+        let op = Elementwise2::new(BinaryKind::Mean);
+        let mut sink = BufferSink::new();
+        op.run(
+            &[arr(&[vec![1.0, 2.0]]), arr(&[vec![3.0, 4.0]])],
+            &[LineageMode::Full],
+            &mut sink,
+        );
+        assert_eq!(sink.len(), 2);
+        match &sink.pairs[0] {
+            crate::lineage::RegionPair::Full { incells, .. } => assert_eq!(incells.len(), 2),
+            _ => panic!("expected full pair"),
+        }
+    }
+
+    #[test]
+    fn operator_names_are_stable() {
+        assert_eq!(Elementwise1::new(UnaryKind::Scale(2.0)).name(), "scale(2)");
+        assert_eq!(Elementwise1::new(UnaryKind::Threshold(0.5)).name(), "threshold(0.5)");
+        assert_eq!(Elementwise2::new(BinaryKind::Mean).name(), "mean2");
+    }
+}

@@ -1,0 +1,477 @@
+//! Linear-algebra operators: matrix multiply, convolution and inversion.
+//!
+//! * Matrix multiply is the paper's running example of backward lineage:
+//!   "the lineage of an output cell of Matrix Multiply are all cells of the
+//!   corresponding row and column in the input arrays" (§IV).
+//! * Convolution is the canonical neighbourhood (high-locality) operator.
+//! * Matrix inversion is the canonical all-to-all operator used to motivate
+//!   the *entire-array* query optimization (§VI-C).
+
+use subzero_array::{Array, ArrayRef, Coord, Shape};
+
+use crate::lineage::{LineageMode, LineageSink};
+use crate::operator::{OpMeta, Operator};
+
+/// Dense matrix multiplication: `(m×k) · (k×n) → (m×n)`.
+#[derive(Debug, Clone, Default)]
+pub struct MatMul;
+
+impl Operator for MatMul {
+    fn name(&self) -> &str {
+        "matmul"
+    }
+
+    fn num_inputs(&self) -> usize {
+        2
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        Shape::d2(input_shapes[0].rows(), input_shapes[1].cols())
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Map, LineageMode::Full, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let (a, b) = (&inputs[0], &inputs[1]);
+        let (m, k) = (a.shape().rows(), a.shape().cols());
+        let n = b.shape().cols();
+        assert_eq!(
+            k,
+            b.shape().rows(),
+            "matmul inner dimensions must agree: {} vs {}",
+            a.shape(),
+            b.shape()
+        );
+        let mut out = Array::zeros(Shape::d2(m, n));
+        for r in 0..m {
+            for c in 0..n {
+                let mut acc = 0.0;
+                for j in 0..k {
+                    acc += a.get(&Coord::d2(r, j)) * b.get(&Coord::d2(j, c));
+                }
+                out.set(&Coord::d2(r, c), acc);
+            }
+        }
+        if cur_modes.contains(&LineageMode::Full) {
+            for r in 0..m {
+                for c in 0..n {
+                    let row: Vec<Coord> = (0..k).map(|j| Coord::d2(r, j)).collect();
+                    let col: Vec<Coord> = (0..k).map(|j| Coord::d2(j, c)).collect();
+                    sink.lwrite(vec![Coord::d2(r, c)], vec![row, col]);
+                }
+            }
+        }
+        out
+    }
+
+    fn map_backward(&self, outcell: &Coord, input_idx: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        let k = meta.input_shape(0).cols();
+        let (r, c) = (outcell.get(0), outcell.get(1));
+        Some(match input_idx {
+            0 => (0..k).map(|j| Coord::d2(r, j)).collect(),
+            1 => (0..k).map(|j| Coord::d2(j, c)).collect(),
+            _ => vec![],
+        })
+    }
+
+    fn map_forward(&self, incell: &Coord, input_idx: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        let out = meta.output_shape;
+        Some(match input_idx {
+            // A cell (r, j) of A influences the whole output row r.
+            0 => (0..out.cols()).map(|c| Coord::d2(incell.get(0), c)).collect(),
+            // A cell (j, c) of B influences the whole output column c.
+            1 => (0..out.rows()).map(|r| Coord::d2(r, incell.get(1))).collect(),
+            _ => vec![],
+        })
+    }
+
+    fn spans_entire_array(&self, _input_idx: usize, _backward: bool) -> bool {
+        // Every row/column of each input participates in the full output.
+        true
+    }
+}
+
+/// 2-D convolution with a `(2·radius+1)²` kernel (values outside the array
+/// are treated as zero).
+#[derive(Debug, Clone)]
+pub struct Convolve {
+    radius: u32,
+    kernel: Vec<f64>,
+    name: String,
+}
+
+impl Convolve {
+    /// Creates a convolution with an explicit kernel of side `2*radius + 1`
+    /// given in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel length does not match the radius.
+    pub fn new(radius: u32, kernel: Vec<f64>) -> Self {
+        let side = (2 * radius + 1) as usize;
+        assert_eq!(
+            kernel.len(),
+            side * side,
+            "kernel must have {}x{} entries",
+            side,
+            side
+        );
+        Convolve {
+            name: format!("convolve(r={radius})"),
+            radius,
+            kernel,
+        }
+    }
+
+    /// A uniform box-blur kernel of the given radius.
+    pub fn box_blur(radius: u32) -> Self {
+        let side = (2 * radius + 1) as usize;
+        let weight = 1.0 / (side * side) as f64;
+        Self::new(radius, vec![weight; side * side])
+    }
+
+    /// A simple Gaussian-like smoothing kernel of the given radius.
+    pub fn gaussian(radius: u32) -> Self {
+        let side = (2 * radius + 1) as i64;
+        let sigma = radius.max(1) as f64 / 1.5;
+        let mut kernel = Vec::with_capacity((side * side) as usize);
+        let mut total = 0.0;
+        for dr in -(radius as i64)..=(radius as i64) {
+            for dc in -(radius as i64)..=(radius as i64) {
+                let w = (-((dr * dr + dc * dc) as f64) / (2.0 * sigma * sigma)).exp();
+                kernel.push(w);
+                total += w;
+            }
+        }
+        for w in &mut kernel {
+            *w /= total;
+        }
+        Self::new(radius, kernel)
+    }
+
+    /// The kernel radius.
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+}
+
+impl Operator for Convolve {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        input_shapes[0]
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Map, LineageMode::Full, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let input = &inputs[0];
+        let shape = input.shape();
+        let r = self.radius as i64;
+        let side = (2 * self.radius + 1) as usize;
+        let mut out = Array::zeros(shape);
+        for (c, _) in input.iter() {
+            let mut acc = 0.0;
+            for dr in -r..=r {
+                for dc in -r..=r {
+                    let kr = (dr + r) as usize;
+                    let kc = (dc + r) as usize;
+                    let weight = self.kernel[kr * side + kc];
+                    if let Some(src) =
+                        shape.checked_coord(&[c.get(0) as i64 + dr, c.get(1) as i64 + dc])
+                    {
+                        acc += weight * input.get(&src);
+                    }
+                }
+            }
+            out.set(&c, acc);
+        }
+        if cur_modes.contains(&LineageMode::Full) {
+            for (c, _) in input.iter() {
+                sink.lwrite(vec![c], vec![shape.neighborhood(&c, self.radius)]);
+            }
+        }
+        out
+    }
+
+    fn map_backward(&self, outcell: &Coord, _i: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(meta.input_shape(0).neighborhood(outcell, self.radius))
+    }
+
+    fn map_forward(&self, incell: &Coord, _i: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(meta.output_shape.neighborhood(incell, self.radius))
+    }
+
+    fn spans_entire_array(&self, _input_idx: usize, _backward: bool) -> bool {
+        // Neighbourhoods tile the array: whole input <-> whole output.
+        true
+    }
+}
+
+/// Matrix inversion via Gauss–Jordan elimination (square inputs only).
+///
+/// Every output cell depends on every input cell, so the operator is
+/// annotated [`all_to_all`](Operator::all_to_all) and benefits from the
+/// entire-array query optimization.
+#[derive(Debug, Clone, Default)]
+pub struct MatInverse;
+
+impl Operator for MatInverse {
+    fn name(&self) -> &str {
+        "matinverse"
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        input_shapes[0]
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Map, LineageMode::Full, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let input = &inputs[0];
+        let n = input.shape().rows() as usize;
+        assert_eq!(
+            input.shape().rows(),
+            input.shape().cols(),
+            "matinverse requires a square matrix"
+        );
+        // Build an augmented [A | I] matrix and run Gauss-Jordan.  Singular
+        // matrices degrade gracefully (the pivot is skipped), which is
+        // acceptable: lineage, not numerics, is what matters here.
+        let mut aug = vec![vec![0.0f64; 2 * n]; n];
+        for r in 0..n {
+            for c in 0..n {
+                aug[r][c] = input.get(&Coord::d2(r as u32, c as u32));
+            }
+            aug[r][n + r] = 1.0;
+        }
+        for col in 0..n {
+            // Partial pivoting.
+            let pivot = (col..n).max_by(|&a, &b| {
+                aug[a][col]
+                    .abs()
+                    .partial_cmp(&aug[b][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let Some(pivot) = pivot else { continue };
+            if aug[pivot][col].abs() < 1e-12 {
+                continue;
+            }
+            aug.swap(col, pivot);
+            let scale = aug[col][col];
+            for v in aug[col].iter_mut() {
+                *v /= scale;
+            }
+            for r in 0..n {
+                if r != col {
+                    let factor = aug[r][col];
+                    for c in 0..2 * n {
+                        aug[r][c] -= factor * aug[col][c];
+                    }
+                }
+            }
+        }
+        let mut out = Array::zeros(input.shape());
+        for r in 0..n {
+            for c in 0..n {
+                out.set(&Coord::d2(r as u32, c as u32), aug[r][n + c]);
+            }
+        }
+        if cur_modes.contains(&LineageMode::Full) {
+            // One region pair covering the whole array: every output cell
+            // depends on every input cell.
+            let all: Vec<Coord> = input.shape().iter().collect();
+            sink.lwrite(all.clone(), vec![all]);
+        }
+        out
+    }
+
+    fn map_backward(&self, _outcell: &Coord, _i: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(meta.input_shape(0).iter().collect())
+    }
+
+    fn map_forward(&self, _incell: &Coord, _i: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(meta.output_shape.iter().collect())
+    }
+
+    fn all_to_all(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::BufferSink;
+    use std::sync::Arc;
+
+    fn arr(vals: &[Vec<f64>]) -> ArrayRef {
+        Arc::new(Array::from_rows(vals))
+    }
+
+    #[test]
+    fn matmul_values() {
+        let op = MatMul;
+        let a = arr(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = arr(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let out = op.run(&[a, b], &[LineageMode::Blackbox], &mut BufferSink::new());
+        assert_eq!(out.get(&Coord::d2(0, 0)), 19.0);
+        assert_eq!(out.get(&Coord::d2(0, 1)), 22.0);
+        assert_eq!(out.get(&Coord::d2(1, 0)), 43.0);
+        assert_eq!(out.get(&Coord::d2(1, 1)), 50.0);
+    }
+
+    #[test]
+    fn matmul_rectangular_shapes() {
+        let op = MatMul;
+        assert_eq!(
+            op.output_shape(&[Shape::d2(3, 5), Shape::d2(5, 2)]),
+            Shape::d2(3, 2)
+        );
+    }
+
+    #[test]
+    fn matmul_mapping_row_and_column() {
+        let op = MatMul;
+        let meta = OpMeta::new(vec![Shape::d2(3, 4), Shape::d2(4, 2)], Shape::d2(3, 2));
+        let back0 = op.map_backward(&Coord::d2(2, 1), 0, &meta).unwrap();
+        assert_eq!(back0, (0..4).map(|j| Coord::d2(2, j)).collect::<Vec<_>>());
+        let back1 = op.map_backward(&Coord::d2(2, 1), 1, &meta).unwrap();
+        assert_eq!(back1, (0..4).map(|j| Coord::d2(j, 1)).collect::<Vec<_>>());
+        let fwd0 = op.map_forward(&Coord::d2(2, 3), 0, &meta).unwrap();
+        assert_eq!(fwd0, vec![Coord::d2(2, 0), Coord::d2(2, 1)]);
+        let fwd1 = op.map_forward(&Coord::d2(3, 0), 1, &meta).unwrap();
+        assert_eq!(fwd1, (0..3).map(|r| Coord::d2(r, 0)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matmul_full_lineage_pairs() {
+        let op = MatMul;
+        let mut sink = BufferSink::new();
+        let a = arr(&[vec![1.0, 2.0]]);
+        let b = arr(&[vec![3.0], vec![4.0]]);
+        op.run(&[a, b], &[LineageMode::Full], &mut sink);
+        assert_eq!(sink.len(), 1);
+        match &sink.pairs[0] {
+            crate::lineage::RegionPair::Full { outcells, incells } => {
+                assert_eq!(outcells, &[Coord::d2(0, 0)]);
+                assert_eq!(incells[0].len(), 2);
+                assert_eq!(incells[1].len(), 2);
+            }
+            _ => panic!("expected full pair"),
+        }
+    }
+
+    #[test]
+    fn convolve_box_blur_averages_neighbourhood() {
+        let op = Convolve::box_blur(1);
+        let input = arr(&[
+            vec![9.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+        ]);
+        let out = op.run(&[input], &[LineageMode::Blackbox], &mut BufferSink::new());
+        // The bright corner pixel spreads 1/9 of its value to each neighbour.
+        assert!((out.get(&Coord::d2(0, 0)) - 1.0).abs() < 1e-9);
+        assert!((out.get(&Coord::d2(1, 1)) - 1.0).abs() < 1e-9);
+        assert_eq!(out.get(&Coord::d2(2, 2)), 0.0);
+    }
+
+    #[test]
+    fn convolve_mapping_is_neighbourhood() {
+        let op = Convolve::gaussian(2);
+        let meta = OpMeta::new(vec![Shape::d2(10, 10)], Shape::d2(10, 10));
+        let back = op.map_backward(&Coord::d2(5, 5), 0, &meta).unwrap();
+        assert_eq!(back.len(), 25);
+        let fwd = op.map_forward(&Coord::d2(0, 0), 0, &meta).unwrap();
+        assert_eq!(fwd.len(), 9, "corner forward lineage is clipped");
+    }
+
+    #[test]
+    fn convolve_full_lineage_has_one_pair_per_cell() {
+        let op = Convolve::box_blur(1);
+        let mut sink = BufferSink::new();
+        op.run(
+            &[arr(&[vec![1.0, 2.0], vec![3.0, 4.0]])],
+            &[LineageMode::Full],
+            &mut sink,
+        );
+        assert_eq!(sink.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must have")]
+    fn convolve_rejects_bad_kernel() {
+        let _ = Convolve::new(1, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn matinverse_inverts_identityish_matrix() {
+        let op = MatInverse;
+        let input = arr(&[vec![2.0, 0.0], vec![0.0, 4.0]]);
+        let out = op.run(&[input], &[LineageMode::Blackbox], &mut BufferSink::new());
+        assert!((out.get(&Coord::d2(0, 0)) - 0.5).abs() < 1e-9);
+        assert!((out.get(&Coord::d2(1, 1)) - 0.25).abs() < 1e-9);
+        assert!(out.get(&Coord::d2(0, 1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matinverse_times_original_is_identity() {
+        let op = MatInverse;
+        let m = arr(&[vec![4.0, 7.0], vec![2.0, 6.0]]);
+        let inv = op.run(
+            &[Arc::clone(&m)],
+            &[LineageMode::Blackbox],
+            &mut BufferSink::new(),
+        );
+        let matmul = MatMul;
+        let product = matmul.run(
+            &[m, Arc::new(inv)],
+            &[LineageMode::Blackbox],
+            &mut BufferSink::new(),
+        );
+        assert!((product.get(&Coord::d2(0, 0)) - 1.0).abs() < 1e-9);
+        assert!((product.get(&Coord::d2(1, 1)) - 1.0).abs() < 1e-9);
+        assert!(product.get(&Coord::d2(0, 1)).abs() < 1e-9);
+        assert!(product.get(&Coord::d2(1, 0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matinverse_is_all_to_all() {
+        let op = MatInverse;
+        assert!(op.all_to_all());
+        let meta = OpMeta::new(vec![Shape::d2(3, 3)], Shape::d2(3, 3));
+        assert_eq!(op.map_backward(&Coord::d2(0, 0), 0, &meta).unwrap().len(), 9);
+        assert_eq!(op.map_forward(&Coord::d2(2, 2), 0, &meta).unwrap().len(), 9);
+        let mut sink = BufferSink::new();
+        op.run(
+            &[arr(&[vec![1.0, 0.0], vec![0.0, 1.0]])],
+            &[LineageMode::Full],
+            &mut sink,
+        );
+        assert_eq!(sink.len(), 1, "all-to-all emits a single region pair");
+    }
+}

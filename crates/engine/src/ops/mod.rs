@@ -1,0 +1,21 @@
+//! Built-in operators.
+//!
+//! "Most SciDB operators (e.g., matrix multiply, join, transpose,
+//! convolution) are mapping operators, and we have implemented their forward
+//! and backward mapping functions" (§V-A2).  This module provides the
+//! equivalent built-in library: element-wise arithmetic, structural
+//! operators, linear algebra, aggregation and normalisation — every one of
+//! them instrumented with `map_b`/`map_f` mapping functions, and able to emit
+//! full region pairs when re-run in tracing mode.
+
+pub mod aggregate;
+pub mod elementwise;
+pub mod linalg;
+pub mod normalize;
+pub mod structural;
+
+pub use aggregate::{AggregateKind, AxisAggregate, GlobalAggregate};
+pub use elementwise::{BinaryKind, Elementwise1, Elementwise2, UnaryKind};
+pub use linalg::{Convolve, MatInverse, MatMul};
+pub use normalize::{ScaleToUnit, ZScore};
+pub use structural::{Concat, SliceOp, Transpose};

@@ -1,0 +1,186 @@
+//! Normalisation operators.
+//!
+//! Normalisation couples every output cell to every input cell through a
+//! global statistic (mean, standard deviation or maximum), so these operators
+//! are all-to-all mapping operators, like matrix inversion.  They appear in
+//! the astronomy workflow (background normalisation before detection) and the
+//! genomics workflow (feature standardisation before modelling).
+
+use subzero_array::{Array, ArrayRef, Coord, Shape};
+
+use crate::lineage::{LineageMode, LineageSink};
+use crate::operator::{OpMeta, Operator};
+
+/// Z-score standardisation: `(x - mean) / std` (identity if `std == 0`).
+#[derive(Debug, Clone, Default)]
+pub struct ZScore;
+
+impl Operator for ZScore {
+    fn name(&self) -> &str {
+        "zscore"
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        input_shapes[0]
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Map, LineageMode::Full, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let input = &inputs[0];
+        let mean = input.mean();
+        let std = input.std_dev();
+        let out = if std == 0.0 {
+            input.map(|v| v - mean)
+        } else {
+            input.map(|v| (v - mean) / std)
+        };
+        if cur_modes.contains(&LineageMode::Full) {
+            let all: Vec<Coord> = input.shape().iter().collect();
+            sink.lwrite(all.clone(), vec![all]);
+        }
+        out
+    }
+
+    fn map_backward(&self, _outcell: &Coord, _i: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(meta.input_shape(0).iter().collect())
+    }
+
+    fn map_forward(&self, _incell: &Coord, _i: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(meta.output_shape.iter().collect())
+    }
+
+    fn all_to_all(&self) -> bool {
+        true
+    }
+}
+
+/// Scales every value by the global maximum absolute value so the output lies
+/// in `[-1, 1]` (identity if the array is all zero).
+#[derive(Debug, Clone, Default)]
+pub struct ScaleToUnit;
+
+impl Operator for ScaleToUnit {
+    fn name(&self) -> &str {
+        "scale_to_unit"
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        input_shapes[0]
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Map, LineageMode::Full, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let input = &inputs[0];
+        let max_abs = input
+            .data()
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f64, f64::max);
+        let out = if max_abs == 0.0 {
+            (**input).clone()
+        } else {
+            input.map(|v| v / max_abs)
+        };
+        if cur_modes.contains(&LineageMode::Full) {
+            let all: Vec<Coord> = input.shape().iter().collect();
+            sink.lwrite(all.clone(), vec![all]);
+        }
+        out
+    }
+
+    fn map_backward(&self, _outcell: &Coord, _i: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(meta.input_shape(0).iter().collect())
+    }
+
+    fn map_forward(&self, _incell: &Coord, _i: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(meta.output_shape.iter().collect())
+    }
+
+    fn all_to_all(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::BufferSink;
+    use std::sync::Arc;
+
+    fn arr(vals: &[Vec<f64>]) -> ArrayRef {
+        Arc::new(Array::from_rows(vals))
+    }
+
+    #[test]
+    fn zscore_standardises() {
+        let op = ZScore;
+        let input = arr(&[vec![1.0, 2.0, 3.0, 4.0]]);
+        let out = op.run(&[input], &[LineageMode::Blackbox], &mut BufferSink::new());
+        assert!((out.mean()).abs() < 1e-12);
+        assert!((out.std_dev() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_constant_array_does_not_divide_by_zero() {
+        let op = ZScore;
+        let input = arr(&[vec![5.0, 5.0, 5.0]]);
+        let out = op.run(&[input], &[LineageMode::Blackbox], &mut BufferSink::new());
+        assert_eq!(out.sum(), 0.0);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn zscore_is_all_to_all_mapping() {
+        let op = ZScore;
+        assert!(op.all_to_all());
+        let meta = OpMeta::new(vec![Shape::d2(3, 2)], Shape::d2(3, 2));
+        assert_eq!(op.map_backward(&Coord::d2(0, 0), 0, &meta).unwrap().len(), 6);
+        assert_eq!(op.map_forward(&Coord::d2(2, 1), 0, &meta).unwrap().len(), 6);
+        let mut sink = BufferSink::new();
+        op.run(
+            &[arr(&[vec![1.0, 2.0], vec![3.0, 4.0]])],
+            &[LineageMode::Full],
+            &mut sink,
+        );
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn scale_to_unit_bounds_values() {
+        let op = ScaleToUnit;
+        let input = arr(&[vec![-4.0, 2.0], vec![8.0, 0.0]]);
+        let out = op.run(&[input], &[LineageMode::Blackbox], &mut BufferSink::new());
+        assert_eq!(out.get(&Coord::d2(1, 0)), 1.0);
+        assert_eq!(out.get(&Coord::d2(0, 0)), -0.5);
+        assert!(out.max() <= 1.0 && out.min() >= -1.0);
+    }
+
+    #[test]
+    fn scale_to_unit_zero_array_is_identity() {
+        let op = ScaleToUnit;
+        let input = arr(&[vec![0.0, 0.0]]);
+        let out = op.run(&[input], &[LineageMode::Blackbox], &mut BufferSink::new());
+        assert_eq!(out.sum(), 0.0);
+    }
+
+    #[test]
+    fn scale_to_unit_is_all_to_all() {
+        assert!(ScaleToUnit.all_to_all());
+    }
+}

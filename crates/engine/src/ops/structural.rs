@@ -1,0 +1,389 @@
+//! Structural operators: transpose, slicing and concatenation.
+//!
+//! These are mapping operators whose lineage depends only on coordinates and
+//! on simple shape metadata.  `Concat` is also the paper's example of an
+//! operator for which the *entire-array* optimization would be incorrect
+//! (each input's forward lineage is only part of the output), so it must not
+//! be annotated `all_to_all`.
+
+use subzero_array::{Array, ArrayRef, Coord, Shape};
+
+use crate::lineage::{LineageMode, LineageSink};
+use crate::operator::{OpMeta, Operator};
+
+/// 2-D matrix transpose.
+#[derive(Debug, Clone, Default)]
+pub struct Transpose;
+
+impl Operator for Transpose {
+    fn name(&self) -> &str {
+        "transpose"
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        input_shapes[0].transpose2()
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Map, LineageMode::Full, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let input = &inputs[0];
+        let out_shape = input.shape().transpose2();
+        let mut out = Array::zeros(out_shape);
+        for (c, v) in input.iter() {
+            out.set(&c.transpose2(), v);
+        }
+        if cur_modes.contains(&LineageMode::Full) {
+            for (c, _) in input.iter() {
+                sink.lwrite(vec![c.transpose2()], vec![vec![c]]);
+            }
+        }
+        out
+    }
+
+    fn map_backward(&self, outcell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(vec![outcell.transpose2()])
+    }
+
+    fn map_forward(&self, incell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        Some(vec![incell.transpose2()])
+    }
+
+    fn spans_entire_array(&self, _input_idx: usize, _backward: bool) -> bool {
+        // A permutation of cells: whole array maps to whole array.
+        true
+    }
+}
+
+/// Extracts the inclusive rectangular window `[lo, hi]` from its input.
+#[derive(Debug, Clone)]
+pub struct SliceOp {
+    lo: Coord,
+    hi: Coord,
+    name: String,
+}
+
+impl SliceOp {
+    /// Creates a slice operator with inclusive corners.
+    pub fn new(lo: Coord, hi: Coord) -> Self {
+        SliceOp {
+            name: format!("slice({lo}..{hi})"),
+            lo,
+            hi,
+        }
+    }
+}
+
+impl Operator for SliceOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, _input_shapes: &[Shape]) -> Shape {
+        let dims: Vec<u32> = self
+            .lo
+            .as_slice()
+            .iter()
+            .zip(self.hi.as_slice())
+            .map(|(&l, &h)| h - l + 1)
+            .collect();
+        Shape::new(&dims)
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Map, LineageMode::Full, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let input = &inputs[0];
+        let out = input
+            .slice(&self.lo, &self.hi)
+            .expect("slice window must be inside the input array");
+        if cur_modes.contains(&LineageMode::Full) {
+            for (c, _) in out.iter() {
+                let src: Vec<u32> = c
+                    .as_slice()
+                    .iter()
+                    .zip(self.lo.as_slice())
+                    .map(|(&o, &l)| o + l)
+                    .collect();
+                sink.lwrite(vec![c], vec![vec![Coord::new(&src)]]);
+            }
+        }
+        out
+    }
+
+    fn map_backward(&self, outcell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        let src: Vec<u32> = outcell
+            .as_slice()
+            .iter()
+            .zip(self.lo.as_slice())
+            .map(|(&o, &l)| o + l)
+            .collect();
+        Some(vec![Coord::new(&src)])
+    }
+
+    fn map_forward(&self, incell: &Coord, _i: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+        // Input cells outside the window have no forward lineage.
+        let mut vals = Vec::with_capacity(incell.ndim());
+        for d in 0..incell.ndim() {
+            let v = incell.get(d);
+            if v < self.lo.get(d) || v > self.hi.get(d) {
+                return Some(vec![]);
+            }
+            vals.push(v - self.lo.get(d));
+        }
+        Some(vec![Coord::new(&vals)])
+    }
+
+    fn spans_entire_array(&self, _input_idx: usize, backward: bool) -> bool {
+        // The entire input covers the entire (smaller) output, but the
+        // backward lineage of the entire output is only the window — not the
+        // whole input — so the optimization is only safe going forward.
+        !backward
+    }
+}
+
+/// Concatenates two arrays along `axis`.
+#[derive(Debug, Clone)]
+pub struct Concat {
+    axis: usize,
+    name: String,
+}
+
+impl Concat {
+    /// Creates a concatenation operator along the given axis.
+    pub fn new(axis: usize) -> Self {
+        Concat {
+            name: format!("concat(axis={axis})"),
+            axis,
+        }
+    }
+}
+
+impl Operator for Concat {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_inputs(&self) -> usize {
+        2
+    }
+
+    fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+        let a = input_shapes[0];
+        let b = input_shapes[1];
+        let dims: Vec<u32> = (0..a.ndim())
+            .map(|d| {
+                if d == self.axis {
+                    a.dim(d) + b.dim(d)
+                } else {
+                    a.dim(d)
+                }
+            })
+            .collect();
+        Shape::new(&dims)
+    }
+
+    fn supported_modes(&self) -> Vec<LineageMode> {
+        vec![LineageMode::Map, LineageMode::Full, LineageMode::Blackbox]
+    }
+
+    fn run(
+        &self,
+        inputs: &[ArrayRef],
+        cur_modes: &[LineageMode],
+        sink: &mut dyn LineageSink,
+    ) -> Array {
+        let (a, b) = (&inputs[0], &inputs[1]);
+        let out_shape = self.output_shape(&[a.shape(), b.shape()]);
+        let split = a.shape().dim(self.axis);
+        let mut out = Array::zeros(out_shape);
+        for (c, v) in a.iter() {
+            out.set(&c, v);
+        }
+        for (c, v) in b.iter() {
+            out.set(&c.with(self.axis, c.get(self.axis) + split), v);
+        }
+        if cur_modes.contains(&LineageMode::Full) {
+            for (c, _) in a.iter() {
+                sink.lwrite(vec![c], vec![vec![c], vec![]]);
+            }
+            for (c, _) in b.iter() {
+                let oc = c.with(self.axis, c.get(self.axis) + split);
+                sink.lwrite(vec![oc], vec![vec![], vec![c]]);
+            }
+        }
+        out
+    }
+
+    fn map_backward(&self, outcell: &Coord, input_idx: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        let split = meta.input_shape(0).dim(self.axis);
+        let v = outcell.get(self.axis);
+        match (input_idx, v < split) {
+            (0, true) => Some(vec![*outcell]),
+            (1, false) => Some(vec![outcell.with(self.axis, v - split)]),
+            _ => Some(vec![]),
+        }
+    }
+
+    fn map_forward(&self, incell: &Coord, input_idx: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
+        let split = meta.input_shape(0).dim(self.axis);
+        match input_idx {
+            0 => Some(vec![*incell]),
+            1 => Some(vec![incell.with(self.axis, incell.get(self.axis) + split)]),
+            _ => Some(vec![]),
+        }
+    }
+
+    fn spans_entire_array(&self, _input_idx: usize, backward: bool) -> bool {
+        // The paper's §VI-C counterexample: an input's forward lineage is
+        // only part of the concatenated output, so the optimization is only
+        // safe going backward (the whole output does cover each whole input).
+        backward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::BufferSink;
+    use std::sync::Arc;
+
+    fn arr(vals: &[Vec<f64>]) -> ArrayRef {
+        Arc::new(Array::from_rows(vals))
+    }
+
+    #[test]
+    fn transpose_values_and_mapping() {
+        let op = Transpose;
+        let input = arr(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let out = op.run(&[input], &[LineageMode::Blackbox], &mut BufferSink::new());
+        assert_eq!(out.shape(), Shape::d2(3, 2));
+        assert_eq!(out.get(&Coord::d2(2, 1)), 6.0);
+        let meta = OpMeta::new(vec![Shape::d2(2, 3)], Shape::d2(3, 2));
+        assert_eq!(
+            op.map_backward(&Coord::d2(2, 1), 0, &meta),
+            Some(vec![Coord::d2(1, 2)])
+        );
+        assert_eq!(
+            op.map_forward(&Coord::d2(1, 2), 0, &meta),
+            Some(vec![Coord::d2(2, 1)])
+        );
+    }
+
+    #[test]
+    fn transpose_full_lineage_matches_mapping() {
+        let op = Transpose;
+        let mut sink = BufferSink::new();
+        op.run(
+            &[arr(&[vec![1.0, 2.0], vec![3.0, 4.0]])],
+            &[LineageMode::Full],
+            &mut sink,
+        );
+        assert_eq!(sink.len(), 4);
+        for p in &sink.pairs {
+            if let crate::lineage::RegionPair::Full { outcells, incells } = p {
+                assert_eq!(outcells[0], incells[0][0].transpose2());
+            }
+        }
+    }
+
+    #[test]
+    fn slice_values_and_mapping() {
+        let op = SliceOp::new(Coord::d2(1, 1), Coord::d2(2, 2));
+        let input = arr(&[
+            vec![0.0, 1.0, 2.0],
+            vec![3.0, 4.0, 5.0],
+            vec![6.0, 7.0, 8.0],
+        ]);
+        let out = op.run(&[input], &[LineageMode::Blackbox], &mut BufferSink::new());
+        assert_eq!(out.shape(), Shape::d2(2, 2));
+        assert_eq!(out.get(&Coord::d2(0, 0)), 4.0);
+        assert_eq!(out.get(&Coord::d2(1, 1)), 8.0);
+
+        let meta = OpMeta::new(vec![Shape::d2(3, 3)], Shape::d2(2, 2));
+        assert_eq!(
+            op.map_backward(&Coord::d2(0, 1), 0, &meta),
+            Some(vec![Coord::d2(1, 2)])
+        );
+        assert_eq!(
+            op.map_forward(&Coord::d2(2, 2), 0, &meta),
+            Some(vec![Coord::d2(1, 1)])
+        );
+        assert_eq!(op.map_forward(&Coord::d2(0, 0), 0, &meta), Some(vec![]));
+    }
+
+    #[test]
+    fn slice_output_shape_independent_of_input_shape() {
+        let op = SliceOp::new(Coord::d2(2, 3), Coord::d2(5, 9));
+        assert_eq!(op.output_shape(&[Shape::d2(100, 100)]), Shape::d2(4, 7));
+    }
+
+    #[test]
+    fn concat_axis0_values_and_mapping() {
+        let op = Concat::new(0);
+        let a = arr(&[vec![1.0, 2.0]]);
+        let b = arr(&[vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let out = op.run(
+            &[Arc::clone(&a), Arc::clone(&b)],
+            &[LineageMode::Blackbox],
+            &mut BufferSink::new(),
+        );
+        assert_eq!(out.shape(), Shape::d2(3, 2));
+        assert_eq!(out.get(&Coord::d2(0, 1)), 2.0);
+        assert_eq!(out.get(&Coord::d2(2, 0)), 5.0);
+
+        let meta = OpMeta::new(vec![Shape::d2(1, 2), Shape::d2(2, 2)], Shape::d2(3, 2));
+        // Output row 0 comes from input 0; rows 1-2 come from input 1.
+        assert_eq!(
+            op.map_backward(&Coord::d2(0, 1), 0, &meta),
+            Some(vec![Coord::d2(0, 1)])
+        );
+        assert_eq!(op.map_backward(&Coord::d2(0, 1), 1, &meta), Some(vec![]));
+        assert_eq!(op.map_backward(&Coord::d2(2, 0), 0, &meta), Some(vec![]));
+        assert_eq!(
+            op.map_backward(&Coord::d2(2, 0), 1, &meta),
+            Some(vec![Coord::d2(1, 0)])
+        );
+        assert_eq!(
+            op.map_forward(&Coord::d2(1, 1), 1, &meta),
+            Some(vec![Coord::d2(2, 1)])
+        );
+        // Concat must never be treated as all-to-all (paper §VI-C).
+        assert!(!op.all_to_all());
+    }
+
+    #[test]
+    fn concat_axis1() {
+        let op = Concat::new(1);
+        let a = arr(&[vec![1.0], vec![2.0]]);
+        let b = arr(&[vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let out = op.run(&[a, b], &[LineageMode::Blackbox], &mut BufferSink::new());
+        assert_eq!(out.shape(), Shape::d2(2, 3));
+        assert_eq!(out.get(&Coord::d2(1, 0)), 2.0);
+        assert_eq!(out.get(&Coord::d2(1, 2)), 6.0);
+    }
+
+    #[test]
+    fn concat_full_lineage_covers_every_output_cell() {
+        let op = Concat::new(0);
+        let mut sink = BufferSink::new();
+        let a = arr(&[vec![1.0, 2.0]]);
+        let b = arr(&[vec![3.0, 4.0]]);
+        op.run(&[a, b], &[LineageMode::Full], &mut sink);
+        assert_eq!(sink.len(), 4);
+    }
+}

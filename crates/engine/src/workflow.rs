@@ -1,0 +1,418 @@
+//! Workflow specifications.
+//!
+//! A workflow specification is a DAG `W = (N, E)` where `N` is a set of
+//! operators and an edge `(O_P, I^i_{P'})` says the output of operator `P`
+//! feeds the `i`'th input of operator `P'` (§IV of the paper).  Inputs that
+//! do not come from another operator come from named external arrays.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::operator::Operator;
+
+/// Identifier of an operator inside one workflow.
+pub type OpId = u32;
+
+/// Where one input of an operator comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InputSource {
+    /// A named external array supplied when the workflow is executed.
+    External(String),
+    /// The output of another operator in the same workflow.
+    Operator(OpId),
+}
+
+/// One operator node of a workflow.
+pub struct WorkflowNode {
+    /// Identifier of the node within its workflow.
+    pub id: OpId,
+    /// The operator implementation.
+    pub operator: Arc<dyn Operator>,
+    /// Where each of the operator's inputs comes from (length equals
+    /// `operator.num_inputs()`).
+    pub inputs: Vec<InputSource>,
+}
+
+impl fmt::Debug for WorkflowNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkflowNode")
+            .field("id", &self.id)
+            .field("operator", &self.operator.name())
+            .field("inputs", &self.inputs)
+            .finish()
+    }
+}
+
+/// Errors detected while building or validating a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// An input referenced an operator id that does not exist.
+    UnknownOperator(OpId),
+    /// The number of declared inputs does not match `Operator::num_inputs`.
+    ArityMismatch {
+        /// The offending operator.
+        op: OpId,
+        /// Inputs declared in the workflow.
+        declared: usize,
+        /// Inputs the operator expects.
+        expected: usize,
+    },
+    /// The graph contains a cycle (workflows must be DAGs).
+    Cycle,
+    /// A query or execution referenced an operator not present in the
+    /// workflow.
+    NoSuchOperator(OpId),
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::UnknownOperator(id) => write!(f, "input references unknown operator {id}"),
+            WorkflowError::ArityMismatch { op, declared, expected } => write!(
+                f,
+                "operator {op} declares {declared} inputs but expects {expected}"
+            ),
+            WorkflowError::Cycle => write!(f, "workflow graph contains a cycle"),
+            WorkflowError::NoSuchOperator(id) => write!(f, "no operator with id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// A validated workflow specification.
+pub struct Workflow {
+    name: String,
+    nodes: Vec<WorkflowNode>,
+    topo: Vec<OpId>,
+}
+
+impl fmt::Debug for Workflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workflow")
+            .field("name", &self.name)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Workflow {
+    /// Starts building a workflow with the given name.
+    pub fn builder(name: impl Into<String>) -> WorkflowBuilder {
+        WorkflowBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// The workflow's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes, ordered by id.
+    pub fn nodes(&self) -> &[WorkflowNode] {
+        &self.nodes
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the workflow has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Looks up a node by id.
+    pub fn node(&self, id: OpId) -> Result<&WorkflowNode, WorkflowError> {
+        self.nodes
+            .get(id as usize)
+            .ok_or(WorkflowError::NoSuchOperator(id))
+    }
+
+    /// Operator ids in a topological order (every operator appears after all
+    /// operators whose output it consumes).
+    pub fn topo_order(&self) -> &[OpId] {
+        &self.topo
+    }
+
+    /// The operators that consume the output of `id`, together with the input
+    /// index at which they consume it.
+    pub fn consumers(&self, id: OpId) -> Vec<(OpId, usize)> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            for (idx, src) in node.inputs.iter().enumerate() {
+                if *src == InputSource::Operator(id) {
+                    out.push((node.id, idx));
+                }
+            }
+        }
+        out
+    }
+
+    /// Ids of the *sink* operators (whose output no other operator consumes).
+    pub fn sinks(&self) -> Vec<OpId> {
+        self.nodes
+            .iter()
+            .map(|n| n.id)
+            .filter(|&id| self.consumers(id).is_empty())
+            .collect()
+    }
+
+    /// Names of all external arrays the workflow reads.
+    pub fn external_inputs(&self) -> Vec<&str> {
+        let mut names = Vec::new();
+        for node in &self.nodes {
+            for src in &node.inputs {
+                if let InputSource::External(name) = src {
+                    if !names.contains(&name.as_str()) {
+                        names.push(name.as_str());
+                    }
+                }
+            }
+        }
+        names
+    }
+}
+
+/// Incremental builder for [`Workflow`].
+pub struct WorkflowBuilder {
+    name: String,
+    nodes: Vec<WorkflowNode>,
+}
+
+impl WorkflowBuilder {
+    /// Adds an operator whose inputs are described by `inputs`; returns the
+    /// new operator's id.
+    pub fn add(&mut self, operator: Arc<dyn Operator>, inputs: Vec<InputSource>) -> OpId {
+        let id = self.nodes.len() as OpId;
+        self.nodes.push(WorkflowNode {
+            id,
+            operator,
+            inputs,
+        });
+        id
+    }
+
+    /// Adds an operator that reads a single external array.
+    pub fn add_source(&mut self, operator: Arc<dyn Operator>, external: &str) -> OpId {
+        self.add(operator, vec![InputSource::External(external.to_string())])
+    }
+
+    /// Adds a single-input operator fed by the output of `upstream`.
+    pub fn add_unary(&mut self, operator: Arc<dyn Operator>, upstream: OpId) -> OpId {
+        self.add(operator, vec![InputSource::Operator(upstream)])
+    }
+
+    /// Adds a two-input operator fed by the outputs of `left` and `right`.
+    pub fn add_binary(&mut self, operator: Arc<dyn Operator>, left: OpId, right: OpId) -> OpId {
+        self.add(
+            operator,
+            vec![InputSource::Operator(left), InputSource::Operator(right)],
+        )
+    }
+
+    /// Validates the graph and produces the immutable [`Workflow`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkflowError`] if an input references a missing operator,
+    /// an operator's declared arity does not match, or the graph contains a
+    /// cycle.
+    pub fn build(self) -> Result<Workflow, WorkflowError> {
+        let n = self.nodes.len();
+        // Arity and reference checks.
+        for node in &self.nodes {
+            if node.inputs.len() != node.operator.num_inputs() {
+                return Err(WorkflowError::ArityMismatch {
+                    op: node.id,
+                    declared: node.inputs.len(),
+                    expected: node.operator.num_inputs(),
+                });
+            }
+            for src in &node.inputs {
+                if let InputSource::Operator(dep) = src {
+                    if *dep as usize >= n {
+                        return Err(WorkflowError::UnknownOperator(*dep));
+                    }
+                }
+            }
+        }
+        // Kahn's algorithm for a topological order (also detects cycles).
+        let mut indegree: HashMap<OpId, usize> = HashMap::new();
+        for node in &self.nodes {
+            indegree.entry(node.id).or_insert(0);
+            for src in &node.inputs {
+                if let InputSource::Operator(_) = src {
+                    *indegree.entry(node.id).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ready: Vec<OpId> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        ready.sort_unstable();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(id) = ready.pop() {
+            topo.push(id);
+            for node in &self.nodes {
+                if node
+                    .inputs
+                    .iter()
+                    .any(|src| *src == InputSource::Operator(id))
+                {
+                    let d = indegree.get_mut(&node.id).expect("indegree present");
+                    // An operator may consume the same upstream output at
+                    // several input positions; decrement once per edge.
+                    let edges = node
+                        .inputs
+                        .iter()
+                        .filter(|src| **src == InputSource::Operator(id))
+                        .count();
+                    *d -= edges;
+                    if *d == 0 {
+                        ready.push(node.id);
+                    }
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(WorkflowError::Cycle);
+        }
+        Ok(Workflow {
+            name: self.name,
+            nodes: self.nodes,
+            topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::{LineageMode, LineageSink};
+    use crate::operator::Operator;
+    use subzero_array::{Array, ArrayRef, Shape};
+
+    struct Dummy {
+        name: String,
+        inputs: usize,
+    }
+
+    impl Dummy {
+        fn new(name: &str, inputs: usize) -> Arc<dyn Operator> {
+            Arc::new(Dummy {
+                name: name.to_string(),
+                inputs,
+            })
+        }
+    }
+
+    impl Operator for Dummy {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn num_inputs(&self) -> usize {
+            self.inputs
+        }
+        fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+            input_shapes[0]
+        }
+        fn run(
+            &self,
+            inputs: &[ArrayRef],
+            _cur_modes: &[LineageMode],
+            _sink: &mut dyn LineageSink,
+        ) -> Array {
+            (*inputs[0]).clone()
+        }
+    }
+
+    fn diamond() -> Workflow {
+        // ext -> a -> b ┐
+        //          └─ c ┴-> d
+        let mut b = Workflow::builder("diamond");
+        let a = b.add_source(Dummy::new("a", 1), "ext");
+        let b1 = b.add_unary(Dummy::new("b", 1), a);
+        let c = b.add_unary(Dummy::new("c", 1), a);
+        let _d = b.add_binary(Dummy::new("d", 2), b1, c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_and_topo_order() {
+        let w = diamond();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.name(), "diamond");
+        let topo = w.topo_order();
+        let pos = |id: OpId| topo.iter().position(|&x| x == id).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn consumers_and_sinks() {
+        let w = diamond();
+        let mut consumers = w.consumers(0);
+        consumers.sort_unstable();
+        assert_eq!(consumers, vec![(1, 0), (2, 0)]);
+        assert_eq!(w.consumers(3), vec![]);
+        assert_eq!(w.sinks(), vec![3]);
+        assert_eq!(w.external_inputs(), vec!["ext"]);
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut b = Workflow::builder("bad");
+        b.add(Dummy::new("two-input", 2), vec![InputSource::External("x".into())]);
+        assert!(matches!(
+            b.build(),
+            Err(WorkflowError::ArityMismatch { expected: 2, declared: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_operator_detected() {
+        let mut b = Workflow::builder("bad");
+        b.add(Dummy::new("a", 1), vec![InputSource::Operator(7)]);
+        assert_eq!(b.build().err(), Some(WorkflowError::UnknownOperator(7)));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = Workflow::builder("cyclic");
+        // Two operators feeding each other.
+        let _x = b.add(Dummy::new("x", 1), vec![InputSource::Operator(1)]);
+        let _y = b.add(Dummy::new("y", 1), vec![InputSource::Operator(0)]);
+        assert_eq!(b.build().err(), Some(WorkflowError::Cycle));
+    }
+
+    #[test]
+    fn node_lookup_errors_for_missing_id() {
+        let w = diamond();
+        assert!(w.node(2).is_ok());
+        assert!(matches!(w.node(99), Err(WorkflowError::NoSuchOperator(99))));
+    }
+
+    #[test]
+    fn same_upstream_used_twice_is_allowed() {
+        let mut b = Workflow::builder("double-edge");
+        let a = b.add_source(Dummy::new("a", 1), "ext");
+        let _sq = b.add_binary(Dummy::new("self-product", 2), a, a);
+        let w = b.build().unwrap();
+        assert_eq!(w.consumers(a), vec![(1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WorkflowError::Cycle.to_string().contains("cycle"));
+        assert!(WorkflowError::UnknownOperator(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,292 @@
+//! The cost model.
+//!
+//! For every `(operator, strategy)` pair the optimizer needs three numbers
+//! (§VII): the disk overhead `disk_ij`, the runtime (capture) overhead
+//! `run_ij`, and the average query cost `q_ij`.  This module derives them
+//! analytically from the lineage statistics gathered during a profiling run
+//! — pair counts, average fanin/fanout, payload sizes and operator execution
+//! times — using calibration constants that reflect the encodings in
+//! `subzero::encoder`.
+//!
+//! Exact byte counts do not matter; what matters is that the model preserves
+//! the *orderings* the paper's experiments show (FullOne vs FullMany
+//! crossover with fanout, payload ≪ full lineage, black-box ≈ free storage
+//! but expensive queries), so that the ILP picks the same kinds of strategies
+//! the paper's optimizer does.
+
+use std::time::Duration;
+
+use subzero::model::{Direction, Granularity, StorageStrategy};
+use subzero::runtime::OperatorLineageStats;
+use subzero_engine::LineageMode;
+
+/// Cost estimates for one `(operator, strategy)` pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StrategyCosts {
+    /// Estimated lineage bytes stored.
+    pub disk_bytes: f64,
+    /// Estimated capture overhead added to the workflow, in seconds.
+    pub runtime_secs: f64,
+    /// Estimated cost of answering one backward query step, in seconds.
+    pub backward_query_secs: f64,
+    /// Estimated cost of answering one forward query step, in seconds.
+    pub forward_query_secs: f64,
+}
+
+impl StrategyCosts {
+    /// The query cost for a workload with the given backward fraction.
+    pub fn query_secs(&self, backward_fraction: f64) -> f64 {
+        self.backward_query_secs * backward_fraction
+            + self.forward_query_secs * (1.0 - backward_fraction)
+    }
+}
+
+/// Calibration constants of the cost model.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Bytes per stored coordinate after packing/delta encoding.
+    pub bytes_per_cell: f64,
+    /// Fixed bytes per hash entry (key, header, allocator slack).
+    pub bytes_per_entry: f64,
+    /// Bytes per R-tree node entry.
+    pub bytes_per_index_entry: f64,
+    /// Seconds to encode and store one cell during capture.
+    pub write_secs_per_cell: f64,
+    /// Seconds to fetch and decode one hash entry at query time.
+    pub entry_secs: f64,
+    /// Seconds to evaluate a mapping function for one cell.
+    pub map_secs: f64,
+    /// Multiplier applied to the operator execution time when estimating the
+    /// cost of re-running it in tracing mode (tracing emits lineage, so it is
+    /// somewhat slower than the plain run).
+    pub reexec_factor: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            bytes_per_cell: 3.0,
+            bytes_per_entry: 24.0,
+            bytes_per_index_entry: 48.0,
+            write_secs_per_cell: 120e-9,
+            entry_secs: 2.5e-6,
+            map_secs: 0.4e-6,
+            reexec_factor: 1.6,
+        }
+    }
+}
+
+impl CostModel {
+    /// Estimates the costs of storing (and querying) `strategy` for an
+    /// operator whose profiling statistics are `stats`.
+    ///
+    /// `exec_time` is the operator's plain execution time (the black-box
+    /// re-execution baseline) and `avg_query_cells` the expected number of
+    /// query cells flowing into the operator per query step.
+    pub fn estimate(
+        &self,
+        stats: &OperatorLineageStats,
+        exec_time: Duration,
+        avg_query_cells: f64,
+        strategy: StorageStrategy,
+    ) -> StrategyCosts {
+        let pairs = stats.pairs as f64;
+        let out_cells = stats.out_cells as f64;
+        let in_cells = stats.in_cells as f64;
+        let payload_per_pair = if stats.pairs > 0 {
+            stats.payload_bytes as f64 / pairs
+        } else {
+            0.0
+        };
+        let reexec_secs = exec_time.as_secs_f64() * self.reexec_factor;
+        let query_cells = avg_query_cells.max(1.0);
+
+        match strategy.mode {
+            LineageMode::Blackbox => StrategyCosts {
+                disk_bytes: 0.0,
+                runtime_secs: 0.0,
+                backward_query_secs: reexec_secs,
+                forward_query_secs: reexec_secs,
+            },
+            LineageMode::Map => StrategyCosts {
+                disk_bytes: 0.0,
+                runtime_secs: 0.0,
+                backward_query_secs: query_cells * self.map_secs,
+                forward_query_secs: query_cells * self.map_secs,
+            },
+            LineageMode::Full => {
+                let (entries, key_cells) = match strategy.direction {
+                    Direction::Backward => (out_cells, out_cells),
+                    Direction::Forward => (in_cells, in_cells),
+                };
+                let (disk, indexed_entries) = match strategy.granularity {
+                    Granularity::One => (
+                        // One hash entry per key cell, plus one shared entry
+                        // per pair holding the value-side cells.
+                        entries * self.bytes_per_entry
+                            + pairs * self.bytes_per_entry
+                            + match strategy.direction {
+                                Direction::Backward => in_cells * self.bytes_per_cell,
+                                Direction::Forward => out_cells * self.bytes_per_cell,
+                            },
+                        entries,
+                    ),
+                    Granularity::Many => (
+                        // One hash entry per pair holding both sides, plus the
+                        // R-tree over the key cells.
+                        pairs * self.bytes_per_entry
+                            + (in_cells + out_cells) * self.bytes_per_cell
+                            + pairs * self.bytes_per_index_entry,
+                        pairs,
+                    ),
+                };
+                let runtime = (key_cells + in_cells + out_cells) * self.write_secs_per_cell;
+                // Served direction: indexed lookups proportional to the query
+                // size.  Mismatched direction: a scan of every entry.
+                let serving_cost = query_cells.min(indexed_entries.max(1.0)) * self.entry_secs;
+                let scan_cost = indexed_entries.max(1.0) * self.entry_secs;
+                let (backward, forward) = match strategy.direction {
+                    Direction::Backward => (serving_cost, scan_cost),
+                    Direction::Forward => (scan_cost, serving_cost),
+                };
+                StrategyCosts {
+                    disk_bytes: disk,
+                    runtime_secs: runtime,
+                    backward_query_secs: backward,
+                    forward_query_secs: forward,
+                }
+            }
+            LineageMode::Pay | LineageMode::Comp => {
+                let (disk, indexed_entries) = match strategy.granularity {
+                    Granularity::One => (
+                        out_cells * (self.bytes_per_entry + payload_per_pair),
+                        out_cells,
+                    ),
+                    Granularity::Many => (
+                        pairs * (self.bytes_per_entry + payload_per_pair)
+                            + out_cells * self.bytes_per_cell
+                            + pairs * self.bytes_per_index_entry,
+                        pairs,
+                    ),
+                };
+                let runtime = out_cells * self.write_secs_per_cell
+                    + pairs * payload_per_pair * self.write_secs_per_cell;
+                // Payload lineage serves backward queries with indexed
+                // lookups (plus a map_p evaluation per hit); forward queries
+                // must iterate every stored pair.
+                let backward = query_cells.min(indexed_entries.max(1.0)) * self.entry_secs
+                    + query_cells * self.map_secs;
+                let forward = indexed_entries.max(1.0) * (self.entry_secs + self.map_secs);
+                StrategyCosts {
+                    disk_bytes: disk,
+                    runtime_secs: runtime,
+                    backward_query_secs: backward,
+                    forward_query_secs: forward,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(pairs: u64, fanout: u64, fanin: u64, payload: u64) -> OperatorLineageStats {
+        OperatorLineageStats {
+            op_name: "udf".to_string(),
+            pairs,
+            out_cells: pairs * fanout,
+            in_cells: pairs * fanin,
+            payload_bytes: pairs * payload,
+            exec_time: Duration::from_millis(5),
+            capture_time: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn blackbox_is_free_to_store_but_expensive_to_query() {
+        let m = CostModel::default();
+        let s = stats(10_000, 1, 9, 0);
+        let c = m.estimate(&s, Duration::from_millis(50), 100.0, StorageStrategy::blackbox());
+        assert_eq!(c.disk_bytes, 0.0);
+        assert_eq!(c.runtime_secs, 0.0);
+        assert!(c.backward_query_secs > 0.05);
+        let full = m.estimate(&s, Duration::from_millis(50), 100.0, StorageStrategy::full_one());
+        assert!(full.backward_query_secs < c.backward_query_secs);
+    }
+
+    #[test]
+    fn mapping_is_cheapest_overall() {
+        let m = CostModel::default();
+        let s = stats(10_000, 1, 9, 0);
+        let map = m.estimate(&s, Duration::from_millis(50), 100.0, StorageStrategy::mapping());
+        for other in [
+            StorageStrategy::blackbox(),
+            StorageStrategy::full_one(),
+            StorageStrategy::full_many(),
+            StorageStrategy::pay_one(),
+        ] {
+            let c = m.estimate(&s, Duration::from_millis(50), 100.0, other);
+            assert!(map.disk_bytes <= c.disk_bytes);
+            assert!(map.query_secs(0.5) <= c.query_secs(0.5) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn payload_is_smaller_than_full_for_high_fanin() {
+        let m = CostModel::default();
+        // Fanin 49 (the cosmic-ray detector) with a 4-byte payload.
+        let s = stats(5_000, 1, 49, 4);
+        let pay = m.estimate(&s, Duration::from_millis(20), 50.0, StorageStrategy::pay_one());
+        let full = m.estimate(&s, Duration::from_millis(20), 50.0, StorageStrategy::full_one());
+        assert!(pay.disk_bytes < full.disk_bytes);
+        assert!(pay.runtime_secs < full.runtime_secs);
+    }
+
+    #[test]
+    fn full_one_vs_full_many_crossover_with_fanout() {
+        let m = CostModel::default();
+        // Low fanout: FullOne avoids the spatial index and is smaller.
+        let low = stats(10_000, 1, 5, 0);
+        let one = m.estimate(&low, Duration::from_millis(10), 100.0, StorageStrategy::full_one());
+        let many = m.estimate(&low, Duration::from_millis(10), 100.0, StorageStrategy::full_many());
+        assert!(one.disk_bytes < many.disk_bytes);
+        // High fanout: duplicating a hash entry per output cell dominates and
+        // FullMany wins.
+        let high = stats(1_000, 100, 5, 0);
+        let one = m.estimate(&high, Duration::from_millis(10), 100.0, StorageStrategy::full_one());
+        let many = m.estimate(&high, Duration::from_millis(10), 100.0, StorageStrategy::full_many());
+        assert!(many.disk_bytes < one.disk_bytes);
+    }
+
+    #[test]
+    fn direction_determines_which_queries_are_served() {
+        let m = CostModel::default();
+        let s = stats(100_000, 1, 3, 0);
+        let bwd = m.estimate(&s, Duration::from_millis(10), 10.0, StorageStrategy::full_one());
+        let fwd = m.estimate(
+            &s,
+            Duration::from_millis(10),
+            10.0,
+            StorageStrategy::full_one_forward(),
+        );
+        assert!(bwd.backward_query_secs < bwd.forward_query_secs);
+        assert!(fwd.forward_query_secs < fwd.backward_query_secs);
+        // The mismatched directions are dramatically (not marginally) slower.
+        assert!(bwd.forward_query_secs / bwd.backward_query_secs > 100.0);
+    }
+
+    #[test]
+    fn query_secs_mixes_directions() {
+        let c = StrategyCosts {
+            disk_bytes: 0.0,
+            runtime_secs: 0.0,
+            backward_query_secs: 1.0,
+            forward_query_secs: 3.0,
+        };
+        assert!((c.query_secs(1.0) - 1.0).abs() < 1e-12);
+        assert!((c.query_secs(0.0) - 3.0).abs() < 1e-12);
+        assert!((c.query_secs(0.5) - 2.0).abs() < 1e-12);
+    }
+}

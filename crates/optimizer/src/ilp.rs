@@ -1,0 +1,426 @@
+//! The 0/1 integer program and its exact solver.
+//!
+//! The paper formulates lineage strategy selection as an integer program
+//! (solved with GLPK's simplex method) whose binaries `x_ij` say "operator i
+//! stores lineage with strategy j".  Because the query processor uses the
+//! best available strategy per query, the objective's query term takes a
+//! minimum over the selected strategies — which makes the problem a
+//! *multiple-choice* selection once candidate strategy subsets are
+//! enumerated.  This module solves exactly that: every operator (group) must
+//! pick exactly one candidate (a strategy subset folded into aggregate
+//! costs), subject to global disk and runtime budgets.
+//!
+//! The solver is exact branch and bound with admissible lower bounds; the
+//! search spaces here are tiny (tens of groups × tens of choices) and solve
+//! in well under a millisecond, matching the paper's "about 1 ms".
+
+/// One selectable choice (a set of storage strategies for one operator,
+/// folded into aggregate costs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct IlpChoice {
+    /// Human-readable label (for reports).
+    pub label: String,
+    /// Workload-weighted expected query cost if this choice is selected.
+    pub query_cost: f64,
+    /// Disk bytes this choice consumes.
+    pub disk: f64,
+    /// Capture overhead (seconds) this choice adds to the workflow.
+    pub runtime: f64,
+}
+
+/// A multiple-choice selection problem: pick exactly one choice per group.
+#[derive(Clone, Debug)]
+pub struct IlpProblem {
+    /// One group of candidate choices per operator.
+    pub groups: Vec<Vec<IlpChoice>>,
+    /// `MaxDISK`: total disk budget in bytes.
+    pub max_disk: f64,
+    /// `MaxRUNTIME`: total capture-overhead budget in seconds.
+    pub max_runtime: f64,
+    /// Tie-breaking weight of the disk/runtime penalty term.
+    pub epsilon: f64,
+    /// Weight of runtime against disk inside the penalty term.
+    pub beta: f64,
+}
+
+/// The solver's answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IlpSolution {
+    /// For each group, the index of the selected choice.
+    pub selection: Vec<usize>,
+    /// Objective value of the selection.
+    pub objective: f64,
+    /// Total disk consumed.
+    pub total_disk: f64,
+    /// Total runtime overhead consumed.
+    pub total_runtime: f64,
+    /// Whether the budgets could be met.  When `false` the selection is the
+    /// minimum-disk fallback (every group's cheapest choice).
+    pub feasible: bool,
+}
+
+impl IlpProblem {
+    /// The objective contribution of one choice.
+    fn choice_cost(&self, c: &IlpChoice) -> f64 {
+        c.query_cost + self.epsilon * (c.disk + self.beta * c.runtime)
+    }
+
+    /// Solves the problem exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any group is empty (every operator must at least offer a
+    /// black-box choice).
+    pub fn solve(&self) -> IlpSolution {
+        assert!(
+            self.groups.iter().all(|g| !g.is_empty()),
+            "every group must have at least one choice"
+        );
+        let n = self.groups.len();
+        if n == 0 {
+            return IlpSolution {
+                selection: vec![],
+                objective: 0.0,
+                total_disk: 0.0,
+                total_runtime: 0.0,
+                feasible: true,
+            };
+        }
+
+        // Admissible lower bounds for pruning: for the remaining groups, the
+        // best possible objective / smallest possible disk / runtime.
+        let mut min_cost_suffix = vec![0.0; n + 1];
+        let mut min_disk_suffix = vec![0.0; n + 1];
+        let mut min_runtime_suffix = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            let best_cost = self.groups[i]
+                .iter()
+                .map(|c| self.choice_cost(c))
+                .fold(f64::INFINITY, f64::min);
+            let best_disk = self.groups[i]
+                .iter()
+                .map(|c| c.disk)
+                .fold(f64::INFINITY, f64::min);
+            let best_runtime = self.groups[i]
+                .iter()
+                .map(|c| c.runtime)
+                .fold(f64::INFINITY, f64::min);
+            min_cost_suffix[i] = min_cost_suffix[i + 1] + best_cost;
+            min_disk_suffix[i] = min_disk_suffix[i + 1] + best_disk;
+            min_runtime_suffix[i] = min_runtime_suffix[i + 1] + best_runtime;
+        }
+
+        struct Search<'a> {
+            problem: &'a IlpProblem,
+            min_cost_suffix: Vec<f64>,
+            min_disk_suffix: Vec<f64>,
+            min_runtime_suffix: Vec<f64>,
+            best_objective: f64,
+            best_selection: Option<Vec<usize>>,
+            current: Vec<usize>,
+        }
+
+        impl Search<'_> {
+            fn dfs(&mut self, group: usize, cost: f64, disk: f64, runtime: f64) {
+                let n = self.problem.groups.len();
+                if group == n {
+                    if cost < self.best_objective {
+                        self.best_objective = cost;
+                        self.best_selection = Some(self.current.clone());
+                    }
+                    return;
+                }
+                // Prune: even the best-case completion violates a budget or
+                // cannot beat the incumbent.
+                if disk + self.min_disk_suffix[group] > self.problem.max_disk + f64::EPSILON {
+                    return;
+                }
+                if runtime + self.min_runtime_suffix[group]
+                    > self.problem.max_runtime + f64::EPSILON
+                {
+                    return;
+                }
+                if cost + self.min_cost_suffix[group] >= self.best_objective {
+                    return;
+                }
+                // Explore choices in increasing cost order so good incumbents
+                // are found early.
+                let mut order: Vec<usize> = (0..self.problem.groups[group].len()).collect();
+                order.sort_by(|&a, &b| {
+                    let ca = self.problem.choice_cost(&self.problem.groups[group][a]);
+                    let cb = self.problem.choice_cost(&self.problem.groups[group][b]);
+                    ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                for j in order {
+                    let c = &self.problem.groups[group][j];
+                    let new_disk = disk + c.disk;
+                    let new_runtime = runtime + c.runtime;
+                    if new_disk > self.problem.max_disk + f64::EPSILON
+                        || new_runtime > self.problem.max_runtime + f64::EPSILON
+                    {
+                        continue;
+                    }
+                    self.current.push(j);
+                    self.dfs(group + 1, cost + self.problem.choice_cost(c), new_disk, new_runtime);
+                    self.current.pop();
+                }
+            }
+        }
+
+        let mut search = Search {
+            problem: self,
+            min_cost_suffix,
+            min_disk_suffix,
+            min_runtime_suffix,
+            best_objective: f64::INFINITY,
+            best_selection: None,
+            current: Vec::with_capacity(n),
+        };
+        search.dfs(0, 0.0, 0.0, 0.0);
+
+        match search.best_selection {
+            Some(selection) => {
+                let (disk, runtime) = self.totals(&selection);
+                IlpSolution {
+                    objective: search.best_objective,
+                    selection,
+                    total_disk: disk,
+                    total_runtime: runtime,
+                    feasible: true,
+                }
+            }
+            None => {
+                // Infeasible: fall back to every group's minimum-disk choice
+                // (in practice the black-box choice, which costs nothing).
+                let selection: Vec<usize> = self
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        g.iter()
+                            .enumerate()
+                            .min_by(|(_, a), (_, b)| {
+                                a.disk.partial_cmp(&b.disk).unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                            .map(|(i, _)| i)
+                            .unwrap_or(0)
+                    })
+                    .collect();
+                let (disk, runtime) = self.totals(&selection);
+                let objective = selection
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| self.choice_cost(&self.groups[i][j]))
+                    .sum();
+                IlpSolution {
+                    selection,
+                    objective,
+                    total_disk: disk,
+                    total_runtime: runtime,
+                    feasible: false,
+                }
+            }
+        }
+    }
+
+    /// Brute-force solver used to validate branch and bound in tests.
+    pub fn solve_exhaustive(&self) -> Option<IlpSolution> {
+        let n = self.groups.len();
+        let mut best: Option<IlpSolution> = None;
+        let mut selection = vec![0usize; n];
+        loop {
+            let (disk, runtime) = self.totals(&selection);
+            if disk <= self.max_disk + f64::EPSILON && runtime <= self.max_runtime + f64::EPSILON {
+                let objective = selection
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| self.choice_cost(&self.groups[i][j]))
+                    .sum::<f64>();
+                if best.as_ref().map(|b| objective < b.objective).unwrap_or(true) {
+                    best = Some(IlpSolution {
+                        selection: selection.clone(),
+                        objective,
+                        total_disk: disk,
+                        total_runtime: runtime,
+                        feasible: true,
+                    });
+                }
+            }
+            // Advance the odometer.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return best;
+                }
+                selection[i] += 1;
+                if selection[i] < self.groups[i].len() {
+                    break;
+                }
+                selection[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    fn totals(&self, selection: &[usize]) -> (f64, f64) {
+        let mut disk = 0.0;
+        let mut runtime = 0.0;
+        for (i, &j) in selection.iter().enumerate() {
+            disk += self.groups[i][j].disk;
+            runtime += self.groups[i][j].runtime;
+        }
+        (disk, runtime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn choice(label: &str, query: f64, disk: f64, runtime: f64) -> IlpChoice {
+        IlpChoice {
+            label: label.to_string(),
+            query_cost: query,
+            disk,
+            runtime,
+        }
+    }
+
+    fn problem(groups: Vec<Vec<IlpChoice>>, max_disk: f64) -> IlpProblem {
+        IlpProblem {
+            groups,
+            max_disk,
+            max_runtime: f64::INFINITY,
+            epsilon: 1e-9,
+            beta: 1.0,
+        }
+    }
+
+    #[test]
+    fn picks_cheapest_query_within_budget() {
+        let p = problem(
+            vec![
+                vec![choice("blackbox", 10.0, 0.0, 0.0), choice("full", 1.0, 100.0, 0.0)],
+                vec![choice("blackbox", 5.0, 0.0, 0.0), choice("full", 0.5, 100.0, 0.0)],
+            ],
+            150.0,
+        );
+        let s = p.solve();
+        assert!(s.feasible);
+        // Only one operator can afford full lineage; the one with the bigger
+        // improvement (10 -> 1) gets it.
+        assert_eq!(s.selection, vec![1, 0]);
+        assert!((s.total_disk - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_budget_takes_all_improvements() {
+        let p = problem(
+            vec![
+                vec![choice("bb", 10.0, 0.0, 0.0), choice("full", 1.0, 100.0, 0.0)],
+                vec![choice("bb", 5.0, 0.0, 0.0), choice("full", 0.5, 100.0, 0.0)],
+            ],
+            1e12,
+        );
+        let s = p.solve();
+        assert_eq!(s.selection, vec![1, 1]);
+    }
+
+    #[test]
+    fn epsilon_prefers_less_storage_between_query_ties() {
+        let p = IlpProblem {
+            groups: vec![vec![
+                choice("small", 1.0, 10.0, 0.0),
+                choice("large", 1.0, 1000.0, 0.0),
+            ]],
+            max_disk: 1e9,
+            max_runtime: f64::INFINITY,
+            epsilon: 1e-6,
+            beta: 1.0,
+        };
+        assert_eq!(p.solve().selection, vec![0]);
+    }
+
+    #[test]
+    fn runtime_budget_is_enforced() {
+        let p = IlpProblem {
+            groups: vec![
+                vec![choice("bb", 10.0, 0.0, 0.0), choice("full", 1.0, 0.0, 5.0)],
+                vec![choice("bb", 10.0, 0.0, 0.0), choice("full", 1.0, 0.0, 5.0)],
+            ],
+            max_disk: f64::INFINITY,
+            max_runtime: 5.0,
+            epsilon: 0.0,
+            beta: 1.0,
+        };
+        let s = p.solve();
+        assert!(s.feasible);
+        assert!(s.total_runtime <= 5.0 + 1e-9);
+        assert_eq!(s.selection.iter().filter(|&&j| j == 1).count(), 1);
+    }
+
+    #[test]
+    fn infeasible_falls_back_to_minimum_disk() {
+        let p = problem(
+            vec![vec![choice("huge", 1.0, 500.0, 0.0), choice("big", 2.0, 200.0, 0.0)]],
+            50.0,
+        );
+        let s = p.solve();
+        assert!(!s.feasible);
+        assert_eq!(s.selection, vec![1], "fallback picks the smaller choice");
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_solved() {
+        let p = problem(vec![], 0.0);
+        let s = p.solve();
+        assert!(s.feasible);
+        assert!(s.selection.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one choice")]
+    fn empty_group_panics() {
+        let p = problem(vec![vec![]], 10.0);
+        let _ = p.solve();
+    }
+
+    #[test]
+    fn branch_and_bound_matches_exhaustive_search() {
+        // A pseudo-random but deterministic family of problems.
+        let mut seed = 0x9E37u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) % 1000) as f64
+        };
+        for trial in 0..25 {
+            let groups: Vec<Vec<IlpChoice>> = (0..5)
+                .map(|g| {
+                    (0..4)
+                        .map(|c| choice(&format!("g{g}c{c}"), next(), next(), next() / 100.0))
+                        .collect()
+                })
+                .collect();
+            let p = IlpProblem {
+                groups,
+                max_disk: 1500.0 + next(),
+                max_runtime: 15.0 + next() / 50.0,
+                epsilon: 1e-4,
+                beta: 2.0,
+            };
+            let bb = p.solve();
+            let exhaustive = p.solve_exhaustive();
+            match exhaustive {
+                Some(ex) => {
+                    assert!(bb.feasible, "trial {trial}");
+                    assert!(
+                        (bb.objective - ex.objective).abs() < 1e-6,
+                        "trial {trial}: bb={} exhaustive={}",
+                        bb.objective,
+                        ex.objective
+                    );
+                }
+                None => assert!(!bb.feasible, "trial {trial}"),
+            }
+        }
+    }
+}

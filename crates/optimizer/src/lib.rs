@@ -1,0 +1,39 @@
+//! # subzero-optimizer
+//!
+//! The lineage strategy optimizer (§VII of the paper).
+//!
+//! Given a workflow, the lineage statistics gathered by a profiling run, a
+//! sample query workload, and user constraints on storage and runtime
+//! overhead, the optimizer chooses — for every operator — the set of storage
+//! strategies that minimises the expected cost of the query workload while
+//! staying within the constraints.  The task is formulated as a 0/1 integer
+//! program (one binary per `(operator, strategy)` pair) and solved exactly
+//! with branch and bound; the problems are tiny (tens of operators × a
+//! handful of candidate strategies), mirroring the paper's "the solver takes
+//! about 1 ms".
+//!
+//! * [`cost`] — the cost model: per-(operator, strategy) estimates of disk
+//!   footprint, capture overhead, and query cost, derived from capture
+//!   statistics.
+//! * [`workload`] — sample query workloads: per-operator access
+//!   probabilities and direction mix.
+//! * [`ilp`] — the 0/1 integer program and its exact solver.
+//! * [`optimizer`] — candidate enumeration and the end-to-end
+//!   [`Optimizer`](optimizer::Optimizer) that produces a
+//!   [`LineageStrategy`](subzero::model::LineageStrategy).
+//!
+//! The *query-time* optimizer of §VII-A — the component that falls back to
+//! re-execution when materialised lineage would be slower — lives in the core
+//! crate ([`subzero::query::QueryTimePolicy`]) because it runs inside the
+//! query executor; it is re-exported here for discoverability.
+
+pub mod cost;
+pub mod ilp;
+pub mod optimizer;
+pub mod workload;
+
+pub use cost::{CostModel, StrategyCosts};
+pub use ilp::{IlpProblem, IlpSolution};
+pub use optimizer::{OptimizationResult, Optimizer, OptimizerConfig};
+pub use subzero::query::QueryTimePolicy;
+pub use workload::{OpWorkload, QueryWorkload};

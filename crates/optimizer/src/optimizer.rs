@@ -1,0 +1,530 @@
+//! Candidate enumeration and the end-to-end strategy optimizer.
+//!
+//! The optimizer turns *(workflow, profiling statistics, sample query
+//! workload, user constraints)* into a [`LineageStrategy`]: for every
+//! operator, the set of storage strategies that minimises expected query cost
+//! within the disk/runtime budgets.  It follows the paper's §VII recipe:
+//!
+//! * mapping functions are preferred over every other class of lineage, so
+//!   mapping operators are assigned `Map` unconditionally;
+//! * strategies that cannot serve any query in the workload (e.g. a
+//!   forward-optimized layout when the workload only contains backward
+//!   queries) are pruned heuristically;
+//! * the remaining candidates form a 0/1 program solved exactly
+//!   ([`IlpProblem`]);
+//! * an operator may be given *several* strategies (e.g. one backward- and
+//!   one forward-optimized store) when the workload mixes directions and the
+//!   budget allows it;
+//! * the user may pin specific operators to specific strategies before the
+//!   optimizer runs.
+
+use std::collections::HashMap;
+
+use subzero::model::{LineageStrategy, StorageStrategy};
+use subzero::runtime::OperatorLineageStats;
+use subzero_engine::{LineageMode, OpId, OperatorExt, Workflow};
+
+use crate::cost::{CostModel, StrategyCosts};
+use crate::ilp::{IlpChoice, IlpProblem};
+use crate::workload::QueryWorkload;
+
+/// User-facing optimizer constraints and weights.
+#[derive(Clone, Copy, Debug)]
+pub struct OptimizerConfig {
+    /// `MaxDISK`: lineage storage budget in bytes.
+    pub max_disk_bytes: f64,
+    /// `MaxRUNTIME`: capture-overhead budget in seconds.
+    pub max_runtime_secs: f64,
+    /// Weight of runtime against disk inside the tie-breaking penalty.
+    pub beta: f64,
+    /// Magnitude of the tie-breaking penalty (small; a large value behaves
+    /// like shrinking the budgets).
+    pub epsilon: f64,
+    /// Maximum number of stored strategies per operator (the paper's
+    /// configurations use at most two: one per query direction).
+    pub max_strategies_per_op: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            max_disk_bytes: f64::INFINITY,
+            max_runtime_secs: f64::INFINITY,
+            beta: 1.0,
+            epsilon: 1e-12,
+            max_strategies_per_op: 2,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// A configuration with a disk budget in megabytes and no runtime bound —
+    /// the knob varied in the paper's Figure 7 (`SubZero-X MB`).
+    pub fn with_disk_budget_mb(mb: f64) -> Self {
+        OptimizerConfig {
+            max_disk_bytes: mb * 1024.0 * 1024.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// The chosen strategies for one operator, with their predicted costs.
+#[derive(Clone, Debug)]
+pub struct OpChoice {
+    /// The operator.
+    pub op_id: OpId,
+    /// The storage strategies assigned to it.
+    pub strategies: Vec<StorageStrategy>,
+    /// Predicted disk bytes for the assignment.
+    pub disk_bytes: f64,
+    /// Predicted capture overhead in seconds.
+    pub runtime_secs: f64,
+    /// Predicted workload-weighted query cost in seconds.
+    pub query_secs: f64,
+}
+
+/// The optimizer's output.
+#[derive(Clone, Debug)]
+pub struct OptimizationResult {
+    /// The workflow-level strategy to install on the SubZero runtime.
+    pub strategy: LineageStrategy,
+    /// Per-operator breakdown.
+    pub per_op: Vec<OpChoice>,
+    /// Total predicted lineage bytes.
+    pub predicted_disk_bytes: f64,
+    /// Total predicted capture overhead in seconds.
+    pub predicted_runtime_secs: f64,
+    /// Total predicted workload query cost in seconds.
+    pub predicted_query_secs: f64,
+    /// Whether the budgets could be met (when `false` the result is the
+    /// all-black-box fallback).
+    pub feasible: bool,
+}
+
+/// The lineage strategy optimizer.
+#[derive(Clone, Debug, Default)]
+pub struct Optimizer {
+    config: OptimizerConfig,
+    cost_model: CostModel,
+    user_fixed: HashMap<OpId, Vec<StorageStrategy>>,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with the given constraints and the default cost
+    /// model.
+    pub fn new(config: OptimizerConfig) -> Self {
+        Optimizer {
+            config,
+            cost_model: CostModel::default(),
+            user_fixed: HashMap::new(),
+        }
+    }
+
+    /// Overrides the cost model calibration.
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Pins an operator to a user-specified strategy set; the optimizer will
+    /// not consider alternatives for it (but its costs still count toward the
+    /// budgets).
+    pub fn fix_operator(&mut self, op: OpId, strategies: Vec<StorageStrategy>) -> &mut Self {
+        self.user_fixed.insert(op, strategies);
+        self
+    }
+
+    /// The strategy to use for a *profiling* run: every non-mapping operator
+    /// that can produce region pairs is asked for its cheapest pair-producing
+    /// mode so that pair counts, fanin/fanout and payload sizes can be
+    /// measured.  Mapping operators need no profiling.
+    pub fn profiling_strategy(workflow: &Workflow) -> LineageStrategy {
+        let mut s = LineageStrategy::new();
+        for node in workflow.nodes() {
+            let op = node.operator.as_ref();
+            if op.is_mapping() {
+                continue;
+            }
+            let modes = op.supported_modes();
+            let strategy = if modes.contains(&LineageMode::Comp) {
+                Some(StorageStrategy::composite_one())
+            } else if modes.contains(&LineageMode::Pay) {
+                Some(StorageStrategy::pay_one())
+            } else if modes.contains(&LineageMode::Full) {
+                Some(StorageStrategy::full_one())
+            } else {
+                None
+            };
+            if let Some(strategy) = strategy {
+                s.set(node.id, vec![strategy]);
+            }
+        }
+        s
+    }
+
+    /// Runs the optimizer.
+    ///
+    /// `stats` are the per-operator lineage statistics from a profiling run
+    /// (operators absent from the map are treated as producing no lineage and
+    /// are left on the default strategy).
+    pub fn optimize(
+        &self,
+        workflow: &Workflow,
+        stats: &HashMap<OpId, OperatorLineageStats>,
+        workload: &QueryWorkload,
+    ) -> OptimizationResult {
+        // Build one ILP group per operator that has something to decide.
+        let mut group_ops: Vec<OpId> = Vec::new();
+        let mut groups: Vec<Vec<(Vec<StorageStrategy>, IlpChoice)>> = Vec::new();
+
+        for node in workflow.nodes() {
+            let op_id = node.id;
+            let op = node.operator.as_ref();
+            let op_workload = workload.for_op(op_id);
+            let op_stats = stats.get(&op_id).cloned().unwrap_or_else(|| OperatorLineageStats {
+                op_name: op.name().to_string(),
+                ..Default::default()
+            });
+            let exec_time = op_stats.exec_time;
+
+            // Mapping operators always use mapping lineage (free, answers
+            // both directions); nothing to optimize.
+            if op.is_mapping() && !self.user_fixed.contains_key(&op_id) {
+                continue;
+            }
+
+            // Candidate strategy subsets.
+            let candidate_sets: Vec<Vec<StorageStrategy>> = match self.user_fixed.get(&op_id) {
+                Some(fixed) => vec![fixed.clone()],
+                None => self.candidate_sets(op, op_workload.backward_fraction, op_workload.access_probability),
+            };
+
+            let mut choices = Vec::with_capacity(candidate_sets.len());
+            for set in candidate_sets {
+                let mut disk = 0.0;
+                let mut runtime = 0.0;
+                // Query cost: the executor picks the best of the selected
+                // strategies per direction, and can always fall back to
+                // re-execution (black-box is implicitly available).
+                let blackbox = self.cost_model.estimate(
+                    &op_stats,
+                    exec_time,
+                    op_workload.avg_query_cells,
+                    StorageStrategy::blackbox(),
+                );
+                let mut best_backward = blackbox.backward_query_secs;
+                let mut best_forward = blackbox.forward_query_secs;
+                let mut costs: Vec<StrategyCosts> = Vec::new();
+                for s in &set {
+                    let c = self.cost_model.estimate(
+                        &op_stats,
+                        exec_time,
+                        op_workload.avg_query_cells,
+                        *s,
+                    );
+                    disk += c.disk_bytes;
+                    runtime += c.runtime_secs;
+                    best_backward = best_backward.min(c.backward_query_secs);
+                    best_forward = best_forward.min(c.forward_query_secs);
+                    costs.push(c);
+                }
+                let query_cost = op_workload.access_probability
+                    * (op_workload.backward_fraction * best_backward
+                        + op_workload.forward_fraction() * best_forward);
+                let label = if set.is_empty() {
+                    "BlackBox".to_string()
+                } else {
+                    set.iter().map(|s| s.label()).collect::<Vec<_>>().join("+")
+                };
+                choices.push((
+                    set,
+                    IlpChoice {
+                        label,
+                        query_cost,
+                        disk,
+                        runtime,
+                    },
+                ));
+            }
+            group_ops.push(op_id);
+            groups.push(choices);
+        }
+
+        let problem = IlpProblem {
+            groups: groups
+                .iter()
+                .map(|g| g.iter().map(|(_, c)| c.clone()).collect())
+                .collect(),
+            max_disk: self.config.max_disk_bytes,
+            max_runtime: self.config.max_runtime_secs,
+            epsilon: self.config.epsilon,
+            beta: self.config.beta,
+        };
+        let solution = problem.solve();
+
+        // Assemble the workflow-level strategy: mapping operators keep their
+        // default (mapping) behaviour by having no explicit assignment.
+        let mut strategy = LineageStrategy::new();
+        let mut per_op = Vec::new();
+        let mut total_query = 0.0;
+        for (g, (&op_id, choices)) in group_ops.iter().zip(groups.iter()).enumerate() {
+            let j = solution.selection[g];
+            let (set, ilp_choice) = &choices[j];
+            if !set.is_empty() {
+                strategy.set(op_id, set.clone());
+            }
+            total_query += ilp_choice.query_cost;
+            per_op.push(OpChoice {
+                op_id,
+                strategies: set.clone(),
+                disk_bytes: ilp_choice.disk,
+                runtime_secs: ilp_choice.runtime,
+                query_secs: ilp_choice.query_cost,
+            });
+        }
+
+        OptimizationResult {
+            strategy,
+            per_op,
+            predicted_disk_bytes: solution.total_disk,
+            predicted_runtime_secs: solution.total_runtime,
+            predicted_query_secs: total_query,
+            feasible: solution.feasible,
+        }
+    }
+
+    /// Enumerates the candidate strategy subsets for one (non-mapping)
+    /// operator.
+    fn candidate_sets(
+        &self,
+        op: &dyn subzero_engine::Operator,
+        backward_fraction: f64,
+        access_probability: f64,
+    ) -> Vec<Vec<StorageStrategy>> {
+        // The black-box (store nothing) choice is always available.
+        let mut sets: Vec<Vec<StorageStrategy>> = vec![vec![]];
+        if access_probability == 0.0 {
+            // Never queried: storing lineage can only waste resources.
+            return sets;
+        }
+        let modes = op.supported_modes();
+        let mut backward_serving: Vec<StorageStrategy> = Vec::new();
+        let mut forward_serving: Vec<StorageStrategy> = Vec::new();
+        if modes.contains(&LineageMode::Comp) {
+            backward_serving.push(StorageStrategy::composite_one());
+            backward_serving.push(StorageStrategy::composite_many());
+        }
+        if modes.contains(&LineageMode::Pay) {
+            backward_serving.push(StorageStrategy::pay_one());
+            backward_serving.push(StorageStrategy::pay_many());
+        }
+        if modes.contains(&LineageMode::Full) {
+            backward_serving.push(StorageStrategy::full_one());
+            backward_serving.push(StorageStrategy::full_many());
+            forward_serving.push(StorageStrategy::full_one_forward());
+            forward_serving.push(StorageStrategy::full_many_forward());
+        }
+        // Heuristic pruning: drop layouts that no query in the workload can
+        // use through its index.
+        let has_backward = backward_fraction > 0.0;
+        let has_forward = backward_fraction < 1.0;
+        if !has_backward {
+            backward_serving.clear();
+        }
+        if !has_forward {
+            forward_serving.clear();
+        }
+        for s in backward_serving.iter().chain(forward_serving.iter()) {
+            sets.push(vec![*s]);
+        }
+        // Pairs: one backward-serving plus one forward-serving store (the
+        // paper's `FullBoth` / `PayBoth` configurations).
+        if self.config.max_strategies_per_op >= 2 {
+            for b in &backward_serving {
+                for f in &forward_serving {
+                    sets.push(vec![*b, *f]);
+                }
+            }
+        }
+        sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use subzero::model::Direction;
+    use subzero_array::{Array, ArrayRef, Coord, Shape};
+    use subzero_engine::ops::{Elementwise1, UnaryKind};
+    use subzero_engine::{LineageSink, OpMeta, Operator, Workflow};
+
+    /// A UDF that supports payload and full lineage but has no mapping
+    /// functions — the kind of operator the optimizer exists for.
+    struct Udf;
+
+    impl Operator for Udf {
+        fn name(&self) -> &str {
+            "udf"
+        }
+        fn output_shape(&self, s: &[Shape]) -> Shape {
+            s[0]
+        }
+        fn supported_modes(&self) -> Vec<LineageMode> {
+            vec![LineageMode::Full, LineageMode::Pay, LineageMode::Blackbox]
+        }
+        fn run(
+            &self,
+            inputs: &[ArrayRef],
+            _m: &[LineageMode],
+            _s: &mut dyn LineageSink,
+        ) -> Array {
+            (*inputs[0]).clone()
+        }
+        fn map_payload(
+            &self,
+            outcell: &Coord,
+            _payload: &[u8],
+            _i: usize,
+            _meta: &OpMeta,
+        ) -> Option<Vec<Coord>> {
+            Some(vec![*outcell])
+        }
+    }
+
+    fn workflow() -> Arc<Workflow> {
+        let mut b = Workflow::builder("opt");
+        let a = b.add_source(Arc::new(Elementwise1::new(UnaryKind::Scale(1.0))), "x");
+        let _u = b.add_unary(Arc::new(Udf), a);
+        Arc::new(b.build().unwrap())
+    }
+
+    fn stats_for_udf(pairs: u64, fanin: u64, payload: u64) -> HashMap<OpId, OperatorLineageStats> {
+        let mut m = HashMap::new();
+        m.insert(
+            1,
+            OperatorLineageStats {
+                op_name: "udf".into(),
+                pairs,
+                out_cells: pairs,
+                in_cells: pairs * fanin,
+                payload_bytes: pairs * payload,
+                exec_time: Duration::from_millis(200),
+                capture_time: Duration::ZERO,
+            },
+        );
+        m.insert(
+            0,
+            OperatorLineageStats {
+                op_name: "scale".into(),
+                exec_time: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn mapping_operators_are_left_alone() {
+        let wf = workflow();
+        let opt = Optimizer::new(OptimizerConfig::default());
+        let workload = QueryWorkload::uniform([0, 1], 1.0, 10.0);
+        let result = opt.optimize(&wf, &stats_for_udf(10_000, 8, 4), &workload);
+        assert!(result.feasible);
+        // Operator 0 (scale) is a mapping operator: no explicit assignment.
+        assert!(result.strategy.get(0).is_none());
+        // The UDF gets a backward-optimized materialised strategy.
+        let udf = result.strategy.get(1).expect("udf assigned");
+        assert!(udf.iter().all(|s| s.stores_pairs()));
+        assert!(udf.iter().any(|s| s.serves(Direction::Backward)));
+    }
+
+    #[test]
+    fn tiny_disk_budget_forces_blackbox() {
+        let wf = workflow();
+        let opt = Optimizer::new(OptimizerConfig {
+            max_disk_bytes: 10.0,
+            ..Default::default()
+        });
+        let workload = QueryWorkload::uniform([0, 1], 1.0, 10.0);
+        let result = opt.optimize(&wf, &stats_for_udf(1_000_000, 8, 4), &workload);
+        assert!(result.feasible);
+        assert!(result.strategy.get(1).is_none(), "UDF stays black-box");
+        assert_eq!(result.predicted_disk_bytes, 0.0);
+    }
+
+    #[test]
+    fn larger_budgets_store_more_and_predict_cheaper_queries() {
+        let wf = workflow();
+        let stats = stats_for_udf(500_000, 8, 4);
+        let workload = QueryWorkload::uniform([0, 1], 0.5, 10.0);
+        let mut previous_query = f64::INFINITY;
+        let mut previous_disk = -1.0;
+        for mb in [0.001, 1.0, 10.0, 1000.0] {
+            let opt = Optimizer::new(OptimizerConfig::with_disk_budget_mb(mb));
+            let r = opt.optimize(&wf, &stats, &workload);
+            assert!(r.feasible);
+            assert!(r.predicted_disk_bytes <= mb * 1024.0 * 1024.0 + 1.0);
+            assert!(r.predicted_disk_bytes >= previous_disk);
+            assert!(r.predicted_query_secs <= previous_query + 1e-12);
+            previous_query = r.predicted_query_secs;
+            previous_disk = r.predicted_disk_bytes;
+        }
+    }
+
+    #[test]
+    fn mixed_workload_with_budget_stores_both_directions() {
+        let wf = workflow();
+        let stats = stats_for_udf(100_000, 4, 4);
+        let workload = QueryWorkload::uniform([1], 0.5, 10.0);
+        let opt = Optimizer::new(OptimizerConfig::default());
+        let r = opt.optimize(&wf, &stats, &workload);
+        let udf = r.strategy.get(1).expect("udf assigned");
+        assert!(udf.iter().any(|s| s.serves(Direction::Backward)));
+        assert!(udf.iter().any(|s| s.serves(Direction::Forward)));
+    }
+
+    #[test]
+    fn backward_only_workload_prunes_forward_layouts() {
+        let wf = workflow();
+        let stats = stats_for_udf(100_000, 4, 4);
+        let workload = QueryWorkload::uniform([1], 1.0, 10.0);
+        let opt = Optimizer::new(OptimizerConfig::default());
+        let r = opt.optimize(&wf, &stats, &workload);
+        let udf = r.strategy.get(1).expect("udf assigned");
+        assert!(udf.iter().all(|s| s.serves(Direction::Backward)));
+        assert!(!udf.iter().any(|s| s.direction == Direction::Forward));
+    }
+
+    #[test]
+    fn unqueried_operators_store_nothing() {
+        let wf = workflow();
+        let stats = stats_for_udf(100_000, 4, 4);
+        // Workload never touches the UDF.
+        let workload = QueryWorkload::uniform([0], 1.0, 10.0);
+        let opt = Optimizer::new(OptimizerConfig::default());
+        let r = opt.optimize(&wf, &stats, &workload);
+        assert!(r.strategy.get(1).is_none());
+    }
+
+    #[test]
+    fn user_fixed_strategies_are_respected() {
+        let wf = workflow();
+        let stats = stats_for_udf(100_000, 4, 4);
+        let workload = QueryWorkload::uniform([1], 1.0, 10.0);
+        let mut opt = Optimizer::new(OptimizerConfig::default());
+        opt.fix_operator(1, vec![StorageStrategy::full_many()]);
+        let r = opt.optimize(&wf, &stats, &workload);
+        assert_eq!(r.strategy.get(1).unwrap(), &[StorageStrategy::full_many()]);
+    }
+
+    #[test]
+    fn profiling_strategy_targets_non_mapping_operators() {
+        let wf = workflow();
+        let profile = Optimizer::profiling_strategy(&wf);
+        assert!(profile.get(0).is_none(), "mapping op needs no profiling");
+        let udf = profile.get(1).expect("udf profiled");
+        assert_eq!(udf, &[StorageStrategy::pay_one()]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Byte-level codecs used by the lineage encoder.
+//!
+//! The Encoder (§VI-B of the paper) must serialise cell coordinates, which
+//! "can easily be larger than the original data arrays" if stored naively.
+//! Two tricks keep them small:
+//!
+//! * **Bit-packing** — when the array is small enough, each coordinate is
+//!   packed into a single integer (its row-major linear index under the
+//!   array's [`Shape`]), exactly as the paper describes ("each coordinate is
+//!   bitpacked into a single integer if the array is small enough").
+//! * **Varint / delta encoding** — packed indices of a cell list are sorted,
+//!   delta-encoded and LEB128-varint encoded, so dense regions cost about a
+//!   byte per cell.
+//!
+//! All functions are deterministic and total: decoding what was encoded under
+//! the same shape always returns the original coordinates (see the property
+//! tests).
+
+use subzero_array::{Coord, Shape};
+
+/// Errors produced while decoding lineage bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The byte stream ended in the middle of a value.
+    UnexpectedEof,
+    /// A varint ran over the maximum encodable length.
+    VarintOverflow,
+    /// A decoded linear index was out of bounds for the shape it was decoded
+    /// against.
+    IndexOutOfBounds {
+        /// The decoded index.
+        index: u64,
+        /// Number of cells in the target shape.
+        num_cells: u64,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of encoded lineage bytes"),
+            CodecError::VarintOverflow => write!(f, "varint overflow while decoding"),
+            CodecError::IndexOutOfBounds { index, num_cells } => write!(
+                f,
+                "decoded cell index {index} out of bounds for array with {num_cells} cells"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends `value` to `out` as an LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `buf` starting at `*pos`, advancing `*pos`.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Packs a coordinate into its row-major linear index under `shape`.
+///
+/// # Panics
+///
+/// Panics if the coordinate is out of bounds for `shape`.
+#[inline]
+pub fn pack_coord(shape: &Shape, coord: &Coord) -> u64 {
+    shape.ravel(coord) as u64
+}
+
+/// Unpacks a linear index back into a coordinate under `shape`.
+pub fn unpack_coord(shape: &Shape, packed: u64) -> Result<Coord, CodecError> {
+    let n = shape.num_cells() as u64;
+    if packed >= n {
+        return Err(CodecError::IndexOutOfBounds {
+            index: packed,
+            num_cells: n,
+        });
+    }
+    Ok(shape.unravel(packed as usize))
+}
+
+/// Encodes a list of coordinates (under `shape`) into a compact byte string:
+/// count, then sorted + delta + varint encoded linear indices.
+///
+/// The cell list is treated as a *set*: order is not preserved and duplicates
+/// are collapsed.  That matches the semantics of a region pair, whose sides
+/// are sets of cells.
+pub fn encode_cells(shape: &Shape, coords: &[Coord]) -> Vec<u8> {
+    let mut idxs: Vec<u64> = coords.iter().map(|c| pack_coord(shape, c)).collect();
+    idxs.sort_unstable();
+    idxs.dedup();
+    let mut out = Vec::with_capacity(idxs.len() + 4);
+    write_varint(&mut out, idxs.len() as u64);
+    let mut prev = 0u64;
+    for (i, idx) in idxs.iter().enumerate() {
+        let delta = if i == 0 { *idx } else { idx - prev };
+        write_varint(&mut out, delta);
+        prev = *idx;
+    }
+    out
+}
+
+/// Decodes a byte string produced by [`encode_cells`] back into coordinates
+/// (sorted in row-major order).
+pub fn decode_cells(shape: &Shape, buf: &[u8]) -> Result<Vec<Coord>, CodecError> {
+    let mut pos = 0usize;
+    let coords = decode_cells_at(shape, buf, &mut pos)?;
+    Ok(coords)
+}
+
+/// Decodes one [`encode_cells`] block starting at `*pos`, advancing `*pos`.
+/// Used when several cell lists are concatenated in a single value.
+pub fn decode_cells_at(
+    shape: &Shape,
+    buf: &[u8],
+    pos: &mut usize,
+) -> Result<Vec<Coord>, CodecError> {
+    let count = read_varint(buf, pos)? as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut acc = 0u64;
+    for i in 0..count {
+        let delta = read_varint(buf, pos)?;
+        acc = if i == 0 { delta } else { acc + delta };
+        out.push(unpack_coord(shape, acc)?);
+    }
+    Ok(out)
+}
+
+/// Encodes a length-prefixed binary payload (the `Pay`/`Comp` lineage blob).
+pub fn encode_payload(out: &mut Vec<u8>, payload: &[u8]) {
+    write_varint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+}
+
+/// Decodes a length-prefixed binary payload starting at `*pos`.
+pub fn decode_payload(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, CodecError> {
+    let len = read_varint(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or(CodecError::UnexpectedEof)?;
+    let payload = buf[*pos..end].to_vec();
+    *pos = end;
+    Ok(payload)
+}
+
+/// Encodes a `u64` as 8 fixed little-endian bytes (used for hash keys where a
+/// fixed width is preferable to a varint).
+pub fn encode_fixed_u64(value: u64) -> [u8; 8] {
+    value.to_le_bytes()
+}
+
+/// Decodes a fixed little-endian `u64`.
+pub fn decode_fixed_u64(buf: &[u8]) -> Result<u64, CodecError> {
+    let bytes: [u8; 8] = buf
+        .get(..8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(CodecError::UnexpectedEof)?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_eof_and_overflow() {
+        let mut pos = 0;
+        assert_eq!(read_varint(&[], &mut pos), Err(CodecError::UnexpectedEof));
+        // 11 continuation bytes overflow a u64 varint.
+        let buf = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn pack_unpack_coord() {
+        let shape = Shape::d2(512, 2000);
+        let c = Coord::d2(511, 1999);
+        let packed = pack_coord(&shape, &c);
+        assert_eq!(unpack_coord(&shape, packed).unwrap(), c);
+        assert!(unpack_coord(&shape, shape.num_cells() as u64).is_err());
+    }
+
+    #[test]
+    fn encode_cells_roundtrip_sorted_dedup() {
+        let shape = Shape::d2(10, 10);
+        let cells = vec![
+            Coord::d2(3, 3),
+            Coord::d2(0, 1),
+            Coord::d2(3, 3),
+            Coord::d2(9, 9),
+        ];
+        let buf = encode_cells(&shape, &cells);
+        let decoded = decode_cells(&shape, &buf).unwrap();
+        assert_eq!(
+            decoded,
+            vec![Coord::d2(0, 1), Coord::d2(3, 3), Coord::d2(9, 9)]
+        );
+    }
+
+    #[test]
+    fn encode_cells_empty() {
+        let shape = Shape::d1(5);
+        let buf = encode_cells(&shape, &[]);
+        assert_eq!(decode_cells(&shape, &buf).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn dense_region_is_compact() {
+        // 1000 adjacent cells should take roughly a byte each plus a header,
+        // far smaller than 8 bytes per coordinate component.
+        let shape = Shape::d2(1000, 1000);
+        let cells: Vec<Coord> = (0..1000u32).map(|i| Coord::d2(500, i)).collect();
+        let buf = encode_cells(&shape, &cells);
+        assert!(
+            buf.len() < 1100,
+            "dense region encoding too large: {} bytes",
+            buf.len()
+        );
+    }
+
+    #[test]
+    fn multiple_blocks_in_one_buffer() {
+        let shape = Shape::d2(4, 4);
+        let a = vec![Coord::d2(0, 0), Coord::d2(1, 1)];
+        let b = vec![Coord::d2(3, 3)];
+        let mut buf = encode_cells(&shape, &a);
+        buf.extend(encode_cells(&shape, &b));
+        let mut pos = 0;
+        assert_eq!(decode_cells_at(&shape, &buf, &mut pos).unwrap(), a);
+        assert_eq!(decode_cells_at(&shape, &buf, &mut pos).unwrap(), b);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let mut buf = Vec::new();
+        encode_payload(&mut buf, b"radius=3");
+        encode_payload(&mut buf, b"");
+        let mut pos = 0;
+        assert_eq!(decode_payload(&buf, &mut pos).unwrap(), b"radius=3");
+        assert_eq!(decode_payload(&buf, &mut pos).unwrap(), b"");
+        assert_eq!(pos, buf.len());
+        // Truncated payload errors.
+        let mut short = Vec::new();
+        encode_payload(&mut short, b"abcdef");
+        short.truncate(short.len() - 2);
+        let mut pos = 0;
+        assert!(decode_payload(&short, &mut pos).is_err());
+    }
+
+    #[test]
+    fn fixed_u64_roundtrip() {
+        for v in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            let b = encode_fixed_u64(v);
+            assert_eq!(decode_fixed_u64(&b).unwrap(), v);
+        }
+        assert!(decode_fixed_u64(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_out_of_bounds_index() {
+        let shape = Shape::d1(4);
+        // Hand-craft an encoding with an index past the end.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1); // one cell
+        write_varint(&mut buf, 10); // index 10 in a 4-cell array
+        assert!(matches!(
+            decode_cells(&shape, &buf),
+            Err(CodecError::IndexOutOfBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,613 @@
+//! Embedded key-value store.
+//!
+//! SubZero stores region lineage in "a collection of BerkeleyDB hashtable
+//! instances", one per operator instance, with fsync/logging/concurrency
+//! control turned off because the lineage store is a cache (§VI-A).  This
+//! module provides an equivalent embedded store:
+//!
+//! * [`MemBackend`] — a plain in-process hash table.
+//! * [`FileBackend`] — an append-only log file with an in-memory hash index
+//!   (rebuildable by scanning the log), giving the same "hash table on disk,
+//!   no transactional guarantees" durability stance as the prototype.
+//! * [`Database`] — one named store instance (≈ one BerkeleyDB database).
+//! * [`StoreManager`] — allocates a database per operator/strategy and tracks
+//!   aggregate storage statistics, which the benchmarks report as the "disk
+//!   cost" of a lineage strategy.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{read_varint, write_varint};
+
+/// Abstract hash-table storage backend.
+pub trait KvBackend: Send {
+    /// Inserts or replaces the value stored under `key`.
+    fn put(&mut self, key: &[u8], value: &[u8]);
+
+    /// Fetches the value stored under `key`.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Whether `key` is present.
+    fn contains(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of live keys.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over all live `(key, value)` pairs (order unspecified).
+    fn iter(&self) -> Box<dyn Iterator<Item = (Vec<u8>, Vec<u8>)> + '_>;
+
+    /// Bytes of key + value payload currently stored (logical size — for the
+    /// file backend this excludes dead, superseded records).
+    fn bytes_used(&self) -> usize;
+
+    /// Flushes buffered writes to their destination (no-op for memory).
+    fn flush(&mut self) -> io::Result<()>;
+}
+
+/// Purely in-memory backend.
+#[derive(Default, Debug)]
+pub struct MemBackend {
+    map: HashMap<Vec<u8>, Vec<u8>>,
+    bytes: usize,
+}
+
+impl MemBackend {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl KvBackend for MemBackend {
+    fn put(&mut self, key: &[u8], value: &[u8]) {
+        if let Some(old) = self.map.insert(key.to_vec(), value.to_vec()) {
+            self.bytes -= old.len();
+        } else {
+            self.bytes += key.len();
+        }
+        self.bytes += value.len();
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.map.get(key).cloned()
+    }
+
+    fn contains(&self, key: &[u8]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = (Vec<u8>, Vec<u8>)> + '_> {
+        Box::new(self.map.iter().map(|(k, v)| (k.clone(), v.clone())))
+    }
+
+    fn bytes_used(&self) -> usize {
+        self.bytes
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Append-only-file backend with an in-memory hash index.
+///
+/// Records are `[key_len varint][value_len varint][key][value]`; the last
+/// record for a key wins.  The index is rebuilt by scanning the log on open,
+/// so no separate metadata needs to be persisted — matching the paper's
+/// treatment of lineage storage as a recoverable cache.
+#[derive(Debug)]
+pub struct FileBackend {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// key -> (offset of the value bytes, value length)
+    index: HashMap<Vec<u8>, (u64, u32)>,
+    /// Values written since the last flush; served from memory because the
+    /// buffered writer may not have reached the file yet.
+    pending: HashMap<Vec<u8>, Vec<u8>>,
+    /// Logical bytes (live keys + values).
+    live_bytes: usize,
+    /// Next append offset.
+    write_offset: u64,
+}
+
+impl FileBackend {
+    /// Opens (or creates) the log file at `path`, scanning any existing
+    /// records to rebuild the index.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut existing = Vec::new();
+        if path.exists() {
+            File::open(path)?.read_to_end(&mut existing)?;
+        }
+        let mut index = HashMap::new();
+        let mut live_bytes = 0usize;
+        let mut pos = 0usize;
+        while pos < existing.len() {
+            let record_start = pos;
+            let Ok(klen) = read_varint(&existing, &mut pos) else {
+                break;
+            };
+            let Ok(vlen) = read_varint(&existing, &mut pos) else {
+                break;
+            };
+            let klen = klen as usize;
+            let vlen = vlen as usize;
+            if pos + klen + vlen > existing.len() {
+                // Truncated trailing record (e.g. crash mid-append): ignore it.
+                pos = record_start;
+                break;
+            }
+            let key = existing[pos..pos + klen].to_vec();
+            let value_off = (pos + klen) as u64;
+            if let Some((_, old_len)) = index.insert(key.clone(), (value_off, vlen as u32)) {
+                live_bytes -= old_len as usize;
+            } else {
+                live_bytes += klen;
+            }
+            live_bytes += vlen;
+            pos += klen + vlen;
+        }
+        let write_offset = pos as u64;
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .read(true)
+            .open(path)?;
+        let mut writer = BufWriter::new(file);
+        writer.seek(SeekFrom::Start(write_offset))?;
+        Ok(FileBackend {
+            path: path.to_path_buf(),
+            writer,
+            index,
+            pending: HashMap::new(),
+            live_bytes,
+            write_offset,
+        })
+    }
+
+    /// Path of the backing log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl KvBackend for FileBackend {
+    fn put(&mut self, key: &[u8], value: &[u8]) {
+        let mut header = Vec::with_capacity(10);
+        write_varint(&mut header, key.len() as u64);
+        write_varint(&mut header, value.len() as u64);
+        let value_off = self.write_offset + header.len() as u64 + key.len() as u64;
+        // Lineage storage is best-effort (a cache); treat I/O errors as fatal
+        // for the process rather than corrupting the index silently.
+        self.writer.write_all(&header).expect("lineage log write");
+        self.writer.write_all(key).expect("lineage log write");
+        self.writer.write_all(value).expect("lineage log write");
+        self.write_offset = value_off + value.len() as u64;
+        if let Some((_, old_len)) = self
+            .index
+            .insert(key.to_vec(), (value_off, value.len() as u32))
+        {
+            self.live_bytes -= old_len as usize;
+        } else {
+            self.live_bytes += key.len();
+        }
+        self.live_bytes += value.len();
+        self.pending.insert(key.to_vec(), value.to_vec());
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        // Values written since the last flush may still sit in the buffered
+        // writer; serve them from the pending map.
+        if let Some(v) = self.pending.get(key) {
+            return Some(v.clone());
+        }
+        let &(off, len) = self.index.get(key)?;
+        // Reads go through a separate handle so the buffered writer position
+        // is untouched; the OS page cache makes the re-open cheap and the
+        // read path is not the capture hot path.
+        let mut f = File::open(&self.path).ok()?;
+        f.seek(SeekFrom::Start(off)).ok()?;
+        let mut buf = vec![0u8; len as usize];
+        f.read_exact(&mut buf).ok()?;
+        Some(buf)
+    }
+
+    fn contains(&self, key: &[u8]) -> bool {
+        self.index.contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = (Vec<u8>, Vec<u8>)> + '_> {
+        Box::new(
+            self.index
+                .keys()
+                .filter_map(move |k| self.get(k).map(|v| (k.clone(), v))),
+        )
+    }
+
+    fn bytes_used(&self) -> usize {
+        self.live_bytes
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.pending.clear();
+        Ok(())
+    }
+}
+
+/// A single named key-value database (≈ one BerkeleyDB hashtable instance).
+pub struct Database {
+    name: String,
+    backend: Box<dyn KvBackend>,
+    puts: u64,
+    gets: u64,
+}
+
+impl Database {
+    /// Wraps a backend under a name.
+    pub fn new(name: impl Into<String>, backend: Box<dyn KvBackend>) -> Self {
+        Database {
+            name: name.into(),
+            backend,
+            puts: 0,
+            gets: 0,
+        }
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inserts or replaces a value.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.puts += 1;
+        self.backend.put(key, value);
+    }
+
+    /// Fetches a value.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.gets += 1;
+        self.backend.get(key)
+    }
+
+    /// Fetches a value without recording an access (used by iterators and
+    /// statistics).
+    pub fn peek(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.backend.get(key)
+    }
+
+    /// Reads the current value of `key`, applies `merge` to it (or to `None`)
+    /// and stores the result.  This is the "on a key collision, decode, merge
+    /// and re-encode" path of the paper's runtime.
+    pub fn merge(&mut self, key: &[u8], merge: impl FnOnce(Option<Vec<u8>>) -> Vec<u8>) {
+        let existing = self.backend.get(key);
+        let merged = merge(existing);
+        self.put(key, &merged);
+    }
+
+    /// Whether `key` exists.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.backend.contains(key)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.backend.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.backend.is_empty()
+    }
+
+    /// Iterates over all `(key, value)` pairs.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (Vec<u8>, Vec<u8>)> + '_> {
+        self.backend.iter()
+    }
+
+    /// Logical bytes stored.
+    pub fn bytes_used(&self) -> usize {
+        self.backend.bytes_used()
+    }
+
+    /// Flushes buffered writes.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.backend.flush()
+    }
+
+    /// Access statistics `(puts, gets)`.
+    pub fn access_stats(&self) -> (u64, u64) {
+        (self.puts, self.gets)
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("name", &self.name)
+            .field("len", &self.backend.len())
+            .field("bytes", &self.backend.bytes_used())
+            .finish()
+    }
+}
+
+/// Aggregate statistics over every database owned by a [`StoreManager`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of databases allocated.
+    pub databases: usize,
+    /// Total live keys across databases.
+    pub entries: usize,
+    /// Total logical bytes across databases.
+    pub bytes: usize,
+}
+
+/// Allocates and owns one [`Database`] per operator/strategy instance.
+///
+/// If constructed with [`StoreManager::on_disk`], databases persist to
+/// append-only files under the given directory; otherwise they live in
+/// memory.  Either way the interface is identical, so the lineage runtime
+/// does not care which mode the benchmark harness selects.
+pub struct StoreManager {
+    dir: Option<PathBuf>,
+    databases: HashMap<String, Database>,
+}
+
+impl StoreManager {
+    /// A manager whose databases live purely in memory.
+    pub fn in_memory() -> Self {
+        StoreManager {
+            dir: None,
+            databases: HashMap::new(),
+        }
+    }
+
+    /// A manager whose databases persist under `dir` (one file per database).
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        StoreManager {
+            dir: Some(dir.into()),
+            databases: HashMap::new(),
+        }
+    }
+
+    /// Returns the database named `name`, creating it if needed.
+    pub fn database(&mut self, name: &str) -> &mut Database {
+        if !self.databases.contains_key(name) {
+            let backend: Box<dyn KvBackend> = match &self.dir {
+                None => Box::new(MemBackend::new()),
+                Some(dir) => {
+                    let file = dir.join(format!("{}.kv", sanitize_filename(name)));
+                    Box::new(FileBackend::open(&file).expect("open lineage database file"))
+                }
+            };
+            self.databases
+                .insert(name.to_string(), Database::new(name, backend));
+        }
+        self.databases.get_mut(name).expect("database just inserted")
+    }
+
+    /// Returns the database named `name` if it already exists.
+    pub fn existing(&self, name: &str) -> Option<&Database> {
+        self.databases.get(name)
+    }
+
+    /// Returns a mutable reference to an existing database.
+    pub fn existing_mut(&mut self, name: &str) -> Option<&mut Database> {
+        self.databases.get_mut(name)
+    }
+
+    /// Whether a database named `name` has been created.
+    pub fn has(&self, name: &str) -> bool {
+        self.databases.contains_key(name)
+    }
+
+    /// Drops a database (its file, if any, is left on disk; callers that want
+    /// to reclaim the space can remove the directory).
+    pub fn drop_database(&mut self, name: &str) {
+        self.databases.remove(name);
+    }
+
+    /// Names of all allocated databases.
+    pub fn names(&self) -> Vec<&str> {
+        self.databases.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Aggregate statistics across every database.
+    pub fn stats(&self) -> StoreStats {
+        let mut s = StoreStats {
+            databases: self.databases.len(),
+            ..Default::default()
+        };
+        for db in self.databases.values() {
+            s.entries += db.len();
+            s.bytes += db.bytes_used();
+        }
+        s
+    }
+
+    /// Total logical bytes stored across databases.
+    pub fn total_bytes(&self) -> usize {
+        self.stats().bytes
+    }
+
+    /// Flushes every database.
+    pub fn flush_all(&mut self) -> io::Result<()> {
+        for db in self.databases.values_mut() {
+            db.flush()?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for StoreManager {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl std::fmt::Debug for StoreManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreManager")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn sanitize_filename(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend_contract(mut b: Box<dyn KvBackend>) {
+        assert!(b.is_empty());
+        b.put(b"k1", b"v1");
+        b.put(b"k2", b"v2");
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(b"k1").as_deref(), Some(&b"v1"[..]));
+        assert!(b.contains(b"k2"));
+        assert!(!b.contains(b"k3"));
+        // Overwrite replaces and the logical size reflects the new value.
+        b.put(b"k1", b"longer-value");
+        assert_eq!(b.get(b"k1").as_deref(), Some(&b"longer-value"[..]));
+        assert_eq!(b.len(), 2);
+        let expected_bytes = 2 + 12 + 2 + 2; // k1 + new value + k2 + v2
+        assert_eq!(b.bytes_used(), expected_bytes);
+        let mut pairs: Vec<_> = b.iter().collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                (b"k1".to_vec(), b"longer-value".to_vec()),
+                (b"k2".to_vec(), b"v2".to_vec())
+            ]
+        );
+        b.flush().unwrap();
+    }
+
+    #[test]
+    fn mem_backend_contract() {
+        backend_contract(Box::new(MemBackend::new()));
+    }
+
+    #[test]
+    fn file_backend_contract() {
+        let dir = std::env::temp_dir().join(format!("subzero-kv-{}", std::process::id()));
+        let path = dir.join("contract.kv");
+        let _ = std::fs::remove_file(&path);
+        backend_contract(Box::new(FileBackend::open(&path).unwrap()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_reopen_recovers_index() {
+        let dir = std::env::temp_dir().join(format!("subzero-kv-reopen-{}", std::process::id()));
+        let path = dir.join("reopen.kv");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut b = FileBackend::open(&path).unwrap();
+            b.put(b"a", b"1");
+            b.put(b"b", b"2");
+            b.put(b"a", b"3"); // supersedes the first record
+            b.flush().unwrap();
+        }
+        let b = FileBackend::open(&path).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(b"a").as_deref(), Some(&b"3"[..]));
+        assert_eq!(b.get(b"b").as_deref(), Some(&b"2"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_ignores_truncated_tail() {
+        let dir = std::env::temp_dir().join(format!("subzero-kv-trunc-{}", std::process::id()));
+        let path = dir.join("trunc.kv");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut b = FileBackend::open(&path).unwrap();
+            b.put(b"good", b"value");
+            b.flush().unwrap();
+        }
+        // Simulate a crash mid-append by writing a partial record.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[5, 200]).unwrap();
+        }
+        let b = FileBackend::open(&path).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get(b"good").as_deref(), Some(&b"value"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn database_merge_reads_then_writes() {
+        let mut db = Database::new("m", Box::new(MemBackend::new()));
+        db.merge(b"k", |old| {
+            assert!(old.is_none());
+            b"a".to_vec()
+        });
+        db.merge(b"k", |old| {
+            let mut v = old.unwrap();
+            v.extend_from_slice(b"b");
+            v
+        });
+        assert_eq!(db.get(b"k").as_deref(), Some(&b"ab"[..]));
+        let (puts, gets) = db.access_stats();
+        assert_eq!(puts, 2);
+        assert_eq!(gets, 1);
+    }
+
+    #[test]
+    fn store_manager_allocates_per_name() {
+        let mut mgr = StoreManager::in_memory();
+        mgr.database("op1:full_one").put(b"x", b"1");
+        mgr.database("op2:pay_one").put(b"y", b"22");
+        assert!(mgr.has("op1:full_one"));
+        assert!(!mgr.has("op3"));
+        let stats = mgr.stats();
+        assert_eq!(stats.databases, 2);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.bytes, 1 + 1 + 1 + 2);
+        assert_eq!(mgr.total_bytes(), stats.bytes);
+        mgr.drop_database("op1:full_one");
+        assert_eq!(mgr.stats().databases, 1);
+    }
+
+    #[test]
+    fn store_manager_on_disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("subzero-mgr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut mgr = StoreManager::on_disk(&dir);
+        mgr.database("op A/B").put(b"k", b"v");
+        mgr.flush_all().unwrap();
+        assert!(dir.join("op_A_B.kv").exists(), "sanitized filename used");
+        assert_eq!(mgr.database("op A/B").get(b"k").as_deref(), Some(&b"v"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,31 @@
+//! # subzero-store
+//!
+//! Storage substrate for the SubZero lineage system.
+//!
+//! The SubZero prototype stored region lineage "in a collection of BerkeleyDB
+//! hashtable instances", with fsync, logging and concurrency control disabled
+//! because the lineage store is a cache that can always be rebuilt by
+//! re-running operators (§VI-A of the paper).  It also used write-ahead
+//! logging to guarantee black-box lineage is recorded before array data, and
+//! `libspatialindex` to build an R-tree over the hash keys of the *Many*
+//! encodings.
+//!
+//! This crate provides all three pieces, self-contained:
+//!
+//! * [`kv`] — an embedded hash-bucket key-value store with an in-memory
+//!   backend and an append-only-file backend, managed per operator by a
+//!   [`StoreManager`](kv::StoreManager).
+//! * [`wal`] — a simple write-ahead log of workflow/operator executions used
+//!   for black-box lineage.
+//! * [`codec`] — varint and coordinate bit-packing codecs used by the lineage
+//!   encoder.
+//! * [`rtree`] — an R-tree spatial index over cell bounding boxes.
+
+pub mod codec;
+pub mod kv;
+pub mod rtree;
+pub mod wal;
+
+pub use kv::{Database, KvBackend, StoreManager, StoreStats};
+pub use rtree::RTree;
+pub use wal::{WalEntry, WriteAheadLog};

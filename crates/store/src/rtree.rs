@@ -1,0 +1,350 @@
+//! R-tree spatial index over cell bounding boxes.
+//!
+//! The `FullMany`/`PayMany` encodings store each region pair's *set* of output
+//! cells as one hash key; answering a lineage query then requires finding the
+//! hash entries whose output cells intersect the query region.  The paper
+//! ("We also create an R Tree on the cells in the hash key to quickly find
+//! the entries that intersect with the query", §VI-B) used `libspatialindex`;
+//! this is a self-contained replacement with the classic Guttman quadratic
+//! split.
+//!
+//! Entries are `(BoundingBox, u64)` pairs; the `u64` is an opaque identifier
+//! (for SubZero, the hash-entry id of the encoded region pair).
+
+use subzero_array::{BoundingBox, Coord};
+
+/// Maximum number of entries per node before a split.
+const MAX_ENTRIES: usize = 8;
+/// Minimum number of entries assigned to each side of a split.
+const MIN_ENTRIES: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(Vec<(BoundingBox, u64)>),
+    Inner(Vec<(BoundingBox, Box<Node>)>),
+}
+
+fn merge_boxes(mut boxes: impl Iterator<Item = BoundingBox>) -> Option<BoundingBox> {
+    let first = boxes.next()?;
+    Some(boxes.fold(first, |acc, b| acc.merged(&b)))
+}
+
+/// An R-tree mapping bounding boxes to opaque `u64` identifiers.
+///
+/// ```
+/// use subzero_array::{BoundingBox, Coord};
+/// use subzero_store::RTree;
+///
+/// let mut t = RTree::new();
+/// t.insert(BoundingBox::new(&Coord::d2(0, 0), &Coord::d2(2, 2)), 1);
+/// t.insert(BoundingBox::point(&Coord::d2(10, 10)), 2);
+/// let hits = t.query_point(&Coord::d2(1, 1));
+/// assert_eq!(hits, vec![1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RTree {
+    root: Node,
+    len: usize,
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RTree {
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+        }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, bbox: BoundingBox, id: u64) {
+        self.len += 1;
+        if let Some((left_box, left, right_box, right)) = insert_rec(&mut self.root, bbox, id) {
+            // Root split: grow the tree by one level.
+            self.root = Node::Inner(vec![(left_box, Box::new(left)), (right_box, Box::new(right))]);
+        }
+    }
+
+    /// Identifiers of every entry whose box intersects `query`.
+    pub fn query(&self, query: &BoundingBox) -> Vec<u64> {
+        let mut out = Vec::new();
+        query_rec(&self.root, query, &mut out);
+        out
+    }
+
+    /// Identifiers of every entry whose box contains the single cell `c`.
+    pub fn query_point(&self, c: &Coord) -> Vec<u64> {
+        self.query(&BoundingBox::point(c))
+    }
+
+    /// Approximate memory footprint in bytes (used by the cost model to
+    /// account for the index overhead of the *Many* encodings).
+    pub fn size_bytes(&self) -> usize {
+        fn node_bytes(n: &Node) -> usize {
+            match n {
+                Node::Leaf(entries) => entries.len() * (std::mem::size_of::<BoundingBox>() + 8),
+                Node::Inner(children) => children
+                    .iter()
+                    .map(|(_, c)| std::mem::size_of::<BoundingBox>() + 8 + node_bytes(c))
+                    .sum(),
+            }
+        }
+        node_bytes(&self.root)
+    }
+
+    /// Depth of the tree (1 for a single leaf); exposed for tests.
+    pub fn depth(&self) -> usize {
+        fn depth_rec(n: &Node) -> usize {
+            match n {
+                Node::Leaf(_) => 1,
+                Node::Inner(children) => {
+                    1 + children.iter().map(|(_, c)| depth_rec(c)).max().unwrap_or(0)
+                }
+            }
+        }
+        depth_rec(&self.root)
+    }
+}
+
+fn query_rec(node: &Node, query: &BoundingBox, out: &mut Vec<u64>) {
+    match node {
+        Node::Leaf(entries) => {
+            for (b, id) in entries {
+                if b.intersects(query) {
+                    out.push(*id);
+                }
+            }
+        }
+        Node::Inner(children) => {
+            for (b, child) in children {
+                if b.intersects(query) {
+                    query_rec(child, query, out);
+                }
+            }
+        }
+    }
+}
+
+/// Recursive insert.  Returns `Some((left_box, left, right_box, right))` when
+/// the node split and the caller must replace it with the two halves.
+fn insert_rec(
+    node: &mut Node,
+    bbox: BoundingBox,
+    id: u64,
+) -> Option<(BoundingBox, Node, BoundingBox, Node)> {
+    match node {
+        Node::Leaf(entries) => {
+            entries.push((bbox, id));
+            if entries.len() <= MAX_ENTRIES {
+                return None;
+            }
+            let (a, b) = quadratic_split(std::mem::take(entries));
+            let a_box = merge_boxes(a.iter().map(|(b, _)| *b)).expect("non-empty split");
+            let b_box = merge_boxes(b.iter().map(|(b, _)| *b)).expect("non-empty split");
+            Some((a_box, Node::Leaf(a), b_box, Node::Leaf(b)))
+        }
+        Node::Inner(children) => {
+            // Choose the child whose box needs the least enlargement.
+            let idx = children
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (b, _))| (b.enlargement(&bbox), b.area()))
+                .map(|(i, _)| i)
+                .expect("inner node has children");
+            let (child_box, child) = &mut children[idx];
+            let split = insert_rec(child, bbox, id);
+            match split {
+                None => {
+                    *child_box = child_box.merged(&bbox);
+                    None
+                }
+                Some((lb, l, rb, r)) => {
+                    children[idx] = (lb, Box::new(l));
+                    children.push((rb, Box::new(r)));
+                    if children.len() <= MAX_ENTRIES {
+                        return None;
+                    }
+                    let (a, b) = quadratic_split(std::mem::take(children));
+                    let a_box =
+                        merge_boxes(a.iter().map(|(b, _)| *b)).expect("non-empty split");
+                    let b_box =
+                        merge_boxes(b.iter().map(|(b, _)| *b)).expect("non-empty split");
+                    Some((a_box, Node::Inner(a), b_box, Node::Inner(b)))
+                }
+            }
+        }
+    }
+}
+
+/// Guttman's quadratic split: pick the two entries that would waste the most
+/// area if grouped together as seeds, then greedily assign the rest to the
+/// group whose box grows least.
+fn quadratic_split<T>(entries: Vec<(BoundingBox, T)>) -> (Vec<(BoundingBox, T)>, Vec<(BoundingBox, T)>) {
+    debug_assert!(entries.len() > MAX_ENTRIES);
+    // Pick seeds.
+    let mut seed_a = 0usize;
+    let mut seed_b = 1usize;
+    let mut worst = 0u64;
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let waste = entries[i]
+                .0
+                .merged(&entries[j].0)
+                .area()
+                .saturating_sub(entries[i].0.area())
+                .saturating_sub(entries[j].0.area());
+            if waste >= worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    let mut group_a: Vec<(BoundingBox, T)> = Vec::new();
+    let mut group_b: Vec<(BoundingBox, T)> = Vec::new();
+    let mut box_a = entries[seed_a].0;
+    let mut box_b = entries[seed_b].0;
+    let total = entries.len();
+    for (i, entry) in entries.into_iter().enumerate() {
+        if i == seed_a {
+            box_a = box_a.merged(&entry.0);
+            group_a.push(entry);
+            continue;
+        }
+        if i == seed_b {
+            box_b = box_b.merged(&entry.0);
+            group_b.push(entry);
+            continue;
+        }
+        // If one group needs every remaining entry to reach MIN_ENTRIES,
+        // assign there unconditionally.
+        let remaining = total - i - 1;
+        if group_a.len() < MIN_ENTRIES && group_a.len() + remaining + 1 == MIN_ENTRIES {
+            box_a = box_a.merged(&entry.0);
+            group_a.push(entry);
+            continue;
+        }
+        if group_b.len() < MIN_ENTRIES && group_b.len() + remaining + 1 == MIN_ENTRIES {
+            box_b = box_b.merged(&entry.0);
+            group_b.push(entry);
+            continue;
+        }
+        let grow_a = box_a.enlargement(&entry.0);
+        let grow_b = box_b.enlargement(&entry.0);
+        if grow_a < grow_b || (grow_a == grow_b && group_a.len() <= group_b.len()) {
+            box_a = box_a.merged(&entry.0);
+            group_a.push(entry);
+        } else {
+            box_b = box_b.merged(&entry.0);
+            group_b.push(entry);
+        }
+    }
+    (group_a, group_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.query_point(&Coord::d2(0, 0)), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn insert_and_point_query() {
+        let mut t = RTree::new();
+        t.insert(BoundingBox::new(&Coord::d2(0, 0), &Coord::d2(4, 4)), 1);
+        t.insert(BoundingBox::new(&Coord::d2(10, 10), &Coord::d2(12, 12)), 2);
+        t.insert(BoundingBox::point(&Coord::d2(3, 3)), 3);
+        assert_eq!(t.len(), 3);
+        let mut hits = t.query_point(&Coord::d2(3, 3));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 3]);
+        assert_eq!(t.query_point(&Coord::d2(11, 11)), vec![2]);
+        assert!(t.query_point(&Coord::d2(100, 100)).is_empty());
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan() {
+        let mut t = RTree::new();
+        let mut boxes = Vec::new();
+        // A deterministic scatter of 200 small boxes.
+        for i in 0u32..200 {
+            let r = (i * 37) % 500;
+            let c = (i * 91) % 500;
+            let b = BoundingBox::new(&Coord::d2(r, c), &Coord::d2(r + i % 5, c + i % 7));
+            boxes.push((b, i as u64));
+            t.insert(b, i as u64);
+        }
+        assert_eq!(t.len(), 200);
+        assert!(t.depth() > 1, "200 entries must split beyond a single leaf");
+        for q in [
+            BoundingBox::new(&Coord::d2(0, 0), &Coord::d2(50, 50)),
+            BoundingBox::new(&Coord::d2(100, 100), &Coord::d2(300, 200)),
+            BoundingBox::point(&Coord::d2(250, 250)),
+            BoundingBox::new(&Coord::d2(0, 0), &Coord::d2(499, 499)),
+        ] {
+            let mut expected: Vec<u64> = boxes
+                .iter()
+                .filter(|(b, _)| b.intersects(&q))
+                .map(|(_, id)| *id)
+                .collect();
+            expected.sort_unstable();
+            let mut got = t.query(&q);
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn duplicate_boxes_are_all_returned() {
+        let mut t = RTree::new();
+        let b = BoundingBox::point(&Coord::d2(5, 5));
+        for id in 0..20 {
+            t.insert(b, id);
+        }
+        let mut hits = t.query_point(&Coord::d2(5, 5));
+        hits.sort_unstable();
+        assert_eq!(hits, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn size_bytes_grows_with_entries() {
+        let mut t = RTree::new();
+        let before = t.size_bytes();
+        for i in 0..100u32 {
+            t.insert(BoundingBox::point(&Coord::d2(i, i)), i as u64);
+        }
+        assert!(t.size_bytes() > before);
+    }
+
+    #[test]
+    fn one_dimensional_boxes() {
+        let mut t = RTree::new();
+        for i in 0..50u32 {
+            t.insert(BoundingBox::new(&Coord::d1(i * 2), &Coord::d1(i * 2 + 1)), i as u64);
+        }
+        assert_eq!(t.query_point(&Coord::d1(21)), vec![10]);
+        let hits = t.query(&BoundingBox::new(&Coord::d1(0), &Coord::d1(9)));
+        assert_eq!(hits.len(), 5);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the storage substrate.
+
+use proptest::prelude::*;
+use subzero_array::{BoundingBox, Coord, Shape};
+use subzero_store::codec::{decode_cells, encode_cells, read_varint, write_varint};
+use subzero_store::kv::{KvBackend, MemBackend};
+use subzero_store::RTree;
+
+proptest! {
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+        prop_assert!(buf.len() <= 10);
+    }
+
+    #[test]
+    fn varint_sequence_roundtrip(vals in prop::collection::vec(any::<u64>(), 0..64)) {
+        let mut buf = Vec::new();
+        for &v in &vals {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        while pos < buf.len() {
+            decoded.push(read_varint(&buf, &mut pos).unwrap());
+        }
+        prop_assert_eq!(decoded, vals);
+    }
+
+    #[test]
+    fn encode_cells_roundtrip_is_sorted_set(
+        rows in 1u32..60,
+        cols in 1u32..60,
+        picks in prop::collection::vec(0usize..3600, 0..128),
+    ) {
+        let shape = Shape::d2(rows, cols);
+        let coords: Vec<Coord> = picks
+            .iter()
+            .map(|&i| shape.unravel(i % shape.num_cells()))
+            .collect();
+        let buf = encode_cells(&shape, &coords);
+        let decoded = decode_cells(&shape, &buf).unwrap();
+        let mut expected = coords;
+        expected.sort();
+        expected.dedup();
+        prop_assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn kv_backend_behaves_like_hashmap(
+        ops in prop::collection::vec((prop::collection::vec(any::<u8>(), 1..8),
+                                      prop::collection::vec(any::<u8>(), 0..16)), 0..100),
+    ) {
+        let mut backend = MemBackend::new();
+        let mut reference = std::collections::HashMap::new();
+        for (k, v) in &ops {
+            backend.put(k, v);
+            reference.insert(k.clone(), v.clone());
+        }
+        prop_assert_eq!(backend.len(), reference.len());
+        for (k, v) in &reference {
+            let got = backend.get(k);
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+        let expected_bytes: usize = reference.iter().map(|(k, v)| k.len() + v.len()).sum();
+        prop_assert_eq!(backend.bytes_used(), expected_bytes);
+    }
+
+    #[test]
+    fn rtree_query_matches_linear_scan(
+        entries in prop::collection::vec(((0u32..200, 0u32..200), (0u32..8, 0u32..8)), 1..150),
+        query in ((0u32..200, 0u32..200), (0u32..40, 0u32..40)),
+    ) {
+        let mut tree = RTree::new();
+        let mut reference = Vec::new();
+        for (id, ((r, c), (dr, dc))) in entries.iter().enumerate() {
+            let b = BoundingBox::new(&Coord::d2(*r, *c), &Coord::d2(r + dr, c + dc));
+            tree.insert(b, id as u64);
+            reference.push((b, id as u64));
+        }
+        let ((qr, qc), (qdr, qdc)) = query;
+        let q = BoundingBox::new(&Coord::d2(qr, qc), &Coord::d2(qr + qdr, qc + qdc));
+        let mut got = tree.query(&q);
+        got.sort_unstable();
+        let mut expected: Vec<u64> = reference
+            .iter()
+            .filter(|(b, _)| b.intersects(&q))
+            .map(|(_, id)| *id)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rtree_point_queries_find_containing_boxes(
+        entries in prop::collection::vec(((0u32..50, 0u32..50), (0u32..5, 0u32..5)), 1..80),
+        point in (0u32..55, 0u32..55),
+    ) {
+        let mut tree = RTree::new();
+        let mut reference = Vec::new();
+        for (id, ((r, c), (dr, dc))) in entries.iter().enumerate() {
+            let b = BoundingBox::new(&Coord::d2(*r, *c), &Coord::d2(r + dr, c + dc));
+            tree.insert(b, id as u64);
+            reference.push((b, id as u64));
+        }
+        let p = Coord::d2(point.0, point.1);
+        let mut got = tree.query_point(&p);
+        got.sort_unstable();
+        let mut expected: Vec<u64> = reference
+            .iter()
+            .filter(|(b, _)| b.contains(&p))
+            .map(|(_, id)| *id)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}
