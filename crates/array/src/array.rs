@@ -166,7 +166,11 @@ impl Array {
     /// # Errors
     ///
     /// Returns [`ArrayError::ShapeMismatch`] if the shapes differ.
-    pub fn zip_with(&self, other: &Array, f: impl Fn(f64, f64) -> f64) -> Result<Array, ArrayError> {
+    pub fn zip_with(
+        &self,
+        other: &Array,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Array, ArrayError> {
         if self.shape != other.shape {
             return Err(ArrayError::ShapeMismatch {
                 context: format!(

@@ -37,7 +37,10 @@ impl BoundingBox {
     pub fn new(lo: &Coord, hi: &Coord) -> Self {
         assert_eq!(lo.ndim(), hi.ndim(), "corner dimensionality mismatch");
         assert!(
-            lo.as_slice().iter().zip(hi.as_slice()).all(|(&l, &h)| l <= h),
+            lo.as_slice()
+                .iter()
+                .zip(hi.as_slice())
+                .all(|(&l, &h)| l <= h),
             "bounding-box corners inverted: lo={lo} hi={hi}"
         );
         let mut b = BoundingBox::point(lo);

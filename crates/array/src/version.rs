@@ -157,10 +157,7 @@ mod tests {
     #[test]
     fn missing_lookups_error() {
         let s = VersionedStore::new();
-        assert!(matches!(
-            s.latest("nope"),
-            Err(ArrayError::NotFound { .. })
-        ));
+        assert!(matches!(s.latest("nope"), Err(ArrayError::NotFound { .. })));
         assert!(s.get_version(VersionId(42)).is_err());
     }
 

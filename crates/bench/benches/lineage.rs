@@ -1,33 +1,35 @@
-//! Criterion microbenchmarks for the lineage hot paths: encoding region
-//! pairs, capturing lineage under each storage strategy, and answering
-//! backward/forward lookups.  These are the building blocks behind Figures 8
-//! and 9; the figure binaries sweep them at full scale, while these benches
-//! give tight per-operation numbers and act as a regression harness.
+//! Microbenchmarks for the lineage hot paths: encoding region pairs,
+//! capturing lineage under each storage strategy (at several capture batch
+//! sizes), and answering backward/forward lookups.  These are the building
+//! blocks behind Figures 8 and 9; the figure binaries sweep them at full
+//! scale, while these benches give tight per-operation numbers and act as a
+//! regression harness.
+//!
+//! Run with `cargo bench -p subzero-bench --bench lineage`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 use subzero::model::StorageStrategy;
 use subzero::SubZero;
 use subzero_array::{Coord, Shape};
 use subzero_bench::micro::{MicroConfig, MicroWorkflow};
+use subzero_bench::timing::run_reported;
 use subzero_store::codec::{decode_cells, encode_cells};
 
-fn bench_encoding(c: &mut Criterion) {
+fn bench_encoding(target: Duration) {
     let shape = Shape::d2(1000, 1000);
-    let mut group = c.benchmark_group("encoding");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
     for &n in &[10usize, 100, 1000] {
-        let cells: Vec<Coord> = (0..n as u32).map(|i| Coord::d2(i % 1000, (i * 7) % 1000)).collect();
-        group.bench_with_input(BenchmarkId::new("encode_cells", n), &cells, |b, cells| {
-            b.iter(|| encode_cells(&shape, cells));
+        let cells: Vec<Coord> = (0..n as u32)
+            .map(|i| Coord::d2(i % 1000, (i * 7) % 1000))
+            .collect();
+        run_reported(format!("encoding/encode_cells/{n}"), target, || {
+            encode_cells(&shape, &cells)
         });
         let encoded = encode_cells(&shape, &cells);
-        group.bench_with_input(BenchmarkId::new("decode_cells", n), &encoded, |b, buf| {
-            b.iter(|| decode_cells(&shape, buf).unwrap());
+        run_reported(format!("encoding/decode_cells/{n}"), target, || {
+            decode_cells(&shape, &encoded).unwrap()
         });
     }
-    group.finish();
 }
 
 fn micro_config() -> MicroConfig {
@@ -40,11 +42,9 @@ fn micro_config() -> MicroConfig {
     }
 }
 
-fn bench_capture(c: &mut Criterion) {
+fn bench_capture(target: Duration) {
     let micro = MicroWorkflow::build(micro_config());
     let inputs = micro.inputs();
-    let mut group = c.benchmark_group("capture");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
     let strategies = [
         ("blackbox", vec![]),
         ("full_one", vec![StorageStrategy::full_one()]),
@@ -52,27 +52,31 @@ fn bench_capture(c: &mut Criterion) {
         ("pay_one", vec![StorageStrategy::pay_one()]),
         ("pay_many", vec![StorageStrategy::pay_many()]),
     ];
-    for (name, strategy) in strategies {
-        group.bench_function(BenchmarkId::new("workflow", name), |b| {
-            b.iter(|| {
-                let mut sz = SubZero::new();
-                if !strategy.is_empty() {
-                    let mut ls = subzero::model::LineageStrategy::new();
-                    ls.set(micro.op, strategy.clone());
-                    sz.set_strategy(ls);
-                }
-                sz.execute(&micro.workflow, &inputs).unwrap()
-            });
-        });
+    // Capture batch size 1 is the legacy per-pair hand-off; the larger sizes
+    // exercise the batched ingestion pipeline that is now the default.
+    for batch_size in [1usize, 64, 4096] {
+        for (name, strategy) in &strategies {
+            run_reported(
+                format!("capture/workflow/{name}/batch{batch_size}"),
+                target,
+                || {
+                    let mut sz = SubZero::new();
+                    sz.set_capture_batch_size(batch_size);
+                    if !strategy.is_empty() {
+                        let mut ls = subzero::model::LineageStrategy::new();
+                        ls.set(micro.op, strategy.clone());
+                        sz.set_strategy(ls);
+                    }
+                    sz.execute(&micro.workflow, &inputs).unwrap()
+                },
+            );
+        }
     }
-    group.finish();
 }
 
-fn bench_query(c: &mut Criterion) {
+fn bench_query(target: Duration) {
     let micro = MicroWorkflow::build(micro_config());
     let inputs = micro.inputs();
-    let mut group = c.benchmark_group("query");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
     let strategies = [
         ("blackbox", vec![]),
         ("full_one", vec![StorageStrategy::full_one()]),
@@ -90,15 +94,18 @@ fn bench_query(c: &mut Criterion) {
         let run = sz.execute(&micro.workflow, &inputs).unwrap();
         let backward = micro.backward_query(200);
         let forward = micro.forward_query(200);
-        group.bench_function(BenchmarkId::new("backward_200", name), |b| {
-            b.iter(|| sz.query(&run, &backward.query).unwrap());
+        run_reported(format!("query/backward_200/{name}"), target, || {
+            sz.query(&run, &backward.query).unwrap()
         });
-        group.bench_function(BenchmarkId::new("forward_200", name), |b| {
-            b.iter(|| sz.query(&run, &forward.query).unwrap());
+        run_reported(format!("query/forward_200/{name}"), target, || {
+            sz.query(&run, &forward.query).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_encoding, bench_capture, bench_query);
-criterion_main!(benches);
+fn main() {
+    let target = Duration::from_secs(2);
+    bench_encoding(target);
+    bench_capture(target);
+    bench_query(target);
+}

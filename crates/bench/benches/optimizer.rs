@@ -1,12 +1,14 @@
-//! Criterion benchmarks for the lineage strategy optimizer: ILP solve time
-//! (the paper reports "about 1 ms" for the benchmark-sized problems) and the
-//! end-to-end optimize call on the genomics workflow.
+//! Benchmarks for the lineage strategy optimizer: ILP solve time (the paper
+//! reports "about 1 ms" for the benchmark-sized problems) and the end-to-end
+//! optimize call on the genomics workflow.
+//!
+//! Run with `cargo bench -p subzero-bench --bench optimizer`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 use subzero::SubZero;
 use subzero_bench::genomics::{CohortConfig, CohortGenerator, GenomicsWorkflow};
+use subzero_bench::timing::run_reported;
 use subzero_optimizer::ilp::{IlpChoice, IlpProblem};
 use subzero_optimizer::{Optimizer, OptimizerConfig, QueryWorkload};
 
@@ -36,21 +38,18 @@ fn synthetic_problem(groups: usize, choices: usize) -> IlpProblem {
     }
 }
 
-fn bench_ilp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ilp_solve");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+fn bench_ilp(target: Duration) {
     for &(groups, choices) in &[(4usize, 4usize), (14, 8), (26, 12)] {
         let problem = synthetic_problem(groups, choices);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{groups}ops_x_{choices}strategies")),
-            &problem,
-            |b, p| b.iter(|| p.solve()),
+        run_reported(
+            format!("ilp_solve/{groups}ops_x_{choices}strategies"),
+            target,
+            || problem.solve(),
         );
     }
-    group.finish();
 }
 
-fn bench_end_to_end_optimize(c: &mut Criterion) {
+fn bench_end_to_end_optimize(target: Duration) {
     let config = CohortConfig::tiny();
     let (train, test) = CohortGenerator::new(config).generate();
     let wf = GenomicsWorkflow::build(&config);
@@ -71,14 +70,14 @@ fn bench_end_to_end_optimize(c: &mut Criterion) {
         .collect();
     let workload = QueryWorkload::from_queries(&queries);
 
-    let mut group = c.benchmark_group("optimizer");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
-    group.bench_function("genomics_optimize_20mb", |b| {
-        let optimizer = Optimizer::new(OptimizerConfig::with_disk_budget_mb(20.0));
-        b.iter(|| optimizer.optimize(&wf.workflow, &stats, &workload));
+    let optimizer = Optimizer::new(OptimizerConfig::with_disk_budget_mb(20.0));
+    run_reported("optimizer/genomics_optimize_20mb", target, || {
+        optimizer.optimize(&wf.workflow, &stats, &workload)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_ilp, bench_end_to_end_optimize);
-criterion_main!(benches);
+fn main() {
+    let target = Duration::from_secs(2);
+    bench_ilp(target);
+    bench_end_to_end_optimize(target);
+}

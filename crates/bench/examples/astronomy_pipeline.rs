@@ -13,7 +13,10 @@ use subzero_bench::report::mb;
 
 fn main() {
     let config = SkyConfig::default();
-    println!("generating two {} exposures of the same synthetic sky...", config.shape);
+    println!(
+        "generating two {} exposures of the same synthetic sky...",
+        config.shape
+    );
     let (exp1, exp2) = SkyGenerator::new(config).generate();
 
     let wf = AstronomyWorkflow::build(config.shape);
@@ -47,7 +50,10 @@ fn main() {
     // exposure — the paper's motivating debugging scenario.
     let stars = subzero.engine().output_of(&run, wf.star_detect).unwrap();
     let star_cells = stars.coords_where(|v| v > 0.0);
-    println!("star detector labelled {} pixels as celestial bodies", star_cells.len());
+    println!(
+        "star detector labelled {} pixels as celestial bodies",
+        star_cells.len()
+    );
     let Some(&star) = star_cells.first() else {
         println!("no stars detected — try increasing SkyConfig::num_stars");
         return;
@@ -74,7 +80,10 @@ fn main() {
     for step in &result.report.steps {
         println!(
             "  op {:2} answered via {:16} -> {:6} cells in {:?}",
-            step.op_id, step.method.to_string(), step.result_cells, step.elapsed
+            step.op_id,
+            step.method.to_string(),
+            step.result_cells,
+            step.elapsed
         );
     }
 
@@ -95,11 +104,7 @@ fn main() {
             ],
         );
         let result = subzero.query(&run, &forward).unwrap();
-        let contaminated = result
-            .cells
-            .iter()
-            .filter(|c| stars.get(c) > 0.0)
-            .count();
+        let contaminated = result.cells.iter().filter(|c| stars.get(c) > 0.0).count();
         println!(
             "\nforward lineage of {} cosmic-ray pixels reaches {} catalogue pixels ({} inside stars)",
             cr_cells.len(),

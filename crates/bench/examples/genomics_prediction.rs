@@ -58,7 +58,13 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(" + ")
         };
-        let name = &wf.workflow.node(choice.op_id).unwrap().operator.name().to_string();
+        let name = &wf
+            .workflow
+            .node(choice.op_id)
+            .unwrap()
+            .operator
+            .name()
+            .to_string();
         println!(
             "  {:24} -> {:28} (predicted {:>8.2} KB, {:.4} s/query)",
             name,
@@ -80,7 +86,11 @@ fn main() {
 
     let predictions = subzero.engine().output_of(&run, wf.predict_round).unwrap();
     let relapses = predictions.coords_where(|v| v > 0.5);
-    println!("predicted relapse for {} of {} patients", relapses.len(), predictions.shape().cols());
+    println!(
+        "predicted relapse for {} of {} patients",
+        relapses.len(),
+        predictions.shape().cols()
+    );
 
     // Clinician clicks a prediction: why does the model think this patient
     // will relapse?

@@ -27,9 +27,7 @@ use subzero_engine::ops::{
     AggregateKind, AxisAggregate, BinaryKind, Convolve, Elementwise1, Elementwise2,
     GlobalAggregate, ScaleToUnit, SliceOp, Transpose, UnaryKind, ZScore,
 };
-use subzero_engine::{
-    InputSource, LineageMode, LineageSink, OpId, OpMeta, Operator, Workflow,
-};
+use subzero_engine::{InputSource, LineageMode, LineageSink, OpId, OpMeta, Operator, Workflow};
 
 use crate::harness::NamedQuery;
 
@@ -149,10 +147,10 @@ impl SkyGenerator {
 
 /// UDF *A*/*B*: cosmic-ray detection.
 ///
-/// A pixel whose value exceeds `threshold` is flagged as a cosmic ray (output
-/// 1) and depends on its neighbours within `radius` pixels; every other pixel
-/// is 0 and depends only on the corresponding input pixel — exactly the
-/// running example of §V of the paper.
+/// A pixel whose value exceeds `threshold` is flagged as a cosmic ray
+/// (output one) and depends on its neighbours within `radius` pixels; every
+/// other pixel is zero and depends only on the corresponding input pixel —
+/// exactly the running example of §V of the paper.
 #[derive(Debug, Clone)]
 pub struct CosmicRayDetect {
     /// Neighbourhood radius of a flagged pixel's lineage (3 in the paper).
@@ -338,7 +336,12 @@ impl Operator for CosmicRayRemove {
         out
     }
 
-    fn map_backward(&self, outcell: &Coord, _input_idx: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+    fn map_backward(
+        &self,
+        outcell: &Coord,
+        _input_idx: usize,
+        _meta: &OpMeta,
+    ) -> Option<Vec<Coord>> {
         // Default relationship for both the image and the mask input.
         Some(vec![*outcell])
     }
@@ -598,7 +601,10 @@ impl AstronomyWorkflow {
                 Arc::new(Elementwise1::new(UnaryKind::Offset(-100.0))),
                 vec![InputSource::External(ext.to_string())],
             );
-            scale[i] = b.add_unary(Arc::new(Elementwise1::new(UnaryKind::Scale(1.02))), offset[i]);
+            scale[i] = b.add_unary(
+                Arc::new(Elementwise1::new(UnaryKind::Scale(1.02))),
+                offset[i],
+            );
             clamp[i] = b.add_unary(
                 Arc::new(Elementwise1::new(UnaryKind::Clamp(0.0, 1.0e9))),
                 scale[i],
@@ -621,8 +627,14 @@ impl AstronomyWorkflow {
         );
         let sharpen = b.add_unary(Arc::new(Convolve::gaussian(1)), subtract);
         let star_detect = b.add_unary(Arc::new(StarDetect::new(120.0)), sharpen);
-        let mean_qc = b.add_unary(Arc::new(GlobalAggregate::new(AggregateKind::Mean)), cr_remove);
-        let std_qc = b.add_unary(Arc::new(GlobalAggregate::new(AggregateKind::Std)), cr_remove);
+        let mean_qc = b.add_unary(
+            Arc::new(GlobalAggregate::new(AggregateKind::Mean)),
+            cr_remove,
+        );
+        let std_qc = b.add_unary(
+            Arc::new(GlobalAggregate::new(AggregateKind::Std)),
+            cr_remove,
+        );
         let max_qc = b.add_unary(Arc::new(GlobalAggregate::new(AggregateKind::Max)), subtract);
         let unit = b.add_unary(Arc::new(ScaleToUnit), subtract);
         let zscore = b.add_unary(Arc::new(ZScore), sharpen);
@@ -725,11 +737,7 @@ impl AstronomyWorkflow {
         }
 
         // A small region of the cleaned image around the first star.
-        let region: Vec<Coord> = self
-            .shape
-            .neighborhood(&star_cell, 2)
-            .into_iter()
-            .collect();
+        let region: Vec<Coord> = self.shape.neighborhood(&star_cell, 2).into_iter().collect();
 
         // BQ 0: star pixel -> first exposure, through the whole chain.
         let mut bq0_path = vec![
@@ -822,10 +830,16 @@ mod tests {
         assert_eq!(wf.builtins().len(), 22);
         // Every built-in is a mapping operator; no UDF is.
         for id in wf.builtins() {
-            assert!(wf.workflow.node(id).unwrap().operator.is_mapping(), "op {id}");
+            assert!(
+                wf.workflow.node(id).unwrap().operator.is_mapping(),
+                "op {id}"
+            );
         }
         for id in wf.udfs() {
-            assert!(!wf.workflow.node(id).unwrap().operator.is_mapping(), "op {id}");
+            assert!(
+                !wf.workflow.node(id).unwrap().operator.is_mapping(),
+                "op {id}"
+            );
         }
     }
 
@@ -858,7 +872,9 @@ mod tests {
 
         // map_p resolves the radius payload; map_b is the identity default.
         assert_eq!(
-            op.map_payload(&Coord::d2(4, 4), &[3], 0, &meta).unwrap().len(),
+            op.map_payload(&Coord::d2(4, 4), &[3], 0, &meta)
+                .unwrap()
+                .len(),
             49
         );
         assert_eq!(
@@ -880,12 +896,18 @@ mod tests {
             &[LineageMode::Blackbox],
             &mut subzero_engine::BufferSink::new(),
         );
-        assert_eq!(out.get(&Coord::d2(2, 2)), 10.0, "spike replaced by neighbours");
+        assert_eq!(
+            out.get(&Coord::d2(2, 2)),
+            10.0,
+            "spike replaced by neighbours"
+        );
         assert_eq!(out.get(&Coord::d2(0, 0)), 10.0);
 
         let meta = OpMeta::new(vec![shape, shape], shape);
         assert_eq!(
-            op.map_payload(&Coord::d2(2, 2), &[2], 0, &meta).unwrap().len(),
+            op.map_payload(&Coord::d2(2, 2), &[2], 0, &meta)
+                .unwrap()
+                .len(),
             25
         );
         assert_eq!(

@@ -42,11 +42,26 @@ fn main() {
 
     let mut overhead = Table::new(
         "Figure 5(a): disk and runtime overhead",
-        &["strategy", "lineage(MB)", "disk_vs_input", "workflow(s)", "runtime_vs_blackbox"],
+        &[
+            "strategy",
+            "lineage(MB)",
+            "disk_vs_input",
+            "workflow(s)",
+            "runtime_vs_blackbox",
+        ],
     );
     let mut query_cost = Table::new(
         "Figure 5(b): query costs (seconds)",
-        &["strategy", "BQ 0", "BQ 1", "BQ 2", "BQ 3", "BQ 4", "FQ 0", "FQ 0 Slow"],
+        &[
+            "strategy",
+            "BQ 0",
+            "BQ 1",
+            "BQ 2",
+            "BQ 3",
+            "BQ 4",
+            "FQ 0",
+            "FQ 0 Slow",
+        ],
     );
 
     let mut blackbox_runtime = None;

@@ -25,7 +25,11 @@ fn main() {
     println!(
         "Genomics benchmark (Figure 6) — patient-feature matrices {}{}",
         config.shape(),
-        if paper_scale { ", paper scale (100x replication)" } else { "" }
+        if paper_scale {
+            ", paper scale (100x replication)"
+        } else {
+            ""
+        }
     );
 
     let (train, test) = CohortGenerator::new(config).generate();

@@ -2,18 +2,18 @@
 //!
 //! Varies the storage constraint `MaxDISK` (1, 10, 20, 50, 100 MB as in the
 //! paper, scaled down proportionally when the workload itself is scaled
-//! down), runs the optimizer, installs the strategy it picks, and reports:
-//! * 7(a): disk and runtime overhead per constraint (`SubZero-X`),
-//! * 7(b): query costs per constraint,
-//! plus the chosen per-UDF strategies so the "black-box when the budget is
-//! tiny → space-efficient → query-optimized" progression is visible.
+//! down), runs the optimizer, installs the strategy it picks, and reports
+//! the disk and runtime overhead per constraint (`SubZero-X`, panel 7a) and
+//! the query costs per constraint (panel 7b), plus the chosen per-UDF
+//! strategies so the "black-box when the budget is tiny → space-efficient →
+//! query-optimized" progression is visible.
 
 use subzero::query::LineageQuery;
+use subzero::SubZero;
 use subzero_bench::genomics::{CohortConfig, CohortGenerator, GenomicsWorkflow};
 use subzero_bench::harness::run_benchmark;
 use subzero_bench::report::{mb, secs, Table};
 use subzero_optimizer::{Optimizer, OptimizerConfig, QueryWorkload};
-use subzero::SubZero;
 
 fn main() {
     let paper_scale = std::env::args().any(|a| a == "--paper-scale");
@@ -55,7 +55,11 @@ fn main() {
 
     // The paper's constraints assume the 100x cohort; scale them with the
     // dataset so the small default configuration sees the same transitions.
-    let scale_factor = if paper_scale { 1.0 } else { config.scale as f64 / 100.0 };
+    let scale_factor = if paper_scale {
+        1.0
+    } else {
+        config.scale as f64 / 100.0
+    };
     let budgets_mb = [1.0, 10.0, 20.0, 50.0, 100.0];
 
     let mut overhead = Table::new(
@@ -68,7 +72,13 @@ fn main() {
     );
     let mut choices = Table::new(
         "Optimizer choices per UDF",
-        &["configuration", "E extract", "F model", "G extract", "H predict"],
+        &[
+            "configuration",
+            "E extract",
+            "F model",
+            "G extract",
+            "H predict",
+        ],
     );
 
     // Baseline: black-box only.
@@ -121,9 +131,14 @@ fn main() {
             strategy_label(wf.predict),
         ]);
 
-        let m = run_benchmark(&name, &wf.workflow, &inputs, result.strategy, true, |sz, run| {
-            wf.queries(sz, run)
-        });
+        let m = run_benchmark(
+            &name,
+            &wf.workflow,
+            &inputs,
+            result.strategy,
+            true,
+            |sz, run| wf.queries(sz, run),
+        );
         overhead.row(vec![
             name.clone(),
             format!("{budget}"),

@@ -23,12 +23,10 @@ use subzero::SubZero;
 use subzero_array::{Array, ArrayRef, Coord, Shape};
 use subzero_engine::executor::WorkflowRun;
 use subzero_engine::ops::{
-    AggregateKind, AxisAggregate, Elementwise1, Elementwise2, BinaryKind, GlobalAggregate,
+    AggregateKind, AxisAggregate, BinaryKind, Elementwise1, Elementwise2, GlobalAggregate,
     Transpose, UnaryKind,
 };
-use subzero_engine::{
-    InputSource, LineageMode, LineageSink, OpId, OpMeta, Operator, Workflow,
-};
+use subzero_engine::{InputSource, LineageMode, LineageSink, OpId, OpMeta, Operator, Workflow};
 
 use crate::harness::NamedQuery;
 
@@ -291,12 +289,20 @@ impl Operator for ComputeModel {
             let mut sums = [0.0f64; 2];
             let mut counts = [0.0f64; 2];
             for p in 0..patients {
-                let class = if labels.get(&Coord::d2(0, p)) > 0.5 { 1 } else { 0 };
+                let class = if labels.get(&Coord::d2(0, p)) > 0.5 {
+                    1
+                } else {
+                    0
+                };
                 sums[class] += features.get(&Coord::d2(f, p));
                 counts[class] += 1.0;
             }
             for class in 0..2 {
-                let mean = if counts[class] > 0.0 { sums[class] / counts[class] } else { 0.0 };
+                let mean = if counts[class] > 0.0 {
+                    sums[class] / counts[class]
+                } else {
+                    0.0
+                };
                 out.set(&Coord::d2(f, class as u32), mean);
             }
             let feature_row: Vec<Coord> = (0..patients).map(|p| Coord::d2(f, p)).collect();
@@ -386,9 +392,9 @@ impl Operator for PredictRelapse {
             let mut dist = [0.0f64; 2];
             for f in 0..features {
                 let v = test.get(&Coord::d2(f, p));
-                for class in 0..2 {
+                for (class, d) in dist.iter_mut().enumerate() {
                     let m = model.get(&Coord::d2(f, class as u32));
-                    dist[class] += (v - m) * (v - m);
+                    *d += (v - m) * (v - m);
                 }
             }
             let score = dist[0] / (dist[0] + dist[1]).max(1e-12);
@@ -398,7 +404,7 @@ impl Operator for PredictRelapse {
                 sink.lwrite(vec![Coord::d2(0, p)], vec![model_cells.clone(), column]);
             }
             if pay {
-                sink.lwrite_payload(vec![Coord::d2(0, p)], (p as u32).to_le_bytes().to_vec());
+                sink.lwrite_payload(vec![Coord::d2(0, p)], { p }.to_le_bytes().to_vec());
             }
         }
         out
@@ -508,7 +514,10 @@ impl GenomicsWorkflow {
             train_clamp,
         );
         let compute_model = b.add_binary(Arc::new(ComputeModel), extract_train, label_row);
-        let model_scale = b.add_unary(Arc::new(Elementwise1::new(UnaryKind::Scale(1.0))), compute_model);
+        let model_scale = b.add_unary(
+            Arc::new(Elementwise1::new(UnaryKind::Scale(1.0))),
+            compute_model,
+        );
 
         // Testing phase.
         let test_clamp = b.add(
@@ -701,7 +710,10 @@ mod tests {
             assert!(!wf.workflow.node(id).unwrap().operator.is_mapping());
         }
         let builtins = wf.workflow.len() - 4;
-        assert!(builtins >= 10, "at least ten built-in operators, got {builtins}");
+        assert!(
+            builtins >= 10,
+            "at least ten built-in operators, got {builtins}"
+        );
     }
 
     #[test]
@@ -720,7 +732,10 @@ mod tests {
             "selected {rows:?}, expected mostly {informative:?}"
         );
         // map_p maps an output cell back to the stored source row.
-        let meta = OpMeta::new(vec![cfg.shape()], Shape::d2(cfg.informative_features, cfg.shape().cols()));
+        let meta = OpMeta::new(
+            vec![cfg.shape()],
+            Shape::d2(cfg.informative_features, cfg.shape().cols()),
+        );
         let cells = op
             .map_payload(&Coord::d2(0, 3), &(5u16).to_le_bytes(), 0, &meta)
             .unwrap();
@@ -770,7 +785,10 @@ mod tests {
                 for udf in wf.udfs() {
                     s.set(
                         udf,
-                        vec![StorageStrategy::full_one(), StorageStrategy::full_one_forward()],
+                        vec![
+                            StorageStrategy::full_one(),
+                            StorageStrategy::full_one_forward(),
+                        ],
                     );
                 }
                 s
@@ -779,7 +797,10 @@ mod tests {
             let mut sz = SubZero::new();
             sz.set_strategy(strategy_ctor);
             let run = sz
-                .execute(&wf.workflow, &GenomicsWorkflow::inputs(train.clone(), test.clone()))
+                .execute(
+                    &wf.workflow,
+                    &GenomicsWorkflow::inputs(train.clone(), test.clone()),
+                )
                 .unwrap();
             let queries = wf.queries(&mut sz, &run);
             assert_eq!(queries.len(), 4);
@@ -812,11 +833,7 @@ mod tests {
         // The backward query returns training-matrix cells; FQ1 starts from
         // feature row 1 cells.  If any of those cells are in the backward
         // result, the forward result must contain the original prediction.
-        let overlap = fq1
-            .query
-            .cells
-            .iter()
-            .any(|c| backward.cells.contains(c));
+        let overlap = fq1.query.cells.iter().any(|c| backward.cells.contains(c));
         if overlap {
             let forward = sz.query(&run, &fq1.query).unwrap();
             assert!(forward.cells.contains(&bq0.query.cells[0]));

@@ -19,7 +19,7 @@ use subzero::SubZero;
 use subzero_array::{Array, ArrayRef, Coord, Shape};
 use subzero_engine::executor::WorkflowRun;
 use subzero_engine::{
-    InputSource, LineageMode, LineageSink, OpId, OpMeta, Operator, Workflow,
+    InputSource, LineageMode, LineageSink, OpId, OpMeta, Operator, RegionPair, Workflow,
 };
 
 use crate::harness::NamedQuery;
@@ -132,6 +132,29 @@ impl SyntheticOp {
         &self.pairs
     }
 
+    /// The generated pairs as engine [`RegionPair`]s of the given mode
+    /// (`Full` pairs, or payload pairs for any payload-carrying mode).  Used
+    /// by `run()` and by the ingestion benchmarks, which feed datastores
+    /// directly.
+    pub fn region_pairs(&self, mode: LineageMode) -> Vec<RegionPair> {
+        self.pairs
+            .iter()
+            .map(|pair| {
+                if mode == LineageMode::Full {
+                    RegionPair::Full {
+                        outcells: pair.outcells.clone(),
+                        incells: vec![pair.incells.clone()],
+                    }
+                } else {
+                    RegionPair::Payload {
+                        outcells: pair.outcells.clone(),
+                        payload: self.payload_for(pair),
+                    }
+                }
+            })
+            .collect()
+    }
+
     fn payload_for(&self, pair: &SyntheticPair) -> Vec<u8> {
         // fanin × 4 bytes: the packed linear index of each input cell.
         let mut payload = Vec::with_capacity(pair.incells.len() * 4);
@@ -168,13 +191,13 @@ impl Operator for SyntheticOp {
     ) -> Array {
         let full = cur_modes.contains(&LineageMode::Full);
         let pay = cur_modes.contains(&LineageMode::Pay) || cur_modes.contains(&LineageMode::Comp);
-        for pair in &self.pairs {
-            if full {
-                sink.lwrite(pair.outcells.clone(), vec![pair.incells.clone()]);
-            }
-            if pay {
-                sink.lwrite_payload(pair.outcells.clone(), self.payload_for(pair));
-            }
+        // The generator has the whole pair set materialised, so it hands the
+        // sink pre-built runs instead of issuing one lwrite() per pair.
+        if full {
+            sink.lwrite_batch(self.region_pairs(LineageMode::Full));
+        }
+        if pay {
+            sink.lwrite_batch(self.region_pairs(LineageMode::Pay));
         }
         (*inputs[0]).clone()
     }
@@ -330,10 +353,22 @@ mod tests {
         let micro = MicroWorkflow::build(cfg);
         let strategies: Vec<(&str, LineageStrategy)> = vec![
             ("blackbox", LineageStrategy::new()),
-            ("full_one", LineageStrategy::uniform([micro.op], vec![StorageStrategy::full_one()])),
-            ("full_many", LineageStrategy::uniform([micro.op], vec![StorageStrategy::full_many()])),
-            ("pay_one", LineageStrategy::uniform([micro.op], vec![StorageStrategy::pay_one()])),
-            ("pay_many", LineageStrategy::uniform([micro.op], vec![StorageStrategy::pay_many()])),
+            (
+                "full_one",
+                LineageStrategy::uniform([micro.op], vec![StorageStrategy::full_one()]),
+            ),
+            (
+                "full_many",
+                LineageStrategy::uniform([micro.op], vec![StorageStrategy::full_many()]),
+            ),
+            (
+                "pay_one",
+                LineageStrategy::uniform([micro.op], vec![StorageStrategy::pay_one()]),
+            ),
+            (
+                "pay_many",
+                LineageStrategy::uniform([micro.op], vec![StorageStrategy::pay_many()]),
+            ),
             (
                 "full_fwd",
                 LineageStrategy::uniform([micro.op], vec![StorageStrategy::full_one_forward()]),
@@ -356,7 +391,11 @@ mod tests {
                 }
                 Some(expected) => {
                     assert_eq!(&back, expected, "backward answer differs under {name}");
-                    assert_eq!(&fwd, reference_fwd.as_ref().unwrap(), "forward answer differs under {name}");
+                    assert_eq!(
+                        &fwd,
+                        reference_fwd.as_ref().unwrap(),
+                        "forward answer differs under {name}"
+                    );
                 }
             }
         }

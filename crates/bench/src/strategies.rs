@@ -94,7 +94,10 @@ pub fn genomics_strategies(wf: &GenomicsWorkflow) -> Vec<NamedStrategy> {
             "FullBoth",
             assign_all(
                 &udfs,
-                vec![StorageStrategy::full_one(), StorageStrategy::full_one_forward()],
+                vec![
+                    StorageStrategy::full_one(),
+                    StorageStrategy::full_one_forward(),
+                ],
             ),
         ),
         NamedStrategy::new(
@@ -109,7 +112,10 @@ pub fn genomics_strategies(wf: &GenomicsWorkflow) -> Vec<NamedStrategy> {
             "PayBoth",
             assign_all(
                 &udfs,
-                vec![StorageStrategy::pay_one(), StorageStrategy::full_one_forward()],
+                vec![
+                    StorageStrategy::pay_one(),
+                    StorageStrategy::full_one_forward(),
+                ],
             ),
         ),
     ]
@@ -120,13 +126,22 @@ pub fn genomics_strategies(wf: &GenomicsWorkflow) -> Vec<NamedStrategy> {
 pub fn micro_strategies(wf: &MicroWorkflow) -> Vec<NamedStrategy> {
     let op = [wf.op];
     vec![
-        NamedStrategy::new("<-PayMany", assign_all(&op, vec![StorageStrategy::pay_many()])),
-        NamedStrategy::new("<-PayOne", assign_all(&op, vec![StorageStrategy::pay_one()])),
+        NamedStrategy::new(
+            "<-PayMany",
+            assign_all(&op, vec![StorageStrategy::pay_many()]),
+        ),
+        NamedStrategy::new(
+            "<-PayOne",
+            assign_all(&op, vec![StorageStrategy::pay_one()]),
+        ),
         NamedStrategy::new(
             "<-FullMany",
             assign_all(&op, vec![StorageStrategy::full_many()]),
         ),
-        NamedStrategy::new("<-FullOne", assign_all(&op, vec![StorageStrategy::full_one()])),
+        NamedStrategy::new(
+            "<-FullOne",
+            assign_all(&op, vec![StorageStrategy::full_one()]),
+        ),
         NamedStrategy::new(
             "->FullOne",
             assign_all(&op, vec![StorageStrategy::full_one_forward()]),
@@ -190,7 +205,14 @@ mod tests {
         let names: Vec<&str> = strategies.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["<-PayMany", "<-PayOne", "<-FullMany", "<-FullOne", "->FullOne", "BlackBox"]
+            vec![
+                "<-PayMany",
+                "<-PayOne",
+                "<-FullMany",
+                "<-FullOne",
+                "->FullOne",
+                "BlackBox"
+            ]
         );
     }
 }

@@ -1,0 +1,163 @@
+//! Ingestion parity: the batched capture pipeline must be indistinguishable
+//! from the legacy per-pair path — byte-identical datastore contents and
+//! identical backward/forward query answers — on real workloads.
+//!
+//! Runs the small astronomy and genomics workflows (plus the synthetic
+//! microbenchmark operator) under every Table II strategy configuration,
+//! once with `IngestMode::PerPair` + capture batch size 1 (the reference)
+//! and once with the default batched pipeline, and compares everything the
+//! datastores expose.
+
+use std::collections::HashMap;
+
+use subzero::model::LineageStrategy;
+use subzero::{IngestMode, SubZero};
+use subzero_array::Array;
+use subzero_bench::astronomy::{AstronomyWorkflow, SkyConfig, SkyGenerator};
+use subzero_bench::genomics::{CohortConfig, CohortGenerator, GenomicsWorkflow};
+use subzero_bench::harness::NamedQuery;
+use subzero_bench::micro::{MicroConfig, MicroWorkflow};
+use subzero_bench::strategies::{astronomy_strategies, genomics_strategies, micro_strategies};
+use subzero_engine::executor::WorkflowRun;
+use subzero_engine::Workflow;
+
+/// One executed system together with its run, ready for inspection.
+struct Executed {
+    sz: SubZero,
+    run: WorkflowRun,
+}
+
+fn execute(
+    workflow: &std::sync::Arc<Workflow>,
+    inputs: &HashMap<String, Array>,
+    strategy: LineageStrategy,
+    mode: IngestMode,
+    batch_size: usize,
+) -> Executed {
+    let mut sz = SubZero::new();
+    sz.set_strategy(strategy);
+    sz.set_ingest_mode(mode);
+    sz.set_capture_batch_size(batch_size);
+    let run = sz.execute(workflow, inputs).expect("workflow executes");
+    Executed { sz, run }
+}
+
+/// Asserts byte-identical datastore contents and identical answers for every
+/// given query, between the per-pair reference and the batched pipeline.
+fn assert_parity(
+    label: &str,
+    workflow: &std::sync::Arc<Workflow>,
+    inputs: &HashMap<String, Array>,
+    strategy: &LineageStrategy,
+    queries_for: impl Fn(&mut SubZero, &WorkflowRun) -> Vec<NamedQuery>,
+) {
+    let mut reference = execute(workflow, inputs, strategy.clone(), IngestMode::PerPair, 1);
+    // An intentionally awkward batch size so batch boundaries fall mid-operator.
+    for batch_size in [97usize, 4096] {
+        let mut batched = execute(
+            workflow,
+            inputs,
+            strategy.clone(),
+            IngestMode::Batched,
+            batch_size,
+        );
+
+        // Datastore contents: same set of datastores per operator, same
+        // strategy labels, byte-identical hash contents, same statistics.
+        let ops: Vec<_> = workflow.nodes().iter().map(|n| n.id).collect();
+        for &op in &ops {
+            let run_a = reference.run.run_id;
+            let run_b = batched.run.run_id;
+            let a: Vec<_> = reference
+                .sz
+                .runtime_mut()
+                .datastores(run_a, op)
+                .iter()
+                .map(|ds| (ds.strategy().label(), ds.pairs_stored(), ds.snapshot()))
+                .collect();
+            let b: Vec<_> = batched
+                .sz
+                .runtime_mut()
+                .datastores(run_b, op)
+                .iter()
+                .map(|ds| (ds.strategy().label(), ds.pairs_stored(), ds.snapshot()))
+                .collect();
+            assert_eq!(
+                a, b,
+                "{label}: datastores differ for op {op} at batch size {batch_size}"
+            );
+        }
+
+        // Query answers: build the workload's queries once (they are derived
+        // deterministically from outputs) and run them on both systems.
+        let queries = queries_for(&mut batched.sz, &batched.run);
+        for nq in queries {
+            let expect = reference
+                .sz
+                .query(&reference.run, &nq.query)
+                .expect("reference query executes")
+                .cells
+                .to_coords();
+            let got = batched
+                .sz
+                .query(&batched.run, &nq.query)
+                .expect("batched query executes")
+                .cells
+                .to_coords();
+            assert_eq!(
+                got, expect,
+                "{label}: query '{}' differs at batch size {batch_size}",
+                nq.name
+            );
+        }
+    }
+}
+
+#[test]
+fn astronomy_batched_ingest_matches_per_pair() {
+    let cfg = SkyConfig::tiny();
+    let (e1, e2) = SkyGenerator::new(cfg).generate();
+    let wf = AstronomyWorkflow::build(cfg.shape);
+    let inputs = AstronomyWorkflow::inputs(e1, e2);
+    for named in astronomy_strategies(&wf) {
+        assert_parity(
+            &format!("astronomy/{}", named.name),
+            &wf.workflow,
+            &inputs,
+            &named.strategy,
+            |sz, run| wf.queries(sz, run),
+        );
+    }
+}
+
+#[test]
+fn genomics_batched_ingest_matches_per_pair() {
+    let cfg = CohortConfig::tiny();
+    let (train, test) = CohortGenerator::new(cfg).generate();
+    let wf = GenomicsWorkflow::build(&cfg);
+    let inputs = GenomicsWorkflow::inputs(train, test);
+    for named in genomics_strategies(&wf) {
+        assert_parity(
+            &format!("genomics/{}", named.name),
+            &wf.workflow,
+            &inputs,
+            &named.strategy,
+            |sz, run| wf.queries(sz, run),
+        );
+    }
+}
+
+#[test]
+fn micro_batched_ingest_matches_per_pair() {
+    let micro = MicroWorkflow::build(MicroConfig::tiny());
+    let inputs = micro.inputs();
+    for named in micro_strategies(&micro) {
+        assert_parity(
+            &format!("micro/{}", named.name),
+            &micro.workflow,
+            &inputs,
+            &named.strategy,
+            |_sz, _run| vec![micro.backward_query(64), micro.forward_query(64)],
+        );
+    }
+}

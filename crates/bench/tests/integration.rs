@@ -156,7 +156,10 @@ fn astronomy_entire_array_optimization_only_changes_cost() {
         query_time_optimizer: true,
     });
     let slow = sz.query(&run, &fq0_slow.query).unwrap();
-    assert_eq!(fast.cells, slow.cells, "optimization must not change the answer");
+    assert_eq!(
+        fast.cells, slow.cells,
+        "optimization must not change the answer"
+    );
 }
 
 #[test]
@@ -234,8 +237,11 @@ fn optimizer_respects_budget_and_improves_query_estimates_end_to_end() {
 
     // Generous budget: the UDFs get materialised lineage and the measured
     // storage is non-zero but still within the budget prediction's order.
-    let generous =
-        Optimizer::new(OptimizerConfig::with_disk_budget_mb(64.0)).optimize(&wf.workflow, &stats, &workload);
+    let generous = Optimizer::new(OptimizerConfig::with_disk_budget_mb(64.0)).optimize(
+        &wf.workflow,
+        &stats,
+        &workload,
+    );
     assert!(generous.feasible);
     assert!(generous.predicted_query_secs <= tiny.predicted_query_secs);
     assert!(!generous.strategy.assigned_ops().is_empty());
@@ -246,11 +252,13 @@ fn optimizer_respects_budget_and_improves_query_estimates_end_to_end() {
     assert!(sz.lineage_bytes(run.run_id) > 0);
     assert!(sz.lineage_bytes(run.run_id) as f64 <= 64.0 * 1024.0 * 1024.0);
     // Queries still work and agree with the default-strategy answers.
-    let default_answers = answers_under(&wf.workflow, &inputs, LineageStrategy::new(), |sz, run| {
+    let default_answers =
+        answers_under(&wf.workflow, &inputs, LineageStrategy::new(), |sz, run| {
+            wf.queries(sz, run)
+        });
+    let optimized_answers = answers_under(&wf.workflow, &inputs, generous.strategy, |sz, run| {
         wf.queries(sz, run)
     });
-    let optimized_answers =
-        answers_under(&wf.workflow, &inputs, generous.strategy, |sz, run| wf.queries(sz, run));
     assert_eq!(default_answers, optimized_answers);
 }
 
@@ -276,7 +284,10 @@ fn micro_benchmark_storage_orderings_match_the_paper() {
     let full_one = bytes_for(StorageStrategy::full_one());
     let full_many = bytes_for(StorageStrategy::full_many());
     let pay_many = bytes_for(StorageStrategy::pay_many());
-    assert!(full_many < full_one, "high fanout favours FullMany ({full_many} vs {full_one})");
+    assert!(
+        full_many < full_one,
+        "high fanout favours FullMany ({full_many} vs {full_one})"
+    );
     assert!(
         pay_many < full_one,
         "payload lineage is smaller than per-cell full lineage ({pay_many} vs {full_one})"

@@ -107,7 +107,10 @@ fn main() {
     let query = LineageQuery::backward(vec![Coord::d2(20, 17)], vec![(peaks, 0), (scale, 0)]);
 
     for (label, strategy) in [
-        ("black-box (re-execute at query time)", LineageStrategy::new()),
+        (
+            "black-box (re-execute at query time)",
+            LineageStrategy::new(),
+        ),
         (
             "full lineage (FullMany)",
             LineageStrategy::uniform([peaks], vec![StorageStrategy::full_many()]),

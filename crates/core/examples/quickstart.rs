@@ -34,7 +34,9 @@ fn main() {
     // Execute under the default strategy (mapping lineage for built-ins,
     // black-box otherwise) — nothing extra is stored.
     let mut subzero = SubZero::new();
-    let run = subzero.execute(&workflow, &inputs).expect("execution succeeds");
+    let run = subzero
+        .execute(&workflow, &inputs)
+        .expect("execution succeeds");
     println!(
         "executed workflow '{}' with {} operators in {:?}",
         workflow.name(),
@@ -43,7 +45,10 @@ fn main() {
     );
 
     // Backward: why is the output pixel at (8, 8) bright?
-    let backward = LineageQuery::backward(vec![Coord::d2(8, 8)], vec![(detect, 0), (smooth, 0), (debias, 0)]);
+    let backward = LineageQuery::backward(
+        vec![Coord::d2(8, 8)],
+        vec![(detect, 0), (smooth, 0), (debias, 0)],
+    );
     let answer = subzero.query(&run, &backward).expect("query succeeds");
     println!(
         "backward lineage of detection (8,8): {} input pixels",
@@ -57,7 +62,10 @@ fn main() {
     }
 
     // Forward: which detections does the input pixel (8, 9) influence?
-    let forward = LineageQuery::forward(vec![Coord::d2(8, 9)], vec![(debias, 0), (smooth, 0), (detect, 0)]);
+    let forward = LineageQuery::forward(
+        vec![Coord::d2(8, 9)],
+        vec![(debias, 0), (smooth, 0), (detect, 0)],
+    );
     let answer = subzero.query(&run, &forward).expect("query succeeds");
     println!(
         "forward lineage of input (8,9): {} output pixels",

@@ -13,7 +13,7 @@
 //! (up to two orders of magnitude in the paper's genomics benchmark) is one
 //! of the effects SubZero's optimizer exists to avoid.
 
-use std::collections::HashSet;
+use std::collections::{hash_map, HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use subzero_array::{BoundingBox, CellSet, Coord, Shape};
@@ -45,13 +45,127 @@ pub struct LookupOutcome {
     pub scanned: bool,
 }
 
+/// A 64-bit FxHash-style fingerprint of a datastore key.  Mixing quality is
+/// ample for fingerprinting short, structured keys; collisions are handled
+/// explicitly by [`BatchMerges`].
+fn fingerprint(bytes: &[u8]) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h = bytes.len() as u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let word = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = (h.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = (h.rotate_left(5) ^ u64::from_le_bytes(buf)).wrapping_mul(K);
+    }
+    // SplitMix-style finalizer: multiplication alone mixes upward, leaving
+    // the low bits weak — and the hash table indexes buckets by exactly
+    // those bits, so skipping this turns structured keys into probe chains.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^ (h >> 31)
+}
+
+/// Pass-through hasher for keys that are already fingerprints.
+#[derive(Default)]
+struct FingerprintHasher(u64);
+
+impl std::hash::Hasher for FingerprintHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprint maps only hash u64 keys");
+    }
+    fn write_u64(&mut self, fp: u64) {
+        self.0 = fp;
+    }
+}
+
+/// Coalesces read-modify-write merges within one ingestion batch.
+///
+/// The per-pair path re-reads and rewrites a hash record on every key
+/// collision ("decode, merge, re-encode"); within a batch that is wasted
+/// work.  Here each distinct key is read once, every append lands on the
+/// staged value in pair order, and the final values are written back with a
+/// single group-flushed [`Database::put_batch`] — producing exactly the bytes
+/// the per-pair path would have left behind.
+///
+/// The bookkeeping is deliberately lean because it sits on the capture hot
+/// path: staged output owns each key (no clones), and the index maps 64-bit
+/// key fingerprints through a pass-through hasher, with the rare fingerprint
+/// collisions spilled to a linearly-scanned overflow list.
+#[derive(Default)]
+struct BatchMerges {
+    /// fingerprint -> index into `staged` of the first key with it.
+    index: HashMap<u64, usize, std::hash::BuildHasherDefault<FingerprintHasher>>,
+    /// Staged indices whose fingerprint collided with an earlier key.
+    overflow: Vec<usize>,
+    staged: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+impl BatchMerges {
+    /// Applies `append` to the staged value for `key`, reading the current
+    /// record from `db` the first time the batch touches the key.
+    fn append(&mut self, db: &Database, key: Vec<u8>, append: impl FnOnce(&mut Vec<u8>)) {
+        let fp = fingerprint(&key);
+        match self.index.entry(fp) {
+            hash_map::Entry::Occupied(slot) => {
+                let first = *slot.get();
+                if self.staged[first].0 == key {
+                    return append(&mut self.staged[first].1);
+                }
+                if let Some(&hit) = self.overflow.iter().find(|&&i| self.staged[i].0 == key) {
+                    return append(&mut self.staged[hit].1);
+                }
+                let mut value = db.peek(&key).unwrap_or_default();
+                append(&mut value);
+                self.overflow.push(self.staged.len());
+                self.staged.push((key, value));
+            }
+            hash_map::Entry::Vacant(slot) => {
+                let mut value = db.peek(&key).unwrap_or_default();
+                append(&mut value);
+                slot.insert(self.staged.len());
+                self.staged.push((key, value));
+            }
+        }
+    }
+
+    /// Writes every staged value back, in first-touched order.
+    fn apply(self, db: &mut Database) {
+        if !self.staged.is_empty() {
+            db.put_batch(self.staged);
+        }
+    }
+}
+
 /// One operator's materialised lineage under one storage strategy.
+///
+/// Ingestion is batch-oriented: the runtime hands whole [`RegionBatch`]es of
+/// pairs to [`store_batch`](OpDatastore::store_batch), which encodes the
+/// batch (in parallel on multi-core hosts), writes hash entries with one
+/// group-flushed [`put_batch`](Database::put_batch), coalesces key-collision
+/// merges per batch, and *stages* spatial-index entries instead of inserting
+/// them one by one — the R-tree is bulk-loaded (STR-packed) lazily before the
+/// first lookup.  The per-pair [`store_pair`](OpDatastore::store_pair) path
+/// is kept as the reference implementation; both paths produce byte-identical
+/// datastore contents.
 pub struct OpDatastore {
     strategy: StorageStrategy,
     out_shape: Shape,
     in_shapes: Vec<Shape>,
     db: Database,
     rtree: Option<RTree>,
+    /// Spatial-index entries captured by the batched path but not yet
+    /// indexed; drained into `rtree` (STR bulk-loaded when the tree is still
+    /// empty) on first lookup.  The per-pair reference path inserts into the
+    /// tree directly, as the prototype did.
+    rtree_staged: Vec<(BoundingBox, u64)>,
     next_entry_id: u64,
     pairs_stored: u64,
     cells_stored: u64,
@@ -76,6 +190,7 @@ impl OpDatastore {
             in_shapes: meta.input_shapes.clone(),
             db: Database::new(name, backend),
             rtree,
+            rtree_staged: Vec::new(),
             next_entry_id: 0,
             pairs_stored: 0,
             cells_stored: 0,
@@ -85,11 +200,7 @@ impl OpDatastore {
 
     /// Creates an in-memory datastore (the common case for tests and
     /// benchmarks; the paper's prototype also treats lineage as a cache).
-    pub fn in_memory(
-        name: impl Into<String>,
-        strategy: StorageStrategy,
-        meta: &OpMeta,
-    ) -> Self {
+    pub fn in_memory(name: impl Into<String>, strategy: StorageStrategy, meta: &OpMeta) -> Self {
         Self::new(name, strategy, meta, Box::new(MemBackend::new()))
     }
 
@@ -114,14 +225,31 @@ impl OpDatastore {
         self.encode_time
     }
 
-    /// Logical bytes used by the hash entries plus the spatial index.
+    /// Logical bytes used by the hash entries plus the spatial index
+    /// (including index entries staged but not yet bulk-loaded, estimated
+    /// with the inner-node overhead a packed tree will add so the number
+    /// does not jump when the first lookup builds the index).
     pub fn bytes_used(&self) -> usize {
-        self.db.bytes_used() + self.rtree.as_ref().map(|t| t.size_bytes()).unwrap_or(0)
+        let entry_bytes = std::mem::size_of::<BoundingBox>() + 8;
+        let staged_estimate =
+            self.rtree_staged.len() * entry_bytes * RTree::BRANCHING / (RTree::BRANCHING - 1);
+        self.db.bytes_used()
+            + self.rtree.as_ref().map(|t| t.size_bytes()).unwrap_or(0)
+            + staged_estimate
     }
 
     /// Number of live hash entries.
     pub fn num_entries(&self) -> usize {
         self.db.len()
+    }
+
+    /// A sorted copy of every `(key, value)` pair in the hash database.
+    /// Used by tests to assert that the batched and per-pair ingestion paths
+    /// produce byte-identical contents.
+    pub fn snapshot(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = self.db.iter().collect();
+        pairs.sort();
+        pairs
     }
 
     /// Stores one region pair according to the strategy.
@@ -268,6 +396,221 @@ impl OpDatastore {
         id
     }
 
+    /// Stores a whole batch of region pairs according to the strategy.
+    ///
+    /// Equivalent to calling [`store_pair`](OpDatastore::store_pair) on every
+    /// pair in order — the stored contents are byte-identical — but the work
+    /// is organised batch-at-a-time:
+    ///
+    /// * entry bodies and cell-record keys are encoded up front, fanned out
+    ///   across up to `workers` scoped threads (each thread owns a disjoint
+    ///   chunk of the batch: no locks on the hot path);
+    /// * all hash entries of the batch are written with one group-flushed
+    ///   [`put_batch`](Database::put_batch) instead of per-record puts;
+    /// * key-collision merges are coalesced per batch, so a hash key touched
+    ///   by many pairs is read and rewritten once instead of once per pair;
+    /// * spatial-index entries are staged for deferred STR bulk loading
+    ///   instead of being inserted (and split) one at a time.
+    pub fn store_batch(&mut self, pairs: &[RegionPair], workers: usize) {
+        if pairs.is_empty() {
+            return;
+        }
+        let start = Instant::now();
+        match self.strategy.mode {
+            LineageMode::Full => self.store_full_batch(pairs, workers),
+            LineageMode::Pay | LineageMode::Comp => self.store_pay_batch(pairs, workers),
+            LineageMode::Map | LineageMode::Blackbox => return,
+        }
+        self.encode_time += start.elapsed();
+    }
+
+    fn store_full_batch(&mut self, pairs: &[RegionPair], workers: usize) {
+        // Pairs whose kind matches the strategy count toward the statistics
+        // (as in store_pair); only those with output cells allocate entries.
+        let mut work: Vec<(&[Coord], &[Vec<Coord>])> = Vec::with_capacity(pairs.len());
+        for pair in pairs {
+            if let RegionPair::Full { outcells, incells } = pair {
+                self.pairs_stored += 1;
+                self.cells_stored += pair.num_cells() as u64;
+                if !outcells.is_empty() {
+                    work.push((outcells, incells));
+                }
+            }
+        }
+        if work.is_empty() {
+            return;
+        }
+        let base_id = self.next_entry_id;
+        self.next_entry_id += work.len() as u64;
+
+        let out_shape = self.out_shape;
+        let in_shapes = &self.in_shapes;
+        let (granularity, direction) = (self.strategy.granularity, self.strategy.direction);
+
+        // Parallel phase: pure per-pair encoding of entry bodies, cell-record
+        // keys and bounding boxes.
+        struct Encoded {
+            entry: (Vec<u8>, Vec<u8>),
+            cell_keys: Vec<Vec<u8>>,
+            boxes: Vec<BoundingBox>,
+        }
+        let encoded = crate::parallel::parallel_map(&work, workers, |i, &(outcells, incells)| {
+            let id = base_id + i as u64;
+            let (body, cell_keys, boxes) = match (granularity, direction) {
+                (Granularity::One, Direction::Backward) => (
+                    encoder::encode_full_entry(&out_shape, in_shapes, &[], incells, false),
+                    outcells
+                        .iter()
+                        .map(|oc| encoder::out_cell_key(&out_shape, oc))
+                        .collect(),
+                    Vec::new(),
+                ),
+                (Granularity::One, Direction::Forward) => (
+                    encoder::encode_full_entry(
+                        &out_shape,
+                        in_shapes,
+                        outcells,
+                        &vec![Vec::new(); in_shapes.len()],
+                        true,
+                    ),
+                    incells
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(j, cells)| {
+                            cells
+                                .iter()
+                                .map(move |ic| encoder::in_cell_key(&in_shapes[j], j, ic))
+                        })
+                        .collect(),
+                    Vec::new(),
+                ),
+                (Granularity::Many, Direction::Backward) => (
+                    encoder::encode_full_entry(&out_shape, in_shapes, outcells, incells, true),
+                    Vec::new(),
+                    BoundingBox::enclosing(outcells).into_iter().collect(),
+                ),
+                (Granularity::Many, Direction::Forward) => (
+                    encoder::encode_full_entry(&out_shape, in_shapes, outcells, incells, true),
+                    Vec::new(),
+                    incells
+                        .iter()
+                        .filter_map(|cells| BoundingBox::enclosing(cells))
+                        .collect(),
+                ),
+            };
+            Encoded {
+                entry: (encoder::entry_key(id), body),
+                cell_keys,
+                boxes,
+            }
+        });
+
+        // Serial phase: group-flush the entries, coalesce the cell-record
+        // merges, stage the spatial-index entries.
+        let mut entries = Vec::with_capacity(encoded.len());
+        let mut merges = BatchMerges::default();
+        for (i, enc) in encoded.into_iter().enumerate() {
+            let id = base_id + i as u64;
+            entries.push(enc.entry);
+            for key in enc.cell_keys {
+                merges.append(&self.db, key, |value| encoder::append_entry_id(value, id));
+            }
+            for bbox in enc.boxes {
+                self.rtree_staged.push((bbox, id));
+            }
+        }
+        self.db.put_batch(entries);
+        merges.apply(&mut self.db);
+    }
+
+    fn store_pay_batch(&mut self, pairs: &[RegionPair], workers: usize) {
+        let mut work: Vec<(&[Coord], &[u8])> = Vec::with_capacity(pairs.len());
+        for pair in pairs {
+            if let RegionPair::Payload { outcells, payload } = pair {
+                self.pairs_stored += 1;
+                self.cells_stored += pair.num_cells() as u64;
+                if !outcells.is_empty() {
+                    work.push((outcells, payload));
+                }
+            }
+        }
+        if work.is_empty() {
+            return;
+        }
+        match self.strategy.granularity {
+            Granularity::One => {
+                // The payload is duplicated into every output cell's record;
+                // encode the keys in parallel, coalesce appends per batch.
+                let out_shape = self.out_shape;
+                let keyed = crate::parallel::parallel_map(&work, workers, |_, &(outcells, _)| {
+                    outcells
+                        .iter()
+                        .map(|oc| encoder::out_cell_key(&out_shape, oc))
+                        .collect::<Vec<_>>()
+                });
+                let mut merges = BatchMerges::default();
+                for (keys, &(_, payload)) in keyed.into_iter().zip(&work) {
+                    for key in keys {
+                        merges.append(&self.db, key, |value| {
+                            encoder::append_payload(value, payload)
+                        });
+                    }
+                }
+                merges.apply(&mut self.db);
+            }
+            Granularity::Many => {
+                let base_id = self.next_entry_id;
+                self.next_entry_id += work.len() as u64;
+                let out_shape = self.out_shape;
+                let entries =
+                    crate::parallel::parallel_map(&work, workers, |i, &(outcells, payload)| {
+                        let id = base_id + i as u64;
+                        (
+                            encoder::entry_key(id),
+                            encoder::encode_pay_entry(&out_shape, outcells, payload),
+                        )
+                    });
+                for (i, &(outcells, _)) in work.iter().enumerate() {
+                    if let Some(bbox) = BoundingBox::enclosing(outcells) {
+                        self.rtree_staged.push((bbox, base_id + i as u64));
+                    }
+                }
+                self.db.put_batch(entries);
+            }
+        }
+    }
+
+    /// Finishes an ingestion phase: builds the spatial index from staged
+    /// entries and flushes the hash database.  Lookups do this lazily; call
+    /// it explicitly to move the cost out of the first query (the benchmarks
+    /// do, so index build time is charged to ingestion, not to queries).
+    pub fn finish_ingest(&mut self) {
+        self.ensure_spatial_index();
+        self.db.flush().expect("lineage database flush");
+    }
+
+    /// Drains staged spatial-index entries into the R-tree.  An empty tree is
+    /// STR bulk-loaded from the whole staged set (the common case: capture
+    /// everything, then query); a non-empty tree absorbs late arrivals with
+    /// incremental inserts.  Called before every indexed lookup.
+    fn ensure_spatial_index(&mut self) {
+        if self.rtree_staged.is_empty() {
+            return;
+        }
+        let Some(tree) = self.rtree.as_mut() else {
+            self.rtree_staged.clear();
+            return;
+        };
+        let staged = std::mem::take(&mut self.rtree_staged);
+        if tree.is_empty() {
+            *tree = RTree::bulk_load(staged);
+        } else {
+            for (bbox, id) in staged {
+                tree.insert(bbox, id);
+            }
+        }
+    }
+
     /// Answers a backward lookup: which cells of input `input_idx` do the
     /// query output cells depend on, according to the stored lineage?
     pub fn lookup_backward(
@@ -277,12 +620,17 @@ impl OpDatastore {
         op: &dyn Operator,
         meta: &OpMeta,
     ) -> LookupOutcome {
+        self.ensure_spatial_index();
         let mut result = CellSet::empty(self.in_shapes[input_idx]);
         let mut covered = CellSet::empty(self.out_shape);
         let mut entries_fetched = 0usize;
         let mut scanned = false;
 
-        match (self.strategy.mode, self.strategy.direction, self.strategy.granularity) {
+        match (
+            self.strategy.mode,
+            self.strategy.direction,
+            self.strategy.granularity,
+        ) {
             // --- Indexed (backward-optimized) paths -------------------------
             (LineageMode::Full, Direction::Backward, Granularity::One) => {
                 for qc in query.iter() {
@@ -385,15 +733,10 @@ impl OpDatastore {
                             for id in decode_entry_ids(value).unwrap_or_default() {
                                 if let Some(body) = self.db.peek(&encoder::entry_key(id)) {
                                     entries_fetched += 1;
-                                    if let Ok(entry) = decode_full_entry(
-                                        &self.out_shape,
-                                        &self.in_shapes,
-                                        &body,
-                                    ) {
-                                        let hit = entry
-                                            .outcells
-                                            .iter()
-                                            .any(|c| query.contains(c));
+                                    if let Ok(entry) =
+                                        decode_full_entry(&self.out_shape, &self.in_shapes, &body)
+                                    {
+                                        let hit = entry.outcells.iter().any(|c| query.contains(c));
                                         if hit {
                                             result.insert(&cell);
                                             for oc in
@@ -457,12 +800,17 @@ impl OpDatastore {
         op: &dyn Operator,
         meta: &OpMeta,
     ) -> LookupOutcome {
+        self.ensure_spatial_index();
         let mut result = CellSet::empty(self.out_shape);
         let mut covered = CellSet::empty(self.in_shapes[input_idx]);
         let mut entries_fetched = 0usize;
         let mut scanned = false;
 
-        match (self.strategy.mode, self.strategy.direction, self.strategy.granularity) {
+        match (
+            self.strategy.mode,
+            self.strategy.direction,
+            self.strategy.granularity,
+        ) {
             // --- Indexed (forward-optimized) paths ---------------------------
             (LineageMode::Full, Direction::Forward, Granularity::One) => {
                 for qc in query.iter() {
@@ -700,12 +1048,7 @@ mod tests {
         fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
             input_shapes[0]
         }
-        fn run(
-            &self,
-            inputs: &[ArrayRef],
-            _m: &[LineageMode],
-            _s: &mut dyn LineageSink,
-        ) -> Array {
+        fn run(&self, inputs: &[ArrayRef], _m: &[LineageMode], _s: &mut dyn LineageSink) -> Array {
             (*inputs[0]).clone()
         }
         fn map_payload(
@@ -945,6 +1288,144 @@ mod tests {
         let m = meta();
         let mut ds = OpDatastore::in_memory("t", StorageStrategy::full_one(), &m);
         ds.store_pair(&full_pair(&[], &[Coord::d2(0, 0)], &[]));
+        assert_eq!(ds.num_entries(), 0);
+    }
+
+    /// A deterministic mixed workload of full and payload pairs, including
+    /// shared output cells (key collisions), empty-outcell pairs and pairs of
+    /// the "wrong" kind for the strategy under test.
+    fn mixed_pairs() -> Vec<RegionPair> {
+        let mut pairs = Vec::new();
+        for i in 0..40u32 {
+            let base = Coord::d2(i % 8, (i * 3) % 8);
+            let shared = Coord::d2(0, 0);
+            pairs.push(full_pair(
+                &[base, shared],
+                &[Coord::d2((i + 1) % 8, i % 8), Coord::d2(i % 8, (i + 5) % 8)],
+                &[Coord::d2(7 - i % 8, 7 - i % 8)],
+            ));
+            pairs.push(RegionPair::Payload {
+                outcells: vec![base],
+                payload: vec![(i % 3) as u8, i as u8],
+            });
+        }
+        pairs.push(full_pair(&[], &[Coord::d2(1, 1)], &[]));
+        pairs.push(RegionPair::Payload {
+            outcells: vec![],
+            payload: vec![9],
+        });
+        pairs
+    }
+
+    fn all_strategies() -> Vec<StorageStrategy> {
+        vec![
+            StorageStrategy::full_one(),
+            StorageStrategy::full_many(),
+            StorageStrategy::full_one_forward(),
+            StorageStrategy::full_many_forward(),
+            StorageStrategy::pay_one(),
+            StorageStrategy::pay_many(),
+            StorageStrategy::composite_one(),
+            StorageStrategy::composite_many(),
+        ]
+    }
+
+    #[test]
+    fn store_batch_matches_store_pair_byte_for_byte() {
+        let m = meta();
+        let pairs = mixed_pairs();
+        for strategy in all_strategies() {
+            for (label, batch_sizes) in [("batch64", vec![64]), ("batch7", vec![7])] {
+                let mut reference = OpDatastore::in_memory("ref", strategy, &m);
+                for pair in &pairs {
+                    reference.store_pair(pair);
+                }
+                let mut batched = OpDatastore::in_memory("bat", strategy, &m);
+                for chunk in pairs.chunks(batch_sizes[0]) {
+                    batched.store_batch(chunk, 2);
+                }
+                assert_eq!(
+                    batched.snapshot(),
+                    reference.snapshot(),
+                    "contents differ for {strategy} ({label})"
+                );
+                assert_eq!(batched.pairs_stored(), reference.pairs_stored());
+                assert_eq!(batched.cells_stored(), reference.cells_stored());
+                assert_eq!(batched.num_entries(), reference.num_entries());
+            }
+        }
+    }
+
+    #[test]
+    fn store_batch_answers_queries_like_store_pair() {
+        let m = meta();
+        let op = RadiusOp;
+        let pairs = mixed_pairs();
+        let shape = Shape::d2(8, 8);
+        for strategy in all_strategies() {
+            let mut reference = OpDatastore::in_memory("ref", strategy, &m);
+            for pair in &pairs {
+                reference.store_pair(pair);
+            }
+            let mut batched = OpDatastore::in_memory("bat", strategy, &m);
+            batched.store_batch(&pairs, 1);
+            for i in 0..8 {
+                let q = query_of(shape, &[Coord::d2(i, i), Coord::d2(i, 7 - i)]);
+                let a = batched.lookup_backward(&q, 0, &op, &m);
+                let b = reference.lookup_backward(&q, 0, &op, &m);
+                assert_eq!(
+                    a.result.to_coords(),
+                    b.result.to_coords(),
+                    "backward differs for {strategy}"
+                );
+                assert_eq!(a.covered.to_coords(), b.covered.to_coords());
+                let a = batched.lookup_forward(&q, 0, &op, &m);
+                let b = reference.lookup_forward(&q, 0, &op, &m);
+                assert_eq!(
+                    a.result.to_coords(),
+                    b.result.to_coords(),
+                    "forward differs for {strategy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn store_batch_then_store_pair_share_entry_ids() {
+        // Ids allocated by a batch and by later per-pair stores never clash,
+        // and late arrivals after the index was bulk-loaded are still found.
+        let m = meta();
+        let op = RadiusOp;
+        let mut ds = OpDatastore::in_memory("t", StorageStrategy::full_many(), &m);
+        ds.store_batch(&[full_pair(&[Coord::d2(1, 1)], &[Coord::d2(2, 2)], &[])], 1);
+        // Build the index, then add a straggler through the per-pair path.
+        let q = query_of(Shape::d2(8, 8), &[Coord::d2(1, 1)]);
+        assert_eq!(
+            ds.lookup_backward(&q, 0, &op, &m).result.to_coords(),
+            vec![Coord::d2(2, 2)]
+        );
+        ds.store_pair(&full_pair(&[Coord::d2(5, 5)], &[Coord::d2(6, 6)], &[]));
+        let q = query_of(Shape::d2(8, 8), &[Coord::d2(5, 5)]);
+        assert_eq!(
+            ds.lookup_backward(&q, 0, &op, &m).result.to_coords(),
+            vec![Coord::d2(6, 6)]
+        );
+        assert_eq!(ds.pairs_stored(), 2);
+    }
+
+    #[test]
+    fn store_batch_ignores_wrong_kinds_and_empty_batches() {
+        let m = meta();
+        let mut ds = OpDatastore::in_memory("t", StorageStrategy::full_one(), &m);
+        ds.store_batch(&[], 1);
+        ds.store_batch(
+            &[RegionPair::Payload {
+                outcells: vec![Coord::d2(0, 0)],
+                payload: vec![1],
+            }],
+            1,
+        );
+        assert_eq!(ds.pairs_stored(), 0);
         assert_eq!(ds.num_entries(), 0);
     }
 }

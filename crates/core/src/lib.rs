@@ -66,6 +66,7 @@
 pub mod datastore;
 pub mod encoder;
 pub mod model;
+pub mod parallel;
 pub mod query;
 pub mod reexec;
 pub mod runtime;
@@ -74,7 +75,7 @@ pub mod system;
 pub use datastore::OpDatastore;
 pub use model::{Direction, Granularity, LineageStrategy, StorageStrategy, StrategyError};
 pub use query::{LineageQuery, QueryError, QueryExecutor, QueryReport, QueryResult, StepMethod};
-pub use runtime::{CaptureStats, OperatorLineageStats, Runtime};
+pub use runtime::{CaptureStats, IngestMode, OperatorLineageStats, Runtime};
 pub use system::SubZero;
 
 /// Convenience re-exports for downstream users and examples.

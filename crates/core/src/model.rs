@@ -373,7 +373,9 @@ mod tests {
             StorageStrategy::full_one_forward(),
         ] {
             let suffix = s.db_suffix();
-            assert!(suffix.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+            assert!(suffix
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_'));
         }
         assert_eq!(StorageStrategy::full_many().db_suffix(), "full_many_bwd");
     }

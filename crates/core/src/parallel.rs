@@ -1,0 +1,117 @@
+//! Scoped worker-thread helpers for the batched ingestion pipeline.
+//!
+//! The capture hot path is lock-free by construction: work is split into
+//! disjoint shards (a chunk of a batch to encode, or one per-operator
+//! datastore to flush) and each shard is owned by exactly one scoped thread
+//! for the duration of the call.  On single-core hosts (`workers <= 1`) every
+//! helper degrades to a plain serial loop with zero thread overhead.
+
+/// Default worker count: the host's available parallelism, capped so a wide
+/// machine does not spawn more encode threads than a batch can feed.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Minimum number of items before `parallel_map` spawns threads; below this
+/// the spawn overhead outweighs the encode work.
+const PARALLEL_MIN_ITEMS: usize = 64;
+
+/// Maps `f` over `items`, preserving order, using up to `workers` scoped
+/// threads.  Runs serially when `workers <= 1` or the input is small.
+pub fn parallel_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    if workers <= 1 || items.len() < PARALLEL_MIN_ITEMS {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let f = &f;
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(ci * chunk + i, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("encode worker panicked"))
+            .collect()
+    })
+}
+
+/// Runs `f` once per item with exclusive access, one scoped thread per item
+/// when `parallel` is set (used to flush the independent per-operator
+/// datastore shards concurrently).
+pub fn for_each_mut<T, F>(items: &mut [T], parallel: bool, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if !parallel || items.len() <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (i, item) in items.iter_mut().enumerate() {
+            let f = &f;
+            scope.spawn(move || f(i, item));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        for workers in [1, 2, 5] {
+            let out = parallel_map(&items, workers, |i, &v| (i as u32, v * 2));
+            assert_eq!(out.len(), 1000);
+            for (i, (idx, doubled)) in out.iter().enumerate() {
+                assert_eq!(*idx as usize, i);
+                assert_eq!(*doubled, items[i] * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_small_inputs_stay_serial() {
+        let items = [1, 2, 3];
+        assert_eq!(parallel_map(&items, 8, |_, &v| v + 1), vec![2, 3, 4]);
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 8, |_, &v| v).is_empty());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item() {
+        for parallel in [false, true] {
+            let mut items = vec![0u64; 5];
+            for_each_mut(&mut items, parallel, |i, v| *v = i as u64 + 10);
+            assert_eq!(items, vec![10, 11, 12, 13, 14]);
+        }
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+        assert!(default_workers() <= 8);
+    }
+}

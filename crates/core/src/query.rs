@@ -319,24 +319,26 @@ impl<'a> QueryExecutor<'a> {
         // Build the initial cell set over the array the query cells belong to.
         let (first_op, first_idx) = query.path[0];
         let first_record = run.record(first_op)?;
-        let initial_shape = match query.direction {
-            Direction::Backward => first_record.meta.output_shape,
-            Direction::Forward => *first_record
-                .meta
-                .input_shapes
-                .get(first_idx)
-                .ok_or(QueryError::BadInputIndex {
-                    op: first_op,
-                    input_idx: first_idx,
-                })?,
-        };
+        let initial_shape =
+            match query.direction {
+                Direction::Backward => first_record.meta.output_shape,
+                Direction::Forward => *first_record.meta.input_shapes.get(first_idx).ok_or(
+                    QueryError::BadInputIndex {
+                        op: first_op,
+                        input_idx: first_idx,
+                    },
+                )?,
+            };
         let mut current = CellSet::from_coords(initial_shape, query.cells.iter().copied());
 
         for (step, &(op_id, input_idx)) in query.path.iter().enumerate() {
             let record = run.record(op_id)?;
             let meta = &record.meta;
             if input_idx >= meta.input_shapes.len() {
-                return Err(QueryError::BadInputIndex { op: op_id, input_idx });
+                return Err(QueryError::BadInputIndex {
+                    op: op_id,
+                    input_idx,
+                });
             }
             // Validate that the incoming cells live in the right array.
             let expected = match query.direction {
@@ -408,7 +410,8 @@ impl<'a> QueryExecutor<'a> {
             let mut scanned = false;
             let mut result;
             if forced_blackbox {
-                result = self.reexecute(run, op_id, op, meta, &current, input_idx, query.direction)?;
+                result =
+                    self.reexecute(run, op_id, op, meta, &current, input_idx, query.direction)?;
                 method = StepMethod::Reexecution;
             } else if use_mapping_only {
                 result = self.apply_mapping(op, meta, &current, input_idx, query.direction);
@@ -456,7 +459,13 @@ impl<'a> QueryExecutor<'a> {
                                     current.iter().filter(|c| !covered.contains(c)).collect();
                                 let uncovered_set =
                                     CellSet::from_coords(current.shape(), uncovered);
-                                self.apply_mapping(op, meta, &uncovered_set, input_idx, query.direction)
+                                self.apply_mapping(
+                                    op,
+                                    meta,
+                                    &uncovered_set,
+                                    input_idx,
+                                    query.direction,
+                                )
                             }
                             Direction::Forward => {
                                 // Every query cell keeps its default forward
@@ -469,11 +478,13 @@ impl<'a> QueryExecutor<'a> {
                         method = StepMethod::StoredPlusMapping;
                     }
                 } else {
-                    result = self.reexecute(run, op_id, op, meta, &current, input_idx, query.direction)?;
+                    result =
+                        self.reexecute(run, op_id, op, meta, &current, input_idx, query.direction)?;
                     method = StepMethod::Reexecution;
                 }
             } else {
-                result = self.reexecute(run, op_id, op, meta, &current, input_idx, query.direction)?;
+                result =
+                    self.reexecute(run, op_id, op, meta, &current, input_idx, query.direction)?;
                 method = StepMethod::Reexecution;
             }
 
@@ -550,7 +561,11 @@ impl<'a> QueryExecutor<'a> {
                 Direction::Forward => meta.output_shape,
             };
             let source_shape = current.shape();
-            return (CellSet::empty(target_shape), CellSet::empty(source_shape), false);
+            return (
+                CellSet::empty(target_shape),
+                CellSet::empty(source_shape),
+                false,
+            );
         };
         let outcome = match direction {
             Direction::Backward => stores[idx].lookup_backward(current, input_idx, op, meta),
@@ -572,7 +587,9 @@ impl<'a> QueryExecutor<'a> {
     ) -> Result<CellSet, QueryError> {
         let (pairs, _elapsed) = self.engine.rerun_tracing(run, op_id)?;
         Ok(match direction {
-            Direction::Backward => reexec::backward_from_pairs(&pairs, current, input_idx, op, meta),
+            Direction::Backward => {
+                reexec::backward_from_pairs(&pairs, current, input_idx, op, meta)
+            }
             Direction::Forward => reexec::forward_from_pairs(&pairs, current, input_idx, op, meta),
         })
     }
@@ -585,7 +602,7 @@ mod tests {
     use std::collections::HashMap;
     use std::sync::Arc;
     use subzero_array::{Array, Shape};
-    use subzero_engine::ops::{Convolve, Elementwise1, GlobalAggregate, AggregateKind, UnaryKind};
+    use subzero_engine::ops::{AggregateKind, Convolve, Elementwise1, GlobalAggregate, UnaryKind};
     use subzero_engine::Workflow;
 
     /// scale -> convolve(r=1) -> global mean
@@ -739,11 +756,17 @@ mod tests {
             Err(QueryError::EmptyPath)
         ));
         assert!(matches!(
-            exec.execute(&run, &LineageQuery::backward(vec![Coord::d2(0, 0)], vec![(0, 7)])),
+            exec.execute(
+                &run,
+                &LineageQuery::backward(vec![Coord::d2(0, 0)], vec![(0, 7)])
+            ),
             Err(QueryError::BadInputIndex { .. })
         ));
         assert!(matches!(
-            exec.execute(&run, &LineageQuery::backward(vec![Coord::d2(0, 0)], vec![(99, 0)])),
+            exec.execute(
+                &run,
+                &LineageQuery::backward(vec![Coord::d2(0, 0)], vec![(99, 0)])
+            ),
             Err(QueryError::Engine(_))
         ));
     }
@@ -773,9 +796,7 @@ mod tests {
         // A full scan of a huge store versus a fast operator prefers re-execution.
         assert!(!policy.prefer_stored(false, 10, 10_000_000, Duration::from_micros(50)));
         // Estimates scale with entry counts.
-        assert!(
-            policy.stored_estimate(false, 10, 1000) > policy.stored_estimate(true, 10, 1000)
-        );
+        assert!(policy.stored_estimate(false, 10, 1000) > policy.stored_estimate(true, 10, 1000));
     }
 
     #[test]

@@ -97,12 +97,7 @@ mod tests {
         fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
             input_shapes[0]
         }
-        fn run(
-            &self,
-            inputs: &[ArrayRef],
-            _m: &[LineageMode],
-            _s: &mut dyn LineageSink,
-        ) -> Array {
+        fn run(&self, inputs: &[ArrayRef], _m: &[LineageMode], _s: &mut dyn LineageSink) -> Array {
             (*inputs[0]).clone()
         }
         fn map_payload(

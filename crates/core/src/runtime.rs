@@ -11,13 +11,29 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use subzero_engine::executor::{LineageCollector, OpExecution};
-use subzero_engine::{LineageMode, OpId, OperatorExt, RegionPair, Workflow};
+use subzero_engine::{LineageMode, OpId, OperatorExt, RegionBatch, RegionPair, Workflow};
 use subzero_store::kv::{FileBackend, KvBackend, MemBackend};
 
 use crate::datastore::OpDatastore;
 use crate::model::{LineageStrategy, StorageStrategy};
+use crate::parallel;
 
 pub use subzero_engine::operator::OperatorExt as _;
+
+/// How the runtime hands captured region pairs to the datastores.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// Batch-at-a-time ingestion (the default): whole [`RegionBatch`]es are
+    /// encoded and stored through [`OpDatastore::store_batch`], with entry
+    /// encoding fanned out across worker threads and one group flush per
+    /// batch and datastore.
+    #[default]
+    Batched,
+    /// The legacy reference path: every pair goes through the synchronous
+    /// `store_pair` chain one at a time.  Kept for parity testing and for the
+    /// ingestion benchmarks' baseline.
+    PerPair,
+}
 
 /// Per-operator lineage statistics gathered during capture.
 #[derive(Clone, Debug, Default)]
@@ -75,8 +91,13 @@ pub struct CaptureStats {
 pub struct Runtime {
     storage_dir: Option<PathBuf>,
     strategy: LineageStrategy,
+    ingest_mode: IngestMode,
+    /// Worker threads available to encode a batch (and to flush independent
+    /// datastore shards concurrently).  1 means fully serial.
+    workers: usize,
     /// Datastores keyed by `(run_id, op_id)`; one per assigned strategy that
-    /// stores pairs.
+    /// stores pairs.  Each datastore is an independent shard: during a flush
+    /// it is owned by exactly one thread, so the hot path takes no locks.
     datastores: HashMap<(u64, OpId), Vec<OpDatastore>>,
     /// Capture statistics keyed by `(run_id, op_id)`.
     stats: HashMap<(u64, OpId), OperatorLineageStats>,
@@ -88,6 +109,8 @@ impl Runtime {
         Runtime {
             storage_dir: None,
             strategy: LineageStrategy::new(),
+            ingest_mode: IngestMode::default(),
+            workers: parallel::default_workers(),
             datastores: HashMap::new(),
             stats: HashMap::new(),
         }
@@ -114,10 +137,34 @@ impl Runtime {
         &self.strategy
     }
 
+    /// Selects how captured pairs reach the datastores (batched by default).
+    pub fn set_ingest_mode(&mut self, mode: IngestMode) {
+        self.ingest_mode = mode;
+    }
+
+    /// The current ingestion mode.
+    pub fn ingest_mode(&self) -> IngestMode {
+        self.ingest_mode
+    }
+
+    /// Sets the number of worker threads used to encode batches (clamped to
+    /// at least 1; 1 disables threading entirely).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
     /// The storage strategies assigned to one operator (empty when the
     /// operator runs under the default black-box + mapping behaviour).
     pub fn strategies_for(&self, op_id: OpId) -> Vec<StorageStrategy> {
-        self.strategy.get(op_id).map(|s| s.to_vec()).unwrap_or_default()
+        self.strategy
+            .get(op_id)
+            .map(|s| s.to_vec())
+            .unwrap_or_default()
     }
 
     /// The datastores holding lineage captured for `(run_id, op_id)`.
@@ -174,6 +221,30 @@ impl Runtime {
         self.capture_stats(run_id).bytes
     }
 
+    /// Finishes capture for a run: builds every datastore's deferred spatial
+    /// index and flushes its hash database, charging the time to the owning
+    /// operator's capture overhead.  Lookups do this lazily, so calling it is
+    /// optional — but benchmarks must, or the first query per datastore gets
+    /// billed for the index build.  Returns the total time spent.
+    pub fn finish_run(&mut self, run_id: u64) -> Duration {
+        let mut total = Duration::ZERO;
+        for ((r, op), stores) in self.datastores.iter_mut() {
+            if *r != run_id {
+                continue;
+            }
+            let start = Instant::now();
+            for ds in stores.iter_mut() {
+                ds.finish_ingest();
+            }
+            let elapsed = start.elapsed();
+            total += elapsed;
+            if let Some(stats) = self.stats.get_mut(&(*r, *op)) {
+                stats.capture_time += elapsed;
+            }
+        }
+        total
+    }
+
     /// Drops all lineage stored for a run (used by the benchmark harness to
     /// bound memory between strategy configurations).
     pub fn clear_run(&mut self, run_id: u64) {
@@ -194,7 +265,13 @@ impl Runtime {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -219,36 +296,48 @@ impl LineageCollector for Runtime {
         }
     }
 
-    fn collect(&mut self, exec: &OpExecution<'_>, pairs: Vec<RegionPair>) {
+    fn collect_batches(&mut self, exec: &OpExecution<'_>, batches: Vec<RegionBatch>) {
         let start = Instant::now();
         let key = (exec.run_id, exec.op_id);
 
-        // Record execution statistics even for operators with no pairs.
-        let stats = self.stats.entry(key).or_insert_with(|| OperatorLineageStats {
-            op_name: exec.op_name.to_string(),
-            ..Default::default()
-        });
+        // Record execution statistics even for operators with no pairs;
+        // pair statistics are aggregated per batch, not per pair.
+        let stats = self
+            .stats
+            .entry(key)
+            .or_insert_with(|| OperatorLineageStats {
+                op_name: exec.op_name.to_string(),
+                ..Default::default()
+            });
         stats.exec_time += exec.elapsed;
-        for pair in &pairs {
-            stats.pairs += 1;
-            stats.out_cells += pair.outcells().len() as u64;
-            match pair {
-                RegionPair::Full { incells, .. } => {
-                    stats.in_cells += incells.iter().map(Vec::len).sum::<usize>() as u64;
-                }
-                RegionPair::Payload { payload, .. } => {
-                    stats.payload_bytes += payload.len() as u64;
+        for batch in &batches {
+            let mut agg = (0u64, 0u64, 0u64, 0u64); // pairs, out, in, payload
+            for pair in &batch.pairs {
+                agg.0 += 1;
+                agg.1 += pair.outcells().len() as u64;
+                match pair {
+                    RegionPair::Full { incells, .. } => {
+                        agg.2 += incells.iter().map(Vec::len).sum::<usize>() as u64;
+                    }
+                    RegionPair::Payload { payload, .. } => {
+                        agg.3 += payload.len() as u64;
+                    }
                 }
             }
+            stats.pairs += agg.0;
+            stats.out_cells += agg.1;
+            stats.in_cells += agg.2;
+            stats.payload_bytes += agg.3;
         }
 
-        // Route pairs to one datastore per pair-storing strategy.
+        // Route batches to one datastore per pair-storing strategy.
         let strategies: Vec<StorageStrategy> = self
             .strategies_for(exec.op_id)
             .into_iter()
             .filter(|s| s.stores_pairs())
             .collect();
-        if !strategies.is_empty() && !pairs.is_empty() {
+        let total_pairs: usize = batches.iter().map(RegionBatch::len).sum();
+        if !strategies.is_empty() && total_pairs > 0 {
             if !self.datastores.contains_key(&key) {
                 let mut stores = Vec::with_capacity(strategies.len());
                 for s in &strategies {
@@ -259,14 +348,37 @@ impl LineageCollector for Runtime {
                 self.datastores.insert(key, stores);
             }
             let stores = self.datastores.get_mut(&key).expect("just inserted");
-            for pair in &pairs {
-                for ds in stores.iter_mut() {
-                    ds.store_pair(pair);
+            match self.ingest_mode {
+                IngestMode::Batched => {
+                    // Each datastore is an independent shard; with spare
+                    // workers and several shards, flush them concurrently and
+                    // split the worker budget, otherwise give the single
+                    // shard all encode workers.
+                    let shard_parallel = self.workers > 1 && stores.len() > 1;
+                    let shard_workers = if shard_parallel {
+                        (self.workers / stores.len()).max(1)
+                    } else {
+                        self.workers
+                    };
+                    for batch in &batches {
+                        parallel::for_each_mut(stores, shard_parallel, |_, ds| {
+                            ds.store_batch(&batch.pairs, shard_workers);
+                        });
+                    }
+                }
+                IngestMode::PerPair => {
+                    for batch in &batches {
+                        for pair in &batch.pairs {
+                            for ds in stores.iter_mut() {
+                                ds.store_pair(pair);
+                            }
+                        }
+                    }
                 }
             }
         }
 
-        // Charge the full collect() time (routing + encoding + storing) to
+        // Charge the full collect time (routing + encoding + storing) to
         // this operator's capture overhead.
         let elapsed = start.elapsed();
         if let Some(stats) = self.stats.get_mut(&key) {
@@ -316,7 +428,10 @@ mod tests {
             "no strategy => black-box"
         );
         let mut strategy = LineageStrategy::new();
-        strategy.set(0, vec![StorageStrategy::full_one(), StorageStrategy::full_many()]);
+        strategy.set(
+            0,
+            vec![StorageStrategy::full_one(), StorageStrategy::full_many()],
+        );
         strategy.set(1, vec![StorageStrategy::pay_one()]);
         rt.set_strategy(strategy);
         assert_eq!(rt.modes_for(&wf, 0), vec![LineageMode::Full]);
@@ -330,7 +445,13 @@ mod tests {
         let wf = workflow();
         let mut rt = Runtime::in_memory();
         let mut strategy = LineageStrategy::new();
-        strategy.set(0, vec![StorageStrategy::full_one(), StorageStrategy::full_one_forward()]);
+        strategy.set(
+            0,
+            vec![
+                StorageStrategy::full_one(),
+                StorageStrategy::full_one_forward(),
+            ],
+        );
         rt.set_strategy(strategy);
 
         let mut engine = Engine::new();
@@ -397,6 +518,75 @@ mod tests {
         let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
         assert!(!files.is_empty(), "lineage database files were created");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn per_pair_and_batched_ingest_store_identical_lineage() {
+        let wf = workflow();
+        let run_with = |mode: IngestMode, batch_size: usize| {
+            let mut rt = Runtime::in_memory();
+            rt.set_ingest_mode(mode);
+            let mut strategy = LineageStrategy::new();
+            strategy.set(
+                0,
+                vec![StorageStrategy::full_one(), StorageStrategy::full_many()],
+            );
+            rt.set_strategy(strategy);
+            let mut engine = Engine::new();
+            engine.set_capture_batch_size(batch_size);
+            let run = engine.execute(&wf, &externals(), &mut rt).unwrap();
+            let snapshots: Vec<_> = rt
+                .datastores(run.run_id, 0)
+                .iter()
+                .map(|ds| ds.snapshot())
+                .collect();
+            let stats = rt.op_stats(run.run_id, 0).unwrap().clone();
+            (snapshots, stats)
+        };
+        let (reference, ref_stats) = run_with(IngestMode::PerPair, 1);
+        for batch_size in [1usize, 5, 4096] {
+            let (snapshots, stats) = run_with(IngestMode::Batched, batch_size);
+            assert_eq!(snapshots, reference, "batch_size={batch_size}");
+            assert_eq!(stats.pairs, ref_stats.pairs);
+            assert_eq!(stats.out_cells, ref_stats.out_cells);
+            assert_eq!(stats.in_cells, ref_stats.in_cells);
+        }
+    }
+
+    #[test]
+    fn finish_run_builds_indexes_and_charges_capture() {
+        let wf = workflow();
+        let mut rt = Runtime::in_memory();
+        let mut strategy = LineageStrategy::new();
+        strategy.set(0, vec![StorageStrategy::full_many()]);
+        rt.set_strategy(strategy);
+        let mut engine = Engine::new();
+        let run = engine.execute(&wf, &externals(), &mut rt).unwrap();
+        let before = rt.op_stats(run.run_id, 0).unwrap().capture_time;
+        let elapsed = rt.finish_run(run.run_id);
+        let after = rt.op_stats(run.run_id, 0).unwrap().capture_time;
+        assert_eq!(after, before + elapsed, "finish time charged to capture");
+        // Idempotent: a second call finds nothing staged.
+        rt.finish_run(run.run_id);
+        // Unknown runs are a no-op.
+        assert_eq!(rt.finish_run(999), Duration::ZERO);
+    }
+
+    #[test]
+    fn worker_and_mode_knobs() {
+        let mut rt = Runtime::in_memory();
+        assert_eq!(
+            rt.ingest_mode(),
+            IngestMode::Batched,
+            "batched is the default"
+        );
+        assert!(rt.workers() >= 1);
+        rt.set_workers(0);
+        assert_eq!(rt.workers(), 1, "worker count clamps to 1");
+        rt.set_workers(4);
+        assert_eq!(rt.workers(), 4);
+        rt.set_ingest_mode(IngestMode::PerPair);
+        assert_eq!(rt.ingest_mode(), IngestMode::PerPair);
     }
 
     #[test]

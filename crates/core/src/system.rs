@@ -14,8 +14,10 @@ use subzero_engine::executor::{EngineError, WorkflowRun};
 use subzero_engine::{Engine, Workflow};
 
 use crate::model::LineageStrategy;
-use crate::query::{LineageQuery, QueryError, QueryExecutor, QueryOptions, QueryResult, QueryTimePolicy};
-use crate::runtime::{CaptureStats, Runtime};
+use crate::query::{
+    LineageQuery, QueryError, QueryExecutor, QueryOptions, QueryResult, QueryTimePolicy,
+};
+use crate::runtime::{CaptureStats, IngestMode, Runtime};
 
 /// The SubZero lineage system: workflow execution with lineage capture, plus
 /// lineage query execution.
@@ -62,6 +64,24 @@ impl SubZero {
     /// The current lineage strategy.
     pub fn strategy(&self) -> &LineageStrategy {
         self.runtime.strategy()
+    }
+
+    /// Sets the number of region pairs per sealed capture batch (1 = the
+    /// legacy per-pair hand-off from the executor to the runtime).
+    pub fn set_capture_batch_size(&mut self, batch_size: usize) {
+        self.engine.set_capture_batch_size(batch_size);
+    }
+
+    /// Selects how the runtime hands captured pairs to the datastores
+    /// (batched by default; [`IngestMode::PerPair`] is the legacy reference
+    /// path used for parity testing and benchmarking).
+    pub fn set_ingest_mode(&mut self, mode: IngestMode) {
+        self.runtime.set_ingest_mode(mode);
+    }
+
+    /// Sets the number of worker threads used to encode capture batches.
+    pub fn set_capture_workers(&mut self, workers: usize) {
+        self.runtime.set_workers(workers);
     }
 
     /// Overrides the query executor options (entire-array optimization,
@@ -113,6 +133,15 @@ impl SubZero {
         &mut self.runtime
     }
 
+    /// Finishes capture for a run: builds the deferred spatial indexes and
+    /// flushes the datastores, charging the time to capture overhead rather
+    /// than to the first query.  Optional — lookups finish lazily — but
+    /// benchmarks should call it right after [`execute`](SubZero::execute).
+    /// Returns the time spent.
+    pub fn finish_capture(&mut self, run_id: u64) -> std::time::Duration {
+        self.runtime.finish_run(run_id)
+    }
+
     /// Aggregate lineage capture statistics for a run.
     pub fn capture_stats(&self, run_id: u64) -> CaptureStats {
         self.runtime.capture_stats(run_id)
@@ -159,8 +188,15 @@ mod tests {
         let mut b = Workflow::builder("mini-lsst");
         let blur_a = b.add_source(Arc::new(Convolve::box_blur(1)), "exp1");
         let blur_b = b.add_source(Arc::new(Convolve::box_blur(1)), "exp2");
-        let merged = b.add_binary(Arc::new(Elementwise2::new(BinaryKind::Mean)), blur_a, blur_b);
-        let _detect = b.add_unary(Arc::new(Elementwise1::new(UnaryKind::Threshold(0.5))), merged);
+        let merged = b.add_binary(
+            Arc::new(Elementwise2::new(BinaryKind::Mean)),
+            blur_a,
+            blur_b,
+        );
+        let _detect = b.add_unary(
+            Arc::new(Elementwise1::new(UnaryKind::Threshold(0.5))),
+            merged,
+        );
         Arc::new(b.build().unwrap())
     }
 
@@ -184,10 +220,7 @@ mod tests {
 
         // Backward query: the detected pixel traces to the 3x3 neighbourhood
         // in the first exposure.
-        let q = LineageQuery::backward(
-            vec![Coord::d2(4, 4)],
-            vec![(3, 0), (2, 0), (0, 0)],
-        );
+        let q = LineageQuery::backward(vec![Coord::d2(4, 4)], vec![(3, 0), (2, 0), (0, 0)]);
         let result = sz.query(&run, &q).unwrap();
         assert_eq!(result.cells.len(), 9);
         assert!(result.cells.contains(&Coord::d2(3, 3)));
@@ -195,10 +228,7 @@ mod tests {
 
         // Forward query: the bright input pixel influences its neighbourhood
         // in the final detection.
-        let q = LineageQuery::forward(
-            vec![Coord::d2(4, 4)],
-            vec![(0, 0), (2, 0), (3, 0)],
-        );
+        let q = LineageQuery::forward(vec![Coord::d2(4, 4)], vec![(0, 0), (2, 0), (3, 0)]);
         let result = sz.query(&run, &q).unwrap();
         assert_eq!(result.cells.len(), 9);
     }
@@ -247,7 +277,10 @@ mod tests {
         let stats = sz.capture_stats(run.run_id);
         assert!(stats.pairs > 0);
         assert!(stats.bytes > 0);
-        assert!(sz.array_bytes() >= 6 * 8 * 8 * 8, "inputs + 4 outputs stored");
+        assert!(
+            sz.array_bytes() >= 6 * 8 * 8 * 8,
+            "inputs + 4 outputs stored"
+        );
         sz.clear_lineage(run.run_id);
         assert_eq!(sz.lineage_bytes(run.run_id), 0);
     }

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use subzero_array::{Array, ArrayError, ArrayRef, Shape, VersionId, VersionedStore};
 use subzero_store::{WalEntry, WriteAheadLog};
 
-use crate::lineage::{BufferSink, LineageMode, RegionPair};
+use crate::lineage::{BatchingSink, BufferSink, LineageMode, RegionBatch, RegionPair};
 use crate::operator::OpMeta;
 use crate::workflow::{InputSource, OpId, Workflow, WorkflowError};
 
@@ -52,7 +52,10 @@ impl fmt::Display for EngineError {
                 write!(f, "external input array '{name}' was not provided")
             }
             EngineError::NotExecuted { run_id, op_id } => {
-                write!(f, "operator {op_id} has no execution record in run {run_id}")
+                write!(
+                    f,
+                    "operator {op_id} has no execution record in run {run_id}"
+                )
             }
         }
     }
@@ -155,10 +158,12 @@ pub trait LineageCollector {
     /// all lineage-generation code.
     fn modes_for(&self, workflow: &Workflow, op_id: OpId) -> Vec<LineageMode>;
 
-    /// Called once per operator execution with every region pair it emitted.
-    /// The time spent in this call is part of the workflow's lineage capture
-    /// overhead and is charged to the run's total elapsed time.
-    fn collect(&mut self, exec: &OpExecution<'_>, pairs: Vec<RegionPair>);
+    /// Called once per operator execution with every sealed batch of region
+    /// pairs it emitted, in emission order.  Collectors encode and store
+    /// batch-at-a-time; the time spent in this call is part of the workflow's
+    /// lineage capture overhead and is charged to the run's total elapsed
+    /// time.
+    fn collect_batches(&mut self, exec: &OpExecution<'_>, batches: Vec<RegionBatch>);
 }
 
 /// A collector that requests black-box lineage only and discards any pairs.
@@ -170,14 +175,22 @@ impl LineageCollector for NullCollector {
         vec![LineageMode::Blackbox]
     }
 
-    fn collect(&mut self, _exec: &OpExecution<'_>, _pairs: Vec<RegionPair>) {}
+    fn collect_batches(&mut self, _exec: &OpExecution<'_>, _batches: Vec<RegionBatch>) {}
 }
+
+/// Default number of region pairs per sealed capture batch.
+///
+/// Large enough to amortise per-batch work (key-value group flushes,
+/// statistics updates, spatial-index staging) across thousands of pairs,
+/// small enough to bound staging memory per operator.
+pub const DEFAULT_CAPTURE_BATCH_SIZE: usize = 4096;
 
 /// The workflow execution engine.
 pub struct Engine {
     store: VersionedStore,
     wal: WriteAheadLog,
     next_run_id: u64,
+    capture_batch_size: usize,
 }
 
 impl Default for Engine {
@@ -193,7 +206,19 @@ impl Engine {
             store: VersionedStore::new(),
             wal: WriteAheadLog::new(),
             next_run_id: 0,
+            capture_batch_size: DEFAULT_CAPTURE_BATCH_SIZE,
         }
+    }
+
+    /// Sets the number of region pairs per sealed capture batch (clamped to
+    /// at least 1; a size of 1 reproduces the legacy per-pair hand-off).
+    pub fn set_capture_batch_size(&mut self, batch_size: usize) {
+        self.capture_batch_size = batch_size.max(1);
+    }
+
+    /// The configured capture batch size.
+    pub fn capture_batch_size(&self) -> usize {
+        self.capture_batch_size
     }
 
     /// The versioned array store (intermediate and final results).
@@ -246,21 +271,22 @@ impl Engine {
                     InputSource::External(name) => *external_versions
                         .get(name)
                         .ok_or_else(|| EngineError::MissingExternalInput(name.clone()))?,
-                    InputSource::Operator(up) =>
-
+                    InputSource::Operator(up) => {
                         records
                             .get(up)
                             .ok_or(EngineError::NotExecuted { run_id, op_id: *up })?
-                            .output_version,
+                            .output_version
+                    }
                 };
                 input_versions.push(vid);
                 input_arrays.push(self.store.get_version(vid)?);
             }
             let input_shapes: Vec<Shape> = input_arrays.iter().map(|a| a.shape()).collect();
 
-            // Ask the collector which lineage modes to capture.
+            // Ask the collector which lineage modes to capture.  Emitted
+            // pairs are staged into batches while the operator runs.
             let cur_modes = collector.modes_for(workflow, op_id);
-            let mut sink = BufferSink::new();
+            let mut sink = BatchingSink::new(self.capture_batch_size);
 
             let op_start = Instant::now();
             let output = node.operator.run(&input_arrays, &cur_modes, &mut sink);
@@ -271,7 +297,7 @@ impl Engine {
             // Black-box lineage is written *before* the array data becomes
             // visible: append the WAL record first, using the version id the
             // store will assign next, then store the output.
-            let pairs_emitted = sink.pairs.len();
+            let pairs_emitted = sink.total_pairs();
             let output_name = format!("{}/op{}", workflow.name(), op_id);
             let predicted_version = self.store.next_version_id();
             let wal_entry = WalEntry {
@@ -296,7 +322,7 @@ impl Engine {
                 pairs_emitted,
             };
 
-            // Hand the captured pairs to the collector (charged to the run).
+            // Hand the sealed batches to the collector (charged to the run).
             let exec = OpExecution {
                 run_id,
                 op_id,
@@ -304,7 +330,7 @@ impl Engine {
                 meta: &meta,
                 elapsed,
             };
-            collector.collect(&exec, sink.pairs);
+            collector.collect_batches(&exec, sink.finish());
 
             records.insert(op_id, record);
         }
@@ -332,14 +358,15 @@ impl Engine {
         input_idx: usize,
     ) -> Result<ArrayRef, EngineError> {
         let record = run.record(op_id)?;
-        let vid = record
-            .input_versions
-            .get(input_idx)
-            .copied()
-            .ok_or(EngineError::NotExecuted {
-                run_id: run.run_id,
-                op_id,
-            })?;
+        let vid =
+            record
+                .input_versions
+                .get(input_idx)
+                .copied()
+                .ok_or(EngineError::NotExecuted {
+                    run_id: run.run_id,
+                    op_id,
+                })?;
         Ok(self.store.get_version(vid)?)
     }
 
@@ -453,7 +480,9 @@ mod tests {
             _cur_modes: &[LineageMode],
             _sink: &mut dyn LineageSink,
         ) -> Array {
-            inputs[0].zip_with(&inputs[1], |a, b| a + b).expect("shapes")
+            inputs[0]
+                .zip_with(&inputs[1], |a, b| a + b)
+                .expect("shapes")
         }
     }
 
@@ -503,34 +532,62 @@ mod tests {
         assert!(matches!(err, EngineError::MissingExternalInput(_)));
     }
 
+    #[derive(Default)]
+    struct FullCollector {
+        pairs_seen: usize,
+        batches_seen: usize,
+        batch_sizes: Vec<usize>,
+        ops_seen: Vec<OpId>,
+    }
+    impl LineageCollector for FullCollector {
+        fn modes_for(&self, _w: &Workflow, _op: OpId) -> Vec<LineageMode> {
+            vec![LineageMode::Full]
+        }
+        fn collect_batches(&mut self, exec: &OpExecution<'_>, batches: Vec<RegionBatch>) {
+            self.batches_seen += batches.len();
+            for b in &batches {
+                self.pairs_seen += b.len();
+                self.batch_sizes.push(b.len());
+            }
+            self.ops_seen.push(exec.op_id);
+        }
+    }
+
     #[test]
-    fn collector_receives_pairs_when_full_requested() {
-        struct FullCollector {
-            pairs_seen: usize,
-            ops_seen: Vec<OpId>,
-        }
-        impl LineageCollector for FullCollector {
-            fn modes_for(&self, _w: &Workflow, _op: OpId) -> Vec<LineageMode> {
-                vec![LineageMode::Full]
-            }
-            fn collect(&mut self, exec: &OpExecution<'_>, pairs: Vec<RegionPair>) {
-                self.pairs_seen += pairs.len();
-                self.ops_seen.push(exec.op_id);
-            }
-        }
+    fn collector_receives_batches_when_full_requested() {
         let mut engine = Engine::new();
         let wf = simple_workflow();
-        let mut collector = FullCollector {
-            pairs_seen: 0,
-            ops_seen: vec![],
-        };
+        let mut collector = FullCollector::default();
         let run = engine.execute(&wf, &externals(), &mut collector).unwrap();
         // The two Double operators emit one pair per cell (4 each); AddTwo
         // emits none even when asked because it has no lineage code.
         assert_eq!(collector.pairs_seen, 8);
+        assert_eq!(collector.batches_seen, 2, "one batch per emitting operator");
         assert_eq!(collector.ops_seen.len(), 3);
         assert_eq!(run.record(0).unwrap().pairs_emitted, 4);
         assert_eq!(run.record(2).unwrap().pairs_emitted, 0);
+    }
+
+    #[test]
+    fn capture_batch_size_controls_batch_boundaries() {
+        let mut engine = Engine::new();
+        assert_eq!(engine.capture_batch_size(), DEFAULT_CAPTURE_BATCH_SIZE);
+        engine.set_capture_batch_size(3);
+        assert_eq!(engine.capture_batch_size(), 3);
+        let wf = simple_workflow();
+        let mut collector = FullCollector::default();
+        engine.execute(&wf, &externals(), &mut collector).unwrap();
+        // Each Double operator emits 4 pairs -> batches of 3 + 1.
+        assert_eq!(collector.batch_sizes, vec![3, 1, 3, 1]);
+        assert_eq!(collector.pairs_seen, 8);
+
+        // Batch size 1 reproduces the per-pair hand-off (and 0 clamps to 1).
+        engine.set_capture_batch_size(0);
+        assert_eq!(engine.capture_batch_size(), 1);
+        let mut collector = FullCollector::default();
+        engine.execute(&wf, &externals(), &mut collector).unwrap();
+        assert_eq!(collector.batches_seen, 8);
+        assert!(collector.batch_sizes.iter().all(|&s| s == 1));
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub mod ops;
 pub mod workflow;
 
 pub use executor::{Engine, ExecutionRecord, LineageCollector, NullCollector, WorkflowRun};
-pub use lineage::{BufferSink, LineageMode, LineageSink, NullSink, RegionPair};
+pub use lineage::{
+    BatchingSink, BufferSink, LineageMode, LineageSink, NullSink, RegionBatch, RegionPair,
+};
 pub use operator::{OpMeta, Operator, OperatorExt};
 pub use workflow::{InputSource, OpId, Workflow, WorkflowBuilder, WorkflowError, WorkflowNode};

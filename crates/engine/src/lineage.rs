@@ -38,7 +38,10 @@ impl LineageMode {
     /// Whether this mode stores per-region data at workflow runtime
     /// (`Full`, `Pay` and `Comp` do; `Map` and `Blackbox` do not).
     pub fn stores_pairs(&self) -> bool {
-        matches!(self, LineageMode::Full | LineageMode::Pay | LineageMode::Comp)
+        matches!(
+            self,
+            LineageMode::Full | LineageMode::Pay | LineageMode::Comp
+        )
     }
 
     /// Short name used in reports and database names.
@@ -112,6 +115,43 @@ impl RegionPair {
     }
 }
 
+/// A batch of region pairs staged per operator execution.
+///
+/// The executor's staging sink seals emitted pairs into batches of a
+/// configurable size and hands whole batches to the lineage collector, which
+/// encodes and stores them batch-at-a-time (amortising key-value writes,
+/// spatial-index maintenance and statistics updates).  A batch is purely a
+/// contiguous, ordered slice of the operator's emission stream: splitting the
+/// stream at different batch boundaries must never change what ends up
+/// stored.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegionBatch {
+    /// The staged pairs, in emission order.
+    pub pairs: Vec<RegionPair>,
+}
+
+impl RegionBatch {
+    /// Wraps a vector of pairs as one batch.
+    pub fn new(pairs: Vec<RegionPair>) -> Self {
+        RegionBatch { pairs }
+    }
+
+    /// Number of pairs in the batch.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the batch holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Total number of coordinates across all pairs (both sides).
+    pub fn num_cells(&self) -> usize {
+        self.pairs.iter().map(RegionPair::num_cells).sum()
+    }
+}
+
 /// Receiver of `lwrite()` calls made by an operator while it runs.
 ///
 /// The SubZero runtime implements this to buffer, encode and store region
@@ -125,6 +165,21 @@ pub trait LineageSink {
 
     /// `lwrite(outcells, payload)`: record a payload region pair.
     fn lwrite_payload(&mut self, outcells: Vec<Coord>, payload: Vec<u8>);
+
+    /// Hands a pre-built run of region pairs to the sink in one call.
+    ///
+    /// Operators that materialise many pairs (bulk loaders, the synthetic
+    /// benchmark generator) should prefer this over per-pair `lwrite` calls:
+    /// sinks can stage the whole run without per-pair dispatch.  The default
+    /// simply replays the pairs one at a time.
+    fn lwrite_batch(&mut self, pairs: Vec<RegionPair>) {
+        for pair in pairs {
+            match pair {
+                RegionPair::Full { outcells, incells } => self.lwrite(outcells, incells),
+                RegionPair::Payload { outcells, payload } => self.lwrite_payload(outcells, payload),
+            }
+        }
+    }
 }
 
 /// A sink that discards all lineage (used for `Blackbox`-only execution).
@@ -134,6 +189,7 @@ pub struct NullSink;
 impl LineageSink for NullSink {
     fn lwrite(&mut self, _outcells: Vec<Coord>, _incells: Vec<Vec<Coord>>) {}
     fn lwrite_payload(&mut self, _outcells: Vec<Coord>, _payload: Vec<u8>) {}
+    fn lwrite_batch(&mut self, _pairs: Vec<RegionPair>) {}
 }
 
 /// A sink that buffers every region pair in memory.
@@ -173,6 +229,89 @@ impl LineageSink for BufferSink {
     fn lwrite_payload(&mut self, outcells: Vec<Coord>, payload: Vec<u8>) {
         self.pairs.push(RegionPair::Payload { outcells, payload });
     }
+
+    fn lwrite_batch(&mut self, mut pairs: Vec<RegionPair>) {
+        self.pairs.append(&mut pairs);
+    }
+}
+
+/// The executor's staging sink: seals emitted pairs into [`RegionBatch`]es of
+/// at most `batch_size` pairs, preserving emission order.
+///
+/// This is the ingestion analogue of operation staging in versioned stores
+/// (buffer all changes, commit in one step): the operator emits freely while
+/// it runs, and the sealed batches are handed to the collector per operator
+/// execution, where encoding and storage are amortised per batch.
+#[derive(Debug, Clone)]
+pub struct BatchingSink {
+    batch_size: usize,
+    current: Vec<RegionPair>,
+    sealed: Vec<RegionBatch>,
+    total: usize,
+}
+
+impl BatchingSink {
+    /// Creates a sink sealing batches of `batch_size` pairs (clamped to at
+    /// least 1; a size of 1 degenerates to the legacy per-pair hand-off).
+    pub fn new(batch_size: usize) -> Self {
+        BatchingSink {
+            batch_size: batch_size.max(1),
+            current: Vec::new(),
+            sealed: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Total number of pairs staged so far.
+    pub fn total_pairs(&self) -> usize {
+        self.total
+    }
+
+    fn push(&mut self, pair: RegionPair) {
+        if self.current.is_empty() {
+            self.current.reserve(self.batch_size.min(256));
+        }
+        self.current.push(pair);
+        self.total += 1;
+        if self.current.len() >= self.batch_size {
+            let pairs = std::mem::take(&mut self.current);
+            self.sealed.push(RegionBatch::new(pairs));
+        }
+    }
+
+    /// Seals the final partial batch and returns every batch in order.
+    pub fn finish(mut self) -> Vec<RegionBatch> {
+        if !self.current.is_empty() {
+            let pairs = std::mem::take(&mut self.current);
+            self.sealed.push(RegionBatch::new(pairs));
+        }
+        self.sealed
+    }
+}
+
+impl LineageSink for BatchingSink {
+    fn lwrite(&mut self, outcells: Vec<Coord>, incells: Vec<Vec<Coord>>) {
+        self.push(RegionPair::Full { outcells, incells });
+    }
+
+    fn lwrite_payload(&mut self, outcells: Vec<Coord>, payload: Vec<u8>) {
+        self.push(RegionPair::Payload { outcells, payload });
+    }
+
+    fn lwrite_batch(&mut self, pairs: Vec<RegionPair>) {
+        self.total += pairs.len();
+        // Seal the run along the configured batch boundaries without
+        // disturbing the pairs already staged: batches are just partitions of
+        // the emission stream, so boundary placement is free.
+        let mut pairs = pairs.into_iter();
+        while self.current.len() + pairs.len() >= self.batch_size {
+            let take = self.batch_size - self.current.len();
+            self.current.extend(pairs.by_ref().take(take));
+            let sealed = std::mem::take(&mut self.current);
+            self.sealed.push(RegionBatch::new(sealed));
+        }
+        self.current.extend(pairs);
+    }
 }
 
 #[cfg(test)]
@@ -194,7 +333,10 @@ mod tests {
     fn region_pair_accessors() {
         let full = RegionPair::Full {
             outcells: vec![Coord::d2(0, 0), Coord::d2(0, 1)],
-            incells: vec![vec![Coord::d2(1, 1)], vec![Coord::d2(2, 2), Coord::d2(2, 3)]],
+            incells: vec![
+                vec![Coord::d2(1, 1)],
+                vec![Coord::d2(2, 2), Coord::d2(2, 3)],
+            ],
         };
         assert_eq!(full.outcells().len(), 2);
         assert_eq!(full.num_cells(), 5);
@@ -225,6 +367,77 @@ mod tests {
         let mut sink = NullSink;
         sink.lwrite(vec![Coord::d1(0)], vec![]);
         sink.lwrite_payload(vec![Coord::d1(0)], vec![1]);
+        sink.lwrite_batch(vec![RegionPair::Payload {
+            outcells: vec![Coord::d1(0)],
+            payload: vec![],
+        }]);
         // Nothing observable; the test simply exercises the no-op paths.
+    }
+
+    fn pair(i: u32) -> RegionPair {
+        RegionPair::Full {
+            outcells: vec![Coord::d1(i)],
+            incells: vec![vec![Coord::d1(i + 1)]],
+        }
+    }
+
+    #[test]
+    fn batching_sink_seals_on_boundary() {
+        let mut sink = BatchingSink::new(3);
+        for i in 0..7 {
+            sink.lwrite(vec![Coord::d1(i)], vec![vec![Coord::d1(i + 1)]]);
+        }
+        assert_eq!(sink.total_pairs(), 7);
+        let batches = sink.finish();
+        assert_eq!(
+            batches.iter().map(RegionBatch::len).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+        // Emission order is preserved across batch boundaries.
+        let flat: Vec<RegionPair> = batches.into_iter().flat_map(|b| b.pairs).collect();
+        assert_eq!(flat, (0..7).map(pair).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batching_sink_splits_bulk_runs_on_same_boundaries() {
+        // Emitting pairs one at a time or as bulk runs must produce the same
+        // batch partition.
+        let mut per_pair = BatchingSink::new(4);
+        let mut bulk = BatchingSink::new(4);
+        per_pair.lwrite(vec![Coord::d1(100)], vec![vec![]]);
+        bulk.lwrite(vec![Coord::d1(100)], vec![vec![]]);
+        for i in 0..10 {
+            let RegionPair::Full { outcells, incells } = pair(i) else {
+                unreachable!()
+            };
+            per_pair.lwrite(outcells, incells);
+        }
+        bulk.lwrite_batch((0..10).map(pair).collect());
+        assert_eq!(per_pair.total_pairs(), bulk.total_pairs());
+        assert_eq!(per_pair.finish(), bulk.finish());
+    }
+
+    #[test]
+    fn batching_sink_batch_size_one_is_per_pair() {
+        let mut sink = BatchingSink::new(1);
+        sink.lwrite_batch((0..4).map(pair).collect());
+        let batches = sink.finish();
+        assert_eq!(batches.len(), 4);
+        assert!(batches.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn region_batch_stats() {
+        let batch = RegionBatch::new(vec![
+            pair(0),
+            RegionPair::Payload {
+                outcells: vec![Coord::d1(9)],
+                payload: vec![1, 2],
+            },
+        ]);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.num_cells(), 3);
+        assert!(RegionBatch::default().is_empty());
     }
 }

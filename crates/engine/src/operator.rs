@@ -89,13 +89,23 @@ pub trait Operator: Send + Sync {
     /// Backward mapping function `map_b(outcell, i)`: the input cells of
     /// input `i` that contribute to `outcell`.  Returns `None` if the
     /// operator is not a mapping operator (for that input).
-    fn map_backward(&self, _outcell: &Coord, _input_idx: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+    fn map_backward(
+        &self,
+        _outcell: &Coord,
+        _input_idx: usize,
+        _meta: &OpMeta,
+    ) -> Option<Vec<Coord>> {
         None
     }
 
     /// Forward mapping function `map_f(incell, i)`: the output cells that
     /// depend on `incell` of input `i`.
-    fn map_forward(&self, _incell: &Coord, _input_idx: usize, _meta: &OpMeta) -> Option<Vec<Coord>> {
+    fn map_forward(
+        &self,
+        _incell: &Coord,
+        _input_idx: usize,
+        _meta: &OpMeta,
+    ) -> Option<Vec<Coord>> {
         None
     }
 

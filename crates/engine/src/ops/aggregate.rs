@@ -196,9 +196,13 @@ impl Operator for AxisAggregate {
     fn map_backward(&self, outcell: &Coord, _i: usize, meta: &OpMeta) -> Option<Vec<Coord>> {
         let s = meta.input_shape(0);
         Some(if self.axis == 1 {
-            (0..s.cols()).map(|c| Coord::d2(outcell.get(0), c)).collect()
+            (0..s.cols())
+                .map(|c| Coord::d2(outcell.get(0), c))
+                .collect()
         } else {
-            (0..s.rows()).map(|r| Coord::d2(r, outcell.get(1))).collect()
+            (0..s.rows())
+                .map(|r| Coord::d2(r, outcell.get(1)))
+                .collect()
         })
     }
 
@@ -251,7 +255,10 @@ mod tests {
         assert!(op.all_to_all());
 
         let meta = OpMeta::new(vec![Shape::d2(2, 2)], Shape::d2(1, 1));
-        assert_eq!(op.map_backward(&Coord::d2(0, 0), 0, &meta).unwrap().len(), 4);
+        assert_eq!(
+            op.map_backward(&Coord::d2(0, 0), 0, &meta).unwrap().len(),
+            4
+        );
         assert_eq!(
             op.map_forward(&Coord::d2(1, 1), 0, &meta),
             Some(vec![Coord::d2(0, 0)])

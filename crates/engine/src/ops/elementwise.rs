@@ -354,7 +354,10 @@ mod tests {
     #[test]
     fn operator_names_are_stable() {
         assert_eq!(Elementwise1::new(UnaryKind::Scale(2.0)).name(), "scale(2)");
-        assert_eq!(Elementwise1::new(UnaryKind::Threshold(0.5)).name(), "threshold(0.5)");
+        assert_eq!(
+            Elementwise1::new(UnaryKind::Threshold(0.5)).name(),
+            "threshold(0.5)"
+        );
         assert_eq!(Elementwise2::new(BinaryKind::Mean).name(), "mean2");
     }
 }

@@ -85,9 +85,13 @@ impl Operator for MatMul {
         let out = meta.output_shape;
         Some(match input_idx {
             // A cell (r, j) of A influences the whole output row r.
-            0 => (0..out.cols()).map(|c| Coord::d2(incell.get(0), c)).collect(),
+            0 => (0..out.cols())
+                .map(|c| Coord::d2(incell.get(0), c))
+                .collect(),
             // A cell (j, c) of B influences the whole output column c.
-            1 => (0..out.rows()).map(|r| Coord::d2(r, incell.get(1))).collect(),
+            1 => (0..out.rows())
+                .map(|r| Coord::d2(r, incell.get(1)))
+                .collect(),
             _ => vec![],
         })
     }
@@ -245,6 +249,7 @@ impl Operator for MatInverse {
         vec![LineageMode::Map, LineageMode::Full, LineageMode::Blackbox]
     }
 
+    #[allow(clippy::needless_range_loop)] // indexed Gauss-Jordan reads clearer
     fn run(
         &self,
         inputs: &[ArrayRef],
@@ -464,7 +469,10 @@ mod tests {
         let op = MatInverse;
         assert!(op.all_to_all());
         let meta = OpMeta::new(vec![Shape::d2(3, 3)], Shape::d2(3, 3));
-        assert_eq!(op.map_backward(&Coord::d2(0, 0), 0, &meta).unwrap().len(), 9);
+        assert_eq!(
+            op.map_backward(&Coord::d2(0, 0), 0, &meta).unwrap().len(),
+            9
+        );
         assert_eq!(op.map_forward(&Coord::d2(2, 2), 0, &meta).unwrap().len(), 9);
         let mut sink = BufferSink::new();
         op.run(

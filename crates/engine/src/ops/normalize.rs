@@ -87,11 +87,7 @@ impl Operator for ScaleToUnit {
         sink: &mut dyn LineageSink,
     ) -> Array {
         let input = &inputs[0];
-        let max_abs = input
-            .data()
-            .iter()
-            .map(|v| v.abs())
-            .fold(0.0f64, f64::max);
+        let max_abs = input.data().iter().map(|v| v.abs()).fold(0.0f64, f64::max);
         let out = if max_abs == 0.0 {
             (**input).clone()
         } else {
@@ -150,7 +146,10 @@ mod tests {
         let op = ZScore;
         assert!(op.all_to_all());
         let meta = OpMeta::new(vec![Shape::d2(3, 2)], Shape::d2(3, 2));
-        assert_eq!(op.map_backward(&Coord::d2(0, 0), 0, &meta).unwrap().len(), 6);
+        assert_eq!(
+            op.map_backward(&Coord::d2(0, 0), 0, &meta).unwrap().len(),
+            6
+        );
         assert_eq!(op.map_forward(&Coord::d2(2, 1), 0, &meta).unwrap().len(), 6);
         let mut sink = BufferSink::new();
         op.run(

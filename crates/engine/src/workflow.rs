@@ -68,8 +68,14 @@ pub enum WorkflowError {
 impl fmt::Display for WorkflowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WorkflowError::UnknownOperator(id) => write!(f, "input references unknown operator {id}"),
-            WorkflowError::ArityMismatch { op, declared, expected } => write!(
+            WorkflowError::UnknownOperator(id) => {
+                write!(f, "input references unknown operator {id}")
+            }
+            WorkflowError::ArityMismatch {
+                op,
+                declared,
+                expected,
+            } => write!(
                 f,
                 "operator {op} declares {declared} inputs but expects {expected}"
             ),
@@ -261,11 +267,7 @@ impl WorkflowBuilder {
         while let Some(id) = ready.pop() {
             topo.push(id);
             for node in &self.nodes {
-                if node
-                    .inputs
-                    .iter()
-                    .any(|src| *src == InputSource::Operator(id))
-                {
+                if node.inputs.contains(&InputSource::Operator(id)) {
                     let d = indegree.get_mut(&node.id).expect("indegree present");
                     // An operator may consume the same upstream output at
                     // several input positions; decrement once per edge.
@@ -305,7 +307,7 @@ mod tests {
     }
 
     impl Dummy {
-        fn new(name: &str, inputs: usize) -> Arc<dyn Operator> {
+        fn arc(name: &str, inputs: usize) -> Arc<dyn Operator> {
             Arc::new(Dummy {
                 name: name.to_string(),
                 inputs,
@@ -337,10 +339,10 @@ mod tests {
         // ext -> a -> b ┐
         //          └─ c ┴-> d
         let mut b = Workflow::builder("diamond");
-        let a = b.add_source(Dummy::new("a", 1), "ext");
-        let b1 = b.add_unary(Dummy::new("b", 1), a);
-        let c = b.add_unary(Dummy::new("c", 1), a);
-        let _d = b.add_binary(Dummy::new("d", 2), b1, c);
+        let a = b.add_source(Dummy::arc("a", 1), "ext");
+        let b1 = b.add_unary(Dummy::arc("b", 1), a);
+        let c = b.add_unary(Dummy::arc("c", 1), a);
+        let _d = b.add_binary(Dummy::arc("d", 2), b1, c);
         b.build().unwrap()
     }
 
@@ -371,17 +373,24 @@ mod tests {
     #[test]
     fn arity_mismatch_detected() {
         let mut b = Workflow::builder("bad");
-        b.add(Dummy::new("two-input", 2), vec![InputSource::External("x".into())]);
+        b.add(
+            Dummy::arc("two-input", 2),
+            vec![InputSource::External("x".into())],
+        );
         assert!(matches!(
             b.build(),
-            Err(WorkflowError::ArityMismatch { expected: 2, declared: 1, .. })
+            Err(WorkflowError::ArityMismatch {
+                expected: 2,
+                declared: 1,
+                ..
+            })
         ));
     }
 
     #[test]
     fn unknown_operator_detected() {
         let mut b = Workflow::builder("bad");
-        b.add(Dummy::new("a", 1), vec![InputSource::Operator(7)]);
+        b.add(Dummy::arc("a", 1), vec![InputSource::Operator(7)]);
         assert_eq!(b.build().err(), Some(WorkflowError::UnknownOperator(7)));
     }
 
@@ -389,8 +398,8 @@ mod tests {
     fn cycle_detected() {
         let mut b = Workflow::builder("cyclic");
         // Two operators feeding each other.
-        let _x = b.add(Dummy::new("x", 1), vec![InputSource::Operator(1)]);
-        let _y = b.add(Dummy::new("y", 1), vec![InputSource::Operator(0)]);
+        let _x = b.add(Dummy::arc("x", 1), vec![InputSource::Operator(1)]);
+        let _y = b.add(Dummy::arc("y", 1), vec![InputSource::Operator(0)]);
         assert_eq!(b.build().err(), Some(WorkflowError::Cycle));
     }
 
@@ -404,8 +413,8 @@ mod tests {
     #[test]
     fn same_upstream_used_twice_is_allowed() {
         let mut b = Workflow::builder("double-edge");
-        let a = b.add_source(Dummy::new("a", 1), "ext");
-        let _sq = b.add_binary(Dummy::new("self-product", 2), a, a);
+        let a = b.add_source(Dummy::arc("a", 1), "ext");
+        let _sq = b.add_binary(Dummy::arc("self-product", 2), a, a);
         let w = b.build().unwrap();
         assert_eq!(w.consumers(a), vec![(1, 0), (1, 1)]);
     }

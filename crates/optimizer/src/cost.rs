@@ -208,11 +208,21 @@ mod tests {
     fn blackbox_is_free_to_store_but_expensive_to_query() {
         let m = CostModel::default();
         let s = stats(10_000, 1, 9, 0);
-        let c = m.estimate(&s, Duration::from_millis(50), 100.0, StorageStrategy::blackbox());
+        let c = m.estimate(
+            &s,
+            Duration::from_millis(50),
+            100.0,
+            StorageStrategy::blackbox(),
+        );
         assert_eq!(c.disk_bytes, 0.0);
         assert_eq!(c.runtime_secs, 0.0);
         assert!(c.backward_query_secs > 0.05);
-        let full = m.estimate(&s, Duration::from_millis(50), 100.0, StorageStrategy::full_one());
+        let full = m.estimate(
+            &s,
+            Duration::from_millis(50),
+            100.0,
+            StorageStrategy::full_one(),
+        );
         assert!(full.backward_query_secs < c.backward_query_secs);
     }
 
@@ -220,7 +230,12 @@ mod tests {
     fn mapping_is_cheapest_overall() {
         let m = CostModel::default();
         let s = stats(10_000, 1, 9, 0);
-        let map = m.estimate(&s, Duration::from_millis(50), 100.0, StorageStrategy::mapping());
+        let map = m.estimate(
+            &s,
+            Duration::from_millis(50),
+            100.0,
+            StorageStrategy::mapping(),
+        );
         for other in [
             StorageStrategy::blackbox(),
             StorageStrategy::full_one(),
@@ -238,8 +253,18 @@ mod tests {
         let m = CostModel::default();
         // Fanin 49 (the cosmic-ray detector) with a 4-byte payload.
         let s = stats(5_000, 1, 49, 4);
-        let pay = m.estimate(&s, Duration::from_millis(20), 50.0, StorageStrategy::pay_one());
-        let full = m.estimate(&s, Duration::from_millis(20), 50.0, StorageStrategy::full_one());
+        let pay = m.estimate(
+            &s,
+            Duration::from_millis(20),
+            50.0,
+            StorageStrategy::pay_one(),
+        );
+        let full = m.estimate(
+            &s,
+            Duration::from_millis(20),
+            50.0,
+            StorageStrategy::full_one(),
+        );
         assert!(pay.disk_bytes < full.disk_bytes);
         assert!(pay.runtime_secs < full.runtime_secs);
     }
@@ -249,14 +274,34 @@ mod tests {
         let m = CostModel::default();
         // Low fanout: FullOne avoids the spatial index and is smaller.
         let low = stats(10_000, 1, 5, 0);
-        let one = m.estimate(&low, Duration::from_millis(10), 100.0, StorageStrategy::full_one());
-        let many = m.estimate(&low, Duration::from_millis(10), 100.0, StorageStrategy::full_many());
+        let one = m.estimate(
+            &low,
+            Duration::from_millis(10),
+            100.0,
+            StorageStrategy::full_one(),
+        );
+        let many = m.estimate(
+            &low,
+            Duration::from_millis(10),
+            100.0,
+            StorageStrategy::full_many(),
+        );
         assert!(one.disk_bytes < many.disk_bytes);
         // High fanout: duplicating a hash entry per output cell dominates and
         // FullMany wins.
         let high = stats(1_000, 100, 5, 0);
-        let one = m.estimate(&high, Duration::from_millis(10), 100.0, StorageStrategy::full_one());
-        let many = m.estimate(&high, Duration::from_millis(10), 100.0, StorageStrategy::full_many());
+        let one = m.estimate(
+            &high,
+            Duration::from_millis(10),
+            100.0,
+            StorageStrategy::full_one(),
+        );
+        let many = m.estimate(
+            &high,
+            Duration::from_millis(10),
+            100.0,
+            StorageStrategy::full_many(),
+        );
         assert!(many.disk_bytes < one.disk_bytes);
     }
 
@@ -264,7 +309,12 @@ mod tests {
     fn direction_determines_which_queries_are_served() {
         let m = CostModel::default();
         let s = stats(100_000, 1, 3, 0);
-        let bwd = m.estimate(&s, Duration::from_millis(10), 10.0, StorageStrategy::full_one());
+        let bwd = m.estimate(
+            &s,
+            Duration::from_millis(10),
+            10.0,
+            StorageStrategy::full_one(),
+        );
         let fwd = m.estimate(
             &s,
             Duration::from_millis(10),

@@ -161,7 +161,12 @@ impl IlpProblem {
                         continue;
                     }
                     self.current.push(j);
-                    self.dfs(group + 1, cost + self.problem.choice_cost(c), new_disk, new_runtime);
+                    self.dfs(
+                        group + 1,
+                        cost + self.problem.choice_cost(c),
+                        new_disk,
+                        new_runtime,
+                    );
                     self.current.pop();
                 }
             }
@@ -199,7 +204,9 @@ impl IlpProblem {
                         g.iter()
                             .enumerate()
                             .min_by(|(_, a), (_, b)| {
-                                a.disk.partial_cmp(&b.disk).unwrap_or(std::cmp::Ordering::Equal)
+                                a.disk
+                                    .partial_cmp(&b.disk)
+                                    .unwrap_or(std::cmp::Ordering::Equal)
                             })
                             .map(|(i, _)| i)
                             .unwrap_or(0)
@@ -235,7 +242,11 @@ impl IlpProblem {
                     .enumerate()
                     .map(|(i, &j)| self.choice_cost(&self.groups[i][j]))
                     .sum::<f64>();
-                if best.as_ref().map(|b| objective < b.objective).unwrap_or(true) {
+                if best
+                    .as_ref()
+                    .map(|b| objective < b.objective)
+                    .unwrap_or(true)
+                {
                     best = Some(IlpSolution {
                         selection: selection.clone(),
                         objective,
@@ -299,8 +310,14 @@ mod tests {
     fn picks_cheapest_query_within_budget() {
         let p = problem(
             vec![
-                vec![choice("blackbox", 10.0, 0.0, 0.0), choice("full", 1.0, 100.0, 0.0)],
-                vec![choice("blackbox", 5.0, 0.0, 0.0), choice("full", 0.5, 100.0, 0.0)],
+                vec![
+                    choice("blackbox", 10.0, 0.0, 0.0),
+                    choice("full", 1.0, 100.0, 0.0),
+                ],
+                vec![
+                    choice("blackbox", 5.0, 0.0, 0.0),
+                    choice("full", 0.5, 100.0, 0.0),
+                ],
             ],
             150.0,
         );
@@ -316,7 +333,10 @@ mod tests {
     fn unconstrained_budget_takes_all_improvements() {
         let p = problem(
             vec![
-                vec![choice("bb", 10.0, 0.0, 0.0), choice("full", 1.0, 100.0, 0.0)],
+                vec![
+                    choice("bb", 10.0, 0.0, 0.0),
+                    choice("full", 1.0, 100.0, 0.0),
+                ],
                 vec![choice("bb", 5.0, 0.0, 0.0), choice("full", 0.5, 100.0, 0.0)],
             ],
             1e12,
@@ -361,7 +381,10 @@ mod tests {
     #[test]
     fn infeasible_falls_back_to_minimum_disk() {
         let p = problem(
-            vec![vec![choice("huge", 1.0, 500.0, 0.0), choice("big", 2.0, 200.0, 0.0)]],
+            vec![vec![
+                choice("huge", 1.0, 500.0, 0.0),
+                choice("big", 2.0, 200.0, 0.0),
+            ]],
             50.0,
         );
         let s = p.solve();
@@ -389,7 +412,9 @@ mod tests {
         // A pseudo-random but deterministic family of problems.
         let mut seed = 0x9E37u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) % 1000) as f64
         };
         for trial in 0..25 {

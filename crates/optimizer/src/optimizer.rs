@@ -181,10 +181,13 @@ impl Optimizer {
             let op_id = node.id;
             let op = node.operator.as_ref();
             let op_workload = workload.for_op(op_id);
-            let op_stats = stats.get(&op_id).cloned().unwrap_or_else(|| OperatorLineageStats {
-                op_name: op.name().to_string(),
-                ..Default::default()
-            });
+            let op_stats = stats
+                .get(&op_id)
+                .cloned()
+                .unwrap_or_else(|| OperatorLineageStats {
+                    op_name: op.name().to_string(),
+                    ..Default::default()
+                });
             let exec_time = op_stats.exec_time;
 
             // Mapping operators always use mapping lineage (free, answers
@@ -196,7 +199,11 @@ impl Optimizer {
             // Candidate strategy subsets.
             let candidate_sets: Vec<Vec<StorageStrategy>> = match self.user_fixed.get(&op_id) {
                 Some(fixed) => vec![fixed.clone()],
-                None => self.candidate_sets(op, op_workload.backward_fraction, op_workload.access_probability),
+                None => self.candidate_sets(
+                    op,
+                    op_workload.backward_fraction,
+                    op_workload.access_probability,
+                ),
             };
 
             let mut choices = Vec::with_capacity(candidate_sets.len());
@@ -374,12 +381,7 @@ mod tests {
         fn supported_modes(&self) -> Vec<LineageMode> {
             vec![LineageMode::Full, LineageMode::Pay, LineageMode::Blackbox]
         }
-        fn run(
-            &self,
-            inputs: &[ArrayRef],
-            _m: &[LineageMode],
-            _s: &mut dyn LineageSink,
-        ) -> Array {
+        fn run(&self, inputs: &[ArrayRef], _m: &[LineageMode], _s: &mut dyn LineageSink) -> Array {
             (*inputs[0]).clone()
         }
         fn map_payload(

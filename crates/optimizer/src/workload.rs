@@ -67,7 +67,11 @@ impl QueryWorkload {
             out.per_op.insert(
                 op,
                 OpWorkload {
-                    access_probability: if total_weight > 0.0 { weight / total_weight } else { 0.0 },
+                    access_probability: if total_weight > 0.0 {
+                        weight / total_weight
+                    } else {
+                        0.0
+                    },
                     backward_fraction: if weight > 0.0 { bw / weight } else { 0.0 },
                     avg_query_cells: if hits > 0.0 { cells / hits } else { 0.0 },
                 },

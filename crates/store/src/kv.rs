@@ -51,6 +51,19 @@ pub trait KvBackend: Send {
 
     /// Flushes buffered writes to their destination (no-op for memory).
     fn flush(&mut self) -> io::Result<()>;
+
+    /// Inserts or replaces many pairs with one group flush at the end.
+    ///
+    /// Backends take ownership of the keys and values, so batched writers
+    /// avoid the per-record copies of repeated [`put`](KvBackend::put) calls;
+    /// the file backend additionally serialises the whole batch into a single
+    /// log write.  Later entries win when a key repeats within the batch.
+    fn put_batch(&mut self, items: Vec<(Vec<u8>, Vec<u8>)>) {
+        for (key, value) in &items {
+            self.put(key, value);
+        }
+        self.flush().expect("group flush");
+    }
 }
 
 /// Purely in-memory backend.
@@ -100,6 +113,21 @@ impl KvBackend for MemBackend {
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
     }
+
+    fn put_batch(&mut self, items: Vec<(Vec<u8>, Vec<u8>)>) {
+        self.map.reserve(items.len());
+        for (key, value) in items {
+            // Move the owned buffers straight into the table — the batch
+            // path's win over repeated `put` calls is skipping these copies.
+            let key_len = key.len();
+            self.bytes += value.len();
+            if let Some(old) = self.map.insert(key, value) {
+                self.bytes -= old.len();
+            } else {
+                self.bytes += key_len;
+            }
+        }
+    }
 }
 
 /// Append-only-file backend with an in-memory hash index.
@@ -112,6 +140,9 @@ impl KvBackend for MemBackend {
 pub struct FileBackend {
     path: PathBuf,
     writer: BufWriter<File>,
+    /// Dedicated read handle (the writer's position must stay untouched).
+    /// Opened once; re-opening the file per lookup costs more than the read.
+    reader: std::sync::Mutex<File>,
     /// key -> (offset of the value bytes, value length)
     index: HashMap<Vec<u8>, (u64, u32)>,
     /// Values written since the last flush; served from memory because the
@@ -165,14 +196,24 @@ impl FileBackend {
         let write_offset = pos as u64;
         let file = OpenOptions::new()
             .create(true)
+            .truncate(false)
             .write(true)
             .read(true)
             .open(path)?;
+        if (existing.len() as u64) > write_offset {
+            // Drop a torn trailing record now.  Leaving it in place would let
+            // a later, shorter append leave garbage bytes behind it, which
+            // the next index rebuild could mis-parse as a live record —
+            // corrupting both lookups and the live-bytes accounting.
+            file.set_len(write_offset)?;
+        }
         let mut writer = BufWriter::new(file);
         writer.seek(SeekFrom::Start(write_offset))?;
+        let reader = std::sync::Mutex::new(File::open(path)?);
         Ok(FileBackend {
             path: path.to_path_buf(),
             writer,
+            reader,
             index,
             pending: HashMap::new(),
             live_bytes,
@@ -217,10 +258,9 @@ impl KvBackend for FileBackend {
             return Some(v.clone());
         }
         let &(off, len) = self.index.get(key)?;
-        // Reads go through a separate handle so the buffered writer position
-        // is untouched; the OS page cache makes the re-open cheap and the
-        // read path is not the capture hot path.
-        let mut f = File::open(&self.path).ok()?;
+        // Reads go through the dedicated handle so the buffered writer
+        // position is untouched.
+        let mut f = self.reader.lock().expect("reader handle poisoned");
         f.seek(SeekFrom::Start(off)).ok()?;
         let mut buf = vec![0u8; len as usize];
         f.read_exact(&mut buf).ok()?;
@@ -252,6 +292,40 @@ impl KvBackend for FileBackend {
         self.pending.clear();
         Ok(())
     }
+
+    fn put_batch(&mut self, items: Vec<(Vec<u8>, Vec<u8>)>) {
+        // Serialise the whole batch into one buffer and append it with a
+        // single group flush.  Because the records provably reach the file
+        // before this call returns, none of them need to be double-buffered
+        // in the `pending` map — the biggest per-record cost of the
+        // one-at-a-time path.
+        if !self.pending.is_empty() {
+            // Earlier one-at-a-time puts may still be buffered; flush them so
+            // a stale `pending` entry can never shadow a batch record.
+            self.flush().expect("lineage log flush");
+        }
+        let payload: usize = items.iter().map(|(k, v)| k.len() + v.len() + 20).sum();
+        let mut buf = Vec::with_capacity(payload);
+        for (key, value) in &items {
+            write_varint(&mut buf, key.len() as u64);
+            write_varint(&mut buf, value.len() as u64);
+            let value_off = self.write_offset + (buf.len() + key.len()) as u64;
+            buf.extend_from_slice(key);
+            buf.extend_from_slice(value);
+            if let Some((_, old_len)) = self
+                .index
+                .insert(key.clone(), (value_off, value.len() as u32))
+            {
+                self.live_bytes -= old_len as usize;
+            } else {
+                self.live_bytes += key.len();
+            }
+            self.live_bytes += value.len();
+        }
+        self.write_offset += buf.len() as u64;
+        self.writer.write_all(&buf).expect("lineage log write");
+        self.writer.flush().expect("lineage log group flush");
+    }
 }
 
 /// A single named key-value database (≈ one BerkeleyDB hashtable instance).
@@ -282,6 +356,13 @@ impl Database {
     pub fn put(&mut self, key: &[u8], value: &[u8]) {
         self.puts += 1;
         self.backend.put(key, value);
+    }
+
+    /// Inserts or replaces many pairs with one group flush at the end (see
+    /// [`KvBackend::put_batch`]).
+    pub fn put_batch(&mut self, items: Vec<(Vec<u8>, Vec<u8>)>) {
+        self.puts += items.len() as u64;
+        self.backend.put_batch(items);
     }
 
     /// Fetches a value.
@@ -403,7 +484,9 @@ impl StoreManager {
             self.databases
                 .insert(name.to_string(), Database::new(name, backend));
         }
-        self.databases.get_mut(name).expect("database just inserted")
+        self.databases
+            .get_mut(name)
+            .expect("database just inserted")
     }
 
     /// Returns the database named `name` if it already exists.
@@ -476,7 +559,13 @@ impl std::fmt::Debug for StoreManager {
 
 fn sanitize_filename(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -562,6 +651,88 @@ mod tests {
         let b = FileBackend::open(&path).unwrap();
         assert_eq!(b.len(), 1);
         assert_eq!(b.get(b"good").as_deref(), Some(&b"value"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_truncates_torn_tail_on_open() {
+        let dir = std::env::temp_dir().join(format!("subzero-kv-torn-{}", std::process::id()));
+        let path = dir.join("torn.kv");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut b = FileBackend::open(&path).unwrap();
+            b.put(b"good", b"value");
+            b.flush().unwrap();
+        }
+        // A crash mid-append leaves a long torn record: a header promising
+        // more bytes than the file holds.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[4, 40, b'x', b'x']).unwrap();
+        }
+        // Reopen (which must drop the torn tail) and append a record that is
+        // *shorter* than the garbage was.
+        {
+            let mut b = FileBackend::open(&path).unwrap();
+            assert_eq!(b.len(), 1);
+            b.put(b"k", b"v");
+            b.flush().unwrap();
+        }
+        // Without truncation the garbage bytes after the short record would
+        // be rescanned as a bogus extra record here.
+        let b = FileBackend::open(&path).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(b"good").as_deref(), Some(&b"value"[..]));
+        assert_eq!(b.get(b"k").as_deref(), Some(&b"v"[..]));
+        let expected_bytes = 4 + 5 + 1 + 1;
+        assert_eq!(b.bytes_used(), expected_bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn put_batch_contract(mut b: Box<dyn KvBackend>) {
+        b.put(b"seed", b"old");
+        b.put_batch(vec![
+            (b"k1".to_vec(), b"v1".to_vec()),
+            (b"seed".to_vec(), b"new".to_vec()),
+            (b"dup".to_vec(), b"first".to_vec()),
+            (b"dup".to_vec(), b"second".to_vec()),
+        ]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(b"k1").as_deref(), Some(&b"v1"[..]));
+        assert_eq!(
+            b.get(b"seed").as_deref(),
+            Some(&b"new"[..]),
+            "batch supersedes put"
+        );
+        assert_eq!(
+            b.get(b"dup").as_deref(),
+            Some(&b"second"[..]),
+            "last in batch wins"
+        );
+        // Logical bytes count live records only, exactly as repeated put().
+        let mut reference = MemBackend::new();
+        for (k, v) in b.iter() {
+            reference.put(&k, &v);
+        }
+        assert_eq!(b.bytes_used(), reference.bytes_used());
+        b.flush().unwrap();
+    }
+
+    #[test]
+    fn mem_backend_put_batch_contract() {
+        put_batch_contract(Box::new(MemBackend::new()));
+    }
+
+    #[test]
+    fn file_backend_put_batch_contract() {
+        let dir = std::env::temp_dir().join(format!("subzero-kv-batch-{}", std::process::id()));
+        let path = dir.join("batch.kv");
+        let _ = std::fs::remove_file(&path);
+        put_batch_contract(Box::new(FileBackend::open(&path).unwrap()));
+        // Batched records survive reopen like any other log record.
+        let b = FileBackend::open(&path).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(b"dup").as_deref(), Some(&b"second"[..]));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -13,7 +13,8 @@
 
 use subzero_array::{BoundingBox, Coord};
 
-/// Maximum number of entries per node before a split.
+/// Maximum number of entries per node before a split (the tree's branching
+/// factor; re-exported as [`RTree::BRANCHING`] for size estimation).
 const MAX_ENTRIES: usize = 8;
 /// Minimum number of entries assigned to each side of a split.
 const MIN_ENTRIES: usize = 3;
@@ -54,12 +55,87 @@ impl Default for RTree {
 }
 
 impl RTree {
+    /// The tree's branching factor.  A packed tree over `n` entries holds
+    /// roughly `n * BRANCHING / (BRANCHING - 1)` node entries in total
+    /// (leaves plus inner levels), which callers use to estimate the size of
+    /// an index before it is built.
+    pub const BRANCHING: usize = MAX_ENTRIES;
+
     /// Creates an empty tree.
     pub fn new() -> Self {
         RTree {
             root: Node::Leaf(Vec::new()),
             len: 0,
         }
+    }
+
+    /// Builds a tree from a full entry set using Sort-Tile-Recursive (STR)
+    /// packing.
+    ///
+    /// Bulk loading replaces the per-entry insert-and-split work of
+    /// [`insert`](RTree::insert) — the dominant cost of incremental index
+    /// maintenance during lineage capture — with one sort-and-pack pass:
+    /// entries are sorted into spatial tiles (first dimension, then second
+    /// within each tile slab) and packed into full leaves, and each upper
+    /// level packs the level below the same way.  The batched ingestion
+    /// pipeline stages `(bbox, id)` entries during capture and builds the
+    /// index here before the first lookup.
+    pub fn bulk_load(entries: Vec<(BoundingBox, u64)>) -> Self {
+        let len = entries.len();
+        if len == 0 {
+            return RTree::new();
+        }
+        // Decorate each entry with its centre along the first two dimensions
+        // once — sort keys must not be recomputed per comparison, that alone
+        // would cost more than the incremental inserts this pass replaces.
+        let mut decorated: Vec<(u64, u64, (BoundingBox, u64))> = entries
+            .into_iter()
+            .map(|(b, id)| {
+                let (lo, hi) = (b.lo(), b.hi());
+                let center = |d: usize| {
+                    if d < lo.ndim() {
+                        lo.get(d) as u64 + hi.get(d) as u64
+                    } else {
+                        0
+                    }
+                };
+                (center(0), center(1), (b, id))
+            })
+            .collect();
+        // STR tiling: sort by the first dimension, slice into vertical slabs
+        // of whole leaves, sort each slab by the second dimension.  Ties
+        // break on the entry id so loads are deterministic.
+        let n_leaves = len.div_ceil(MAX_ENTRIES);
+        let slab_leaves = (n_leaves as f64).sqrt().ceil() as usize;
+        let slab_len = slab_leaves * MAX_ENTRIES;
+        decorated.sort_unstable_by_key(|&(c0, _, (_, id))| (c0, id));
+        for slab in decorated.chunks_mut(slab_len.max(1)) {
+            slab.sort_unstable_by_key(|&(_, c1, (_, id))| (c1, id));
+        }
+        // Pack full leaves, then pack each upper level from the one below.
+        let mut level: Vec<(BoundingBox, Node)> = decorated
+            .chunks(MAX_ENTRIES)
+            .map(|chunk| {
+                let bbox =
+                    merge_boxes(chunk.iter().map(|(_, _, (b, _))| *b)).expect("non-empty leaf");
+                (bbox, Node::Leaf(chunk.iter().map(|&(_, _, e)| e).collect()))
+            })
+            .collect();
+        while level.len() > 1 {
+            level = level
+                .chunks_mut(MAX_ENTRIES)
+                .map(|chunk| {
+                    let bbox = merge_boxes(chunk.iter().map(|(b, _)| *b)).expect("non-empty node");
+                    let children = chunk
+                        .iter_mut()
+                        .map(|(b, n)| (*b, Box::new(std::mem::replace(n, Node::Leaf(Vec::new())))))
+                        .collect();
+                    (bbox, Node::Inner(children))
+                })
+                .collect();
+        }
+        let (_, root) = level.pop().expect("non-empty level");
+        RTree { root, len }
     }
 
     /// Number of indexed entries.
@@ -77,7 +153,10 @@ impl RTree {
         self.len += 1;
         if let Some((left_box, left, right_box, right)) = insert_rec(&mut self.root, bbox, id) {
             // Root split: grow the tree by one level.
-            self.root = Node::Inner(vec![(left_box, Box::new(left)), (right_box, Box::new(right))]);
+            self.root = Node::Inner(vec![
+                (left_box, Box::new(left)),
+                (right_box, Box::new(right)),
+            ]);
         }
     }
 
@@ -114,7 +193,11 @@ impl RTree {
             match n {
                 Node::Leaf(_) => 1,
                 Node::Inner(children) => {
-                    1 + children.iter().map(|(_, c)| depth_rec(c)).max().unwrap_or(0)
+                    1 + children
+                        .iter()
+                        .map(|(_, c)| depth_rec(c))
+                        .max()
+                        .unwrap_or(0)
                 }
             }
         }
@@ -181,10 +264,8 @@ fn insert_rec(
                         return None;
                     }
                     let (a, b) = quadratic_split(std::mem::take(children));
-                    let a_box =
-                        merge_boxes(a.iter().map(|(b, _)| *b)).expect("non-empty split");
-                    let b_box =
-                        merge_boxes(b.iter().map(|(b, _)| *b)).expect("non-empty split");
+                    let a_box = merge_boxes(a.iter().map(|(b, _)| *b)).expect("non-empty split");
+                    let b_box = merge_boxes(b.iter().map(|(b, _)| *b)).expect("non-empty split");
                     Some((a_box, Node::Inner(a), b_box, Node::Inner(b)))
                 }
             }
@@ -192,10 +273,13 @@ fn insert_rec(
     }
 }
 
+/// The two groups a node's entries are split into.
+type SplitGroups<T> = (Vec<(BoundingBox, T)>, Vec<(BoundingBox, T)>);
+
 /// Guttman's quadratic split: pick the two entries that would waste the most
 /// area if grouped together as seeds, then greedily assign the rest to the
 /// group whose box grows least.
-fn quadratic_split<T>(entries: Vec<(BoundingBox, T)>) -> (Vec<(BoundingBox, T)>, Vec<(BoundingBox, T)>) {
+fn quadratic_split<T>(entries: Vec<(BoundingBox, T)>) -> SplitGroups<T> {
     debug_assert!(entries.len() > MAX_ENTRIES);
     // Pick seeds.
     let mut seed_a = 0usize;
@@ -338,10 +422,70 @@ mod tests {
     }
 
     #[test]
+    fn bulk_load_matches_incremental_queries() {
+        let mut entries = Vec::new();
+        let mut incremental = RTree::new();
+        for i in 0u32..500 {
+            let r = (i * 37) % 700;
+            let c = (i * 91) % 700;
+            let b = BoundingBox::new(&Coord::d2(r, c), &Coord::d2(r + i % 5, c + i % 7));
+            entries.push((b, i as u64));
+            incremental.insert(b, i as u64);
+        }
+        let bulk = RTree::bulk_load(entries.clone());
+        assert_eq!(bulk.len(), 500);
+        assert!(bulk.depth() > 1);
+        for q in [
+            BoundingBox::new(&Coord::d2(0, 0), &Coord::d2(80, 80)),
+            BoundingBox::new(&Coord::d2(200, 100), &Coord::d2(450, 300)),
+            BoundingBox::point(&Coord::d2(350, 350)),
+            BoundingBox::new(&Coord::d2(0, 0), &Coord::d2(699, 699)),
+        ] {
+            let mut got = bulk.query(&q);
+            got.sort_unstable();
+            let mut expected = incremental.query(&q);
+            expected.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn bulk_load_edge_sizes() {
+        assert!(RTree::bulk_load(Vec::new()).is_empty());
+        let one = RTree::bulk_load(vec![(BoundingBox::point(&Coord::d2(1, 1)), 7)]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.query_point(&Coord::d2(1, 1)), vec![7]);
+        // Exactly one full leaf, and one-past-a-leaf.
+        for n in [MAX_ENTRIES as u32, MAX_ENTRIES as u32 + 1] {
+            let t = RTree::bulk_load(
+                (0..n)
+                    .map(|i| (BoundingBox::point(&Coord::d2(i, i)), i as u64))
+                    .collect(),
+            );
+            assert_eq!(t.len(), n as usize);
+            for i in 0..n {
+                assert_eq!(t.query_point(&Coord::d2(i, i)), vec![i as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_load_duplicates_and_1d() {
+        let b = BoundingBox::point(&Coord::d1(5));
+        let t = RTree::bulk_load((0..20).map(|id| (b, id)).collect());
+        let mut hits = t.query_point(&Coord::d1(5));
+        hits.sort_unstable();
+        assert_eq!(hits, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
     fn one_dimensional_boxes() {
         let mut t = RTree::new();
         for i in 0..50u32 {
-            t.insert(BoundingBox::new(&Coord::d1(i * 2), &Coord::d1(i * 2 + 1)), i as u64);
+            t.insert(
+                BoundingBox::new(&Coord::d1(i * 2), &Coord::d1(i * 2 + 1)),
+                i as u64,
+            );
         }
         assert_eq!(t.query_point(&Coord::d1(21)), vec![10]);
         let hits = t.query(&BoundingBox::new(&Coord::d1(0), &Coord::d1(9)));

@@ -145,7 +145,11 @@ mod tests {
             wal.append(entry(1, i, 100 + i as u64));
         }
         // 26 operators (the astronomy workflow) should cost well under a KB.
-        assert!(wal.size_bytes() < 1500, "wal too large: {}", wal.size_bytes());
+        assert!(
+            wal.size_bytes() < 1500,
+            "wal too large: {}",
+            wal.size_bytes()
+        );
     }
 
     #[test]

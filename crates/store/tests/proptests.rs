@@ -3,8 +3,16 @@
 use proptest::prelude::*;
 use subzero_array::{BoundingBox, Coord, Shape};
 use subzero_store::codec::{decode_cells, encode_cells, read_varint, write_varint};
-use subzero_store::kv::{KvBackend, MemBackend};
+use subzero_store::kv::{FileBackend, KvBackend, MemBackend};
 use subzero_store::RTree;
+
+/// A scratch path for one property test's file backend, cleaned up by the
+/// caller.
+fn scratch_file(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("subzero-store-proptests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(format!("{tag}.kv"))
+}
 
 proptest! {
     #[test]
@@ -68,6 +76,49 @@ proptest! {
         }
         let expected_bytes: usize = reference.iter().map(|(k, v)| k.len() + v.len()).sum();
         prop_assert_eq!(backend.bytes_used(), expected_bytes);
+    }
+
+    #[test]
+    fn file_backend_bytes_used_excludes_superseded_records(
+        // Keys drawn from a tiny space so random op sequences re-put keys
+        // constantly; values vary in length so stale accounting would show.
+        ops in prop::collection::vec((0u8..6, prop::collection::vec(any::<u8>(), 0..24)), 1..60),
+        flush_every in 1usize..8,
+        batch_from in 0usize..60,
+    ) {
+        let path = scratch_file("bytes-used");
+        let _ = std::fs::remove_file(&path);
+        let mut file = FileBackend::open(&path).unwrap();
+        let mut reference = MemBackend::new();
+        for (i, (k, v)) in ops.iter().enumerate() {
+            let key = [b'k', *k];
+            if i >= batch_from {
+                // Exercise the batched write path against the same oracle.
+                file.put_batch(vec![(key.to_vec(), v.clone())]);
+            } else {
+                file.put(&key, v);
+            }
+            reference.put(&key, v);
+            if i % flush_every == 0 {
+                file.flush().unwrap();
+            }
+            // Dead (superseded) records must not be counted, regardless of
+            // how writes interleave with flushes.
+            prop_assert_eq!(file.bytes_used(), reference.bytes_used());
+            prop_assert_eq!(file.get(&key), reference.get(&key));
+        }
+        prop_assert_eq!(file.len(), reference.len());
+        // Accounting must also survive an index rebuild from the log, which
+        // scans every record including the superseded ones.
+        file.flush().unwrap();
+        drop(file);
+        let reopened = FileBackend::open(&path).unwrap();
+        prop_assert_eq!(reopened.bytes_used(), reference.bytes_used());
+        prop_assert_eq!(reopened.len(), reference.len());
+        for (k, v) in reference.iter() {
+            prop_assert_eq!(reopened.get(&k), Some(v));
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
