@@ -27,15 +27,21 @@ const BATCH_SIZES: [usize; 2] = [64, 4096];
 struct Config {
     micro: MicroConfig,
     target: Duration,
+    smoke: bool,
 }
 
 fn workload() -> Config {
     // The paper's default micro-overhead point: fanin 10, fanout 1, 10%
-    // coverage (§VIII-C); `--paper-scale` uses the full 1000x1000 array.
+    // coverage (§VIII-C); `--paper-scale` uses the full 1000x1000 array,
+    // `--smoke` a seconds-long CI validity check that leaves
+    // BENCH_ingest.json untouched.
     let paper_scale = std::env::args().any(|a| a == "--paper-scale");
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let micro = MicroConfig {
         shape: if paper_scale {
             Shape::d2(1000, 1000)
+        } else if smoke {
+            Shape::d2(64, 64)
         } else {
             Shape::d2(400, 400)
         },
@@ -46,7 +52,12 @@ fn workload() -> Config {
     };
     Config {
         micro,
-        target: Duration::from_secs(if paper_scale { 4 } else { 2 }),
+        target: if smoke {
+            Duration::from_millis(50)
+        } else {
+            Duration::from_secs(if paper_scale { 4 } else { 2 })
+        },
+        smoke,
     }
 }
 
@@ -237,10 +248,18 @@ fn main() {
     println!("\nindexed-chain (R-tree) batched speedup, min over configs: {indexed_chain:.2}x");
     println!("worst batched-vs-per-pair speedup across all configs: {worst_batched:.2}x");
 
+    if cfg.smoke {
+        println!("smoke run: skipping BENCH_ingest.json");
+        return;
+    }
     // Hand-rolled JSON (no serde in the offline environment).
     let mut json = String::from("{\n");
+    // `backend_hasher` records that the kv tables are keyed through the
+    // FxHash-style hasher (`subzero_store::hash`); the One-granularity
+    // per-pair baselines are hash-table bound, so these numbers are not
+    // comparable to runs recorded under the default SipHash.
     json.push_str(&format!(
-        "  \"workload\": {{\"shape\": \"{}\", \"fanin\": {}, \"fanout\": {}, \"coverage\": {}, \"pairs\": {}, \"workers\": {}}},\n",
+        "  \"workload\": {{\"shape\": \"{}\", \"fanin\": {}, \"fanout\": {}, \"coverage\": {}, \"pairs\": {}, \"workers\": {}, \"backend_hasher\": \"fx\"}},\n",
         cfg.micro.shape, cfg.micro.fanin, cfg.micro.fanout, cfg.micro.coverage, n_pairs, default_workers()
     ));
     json.push_str(&format!(

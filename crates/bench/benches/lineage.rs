@@ -95,10 +95,10 @@ fn bench_query(target: Duration) {
         let backward = micro.backward_query(200);
         let forward = micro.forward_query(200);
         run_reported(format!("query/backward_200/{name}"), target, || {
-            sz.query(&run, &backward.query).unwrap()
+            sz.session(&run).query(&backward.spec).unwrap()
         });
         run_reported(format!("query/forward_200/{name}"), target, || {
-            sz.query(&run, &forward.query).unwrap()
+            sz.session(&run).query(&forward.spec).unwrap()
         });
     }
 }

@@ -66,9 +66,9 @@ fn bench_end_to_end_optimize(target: Duration) {
     let queries: Vec<_> = wf
         .queries(&mut profiler, &run)
         .into_iter()
-        .map(|nq| (nq.query, 1.0))
+        .map(|nq| (nq.spec, 1.0))
         .collect();
-    let workload = QueryWorkload::from_queries(&queries);
+    let workload = QueryWorkload::from_specs(&wf.workflow, &queries);
 
     let optimizer = Optimizer::new(OptimizerConfig::with_disk_budget_mb(20.0));
     run_reported("optimizer/genomics_optimize_20mb", target, || {

@@ -1,0 +1,235 @@
+//! Multi-query batching throughput: `backward_many` vs one-at-a-time.
+//!
+//! The micro workload's synthetic operator is captured under a
+//! forward-optimized store and then queried *backward*, so every stored-
+//! lineage step degrades to a full datastore scan — the mismatched-direction
+//! penalty the ROADMAP calls out.  A batch of N queries answered through
+//! [`QuerySession::backward_many`] shares ONE streamed scan (and the decoded
+//! entries) across the whole batch, where the one-at-a-time loop pays for N
+//! scans; the matched-direction (indexed) configuration is measured alongside
+//! for context, over both the in-memory and the append-only-file backends.
+//!
+//! Prints one line per configuration and writes the full result set,
+//! including batched-vs-one-at-a-time speedups, to `BENCH_query.json` at the
+//! repository root.  Run with `cargo bench -p subzero-bench --bench query`;
+//! `--smoke` runs a seconds-long validity check (used by CI) without
+//! touching the JSON.
+//!
+//! [`QuerySession::backward_many`]: subzero::query::QuerySession::backward_many
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use subzero::model::{LineageStrategy, StorageStrategy};
+use subzero::query::QueryOptions;
+use subzero::SubZero;
+use subzero_array::Shape;
+use subzero_bench::micro::{MicroConfig, MicroWorkflow};
+use subzero_bench::timing::Sample;
+
+struct Config {
+    micro: MicroConfig,
+    num_queries: usize,
+    cells_per_query: usize,
+    target: Duration,
+    smoke: bool,
+}
+
+fn workload() -> Config {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let paper_scale = std::env::args().any(|a| a == "--paper-scale");
+    let micro = MicroConfig {
+        shape: if paper_scale {
+            Shape::d2(1000, 1000)
+        } else if smoke {
+            Shape::d2(64, 64)
+        } else {
+            Shape::d2(300, 300)
+        },
+        fanin: 10,
+        fanout: 1,
+        coverage: 0.1,
+        seed: 42,
+    };
+    Config {
+        micro,
+        num_queries: if smoke { 4 } else { 16 },
+        cells_per_query: if smoke { 25 } else { 100 },
+        target: Duration::from_millis(if smoke {
+            100
+        } else if paper_scale {
+            4000
+        } else {
+            2000
+        }),
+        smoke,
+    }
+}
+
+struct Row {
+    config: String,
+    backend: String,
+    mode: String,
+    queries_per_sec: f64,
+    speedup_vs_one_at_a_time: f64,
+}
+
+/// One measurement pass: run the batch one-at-a-time or batched, returning
+/// the elapsed time and the total result cells (a cross-mode checksum).
+fn query_pass(
+    sz: &mut SubZero,
+    run: &subzero_engine::executor::WorkflowRun,
+    op: subzero_engine::OpId,
+    batches: &[Vec<subzero_array::Coord>],
+    batched: bool,
+) -> (Duration, usize) {
+    let start = Instant::now();
+    let mut checksum = 0usize;
+    let mut session = sz.session(run);
+    if batched {
+        let results = session
+            .backward_many(batches.to_vec())
+            .from(op)
+            .to_source("input")
+            .expect("batched queries execute");
+        checksum += results.iter().map(|r| r.cells.len()).sum::<usize>();
+    } else {
+        for cells in batches {
+            let result = session
+                .backward(cells.clone())
+                .from(op)
+                .to_source("input")
+                .expect("query executes");
+            checksum += result.cells.len();
+        }
+    }
+    (start.elapsed(), checksum)
+}
+
+fn main() {
+    let cfg = workload();
+    let micro = MicroWorkflow::build(cfg.micro);
+    let inputs = micro.inputs();
+    let batches = micro.backward_batches(cfg.num_queries, cfg.cells_per_query);
+    println!(
+        "Multi-query batching — array {}, {} backward queries x {} cells{}\n",
+        cfg.micro.shape,
+        batches.len(),
+        cfg.cells_per_query,
+        if cfg.smoke { " (smoke)" } else { "" },
+    );
+
+    let scratch = std::env::temp_dir().join(format!("subzero-querybench-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    // (name, strategy): the mismatched configuration stores forward-optimized
+    // lineage and answers backward queries (full scans — the batching
+    // headline); the indexed configuration stores backward-optimized lineage
+    // (point lookups — batching only shares decoded entries).
+    let configs: Vec<(&str, StorageStrategy)> = vec![
+        ("mismatched_scan", StorageStrategy::full_one_forward()),
+        ("indexed", StorageStrategy::full_one()),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (config_name, strategy) in &configs {
+        for backend in ["mem", "file"] {
+            let mut sz = match backend {
+                "mem" => SubZero::new(),
+                _ => SubZero::with_storage_dir(scratch.join(config_name)),
+            };
+            sz.set_strategy(LineageStrategy::uniform([micro.op], vec![*strategy]));
+            let run = sz.execute(&micro.workflow, &inputs).expect("capture run");
+            sz.finish_capture(run.run_id);
+            // Static execution: pin the stored path so the measurement is
+            // scan-vs-shared-scan, not the re-execution fallback.
+            sz.set_query_options(QueryOptions {
+                entire_array_optimization: true,
+                query_time_optimizer: false,
+            });
+
+            // Warmup + answer checksum parity between the two modes.
+            let (_, one_sum) = query_pass(&mut sz, &run, micro.op, &batches, false);
+            let (_, many_sum) = query_pass(&mut sz, &run, micro.op, &batches, true);
+            assert_eq!(one_sum, many_sum, "modes disagree on {config_name}");
+
+            // Interleaved passes so drift hits both modes equally.
+            let mut totals = [Duration::ZERO; 2];
+            let mut iters = [0u64; 2];
+            while totals.iter().sum::<Duration>() < cfg.target * 2 {
+                for (i, batched) in [(0, false), (1, true)] {
+                    let (elapsed, _) = query_pass(&mut sz, &run, micro.op, &batches, batched);
+                    totals[i] += elapsed;
+                    iters[i] += 1;
+                }
+            }
+            let qps = |i: usize| {
+                let per_iter = totals[i].as_secs_f64() / iters[i] as f64;
+                batches.len() as f64 / per_iter
+            };
+            let (one_qps, many_qps) = (qps(0), qps(1));
+            for (mode, q) in [("one_at_a_time", one_qps), ("batched", many_qps)] {
+                let sample = Sample {
+                    name: format!("query/{config_name}/{backend}/{mode}"),
+                    iters: iters[if mode == "batched" { 1 } else { 0 }],
+                    total: totals[if mode == "batched" { 1 } else { 0 }],
+                };
+                println!("{}", sample.report());
+                rows.push(Row {
+                    config: config_name.to_string(),
+                    backend: backend.to_string(),
+                    mode: mode.to_string(),
+                    queries_per_sec: q,
+                    speedup_vs_one_at_a_time: if one_qps > 0.0 { q / one_qps } else { 0.0 },
+                });
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!(
+        "\n{:<16} {:>6} {:>15} {:>14} {:>9}",
+        "config", "kv", "mode", "queries/sec", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>6} {:>15} {:>14.1} {:>8.2}x",
+            r.config, r.backend, r.mode, r.queries_per_sec, r.speedup_vs_one_at_a_time
+        );
+    }
+    let scan_min = rows
+        .iter()
+        .filter(|r| r.mode == "batched" && r.config == "mismatched_scan")
+        .map(|r| r.speedup_vs_one_at_a_time)
+        .fold(f64::INFINITY, f64::min);
+    println!("\nmismatched-direction batched speedup, min over backends: {scan_min:.2}x");
+
+    if cfg.smoke {
+        println!("smoke run: skipping BENCH_query.json");
+        return;
+    }
+    // Hand-rolled JSON (no serde in the offline environment).
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"shape\": \"{}\", \"queries\": {}, \"cells_per_query\": {}, \"fanin\": {}, \"fanout\": {}}},\n",
+        cfg.micro.shape, batches.len(), cfg.cells_per_query, cfg.micro.fanin, cfg.micro.fanout
+    ));
+    json.push_str(&format!(
+        "  \"mismatched_scan_min_batched_speedup\": {scan_min:.3},\n  \"results\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"backend\": \"{}\", \"mode\": \"{}\", \"queries_per_sec\": {:.1}, \"speedup_vs_one_at_a_time\": {:.3}}}{}\n",
+            r.config,
+            r.backend,
+            r.mode,
+            r.queries_per_sec,
+            r.speedup_vs_one_at_a_time,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_query.json");
+    std::fs::write(&out, json).expect("write BENCH_query.json");
+    println!("wrote {}", out.display());
+}

@@ -6,7 +6,7 @@
 //! Run with `cargo run --release -p subzero-bench --example astronomy_pipeline`.
 
 use subzero::model::{LineageStrategy, StorageStrategy};
-use subzero::query::LineageQuery;
+
 use subzero::SubZero;
 use subzero_bench::astronomy::{AstronomyWorkflow, SkyConfig, SkyGenerator};
 use subzero_bench::report::mb;
@@ -59,19 +59,15 @@ fn main() {
         return;
     };
 
-    let path = vec![
-        (wf.star_detect, 0),
-        (wf.sharpen, 0),
-        (wf.subtract, 0),
-        (wf.cr_remove, 0),
-        (wf.composite, 0),
-        (wf.smooth[0], 0),
-        (wf.clamp[0], 0),
-        (wf.scale[0], 0),
-        (wf.offset[0], 0),
-    ];
-    let query = LineageQuery::backward(vec![star], path);
-    let result = subzero.query(&run, &query).unwrap();
+    // The session derives the traversal from the DAG: star detector back to
+    // the first exposure, fanning out over every path (composite image and
+    // cosmic-ray mask) and unioning the per-branch answers.
+    let result = subzero
+        .session(&run)
+        .backward(vec![star])
+        .from(wf.star_detect)
+        .to_source("exposure1")
+        .unwrap();
     println!(
         "\nbackward lineage of star pixel {star}: {} pixels of exposure 1 (query took {:?})",
         result.cells.len(),
@@ -92,18 +88,12 @@ fn main() {
     let crd = subzero.engine().output_of(&run, wf.crd[0]).unwrap();
     let cr_cells: Vec<_> = crd.coords_where(|v| v > 0.0).into_iter().take(8).collect();
     if !cr_cells.is_empty() {
-        let forward = LineageQuery::forward(
-            cr_cells.clone(),
-            vec![
-                (wf.smooth[0], 0),
-                (wf.composite, 0),
-                (wf.cr_remove, 0),
-                (wf.subtract, 0),
-                (wf.sharpen, 0),
-                (wf.star_detect, 0),
-            ],
-        );
-        let result = subzero.query(&run, &forward).unwrap();
+        let result = subzero
+            .session(&run)
+            .forward(cr_cells.clone())
+            .from(wf.clamp[0])
+            .to(wf.star_detect)
+            .unwrap();
         let contaminated = result.cells.iter().filter(|c| stars.get(c) > 0.0).count();
         println!(
             "\nforward lineage of {} cosmic-ray pixels reaches {} catalogue pixels ({} inside stars)",

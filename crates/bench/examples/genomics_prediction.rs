@@ -4,7 +4,6 @@
 //!
 //! Run with `cargo run --release -p subzero-bench --example genomics_prediction`.
 
-use subzero::query::LineageQuery;
 use subzero::SubZero;
 use subzero_array::Coord;
 use subzero_bench::genomics::{CohortConfig, CohortGenerator, GenomicsWorkflow};
@@ -41,9 +40,9 @@ fn main() {
     let sample: Vec<_> = wf
         .queries(&mut profiler, &profile_run)
         .into_iter()
-        .map(|nq| (nq.query, 1.0))
+        .map(|nq| (nq.spec, 1.0))
         .collect();
-    let workload = QueryWorkload::from_queries(&sample);
+    let workload = QueryWorkload::from_specs(&wf.workflow, &sample);
     let optimizer = Optimizer::new(OptimizerConfig::with_disk_budget_mb(20.0));
     let plan = optimizer.optimize(&wf.workflow, &stats, &workload);
     println!("\noptimizer picked (20 MB budget):");
@@ -95,20 +94,14 @@ fn main() {
     // Clinician clicks a prediction: why does the model think this patient
     // will relapse?
     let patient = relapses.first().copied().unwrap_or(Coord::d2(0, 0));
-    let backward = LineageQuery::backward(
-        vec![patient],
-        vec![
-            (wf.predict_round, 0),
-            (wf.predict, 0),
-            (wf.model_scale, 0),
-            (wf.compute_model, 0),
-            (wf.extract_train, 0),
-            (wf.train_scale, 0),
-            (wf.train_center, 0),
-            (wf.train_clamp, 0),
-        ],
-    );
-    let answer = subzero.query(&run, &backward).unwrap();
+    // The session derives the prediction -> model -> training traversal
+    // from the DAG.
+    let answer = subzero
+        .session(&run)
+        .backward(vec![patient])
+        .from(wf.predict_round)
+        .to_source("training")
+        .unwrap();
     println!(
         "\nprediction for patient column {} is supported by {} training-matrix cells (query took {:?})",
         patient.get(1),
@@ -118,20 +111,12 @@ fn main() {
 
     // Forward: which predictions would change if one suspicious training
     // value were corrected?
-    let forward = LineageQuery::forward(
-        vec![Coord::d2(1, 0)],
-        vec![
-            (wf.train_clamp, 0),
-            (wf.train_center, 0),
-            (wf.train_scale, 0),
-            (wf.extract_train, 0),
-            (wf.compute_model, 0),
-            (wf.model_scale, 0),
-            (wf.predict, 0),
-            (wf.predict_round, 0),
-        ],
-    );
-    let answer = subzero.query(&run, &forward).unwrap();
+    let answer = subzero
+        .session(&run)
+        .forward(vec![Coord::d2(1, 0)])
+        .from_source("training")
+        .to(wf.predict_round)
+        .unwrap();
     println!(
         "training cell (feature 1, patient 0) influences {} predictions (query took {:?})",
         answer.cells.len(),

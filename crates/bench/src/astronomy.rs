@@ -19,7 +19,8 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use subzero::query::LineageQuery;
+use subzero::query::QuerySpec;
+use subzero::ArrayNode;
 use subzero::SubZero;
 use subzero_array::{Array, ArrayRef, Coord, Shape};
 use subzero_engine::executor::WorkflowRun;
@@ -696,17 +697,6 @@ impl AstronomyWorkflow {
             .collect()
     }
 
-    /// The per-exposure cleaning chain, from the smoothing convolution back
-    /// to the exposure's bias subtraction, as backward path steps.
-    fn cleaning_chain_back(&self, exposure: usize) -> Vec<(OpId, usize)> {
-        vec![
-            (self.smooth[exposure], 0),
-            (self.clamp[exposure], 0),
-            (self.scale[exposure], 0),
-            (self.offset[exposure], 0),
-        ]
-    }
-
     /// External input map from a generated exposure pair.
     pub fn inputs(exp1: Array, exp2: Array) -> HashMap<String, Array> {
         let mut m = HashMap::new();
@@ -739,64 +729,46 @@ impl AstronomyWorkflow {
         // A small region of the cleaned image around the first star.
         let region: Vec<Coord> = self.shape.neighborhood(&star_cell, 2).into_iter().collect();
 
+        // The traversals are derived from the workflow DAG by the query
+        // session — each query names only its endpoint arrays.  At DAG joins
+        // the derived traversal fans out over every path (e.g. a backward
+        // trace to exposure 1 descends both through the composite image and
+        // through the cosmic-ray mask) and unions the answers.
+
         // BQ 0: star pixel -> first exposure, through the whole chain.
-        let mut bq0_path = vec![
-            (self.star_detect, 0),
-            (self.sharpen, 0),
-            (self.subtract, 0),
-            (self.cr_remove, 0),
-            (self.composite, 0),
-        ];
-        bq0_path.extend(self.cleaning_chain_back(0));
+        let bq0 = QuerySpec::backward_to_source(vec![star_cell], self.star_detect, "exposure1");
 
         // BQ 1: region of the cleaned image -> second exposure.
-        let mut bq1_path = vec![(self.cr_remove, 0), (self.composite, 1)];
-        bq1_path.extend(self.cleaning_chain_back(1));
+        let bq1 = QuerySpec::backward_to_source(region.clone(), self.cr_remove, "exposure2");
 
-        // BQ 2: region of the sharpened image -> cleaned image (short path,
-        // isolates a single suspect operator).
-        let bq2_path = vec![(self.sharpen, 0), (self.subtract, 0)];
+        // BQ 2: region of the sharpened image -> cleaned image (short
+        // traversal, isolates a single suspect operator).
+        let bq2 = QuerySpec::backward(
+            region.clone(),
+            self.sharpen,
+            ArrayNode::Output(self.cr_remove),
+        );
 
         // BQ 3: cosmic-ray mask pixels -> first exposure.
-        let mut bq3_path = vec![(self.crd[0], 0)];
-        bq3_path.extend(self.cleaning_chain_back(0));
+        let bq3 = QuerySpec::backward_to_source(cr_cells, self.crd[0], "exposure1");
 
         // BQ 4: the QC mean -> first exposure (starts at an all-to-all
         // operator, exercising the entire-array optimization).
-        let mut bq4_path = vec![(self.mean_qc, 0), (self.cr_remove, 0), (self.composite, 0)];
-        bq4_path.extend(self.cleaning_chain_back(0));
+        let bq4 = QuerySpec::backward_to_source(vec![Coord::d2(0, 0)], self.mean_qc, "exposure1");
 
         // FQ 0: a small region of the first exposure -> thresholded z-score
         // map at the end of the workflow (traverses the all-to-all z-score).
-        let fq0_path = vec![
-            (self.offset[0], 0),
-            (self.scale[0], 0),
-            (self.clamp[0], 0),
-            (self.smooth[0], 0),
-            (self.composite, 0),
-            (self.cr_remove, 0),
-            (self.subtract, 0),
-            (self.sharpen, 0),
-            (self.zscore, 0),
-            (self.zscore_threshold, 0),
-        ];
-
-        let fq0 = NamedQuery::new(
-            "FQ 0",
-            LineageQuery::forward(region.clone(), fq0_path.clone()),
-        );
-        let fq0_slow = NamedQuery::new("FQ 0", LineageQuery::forward(region.clone(), fq0_path))
-            .without_entire_array("FQ 0 Slow");
+        let fq0_spec =
+            QuerySpec::forward_from_source(region.clone(), "exposure1", self.zscore_threshold);
+        let fq0 = NamedQuery::new("FQ 0", fq0_spec.clone());
+        let fq0_slow = NamedQuery::new("FQ 0", fq0_spec).without_entire_array("FQ 0 Slow");
 
         vec![
-            NamedQuery::new("BQ 0", LineageQuery::backward(vec![star_cell], bq0_path)),
-            NamedQuery::new("BQ 1", LineageQuery::backward(region.clone(), bq1_path)),
-            NamedQuery::new("BQ 2", LineageQuery::backward(region, bq2_path)),
-            NamedQuery::new("BQ 3", LineageQuery::backward(cr_cells, bq3_path)),
-            NamedQuery::new(
-                "BQ 4",
-                LineageQuery::backward(vec![Coord::d2(0, 0)], bq4_path),
-            ),
+            NamedQuery::new("BQ 0", bq0),
+            NamedQuery::new("BQ 1", bq1),
+            NamedQuery::new("BQ 2", bq2),
+            NamedQuery::new("BQ 3", bq3),
+            NamedQuery::new("BQ 4", bq4),
             fq0,
             fq0_slow,
         ]
@@ -968,7 +940,7 @@ mod tests {
         let queries = wf.queries(&mut sz, &run);
         assert_eq!(queries.len(), 7);
         for nq in &queries {
-            let result = sz.query(&run, &nq.query).expect("query executes");
+            let result = sz.session(&run).query(&nq.spec).expect("query executes");
             assert!(
                 !result.cells.is_empty(),
                 "query {} returned no lineage",

@@ -8,7 +8,7 @@
 //! strategies so the "black-box when the budget is tiny → space-efficient →
 //! query-optimized" progression is visible.
 
-use subzero::query::LineageQuery;
+use subzero::query::QuerySpec;
 use subzero::SubZero;
 use subzero_bench::genomics::{CohortConfig, CohortGenerator, GenomicsWorkflow};
 use subzero_bench::harness::run_benchmark;
@@ -46,12 +46,12 @@ fn main() {
         .collect();
 
     // --- Sample query workload (equal mix of backward and forward). --------
-    let sample_queries: Vec<(LineageQuery, f64)> = wf
+    let sample_queries: Vec<(QuerySpec, f64)> = wf
         .queries(&mut profiler, &profile_run)
         .into_iter()
-        .map(|nq| (nq.query, 1.0))
+        .map(|nq| (nq.spec, 1.0))
         .collect();
-    let workload = QueryWorkload::from_queries(&sample_queries);
+    let workload = QueryWorkload::from_specs(&wf.workflow, &sample_queries);
 
     // The paper's constraints assume the 100x cohort; scale them with the
     // dataset so the small default configuration sees the same transitions.

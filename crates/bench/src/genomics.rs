@@ -18,7 +18,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use subzero::query::LineageQuery;
+use subzero::query::QuerySpec;
 use subzero::SubZero;
 use subzero_array::{Array, ArrayRef, Coord, Shape};
 use subzero_engine::executor::WorkflowRun;
@@ -604,32 +604,16 @@ impl GenomicsWorkflow {
             .copied()
             .unwrap_or(Coord::d2(0, 0));
 
+        // The traversals are derived from the workflow DAG by the query
+        // session — each query names only its endpoint arrays, and multi-path
+        // fan-out at joins is automatic.
+
         // BQ 0: a relapse prediction -> training matrix (through the model).
-        let bq0 = LineageQuery::backward(
-            vec![relapse_cell],
-            vec![
-                (self.predict_round, 0),
-                (self.predict, 0),
-                (self.model_scale, 0),
-                (self.compute_model, 0),
-                (self.extract_train, 0),
-                (self.train_scale, 0),
-                (self.train_center, 0),
-                (self.train_clamp, 0),
-            ],
-        );
+        let bq0 = QuerySpec::backward_to_source(vec![relapse_cell], self.predict_round, "training");
 
         // BQ 1: a model feature -> training matrix.
-        let bq1 = LineageQuery::backward(
-            vec![Coord::d2(0, 1)],
-            vec![
-                (self.compute_model, 0),
-                (self.extract_train, 0),
-                (self.train_scale, 0),
-                (self.train_center, 0),
-                (self.train_clamp, 0),
-            ],
-        );
+        let bq1 =
+            QuerySpec::backward_to_source(vec![Coord::d2(0, 1)], self.compute_model, "training");
 
         // A handful of training cells: one informative feature's values for
         // the first few patients.
@@ -638,31 +622,11 @@ impl GenomicsWorkflow {
             .collect();
 
         // FQ 0: training cells -> the model.
-        let fq0 = LineageQuery::forward(
-            training_cells.clone(),
-            vec![
-                (self.train_clamp, 0),
-                (self.train_center, 0),
-                (self.train_scale, 0),
-                (self.extract_train, 0),
-                (self.compute_model, 0),
-            ],
-        );
+        let fq0 =
+            QuerySpec::forward_from_source(training_cells.clone(), "training", self.compute_model);
 
         // FQ 1: training cells -> the final predictions.
-        let fq1 = LineageQuery::forward(
-            training_cells,
-            vec![
-                (self.train_clamp, 0),
-                (self.train_center, 0),
-                (self.train_scale, 0),
-                (self.extract_train, 0),
-                (self.compute_model, 0),
-                (self.model_scale, 0),
-                (self.predict, 0),
-                (self.predict_round, 0),
-            ],
-        );
+        let fq1 = QuerySpec::forward_from_source(training_cells, "training", self.predict_round);
 
         vec![
             NamedQuery::new("BQ 0", bq0),
@@ -805,7 +769,7 @@ mod tests {
             let queries = wf.queries(&mut sz, &run);
             assert_eq!(queries.len(), 4);
             for nq in &queries {
-                let result = sz.query(&run, &nq.query).expect("query executes");
+                let result = sz.session(&run).query(&nq.spec).expect("query executes");
                 assert!(
                     !result.cells.is_empty(),
                     "query {} returned no lineage",
@@ -829,14 +793,14 @@ mod tests {
         let queries = wf.queries(&mut sz, &run);
         let bq0 = &queries[0];
         let fq1 = &queries[3];
-        let backward = sz.query(&run, &bq0.query).unwrap();
+        let backward = sz.session(&run).query(&bq0.spec).unwrap();
         // The backward query returns training-matrix cells; FQ1 starts from
         // feature row 1 cells.  If any of those cells are in the backward
         // result, the forward result must contain the original prediction.
-        let overlap = fq1.query.cells.iter().any(|c| backward.cells.contains(c));
+        let overlap = fq1.spec.cells.iter().any(|c| backward.cells.contains(c));
         if overlap {
-            let forward = sz.query(&run, &fq1.query).unwrap();
-            assert!(forward.cells.contains(&bq0.query.cells[0]));
+            let forward = sz.session(&run).query(&fq1.spec).unwrap();
+            assert!(forward.cells.contains(&bq0.spec.cells[0]));
         }
     }
 }

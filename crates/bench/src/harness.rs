@@ -1,16 +1,21 @@
 //! Measurement helpers shared by the figure binaries.
 //!
 //! A benchmark run is: build a workflow and its inputs, install a lineage
-//! strategy, execute the workflow (recording capture overheads), then execute
-//! a set of named lineage queries (recording per-query latency).  The paper's
-//! figures are different projections of exactly these measurements.
+//! strategy, execute the workflow (recording capture overheads), then open a
+//! query session and execute a set of named lineage queries (recording
+//! per-query latency).  The paper's figures are different projections of
+//! exactly these measurements.
+//!
+//! Queries are declarative [`QuerySpec`]s — endpoint arrays, no
+//! hand-assembled `(operator, input)` paths; the session derives the
+//! traversal from the workflow DAG at execution time.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 use subzero::model::LineageStrategy;
-use subzero::query::{LineageQuery, QueryOptions};
+use subzero::query::{QueryOptions, QuerySpec};
 use subzero::SubZero;
 use subzero_array::Array;
 use subzero_engine::executor::WorkflowRun;
@@ -21,8 +26,8 @@ use subzero_engine::Workflow;
 pub struct NamedQuery {
     /// Display name, e.g. `BQ 0` or `FQ 0 Slow`.
     pub name: String,
-    /// The query itself.
-    pub query: LineageQuery,
+    /// The query itself: endpoint arrays + starting cells.
+    pub spec: QuerySpec,
     /// Disable the entire-array optimization for this query (the paper's
     /// `FQ 0 Slow` variant).
     pub disable_entire_array: bool,
@@ -30,10 +35,10 @@ pub struct NamedQuery {
 
 impl NamedQuery {
     /// A query with default options.
-    pub fn new(name: impl Into<String>, query: LineageQuery) -> Self {
+    pub fn new(name: impl Into<String>, spec: QuerySpec) -> Self {
         NamedQuery {
             name: name.into(),
-            query,
+            spec,
             disable_entire_array: false,
         }
     }
@@ -114,6 +119,11 @@ impl BenchmarkMeasurement {
 ///
 /// `queries_for` receives the executed system and run so it can derive query
 /// cells from actual outputs (e.g. the coordinates of a detected star).
+///
+/// Each query runs in its own session so per-query latencies stay
+/// independent (a shared session would let one query's cached re-execution
+/// pairs speed up the next — good for production, wrong for a benchmark
+/// that compares per-query costs across strategies).
 pub fn run_benchmark(
     strategy_name: &str,
     workflow: &Arc<Workflow>,
@@ -143,7 +153,8 @@ pub fn run_benchmark(
             query_time_optimizer,
         });
         let result = sz
-            .query(&run, &nq.query)
+            .session(&run)
+            .query(&nq.spec)
             .unwrap_or_else(|e| panic!("query '{}' failed: {e}", nq.name));
         measurements.push(QueryMeasurement {
             name: nq.name,
@@ -173,7 +184,7 @@ mod tests {
     fn run_benchmark_measures_workflow_and_queries() {
         let mut b = Workflow::builder("harness-test");
         let a = b.add_source(Arc::new(Elementwise1::new(UnaryKind::Scale(2.0))), "x");
-        let _c = b.add_unary(Arc::new(Elementwise1::new(UnaryKind::Offset(1.0))), a);
+        let c = b.add_unary(Arc::new(Elementwise1::new(UnaryKind::Offset(1.0))), a);
         let wf = Arc::new(b.build().unwrap());
         let mut inputs = HashMap::new();
         inputs.insert("x".to_string(), Array::filled(Shape::d2(4, 4), 1.0));
@@ -188,11 +199,11 @@ mod tests {
                 vec![
                     NamedQuery::new(
                         "BQ 0",
-                        LineageQuery::backward(vec![Coord::d2(0, 0)], vec![(1, 0), (0, 0)]),
+                        QuerySpec::backward_to_source(vec![Coord::d2(0, 0)], c, "x"),
                     ),
                     NamedQuery::new(
                         "FQ 0",
-                        LineageQuery::forward(vec![Coord::d2(1, 1)], vec![(0, 0), (1, 0)]),
+                        QuerySpec::forward_from_source(vec![Coord::d2(1, 1)], "x", c),
                     ),
                 ]
             },
@@ -212,7 +223,7 @@ mod tests {
     fn named_query_without_entire_array() {
         let q = NamedQuery::new(
             "FQ 0",
-            LineageQuery::forward(vec![Coord::d2(0, 0)], vec![(0, 0)]),
+            QuerySpec::forward_from_source(vec![Coord::d2(0, 0)], "x", 0),
         )
         .without_entire_array("FQ 0 Slow");
         assert_eq!(q.name, "FQ 0 Slow");

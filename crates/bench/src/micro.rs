@@ -14,7 +14,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use subzero::query::LineageQuery;
+use subzero::query::QuerySpec;
 use subzero::SubZero;
 use subzero_array::{Array, ArrayRef, Coord, Shape};
 use subzero_engine::executor::WorkflowRun;
@@ -260,32 +260,52 @@ impl MicroWorkflow {
         m
     }
 
-    /// A backward query over `n` output cells that are known to have lineage.
-    pub fn backward_query(&self, n: usize) -> NamedQuery {
-        let cells: Vec<Coord> = self
-            .pairs
+    /// `n` output cells that are known to have lineage.
+    pub fn backward_cells(&self, n: usize) -> Vec<Coord> {
+        self.pairs
             .iter()
             .flat_map(|p| p.outcells.iter().copied())
             .take(n)
-            .collect();
+            .collect()
+    }
+
+    /// `n` input cells that are known to have lineage.
+    pub fn forward_cells(&self, n: usize) -> Vec<Coord> {
+        self.pairs
+            .iter()
+            .flat_map(|p| p.incells.iter().copied())
+            .take(n)
+            .collect()
+    }
+
+    /// A backward query over `n` output cells that are known to have lineage.
+    pub fn backward_query(&self, n: usize) -> NamedQuery {
+        let cells = self.backward_cells(n);
         NamedQuery::new(
             format!("BQ({} cells)", cells.len()),
-            LineageQuery::backward(cells, vec![(self.op, 0)]),
+            QuerySpec::backward_to_source(cells, self.op, "input"),
         )
     }
 
     /// A forward query over `n` input cells that are known to have lineage.
     pub fn forward_query(&self, n: usize) -> NamedQuery {
+        let cells = self.forward_cells(n);
+        NamedQuery::new(
+            format!("FQ({} cells)", cells.len()),
+            QuerySpec::forward_from_source(cells, "input", self.op),
+        )
+    }
+
+    /// `count` disjoint backward query batches of `n` cells each, for the
+    /// multi-query benchmarks.
+    pub fn backward_batches(&self, count: usize, n: usize) -> Vec<Vec<Coord>> {
         let cells: Vec<Coord> = self
             .pairs
             .iter()
-            .flat_map(|p| p.incells.iter().copied())
-            .take(n)
+            .flat_map(|p| p.outcells.iter().copied())
+            .take(count * n)
             .collect();
-        NamedQuery::new(
-            format!("FQ({} cells)", cells.len()),
-            LineageQuery::forward(cells, vec![(self.op, 0)]),
-        )
+        cells.chunks(n.max(1)).map(|c| c.to_vec()).collect()
     }
 
     /// Benchmark queries of §VIII-C: 1000-cell backward and forward queries.
@@ -382,8 +402,9 @@ mod tests {
             let run = sz.execute(&micro.workflow, &micro.inputs()).unwrap();
             let bq = micro.backward_query(50);
             let fq = micro.forward_query(50);
-            let back = sz.query(&run, &bq.query).unwrap().cells.to_coords();
-            let fwd = sz.query(&run, &fq.query).unwrap().cells.to_coords();
+            let mut session = sz.session(&run);
+            let back = session.query(&bq.spec).unwrap().cells.to_coords();
+            let fwd = session.query(&fq.spec).unwrap().cells.to_coords();
             match &reference_back {
                 None => {
                     reference_back = Some(back);
@@ -405,8 +426,11 @@ mod tests {
     fn micro_queries_have_requested_sizes() {
         let micro = MicroWorkflow::build(MicroConfig::tiny());
         let bq = micro.backward_query(10);
-        assert_eq!(bq.query.cells.len(), 10);
+        assert_eq!(bq.spec.cells.len(), 10);
         let fq = micro.forward_query(10);
-        assert_eq!(fq.query.cells.len(), 10);
+        assert_eq!(fq.spec.cells.len(), 10);
+        let batches = micro.backward_batches(4, 25);
+        assert_eq!(batches.len(), 4);
+        assert!(batches.iter().all(|b| b.len() == 25));
     }
 }

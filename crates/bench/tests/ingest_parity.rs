@@ -94,13 +94,15 @@ fn assert_parity(
         for nq in queries {
             let expect = reference
                 .sz
-                .query(&reference.run, &nq.query)
+                .session(&reference.run)
+                .query(&nq.spec)
                 .expect("reference query executes")
                 .cells
                 .to_coords();
             let got = batched
                 .sz
-                .query(&batched.run, &nq.query)
+                .session(&batched.run)
+                .query(&nq.spec)
                 .expect("batched query executes")
                 .cells
                 .to_coords();

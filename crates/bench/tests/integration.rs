@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use subzero::model::{LineageStrategy, StorageStrategy};
-use subzero::query::{LineageQuery, QueryOptions};
+use subzero::query::{QueryOptions, QuerySpec};
 use subzero::SubZero;
 use subzero_array::{Array, Coord};
 use subzero_bench::astronomy::{AstronomyWorkflow, SkyConfig, SkyGenerator};
@@ -41,7 +41,7 @@ fn answers_under(
                 entire_array_optimization: !nq.disable_entire_array,
                 query_time_optimizer: true,
             });
-            let result = sz.query(&run, &nq.query).expect("query executes");
+            let result = sz.session(&run).query(&nq.spec).expect("query executes");
             (nq.name, result.cells.to_coords())
         })
         .collect()
@@ -150,12 +150,12 @@ fn astronomy_entire_array_optimization_only_changes_cost() {
         entire_array_optimization: true,
         query_time_optimizer: true,
     });
-    let fast = sz.query(&run, &fq0.query).unwrap();
+    let fast = sz.session(&run).query(&fq0.spec).unwrap();
     sz.set_query_options(QueryOptions {
         entire_array_optimization: false,
         query_time_optimizer: true,
     });
-    let slow = sz.query(&run, &fq0_slow.query).unwrap();
+    let slow = sz.session(&run).query(&fq0_slow.spec).unwrap();
     assert_eq!(
         fast.cells, slow.cells,
         "optimization must not change the answer"
@@ -187,13 +187,13 @@ fn genomics_query_time_optimizer_limits_mismatched_index_damage() {
         entire_array_optimization: true,
         query_time_optimizer: false,
     });
-    let static_result = sz.query(&run, &bq0.query).unwrap();
+    let static_result = sz.session(&run).query(&bq0.spec).unwrap();
 
     sz.set_query_options(QueryOptions {
         entire_array_optimization: true,
         query_time_optimizer: true,
     });
-    let dynamic_result = sz.query(&run, &bq0.query).unwrap();
+    let dynamic_result = sz.session(&run).query(&bq0.spec).unwrap();
 
     assert_eq!(static_result.cells, dynamic_result.cells);
     assert!(
@@ -219,12 +219,12 @@ fn optimizer_respects_budget_and_improves_query_estimates_end_to_end() {
         .into_iter()
         .map(|(op, s)| (op, s.clone()))
         .collect();
-    let sample: Vec<(LineageQuery, f64)> = wf
+    let sample: Vec<(QuerySpec, f64)> = wf
         .queries(&mut profiler, &profile_run)
         .into_iter()
-        .map(|nq| (nq.query, 1.0))
+        .map(|nq| (nq.spec, 1.0))
         .collect();
-    let workload = QueryWorkload::from_queries(&sample);
+    let workload = QueryWorkload::from_specs(&wf.workflow, &sample);
 
     // Tiny budget: black-box everywhere; measured lineage stays within it.
     let tiny = Optimizer::new(OptimizerConfig {

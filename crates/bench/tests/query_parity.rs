@@ -1,0 +1,218 @@
+//! Parity between the session API and the legacy explicit-path executor.
+//!
+//! A [`QuerySession`] derives its traversal from the workflow DAG and fans
+//! out over every path at DAG joins; the legacy [`LineageQuery`] pins one
+//! hand-assembled path.  Because every step distributes over unions of query
+//! cells, the session's answer must equal the *union* of the legacy answers
+//! over all enumerated paths between the same endpoints — on every workload
+//! and under every storage strategy.  This test asserts exactly that on the
+//! astronomy, genomics and micro benchmarks (and, for single-path queries,
+//! it degenerates to strict one-path equality with the legacy executor).
+
+#![allow(deprecated)] // the whole point is comparing against the shim
+
+use subzero::model::{LineageStrategy, StorageStrategy};
+use subzero::query::{LineageQuery, QueryOptions, QuerySpec};
+use subzero::{ArrayNode, Direction, SubZero};
+use subzero_array::CellSet;
+use subzero_bench::astronomy::{AstronomyWorkflow, SkyConfig, SkyGenerator};
+use subzero_bench::genomics::{CohortConfig, CohortGenerator, GenomicsWorkflow};
+use subzero_bench::harness::NamedQuery;
+use subzero_bench::micro::{MicroConfig, MicroWorkflow};
+use subzero_engine::executor::WorkflowRun;
+use subzero_engine::paths;
+
+/// Enumerates the legacy explicit paths for a spec's endpoints.
+fn legacy_paths(run: &WorkflowRun, spec: &QuerySpec) -> Vec<Vec<(u32, usize)>> {
+    let wf = &run.workflow;
+    match spec.direction {
+        Direction::Backward => {
+            let ArrayNode::Output(op) = spec.from else {
+                panic!("backward spec starts at an operator output");
+            };
+            paths::backward_paths(wf, op, &spec.to).expect("paths derivable")
+        }
+        Direction::Forward => {
+            let ArrayNode::Output(op) = spec.to else {
+                panic!("forward spec ends at an operator output");
+            };
+            paths::forward_paths(wf, &spec.from, op).expect("paths derivable")
+        }
+    }
+}
+
+/// Session answer == union over legacy per-path answers, for every query.
+fn assert_parity(sz: &mut SubZero, run: &WorkflowRun, queries: &[NamedQuery], label: &str) {
+    for nq in queries {
+        sz.set_query_options(QueryOptions {
+            entire_array_optimization: !nq.disable_entire_array,
+            query_time_optimizer: true,
+        });
+        let session_answer = sz
+            .session(run)
+            .query(&nq.spec)
+            .unwrap_or_else(|e| panic!("{label}: session query '{}' failed: {e}", nq.name));
+
+        let path_list = legacy_paths(run, &nq.spec);
+        assert!(
+            !path_list.is_empty(),
+            "{label}: no legacy paths for '{}'",
+            nq.name
+        );
+        let mut union: Option<CellSet> = None;
+        for path in path_list {
+            let legacy = LineageQuery {
+                cells: nq.spec.cells.clone(),
+                path,
+                direction: nq.spec.direction,
+            };
+            let answer = sz
+                .query(run, &legacy)
+                .unwrap_or_else(|e| panic!("{label}: legacy query '{}' failed: {e}", nq.name));
+            match &mut union {
+                None => union = Some(answer.cells),
+                Some(u) => u.union_with(&answer.cells),
+            }
+        }
+        assert_eq!(
+            session_answer.cells,
+            union.expect("at least one path"),
+            "{label}: session answer for '{}' differs from the union of \
+             legacy per-path answers",
+            nq.name
+        );
+    }
+}
+
+/// Strategy configurations exercised per workload: nothing stored (mapping +
+/// re-execution), full stored lineage, and forward-optimized stored lineage
+/// (mismatched-direction scans on backward queries).
+fn strategies_for(udfs: &[u32]) -> Vec<(&'static str, LineageStrategy)> {
+    let with = |s: StorageStrategy| {
+        let mut ls = LineageStrategy::new();
+        for &op in udfs {
+            ls.set(op, vec![s]);
+        }
+        ls
+    };
+    vec![
+        ("default", LineageStrategy::new()),
+        ("full_one", with(StorageStrategy::full_one())),
+        ("fwd_full_one", with(StorageStrategy::full_one_forward())),
+    ]
+}
+
+#[test]
+fn astronomy_session_matches_legacy_path_unions() {
+    let cfg = SkyConfig::tiny();
+    let (e1, e2) = SkyGenerator::new(cfg).generate();
+    let wf = AstronomyWorkflow::build(cfg.shape);
+    let inputs = AstronomyWorkflow::inputs(e1, e2);
+    for (name, strategy) in strategies_for(&wf.udfs()) {
+        let mut sz = SubZero::new();
+        sz.set_strategy(strategy);
+        let run = sz.execute(&wf.workflow, &inputs).unwrap();
+        sz.finish_capture(run.run_id);
+        let queries = wf.queries(&mut sz, &run);
+        assert_parity(&mut sz, &run, &queries, &format!("astronomy/{name}"));
+    }
+}
+
+#[test]
+fn genomics_session_matches_legacy_path_unions() {
+    let cfg = CohortConfig::tiny();
+    let (train, test) = CohortGenerator::new(cfg).generate();
+    let wf = GenomicsWorkflow::build(&cfg);
+    let inputs = GenomicsWorkflow::inputs(train, test);
+    for (name, strategy) in strategies_for(&wf.udfs()) {
+        let mut sz = SubZero::new();
+        sz.set_strategy(strategy);
+        let run = sz.execute(&wf.workflow, &inputs).unwrap();
+        sz.finish_capture(run.run_id);
+        let queries = wf.queries(&mut sz, &run);
+        assert_parity(&mut sz, &run, &queries, &format!("genomics/{name}"));
+    }
+}
+
+#[test]
+fn micro_session_matches_legacy_single_path() {
+    // The micro workflow has a single operator, so the parity degenerates to
+    // strict equality with the one legacy path — across every strategy the
+    // figure binaries sweep, including payload encodings.
+    let micro = MicroWorkflow::build(MicroConfig::tiny());
+    let strategies = vec![
+        ("blackbox", LineageStrategy::new()),
+        (
+            "full_one",
+            LineageStrategy::uniform([micro.op], vec![StorageStrategy::full_one()]),
+        ),
+        (
+            "full_many",
+            LineageStrategy::uniform([micro.op], vec![StorageStrategy::full_many()]),
+        ),
+        (
+            "pay_one",
+            LineageStrategy::uniform([micro.op], vec![StorageStrategy::pay_one()]),
+        ),
+        (
+            "pay_many",
+            LineageStrategy::uniform([micro.op], vec![StorageStrategy::pay_many()]),
+        ),
+        (
+            "fwd_full_one",
+            LineageStrategy::uniform([micro.op], vec![StorageStrategy::full_one_forward()]),
+        ),
+    ];
+    for (name, strategy) in strategies {
+        let mut sz = SubZero::new();
+        sz.set_strategy(strategy);
+        let run = sz.execute(&micro.workflow, &micro.inputs()).unwrap();
+        sz.finish_capture(run.run_id);
+        let queries = vec![micro.backward_query(60), micro.forward_query(60)];
+        assert_parity(&mut sz, &run, &queries, &format!("micro/{name}"));
+    }
+}
+
+#[test]
+fn batched_session_queries_match_singles_on_the_micro_workload() {
+    // backward_many must return, per batch entry, exactly what a one-at-a-
+    // time session query returns — in particular on the mismatched-direction
+    // scan workload the batching exists to accelerate.
+    let micro = MicroWorkflow::build(MicroConfig::tiny());
+    let mut sz = SubZero::new();
+    sz.set_strategy(LineageStrategy::uniform(
+        [micro.op],
+        vec![StorageStrategy::full_one_forward()],
+    ));
+    let run = sz.execute(&micro.workflow, &micro.inputs()).unwrap();
+    sz.finish_capture(run.run_id);
+    // Static execution: force the stored (scanning) path so the test pins
+    // the shared-scan machinery rather than the re-execution fallback.
+    sz.set_query_options(QueryOptions {
+        entire_array_optimization: true,
+        query_time_optimizer: false,
+    });
+    let batches = micro.backward_batches(8, 16);
+    let mut session = sz.session(&run);
+    let singles: Vec<CellSet> = batches
+        .iter()
+        .map(|cells| {
+            session
+                .backward(cells.clone())
+                .from(micro.op)
+                .to_source("input")
+                .unwrap()
+                .cells
+        })
+        .collect();
+    let batched = session
+        .backward_many(batches)
+        .from(micro.op)
+        .to_source("input")
+        .unwrap();
+    assert_eq!(batched.len(), singles.len());
+    for (b, s) in batched.iter().zip(&singles) {
+        assert_eq!(b.cells, *s);
+        assert!(b.report.any_scan(), "mismatched direction must scan");
+    }
+}

@@ -104,8 +104,6 @@ fn main() {
     let mut inputs = HashMap::new();
     inputs.insert("signal".to_string(), signal);
 
-    let query = LineageQuery::backward(vec![Coord::d2(20, 17)], vec![(peaks, 0), (scale, 0)]);
-
     for (label, strategy) in [
         (
             "black-box (re-execute at query time)",
@@ -123,7 +121,14 @@ fn main() {
         let mut subzero = SubZero::new();
         subzero.set_strategy(strategy);
         let run = subzero.execute(&workflow, &inputs).unwrap();
-        let result = subzero.query(&run, &query).unwrap();
+        // Trace the second peak back to the signal; the session derives the
+        // peaks -> scale -> "signal" traversal from the DAG.
+        let result = subzero
+            .session(&run)
+            .backward(vec![Coord::d2(20, 17)])
+            .from(peaks)
+            .to_source("signal")
+            .unwrap();
         println!(
             "{label:55} lineage stored: {:6} bytes, peak (20,17) depends on {} input cells via {}",
             subzero.lineage_bytes(run.run_id),

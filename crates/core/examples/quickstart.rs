@@ -44,12 +44,15 @@ fn main() {
         run.total_elapsed
     );
 
-    // Backward: why is the output pixel at (8, 8) bright?
-    let backward = LineageQuery::backward(
-        vec![Coord::d2(8, 8)],
-        vec![(detect, 0), (smooth, 0), (debias, 0)],
-    );
-    let answer = subzero.query(&run, &backward).expect("query succeeds");
+    // Backward: why is the output pixel at (8, 8) bright?  The session
+    // derives the detect -> smooth -> debias -> "image" traversal from the
+    // workflow DAG; no (operator, input) path vectors.
+    let mut session = subzero.session(&run);
+    let answer = session
+        .backward(vec![Coord::d2(8, 8)])
+        .from(detect)
+        .to_source("image")
+        .expect("query succeeds");
     println!(
         "backward lineage of detection (8,8): {} input pixels",
         answer.cells.len()
@@ -61,14 +64,42 @@ fn main() {
         );
     }
 
+    // The same trace, streamed step by step through a cursor.
+    let mut cursor = session
+        .backward(vec![Coord::d2(8, 8)])
+        .from(detect)
+        .cursor_to_source("image")
+        .expect("cursor builds");
+    while let Some(step) = cursor.next() {
+        let step = step.expect("step succeeds");
+        println!(
+            "  cursor: operator {} -> {} cells via {}",
+            step.op_id,
+            step.cells.len(),
+            step.report.method
+        );
+    }
+
     // Forward: which detections does the input pixel (8, 9) influence?
-    let forward = LineageQuery::forward(
-        vec![Coord::d2(8, 9)],
-        vec![(debias, 0), (smooth, 0), (detect, 0)],
-    );
-    let answer = subzero.query(&run, &forward).expect("query succeeds");
+    let answer = session
+        .forward(vec![Coord::d2(8, 9)])
+        .from_source("image")
+        .to(detect)
+        .expect("query succeeds");
     println!(
         "forward lineage of input (8,9): {} output pixels",
         answer.cells.len()
+    );
+
+    // A batch of backward queries answered in one shared pass.
+    let batch: Vec<Vec<Coord>> = (7..10).map(|r| vec![Coord::d2(r, 8)]).collect();
+    let answers = session
+        .backward_many(batch)
+        .from(detect)
+        .to_source("image")
+        .expect("batch succeeds");
+    println!(
+        "batched backward lineage of 3 detections: {:?} input pixels",
+        answers.iter().map(|a| a.cells.len()).collect::<Vec<_>>()
     );
 }

@@ -144,6 +144,45 @@ impl BatchMerges {
     }
 }
 
+/// Record-block size for streamed full scans ([`Database::scan_batch`]):
+/// large enough to amortise the per-block dispatch, small enough that a
+/// block of decoded records stays cache-resident.
+const SCAN_BLOCK: usize = 1024;
+
+/// Decoded-entry cache shared by every query of one batched lookup: each
+/// hash entry is fetched and decoded at most once per batch, however many
+/// queries (or query cells) reference it.
+struct EntryCache<T> {
+    /// entry id -> (a body existed, decoded entry if decoding succeeded)
+    map: HashMap<u64, (bool, Option<T>)>,
+}
+
+impl<T> EntryCache<T> {
+    fn new() -> Self {
+        EntryCache {
+            map: HashMap::new(),
+        }
+    }
+
+    /// Returns whether a body exists for `id` (for per-query fetch
+    /// accounting) and the decoded entry, fetching and decoding on first use.
+    fn get(
+        &mut self,
+        db: &mut Database,
+        id: u64,
+        decode: impl FnOnce(&[u8]) -> Option<T>,
+    ) -> (bool, Option<&T>) {
+        let slot = self
+            .map
+            .entry(id)
+            .or_insert_with(|| match db.get(&encoder::entry_key(id)) {
+                Some(body) => (true, decode(&body)),
+                None => (false, None),
+            });
+        (slot.0, slot.1.as_ref())
+    }
+}
+
 /// One operator's materialised lineage under one storage strategy.
 ///
 /// Ingestion is batch-oriented: the runtime hands whole [`RegionBatch`]es of
@@ -611,8 +650,9 @@ impl OpDatastore {
         }
     }
 
-    /// Answers a backward lookup: which cells of input `input_idx` do the
+    /// Answers one backward lookup: which cells of input `input_idx` do the
     /// query output cells depend on, according to the stored lineage?
+    /// Delegates to [`lookup_backward_many`](OpDatastore::lookup_backward_many).
     pub fn lookup_backward(
         &mut self,
         query: &CellSet,
@@ -620,11 +660,55 @@ impl OpDatastore {
         op: &dyn Operator,
         meta: &OpMeta,
     ) -> LookupOutcome {
+        self.lookup_backward_many(&[query], input_idx, op, meta)
+            .pop()
+            .expect("one outcome per query")
+    }
+
+    /// Answers one forward lookup: which output cells depend on the query
+    /// cells of input `input_idx`, according to the stored lineage?
+    /// Delegates to [`lookup_forward_many`](OpDatastore::lookup_forward_many).
+    pub fn lookup_forward(
+        &mut self,
+        query: &CellSet,
+        input_idx: usize,
+        op: &dyn Operator,
+        meta: &OpMeta,
+    ) -> LookupOutcome {
+        self.lookup_forward_many(&[query], input_idx, op, meta)
+            .pop()
+            .expect("one outcome per query")
+    }
+
+    /// Answers a whole batch of backward lookups in one pass, returning one
+    /// [`LookupOutcome`] per query (identical to running each query alone).
+    ///
+    /// The batch shares the physical work: a hash entry referenced by several
+    /// queries is fetched and decoded once, payload mapping functions run
+    /// once per stored region instead of once per query, and — the big one —
+    /// when the stored index direction does not match the query direction,
+    /// the *single* full scan (streamed through [`Database::scan_batch`] in
+    /// decode blocks riding the `put_batch` file layout) answers every query
+    /// of the batch, instead of one scan per query.
+    pub fn lookup_backward_many(
+        &mut self,
+        queries: &[&CellSet],
+        input_idx: usize,
+        op: &dyn Operator,
+        meta: &OpMeta,
+    ) -> Vec<LookupOutcome> {
         self.ensure_spatial_index();
-        let mut result = CellSet::empty(self.in_shapes[input_idx]);
-        let mut covered = CellSet::empty(self.out_shape);
-        let mut entries_fetched = 0usize;
-        let mut scanned = false;
+        let out_shape = self.out_shape;
+        let in_shapes = self.in_shapes.clone();
+        let mut outs: Vec<LookupOutcome> = queries
+            .iter()
+            .map(|_| LookupOutcome {
+                result: CellSet::empty(in_shapes[input_idx]),
+                covered: CellSet::empty(out_shape),
+                entries_fetched: 0,
+                scanned: false,
+            })
+            .collect();
 
         match (
             self.strategy.mode,
@@ -633,19 +717,24 @@ impl OpDatastore {
         ) {
             // --- Indexed (backward-optimized) paths -------------------------
             (LineageMode::Full, Direction::Backward, Granularity::One) => {
-                for qc in query.iter() {
-                    let key = encoder::out_cell_key(&self.out_shape, &qc);
-                    if let Some(value) = self.db.get(&key) {
-                        covered.insert(&qc);
+                let mut cache = EntryCache::new();
+                for (out, query) in outs.iter_mut().zip(queries) {
+                    for qc in query.iter() {
+                        let key = encoder::out_cell_key(&out_shape, &qc);
+                        let Some(value) = self.db.get(&key) else {
+                            continue;
+                        };
+                        out.covered.insert(&qc);
                         for id in decode_entry_ids(&value).unwrap_or_default() {
-                            if let Some(body) = self.db.get(&encoder::entry_key(id)) {
-                                entries_fetched += 1;
-                                if let Ok(entry) =
-                                    decode_full_entry(&self.out_shape, &self.in_shapes, &body)
-                                {
-                                    for c in entry.incells.get(input_idx).into_iter().flatten() {
-                                        result.insert(c);
-                                    }
+                            let (present, entry) = cache.get(&mut self.db, id, |body| {
+                                decode_full_entry(&out_shape, &in_shapes, body).ok()
+                            });
+                            if present {
+                                out.entries_fetched += 1;
+                            }
+                            if let Some(entry) = entry {
+                                for c in entry.incells.get(input_idx).into_iter().flatten() {
+                                    out.result.insert(c);
                                 }
                             }
                         }
@@ -653,158 +742,186 @@ impl OpDatastore {
                 }
             }
             (LineageMode::Full, Direction::Backward, Granularity::Many) => {
-                let ids = self.candidate_entries(query);
-                for id in ids {
-                    if let Some(body) = self.db.get(&encoder::entry_key(id)) {
-                        entries_fetched += 1;
-                        if let Ok(entry) =
-                            decode_full_entry(&self.out_shape, &self.in_shapes, &body)
-                        {
-                            let hits: Vec<&Coord> = entry
-                                .outcells
-                                .iter()
-                                .filter(|c| query.contains(c))
-                                .collect();
-                            if !hits.is_empty() {
-                                for c in &hits {
-                                    covered.insert(c);
-                                }
-                                for c in entry.incells.get(input_idx).into_iter().flatten() {
-                                    result.insert(c);
-                                }
+                let candidates: Vec<Vec<u64>> =
+                    queries.iter().map(|q| self.candidate_entries(q)).collect();
+                let mut cache = EntryCache::new();
+                for ((out, query), ids) in outs.iter_mut().zip(queries).zip(candidates) {
+                    for id in ids {
+                        let (present, entry) = cache.get(&mut self.db, id, |body| {
+                            decode_full_entry(&out_shape, &in_shapes, body).ok()
+                        });
+                        if present {
+                            out.entries_fetched += 1;
+                        }
+                        let Some(entry) = entry else { continue };
+                        let hits: Vec<&Coord> = entry
+                            .outcells
+                            .iter()
+                            .filter(|c| query.contains(c))
+                            .collect();
+                        if !hits.is_empty() {
+                            for c in &hits {
+                                out.covered.insert(c);
+                            }
+                            for c in entry.incells.get(input_idx).into_iter().flatten() {
+                                out.result.insert(c);
                             }
                         }
                     }
                 }
             }
             (LineageMode::Pay | LineageMode::Comp, _, Granularity::One) => {
-                for qc in query.iter() {
-                    let key = encoder::out_cell_key(&self.out_shape, &qc);
-                    if let Some(value) = self.db.get(&key) {
-                        covered.insert(&qc);
-                        entries_fetched += 1;
-                        for payload in decode_payloads(&value).unwrap_or_default() {
-                            for c in op
-                                .map_payload(&qc, &payload, input_idx, meta)
-                                .unwrap_or_default()
-                            {
-                                result.insert(&c);
+                // map_payload depends on the query cell, so only the record
+                // fetches are shareable — and query cells rarely repeat
+                // across a batch; keep the per-query loop.
+                for (out, query) in outs.iter_mut().zip(queries) {
+                    for qc in query.iter() {
+                        let key = encoder::out_cell_key(&out_shape, &qc);
+                        if let Some(value) = self.db.get(&key) {
+                            out.covered.insert(&qc);
+                            out.entries_fetched += 1;
+                            for payload in decode_payloads(&value).unwrap_or_default() {
+                                for c in op
+                                    .map_payload(&qc, &payload, input_idx, meta)
+                                    .unwrap_or_default()
+                                {
+                                    out.result.insert(&c);
+                                }
                             }
                         }
                     }
                 }
             }
             (LineageMode::Pay | LineageMode::Comp, _, Granularity::Many) => {
-                let ids = self.candidate_entries(query);
-                for id in ids {
-                    if let Some(body) = self.db.get(&encoder::entry_key(id)) {
-                        entries_fetched += 1;
-                        if let Ok(entry) = decode_pay_entry(&self.out_shape, &body) {
-                            for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
-                                covered.insert(oc);
-                                for c in op
-                                    .map_payload(oc, &entry.payload, input_idx, meta)
-                                    .unwrap_or_default()
-                                {
-                                    result.insert(&c);
-                                }
+                let candidates: Vec<Vec<u64>> =
+                    queries.iter().map(|q| self.candidate_entries(q)).collect();
+                let mut cache = EntryCache::new();
+                for ((out, query), ids) in outs.iter_mut().zip(queries).zip(candidates) {
+                    for id in ids {
+                        let (present, entry) = cache.get(&mut self.db, id, |body| {
+                            decode_pay_entry(&out_shape, body).ok()
+                        });
+                        if present {
+                            out.entries_fetched += 1;
+                        }
+                        let Some(entry) = entry else { continue };
+                        for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
+                            out.covered.insert(oc);
+                            for c in op
+                                .map_payload(oc, &entry.payload, input_idx, meta)
+                                .unwrap_or_default()
+                            {
+                                out.result.insert(&c);
                             }
                         }
                     }
                 }
             }
             // --- Mismatched index: forward-optimized store, backward query --
-            (LineageMode::Full, Direction::Forward, _) => {
-                scanned = true;
-                let pairs: Vec<(Vec<u8>, Vec<u8>)> = self.db.iter().collect();
-                match self.strategy.granularity {
-                    Granularity::One => {
-                        // Keys are (input idx, input cell); entries hold
-                        // output cells.  Scan every input-cell record.
-                        for (key, value) in &pairs {
-                            let Ok(DecodedKey::InCell { input_idx: i, cell }) =
-                                decode_key(&self.out_shape, &self.in_shapes, key)
-                            else {
-                                continue;
-                            };
-                            if i != input_idx {
-                                continue;
+            (LineageMode::Full, Direction::Forward, Granularity::One) => {
+                for out in outs.iter_mut() {
+                    out.scanned = true;
+                }
+                // One streamed scan collects the input-cell records and the
+                // decoded entry bodies; the join below answers every query.
+                let mut in_records: Vec<(Coord, Vec<u64>)> = Vec::new();
+                let mut entries: HashMap<u64, Option<encoder::FullEntry>> = HashMap::new();
+                self.db.scan_batch(SCAN_BLOCK, &mut |block| {
+                    for (key, value) in block {
+                        match decode_key(&out_shape, &in_shapes, key) {
+                            Ok(DecodedKey::InCell { input_idx: i, cell }) if i == input_idx => {
+                                in_records
+                                    .push((cell, decode_entry_ids(value).unwrap_or_default()));
                             }
-                            for id in decode_entry_ids(value).unwrap_or_default() {
-                                if let Some(body) = self.db.peek(&encoder::entry_key(id)) {
-                                    entries_fetched += 1;
-                                    if let Ok(entry) =
-                                        decode_full_entry(&self.out_shape, &self.in_shapes, &body)
-                                    {
-                                        let hit = entry.outcells.iter().any(|c| query.contains(c));
-                                        if hit {
-                                            result.insert(&cell);
-                                            for oc in
-                                                entry.outcells.iter().filter(|c| query.contains(c))
-                                            {
-                                                covered.insert(oc);
-                                            }
-                                        }
-                                    }
-                                }
+                            Ok(DecodedKey::Entry(id)) => {
+                                entries.insert(
+                                    id,
+                                    decode_full_entry(&out_shape, &in_shapes, value).ok(),
+                                );
                             }
+                            _ => {}
                         }
                     }
-                    Granularity::Many => {
-                        for (key, body) in &pairs {
-                            if !matches!(
-                                decode_key(&self.out_shape, &self.in_shapes, key),
-                                Ok(DecodedKey::Entry(_))
-                            ) {
-                                continue;
-                            }
-                            entries_fetched += 1;
-                            if let Ok(entry) =
-                                decode_full_entry(&self.out_shape, &self.in_shapes, body)
-                            {
-                                let hit = entry.outcells.iter().any(|c| query.contains(c));
-                                if hit {
-                                    for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
-                                        covered.insert(oc);
-                                    }
-                                    for c in entry.incells.get(input_idx).into_iter().flatten() {
-                                        result.insert(c);
-                                    }
+                });
+                for (cell, ids) in &in_records {
+                    for id in ids {
+                        let Some(decoded) = entries.get(id) else {
+                            continue;
+                        };
+                        for (out, query) in outs.iter_mut().zip(queries) {
+                            out.entries_fetched += 1;
+                            let Some(entry) = decoded else { continue };
+                            if entry.outcells.iter().any(|c| query.contains(c)) {
+                                out.result.insert(cell);
+                                for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
+                                    out.covered.insert(oc);
                                 }
                             }
                         }
                     }
                 }
             }
+            (LineageMode::Full, Direction::Forward, Granularity::Many) => {
+                for out in outs.iter_mut() {
+                    out.scanned = true;
+                }
+                self.db.scan_batch(SCAN_BLOCK, &mut |block| {
+                    for (key, body) in block {
+                        if !matches!(
+                            decode_key(&out_shape, &in_shapes, key),
+                            Ok(DecodedKey::Entry(_))
+                        ) {
+                            continue;
+                        }
+                        let decoded = decode_full_entry(&out_shape, &in_shapes, body).ok();
+                        for (out, query) in outs.iter_mut().zip(queries) {
+                            out.entries_fetched += 1;
+                            let Some(entry) = &decoded else { continue };
+                            if entry.outcells.iter().any(|c| query.contains(c)) {
+                                for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
+                                    out.covered.insert(oc);
+                                }
+                                for c in entry.incells.get(input_idx).into_iter().flatten() {
+                                    out.result.insert(c);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
             (LineageMode::Map | LineageMode::Blackbox, _, _) => {
                 // These strategies store nothing; the query executor never
-                // routes lookups here, but returning an empty outcome keeps
-                // the datastore total.
+                // routes lookups here, but returning empty outcomes keeps the
+                // datastore total.
             }
         }
 
-        LookupOutcome {
-            result,
-            covered,
-            entries_fetched,
-            scanned,
-        }
+        outs
     }
 
-    /// Answers a forward lookup: which output cells depend on the query cells
-    /// of input `input_idx`, according to the stored lineage?
-    pub fn lookup_forward(
+    /// Answers a whole batch of forward lookups in one pass; the batched
+    /// counterpart of [`lookup_forward`](OpDatastore::lookup_forward) (see
+    /// [`lookup_backward_many`](OpDatastore::lookup_backward_many) for the
+    /// sharing the batch exploits).
+    pub fn lookup_forward_many(
         &mut self,
-        query: &CellSet,
+        queries: &[&CellSet],
         input_idx: usize,
         op: &dyn Operator,
         meta: &OpMeta,
-    ) -> LookupOutcome {
+    ) -> Vec<LookupOutcome> {
         self.ensure_spatial_index();
-        let mut result = CellSet::empty(self.out_shape);
-        let mut covered = CellSet::empty(self.in_shapes[input_idx]);
-        let mut entries_fetched = 0usize;
-        let mut scanned = false;
+        let out_shape = self.out_shape;
+        let in_shapes = self.in_shapes.clone();
+        let mut outs: Vec<LookupOutcome> = queries
+            .iter()
+            .map(|_| LookupOutcome {
+                result: CellSet::empty(out_shape),
+                covered: CellSet::empty(in_shapes[input_idx]),
+                entries_fetched: 0,
+                scanned: false,
+            })
+            .collect();
 
         match (
             self.strategy.mode,
@@ -813,19 +930,24 @@ impl OpDatastore {
         ) {
             // --- Indexed (forward-optimized) paths ---------------------------
             (LineageMode::Full, Direction::Forward, Granularity::One) => {
-                for qc in query.iter() {
-                    let key = encoder::in_cell_key(&self.in_shapes[input_idx], input_idx, &qc);
-                    if let Some(value) = self.db.get(&key) {
-                        covered.insert(&qc);
+                let mut cache = EntryCache::new();
+                for (out, query) in outs.iter_mut().zip(queries) {
+                    for qc in query.iter() {
+                        let key = encoder::in_cell_key(&in_shapes[input_idx], input_idx, &qc);
+                        let Some(value) = self.db.get(&key) else {
+                            continue;
+                        };
+                        out.covered.insert(&qc);
                         for id in decode_entry_ids(&value).unwrap_or_default() {
-                            if let Some(body) = self.db.get(&encoder::entry_key(id)) {
-                                entries_fetched += 1;
-                                if let Ok(entry) =
-                                    decode_full_entry(&self.out_shape, &self.in_shapes, &body)
-                                {
-                                    for c in &entry.outcells {
-                                        result.insert(c);
-                                    }
+                            let (present, entry) = cache.get(&mut self.db, id, |body| {
+                                decode_full_entry(&out_shape, &in_shapes, body).ok()
+                            });
+                            if present {
+                                out.entries_fetched += 1;
+                            }
+                            if let Some(entry) = entry {
+                                for c in &entry.outcells {
+                                    out.result.insert(c);
                                 }
                             }
                         }
@@ -833,78 +955,18 @@ impl OpDatastore {
                 }
             }
             (LineageMode::Full, Direction::Forward, Granularity::Many) => {
-                let ids = self.candidate_entries(query);
-                for id in ids {
-                    if let Some(body) = self.db.get(&encoder::entry_key(id)) {
-                        entries_fetched += 1;
-                        if let Ok(entry) =
-                            decode_full_entry(&self.out_shape, &self.in_shapes, &body)
-                        {
-                            let hits: Vec<&Coord> = entry
-                                .incells
-                                .get(input_idx)
-                                .into_iter()
-                                .flatten()
-                                .filter(|c| query.contains(c))
-                                .collect();
-                            if !hits.is_empty() {
-                                for c in &hits {
-                                    covered.insert(c);
-                                }
-                                for c in &entry.outcells {
-                                    result.insert(c);
-                                }
-                            }
+                let candidates: Vec<Vec<u64>> =
+                    queries.iter().map(|q| self.candidate_entries(q)).collect();
+                let mut cache = EntryCache::new();
+                for ((out, query), ids) in outs.iter_mut().zip(queries).zip(candidates) {
+                    for id in ids {
+                        let (present, entry) = cache.get(&mut self.db, id, |body| {
+                            decode_full_entry(&out_shape, &in_shapes, body).ok()
+                        });
+                        if present {
+                            out.entries_fetched += 1;
                         }
-                    }
-                }
-            }
-            // --- Mismatched index: backward-optimized store, forward query ---
-            (LineageMode::Full, Direction::Backward, Granularity::One) => {
-                scanned = true;
-                let pairs: Vec<(Vec<u8>, Vec<u8>)> = self.db.iter().collect();
-                for (key, value) in &pairs {
-                    let Ok(DecodedKey::OutCell(oc)) =
-                        decode_key(&self.out_shape, &self.in_shapes, key)
-                    else {
-                        continue;
-                    };
-                    for id in decode_entry_ids(value).unwrap_or_default() {
-                        if let Some(body) = self.db.peek(&encoder::entry_key(id)) {
-                            entries_fetched += 1;
-                            if let Ok(entry) =
-                                decode_full_entry(&self.out_shape, &self.in_shapes, &body)
-                            {
-                                let hits: Vec<&Coord> = entry
-                                    .incells
-                                    .get(input_idx)
-                                    .into_iter()
-                                    .flatten()
-                                    .filter(|c| query.contains(c))
-                                    .collect();
-                                if !hits.is_empty() {
-                                    result.insert(&oc);
-                                    for c in &hits {
-                                        covered.insert(c);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            (LineageMode::Full, Direction::Backward, Granularity::Many) => {
-                scanned = true;
-                let pairs: Vec<(Vec<u8>, Vec<u8>)> = self.db.iter().collect();
-                for (key, body) in &pairs {
-                    if !matches!(
-                        decode_key(&self.out_shape, &self.in_shapes, key),
-                        Ok(DecodedKey::Entry(_))
-                    ) {
-                        continue;
-                    }
-                    entries_fetched += 1;
-                    if let Ok(entry) = decode_full_entry(&self.out_shape, &self.in_shapes, body) {
+                        let Some(entry) = entry else { continue };
                         let hits: Vec<&Coord> = entry
                             .incells
                             .get(input_idx)
@@ -914,78 +976,172 @@ impl OpDatastore {
                             .collect();
                         if !hits.is_empty() {
                             for c in &hits {
-                                covered.insert(c);
+                                out.covered.insert(c);
                             }
                             for c in &entry.outcells {
-                                result.insert(c);
+                                out.result.insert(c);
                             }
                         }
                     }
                 }
             }
-            // --- Payload lineage: always requires iterating the pairs --------
-            (LineageMode::Pay | LineageMode::Comp, _, Granularity::One) => {
-                scanned = true;
-                let pairs: Vec<(Vec<u8>, Vec<u8>)> = self.db.iter().collect();
-                for (key, value) in &pairs {
-                    let Ok(DecodedKey::OutCell(oc)) =
-                        decode_key(&self.out_shape, &self.in_shapes, key)
-                    else {
-                        continue;
-                    };
-                    entries_fetched += 1;
-                    for payload in decode_payloads(value).unwrap_or_default() {
-                        let incells = op
-                            .map_payload(&oc, &payload, input_idx, meta)
-                            .unwrap_or_default();
-                        let hits: Vec<&Coord> =
-                            incells.iter().filter(|c| query.contains(c)).collect();
-                        if !hits.is_empty() {
-                            result.insert(&oc);
-                            for c in &hits {
-                                covered.insert(c);
+            // --- Mismatched index: backward-optimized store, forward query ---
+            (LineageMode::Full, Direction::Backward, Granularity::One) => {
+                for out in outs.iter_mut() {
+                    out.scanned = true;
+                }
+                let mut out_records: Vec<(Coord, Vec<u64>)> = Vec::new();
+                let mut entries: HashMap<u64, Option<encoder::FullEntry>> = HashMap::new();
+                self.db.scan_batch(SCAN_BLOCK, &mut |block| {
+                    for (key, value) in block {
+                        match decode_key(&out_shape, &in_shapes, key) {
+                            Ok(DecodedKey::OutCell(oc)) => {
+                                out_records.push((oc, decode_entry_ids(value).unwrap_or_default()));
                             }
+                            Ok(DecodedKey::Entry(id)) => {
+                                entries.insert(
+                                    id,
+                                    decode_full_entry(&out_shape, &in_shapes, value).ok(),
+                                );
+                            }
+                            _ => {}
                         }
                     }
-                }
-            }
-            (LineageMode::Pay | LineageMode::Comp, _, Granularity::Many) => {
-                scanned = true;
-                let pairs: Vec<(Vec<u8>, Vec<u8>)> = self.db.iter().collect();
-                for (key, body) in &pairs {
-                    if !matches!(
-                        decode_key(&self.out_shape, &self.in_shapes, key),
-                        Ok(DecodedKey::Entry(_))
-                    ) {
-                        continue;
-                    }
-                    entries_fetched += 1;
-                    if let Ok(entry) = decode_pay_entry(&self.out_shape, body) {
-                        for oc in &entry.outcells {
-                            let incells = op
-                                .map_payload(oc, &entry.payload, input_idx, meta)
-                                .unwrap_or_default();
-                            let hits: Vec<&Coord> =
-                                incells.iter().filter(|c| query.contains(c)).collect();
+                });
+                for (oc, ids) in &out_records {
+                    for id in ids {
+                        let Some(decoded) = entries.get(id) else {
+                            continue;
+                        };
+                        for (out, query) in outs.iter_mut().zip(queries) {
+                            out.entries_fetched += 1;
+                            let Some(entry) = decoded else { continue };
+                            let hits: Vec<&Coord> = entry
+                                .incells
+                                .get(input_idx)
+                                .into_iter()
+                                .flatten()
+                                .filter(|c| query.contains(c))
+                                .collect();
                             if !hits.is_empty() {
-                                result.insert(oc);
+                                out.result.insert(oc);
                                 for c in &hits {
-                                    covered.insert(c);
+                                    out.covered.insert(c);
                                 }
                             }
                         }
                     }
                 }
             }
+            (LineageMode::Full, Direction::Backward, Granularity::Many) => {
+                for out in outs.iter_mut() {
+                    out.scanned = true;
+                }
+                self.db.scan_batch(SCAN_BLOCK, &mut |block| {
+                    for (key, body) in block {
+                        if !matches!(
+                            decode_key(&out_shape, &in_shapes, key),
+                            Ok(DecodedKey::Entry(_))
+                        ) {
+                            continue;
+                        }
+                        let decoded = decode_full_entry(&out_shape, &in_shapes, body).ok();
+                        for (out, query) in outs.iter_mut().zip(queries) {
+                            out.entries_fetched += 1;
+                            let Some(entry) = &decoded else { continue };
+                            let hits: Vec<&Coord> = entry
+                                .incells
+                                .get(input_idx)
+                                .into_iter()
+                                .flatten()
+                                .filter(|c| query.contains(c))
+                                .collect();
+                            if !hits.is_empty() {
+                                for c in &hits {
+                                    out.covered.insert(c);
+                                }
+                                for c in &entry.outcells {
+                                    out.result.insert(c);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            // --- Payload lineage: always requires iterating the pairs --------
+            (LineageMode::Pay | LineageMode::Comp, _, Granularity::One) => {
+                for out in outs.iter_mut() {
+                    out.scanned = true;
+                }
+                self.db.scan_batch(SCAN_BLOCK, &mut |block| {
+                    for (key, value) in block {
+                        let Ok(DecodedKey::OutCell(oc)) = decode_key(&out_shape, &in_shapes, key)
+                        else {
+                            continue;
+                        };
+                        for out in outs.iter_mut() {
+                            out.entries_fetched += 1;
+                        }
+                        for payload in decode_payloads(value).unwrap_or_default() {
+                            // The mapping function depends only on the stored
+                            // region: resolve it once for the whole batch.
+                            let incells = op
+                                .map_payload(&oc, &payload, input_idx, meta)
+                                .unwrap_or_default();
+                            for (out, query) in outs.iter_mut().zip(queries) {
+                                let hits: Vec<&Coord> =
+                                    incells.iter().filter(|c| query.contains(c)).collect();
+                                if !hits.is_empty() {
+                                    out.result.insert(&oc);
+                                    for c in &hits {
+                                        out.covered.insert(c);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            (LineageMode::Pay | LineageMode::Comp, _, Granularity::Many) => {
+                for out in outs.iter_mut() {
+                    out.scanned = true;
+                }
+                self.db.scan_batch(SCAN_BLOCK, &mut |block| {
+                    for (key, body) in block {
+                        if !matches!(
+                            decode_key(&out_shape, &in_shapes, key),
+                            Ok(DecodedKey::Entry(_))
+                        ) {
+                            continue;
+                        }
+                        for out in outs.iter_mut() {
+                            out.entries_fetched += 1;
+                        }
+                        let Ok(entry) = decode_pay_entry(&out_shape, body) else {
+                            continue;
+                        };
+                        for oc in &entry.outcells {
+                            let incells = op
+                                .map_payload(oc, &entry.payload, input_idx, meta)
+                                .unwrap_or_default();
+                            for (out, query) in outs.iter_mut().zip(queries) {
+                                let hits: Vec<&Coord> =
+                                    incells.iter().filter(|c| query.contains(c)).collect();
+                                if !hits.is_empty() {
+                                    out.result.insert(oc);
+                                    for c in &hits {
+                                        out.covered.insert(c);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
             (LineageMode::Map | LineageMode::Blackbox, _, _) => {}
         }
 
-        LookupOutcome {
-            result,
-            covered,
-            entries_fetched,
-            scanned,
-        }
+        outs
     }
 
     /// Entry ids whose key-side bounding box intersects any query cell,
@@ -1411,6 +1567,114 @@ mod tests {
             vec![Coord::d2(6, 6)]
         );
         assert_eq!(ds.pairs_stored(), 2);
+    }
+
+    #[test]
+    fn lookup_many_matches_one_at_a_time_lookups() {
+        // Batched multi-query lookups must return, per query, exactly what a
+        // fresh one-at-a-time lookup returns — for every strategy, in both
+        // directions, including the mismatched-direction scan paths and
+        // queries that share hash entries.
+        let m = meta();
+        let op = RadiusOp;
+        let pairs = mixed_pairs();
+        let shape = Shape::d2(8, 8);
+        let query_sets: Vec<CellSet> = (0..6)
+            .map(|i| {
+                query_of(
+                    shape,
+                    &[
+                        Coord::d2(i, i),
+                        Coord::d2(i, 7 - i),
+                        Coord::d2(0, 0), // shared across all queries
+                        Coord::d2((i * 3) % 8, 1),
+                    ],
+                )
+            })
+            .collect();
+        let refs: Vec<&CellSet> = query_sets.iter().collect();
+        for strategy in all_strategies() {
+            let mut ds = OpDatastore::in_memory("t", strategy, &m);
+            ds.store_batch(&pairs, 1);
+            for input_idx in 0..2 {
+                let many = ds.lookup_backward_many(&refs, input_idx, &op, &m);
+                assert_eq!(many.len(), refs.len());
+                for (q, outcome) in query_sets.iter().zip(&many) {
+                    let single = ds.lookup_backward(q, input_idx, &op, &m);
+                    assert_eq!(
+                        outcome.result.to_coords(),
+                        single.result.to_coords(),
+                        "backward result differs for {strategy} input {input_idx}"
+                    );
+                    assert_eq!(outcome.covered.to_coords(), single.covered.to_coords());
+                    assert_eq!(outcome.scanned, single.scanned, "scanned flag {strategy}");
+                    assert_eq!(
+                        outcome.entries_fetched, single.entries_fetched,
+                        "fetch accounting differs for {strategy} input {input_idx}"
+                    );
+                }
+                let many = ds.lookup_forward_many(&refs, input_idx, &op, &m);
+                for (q, outcome) in query_sets.iter().zip(&many) {
+                    let single = ds.lookup_forward(q, input_idx, &op, &m);
+                    assert_eq!(
+                        outcome.result.to_coords(),
+                        single.result.to_coords(),
+                        "forward result differs for {strategy} input {input_idx}"
+                    );
+                    assert_eq!(outcome.covered.to_coords(), single.covered.to_coords());
+                    assert_eq!(outcome.scanned, single.scanned);
+                    assert_eq!(outcome.entries_fetched, single.entries_fetched);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_many_shares_scans_on_file_backend() {
+        // The batched mismatched-direction lookup over the file backend must
+        // agree with singles (exercises FileBackend::scan_batch's sequential
+        // path end to end).
+        let dir = std::env::temp_dir().join(format!("subzero-ds-scan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = meta();
+        let op = RadiusOp;
+        let backend = subzero_store::kv::FileBackend::open(&dir.join("scan.kv")).unwrap();
+        let mut ds = OpDatastore::new(
+            "t",
+            StorageStrategy::full_one_forward(),
+            &m,
+            Box::new(backend),
+        );
+        ds.store_batch(&mixed_pairs(), 1);
+        ds.finish_ingest();
+        let shape = Shape::d2(8, 8);
+        let query_sets: Vec<CellSet> = (0..4)
+            .map(|i| query_of(shape, &[Coord::d2(i, i), Coord::d2(i + 1, i)]))
+            .collect();
+        let refs: Vec<&CellSet> = query_sets.iter().collect();
+        let many = ds.lookup_backward_many(&refs, 0, &op, &m);
+        for (q, outcome) in query_sets.iter().zip(&many) {
+            assert!(outcome.scanned, "mismatched direction must scan");
+            let single = ds.lookup_backward(q, 0, &op, &m);
+            assert_eq!(outcome.result.to_coords(), single.result.to_coords());
+            assert_eq!(outcome.covered.to_coords(), single.covered.to_coords());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lookup_many_with_empty_batch_and_empty_queries() {
+        let m = meta();
+        let op = RadiusOp;
+        let mut ds = OpDatastore::in_memory("t", StorageStrategy::full_many(), &m);
+        ds.store_pair(&full_pair(&[Coord::d2(2, 2)], &[Coord::d2(3, 3)], &[]));
+        assert!(ds.lookup_backward_many(&[], 0, &op, &m).is_empty());
+        let empty = CellSet::empty(Shape::d2(8, 8));
+        let full = query_of(Shape::d2(8, 8), &[Coord::d2(2, 2)]);
+        let outs = ds.lookup_backward_many(&[&empty, &full], 0, &op, &m);
+        assert!(outs[0].result.is_empty());
+        assert_eq!(outs[1].result.to_coords(), vec![Coord::d2(3, 3)]);
     }
 
     #[test]

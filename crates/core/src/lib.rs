@@ -7,11 +7,11 @@
 //! ([`subzero_engine`]) and records *region lineage*: relationships between
 //! sets of output cells and sets of input cells of each operator.  Operators
 //! expose lineage through the `lwrite()` API and/or mapping functions; the
-//! runtime encodes and stores region pairs in per-operator datastores; and
-//! the query executor answers backward and forward lineage queries by joining
-//! query cells with stored lineage, mapping functions, or operator
-//! re-execution — whichever the chosen strategy (and the query-time
-//! optimizer) prefers.
+//! runtime encodes and stores region pairs in per-operator datastores; and a
+//! per-run [`QuerySession`](query::QuerySession) answers backward and forward
+//! lineage queries by joining query cells with stored lineage, mapping
+//! functions, or operator re-execution — whichever the chosen strategy (and
+//! the query-time optimizer) prefers.
 //!
 //! ## Crate layout
 //!
@@ -22,17 +22,25 @@
 //!   paper).
 //! * [`datastore`] — one [`OpDatastore`](datastore::OpDatastore) per
 //!   (operator, strategy): hash entries in a [`subzero_store`] database plus
-//!   an R-tree over the key cells for the *Many* encodings.
+//!   an R-tree over the key cells for the *Many* encodings.  Lookups are
+//!   batch-oriented (`lookup_backward_many`): one call answers many queries,
+//!   sharing decoded entries and — on a mismatched index direction — the
+//!   single streamed full scan.
 //! * [`runtime`] — the [`Runtime`](runtime::Runtime) lineage collector that
 //!   plugs into the workflow executor, buffers and encodes region pairs, and
 //!   gathers the statistics the optimizer needs.
-//! * [`query`] — the lineage [`QueryExecutor`](query::QueryExecutor):
-//!   backward/forward path traversal, boolean-array intermediates, the
+//! * [`query`] — the [`QuerySession`](query::QuerySession): traversals
+//!   derived from the workflow DAG (callers name *arrays*, never `(operator,
+//!   input)` step vectors), multi-path fan-out at DAG joins, multi-query
+//!   batching, streaming [`LineageCursor`](query::LineageCursor)s, the
 //!   entire-array optimization, and the query-time fallback to re-execution.
+//!   The legacy [`LineageQuery`](query::LineageQuery) +
+//!   [`QueryExecutor`](query::QueryExecutor) explicit-path surface remains as
+//!   a validated shim over the same step engine.
 //! * [`reexec`] — turning traced region pairs (from black-box re-execution)
 //!   into query answers.
 //! * [`system`] — the [`SubZero`](system::SubZero) façade: execute workflows
-//!   under a lineage strategy, run lineage queries, report overheads.
+//!   under a lineage strategy, borrow query sessions, report overheads.
 //!
 //! ## Quick start
 //!
@@ -54,14 +62,34 @@
 //! inputs.insert("img".to_string(), Array::from_rows(&[vec![1.0, 3.0]]));
 //! let run = subzero.execute(&wf, &inputs).unwrap();
 //!
-//! // Trace the bright output cell back to the input image.
-//! let query = LineageQuery::backward(
-//!     vec![Coord::d2(0, 1)],
-//!     vec![(thresh, 0), (scale, 0)],
-//! );
-//! let result = subzero.query(&run, &query).unwrap();
+//! // Trace the bright output cell back to the input image: the session
+//! // derives the thresh -> scale -> "img" traversal from the DAG.
+//! let mut session = subzero.session(&run);
+//! let result = session
+//!     .backward(vec![Coord::d2(0, 1)])
+//!     .from(thresh)
+//!     .to_source("img")
+//!     .unwrap();
+//! assert_eq!(result.cells.to_coords(), vec![Coord::d2(0, 1)]);
+//!
+//! // Which outputs does the bright input pixel influence?
+//! let result = session
+//!     .forward(vec![Coord::d2(0, 1)])
+//!     .from_source("img")
+//!     .to(thresh)
+//!     .unwrap();
 //! assert_eq!(result.cells.to_coords(), vec![Coord::d2(0, 1)]);
 //! ```
+//!
+//! ## Migrating from `LineageQuery`
+//!
+//! `LineageQuery::backward(cells, vec![(thresh, 0), (scale, 0)])` becomes
+//! `session.backward(cells).from(thresh).to_source("img")` — name the two
+//! endpoint arrays and the session derives the steps (unioning over every
+//! DAG path between them).  The old type still works as a deprecated shim
+//! for pinning one exact path, now validated against the DAG
+//! ([`QueryError::InvalidPath`](query::QueryError::InvalidPath) instead of
+//! silently-wrong answers), and a parity test holds the two surfaces equal.
 
 pub mod datastore;
 pub mod encoder;
@@ -74,15 +102,20 @@ pub mod system;
 
 pub use datastore::OpDatastore;
 pub use model::{Direction, Granularity, LineageStrategy, StorageStrategy, StrategyError};
-pub use query::{LineageQuery, QueryError, QueryExecutor, QueryReport, QueryResult, StepMethod};
+pub use query::{
+    LineageCursor, LineageQuery, QueryError, QueryExecutor, QueryReport, QueryResult, QuerySession,
+    QuerySpec, StepMethod,
+};
 pub use runtime::{CaptureStats, IngestMode, OperatorLineageStats, Runtime};
+pub use subzero_engine::paths::ArrayNode;
 pub use system::SubZero;
 
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {
     pub use crate::model::{Direction, Granularity, LineageStrategy, StorageStrategy};
-    pub use crate::query::{LineageQuery, QueryResult};
+    pub use crate::query::{LineageCursor, LineageQuery, QueryResult, QuerySession, QuerySpec};
     pub use crate::system::SubZero;
     pub use subzero_array::{Array, CellSet, Coord, Shape};
+    pub use subzero_engine::paths::ArrayNode;
     pub use subzero_engine::{LineageMode, Workflow};
 }

@@ -4,10 +4,19 @@
 //! path by joining the lineage with the coordinates of the query cells, or
 //! the intermediate cells generated from the previous step." (§VI-C)
 //!
-//! A [`LineageQuery`] names an initial set of cells and a path of
-//! `(operator, input index)` steps; the executor walks the path backward
-//! (toward the workflow inputs) or forward (toward the outputs), producing a
-//! [`CellSet`] intermediate per step.  Each step is answered by one of:
+//! The entry point is a [`QuerySession`] borrowed from a
+//! [`SubZero`](crate::system::SubZero) run.  A session pins one executed
+//! workflow run, derives the operator traversal from the workflow DAG — the
+//! caller names *arrays* (`session.backward(cells).from(op).to_source("img")`),
+//! never `(operator, input index)` step vectors — and amortises work across
+//! queries: traced re-execution pairs are cached per operator, and batched
+//! queries ([`QuerySession::backward_many`]) share decoded scans, datastore
+//! handles and R-tree lookups at every step.  At a DAG join the derived
+//! traversal fans out over every path and unions the per-branch
+//! intermediates, which is equivalent to running each path separately and
+//! unioning the answers (each step distributes over unions of query cells).
+//!
+//! Each step is answered by one of:
 //!
 //! * the operator's **mapping functions** (free — nothing was stored),
 //! * **materialised region lineage** from the operator's datastores
@@ -20,14 +29,25 @@
 //! The **query-time optimizer** (§VII-A) decides between materialised lineage
 //! and re-execution using the statistics gathered at capture time, bounding
 //! the worst case to roughly the cost of the black-box approach.
+//!
+//! The legacy [`LineageQuery`] + [`QueryExecutor`] surface — explicit
+//! hand-assembled step vectors — remains as a thin shim over the same step
+//! engine, for parity testing and for callers that need to pin one exact
+//! path.  Hand-built paths are validated against the DAG: a path that skips
+//! an operator or crosses the wrong input slot fails with
+//! [`QueryError::InvalidPath`] naming the offending edge instead of
+//! returning a silently-empty answer.
 
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use subzero_array::{CellSet, Coord};
+use subzero_array::{CellSet, Coord, Shape};
 use subzero_engine::executor::{EngineError, WorkflowRun};
-use subzero_engine::{Engine, LineageMode, OpId, OperatorExt};
+use subzero_engine::paths::{self, ArrayNode, Edge, PathError};
+use subzero_engine::{Engine, InputSource, LineageMode, OpId, OperatorExt, RegionPair, Workflow};
 
+use crate::datastore::LookupOutcome;
 use crate::model::Direction;
 use crate::reexec;
 use crate::runtime::Runtime;
@@ -35,8 +55,10 @@ use crate::runtime::Runtime;
 /// Errors produced while executing a lineage query.
 #[derive(Debug)]
 pub enum QueryError {
-    /// The query path was empty.
+    /// The (legacy) query path was empty.
     EmptyPath,
+    /// A session query was finished without naming its origin array.
+    MissingOrigin,
     /// A path step referenced an input index the operator does not have.
     BadInputIndex {
         /// The operator.
@@ -44,14 +66,24 @@ pub enum QueryError {
         /// The requested input index.
         input_idx: usize,
     },
-    /// The cells flowing into a step did not match the array they should
-    /// belong to (the path is inconsistent with the workflow graph).
-    PathMismatch {
-        /// The step at which the mismatch was detected (0-based).
+    /// A hand-assembled path is inconsistent with the workflow DAG: the
+    /// named edge does not connect its step to the neighbouring step's
+    /// operator (the path skips an operator, or crosses the wrong slot).
+    InvalidPath {
+        /// The offending step (0-based index into the path).
         step: usize,
-        /// Description of the mismatch.
+        /// The operator whose input edge is crossed at that step.
+        op: OpId,
+        /// The input slot the path crosses.
+        input_idx: usize,
+        /// What the edge actually connects to.
         detail: String,
     },
+    /// The traversal could not be derived from the workflow DAG.
+    Path(PathError),
+    /// A malformed session query (e.g. a backward query starting from an
+    /// external array).
+    Spec(String),
     /// An engine-level failure (missing run record, missing array version).
     Engine(EngineError),
 }
@@ -60,12 +92,24 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::EmptyPath => write!(f, "lineage query path is empty"),
+            QueryError::MissingOrigin => write!(
+                f,
+                "query origin not set: call .from(op) / .from_source(name) before finishing"
+            ),
             QueryError::BadInputIndex { op, input_idx } => {
                 write!(f, "operator {op} has no input {input_idx}")
             }
-            QueryError::PathMismatch { step, detail } => {
-                write!(f, "query path inconsistent at step {step}: {detail}")
-            }
+            QueryError::InvalidPath {
+                step,
+                op,
+                input_idx,
+                detail,
+            } => write!(
+                f,
+                "query path invalid at step {step} (operator {op}, input {input_idx}): {detail}"
+            ),
+            QueryError::Path(e) => write!(f, "cannot derive query path: {e}"),
+            QueryError::Spec(s) => write!(f, "malformed query: {s}"),
             QueryError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }
@@ -79,8 +123,19 @@ impl From<EngineError> for QueryError {
     }
 }
 
-/// A lineage query: a set of starting cells and a path of
-/// `(operator, input index)` steps to trace through.
+impl From<PathError> for QueryError {
+    fn from(e: PathError) -> Self {
+        QueryError::Path(e)
+    }
+}
+
+/// A lineage query in the legacy format: a set of starting cells and a
+/// hand-assembled path of `(operator, input index)` steps.
+///
+/// Superseded by [`QuerySession`], which derives the path from the workflow
+/// DAG; this remains as a parity shim and for callers that must pin one
+/// exact path (both run on the same step engine and return identical
+/// answers along a given path).
 #[derive(Clone, Debug, PartialEq)]
 pub struct LineageQuery {
     /// The starting cells (output cells of the first path operator for a
@@ -98,6 +153,10 @@ pub struct LineageQuery {
 impl LineageQuery {
     /// A backward query: trace `cells` (output cells of `path[0].0`) back
     /// through the path toward the workflow inputs.
+    #[deprecated(
+        note = "hand-assembled (OpId, slot) paths are superseded by QuerySession's \
+                DAG-derived traversals; kept as a parity shim"
+    )]
     pub fn backward(cells: Vec<Coord>, path: Vec<(OpId, usize)>) -> Self {
         LineageQuery {
             cells,
@@ -108,12 +167,69 @@ impl LineageQuery {
 
     /// A forward query: trace `cells` (cells of input `path[0].1` of
     /// `path[0].0`) forward through the path toward the workflow outputs.
+    #[deprecated(
+        note = "hand-assembled (OpId, slot) paths are superseded by QuerySession's \
+                DAG-derived traversals; kept as a parity shim"
+    )]
     pub fn forward(cells: Vec<Coord>, path: Vec<(OpId, usize)>) -> Self {
         LineageQuery {
             cells,
             path,
             direction: Direction::Forward,
         }
+    }
+}
+
+/// A declarative session query: direction, starting cells, and the two
+/// endpoint *arrays* — no operator path.  The traversal between the
+/// endpoints is derived from the workflow DAG when the spec runs
+/// ([`QuerySession::query`]), fanning out over every path at DAG joins.
+///
+/// This is the storable/cloneable counterpart of the session builder calls,
+/// used by benchmark harnesses and the optimizer's sample workloads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuerySpec {
+    /// Traversal direction.
+    pub direction: Direction,
+    /// The starting cells, on the `from` array.
+    pub cells: Vec<Coord>,
+    /// The array the cells start on.
+    pub from: ArrayNode,
+    /// The array the answer lands on.
+    pub to: ArrayNode,
+}
+
+impl QuerySpec {
+    /// A backward query: trace output cells of operator `from` back to the
+    /// array `to`.
+    pub fn backward(cells: Vec<Coord>, from: OpId, to: ArrayNode) -> Self {
+        QuerySpec {
+            direction: Direction::Backward,
+            cells,
+            from: ArrayNode::Output(from),
+            to,
+        }
+    }
+
+    /// A backward query ending at the external array `source`.
+    pub fn backward_to_source(cells: Vec<Coord>, from: OpId, source: impl Into<String>) -> Self {
+        Self::backward(cells, from, ArrayNode::external(source))
+    }
+
+    /// A forward query: trace cells of the array `from` to the output of
+    /// operator `to`.
+    pub fn forward(cells: Vec<Coord>, from: ArrayNode, to: OpId) -> Self {
+        QuerySpec {
+            direction: Direction::Forward,
+            cells,
+            from,
+            to: ArrayNode::Output(to),
+        }
+    }
+
+    /// A forward query starting from the external array `source`.
+    pub fn forward_from_source(cells: Vec<Coord>, source: impl Into<String>, to: OpId) -> Self {
+        Self::forward(cells, ArrayNode::external(source), to)
     }
 }
 
@@ -131,6 +247,9 @@ pub enum StepMethod {
     Reexecution,
     /// The entire-array optimization short-circuited the step.
     EntireArray,
+    /// The step's intermediate was empty, so nothing ran: the result is
+    /// empty by construction (no lookup, mapping or re-execution happened).
+    Skipped,
 }
 
 impl fmt::Display for StepMethod {
@@ -141,6 +260,7 @@ impl fmt::Display for StepMethod {
             StepMethod::StoredPlusMapping => "stored+mapping",
             StepMethod::Reexecution => "re-execution",
             StepMethod::EntireArray => "entire-array",
+            StepMethod::Skipped => "skipped",
         };
         f.write_str(s)
     }
@@ -155,7 +275,9 @@ pub struct StepReport {
     pub input_idx: usize,
     /// How the step was answered.
     pub method: StepMethod,
-    /// Step wall-clock time.
+    /// Step wall-clock time.  For batched queries the shared step's total
+    /// time is reported in every participating query's report (the work was
+    /// done once for all of them).
     pub elapsed: Duration,
     /// Number of cells in the step's result.
     pub result_cells: usize,
@@ -273,38 +395,953 @@ impl QueryTimePolicy {
     }
 }
 
-/// Executes lineage queries against one engine + runtime pair.
-pub struct QueryExecutor<'a> {
+// ---------------------------------------------------------------------------
+// The step engine: one traversal step for a batch of query intermediates.
+// ---------------------------------------------------------------------------
+
+/// Per-array, per-query intermediates of one traversal (one [`CellSet`]
+/// per query of the batch, keyed by the array it lives on).
+type Frontier = HashMap<ArrayNode, Vec<CellSet>>;
+
+/// How one query of a step batch will be answered.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum StepChoice {
+    /// Empty intermediate: the answer is empty without touching anything.
+    Empty,
+    EntireArray,
+    Mapping,
+    Stored,
+    Reexec,
+}
+
+/// Executes single traversal steps for batches of query intermediates,
+/// sharing the heavy artifacts across the batch: one traced re-execution per
+/// operator (cached across steps and queries), one datastore lookup batch —
+/// and therefore at most one mismatched-direction scan — per step.
+struct StepEngine<'a> {
     engine: &'a Engine,
     runtime: &'a mut Runtime,
     options: QueryOptions,
     policy: QueryTimePolicy,
+    /// Traced pairs from black-box re-execution, keyed by `(run, operator)`.
+    reexec_pairs: HashMap<(u64, OpId), Vec<RegionPair>>,
+}
+
+impl<'a> StepEngine<'a> {
+    fn new(engine: &'a Engine, runtime: &'a mut Runtime) -> Self {
+        StepEngine {
+            engine,
+            runtime,
+            options: QueryOptions::default(),
+            policy: QueryTimePolicy::default(),
+            reexec_pairs: HashMap::new(),
+        }
+    }
+
+    /// Executes one `(operator, input index)` step for every intermediate in
+    /// `currents`, returning the per-query results and reports.
+    fn step_many(
+        &mut self,
+        run: &WorkflowRun,
+        op_id: OpId,
+        input_idx: usize,
+        direction: Direction,
+        currents: &[CellSet],
+    ) -> Result<Vec<(CellSet, StepReport)>, QueryError> {
+        let step_start = Instant::now();
+        let record = run.record(op_id)?;
+        let meta = &record.meta;
+        if input_idx >= meta.input_shapes.len() {
+            return Err(QueryError::BadInputIndex {
+                op: op_id,
+                input_idx,
+            });
+        }
+        let node = run.workflow.node(op_id).map_err(EngineError::Workflow)?;
+        let op = node.operator.as_ref();
+        let backward = direction == Direction::Backward;
+        let target_shape = match direction {
+            Direction::Backward => meta.input_shapes[input_idx],
+            Direction::Forward => meta.output_shape,
+        };
+
+        // --- Choose the step method per query -----------------------------
+        let strategies = self.runtime.strategies_for(op_id);
+        let has_stored = self.runtime.has_lineage(run.run_id, op_id);
+        let explicit_map = strategies.iter().any(|s| s.mode == LineageMode::Map);
+        // An explicit all-Blackbox assignment means "re-run this operator at
+        // query time even if it has mapping functions" — that is what the
+        // paper's BlackBox baseline does for every operator.
+        let forced_blackbox =
+            !strategies.is_empty() && strategies.iter().all(|s| s.mode == LineageMode::Blackbox);
+        let use_mapping_only = if forced_blackbox {
+            false
+        } else if has_stored {
+            explicit_map
+        } else {
+            // No materialised lineage: a mapping operator answers from its
+            // mapping functions; anything else re-executes.
+            op.is_mapping()
+        };
+        let (serving, total_entries) = if has_stored {
+            let serving = strategies
+                .iter()
+                .any(|s| s.stores_pairs() && s.serves(direction));
+            let total_entries: usize = self
+                .runtime
+                .datastores(run.run_id, op_id)
+                .iter()
+                .map(|d| d.num_entries())
+                .max()
+                .unwrap_or(0);
+            (serving, total_entries)
+        } else {
+            (false, 0)
+        };
+
+        let choices: Vec<StepChoice> = currents
+            .iter()
+            .map(|current| {
+                // Entire-array optimization, two cases (§VI-C): (a) the
+                // operator is all-to-all, so any non-empty intermediate
+                // spans the whole target array; (b) the intermediate already
+                // covers its whole array and the operator is annotated as
+                // safe to span across in this direction.
+                let entire = self.options.entire_array_optimization
+                    && ((op.all_to_all() && !current.is_empty())
+                        || (current.is_full() && op.spans_entire_array(input_idx, backward)));
+                if entire {
+                    StepChoice::EntireArray
+                } else if current.is_empty() {
+                    StepChoice::Empty
+                } else if forced_blackbox {
+                    StepChoice::Reexec
+                } else if use_mapping_only {
+                    StepChoice::Mapping
+                } else if has_stored {
+                    let use_stored = !self.options.query_time_optimizer
+                        || self.policy.prefer_stored(
+                            serving,
+                            current.len(),
+                            total_entries,
+                            record.elapsed,
+                        );
+                    if use_stored {
+                        StepChoice::Stored
+                    } else {
+                        StepChoice::Reexec
+                    }
+                } else {
+                    StepChoice::Reexec
+                }
+            })
+            .collect();
+
+        // --- Stored lookups: one batched call for the whole group ---------
+        let stored_idx: Vec<usize> = (0..currents.len())
+            .filter(|&i| choices[i] == StepChoice::Stored)
+            .collect();
+        let mut stored_outcomes: HashMap<usize, LookupOutcome> = HashMap::new();
+        if !stored_idx.is_empty() {
+            let group: Vec<&CellSet> = stored_idx.iter().map(|&i| &currents[i]).collect();
+            // Prefer a datastore whose index direction matches the query;
+            // fall back to any available one (which will scan).
+            let stores = self.runtime.datastores(run.run_id, op_id);
+            let pick = stores
+                .iter()
+                .position(|d| d.strategy().serves(direction))
+                .or(if stores.is_empty() { None } else { Some(0) });
+            let outcomes = match pick {
+                Some(idx) => match direction {
+                    Direction::Backward => {
+                        stores[idx].lookup_backward_many(&group, input_idx, op, meta)
+                    }
+                    Direction::Forward => {
+                        stores[idx].lookup_forward_many(&group, input_idx, op, meta)
+                    }
+                },
+                None => group
+                    .iter()
+                    .map(|_| LookupOutcome {
+                        result: CellSet::empty(target_shape),
+                        covered: CellSet::empty(currents[stored_idx[0]].shape()),
+                        entries_fetched: 0,
+                        scanned: false,
+                    })
+                    .collect(),
+            };
+            for (&i, outcome) in stored_idx.iter().zip(outcomes) {
+                stored_outcomes.insert(i, outcome);
+            }
+        }
+
+        // --- Re-execution: trace the operator once for everyone -----------
+        if choices.contains(&StepChoice::Reexec) {
+            let key = (run.run_id, op_id);
+            if !self.reexec_pairs.contains_key(&key) {
+                let (pairs, _elapsed) = self.engine.rerun_tracing(run, op_id)?;
+                self.reexec_pairs.insert(key, pairs);
+            }
+        }
+
+        // --- Assemble per-query results ------------------------------------
+        let is_composite = strategies.iter().any(|s| s.mode == LineageMode::Comp);
+        let mut out = Vec::with_capacity(currents.len());
+        for (i, current) in currents.iter().enumerate() {
+            let (mut result, mut method, mut scanned) =
+                (CellSet::empty(target_shape), StepMethod::Mapping, false);
+            match choices[i] {
+                StepChoice::Empty => {
+                    // Nothing ran for this query; say so instead of
+                    // misattributing the step to a method that never
+                    // executed (reexecutions()/any_scan() stay truthful).
+                    method = StepMethod::Skipped;
+                }
+                StepChoice::EntireArray => {
+                    result = CellSet::full(target_shape);
+                    method = StepMethod::EntireArray;
+                }
+                StepChoice::Mapping => {
+                    result = apply_mapping(op, meta, current, input_idx, direction);
+                }
+                StepChoice::Reexec => {
+                    let pairs = &self.reexec_pairs[&(run.run_id, op_id)];
+                    result = match direction {
+                        Direction::Backward => {
+                            reexec::backward_from_pairs(pairs, current, input_idx, op, meta)
+                        }
+                        Direction::Forward => {
+                            reexec::forward_from_pairs(pairs, current, input_idx, op, meta)
+                        }
+                    };
+                    method = StepMethod::Reexecution;
+                }
+                StepChoice::Stored => {
+                    let outcome = stored_outcomes.remove(&i).expect("grouped outcome");
+                    scanned = outcome.scanned;
+                    result = outcome.result;
+                    method = StepMethod::Stored;
+                    // Composite lineage: the stored pairs only cover the
+                    // exceptional cells; the rest follow the default mapping.
+                    if is_composite {
+                        let default = match direction {
+                            Direction::Backward => {
+                                let uncovered: Vec<Coord> = current
+                                    .iter()
+                                    .filter(|c| !outcome.covered.contains(c))
+                                    .collect();
+                                let uncovered_set =
+                                    CellSet::from_coords(current.shape(), uncovered);
+                                apply_mapping(op, meta, &uncovered_set, input_idx, direction)
+                            }
+                            Direction::Forward => {
+                                // Every query cell keeps its default forward
+                                // relationship in addition to any stored
+                                // overrides.
+                                apply_mapping(op, meta, current, input_idx, direction)
+                            }
+                        };
+                        result.union_with(&default);
+                        method = StepMethod::StoredPlusMapping;
+                    }
+                }
+            }
+            out.push((
+                result,
+                StepReport {
+                    op_id,
+                    input_idx,
+                    method,
+                    elapsed: step_start.elapsed(),
+                    result_cells: 0, // patched below (needs the moved set)
+                    scanned,
+                },
+            ));
+        }
+        for (cells, report) in &mut out {
+            report.result_cells = cells.len();
+        }
+        Ok(out)
+    }
+}
+
+fn apply_mapping(
+    op: &dyn subzero_engine::Operator,
+    meta: &subzero_engine::OpMeta,
+    current: &CellSet,
+    input_idx: usize,
+    direction: Direction,
+) -> CellSet {
+    let target_shape = match direction {
+        Direction::Backward => meta.input_shapes[input_idx],
+        Direction::Forward => meta.output_shape,
+    };
+    let mut result = CellSet::empty(target_shape);
+    for cell in current.iter() {
+        let mapped = match direction {
+            Direction::Backward => op.map_backward(&cell, input_idx, meta),
+            Direction::Forward => op.map_forward(&cell, input_idx, meta),
+        };
+        for c in mapped.unwrap_or_default() {
+            if target_shape.contains(&c) {
+                result.insert(&c);
+            }
+        }
+        // Saturated intermediates cannot grow further; stop early.
+        if result.is_full() {
+            break;
+        }
+    }
+    result
+}
+
+/// The [`ArrayNode`] an operator input edge reads from.
+fn array_node_of(src: &InputSource) -> ArrayNode {
+    match src {
+        InputSource::Operator(op) => ArrayNode::Output(*op),
+        InputSource::External(name) => ArrayNode::External(name.clone()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QuerySession: DAG-derived traversals, batching, cursors.
+// ---------------------------------------------------------------------------
+
+/// A query session pinned to one executed workflow run.
+///
+/// Borrow one from [`SubZero::session`](crate::system::SubZero::session) (or
+/// construct it from an [`Engine`] + [`Runtime`] pair) and issue queries by
+/// naming arrays:
+///
+/// * `session.backward(cells).from(op).to_source("img")` — trace output
+///   cells of `op` back to the external array `img`, through every DAG path
+///   between them.
+/// * `session.backward(cells).from(op).to(other_op)` — stop at another
+///   operator's output array.
+/// * `session.backward(cells).from(op).to_sources()` — full-workflow trace:
+///   one answer per reachable external array, computed in a single traversal.
+/// * `session.backward_many(batches).from(op).to_source("img")` — a batch of
+///   queries answered in one pass: every step shares datastore handles,
+///   decoded entries and (for mismatched-direction stores) the single full
+///   scan across the whole batch.
+/// * `session.forward(cells).from_source("img").to(op)` — forward queries,
+///   with the same `_many` batching.
+/// * `...cursor_to_source("img")` — a [`LineageCursor`] streaming per-step
+///   results instead of only the final answer.
+///
+/// Work is amortised across the queries of one session: traced re-execution
+/// pairs are computed once per operator and reused by every later query.
+pub struct QuerySession<'a> {
+    steps: StepEngine<'a>,
+    run: &'a WorkflowRun,
+}
+
+impl<'a> QuerySession<'a> {
+    /// Creates a session over one executed run.
+    pub fn new(engine: &'a Engine, runtime: &'a mut Runtime, run: &'a WorkflowRun) -> Self {
+        QuerySession {
+            steps: StepEngine::new(engine, runtime),
+            run,
+        }
+    }
+
+    /// Overrides the executor options.
+    pub fn with_options(mut self, options: QueryOptions) -> Self {
+        self.steps.options = options;
+        self
+    }
+
+    /// Overrides the query-time policy.
+    pub fn with_policy(mut self, policy: QueryTimePolicy) -> Self {
+        self.steps.policy = policy;
+        self
+    }
+
+    /// Replaces the executor options for subsequent queries.
+    pub fn set_options(&mut self, options: QueryOptions) {
+        self.steps.options = options;
+    }
+
+    /// Replaces the query-time policy for subsequent queries.
+    pub fn set_policy(&mut self, policy: QueryTimePolicy) {
+        self.steps.policy = policy;
+    }
+
+    /// The run this session queries.
+    pub fn run(&self) -> &WorkflowRun {
+        self.run
+    }
+
+    /// Starts a backward query over one set of cells.
+    pub fn backward(&mut self, cells: Vec<Coord>) -> BackwardQuery<'_, 'a> {
+        BackwardQuery(BackwardBatch {
+            session: self,
+            batches: vec![cells],
+            from: None,
+        })
+    }
+
+    /// Starts a batch of backward queries, answered in one shared pass.
+    pub fn backward_many(&mut self, batches: Vec<Vec<Coord>>) -> BackwardBatch<'_, 'a> {
+        BackwardBatch {
+            session: self,
+            batches,
+            from: None,
+        }
+    }
+
+    /// Starts a forward query over one set of cells.
+    pub fn forward(&mut self, cells: Vec<Coord>) -> ForwardQuery<'_, 'a> {
+        ForwardQuery(ForwardBatch {
+            session: self,
+            batches: vec![cells],
+            from: None,
+        })
+    }
+
+    /// Starts a batch of forward queries, answered in one shared pass.
+    pub fn forward_many(&mut self, batches: Vec<Vec<Coord>>) -> ForwardBatch<'_, 'a> {
+        ForwardBatch {
+            session: self,
+            batches,
+            from: None,
+        }
+    }
+
+    /// Runs one declarative [`QuerySpec`].
+    pub fn query(&mut self, spec: &QuerySpec) -> Result<QueryResult, QueryError> {
+        self.query_many(spec, std::slice::from_ref(&spec.cells))
+            .map(|mut v| v.pop().expect("one result per batch"))
+    }
+
+    /// Runs one [`QuerySpec`] shape over several cell batches (the spec's
+    /// own `cells` are ignored), sharing every step across the batch.
+    pub fn query_many(
+        &mut self,
+        spec: &QuerySpec,
+        batches: &[Vec<Coord>],
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        let edges = self.plan_for(spec.direction, &spec.from, &spec.to)?;
+        let (mut frontier, reports) =
+            self.run_edges(spec.direction, &edges, &spec.from, batches)?;
+        self.collect_results(&mut frontier, &spec.to, reports, batches.len())
+    }
+
+    /// The derived traversal edges between two arrays, in execution order.
+    fn plan_for(
+        &self,
+        direction: Direction,
+        from: &ArrayNode,
+        to: &ArrayNode,
+    ) -> Result<Vec<Edge>, QueryError> {
+        let wf: &Workflow = &self.run.workflow;
+        match direction {
+            Direction::Backward => {
+                let ArrayNode::Output(op) = from else {
+                    return Err(QueryError::Spec(
+                        "backward queries start from an operator's output array".into(),
+                    ));
+                };
+                Ok(paths::backward_plan(wf, *op, to)?.edges)
+            }
+            Direction::Forward => {
+                let ArrayNode::Output(op) = to else {
+                    return Err(QueryError::Spec(
+                        "forward queries end at an operator's output array".into(),
+                    ));
+                };
+                Ok(paths::forward_plan(wf, from, *op)?.edges)
+            }
+        }
+    }
+
+    /// The shape of an array of this run.
+    fn array_shape(&self, node: &ArrayNode) -> Result<Shape, QueryError> {
+        match node {
+            ArrayNode::Output(op) => Ok(self.run.record(*op)?.meta.output_shape),
+            ArrayNode::External(name) => {
+                for n in self.run.workflow.nodes() {
+                    for (idx, src) in n.inputs.iter().enumerate() {
+                        if matches!(src, InputSource::External(x) if x == name) {
+                            return Ok(self.run.record(n.id)?.meta.input_shapes[idx]);
+                        }
+                    }
+                }
+                Err(QueryError::Path(PathError::UnknownSource(name.clone())))
+            }
+        }
+    }
+
+    /// Executes a derived edge list over per-query frontiers.  Returns the
+    /// final frontier (per array, one [`CellSet`] per query) and the
+    /// per-query reports.
+    fn run_edges(
+        &mut self,
+        direction: Direction,
+        edges: &[Edge],
+        from: &ArrayNode,
+        batches: &[Vec<Coord>],
+    ) -> Result<(Frontier, Vec<QueryReport>), QueryError> {
+        let start = Instant::now();
+        let from_shape = self.array_shape(from)?;
+        let mut frontier = Frontier::new();
+        frontier.insert(
+            from.clone(),
+            batches
+                .iter()
+                .map(|cells| CellSet::from_coords(from_shape, cells.iter().copied()))
+                .collect(),
+        );
+        let mut reports = vec![QueryReport::default(); batches.len()];
+        for &(op, idx) in edges {
+            self.run_edge(direction, op, idx, &mut frontier, &mut reports)?;
+        }
+        for r in &mut reports {
+            r.total_elapsed = start.elapsed();
+        }
+        Ok((frontier, reports))
+    }
+
+    /// Executes one edge of a traversal: reads the per-query intermediates
+    /// on the edge's input array, crosses the operator, and unions the
+    /// results into the edge's target array.  Returns the step's per-query
+    /// results, or `None` when every intermediate was empty and the step was
+    /// skipped.
+    #[allow(clippy::type_complexity)]
+    fn run_edge(
+        &mut self,
+        direction: Direction,
+        op_id: OpId,
+        input_idx: usize,
+        frontier: &mut Frontier,
+        reports: &mut [QueryReport],
+    ) -> Result<Option<Vec<(CellSet, StepReport)>>, QueryError> {
+        let nq = reports.len();
+        let node = self
+            .run
+            .workflow
+            .node(op_id)
+            .map_err(EngineError::Workflow)?;
+        let Some(src) = node.inputs.get(input_idx) else {
+            return Err(QueryError::BadInputIndex {
+                op: op_id,
+                input_idx,
+            });
+        };
+        let side_array = array_node_of(src);
+        let (input_node, target_node) = match direction {
+            Direction::Backward => (ArrayNode::Output(op_id), side_array),
+            Direction::Forward => (side_array, ArrayNode::Output(op_id)),
+        };
+        let target_shape = self.array_shape(&target_node)?;
+        let ensure_target = |frontier: &mut Frontier| {
+            frontier
+                .entry(target_node.clone())
+                .or_insert_with(|| vec![CellSet::empty(target_shape); nq]);
+        };
+        // The frontier borrow ends once step_many returns (the step engine
+        // never touches the frontier), so no per-edge clone is needed.
+        let Some(inputs) = frontier.get(&input_node) else {
+            // Nothing ever flowed into this edge's input array (possible for
+            // merged multi-destination traversals); its contribution is empty.
+            ensure_target(frontier);
+            return Ok(None);
+        };
+        if inputs.iter().all(CellSet::is_empty) {
+            ensure_target(frontier);
+            return Ok(None);
+        }
+        let results = self
+            .steps
+            .step_many(self.run, op_id, input_idx, direction, inputs)?;
+        ensure_target(frontier);
+        let entry = frontier.get_mut(&target_node).expect("just ensured");
+        for ((acc, (cells, report)), query_report) in
+            entry.iter_mut().zip(&results).zip(reports.iter_mut())
+        {
+            acc.union_with(cells);
+            query_report.steps.push(report.clone());
+        }
+        Ok(Some(results))
+    }
+
+    /// Extracts per-query results for one destination array.
+    fn collect_results(
+        &self,
+        frontier: &mut Frontier,
+        to: &ArrayNode,
+        reports: Vec<QueryReport>,
+        nq: usize,
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        let shape = self.array_shape(to)?;
+        let cells = frontier
+            .remove(to)
+            .unwrap_or_else(|| vec![CellSet::empty(shape); nq]);
+        Ok(cells
+            .into_iter()
+            .zip(reports)
+            .map(|(cells, report)| QueryResult { cells, report })
+            .collect())
+    }
+
+    /// Merged edges of several backward plans, in one valid execution order.
+    fn merge_backward_edges(&self, plans: &[(String, paths::TracePlan)]) -> Vec<Edge> {
+        let wanted: HashSet<Edge> = plans
+            .iter()
+            .flat_map(|(_, p)| p.edges.iter().copied())
+            .collect();
+        let wf: &Workflow = &self.run.workflow;
+        let mut edges = Vec::with_capacity(wanted.len());
+        for &op in wf.topo_order().iter().rev() {
+            let Ok(node) = wf.node(op) else { continue };
+            for idx in 0..node.inputs.len() {
+                if wanted.contains(&(op, idx)) {
+                    edges.push((op, idx));
+                }
+            }
+        }
+        edges
+    }
+}
+
+impl fmt::Debug for QuerySession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuerySession")
+            .field("run_id", &self.run.run_id)
+            .finish()
+    }
+}
+
+/// Builder for a batch of backward queries (see [`QuerySession`]).
+pub struct BackwardBatch<'s, 'a> {
+    session: &'s mut QuerySession<'a>,
+    batches: Vec<Vec<Coord>>,
+    from: Option<OpId>,
+}
+
+impl<'s, 'a> BackwardBatch<'s, 'a> {
+    /// Names the operator whose output array the query cells live on.
+    pub fn from(mut self, op: OpId) -> Self {
+        self.from = Some(op);
+        self
+    }
+
+    fn origin(&self) -> Result<ArrayNode, QueryError> {
+        self.from
+            .map(ArrayNode::Output)
+            .ok_or(QueryError::MissingOrigin)
+    }
+
+    fn run_to(self, to: ArrayNode) -> Result<Vec<QueryResult>, QueryError> {
+        let from = self.origin()?;
+        let spec = QuerySpec {
+            direction: Direction::Backward,
+            cells: Vec::new(),
+            from,
+            to,
+        };
+        self.session.query_many(&spec, &self.batches)
+    }
+
+    /// Traces every query of the batch back to the output array of `op`.
+    pub fn to(self, op: OpId) -> Result<Vec<QueryResult>, QueryError> {
+        self.run_to(ArrayNode::Output(op))
+    }
+
+    /// Traces every query of the batch back to the external array `source`.
+    pub fn to_source(self, source: impl Into<String>) -> Result<Vec<QueryResult>, QueryError> {
+        self.run_to(ArrayNode::external(source))
+    }
+}
+
+/// Builder for one backward query (see [`QuerySession`]).
+pub struct BackwardQuery<'s, 'a>(BackwardBatch<'s, 'a>);
+
+impl<'s, 'a> BackwardQuery<'s, 'a> {
+    /// Names the operator whose output array the query cells live on.
+    pub fn from(self, op: OpId) -> Self {
+        BackwardQuery(self.0.from(op))
+    }
+
+    /// Traces the cells back to the output array of `op`.
+    pub fn to(self, op: OpId) -> Result<QueryResult, QueryError> {
+        Ok(self.0.to(op)?.pop().expect("one result"))
+    }
+
+    /// Traces the cells back to the external array `source`.
+    pub fn to_source(self, source: impl Into<String>) -> Result<QueryResult, QueryError> {
+        Ok(self.0.to_source(source)?.pop().expect("one result"))
+    }
+
+    /// Full-workflow trace: one answer per external array reachable from the
+    /// origin, computed in a *single* traversal of the merged sub-DAG (a
+    /// shared prefix step runs once, not once per source).
+    pub fn to_sources(self) -> Result<Vec<(String, QueryResult)>, QueryError> {
+        let from_op = self.0.from.ok_or(QueryError::MissingOrigin)?;
+        let session = self.0.session;
+        let plans = paths::backward_source_plans(&session.run.workflow, from_op)?;
+        if plans.is_empty() {
+            return Ok(Vec::new());
+        }
+        let edges = session.merge_backward_edges(&plans);
+        let from = ArrayNode::Output(from_op);
+        let (mut frontier, reports) =
+            session.run_edges(Direction::Backward, &edges, &from, &self.0.batches)?;
+        let mut out = Vec::with_capacity(plans.len());
+        for (name, _plan) in plans {
+            let to = ArrayNode::external(name.clone());
+            let results = session.collect_results(&mut frontier, &to, reports.clone(), 1)?;
+            let result = results.into_iter().next().expect("one result");
+            out.push((name, result));
+        }
+        Ok(out)
+    }
+
+    /// A [`LineageCursor`] streaming per-step results toward the output
+    /// array of `op`.
+    pub fn cursor_to(self, op: OpId) -> Result<LineageCursor<'s, 'a>, QueryError> {
+        self.cursor(ArrayNode::Output(op))
+    }
+
+    /// A [`LineageCursor`] streaming per-step results toward the external
+    /// array `source`.
+    pub fn cursor_to_source(
+        self,
+        source: impl Into<String>,
+    ) -> Result<LineageCursor<'s, 'a>, QueryError> {
+        self.cursor(ArrayNode::external(source))
+    }
+
+    fn cursor(self, to: ArrayNode) -> Result<LineageCursor<'s, 'a>, QueryError> {
+        let from = self.0.origin()?;
+        LineageCursor::new(
+            self.0.session,
+            Direction::Backward,
+            from,
+            to,
+            self.0.batches,
+        )
+    }
+}
+
+/// Builder for a batch of forward queries (see [`QuerySession`]).
+pub struct ForwardBatch<'s, 'a> {
+    session: &'s mut QuerySession<'a>,
+    batches: Vec<Vec<Coord>>,
+    from: Option<ArrayNode>,
+}
+
+impl<'s, 'a> ForwardBatch<'s, 'a> {
+    /// Names the operator whose *output* array the query cells live on.
+    pub fn from(mut self, op: OpId) -> Self {
+        self.from = Some(ArrayNode::Output(op));
+        self
+    }
+
+    /// Names the external array the query cells live on.
+    pub fn from_source(mut self, source: impl Into<String>) -> Self {
+        self.from = Some(ArrayNode::external(source));
+        self
+    }
+
+    /// Traces every query of the batch forward to the output array of `op`.
+    pub fn to(self, op: OpId) -> Result<Vec<QueryResult>, QueryError> {
+        let from = self.from.ok_or(QueryError::MissingOrigin)?;
+        let spec = QuerySpec {
+            direction: Direction::Forward,
+            cells: Vec::new(),
+            from,
+            to: ArrayNode::Output(op),
+        };
+        self.session.query_many(&spec, &self.batches)
+    }
+}
+
+/// Builder for one forward query (see [`QuerySession`]).
+pub struct ForwardQuery<'s, 'a>(ForwardBatch<'s, 'a>);
+
+impl<'s, 'a> ForwardQuery<'s, 'a> {
+    /// Names the operator whose *output* array the query cells live on.
+    pub fn from(self, op: OpId) -> Self {
+        ForwardQuery(self.0.from(op))
+    }
+
+    /// Names the external array the query cells live on.
+    pub fn from_source(self, source: impl Into<String>) -> Self {
+        ForwardQuery(self.0.from_source(source))
+    }
+
+    /// Traces the cells forward to the output array of `op`.
+    pub fn to(self, op: OpId) -> Result<QueryResult, QueryError> {
+        Ok(self.0.to(op)?.pop().expect("one result"))
+    }
+
+    /// A [`LineageCursor`] streaming per-step results toward the output
+    /// array of `op`.
+    pub fn cursor_to(self, op: OpId) -> Result<LineageCursor<'s, 'a>, QueryError> {
+        let from = self.0.from.clone().ok_or(QueryError::MissingOrigin)?;
+        LineageCursor::new(
+            self.0.session,
+            Direction::Forward,
+            from,
+            ArrayNode::Output(op),
+            self.0.batches,
+        )
+    }
+}
+
+/// One step yielded by a [`LineageCursor`].
+#[derive(Clone, Debug)]
+pub struct CursorStep {
+    /// The operator traversed.
+    pub op_id: OpId,
+    /// The input index traversed.
+    pub input_idx: usize,
+    /// The step's result cells (on the edge's target array).
+    pub cells: CellSet,
+    /// The step's diagnostics.
+    pub report: StepReport,
+}
+
+/// A streaming lineage query: yields one [`CursorStep`] per traversal edge
+/// instead of only the final answer, so callers can render or abort
+/// long multi-step traces incrementally.  [`finish`](LineageCursor::finish)
+/// drains the remaining steps and returns the final [`QueryResult`].
+pub struct LineageCursor<'s, 'a> {
+    session: &'s mut QuerySession<'a>,
+    direction: Direction,
+    edges: Vec<Edge>,
+    next: usize,
+    frontier: Frontier,
+    reports: Vec<QueryReport>,
+    to: ArrayNode,
+    started: Instant,
+}
+
+impl<'s, 'a> LineageCursor<'s, 'a> {
+    fn new(
+        session: &'s mut QuerySession<'a>,
+        direction: Direction,
+        from: ArrayNode,
+        to: ArrayNode,
+        batches: Vec<Vec<Coord>>,
+    ) -> Result<Self, QueryError> {
+        let edges = session.plan_for(direction, &from, &to)?;
+        let from_shape = session.array_shape(&from)?;
+        let mut frontier = Frontier::new();
+        frontier.insert(
+            from.clone(),
+            batches
+                .iter()
+                .map(|cells| CellSet::from_coords(from_shape, cells.iter().copied()))
+                .collect::<Vec<_>>(),
+        );
+        let reports = vec![QueryReport::default(); batches.len()];
+        Ok(LineageCursor {
+            session,
+            direction,
+            edges,
+            next: 0,
+            frontier,
+            reports,
+            to,
+            started: Instant::now(),
+        })
+    }
+
+    /// Remaining traversal edges (including skipped empty ones).
+    pub fn remaining_steps(&self) -> usize {
+        self.edges.len() - self.next
+    }
+
+    /// Executes the next traversal edge, returning its step result.  Edges
+    /// whose intermediates are empty are skipped silently.  Returns `None`
+    /// when the traversal is complete.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Result<CursorStep, QueryError>> {
+        while self.next < self.edges.len() {
+            let (op_id, input_idx) = self.edges[self.next];
+            self.next += 1;
+            match self.session.run_edge(
+                self.direction,
+                op_id,
+                input_idx,
+                &mut self.frontier,
+                &mut self.reports,
+            ) {
+                Err(e) => return Some(Err(e)),
+                Ok(None) => continue,
+                Ok(Some(mut results)) => {
+                    let (cells, report) = results.swap_remove(0);
+                    return Some(Ok(CursorStep {
+                        op_id,
+                        input_idx,
+                        cells,
+                        report,
+                    }));
+                }
+            }
+        }
+        None
+    }
+
+    /// Drains the remaining steps and returns the final result (of the first
+    /// query, which is the only one for cursors built from single-query
+    /// builders).
+    pub fn finish(mut self) -> Result<QueryResult, QueryError> {
+        while let Some(step) = self.next() {
+            step?;
+        }
+        let nq = self.reports.len();
+        let mut reports = std::mem::take(&mut self.reports);
+        for r in &mut reports {
+            r.total_elapsed = self.started.elapsed();
+        }
+        let mut results =
+            self.session
+                .collect_results(&mut self.frontier, &self.to, reports, nq)?;
+        Ok(results.swap_remove(0))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy explicit-path executor (parity shim).
+// ---------------------------------------------------------------------------
+
+/// Executes legacy explicit-path [`LineageQuery`]s against one engine +
+/// runtime pair.  Runs on the same step engine as [`QuerySession`]; prefer
+/// the session API, which derives paths from the DAG and batches queries.
+pub struct QueryExecutor<'a> {
+    steps: StepEngine<'a>,
 }
 
 impl<'a> QueryExecutor<'a> {
     /// Creates an executor with default options.
     pub fn new(engine: &'a Engine, runtime: &'a mut Runtime) -> Self {
         QueryExecutor {
-            engine,
-            runtime,
-            options: QueryOptions::default(),
-            policy: QueryTimePolicy::default(),
+            steps: StepEngine::new(engine, runtime),
         }
     }
 
     /// Overrides the executor options.
     pub fn with_options(mut self, options: QueryOptions) -> Self {
-        self.options = options;
+        self.steps.options = options;
         self
     }
 
     /// Overrides the query-time policy.
     pub fn with_policy(mut self, policy: QueryTimePolicy) -> Self {
-        self.policy = policy;
+        self.steps.policy = policy;
         self
     }
 
     /// Executes a lineage query against a previously executed workflow run.
+    ///
+    /// The path is validated against the workflow DAG before anything runs:
+    /// a step whose input index is out of range fails with
+    /// [`QueryError::BadInputIndex`], and consecutive steps that are not
+    /// connected by the named edge (a skipped operator, or the wrong slot)
+    /// fail with [`QueryError::InvalidPath`] naming the offending edge.
     pub fn execute(
         &mut self,
         run: &WorkflowRun,
@@ -314,295 +1351,83 @@ impl<'a> QueryExecutor<'a> {
             return Err(QueryError::EmptyPath);
         }
         let start = Instant::now();
-        let mut report = QueryReport::default();
 
-        // Build the initial cell set over the array the query cells belong to.
-        let (first_op, first_idx) = query.path[0];
-        let first_record = run.record(first_op)?;
-        let initial_shape =
-            match query.direction {
-                Direction::Backward => first_record.meta.output_shape,
-                Direction::Forward => *first_record.meta.input_shapes.get(first_idx).ok_or(
-                    QueryError::BadInputIndex {
-                        op: first_op,
-                        input_idx: first_idx,
-                    },
-                )?,
-            };
-        let mut current = CellSet::from_coords(initial_shape, query.cells.iter().copied());
-
-        for (step, &(op_id, input_idx)) in query.path.iter().enumerate() {
+        // --- Structural validation against the DAG -------------------------
+        for &(op_id, input_idx) in &query.path {
             let record = run.record(op_id)?;
-            let meta = &record.meta;
-            if input_idx >= meta.input_shapes.len() {
+            if input_idx >= record.meta.input_shapes.len() {
                 return Err(QueryError::BadInputIndex {
                     op: op_id,
                     input_idx,
                 });
             }
-            // Validate that the incoming cells live in the right array.
-            let expected = match query.direction {
-                Direction::Backward => meta.output_shape,
-                Direction::Forward => meta.input_shapes[input_idx],
+        }
+        for k in 0..query.path.len() - 1 {
+            // The edge crossed between step k and step k+1: for a backward
+            // path, step k's edge must be fed by step k+1's operator; for a
+            // forward path, step k+1's edge must be fed by step k's operator.
+            let ((edge_op, edge_idx), produced_by, step) = match query.direction {
+                Direction::Backward => (query.path[k], query.path[k + 1].0, k),
+                Direction::Forward => (query.path[k + 1], query.path[k].0, k + 1),
             };
-            if current.shape() != expected {
-                return Err(QueryError::PathMismatch {
+            let node = run.workflow.node(edge_op).map_err(EngineError::Workflow)?;
+            let src = &node.inputs[edge_idx];
+            let connected = matches!(src, InputSource::Operator(p) if *p == produced_by);
+            if !connected {
+                return Err(QueryError::InvalidPath {
                     step,
+                    op: edge_op,
+                    input_idx: edge_idx,
                     detail: format!(
-                        "cells are over {} but operator {} expects {}",
-                        current.shape(),
-                        op_id,
-                        expected
+                        "input {edge_idx} of operator {edge_op} is fed by {}, not by \
+                         operator {produced_by}; the path skips an operator or \
+                         crosses the wrong slot",
+                        array_node_of(src)
                     ),
                 });
             }
-
-            let step_start = Instant::now();
-            let node = run.workflow.node(op_id).map_err(EngineError::Workflow)?;
-            let op = node.operator.as_ref();
-            let target_shape = match query.direction {
-                Direction::Backward => meta.input_shapes[input_idx],
-                Direction::Forward => meta.output_shape,
-            };
-
-            // --- Entire-array optimization --------------------------------
-            // Two cases (§VI-C): (a) the operator is all-to-all, so any
-            // non-empty intermediate spans the whole target array; (b) the
-            // intermediate already covers its whole array and the operator is
-            // annotated as safe to span across in this direction.
-            let backward = query.direction == Direction::Backward;
-            let entire = self.options.entire_array_optimization
-                && ((op.all_to_all() && !current.is_empty())
-                    || (current.is_full() && op.spans_entire_array(input_idx, backward)));
-            if entire {
-                current = CellSet::full(target_shape);
-                report.steps.push(StepReport {
-                    op_id,
-                    input_idx,
-                    method: StepMethod::EntireArray,
-                    elapsed: step_start.elapsed(),
-                    result_cells: current.len(),
-                    scanned: false,
-                });
-                continue;
-            }
-
-            // --- Choose the step method -----------------------------------
-            let strategies = self.runtime.strategies_for(op_id);
-            let has_stored = self.runtime.has_lineage(run.run_id, op_id);
-            let explicit_map = strategies.iter().any(|s| s.mode == LineageMode::Map);
-            // An explicit all-Blackbox assignment means "re-run this operator
-            // at query time even if it has mapping functions" — that is what
-            // the paper's BlackBox baseline does for every operator.
-            let forced_blackbox = !strategies.is_empty()
-                && strategies.iter().all(|s| s.mode == LineageMode::Blackbox);
-            let use_mapping_only = if forced_blackbox {
-                false
-            } else if has_stored {
-                explicit_map
-            } else {
-                // No materialised lineage: a mapping operator answers from its
-                // mapping functions; anything else re-executes.
-                op.is_mapping()
-            };
-
-            let mut method;
-            let mut scanned = false;
-            let mut result;
-            if forced_blackbox {
-                result =
-                    self.reexecute(run, op_id, op, meta, &current, input_idx, query.direction)?;
-                method = StepMethod::Reexecution;
-            } else if use_mapping_only {
-                result = self.apply_mapping(op, meta, &current, input_idx, query.direction);
-                method = StepMethod::Mapping;
-            } else if has_stored {
-                // Decide between stored lineage and re-execution.
-                let serving = strategies
-                    .iter()
-                    .any(|s| s.stores_pairs() && s.serves(query.direction));
-                let total_entries: usize = self
-                    .runtime
-                    .datastores(run.run_id, op_id)
-                    .iter()
-                    .map(|d| d.num_entries())
-                    .max()
-                    .unwrap_or(0);
-                let reexec_estimate = record.elapsed;
-                let use_stored = !self.options.query_time_optimizer
-                    || self.policy.prefer_stored(
-                        serving,
-                        current.len(),
-                        total_entries,
-                        reexec_estimate,
-                    );
-                if use_stored {
-                    let (r, covered, did_scan) = self.lookup_stored(
-                        run.run_id,
-                        op_id,
-                        op,
-                        meta,
-                        &current,
-                        input_idx,
-                        query.direction,
-                    );
-                    scanned = did_scan;
-                    result = r;
-                    method = StepMethod::Stored;
-                    // Composite lineage: the stored pairs only cover the
-                    // exceptional cells; the rest follow the default mapping.
-                    let is_composite = strategies.iter().any(|s| s.mode == LineageMode::Comp);
-                    if is_composite {
-                        let default = match query.direction {
-                            Direction::Backward => {
-                                let uncovered: Vec<Coord> =
-                                    current.iter().filter(|c| !covered.contains(c)).collect();
-                                let uncovered_set =
-                                    CellSet::from_coords(current.shape(), uncovered);
-                                self.apply_mapping(
-                                    op,
-                                    meta,
-                                    &uncovered_set,
-                                    input_idx,
-                                    query.direction,
-                                )
-                            }
-                            Direction::Forward => {
-                                // Every query cell keeps its default forward
-                                // relationship in addition to any stored
-                                // overrides.
-                                self.apply_mapping(op, meta, &current, input_idx, query.direction)
-                            }
-                        };
-                        result.union_with(&default);
-                        method = StepMethod::StoredPlusMapping;
-                    }
-                } else {
-                    result =
-                        self.reexecute(run, op_id, op, meta, &current, input_idx, query.direction)?;
-                    method = StepMethod::Reexecution;
-                }
-            } else {
-                result =
-                    self.reexecute(run, op_id, op, meta, &current, input_idx, query.direction)?;
-                method = StepMethod::Reexecution;
-            }
-
-            current = result;
-            report.steps.push(StepReport {
-                op_id,
-                input_idx,
-                method,
-                elapsed: step_start.elapsed(),
-                result_cells: current.len(),
-                scanned,
-            });
         }
 
+        // --- Walk the path on the shared step engine -----------------------
+        let (first_op, first_idx) = query.path[0];
+        let first_record = run.record(first_op)?;
+        let initial_shape = match query.direction {
+            Direction::Backward => first_record.meta.output_shape,
+            Direction::Forward => first_record.meta.input_shapes[first_idx],
+        };
+        let mut current = CellSet::from_coords(initial_shape, query.cells.iter().copied());
+        let mut report = QueryReport::default();
+        for &(op_id, input_idx) in &query.path {
+            let results = self.steps.step_many(
+                run,
+                op_id,
+                input_idx,
+                query.direction,
+                std::slice::from_ref(&current),
+            )?;
+            let (cells, step_report) = results.into_iter().next().expect("one result");
+            current = cells;
+            report.steps.push(step_report);
+        }
         report.total_elapsed = start.elapsed();
         Ok(QueryResult {
             cells: current,
             report,
         })
     }
-
-    fn apply_mapping(
-        &self,
-        op: &dyn subzero_engine::Operator,
-        meta: &subzero_engine::OpMeta,
-        current: &CellSet,
-        input_idx: usize,
-        direction: Direction,
-    ) -> CellSet {
-        let target_shape = match direction {
-            Direction::Backward => meta.input_shapes[input_idx],
-            Direction::Forward => meta.output_shape,
-        };
-        let mut result = CellSet::empty(target_shape);
-        for cell in current.iter() {
-            let mapped = match direction {
-                Direction::Backward => op.map_backward(&cell, input_idx, meta),
-                Direction::Forward => op.map_forward(&cell, input_idx, meta),
-            };
-            for c in mapped.unwrap_or_default() {
-                if target_shape.contains(&c) {
-                    result.insert(&c);
-                }
-            }
-            // Saturated intermediates cannot grow further; stop early.
-            if result.is_full() {
-                break;
-            }
-        }
-        result
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn lookup_stored(
-        &mut self,
-        run_id: u64,
-        op_id: OpId,
-        op: &dyn subzero_engine::Operator,
-        meta: &subzero_engine::OpMeta,
-        current: &CellSet,
-        input_idx: usize,
-        direction: Direction,
-    ) -> (CellSet, CellSet, bool) {
-        // Prefer a datastore whose index direction matches the query; fall
-        // back to any available one (which will scan).
-        let stores = self.runtime.datastores(run_id, op_id);
-        let pick = stores
-            .iter()
-            .position(|d| d.strategy().serves(direction))
-            .or(if stores.is_empty() { None } else { Some(0) });
-        let Some(idx) = pick else {
-            let target_shape = match direction {
-                Direction::Backward => meta.input_shapes[input_idx],
-                Direction::Forward => meta.output_shape,
-            };
-            let source_shape = current.shape();
-            return (
-                CellSet::empty(target_shape),
-                CellSet::empty(source_shape),
-                false,
-            );
-        };
-        let outcome = match direction {
-            Direction::Backward => stores[idx].lookup_backward(current, input_idx, op, meta),
-            Direction::Forward => stores[idx].lookup_forward(current, input_idx, op, meta),
-        };
-        (outcome.result, outcome.covered, outcome.scanned)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn reexecute(
-        &self,
-        run: &WorkflowRun,
-        op_id: OpId,
-        op: &dyn subzero_engine::Operator,
-        meta: &subzero_engine::OpMeta,
-        current: &CellSet,
-        input_idx: usize,
-        direction: Direction,
-    ) -> Result<CellSet, QueryError> {
-        let (pairs, _elapsed) = self.engine.rerun_tracing(run, op_id)?;
-        Ok(match direction {
-            Direction::Backward => {
-                reexec::backward_from_pairs(&pairs, current, input_idx, op, meta)
-            }
-            Direction::Forward => reexec::forward_from_pairs(&pairs, current, input_idx, op, meta),
-        })
-    }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::model::{LineageStrategy, StorageStrategy};
     use std::collections::HashMap;
     use std::sync::Arc;
     use subzero_array::{Array, Shape};
-    use subzero_engine::ops::{AggregateKind, Convolve, Elementwise1, GlobalAggregate, UnaryKind};
+    use subzero_engine::ops::{
+        AggregateKind, BinaryKind, Convolve, Elementwise1, Elementwise2, GlobalAggregate, UnaryKind,
+    };
     use subzero_engine::Workflow;
 
     /// scale -> convolve(r=1) -> global mean
@@ -645,6 +1470,256 @@ mod tests {
             .steps
             .iter()
             .all(|s| s.method == StepMethod::Mapping));
+    }
+
+    #[test]
+    fn session_backward_query_infers_the_path() {
+        let (engine, mut rt, run) = run_pipeline(LineageStrategy::new());
+        let mut session = QuerySession::new(&engine, &mut rt, &run);
+        // Same trace as above, but no hand-assembled path: from the convolve
+        // output back to the source image.
+        let result = session
+            .backward(vec![Coord::d2(3, 3)])
+            .from(1)
+            .to_source("img")
+            .unwrap();
+        assert_eq!(result.cells.len(), 9);
+        assert!(result.cells.contains(&Coord::d2(2, 2)));
+        assert_eq!(result.report.steps.len(), 2);
+        // Stopping at the scale operator's output instead.
+        let result = session
+            .backward(vec![Coord::d2(3, 3)])
+            .from(1)
+            .to(0)
+            .unwrap();
+        assert_eq!(result.cells.len(), 9);
+        assert_eq!(result.report.steps.len(), 1);
+    }
+
+    #[test]
+    fn session_forward_query_infers_the_path() {
+        let (engine, mut rt, run) = run_pipeline(LineageStrategy::new());
+        let mut session = QuerySession::new(&engine, &mut rt, &run);
+        let result = session
+            .forward(vec![Coord::d2(0, 0)])
+            .from_source("img")
+            .to(2)
+            .unwrap();
+        assert_eq!(result.cells.to_coords(), vec![Coord::d2(0, 0)]);
+        assert_eq!(result.report.steps.len(), 3);
+        // From an operator's output array.
+        let result = session
+            .forward(vec![Coord::d2(0, 0)])
+            .from(0)
+            .to(1)
+            .unwrap();
+        assert_eq!(result.report.steps.len(), 1);
+        assert_eq!(result.cells.len(), 4, "corner neighbourhood");
+    }
+
+    #[test]
+    fn session_full_trace_returns_per_source_answers() {
+        let (engine, mut rt, run) = run_pipeline(LineageStrategy::new());
+        let mut session = QuerySession::new(&engine, &mut rt, &run);
+        let traced = session
+            .backward(vec![Coord::d2(3, 3)])
+            .from(1)
+            .to_sources()
+            .unwrap();
+        assert_eq!(traced.len(), 1);
+        assert_eq!(traced[0].0, "img");
+        assert_eq!(traced[0].1.cells.len(), 9);
+    }
+
+    #[test]
+    fn session_missing_origin_and_bad_endpoints_error() {
+        let (engine, mut rt, run) = run_pipeline(LineageStrategy::new());
+        let mut session = QuerySession::new(&engine, &mut rt, &run);
+        assert!(matches!(
+            session.backward(vec![Coord::d2(0, 0)]).to_source("img"),
+            Err(QueryError::MissingOrigin)
+        ));
+        assert!(matches!(
+            session
+                .backward(vec![Coord::d2(0, 0)])
+                .from(1)
+                .to_source("nope"),
+            Err(QueryError::Path(PathError::UnknownSource(_)))
+        ));
+        assert!(matches!(
+            session.backward(vec![Coord::d2(0, 0)]).from(99).to(0),
+            Err(QueryError::Path(PathError::UnknownOperator(99)))
+        ));
+        // Forward from a downstream array to an upstream operator: no path.
+        assert!(matches!(
+            session.forward(vec![Coord::d2(0, 0)]).from(2).to(0),
+            Err(QueryError::Path(PathError::NoPath { .. }))
+        ));
+    }
+
+    #[test]
+    fn batched_queries_match_one_at_a_time() {
+        // Across strategies (incl. a mismatched-direction store that scans),
+        // backward_many/forward_many return exactly what per-query calls do.
+        let strategies = vec![
+            LineageStrategy::new(),
+            LineageStrategy::uniform([1], vec![StorageStrategy::full_many()]),
+            LineageStrategy::uniform([1], vec![StorageStrategy::full_one_forward()]),
+        ];
+        for strategy in strategies {
+            let (engine, mut rt, run) = run_pipeline(strategy);
+            let batches: Vec<Vec<Coord>> = (0..5)
+                .map(|i| vec![Coord::d2(i, i), Coord::d2(i, 5 - i)])
+                .collect();
+            let mut session = QuerySession::new(&engine, &mut rt, &run);
+            let singles: Vec<QueryResult> = batches
+                .iter()
+                .map(|cells| {
+                    session
+                        .backward(cells.clone())
+                        .from(1)
+                        .to_source("img")
+                        .unwrap()
+                })
+                .collect();
+            let batched = session
+                .backward_many(batches.clone())
+                .from(1)
+                .to_source("img")
+                .unwrap();
+            assert_eq!(batched.len(), singles.len());
+            for (b, s) in batched.iter().zip(&singles) {
+                assert_eq!(b.cells, s.cells);
+                assert_eq!(b.report.steps.len(), s.report.steps.len());
+                for (bs, ss) in b.report.steps.iter().zip(&s.report.steps) {
+                    assert_eq!(bs.method, ss.method);
+                    assert_eq!(bs.scanned, ss.scanned);
+                }
+            }
+            // Forward batches too.
+            let fwd_singles: Vec<QueryResult> = batches
+                .iter()
+                .map(|cells| {
+                    session
+                        .forward(cells.clone())
+                        .from_source("img")
+                        .to(1)
+                        .unwrap()
+                })
+                .collect();
+            let fwd_batched = session
+                .forward_many(batches)
+                .from_source("img")
+                .to(1)
+                .unwrap();
+            for (b, s) in fwd_batched.iter().zip(&fwd_singles) {
+                assert_eq!(b.cells, s.cells);
+            }
+        }
+    }
+
+    /// A diamond workflow whose two branches have different lineage
+    /// footprints: src -> scale -> {blur, shift-free scale} -> mean2.
+    fn diamond() -> (Arc<Workflow>, HashMap<String, Array>) {
+        let mut b = Workflow::builder("diamond");
+        let a = b.add_source(Arc::new(Elementwise1::new(UnaryKind::Scale(2.0))), "ext");
+        let blur = b.add_unary(Arc::new(Convolve::box_blur(1)), a);
+        let ident = b.add_unary(Arc::new(Elementwise1::new(UnaryKind::Offset(1.0))), a);
+        let _join = b.add_binary(Arc::new(Elementwise2::new(BinaryKind::Mean)), blur, ident);
+        let wf = Arc::new(b.build().unwrap());
+        let mut m = HashMap::new();
+        m.insert("ext".to_string(), Array::filled(Shape::d2(6, 6), 1.0));
+        (wf, m)
+    }
+
+    #[test]
+    fn diamond_inference_equals_union_of_per_path_answers() {
+        // Satellite: on a join + fan-out workflow the inferred multi-path
+        // answer must equal the union of hand-built per-path answers, for
+        // both the mapping-function strategy and stored lineage.
+        let (wf, inputs) = diamond();
+        let strategies = vec![
+            ("mapping", LineageStrategy::new()),
+            (
+                "stored",
+                LineageStrategy::uniform(0..4, vec![StorageStrategy::full_many()]),
+            ),
+        ];
+        for (label, strategy) in strategies {
+            let mut rt = Runtime::in_memory();
+            rt.set_strategy(strategy);
+            let mut engine = Engine::new();
+            let run = engine.execute(&wf, &inputs, &mut rt).unwrap();
+            let cells = vec![Coord::d2(2, 2), Coord::d2(3, 4)];
+
+            // Hand-built per-path answers through each branch of the join.
+            let mut exec = QueryExecutor::new(&engine, &mut rt);
+            let via_blur = exec
+                .execute(
+                    &run,
+                    &LineageQuery::backward(cells.clone(), vec![(3, 0), (1, 0), (0, 0)]),
+                )
+                .unwrap();
+            let via_ident = exec
+                .execute(
+                    &run,
+                    &LineageQuery::backward(cells.clone(), vec![(3, 1), (2, 0), (0, 0)]),
+                )
+                .unwrap();
+            let mut union = via_blur.cells.clone();
+            union.union_with(&via_ident.cells);
+
+            // Forward per-path answers: fan-out then join.
+            let fwd_cells = vec![Coord::d2(2, 2)];
+            let fwd_blur = exec
+                .execute(
+                    &run,
+                    &LineageQuery::forward(fwd_cells.clone(), vec![(0, 0), (1, 0), (3, 0)]),
+                )
+                .unwrap();
+            let fwd_ident = exec
+                .execute(
+                    &run,
+                    &LineageQuery::forward(fwd_cells.clone(), vec![(0, 0), (2, 0), (3, 1)]),
+                )
+                .unwrap();
+            let mut fwd_union = fwd_blur.cells.clone();
+            fwd_union.union_with(&fwd_ident.cells);
+            drop(exec);
+
+            let mut session = QuerySession::new(&engine, &mut rt, &run);
+            let inferred = session
+                .backward(cells.clone())
+                .from(3)
+                .to_source("ext")
+                .unwrap();
+            assert_eq!(inferred.cells, union, "backward union differs ({label})");
+            let fwd_inferred = session.forward(fwd_cells).from_source("ext").to(3).unwrap();
+            assert_eq!(
+                fwd_inferred.cells, fwd_union,
+                "forward union differs ({label})"
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_streams_per_step_results() {
+        let (engine, mut rt, run) = run_pipeline(LineageStrategy::new());
+        let mut session = QuerySession::new(&engine, &mut rt, &run);
+        let mut cursor = session
+            .backward(vec![Coord::d2(3, 3)])
+            .from(1)
+            .cursor_to_source("img")
+            .unwrap();
+        assert_eq!(cursor.remaining_steps(), 2);
+        let first = cursor.next().unwrap().unwrap();
+        assert_eq!(first.op_id, 1);
+        assert_eq!(first.cells.len(), 9, "blur neighbourhood");
+        let second = cursor.next().unwrap().unwrap();
+        assert_eq!(second.op_id, 0);
+        let final_result = cursor.finish().unwrap();
+        assert_eq!(final_result.cells.len(), 9);
+        assert_eq!(final_result.report.steps.len(), 2);
     }
 
     #[test]
@@ -745,6 +1820,22 @@ mod tests {
         assert_eq!(result.cells.len(), 9);
         assert_eq!(result.report.steps[0].method, StepMethod::Reexecution);
         assert_eq!(result.report.reexecutions(), 1);
+
+        // The session caches traced pairs: a second query against the same
+        // operator reuses them (observable only as identical answers here).
+        let mut session = QuerySession::new(&engine, &mut rt, &run);
+        let a = session
+            .backward(vec![Coord::d2(2, 2)])
+            .from(0)
+            .to_source("img")
+            .unwrap();
+        let b = session
+            .backward(vec![Coord::d2(2, 2)])
+            .from(0)
+            .to_source("img")
+            .unwrap();
+        assert_eq!(a.cells, b.cells);
+        assert_eq!(a.cells.len(), 9);
     }
 
     #[test]
@@ -772,20 +1863,38 @@ mod tests {
     }
 
     #[test]
-    fn path_mismatch_detected() {
+    fn invalid_path_names_the_offending_edge() {
         let (engine, mut rt, run) = run_pipeline(LineageStrategy::new());
         let mut exec = QueryExecutor::new(&engine, &mut rt);
-        // Backward from the mean (1x1) directly into the scale operator (6x6
-        // output): shapes do not line up.
+        // Backward path that skips the convolve: mean's input is fed by the
+        // convolve (operator 1), not by scale (operator 0).  The shapes
+        // happen to be compatible, so without DAG validation this would
+        // return a silently-wrong answer.
         let q = LineageQuery::backward(vec![Coord::d2(0, 0)], vec![(2, 0), (0, 0)]);
-        // Step 0 produces a 6x6 set (input of mean), and scale's output is
-        // also 6x6, so that particular path happens to be consistent; use a
-        // truly inconsistent one instead: forward into the mean from a 6x6
-        // input, then forward again treating its 1x1 output as a 6x6 input.
-        let _ = q;
+        let err = exec.execute(&run, &q).unwrap_err();
+        match err {
+            QueryError::InvalidPath {
+                step,
+                op,
+                input_idx,
+                ref detail,
+            } => {
+                assert_eq!(step, 0);
+                assert_eq!(op, 2);
+                assert_eq!(input_idx, 0);
+                assert!(detail.contains("operator 1"), "detail: {detail}");
+            }
+            other => panic!("expected InvalidPath, got {other:?}"),
+        }
+        assert!(err.to_string().contains("step 0"));
+
+        // Forward variant: the mean (op 2) does not feed the convolve (1).
         let q = LineageQuery::forward(vec![Coord::d2(0, 0)], vec![(2, 0), (1, 0)]);
         let err = exec.execute(&run, &q).unwrap_err();
-        assert!(matches!(err, QueryError::PathMismatch { step: 1, .. }));
+        assert!(matches!(
+            err,
+            QueryError::InvalidPath { step: 1, op: 1, .. }
+        ));
     }
 
     #[test]
@@ -830,5 +1939,27 @@ mod tests {
         );
         // Both approaches agree on the answer.
         assert_eq!(static_result.cells, dynamic_result.cells);
+    }
+
+    #[test]
+    fn spec_round_trips_through_session() {
+        let (engine, mut rt, run) = run_pipeline(LineageStrategy::new());
+        let mut session = QuerySession::new(&engine, &mut rt, &run);
+        let spec = QuerySpec::backward_to_source(vec![Coord::d2(3, 3)], 1, "img");
+        let via_spec = session.query(&spec).unwrap();
+        let via_builder = session
+            .backward(vec![Coord::d2(3, 3)])
+            .from(1)
+            .to_source("img")
+            .unwrap();
+        assert_eq!(via_spec.cells, via_builder.cells);
+        // Malformed: backward from an external array.
+        let bad = QuerySpec {
+            direction: Direction::Backward,
+            cells: vec![],
+            from: ArrayNode::external("img"),
+            to: ArrayNode::Output(0),
+        };
+        assert!(matches!(session.query(&bad), Err(QueryError::Spec(_))));
     }
 }

@@ -2,8 +2,10 @@
 //!
 //! [`SubZero`] wires the pieces together the way Figure 3 of the paper does:
 //! a workflow executor ([`Engine`]), the lineage capture [`Runtime`] with its
-//! operator-specific datastores, and the [`QueryExecutor`].  The lineage
-//! strategy is supplied either manually or by the `subzero-optimizer` crate.
+//! operator-specific datastores, and the query surface — a [`QuerySession`]
+//! borrowed per run via [`SubZero::session`] (with the legacy explicit-path
+//! [`QueryExecutor`] underneath as a shim).  The lineage strategy is supplied
+//! either manually or by the `subzero-optimizer` crate.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -15,7 +17,8 @@ use subzero_engine::{Engine, Workflow};
 
 use crate::model::LineageStrategy;
 use crate::query::{
-    LineageQuery, QueryError, QueryExecutor, QueryOptions, QueryResult, QueryTimePolicy,
+    LineageQuery, QueryError, QueryExecutor, QueryOptions, QueryResult, QuerySession,
+    QueryTimePolicy,
 };
 use crate::runtime::{CaptureStats, IngestMode, Runtime};
 
@@ -105,7 +108,25 @@ impl SubZero {
         self.engine.execute(workflow, inputs, &mut self.runtime)
     }
 
-    /// Executes a lineage query against a previous run.
+    /// Borrows a [`QuerySession`] pinned to one executed run: the primary
+    /// query surface.  Sessions derive operator traversals from the workflow
+    /// DAG (`session.backward(cells).from(op).to_source("img")`), batch
+    /// queries so they share decoded scans and datastore handles
+    /// (`session.backward_many(...)`), stream per-step results through a
+    /// [`LineageCursor`](crate::query::LineageCursor), and cache traced
+    /// re-execution pairs across the session's queries.
+    pub fn session<'a>(&'a mut self, run: &'a WorkflowRun) -> QuerySession<'a> {
+        QuerySession::new(&self.engine, &mut self.runtime, run)
+            .with_options(self.options)
+            .with_policy(self.policy)
+    }
+
+    /// Executes a legacy explicit-path lineage query against a previous run.
+    ///
+    /// Kept as a shim over the same step engine that [`session`] queries run
+    /// on; prefer [`session`](SubZero::session), which derives the path from
+    /// the DAG instead of requiring a hand-assembled `(operator, input)`
+    /// step vector.
     pub fn query(
         &mut self,
         run: &WorkflowRun,
@@ -220,28 +241,48 @@ mod tests {
 
         // Backward query: the detected pixel traces to the 3x3 neighbourhood
         // in the first exposure.
-        let q = LineageQuery::backward(vec![Coord::d2(4, 4)], vec![(3, 0), (2, 0), (0, 0)]);
-        let result = sz.query(&run, &q).unwrap();
+        let mut session = sz.session(&run);
+        let result = session
+            .backward(vec![Coord::d2(4, 4)])
+            .from(3)
+            .to_source("exp1")
+            .unwrap();
         assert_eq!(result.cells.len(), 9);
         assert!(result.cells.contains(&Coord::d2(3, 3)));
         assert!(result.cells.contains(&Coord::d2(5, 5)));
 
         // Forward query: the bright input pixel influences its neighbourhood
         // in the final detection.
-        let q = LineageQuery::forward(vec![Coord::d2(4, 4)], vec![(0, 0), (2, 0), (3, 0)]);
-        let result = sz.query(&run, &q).unwrap();
+        let result = session
+            .forward(vec![Coord::d2(4, 4)])
+            .from_source("exp1")
+            .to(3)
+            .unwrap();
         assert_eq!(result.cells.len(), 9);
+
+        // Full-workflow trace: both exposures are reached, symmetrically.
+        let traced = session
+            .backward(vec![Coord::d2(4, 4)])
+            .from(3)
+            .to_sources()
+            .unwrap();
+        assert_eq!(traced.len(), 2);
+        assert_eq!(traced[0].1.cells.len(), traced[1].1.cells.len());
     }
 
     #[test]
     fn strategies_change_query_method_but_not_answers() {
         let wf = workflow();
-        let q = LineageQuery::backward(vec![Coord::d2(4, 4)], vec![(2, 0), (0, 0)]);
 
         // Mapping-only (default).
         let mut sz = SubZero::new();
         let run = sz.execute(&wf, &inputs()).unwrap();
-        let mapping_answer = sz.query(&run, &q).unwrap();
+        let mapping_answer = sz
+            .session(&run)
+            .backward(vec![Coord::d2(4, 4)])
+            .from(2)
+            .to_source("exp1")
+            .unwrap();
         assert!(mapping_answer
             .report
             .steps
@@ -257,13 +298,25 @@ mod tests {
         sz.set_strategy(strategy);
         let run = sz.execute(&wf, &inputs()).unwrap();
         assert!(sz.lineage_bytes(run.run_id) > 0);
-        let stored_answer = sz.query(&run, &q).unwrap();
+        let stored_answer = sz
+            .session(&run)
+            .backward(vec![Coord::d2(4, 4)])
+            .from(2)
+            .to_source("exp1")
+            .unwrap();
         assert_eq!(stored_answer.cells, mapping_answer.cells);
         assert!(stored_answer
             .report
             .steps
             .iter()
             .all(|s| s.method == StepMethod::Stored));
+
+        // The legacy explicit-path shim agrees with the session on the same
+        // single-path traversal.
+        #[allow(deprecated)]
+        let q = LineageQuery::backward(vec![Coord::d2(4, 4)], vec![(2, 0), (0, 0)]);
+        let legacy = sz.query(&run, &q).unwrap();
+        assert_eq!(legacy.cells, stored_answer.cells);
     }
 
     #[test]

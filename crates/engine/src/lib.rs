@@ -18,6 +18,9 @@
 //! * [`operator`] — the [`Operator`] trait with `run()`,
 //!   `supported_modes()`, and the `map_b`/`map_f`/`map_p` mapping functions.
 //! * [`workflow`] — workflow specifications (DAGs of operators).
+//! * [`paths`] — deriving lineage-query traversals from the DAG: pruned
+//!   [`TracePlan`]s with multi-path fan-out at joins, plus per-path
+//!   enumeration for parity testing.
 //! * [`executor`] — the [`Engine`](executor::Engine) that runs workflow
 //!   instances, persists array versions, appends black-box records to the
 //!   write-ahead log, and forwards captured lineage to a
@@ -33,6 +36,7 @@ pub mod executor;
 pub mod lineage;
 pub mod operator;
 pub mod ops;
+pub mod paths;
 pub mod workflow;
 
 pub use executor::{Engine, ExecutionRecord, LineageCollector, NullCollector, WorkflowRun};
@@ -40,4 +44,5 @@ pub use lineage::{
     BatchingSink, BufferSink, LineageMode, LineageSink, NullSink, RegionBatch, RegionPair,
 };
 pub use operator::{OpMeta, Operator, OperatorExt};
+pub use paths::{ArrayNode, PathError, TracePlan};
 pub use workflow::{InputSource, OpId, Workflow, WorkflowBuilder, WorkflowError, WorkflowNode};

@@ -9,8 +9,9 @@
 use std::collections::HashMap;
 
 use subzero::model::Direction;
-use subzero::query::LineageQuery;
-use subzero_engine::OpId;
+use subzero::query::{LineageQuery, QuerySpec};
+use subzero_engine::paths;
+use subzero_engine::{OpId, Workflow};
 
 /// Per-operator workload statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -80,6 +81,59 @@ impl QueryWorkload {
         out
     }
 
+    /// Summarises a set of weighted declarative [`QuerySpec`]s against a
+    /// workflow: each spec's operator traversal is derived from the DAG
+    /// (exactly as the query session will derive it at execution time, with
+    /// multi-path fan-out at joins) and every traversed operator receives
+    /// the spec's weight once.  Specs whose endpoints the DAG does not
+    /// connect contribute nothing.
+    pub fn from_specs(workflow: &Workflow, specs: &[(QuerySpec, f64)]) -> Self {
+        let total_weight: f64 = specs.iter().map(|(_, w)| *w).sum();
+        let mut per_op: HashMap<OpId, (f64, f64, f64, f64)> = HashMap::new();
+        for (spec, w) in specs {
+            let plan = match spec.direction {
+                Direction::Backward => {
+                    let paths::ArrayNode::Output(op) = spec.from else {
+                        continue;
+                    };
+                    paths::backward_plan(workflow, op, &spec.to)
+                }
+                Direction::Forward => {
+                    let paths::ArrayNode::Output(op) = spec.to else {
+                        continue;
+                    };
+                    paths::forward_plan(workflow, &spec.from, op)
+                }
+            };
+            let Ok(plan) = plan else { continue };
+            for op in plan.ops() {
+                let entry = per_op.entry(op).or_insert((0.0, 0.0, 0.0, 0.0));
+                entry.0 += w;
+                if spec.direction == Direction::Backward {
+                    entry.1 += w;
+                }
+                entry.2 += spec.cells.len() as f64 * w;
+                entry.3 += w;
+            }
+        }
+        let mut out = QueryWorkload::new();
+        for (op, (weight, bw, cells, hits)) in per_op {
+            out.per_op.insert(
+                op,
+                OpWorkload {
+                    access_probability: if total_weight > 0.0 {
+                        weight / total_weight
+                    } else {
+                        0.0
+                    },
+                    backward_fraction: if weight > 0.0 { bw / weight } else { 0.0 },
+                    avg_query_cells: if hits > 0.0 { cells / hits } else { 0.0 },
+                },
+            );
+        }
+        out
+    }
+
     /// Uniform workload: every listed operator is accessed with probability 1
     /// with the given backward fraction and query size.
     pub fn uniform(
@@ -120,9 +174,61 @@ impl QueryWorkload {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy LineageQuery shim alongside specs
 mod tests {
     use super::*;
     use subzero_array::Coord;
+
+    #[test]
+    fn from_specs_derives_ops_from_the_dag() {
+        use std::sync::Arc;
+        use subzero_array::{Array, ArrayRef, Shape};
+        use subzero_engine::{LineageSink, Operator};
+
+        struct Id;
+        impl Operator for Id {
+            fn name(&self) -> &str {
+                "id"
+            }
+            fn output_shape(&self, s: &[Shape]) -> Shape {
+                s[0]
+            }
+            fn run(
+                &self,
+                inputs: &[ArrayRef],
+                _m: &[subzero_engine::LineageMode],
+                _s: &mut dyn LineageSink,
+            ) -> Array {
+                (*inputs[0]).clone()
+            }
+        }
+
+        // src -> a -> {b, c} -> d (diamond): a backward spec from d to the
+        // source must weight all four operators once each.
+        let mut b = subzero_engine::Workflow::builder("w");
+        let a = b.add_source(Arc::new(Id), "src");
+        let b1 = b.add_unary(Arc::new(Id), a);
+        let c = b.add_unary(Arc::new(Id), a);
+        let d = b.add_binary(
+            Arc::new(subzero_engine::ops::Elementwise2::new(
+                subzero_engine::ops::BinaryKind::Mean,
+            )),
+            b1,
+            c,
+        );
+        let wf = b.build().unwrap();
+        let spec = QuerySpec::backward_to_source(vec![Coord::d2(0, 0)], d, "src");
+        let w = QueryWorkload::from_specs(&wf, &[(spec, 1.0)]);
+        assert_eq!(w.ops(), vec![0, 1, 2, 3]);
+        for op in 0..4 {
+            assert!((w.for_op(op).access_probability - 1.0).abs() < 1e-9);
+            assert!((w.for_op(op).backward_fraction - 1.0).abs() < 1e-9);
+        }
+        // A disconnected spec contributes nothing but keeps the total weight.
+        let bad = QuerySpec::forward_from_source(vec![Coord::d2(0, 0)], "nope", d);
+        let w = QueryWorkload::from_specs(&wf, &[(bad, 1.0)]);
+        assert!(w.ops().is_empty());
+    }
 
     #[test]
     fn from_queries_computes_probabilities_and_direction_mix() {

@@ -19,13 +19,17 @@
 //!   for black-box lineage.
 //! * [`codec`] — varint and coordinate bit-packing codecs used by the lineage
 //!   encoder.
+//! * [`hash`] — the FxHash-style hasher the key-value backends key their
+//!   tables with (one-granularity ingest is hash-table bound).
 //! * [`rtree`] — an R-tree spatial index over cell bounding boxes.
 
 pub mod codec;
+pub mod hash;
 pub mod kv;
 pub mod rtree;
 pub mod wal;
 
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use kv::{Database, KvBackend, StoreManager, StoreStats};
 pub use rtree::RTree;
 pub use wal::{WalEntry, WriteAheadLog};
