@@ -210,9 +210,13 @@ fn main() {
     }
     // Hand-rolled JSON (no serde in the offline environment).
     let mut json = String::from("{\n");
+    // `encode`/`key_dedup` record that capture ran the arena write path with
+    // write-side key dedup; `query_fanout_workers` that the batched lookups
+    // fanned across the scoped worker threads.
     json.push_str(&format!(
-        "  \"workload\": {{\"shape\": \"{}\", \"queries\": {}, \"cells_per_query\": {}, \"fanin\": {}, \"fanout\": {}}},\n",
-        cfg.micro.shape, batches.len(), cfg.cells_per_query, cfg.micro.fanin, cfg.micro.fanout
+        "  \"workload\": {{\"shape\": \"{}\", \"queries\": {}, \"cells_per_query\": {}, \"fanin\": {}, \"fanout\": {}, \"encode\": \"arena\", \"key_dedup\": true, \"query_fanout_workers\": {}}},\n",
+        cfg.micro.shape, batches.len(), cfg.cells_per_query, cfg.micro.fanin, cfg.micro.fanout,
+        subzero::parallel::default_workers()
     ));
     json.push_str(&format!(
         "  \"mismatched_scan_min_batched_speedup\": {scan_min:.3},\n  \"results\": [\n"

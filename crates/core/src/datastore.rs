@@ -18,14 +18,17 @@ use std::time::{Duration, Instant};
 
 use subzero_array::{BoundingBox, CellSet, Coord, Shape};
 use subzero_engine::{OpMeta, Operator, RegionPair};
+use subzero_store::codec::{Arena, Span};
+use subzero_store::hash::FxHashMap;
 use subzero_store::kv::{Database, KvBackend, MemBackend};
 use subzero_store::RTree;
 
 use crate::encoder::{
     self, decode_entry_ids, decode_full_entry, decode_key, decode_pay_entry, decode_payloads,
-    DecodedKey,
+    DecodedKey, FullEntry, PackedCellKey, PayEntry,
 };
 use crate::model::{Direction, Granularity, StorageStrategy};
+use crate::parallel;
 use subzero_engine::LineageMode;
 
 /// Outcome of one datastore lookup.
@@ -45,103 +48,140 @@ pub struct LookupOutcome {
     pub scanned: bool,
 }
 
-/// A 64-bit FxHash-style fingerprint of a datastore key.  Mixing quality is
-/// ample for fingerprinting short, structured keys; collisions are handled
-/// explicitly by [`BatchMerges`].
-fn fingerprint(bytes: &[u8]) -> u64 {
-    const K: u64 = 0x517c_c1b7_2722_0a95;
-    let mut h = bytes.len() as u64;
-    let mut chunks = bytes.chunks_exact(8);
-    for c in &mut chunks {
-        let word = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
-        h = (h.rotate_left(5) ^ word).wrapping_mul(K);
-    }
-    let rem = chunks.remainder();
-    if !rem.is_empty() {
-        let mut buf = [0u8; 8];
-        buf[..rem.len()].copy_from_slice(rem);
-        h = (h.rotate_left(5) ^ u64::from_le_bytes(buf)).wrapping_mul(K);
-    }
-    // SplitMix-style finalizer: multiplication alone mixes upward, leaving
-    // the low bits weak — and the hash table indexes buckets by exactly
-    // those bits, so skipping this turns structured keys into probe chains.
-    h ^= h >> 30;
-    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    h ^ (h >> 31)
-}
-
-/// Pass-through hasher for keys that are already fingerprints.
-#[derive(Default)]
-struct FingerprintHasher(u64);
-
-impl std::hash::Hasher for FingerprintHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, _bytes: &[u8]) {
-        unreachable!("fingerprint maps only hash u64 keys");
-    }
-    fn write_u64(&mut self, fp: u64) {
-        self.0 = fp;
-    }
-}
-
-/// Coalesces read-modify-write merges within one ingestion batch.
+/// Write-side key dedup for one ingestion batch.
 ///
 /// The per-pair path re-reads and rewrites a hash record on every key
 /// collision ("decode, merge, re-encode"); within a batch that is wasted
-/// work.  Here each distinct key is read once, every append lands on the
-/// staged value in pair order, and the final values are written back with a
-/// single group-flushed [`Database::put_batch`] — producing exactly the bytes
-/// the per-pair path would have left behind.
+/// work.  The interner coalesces repeated cell keys *before they ever reach
+/// the kv table*: keys stay in their packed integer form
+/// ([`PackedCellKey`] — no allocation, FxHash over one word) until first
+/// touch, at which point the key bytes are materialised once into the
+/// interner's arena.  Every later touch of the same key is a hash probe plus
+/// an in-place append to the staged delta.
 ///
-/// The bookkeeping is deliberately lean because it sits on the capture hot
-/// path: staged output owns each key (no clones), and the index maps 64-bit
-/// key fingerprints through a pass-through hasher, with the rare fingerprint
-/// collisions spilled to a linearly-scanned overflow list.
-#[derive(Default)]
-struct BatchMerges {
-    /// fingerprint -> index into `staged` of the first key with it.
-    index: HashMap<u64, usize, std::hash::BuildHasherDefault<FingerprintHasher>>,
-    /// Staged indices whose fingerprint collided with an earlier key.
-    overflow: Vec<usize>,
-    staged: Vec<(Vec<u8>, Vec<u8>)>,
+/// Cell-record merges are pure appends (entry-id lists, payload lists), so
+/// the staged values are *deltas*, not full records: nothing is read from
+/// the database while staging, and the flush applies every delta with one
+/// [`Database::merge_append_batch`] group write — one table probe per
+/// distinct key, no value clones, and exactly the bytes the per-pair path's
+/// read-modify-write sequence would have left behind.
+/// Bytes of staged delta stored inline in a [`KeyInterner`] slot.  An
+/// entry-id varint is 1-3 bytes at realistic scales, so the inline buffer
+/// absorbs several touches of a key without any heap allocation; payload
+/// deltas and heavily-shared keys overflow into the spill `Vec`.
+const SLOT_INLINE: usize = 15;
+
+/// One distinct key's staging state: the materialised key bytes (a span of
+/// the interner's key arena) and the append-only delta, inline while small.
+struct Slot {
+    key: Span,
+    inline_len: u8,
+    inline: [u8; SLOT_INLINE],
+    /// Overflow storage; once non-empty it holds the *whole* delta
+    /// (`Vec::new` does not allocate, so untouched spills are free).
+    spill: Vec<u8>,
 }
 
-impl BatchMerges {
-    /// Applies `append` to the staged value for `key`, reading the current
-    /// record from `db` the first time the batch touches the key.
-    fn append(&mut self, db: &Database, key: Vec<u8>, append: impl FnOnce(&mut Vec<u8>)) {
-        let fp = fingerprint(&key);
-        match self.index.entry(fp) {
-            hash_map::Entry::Occupied(slot) => {
-                let first = *slot.get();
-                if self.staged[first].0 == key {
-                    return append(&mut self.staged[first].1);
-                }
-                if let Some(&hit) = self.overflow.iter().find(|&&i| self.staged[i].0 == key) {
-                    return append(&mut self.staged[hit].1);
-                }
-                let mut value = db.peek(&key).unwrap_or_default();
-                append(&mut value);
-                self.overflow.push(self.staged.len());
-                self.staged.push((key, value));
-            }
-            hash_map::Entry::Vacant(slot) => {
-                let mut value = db.peek(&key).unwrap_or_default();
-                append(&mut value);
-                slot.insert(self.staged.len());
-                self.staged.push((key, value));
-            }
+impl Slot {
+    fn new(key: Span) -> Self {
+        Slot {
+            key,
+            inline_len: 0,
+            inline: [0; SLOT_INLINE],
+            spill: Vec::new(),
         }
     }
 
-    /// Writes every staged value back, in first-touched order.
-    fn apply(self, db: &mut Database) {
-        if !self.staged.is_empty() {
-            db.put_batch(self.staged);
+    /// Appends `bytes` to the staged delta.
+    fn append(&mut self, bytes: &[u8]) {
+        let len = self.inline_len as usize;
+        if self.spill.is_empty() && len + bytes.len() <= SLOT_INLINE {
+            self.inline[len..len + bytes.len()].copy_from_slice(bytes);
+            self.inline_len += bytes.len() as u8;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.extend_from_slice(&self.inline[..len]);
+                self.inline_len = 0;
+            }
+            self.spill.extend_from_slice(bytes);
         }
     }
+
+    /// The staged delta bytes.
+    fn delta(&self) -> &[u8] {
+        if self.spill.is_empty() {
+            &self.inline[..self.inline_len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+#[derive(Default)]
+struct KeyInterner {
+    /// packed key -> index into `slots`.
+    index: FxHashMap<PackedCellKey, usize>,
+    /// Per distinct key, in first-touch order.
+    slots: Vec<Slot>,
+    /// Arena holding the distinct keys' bytes back-to-back.
+    keys: Arena,
+    /// Reusable encode scratch for one append.
+    scratch: Vec<u8>,
+}
+
+impl KeyInterner {
+    /// An interner expecting around `keys` key touches.
+    fn with_capacity(keys: usize) -> Self {
+        let mut interner = KeyInterner::default();
+        interner.index.reserve(keys);
+        interner.slots.reserve(keys);
+        interner
+    }
+
+    /// Appends one value fragment (written by `write`, e.g. an entry-id
+    /// varint or a length-prefixed payload) to the staged delta for `key`,
+    /// interning the key on first touch.
+    fn append_with(&mut self, key: PackedCellKey, write: impl FnOnce(&mut Vec<u8>)) {
+        self.scratch.clear();
+        write(&mut self.scratch);
+        let slot = match self.index.entry(key) {
+            hash_map::Entry::Occupied(e) => *e.get(),
+            hash_map::Entry::Vacant(e) => {
+                let start = self.keys.begin();
+                key.write_into(self.keys.buf_mut());
+                let span = self.keys.finish(start);
+                self.slots.push(Slot::new(span));
+                *e.insert(self.slots.len() - 1)
+            }
+        };
+        self.slots[slot].append(&self.scratch);
+    }
+
+    /// Applies every staged delta with one group write.
+    fn flush(self, db: &mut Database) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let items: Vec<(&[u8], &[u8])> = self
+            .slots
+            .iter()
+            .map(|slot| (self.keys.get(slot.key), slot.delta()))
+            .collect();
+        db.merge_append_batch(&items);
+    }
+}
+
+/// Materialises the entry-record keys `base_id .. base_id + count` into one
+/// arena (the batched path never allocates a `Vec` per entry key).
+fn entry_key_arena(base_id: u64, count: usize) -> (Arena, Vec<Span>) {
+    let mut keys = Arena::with_capacity(count * 9);
+    let mut spans = Vec::with_capacity(count);
+    for i in 0..count {
+        let start = keys.begin();
+        encoder::entry_key_into(keys.buf_mut(), base_id + i as u64);
+        spans.push(keys.finish(start));
+    }
+    (keys, spans)
 }
 
 /// Record-block size for streamed full scans ([`Database::scan_batch`]):
@@ -166,16 +206,19 @@ impl<T> EntryCache<T> {
 
     /// Returns whether a body exists for `id` (for per-query fetch
     /// accounting) and the decoded entry, fetching and decoding on first use.
+    ///
+    /// Reads go through [`Database::peek`] so caches can live on the worker
+    /// threads of a fanned-out lookup, which share the database immutably.
     fn get(
         &mut self,
-        db: &mut Database,
+        db: &Database,
         id: u64,
         decode: impl FnOnce(&[u8]) -> Option<T>,
     ) -> (bool, Option<&T>) {
         let slot = self
             .map
             .entry(id)
-            .or_insert_with(|| match db.get(&encoder::entry_key(id)) {
+            .or_insert_with(|| match db.peek(&encoder::entry_key(id)) {
                 Some(body) => (true, decode(&body)),
                 None => (false, None),
             });
@@ -209,6 +252,10 @@ pub struct OpDatastore {
     pairs_stored: u64,
     cells_stored: u64,
     encode_time: Duration,
+    /// Worker threads the batched *lookup* paths may fan out across (the
+    /// batched write path takes its worker budget per call, because the
+    /// runtime splits it between datastore shards).
+    workers: usize,
 }
 
 impl OpDatastore {
@@ -234,7 +281,14 @@ impl OpDatastore {
             pairs_stored: 0,
             cells_stored: 0,
             encode_time: Duration::ZERO,
+            workers: parallel::default_workers(),
         }
+    }
+
+    /// Sets how many worker threads batched lookups may fan out across
+    /// (clamped to at least 1; 1 means fully serial lookups).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
     }
 
     /// Creates an in-memory datastore (the common case for tests and
@@ -439,15 +493,19 @@ impl OpDatastore {
     ///
     /// Equivalent to calling [`store_pair`](OpDatastore::store_pair) on every
     /// pair in order — the stored contents are byte-identical — but the work
-    /// is organised batch-at-a-time:
+    /// is organised batch-at-a-time around a per-batch encode arena:
     ///
-    /// * entry bodies and cell-record keys are encoded up front, fanned out
-    ///   across up to `workers` scoped threads (each thread owns a disjoint
-    ///   chunk of the batch: no locks on the hot path);
-    /// * all hash entries of the batch are written with one group-flushed
-    ///   [`put_batch`](Database::put_batch) instead of per-record puts;
-    /// * key-collision merges are coalesced per batch, so a hash key touched
-    ///   by many pairs is read and rewritten once instead of once per pair;
+    /// * each worker thread serialises its contiguous shard of the batch
+    ///   into one arena (entry bodies back-to-back, cell keys packed as
+    ///   integers — no per-record allocations, no locks on the hot path);
+    /// * all entry records are written zero-copy from the arena slices with
+    ///   one group-flushed [`put_batch_slices`](Database::put_batch_slices);
+    /// * repeated cell keys are dedup'd *before they reach the kv table* by
+    ///   a per-batch interning table ([`KeyInterner`]), and the coalesced
+    ///   append deltas are applied with one
+    ///   [`merge_append_batch`](Database::merge_append_batch) group write —
+    ///   one table probe per distinct key instead of a read-modify-write
+    ///   per pair;
     /// * spatial-index entries are staged for deferred STR bulk loading
     ///   instead of being inserted (and split) one at a time.
     pub fn store_batch(&mut self, pairs: &[RegionPair], workers: usize) {
@@ -485,81 +543,137 @@ impl OpDatastore {
         let out_shape = self.out_shape;
         let in_shapes = &self.in_shapes;
         let (granularity, direction) = (self.strategy.granularity, self.strategy.direction);
+        // The FullOne-forward entry body stores empty input-cell lists; built
+        // once, not once per pair.
+        let empty_incells: Vec<Vec<Coord>> = vec![Vec::new(); in_shapes.len()];
 
-        // Parallel phase: pure per-pair encoding of entry bodies, cell-record
-        // keys and bounding boxes.
-        struct Encoded {
-            entry: (Vec<u8>, Vec<u8>),
-            cell_keys: Vec<Vec<u8>>,
+        /// One worker's contiguous shard of the batch, serialised into one
+        /// arena: entry bodies back-to-back, cell keys kept packed (no
+        /// per-key allocation), bounding boxes flat with per-pair counts.
+        struct Shard {
+            bodies: Arena,
+            spans: Vec<Span>,
+            keys: Vec<PackedCellKey>,
+            key_counts: Vec<u32>,
             boxes: Vec<BoundingBox>,
+            box_counts: Vec<u32>,
         }
-        let encoded = crate::parallel::parallel_map(&work, workers, |i, &(outcells, incells)| {
-            let id = base_id + i as u64;
-            let (body, cell_keys, boxes) = match (granularity, direction) {
-                (Granularity::One, Direction::Backward) => (
-                    encoder::encode_full_entry(&out_shape, in_shapes, &[], incells, false),
-                    outcells
-                        .iter()
-                        .map(|oc| encoder::out_cell_key(&out_shape, oc))
-                        .collect(),
-                    Vec::new(),
-                ),
-                (Granularity::One, Direction::Forward) => (
-                    encoder::encode_full_entry(
-                        &out_shape,
-                        in_shapes,
-                        outcells,
-                        &vec![Vec::new(); in_shapes.len()],
-                        true,
-                    ),
-                    incells
-                        .iter()
-                        .enumerate()
-                        .flat_map(|(j, cells)| {
-                            cells
-                                .iter()
-                                .map(move |ic| encoder::in_cell_key(&in_shapes[j], j, ic))
-                        })
-                        .collect(),
-                    Vec::new(),
-                ),
-                (Granularity::Many, Direction::Backward) => (
-                    encoder::encode_full_entry(&out_shape, in_shapes, outcells, incells, true),
-                    Vec::new(),
-                    BoundingBox::enclosing(outcells).into_iter().collect(),
-                ),
-                (Granularity::Many, Direction::Forward) => (
-                    encoder::encode_full_entry(&out_shape, in_shapes, outcells, incells, true),
-                    Vec::new(),
-                    incells
-                        .iter()
-                        .filter_map(|cells| BoundingBox::enclosing(cells))
-                        .collect(),
-                ),
+        let shards = parallel::parallel_chunks(&work, workers, 64, |_, chunk| {
+            let mut shard = Shard {
+                bodies: Arena::with_capacity(chunk.len() * 16),
+                spans: Vec::with_capacity(chunk.len()),
+                keys: Vec::new(),
+                key_counts: Vec::with_capacity(chunk.len()),
+                boxes: Vec::new(),
+                box_counts: Vec::with_capacity(chunk.len()),
             };
-            Encoded {
-                entry: (encoder::entry_key(id), body),
-                cell_keys,
-                boxes,
+            for &(outcells, incells) in chunk {
+                let start = shard.bodies.begin();
+                let keys_before = shard.keys.len();
+                let boxes_before = shard.boxes.len();
+                match (granularity, direction) {
+                    (Granularity::One, Direction::Backward) => {
+                        encoder::encode_full_entry_into(
+                            shard.bodies.buf_mut(),
+                            &out_shape,
+                            in_shapes,
+                            &[],
+                            incells,
+                            false,
+                        );
+                        shard.keys.extend(
+                            outcells
+                                .iter()
+                                .map(|oc| PackedCellKey::out_cell(&out_shape, oc)),
+                        );
+                    }
+                    (Granularity::One, Direction::Forward) => {
+                        encoder::encode_full_entry_into(
+                            shard.bodies.buf_mut(),
+                            &out_shape,
+                            in_shapes,
+                            outcells,
+                            &empty_incells,
+                            true,
+                        );
+                        for (j, cells) in incells.iter().enumerate() {
+                            shard.keys.extend(
+                                cells
+                                    .iter()
+                                    .map(|ic| PackedCellKey::in_cell(&in_shapes[j], j, ic)),
+                            );
+                        }
+                    }
+                    (Granularity::Many, Direction::Backward) => {
+                        encoder::encode_full_entry_into(
+                            shard.bodies.buf_mut(),
+                            &out_shape,
+                            in_shapes,
+                            outcells,
+                            incells,
+                            true,
+                        );
+                        shard.boxes.extend(BoundingBox::enclosing(outcells));
+                    }
+                    (Granularity::Many, Direction::Forward) => {
+                        encoder::encode_full_entry_into(
+                            shard.bodies.buf_mut(),
+                            &out_shape,
+                            in_shapes,
+                            outcells,
+                            incells,
+                            true,
+                        );
+                        shard.boxes.extend(
+                            incells
+                                .iter()
+                                .filter_map(|cells| BoundingBox::enclosing(cells)),
+                        );
+                    }
+                }
+                shard.spans.push(shard.bodies.finish(start));
+                shard
+                    .key_counts
+                    .push((shard.keys.len() - keys_before) as u32);
+                shard
+                    .box_counts
+                    .push((shard.boxes.len() - boxes_before) as u32);
             }
+            shard
         });
 
-        // Serial phase: group-flush the entries, coalesce the cell-record
-        // merges, stage the spatial-index entries.
-        let mut entries = Vec::with_capacity(encoded.len());
-        let mut merges = BatchMerges::default();
-        for (i, enc) in encoded.into_iter().enumerate() {
-            let id = base_id + i as u64;
-            entries.push(enc.entry);
-            for key in enc.cell_keys {
-                merges.append(&self.db, key, |value| encoder::append_entry_id(value, id));
-            }
-            for bbox in enc.boxes {
-                self.rtree_staged.push((bbox, id));
+        // Serial phase: dedup the cell-record keys, stage the spatial-index
+        // entries, then hand the batch to the backend as two zero-copy group
+        // writes over the arena slices — the entry bodies, and the coalesced
+        // cell-record deltas.
+        let (entry_keys, entry_key_spans) = entry_key_arena(base_id, work.len());
+        let total_keys: usize = shards.iter().map(|s| s.keys.len()).sum();
+        let mut interner = KeyInterner::with_capacity(total_keys);
+        let mut id = base_id;
+        for shard in &shards {
+            let (mut key_pos, mut box_pos) = (0usize, 0usize);
+            for (&kc, &bc) in shard.key_counts.iter().zip(&shard.box_counts) {
+                for key in &shard.keys[key_pos..key_pos + kc as usize] {
+                    interner.append_with(*key, |v| encoder::append_entry_id(v, id));
+                }
+                for bbox in &shard.boxes[box_pos..box_pos + bc as usize] {
+                    self.rtree_staged.push((*bbox, id));
+                }
+                key_pos += kc as usize;
+                box_pos += bc as usize;
+                id += 1;
             }
         }
-        self.db.put_batch(entries);
-        merges.apply(&mut self.db);
+        let mut records: Vec<(&[u8], &[u8])> = Vec::with_capacity(work.len());
+        let mut i = 0usize;
+        for shard in &shards {
+            for span in &shard.spans {
+                records.push((entry_keys.get(entry_key_spans[i]), shard.bodies.get(*span)));
+                i += 1;
+            }
+        }
+        self.db.put_batch_slices(&records);
+        interner.flush(&mut self.db);
     }
 
     fn store_pay_batch(&mut self, pairs: &[RegionPair], workers: usize) {
@@ -579,42 +693,68 @@ impl OpDatastore {
         match self.strategy.granularity {
             Granularity::One => {
                 // The payload is duplicated into every output cell's record;
-                // encode the keys in parallel, coalesce appends per batch.
+                // pack the keys in parallel (integers, no allocation), then
+                // dedup and append the payloads per batch.
                 let out_shape = self.out_shape;
-                let keyed = crate::parallel::parallel_map(&work, workers, |_, &(outcells, _)| {
-                    outcells
-                        .iter()
-                        .map(|oc| encoder::out_cell_key(&out_shape, oc))
-                        .collect::<Vec<_>>()
-                });
-                let mut merges = BatchMerges::default();
-                for (keys, &(_, payload)) in keyed.into_iter().zip(&work) {
-                    for key in keys {
-                        merges.append(&self.db, key, |value| {
-                            encoder::append_payload(value, payload)
-                        });
+                let shard_keys: Vec<Vec<PackedCellKey>> =
+                    parallel::parallel_chunks(&work, workers, 64, |_, chunk| {
+                        chunk
+                            .iter()
+                            .flat_map(|&(outcells, _)| {
+                                outcells
+                                    .iter()
+                                    .map(|oc| PackedCellKey::out_cell(&out_shape, oc))
+                            })
+                            .collect()
+                    });
+                let total_keys: usize = shard_keys.iter().map(Vec::len).sum();
+                let mut interner = KeyInterner::with_capacity(total_keys);
+                let mut keys = shard_keys.iter().flatten();
+                for &(outcells, payload) in &work {
+                    for _ in 0..outcells.len() {
+                        let key = *keys.next().expect("one packed key per output cell");
+                        interner.append_with(key, |v| encoder::append_payload(v, payload));
                     }
                 }
-                merges.apply(&mut self.db);
+                interner.flush(&mut self.db);
             }
             Granularity::Many => {
                 let base_id = self.next_entry_id;
                 self.next_entry_id += work.len() as u64;
                 let out_shape = self.out_shape;
-                let entries =
-                    crate::parallel::parallel_map(&work, workers, |i, &(outcells, payload)| {
-                        let id = base_id + i as u64;
-                        (
-                            encoder::entry_key(id),
-                            encoder::encode_pay_entry(&out_shape, outcells, payload),
-                        )
+                // Arena-encode the entry bodies per worker shard, then write
+                // the whole batch with one zero-copy group write.
+                let shards: Vec<(Arena, Vec<Span>)> =
+                    parallel::parallel_chunks(&work, workers, 64, |_, chunk| {
+                        let mut bodies = Arena::with_capacity(chunk.len() * 16);
+                        let mut spans = Vec::with_capacity(chunk.len());
+                        for &(outcells, payload) in chunk {
+                            let start = bodies.begin();
+                            encoder::encode_pay_entry_into(
+                                bodies.buf_mut(),
+                                &out_shape,
+                                outcells,
+                                payload,
+                            );
+                            spans.push(bodies.finish(start));
+                        }
+                        (bodies, spans)
                     });
                 for (i, &(outcells, _)) in work.iter().enumerate() {
                     if let Some(bbox) = BoundingBox::enclosing(outcells) {
                         self.rtree_staged.push((bbox, base_id + i as u64));
                     }
                 }
-                self.db.put_batch(entries);
+                let (entry_keys, entry_key_spans) = entry_key_arena(base_id, work.len());
+                let mut records: Vec<(&[u8], &[u8])> = Vec::with_capacity(work.len());
+                let mut i = 0usize;
+                for (bodies, spans) in &shards {
+                    for span in spans {
+                        records.push((entry_keys.get(entry_key_spans[i]), bodies.get(*span)));
+                        i += 1;
+                    }
+                }
+                self.db.put_batch_slices(&records);
             }
         }
     }
@@ -690,6 +830,13 @@ impl OpDatastore {
     /// the *single* full scan (streamed through [`Database::scan_batch`] in
     /// decode blocks riding the `put_batch` file layout) answers every query
     /// of the batch, instead of one scan per query.
+    ///
+    /// The work fans out across the scoped worker threads of
+    /// [`parallel`](crate::parallel) (see [`set_workers`](OpDatastore::set_workers)):
+    /// indexed lookups split the query batch into per-worker shards (each
+    /// with its own decoded-entry cache), and the shared scan parallelises
+    /// both the per-block entry decoding and the per-query join.  Results
+    /// are deterministic and identical at any worker count.
     pub fn lookup_backward_many(
         &mut self,
         queries: &[&CellSet],
@@ -698,17 +845,21 @@ impl OpDatastore {
         meta: &OpMeta,
     ) -> Vec<LookupOutcome> {
         self.ensure_spatial_index();
+        if queries.is_empty() {
+            return Vec::new();
+        }
         let out_shape = self.out_shape;
         let in_shapes = self.in_shapes.clone();
-        let mut outs: Vec<LookupOutcome> = queries
-            .iter()
-            .map(|_| LookupOutcome {
-                result: CellSet::empty(in_shapes[input_idx]),
-                covered: CellSet::empty(out_shape),
-                entries_fetched: 0,
-                scanned: false,
-            })
-            .collect();
+        let in_shapes = &in_shapes;
+        let workers = self.workers;
+        let db = &self.db;
+        let rtree = self.rtree.as_ref();
+        let empty_outcome = || LookupOutcome {
+            result: CellSet::empty(in_shapes[input_idx]),
+            covered: CellSet::empty(out_shape),
+            entries_fetched: 0,
+            scanned: false,
+        };
 
         match (
             self.strategy.mode,
@@ -716,193 +867,228 @@ impl OpDatastore {
             self.strategy.granularity,
         ) {
             // --- Indexed (backward-optimized) paths -------------------------
-            (LineageMode::Full, Direction::Backward, Granularity::One) => {
-                let mut cache = EntryCache::new();
-                for (out, query) in outs.iter_mut().zip(queries) {
-                    for qc in query.iter() {
-                        let key = encoder::out_cell_key(&out_shape, &qc);
-                        let Some(value) = self.db.get(&key) else {
-                            continue;
-                        };
-                        out.covered.insert(&qc);
-                        for id in decode_entry_ids(&value).unwrap_or_default() {
-                            let (present, entry) = cache.get(&mut self.db, id, |body| {
-                                decode_full_entry(&out_shape, &in_shapes, body).ok()
-                            });
-                            if present {
-                                out.entries_fetched += 1;
-                            }
-                            if let Some(entry) = entry {
-                                for c in entry.incells.get(input_idx).into_iter().flatten() {
-                                    out.result.insert(c);
+            (LineageMode::Full, Direction::Backward, Granularity::One) => flatten(
+                parallel::parallel_chunks(queries, workers, 2, |_, shard| {
+                    let mut cache = EntryCache::new();
+                    shard
+                        .iter()
+                        .map(|query| {
+                            let mut out = empty_outcome();
+                            for qc in query.iter() {
+                                let key = encoder::out_cell_key(&out_shape, &qc);
+                                let Some(value) = db.peek(&key) else {
+                                    continue;
+                                };
+                                out.covered.insert(&qc);
+                                for id in decode_entry_ids(&value).unwrap_or_default() {
+                                    let (present, entry) = cache.get(db, id, |body| {
+                                        decode_full_entry(&out_shape, in_shapes, body).ok()
+                                    });
+                                    if present {
+                                        out.entries_fetched += 1;
+                                    }
+                                    if let Some(entry) = entry {
+                                        for c in entry.incells.get(input_idx).into_iter().flatten()
+                                        {
+                                            out.result.insert(c);
+                                        }
+                                    }
                                 }
+                            }
+                            out
+                        })
+                        .collect()
+                }),
+            ),
+            (LineageMode::Full, Direction::Backward, Granularity::Many) => flatten(
+                parallel::parallel_chunks(queries, workers, 2, |_, shard| {
+                    let mut cache = EntryCache::new();
+                    shard
+                        .iter()
+                        .map(|query| {
+                            let mut out = empty_outcome();
+                            for id in candidate_entries(rtree, query) {
+                                let (present, entry) = cache.get(db, id, |body| {
+                                    decode_full_entry(&out_shape, in_shapes, body).ok()
+                                });
+                                if present {
+                                    out.entries_fetched += 1;
+                                }
+                                let Some(entry) = entry else { continue };
+                                let hits: Vec<&Coord> = entry
+                                    .outcells
+                                    .iter()
+                                    .filter(|c| query.contains(c))
+                                    .collect();
+                                if !hits.is_empty() {
+                                    for c in &hits {
+                                        out.covered.insert(c);
+                                    }
+                                    for c in entry.incells.get(input_idx).into_iter().flatten() {
+                                        out.result.insert(c);
+                                    }
+                                }
+                            }
+                            out
+                        })
+                        .collect()
+                }),
+            ),
+            (LineageMode::Pay | LineageMode::Comp, _, Granularity::One) => {
+                // map_payload depends on the query cell, so only the record
+                // fetches are shareable — and query cells rarely repeat
+                // across a batch; fan the per-query loops out as they are.
+                flatten(parallel::parallel_chunks(
+                    queries,
+                    workers,
+                    2,
+                    |_, shard| {
+                        shard
+                            .iter()
+                            .map(|query| {
+                                let mut out = empty_outcome();
+                                for qc in query.iter() {
+                                    let key = encoder::out_cell_key(&out_shape, &qc);
+                                    if let Some(value) = db.peek(&key) {
+                                        out.covered.insert(&qc);
+                                        out.entries_fetched += 1;
+                                        for payload in decode_payloads(&value).unwrap_or_default() {
+                                            for c in op
+                                                .map_payload(&qc, &payload, input_idx, meta)
+                                                .unwrap_or_default()
+                                            {
+                                                out.result.insert(&c);
+                                            }
+                                        }
+                                    }
+                                }
+                                out
+                            })
+                            .collect()
+                    },
+                ))
+            }
+            (LineageMode::Pay | LineageMode::Comp, _, Granularity::Many) => flatten(
+                parallel::parallel_chunks(queries, workers, 2, |_, shard| {
+                    let mut cache = EntryCache::new();
+                    shard
+                        .iter()
+                        .map(|query| {
+                            let mut out = empty_outcome();
+                            for id in candidate_entries(rtree, query) {
+                                let (present, entry) = cache
+                                    .get(db, id, |body| decode_pay_entry(&out_shape, body).ok());
+                                if present {
+                                    out.entries_fetched += 1;
+                                }
+                                let Some(entry) = entry else { continue };
+                                for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
+                                    out.covered.insert(oc);
+                                    for c in op
+                                        .map_payload(oc, &entry.payload, input_idx, meta)
+                                        .unwrap_or_default()
+                                    {
+                                        out.result.insert(&c);
+                                    }
+                                }
+                            }
+                            out
+                        })
+                        .collect()
+                }),
+            ),
+            // --- Mismatched index: forward-optimized store, backward query --
+            (LineageMode::Full, Direction::Forward, Granularity::One) => {
+                // One streamed scan collects the input-cell records and the
+                // decoded entry bodies (decoding fans out per block); the
+                // parallel per-query join below answers every query.
+                let mut in_records: Vec<(Coord, Vec<u64>)> = Vec::new();
+                let mut entries: HashMap<u64, Option<FullEntry>> = HashMap::new();
+                db.scan_batch(SCAN_BLOCK, &mut |block| {
+                    for item in parallel::parallel_map(block, workers, |_, (key, value)| {
+                        match decode_key(&out_shape, in_shapes, key) {
+                            Ok(DecodedKey::InCell { input_idx: i, cell }) if i == input_idx => {
+                                ScannedFull::Record(
+                                    cell,
+                                    decode_entry_ids(value).unwrap_or_default(),
+                                )
+                            }
+                            Ok(DecodedKey::Entry(id)) => ScannedFull::Entry(
+                                id,
+                                decode_full_entry(&out_shape, in_shapes, value).ok(),
+                            ),
+                            _ => ScannedFull::Skip,
+                        }
+                    }) {
+                        match item {
+                            ScannedFull::Record(cell, ids) => in_records.push((cell, ids)),
+                            ScannedFull::Entry(id, decoded) => {
+                                entries.insert(id, decoded);
+                            }
+                            ScannedFull::Skip => {}
+                        }
+                    }
+                });
+                // Resolve each record's entry ids against the decoded map
+                // once, into one flat (cell, entry) join list; the per-query
+                // join then streams plain references with no hash lookups.
+                let resolved: Vec<(&Coord, &Option<FullEntry>)> = in_records
+                    .iter()
+                    .flat_map(|(cell, ids)| {
+                        ids.iter()
+                            .filter_map(|id| entries.get(id))
+                            .map(move |decoded| (cell, decoded))
+                    })
+                    .collect();
+                parallel::parallel_map_min(queries, workers, 2, |_, query| {
+                    let mut out = empty_outcome();
+                    out.scanned = true;
+                    for &(cell, decoded) in &resolved {
+                        out.entries_fetched += 1;
+                        let Some(entry) = decoded else { continue };
+                        if entry.outcells.iter().any(|c| query.contains(c)) {
+                            out.result.insert(cell);
+                            for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
+                                out.covered.insert(oc);
                             }
                         }
                     }
-                }
+                    out
+                })
             }
-            (LineageMode::Full, Direction::Backward, Granularity::Many) => {
-                let candidates: Vec<Vec<u64>> =
-                    queries.iter().map(|q| self.candidate_entries(q)).collect();
-                let mut cache = EntryCache::new();
-                for ((out, query), ids) in outs.iter_mut().zip(queries).zip(candidates) {
-                    for id in ids {
-                        let (present, entry) = cache.get(&mut self.db, id, |body| {
-                            decode_full_entry(&out_shape, &in_shapes, body).ok()
-                        });
-                        if present {
-                            out.entries_fetched += 1;
-                        }
-                        let Some(entry) = entry else { continue };
-                        let hits: Vec<&Coord> = entry
-                            .outcells
-                            .iter()
-                            .filter(|c| query.contains(c))
-                            .collect();
-                        if !hits.is_empty() {
-                            for c in &hits {
-                                out.covered.insert(c);
+            (LineageMode::Full, Direction::Forward, Granularity::Many) => {
+                let entries = scan_full_entries(db, &out_shape, in_shapes, workers);
+                parallel::parallel_map_min(queries, workers, 2, |_, query| {
+                    let mut out = empty_outcome();
+                    out.scanned = true;
+                    for decoded in &entries {
+                        out.entries_fetched += 1;
+                        let Some(entry) = decoded else { continue };
+                        if entry.outcells.iter().any(|c| query.contains(c)) {
+                            for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
+                                out.covered.insert(oc);
                             }
                             for c in entry.incells.get(input_idx).into_iter().flatten() {
                                 out.result.insert(c);
                             }
                         }
                     }
-                }
-            }
-            (LineageMode::Pay | LineageMode::Comp, _, Granularity::One) => {
-                // map_payload depends on the query cell, so only the record
-                // fetches are shareable — and query cells rarely repeat
-                // across a batch; keep the per-query loop.
-                for (out, query) in outs.iter_mut().zip(queries) {
-                    for qc in query.iter() {
-                        let key = encoder::out_cell_key(&out_shape, &qc);
-                        if let Some(value) = self.db.get(&key) {
-                            out.covered.insert(&qc);
-                            out.entries_fetched += 1;
-                            for payload in decode_payloads(&value).unwrap_or_default() {
-                                for c in op
-                                    .map_payload(&qc, &payload, input_idx, meta)
-                                    .unwrap_or_default()
-                                {
-                                    out.result.insert(&c);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            (LineageMode::Pay | LineageMode::Comp, _, Granularity::Many) => {
-                let candidates: Vec<Vec<u64>> =
-                    queries.iter().map(|q| self.candidate_entries(q)).collect();
-                let mut cache = EntryCache::new();
-                for ((out, query), ids) in outs.iter_mut().zip(queries).zip(candidates) {
-                    for id in ids {
-                        let (present, entry) = cache.get(&mut self.db, id, |body| {
-                            decode_pay_entry(&out_shape, body).ok()
-                        });
-                        if present {
-                            out.entries_fetched += 1;
-                        }
-                        let Some(entry) = entry else { continue };
-                        for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
-                            out.covered.insert(oc);
-                            for c in op
-                                .map_payload(oc, &entry.payload, input_idx, meta)
-                                .unwrap_or_default()
-                            {
-                                out.result.insert(&c);
-                            }
-                        }
-                    }
-                }
-            }
-            // --- Mismatched index: forward-optimized store, backward query --
-            (LineageMode::Full, Direction::Forward, Granularity::One) => {
-                for out in outs.iter_mut() {
-                    out.scanned = true;
-                }
-                // One streamed scan collects the input-cell records and the
-                // decoded entry bodies; the join below answers every query.
-                let mut in_records: Vec<(Coord, Vec<u64>)> = Vec::new();
-                let mut entries: HashMap<u64, Option<encoder::FullEntry>> = HashMap::new();
-                self.db.scan_batch(SCAN_BLOCK, &mut |block| {
-                    for (key, value) in block {
-                        match decode_key(&out_shape, &in_shapes, key) {
-                            Ok(DecodedKey::InCell { input_idx: i, cell }) if i == input_idx => {
-                                in_records
-                                    .push((cell, decode_entry_ids(value).unwrap_or_default()));
-                            }
-                            Ok(DecodedKey::Entry(id)) => {
-                                entries.insert(
-                                    id,
-                                    decode_full_entry(&out_shape, &in_shapes, value).ok(),
-                                );
-                            }
-                            _ => {}
-                        }
-                    }
-                });
-                for (cell, ids) in &in_records {
-                    for id in ids {
-                        let Some(decoded) = entries.get(id) else {
-                            continue;
-                        };
-                        for (out, query) in outs.iter_mut().zip(queries) {
-                            out.entries_fetched += 1;
-                            let Some(entry) = decoded else { continue };
-                            if entry.outcells.iter().any(|c| query.contains(c)) {
-                                out.result.insert(cell);
-                                for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
-                                    out.covered.insert(oc);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            (LineageMode::Full, Direction::Forward, Granularity::Many) => {
-                for out in outs.iter_mut() {
-                    out.scanned = true;
-                }
-                self.db.scan_batch(SCAN_BLOCK, &mut |block| {
-                    for (key, body) in block {
-                        if !matches!(
-                            decode_key(&out_shape, &in_shapes, key),
-                            Ok(DecodedKey::Entry(_))
-                        ) {
-                            continue;
-                        }
-                        let decoded = decode_full_entry(&out_shape, &in_shapes, body).ok();
-                        for (out, query) in outs.iter_mut().zip(queries) {
-                            out.entries_fetched += 1;
-                            let Some(entry) = &decoded else { continue };
-                            if entry.outcells.iter().any(|c| query.contains(c)) {
-                                for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
-                                    out.covered.insert(oc);
-                                }
-                                for c in entry.incells.get(input_idx).into_iter().flatten() {
-                                    out.result.insert(c);
-                                }
-                            }
-                        }
-                    }
-                });
+                    out
+                })
             }
             (LineageMode::Map | LineageMode::Blackbox, _, _) => {
                 // These strategies store nothing; the query executor never
                 // routes lookups here, but returning empty outcomes keeps the
                 // datastore total.
+                queries.iter().map(|_| empty_outcome()).collect()
             }
         }
-
-        outs
     }
 
     /// Answers a whole batch of forward lookups in one pass; the batched
     /// counterpart of [`lookup_forward`](OpDatastore::lookup_forward) (see
     /// [`lookup_backward_many`](OpDatastore::lookup_backward_many) for the
-    /// sharing the batch exploits).
+    /// sharing and the worker fan-out the batch exploits).
     pub fn lookup_forward_many(
         &mut self,
         queries: &[&CellSet],
@@ -911,17 +1097,21 @@ impl OpDatastore {
         meta: &OpMeta,
     ) -> Vec<LookupOutcome> {
         self.ensure_spatial_index();
+        if queries.is_empty() {
+            return Vec::new();
+        }
         let out_shape = self.out_shape;
         let in_shapes = self.in_shapes.clone();
-        let mut outs: Vec<LookupOutcome> = queries
-            .iter()
-            .map(|_| LookupOutcome {
-                result: CellSet::empty(out_shape),
-                covered: CellSet::empty(in_shapes[input_idx]),
-                entries_fetched: 0,
-                scanned: false,
-            })
-            .collect();
+        let in_shapes = &in_shapes;
+        let workers = self.workers;
+        let db = &self.db;
+        let rtree = self.rtree.as_ref();
+        let empty_outcome = || LookupOutcome {
+            result: CellSet::empty(out_shape),
+            covered: CellSet::empty(in_shapes[input_idx]),
+            entries_fetched: 0,
+            scanned: false,
+        };
 
         match (
             self.strategy.mode,
@@ -929,44 +1119,140 @@ impl OpDatastore {
             self.strategy.granularity,
         ) {
             // --- Indexed (forward-optimized) paths ---------------------------
-            (LineageMode::Full, Direction::Forward, Granularity::One) => {
-                let mut cache = EntryCache::new();
-                for (out, query) in outs.iter_mut().zip(queries) {
-                    for qc in query.iter() {
-                        let key = encoder::in_cell_key(&in_shapes[input_idx], input_idx, &qc);
-                        let Some(value) = self.db.get(&key) else {
-                            continue;
-                        };
-                        out.covered.insert(&qc);
-                        for id in decode_entry_ids(&value).unwrap_or_default() {
-                            let (present, entry) = cache.get(&mut self.db, id, |body| {
-                                decode_full_entry(&out_shape, &in_shapes, body).ok()
-                            });
-                            if present {
-                                out.entries_fetched += 1;
-                            }
-                            if let Some(entry) = entry {
-                                for c in &entry.outcells {
-                                    out.result.insert(c);
+            (LineageMode::Full, Direction::Forward, Granularity::One) => flatten(
+                parallel::parallel_chunks(queries, workers, 2, |_, shard| {
+                    let mut cache = EntryCache::new();
+                    shard
+                        .iter()
+                        .map(|query| {
+                            let mut out = empty_outcome();
+                            for qc in query.iter() {
+                                let key =
+                                    encoder::in_cell_key(&in_shapes[input_idx], input_idx, &qc);
+                                let Some(value) = db.peek(&key) else {
+                                    continue;
+                                };
+                                out.covered.insert(&qc);
+                                for id in decode_entry_ids(&value).unwrap_or_default() {
+                                    let (present, entry) = cache.get(db, id, |body| {
+                                        decode_full_entry(&out_shape, in_shapes, body).ok()
+                                    });
+                                    if present {
+                                        out.entries_fetched += 1;
+                                    }
+                                    if let Some(entry) = entry {
+                                        for c in &entry.outcells {
+                                            out.result.insert(c);
+                                        }
+                                    }
                                 }
+                            }
+                            out
+                        })
+                        .collect()
+                }),
+            ),
+            (LineageMode::Full, Direction::Forward, Granularity::Many) => flatten(
+                parallel::parallel_chunks(queries, workers, 2, |_, shard| {
+                    let mut cache = EntryCache::new();
+                    shard
+                        .iter()
+                        .map(|query| {
+                            let mut out = empty_outcome();
+                            for id in candidate_entries(rtree, query) {
+                                let (present, entry) = cache.get(db, id, |body| {
+                                    decode_full_entry(&out_shape, in_shapes, body).ok()
+                                });
+                                if present {
+                                    out.entries_fetched += 1;
+                                }
+                                let Some(entry) = entry else { continue };
+                                let hits: Vec<&Coord> = entry
+                                    .incells
+                                    .get(input_idx)
+                                    .into_iter()
+                                    .flatten()
+                                    .filter(|c| query.contains(c))
+                                    .collect();
+                                if !hits.is_empty() {
+                                    for c in &hits {
+                                        out.covered.insert(c);
+                                    }
+                                    for c in &entry.outcells {
+                                        out.result.insert(c);
+                                    }
+                                }
+                            }
+                            out
+                        })
+                        .collect()
+                }),
+            ),
+            // --- Mismatched index: backward-optimized store, forward query ---
+            (LineageMode::Full, Direction::Backward, Granularity::One) => {
+                let mut out_records: Vec<(Coord, Vec<u64>)> = Vec::new();
+                let mut entries: HashMap<u64, Option<FullEntry>> = HashMap::new();
+                db.scan_batch(SCAN_BLOCK, &mut |block| {
+                    for item in parallel::parallel_map(block, workers, |_, (key, value)| {
+                        match decode_key(&out_shape, in_shapes, key) {
+                            Ok(DecodedKey::OutCell(oc)) => {
+                                ScannedFull::Record(oc, decode_entry_ids(value).unwrap_or_default())
+                            }
+                            Ok(DecodedKey::Entry(id)) => ScannedFull::Entry(
+                                id,
+                                decode_full_entry(&out_shape, in_shapes, value).ok(),
+                            ),
+                            _ => ScannedFull::Skip,
+                        }
+                    }) {
+                        match item {
+                            ScannedFull::Record(oc, ids) => out_records.push((oc, ids)),
+                            ScannedFull::Entry(id, decoded) => {
+                                entries.insert(id, decoded);
+                            }
+                            ScannedFull::Skip => {}
+                        }
+                    }
+                });
+                let resolved: Vec<(&Coord, &Option<FullEntry>)> = out_records
+                    .iter()
+                    .flat_map(|(oc, ids)| {
+                        ids.iter()
+                            .filter_map(|id| entries.get(id))
+                            .map(move |decoded| (oc, decoded))
+                    })
+                    .collect();
+                parallel::parallel_map_min(queries, workers, 2, |_, query| {
+                    let mut out = empty_outcome();
+                    out.scanned = true;
+                    for &(oc, decoded) in &resolved {
+                        out.entries_fetched += 1;
+                        let Some(entry) = decoded else { continue };
+                        let hits: Vec<&Coord> = entry
+                            .incells
+                            .get(input_idx)
+                            .into_iter()
+                            .flatten()
+                            .filter(|c| query.contains(c))
+                            .collect();
+                        if !hits.is_empty() {
+                            out.result.insert(oc);
+                            for c in &hits {
+                                out.covered.insert(c);
                             }
                         }
                     }
-                }
+                    out
+                })
             }
-            (LineageMode::Full, Direction::Forward, Granularity::Many) => {
-                let candidates: Vec<Vec<u64>> =
-                    queries.iter().map(|q| self.candidate_entries(q)).collect();
-                let mut cache = EntryCache::new();
-                for ((out, query), ids) in outs.iter_mut().zip(queries).zip(candidates) {
-                    for id in ids {
-                        let (present, entry) = cache.get(&mut self.db, id, |body| {
-                            decode_full_entry(&out_shape, &in_shapes, body).ok()
-                        });
-                        if present {
-                            out.entries_fetched += 1;
-                        }
-                        let Some(entry) = entry else { continue };
+            (LineageMode::Full, Direction::Backward, Granularity::Many) => {
+                let entries = scan_full_entries(db, &out_shape, in_shapes, workers);
+                parallel::parallel_map_min(queries, workers, 2, |_, query| {
+                    let mut out = empty_outcome();
+                    out.scanned = true;
+                    for decoded in &entries {
+                        out.entries_fetched += 1;
+                        let Some(entry) = decoded else { continue };
                         let hits: Vec<&Coord> = entry
                             .incells
                             .get(input_idx)
@@ -983,46 +1269,48 @@ impl OpDatastore {
                             }
                         }
                     }
-                }
+                    out
+                })
             }
-            // --- Mismatched index: backward-optimized store, forward query ---
-            (LineageMode::Full, Direction::Backward, Granularity::One) => {
-                for out in outs.iter_mut() {
-                    out.scanned = true;
-                }
-                let mut out_records: Vec<(Coord, Vec<u64>)> = Vec::new();
-                let mut entries: HashMap<u64, Option<encoder::FullEntry>> = HashMap::new();
-                self.db.scan_batch(SCAN_BLOCK, &mut |block| {
-                    for (key, value) in block {
-                        match decode_key(&out_shape, &in_shapes, key) {
+            // --- Payload lineage: always requires iterating the pairs --------
+            (LineageMode::Pay | LineageMode::Comp, _, Granularity::One) => {
+                // One streamed scan collects the output-cell records, then
+                // the mapping function runs once per stored (cell, payload)
+                // region — fanned across the workers — and the parallel
+                // per-query join consumes the precomputed regions.
+                let mut records: Vec<(Coord, Vec<Vec<u8>>)> = Vec::new();
+                db.scan_batch(SCAN_BLOCK, &mut |block| {
+                    records.extend(
+                        parallel::parallel_map(block, workers, |_, (key, value)| match decode_key(
+                            &out_shape, in_shapes, key,
+                        ) {
                             Ok(DecodedKey::OutCell(oc)) => {
-                                out_records.push((oc, decode_entry_ids(value).unwrap_or_default()));
+                                Some((oc, decode_payloads(value).unwrap_or_default()))
                             }
-                            Ok(DecodedKey::Entry(id)) => {
-                                entries.insert(
-                                    id,
-                                    decode_full_entry(&out_shape, &in_shapes, value).ok(),
-                                );
-                            }
-                            _ => {}
-                        }
-                    }
+                            _ => None,
+                        })
+                        .into_iter()
+                        .flatten(),
+                    );
                 });
-                for (oc, ids) in &out_records {
-                    for id in ids {
-                        let Some(decoded) = entries.get(id) else {
-                            continue;
-                        };
-                        for (out, query) in outs.iter_mut().zip(queries) {
-                            out.entries_fetched += 1;
-                            let Some(entry) = decoded else { continue };
-                            let hits: Vec<&Coord> = entry
-                                .incells
-                                .get(input_idx)
-                                .into_iter()
-                                .flatten()
-                                .filter(|c| query.contains(c))
-                                .collect();
+                let mapped: Vec<(Coord, Vec<Vec<Coord>>)> =
+                    parallel::parallel_map(&records, workers, |_, (oc, payloads)| {
+                        (
+                            *oc,
+                            payloads
+                                .iter()
+                                .map(|p| op.map_payload(oc, p, input_idx, meta).unwrap_or_default())
+                                .collect(),
+                        )
+                    });
+                parallel::parallel_map_min(queries, workers, 2, |_, query| {
+                    let mut out = empty_outcome();
+                    out.scanned = true;
+                    for (oc, regions) in &mapped {
+                        out.entries_fetched += 1;
+                        for incells in regions {
+                            let hits: Vec<&Coord> =
+                                incells.iter().filter(|c| query.contains(c)).collect();
                             if !hits.is_empty() {
                                 out.result.insert(oc);
                                 for c in &hits {
@@ -1031,150 +1319,150 @@ impl OpDatastore {
                             }
                         }
                     }
-                }
+                    out
+                })
             }
-            (LineageMode::Full, Direction::Backward, Granularity::Many) => {
-                for out in outs.iter_mut() {
+            (LineageMode::Pay | LineageMode::Comp, _, Granularity::Many) => {
+                let mut scanned: Vec<Option<PayEntry>> = Vec::new();
+                db.scan_batch(SCAN_BLOCK, &mut |block| {
+                    scanned.extend(
+                        parallel::parallel_map(block, workers, |_, (key, body)| {
+                            if matches!(
+                                decode_key(&out_shape, in_shapes, key),
+                                Ok(DecodedKey::Entry(_))
+                            ) {
+                                Some(decode_pay_entry(&out_shape, body).ok())
+                            } else {
+                                None
+                            }
+                        })
+                        .into_iter()
+                        .flatten(),
+                    );
+                });
+                // Resolve the mapping function once per stored output cell,
+                // in parallel, before the per-query join.
+                let mapped: Vec<Option<MappedRegions>> =
+                    parallel::parallel_map(&scanned, workers, |_, entry| {
+                        entry.as_ref().map(|e| {
+                            e.outcells
+                                .iter()
+                                .map(|oc| {
+                                    (
+                                        *oc,
+                                        op.map_payload(oc, &e.payload, input_idx, meta)
+                                            .unwrap_or_default(),
+                                    )
+                                })
+                                .collect()
+                        })
+                    });
+                parallel::parallel_map_min(queries, workers, 2, |_, query| {
+                    let mut out = empty_outcome();
                     out.scanned = true;
-                }
-                self.db.scan_batch(SCAN_BLOCK, &mut |block| {
-                    for (key, body) in block {
-                        if !matches!(
-                            decode_key(&out_shape, &in_shapes, key),
-                            Ok(DecodedKey::Entry(_))
-                        ) {
-                            continue;
-                        }
-                        let decoded = decode_full_entry(&out_shape, &in_shapes, body).ok();
-                        for (out, query) in outs.iter_mut().zip(queries) {
-                            out.entries_fetched += 1;
-                            let Some(entry) = &decoded else { continue };
-                            let hits: Vec<&Coord> = entry
-                                .incells
-                                .get(input_idx)
-                                .into_iter()
-                                .flatten()
-                                .filter(|c| query.contains(c))
-                                .collect();
+                    for regions in &mapped {
+                        out.entries_fetched += 1;
+                        let Some(regions) = regions else { continue };
+                        for (oc, incells) in regions {
+                            let hits: Vec<&Coord> =
+                                incells.iter().filter(|c| query.contains(c)).collect();
                             if !hits.is_empty() {
+                                out.result.insert(oc);
                                 for c in &hits {
                                     out.covered.insert(c);
                                 }
-                                for c in &entry.outcells {
-                                    out.result.insert(c);
-                                }
                             }
                         }
                     }
-                });
+                    out
+                })
             }
-            // --- Payload lineage: always requires iterating the pairs --------
-            (LineageMode::Pay | LineageMode::Comp, _, Granularity::One) => {
-                for out in outs.iter_mut() {
-                    out.scanned = true;
-                }
-                self.db.scan_batch(SCAN_BLOCK, &mut |block| {
-                    for (key, value) in block {
-                        let Ok(DecodedKey::OutCell(oc)) = decode_key(&out_shape, &in_shapes, key)
-                        else {
-                            continue;
-                        };
-                        for out in outs.iter_mut() {
-                            out.entries_fetched += 1;
-                        }
-                        for payload in decode_payloads(value).unwrap_or_default() {
-                            // The mapping function depends only on the stored
-                            // region: resolve it once for the whole batch.
-                            let incells = op
-                                .map_payload(&oc, &payload, input_idx, meta)
-                                .unwrap_or_default();
-                            for (out, query) in outs.iter_mut().zip(queries) {
-                                let hits: Vec<&Coord> =
-                                    incells.iter().filter(|c| query.contains(c)).collect();
-                                if !hits.is_empty() {
-                                    out.result.insert(&oc);
-                                    for c in &hits {
-                                        out.covered.insert(c);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                });
+            (LineageMode::Map | LineageMode::Blackbox, _, _) => {
+                queries.iter().map(|_| empty_outcome()).collect()
             }
-            (LineageMode::Pay | LineageMode::Comp, _, Granularity::Many) => {
-                for out in outs.iter_mut() {
-                    out.scanned = true;
-                }
-                self.db.scan_batch(SCAN_BLOCK, &mut |block| {
-                    for (key, body) in block {
-                        if !matches!(
-                            decode_key(&out_shape, &in_shapes, key),
-                            Ok(DecodedKey::Entry(_))
-                        ) {
-                            continue;
-                        }
-                        for out in outs.iter_mut() {
-                            out.entries_fetched += 1;
-                        }
-                        let Ok(entry) = decode_pay_entry(&out_shape, body) else {
-                            continue;
-                        };
-                        for oc in &entry.outcells {
-                            let incells = op
-                                .map_payload(oc, &entry.payload, input_idx, meta)
-                                .unwrap_or_default();
-                            for (out, query) in outs.iter_mut().zip(queries) {
-                                let hits: Vec<&Coord> =
-                                    incells.iter().filter(|c| query.contains(c)).collect();
-                                if !hits.is_empty() {
-                                    out.result.insert(oc);
-                                    for c in &hits {
-                                        out.covered.insert(c);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                });
-            }
-            (LineageMode::Map | LineageMode::Blackbox, _, _) => {}
         }
-
-        outs
     }
+}
 
-    /// Entry ids whose key-side bounding box intersects any query cell,
-    /// according to the R-tree (a superset: exact membership is re-checked
-    /// after decoding).
-    fn candidate_entries(&self, query: &CellSet) -> Vec<u64> {
-        let Some(tree) = self.rtree.as_ref() else {
-            return Vec::new();
-        };
-        let mut seen = HashSet::new();
-        let mut out = Vec::new();
-        // Query the R-tree with the bounding box of the query cells first; if
-        // the query is small, per-cell point queries are more selective.
-        if query.len() <= 64 {
-            for c in query.iter() {
-                for id in tree.query_point(&c) {
-                    if seen.insert(id) {
-                        out.push(id);
-                    }
+/// Flattens per-shard outcome vectors back into query order.
+fn flatten(shards: Vec<Vec<LookupOutcome>>) -> Vec<LookupOutcome> {
+    shards.into_iter().flatten().collect()
+}
+
+/// One stored payload entry's resolved regions: each output cell paired with
+/// the input cells its mapping function produced.
+type MappedRegions = Vec<(Coord, Vec<Coord>)>;
+
+/// One classified record of a streamed full scan over a `Full` datastore.
+enum ScannedFull {
+    /// A cell record: its coordinate and the entry ids it references.
+    Record(Coord, Vec<u64>),
+    /// A shared entry record and its decoded body (if decodable).
+    Entry(u64, Option<FullEntry>),
+    /// A record belonging to neither key space of interest.
+    Skip,
+}
+
+/// Streams the whole database once, decoding every entry-keyed record (the
+/// decode fans out across the worker threads per scan block) and returning
+/// the decoded bodies in scan order — `None` where a body failed to decode,
+/// so fetch accounting still sees the record.
+fn scan_full_entries(
+    db: &Database,
+    out_shape: &Shape,
+    in_shapes: &[Shape],
+    workers: usize,
+) -> Vec<Option<FullEntry>> {
+    let mut entries = Vec::new();
+    db.scan_batch(SCAN_BLOCK, &mut |block| {
+        entries.extend(
+            parallel::parallel_map(block, workers, |_, (key, body)| {
+                if matches!(
+                    decode_key(out_shape, in_shapes, key),
+                    Ok(DecodedKey::Entry(_))
+                ) {
+                    Some(decode_full_entry(out_shape, in_shapes, body).ok())
+                } else {
+                    None
                 }
-            }
-        } else {
-            let coords = query.to_coords();
-            if let Some(bbox) = BoundingBox::enclosing(&coords) {
-                for id in tree.query(&bbox) {
-                    if seen.insert(id) {
-                        out.push(id);
-                    }
+            })
+            .into_iter()
+            .flatten(),
+        );
+    });
+    entries
+}
+
+/// Entry ids whose key-side bounding box intersects any query cell,
+/// according to the R-tree (a superset: exact membership is re-checked
+/// after decoding).
+fn candidate_entries(tree: Option<&RTree>, query: &CellSet) -> Vec<u64> {
+    let Some(tree) = tree else {
+        return Vec::new();
+    };
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    // Query the R-tree with the bounding box of the query cells first; if
+    // the query is small, per-cell point queries are more selective.
+    if query.len() <= 64 {
+        for c in query.iter() {
+            for id in tree.query_point(&c) {
+                if seen.insert(id) {
+                    out.push(id);
                 }
             }
         }
-        out
+    } else {
+        let coords = query.to_coords();
+        if let Some(bbox) = BoundingBox::enclosing(&coords) {
+            for id in tree.query(&bbox) {
+                if seen.insert(id) {
+                    out.push(id);
+                }
+            }
+        }
     }
+    out
 }
 
 impl std::fmt::Debug for OpDatastore {
@@ -1675,6 +1963,67 @@ mod tests {
         let outs = ds.lookup_backward_many(&[&empty, &full], 0, &op, &m);
         assert!(outs[0].result.is_empty());
         assert_eq!(outs[1].result.to_coords(), vec![Coord::d2(3, 3)]);
+    }
+
+    /// A workload where almost every pair re-touches the same few keys — the
+    /// case the write-side key interner exists for.
+    fn high_dup_pairs() -> Vec<RegionPair> {
+        let hot = [Coord::d2(0, 0), Coord::d2(1, 1), Coord::d2(2, 2)];
+        let mut pairs = Vec::new();
+        for i in 0..96u32 {
+            pairs.push(full_pair(
+                &[hot[(i % 3) as usize], hot[((i + 1) % 3) as usize]],
+                &[hot[(i % 3) as usize], Coord::d2(i % 8, 7)],
+                &[hot[((i + 2) % 3) as usize]],
+            ));
+            pairs.push(RegionPair::Payload {
+                outcells: vec![hot[(i % 3) as usize]],
+                // Two bytes: a small radius (RadiusOp reads the first byte)
+                // plus a discriminator so every payload is distinct.
+                payload: vec![(i % 3) as u8, i as u8],
+            });
+        }
+        pairs
+    }
+
+    #[test]
+    fn deduped_batched_ingest_matches_per_pair_byte_for_byte() {
+        // Write-side key dedup coalesces the repeated keys of a batch before
+        // they reach the kv table; the stored bytes and every query answer
+        // must still be exactly what the per-pair reference path produces.
+        let m = meta();
+        let op = RadiusOp;
+        let pairs = high_dup_pairs();
+        let shape = Shape::d2(8, 8);
+        for strategy in all_strategies() {
+            let mut reference = OpDatastore::in_memory("ref", strategy, &m);
+            for pair in &pairs {
+                reference.store_pair(pair);
+            }
+            for workers in [1usize, 4] {
+                let mut batched = OpDatastore::in_memory("bat", strategy, &m);
+                for chunk in pairs.chunks(48) {
+                    batched.store_batch(chunk, workers);
+                }
+                assert_eq!(
+                    batched.snapshot(),
+                    reference.snapshot(),
+                    "dedup'd contents differ for {strategy} (workers={workers})"
+                );
+                for i in 0..4 {
+                    let q = query_of(shape, &[Coord::d2(i, i), Coord::d2(0, 0)]);
+                    for input_idx in 0..2 {
+                        let a = batched.lookup_backward(&q, input_idx, &op, &m);
+                        let b = reference.lookup_backward(&q, input_idx, &op, &m);
+                        assert_eq!(a.result.to_coords(), b.result.to_coords());
+                        assert_eq!(a.covered.to_coords(), b.covered.to_coords());
+                        let a = batched.lookup_forward(&q, input_idx, &op, &m);
+                        let b = reference.lookup_forward(&q, input_idx, &op, &m);
+                        assert_eq!(a.result.to_coords(), b.result.to_coords());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,8 +19,8 @@
 
 use subzero_array::{Coord, Shape};
 use subzero_store::codec::{
-    self, decode_cells_at, decode_payload, encode_cells, encode_payload, read_varint, write_varint,
-    CodecError,
+    self, decode_cells_at, decode_payload, encode_cells_into, encode_payload, read_varint,
+    write_varint, CodecError,
 };
 
 /// Key-space tags: every key in an operator datastore starts with one of
@@ -37,26 +37,91 @@ mod tag {
 /// Builds the key of a shared entry record.
 pub fn entry_key(entry_id: u64) -> Vec<u8> {
     let mut k = Vec::with_capacity(9);
-    k.push(tag::ENTRY);
-    k.extend_from_slice(&codec::encode_fixed_u64(entry_id));
+    entry_key_into(&mut k, entry_id);
     k
+}
+
+/// Appends the bytes of [`entry_key`] to `out` (the arena variant).
+pub fn entry_key_into(out: &mut Vec<u8>, entry_id: u64) {
+    out.push(tag::ENTRY);
+    out.extend_from_slice(&codec::encode_fixed_u64(entry_id));
 }
 
 /// Builds the key of a backward (output-cell) record.
 pub fn out_cell_key(out_shape: &Shape, cell: &Coord) -> Vec<u8> {
-    let mut k = Vec::with_capacity(9);
-    k.push(tag::OUT_CELL);
-    k.extend_from_slice(&codec::encode_fixed_u64(codec::pack_coord(out_shape, cell)));
-    k
+    PackedCellKey::out_cell(out_shape, cell).to_bytes()
 }
 
 /// Builds the key of a forward (input-cell) record.
 pub fn in_cell_key(in_shape: &Shape, input_idx: usize, cell: &Coord) -> Vec<u8> {
-    let mut k = Vec::with_capacity(10);
-    k.push(tag::IN_CELL);
-    k.push(input_idx as u8);
-    k.extend_from_slice(&codec::encode_fixed_u64(codec::pack_coord(in_shape, cell)));
-    k
+    PackedCellKey::in_cell(in_shape, input_idx, cell).to_bytes()
+}
+
+/// The packed, integer form of a cell-record key.
+///
+/// The batched write path works in this form as long as it can: packing a
+/// coordinate costs a couple of multiplies and no allocation, the write-side
+/// dedup table hashes and compares these fixed-width values instead of key
+/// byte strings, and only the *distinct* keys that survive dedup are ever
+/// materialised as bytes (straight into the batch's key arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedCellKey {
+    /// Key-space tag: [`tag::OUT_CELL`] or [`tag::IN_CELL`].
+    tag: u8,
+    /// Input index for forward keys; 0 for output-cell keys.
+    input_idx: u8,
+    /// The cell's row-major linear index under its array's shape.
+    packed: u64,
+}
+
+impl PackedCellKey {
+    /// Packs a backward (output-cell) record key.
+    #[inline]
+    pub fn out_cell(out_shape: &Shape, cell: &Coord) -> Self {
+        PackedCellKey {
+            tag: tag::OUT_CELL,
+            input_idx: 0,
+            packed: codec::pack_coord(out_shape, cell),
+        }
+    }
+
+    /// Packs a forward (input-cell) record key.
+    #[inline]
+    pub fn in_cell(in_shape: &Shape, input_idx: usize, cell: &Coord) -> Self {
+        PackedCellKey {
+            tag: tag::IN_CELL,
+            input_idx: input_idx as u8,
+            packed: codec::pack_coord(in_shape, cell),
+        }
+    }
+
+    /// Appends the exact bytes [`out_cell_key`]/[`in_cell_key`] would build
+    /// for this key to `out` (the arena variant).
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        out.push(self.tag);
+        if self.tag == tag::IN_CELL {
+            out.push(self.input_idx);
+        }
+        out.extend_from_slice(&codec::encode_fixed_u64(self.packed));
+    }
+
+    /// The key bytes as an owned buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut k = Vec::with_capacity(10);
+        self.write_into(&mut k);
+        k
+    }
+}
+
+impl std::hash::Hash for PackedCellKey {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // One mixed word instead of three field writes: the tag/input bits
+        // live above any realistic packed coordinate, so distinct keys stay
+        // distinct words (and even a giant-array overlap only costs a bucket
+        // collision, never a false equality).
+        state.write_u64(self.packed ^ ((self.tag as u64) << 56) ^ ((self.input_idx as u64) << 48));
+    }
 }
 
 /// Classification of a raw datastore key.
@@ -123,15 +188,36 @@ pub fn encode_full_entry(
     include_outcells: bool,
 ) -> Vec<u8> {
     let mut buf = Vec::new();
+    encode_full_entry_into(
+        &mut buf,
+        out_shape,
+        in_shapes,
+        outcells,
+        incells,
+        include_outcells,
+    );
+    buf
+}
+
+/// Appends the [`encode_full_entry`] encoding to `buf` (the arena variant:
+/// the batched write path serialises every entry body of a region batch into
+/// one contiguous buffer instead of allocating a `Vec` per entry).
+pub fn encode_full_entry_into(
+    buf: &mut Vec<u8>,
+    out_shape: &Shape,
+    in_shapes: &[Shape],
+    outcells: &[Coord],
+    incells: &[Vec<Coord>],
+    include_outcells: bool,
+) {
     buf.push(if include_outcells { 1 } else { 0 });
     if include_outcells {
-        buf.extend(encode_cells(out_shape, outcells));
+        encode_cells_into(buf, out_shape, outcells);
     }
-    write_varint(&mut buf, incells.len() as u64);
+    write_varint(buf, incells.len() as u64);
     for (i, cells) in incells.iter().enumerate() {
-        buf.extend(encode_cells(&in_shapes[i], cells));
+        encode_cells_into(buf, &in_shapes[i], cells);
     }
-    buf
 }
 
 /// Decodes a full entry body produced by [`encode_full_entry`].
@@ -170,9 +256,20 @@ pub struct PayEntry {
 /// Encodes a payload entry body (the `PayMany` layout: output cells followed
 /// by the payload).
 pub fn encode_pay_entry(out_shape: &Shape, outcells: &[Coord], payload: &[u8]) -> Vec<u8> {
-    let mut buf = encode_cells(out_shape, outcells);
-    encode_payload(&mut buf, payload);
+    let mut buf = Vec::new();
+    encode_pay_entry_into(&mut buf, out_shape, outcells, payload);
     buf
+}
+
+/// Appends the [`encode_pay_entry`] encoding to `buf` (the arena variant).
+pub fn encode_pay_entry_into(
+    buf: &mut Vec<u8>,
+    out_shape: &Shape,
+    outcells: &[Coord],
+    payload: &[u8],
+) {
+    encode_cells_into(buf, out_shape, outcells);
+    encode_payload(buf, payload);
 }
 
 /// Decodes a payload entry body produced by [`encode_pay_entry`].
@@ -331,6 +428,71 @@ mod tests {
         assert_eq!(
             decode_payloads(&value).unwrap(),
             vec![vec![1, 2, 3], vec![], vec![9]]
+        );
+    }
+
+    #[test]
+    fn packed_cell_keys_match_byte_keys() {
+        let (out_shape, in_shapes) = shapes();
+        for cell in [Coord::d2(0, 0), Coord::d2(7, 7), Coord::d2(3, 4)] {
+            assert_eq!(
+                PackedCellKey::out_cell(&out_shape, &cell).to_bytes(),
+                out_cell_key(&out_shape, &cell)
+            );
+        }
+        let cell = Coord::d2(2, 3);
+        for (idx, in_shape) in in_shapes.iter().enumerate() {
+            assert_eq!(
+                PackedCellKey::in_cell(in_shape, idx, &cell).to_bytes(),
+                in_cell_key(in_shape, idx, &cell)
+            );
+        }
+        // Same cell, different key space => different packed keys.
+        assert_ne!(
+            PackedCellKey::out_cell(&out_shape, &cell),
+            PackedCellKey::in_cell(&in_shapes[0], 0, &cell)
+        );
+        assert_ne!(
+            PackedCellKey::in_cell(&in_shapes[0], 0, &cell),
+            PackedCellKey::in_cell(&in_shapes[0], 1, &cell)
+        );
+    }
+
+    #[test]
+    fn arena_entry_encoders_match_legacy() {
+        let (out_shape, in_shapes) = shapes();
+        let outcells = vec![Coord::d2(0, 1), Coord::d2(2, 3)];
+        let incells = vec![vec![Coord::d2(4, 5)], vec![Coord::d2(1, 1)]];
+        let mut arena = subzero_store::Arena::new();
+
+        let start = arena.begin();
+        entry_key_into(arena.buf_mut(), 42);
+        let span = arena.finish(start);
+        assert_eq!(arena.get(span), entry_key(42).as_slice());
+
+        for include in [true, false] {
+            let start = arena.begin();
+            encode_full_entry_into(
+                arena.buf_mut(),
+                &out_shape,
+                &in_shapes,
+                &outcells,
+                &incells,
+                include,
+            );
+            let span = arena.finish(start);
+            assert_eq!(
+                arena.get(span),
+                encode_full_entry(&out_shape, &in_shapes, &outcells, &incells, include).as_slice()
+            );
+        }
+
+        let start = arena.begin();
+        encode_pay_entry_into(arena.buf_mut(), &out_shape, &outcells, b"payload");
+        let span = arena.finish(start);
+        assert_eq!(
+            arena.get(span),
+            encode_pay_entry(&out_shape, &outcells, b"payload").as_slice()
         );
     }
 

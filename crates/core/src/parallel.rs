@@ -27,7 +27,22 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    if workers <= 1 || items.len() < PARALLEL_MIN_ITEMS {
+    parallel_map_min(items, workers, PARALLEL_MIN_ITEMS, f)
+}
+
+/// [`parallel_map`] with a caller-chosen serial threshold.
+///
+/// The default threshold assumes per-item work on the order of one encode —
+/// too coarse for the batched query path, where a single item (one query of a
+/// multi-query batch) can carry an entire scan join.  Such callers pass a
+/// small `min_items` so even a handful of heavy items fans out.
+pub fn parallel_map_min<T, U, F>(items: &[T], workers: usize, min_items: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    if workers <= 1 || items.len() < min_items.max(2) {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let chunk = items.len().div_ceil(workers);
@@ -49,6 +64,42 @@ where
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("encode worker panicked"))
+            .collect()
+    })
+}
+
+/// Splits `items` into up to `workers` contiguous chunks and maps `g` over
+/// the chunks on scoped threads, returning the per-chunk results in order.
+///
+/// `g` receives the global index of its chunk's first item.  This is the
+/// shape the arena encode phase and the batched lookups want: each worker
+/// owns one contiguous shard and can amortise per-shard state (an encode
+/// arena, a decoded-entry cache) across every item in it.  With `workers <=
+/// 1` or fewer than `min_items` items the whole input is one chunk processed
+/// inline, so chunking never changes observable results — only how the work
+/// is sliced.
+pub fn parallel_chunks<T, U, F>(items: &[T], workers: usize, min_items: usize, g: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    if workers <= 1 || items.len() < min_items.max(2) {
+        return vec![g(0, items)];
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let g = &g;
+                scope.spawn(move || g(ci * chunk, slice))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chunk worker panicked"))
             .collect()
     })
 }
@@ -113,5 +164,113 @@ mod tests {
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
         assert!(default_workers() <= 8);
+    }
+
+    #[test]
+    fn parallel_map_min_fans_out_small_heavy_inputs() {
+        // 4 items is below the default threshold but above an explicit one.
+        let items = [10u32, 20, 30, 40];
+        for workers in [1, 2, 8] {
+            assert_eq!(
+                parallel_map_min(&items, workers, 2, |i, &v| v + i as u32),
+                vec![10, 21, 32, 43],
+                "workers={workers}"
+            );
+        }
+        assert!(parallel_map_min(&[] as &[u32], 8, 2, |_, &v| v).is_empty());
+    }
+
+    #[test]
+    fn parallel_chunks_cover_items_in_order_with_offsets() {
+        let items: Vec<u32> = (0..100).collect();
+        for workers in [1, 2, 3, 8] {
+            let chunks =
+                parallel_chunks(&items, workers, 2, |start, slice| (start, slice.to_vec()));
+            // Chunks are contiguous, ordered, and cover every item once.
+            let mut rebuilt = Vec::new();
+            for (start, slice) in &chunks {
+                assert_eq!(*start, rebuilt.len());
+                rebuilt.extend_from_slice(slice);
+            }
+            assert_eq!(rebuilt, items, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn lookup_backward_many_fan_out_is_deterministic_in_input_order() {
+        // The batched lookup paths fan queries and scan joins across these
+        // helpers; whatever the worker count, the outcomes must come back in
+        // input order with identical contents — for an indexed strategy
+        // (per-worker shards with their own caches) and for a
+        // mismatched-direction strategy (shared scan, parallel join).
+        use crate::datastore::OpDatastore;
+        use crate::model::StorageStrategy;
+        use subzero_array::{CellSet, Coord, Shape};
+        use subzero_engine::{OpMeta, RegionPair};
+
+        struct NoopOp;
+        impl subzero_engine::Operator for NoopOp {
+            fn name(&self) -> &str {
+                "noop"
+            }
+            fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+                input_shapes[0]
+            }
+            fn run(
+                &self,
+                inputs: &[subzero_array::ArrayRef],
+                _m: &[subzero_engine::LineageMode],
+                _s: &mut dyn subzero_engine::LineageSink,
+            ) -> subzero_array::Array {
+                (*inputs[0]).clone()
+            }
+        }
+
+        let shape = Shape::d2(16, 16);
+        let meta = OpMeta::new(vec![shape], shape);
+        let pairs: Vec<RegionPair> = (0..16u32)
+            .map(|i| RegionPair::Full {
+                outcells: vec![Coord::d2(i % 16, i / 4)],
+                incells: vec![vec![Coord::d2(15 - i % 16, i % 4)]],
+            })
+            .collect();
+        let queries: Vec<CellSet> = (0..6u32)
+            .map(|i| {
+                CellSet::from_coords(
+                    shape,
+                    [Coord::d2(i, 0), Coord::d2(i + 1, 1), Coord::d2(0, 0)],
+                )
+            })
+            .collect();
+        let refs: Vec<&CellSet> = queries.iter().collect();
+
+        for strategy in [
+            StorageStrategy::full_one(),
+            StorageStrategy::full_one_forward(), // backward query => scan
+        ] {
+            let mut reference: Option<Vec<Vec<Coord>>> = None;
+            for workers in [1usize, 2, 8] {
+                let mut ds = OpDatastore::in_memory("t", strategy, &meta);
+                ds.store_batch(&pairs, workers);
+                ds.set_workers(workers);
+                let outs = ds.lookup_backward_many(&refs, 0, &NoopOp, &meta);
+                assert_eq!(outs.len(), refs.len());
+                let results: Vec<Vec<Coord>> = outs.iter().map(|o| o.result.to_coords()).collect();
+                // Query i's outcome sits at position i: its covered cells
+                // are a subset of exactly that query's cells.
+                for (out, q) in outs.iter().zip(&queries) {
+                    for c in out.covered.to_coords() {
+                        assert!(q.contains(&c), "outcome out of input order");
+                    }
+                }
+                match &reference {
+                    None => reference = Some(results),
+                    Some(expected) => assert_eq!(
+                        &results, expected,
+                        "{strategy} results differ at workers={workers}"
+                    ),
+                }
+            }
+        }
     }
 }

@@ -343,7 +343,11 @@ impl LineageCollector for Runtime {
                 for s in &strategies {
                     let name = format!("run{}_op{}_{}", exec.run_id, exec.op_id, s.db_suffix());
                     let backend = self.make_backend(&name);
-                    stores.push(OpDatastore::new(name, *s, exec.meta, backend));
+                    let mut ds = OpDatastore::new(name, *s, exec.meta, backend);
+                    // Batched lookups fan out over the same worker budget the
+                    // capture pipeline was given.
+                    ds.set_workers(self.workers);
+                    stores.push(ds);
                 }
                 self.datastores.insert(key, stores);
             }

@@ -110,18 +110,126 @@ pub fn unpack_coord(shape: &Shape, packed: u64) -> Result<Coord, CodecError> {
 /// are collapsed.  That matches the semantics of a region pair, whose sides
 /// are sets of cells.
 pub fn encode_cells(shape: &Shape, coords: &[Coord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(coords.len() + 4);
+    encode_cells_into(&mut out, shape, coords);
+    out
+}
+
+/// Appends the [`encode_cells`] encoding of `coords` to `out` (the arena
+/// variant: batched encoders write every value of a batch into one shared
+/// buffer instead of allocating a `Vec` per value).  Produces exactly the
+/// bytes `encode_cells` would.
+pub fn encode_cells_into(out: &mut Vec<u8>, shape: &Shape, coords: &[Coord]) {
     let mut idxs: Vec<u64> = coords.iter().map(|c| pack_coord(shape, c)).collect();
     idxs.sort_unstable();
     idxs.dedup();
-    let mut out = Vec::with_capacity(idxs.len() + 4);
-    write_varint(&mut out, idxs.len() as u64);
+    write_varint(out, idxs.len() as u64);
     let mut prev = 0u64;
     for (i, idx) in idxs.iter().enumerate() {
         let delta = if i == 0 { *idx } else { idx - prev };
-        write_varint(&mut out, delta);
+        write_varint(out, delta);
         prev = *idx;
     }
-    out
+}
+
+/// Offset/length address of one encoded value inside an [`Arena`].
+///
+/// Spans are plain indices, not borrows: encoders can keep appending to the
+/// arena after taking a span, and resolve it to bytes later with
+/// [`Arena::get`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    offset: usize,
+    len: usize,
+}
+
+impl Span {
+    /// Length in bytes of the addressed value.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the addressed value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A contiguous encode arena: many encoded values packed back-to-back into
+/// one buffer, addressed by [`Span`]s.
+///
+/// The batched write path serialises every hash entry and cell record of a
+/// region batch into one arena instead of allocating a `Vec<u8>` per value,
+/// then hands the spans zero-copy to the key-value backend's group write.
+/// Values are appended with [`begin`](Arena::begin) /
+/// [`finish`](Arena::finish) bracketing writes to the underlying buffer
+/// (exposed via [`buf_mut`](Arena::buf_mut) so the existing `*_into` codecs
+/// can be reused unchanged).
+#[derive(Debug, Default)]
+pub struct Arena {
+    buf: Vec<u8>,
+}
+
+impl Arena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty arena with `bytes` of backing capacity pre-allocated.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Arena {
+            buf: Vec::with_capacity(bytes),
+        }
+    }
+
+    /// Marks the start of a new value; pass the returned offset to
+    /// [`finish`](Arena::finish) once the value's bytes are written.
+    pub fn begin(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Closes the value opened at `start`, returning its span.
+    pub fn finish(&self, start: usize) -> Span {
+        debug_assert!(start <= self.buf.len());
+        Span {
+            offset: start,
+            len: self.buf.len() - start,
+        }
+    }
+
+    /// The underlying buffer, for appending a value's bytes between
+    /// [`begin`](Arena::begin) and [`finish`](Arena::finish).
+    pub fn buf_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+
+    /// Appends `bytes` as one complete value.
+    pub fn push(&mut self, bytes: &[u8]) -> Span {
+        let start = self.begin();
+        self.buf.extend_from_slice(bytes);
+        self.finish(start)
+    }
+
+    /// Resolves a span to its bytes.
+    pub fn get(&self, span: Span) -> &[u8] {
+        &self.buf[span.offset..span.offset + span.len]
+    }
+
+    /// Total bytes in the arena.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the arena holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drops all values, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
 }
 
 /// Decodes a byte string produced by [`encode_cells`] back into coordinates
@@ -292,6 +400,38 @@ mod tests {
             assert_eq!(decode_fixed_u64(&b).unwrap(), v);
         }
         assert!(decode_fixed_u64(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn arena_spans_address_their_values() {
+        let mut arena = Arena::with_capacity(64);
+        let a = arena.push(b"alpha");
+        let start = arena.begin();
+        write_varint(arena.buf_mut(), 300);
+        let b = arena.finish(start);
+        let c = arena.push(b"");
+        assert_eq!(arena.get(a), b"alpha");
+        let mut pos = 0;
+        assert_eq!(read_varint(arena.get(b), &mut pos).unwrap(), 300);
+        assert!(arena.get(c).is_empty());
+        assert!(c.is_empty());
+        assert_eq!(a.len(), 5);
+        assert_eq!(arena.len(), 5 + b.len());
+        arena.clear();
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn encode_cells_into_matches_encode_cells() {
+        let shape = Shape::d2(16, 16);
+        let cells = vec![Coord::d2(3, 3), Coord::d2(0, 1), Coord::d2(3, 3)];
+        let legacy = encode_cells(&shape, &cells);
+        let mut arena = Arena::new();
+        arena.push(b"unrelated prefix");
+        let start = arena.begin();
+        encode_cells_into(arena.buf_mut(), &shape, &cells);
+        let span = arena.finish(start);
+        assert_eq!(arena.get(span), legacy.as_slice());
     }
 
     #[test]

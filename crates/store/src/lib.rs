@@ -29,6 +29,7 @@ pub mod kv;
 pub mod rtree;
 pub mod wal;
 
+pub use codec::{Arena, Span};
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use kv::{Database, KvBackend, StoreManager, StoreStats};
 pub use rtree::RTree;

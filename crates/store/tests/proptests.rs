@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use subzero_array::{BoundingBox, Coord, Shape};
-use subzero_store::codec::{decode_cells, encode_cells, read_varint, write_varint};
+use subzero_store::codec::{
+    decode_cells, encode_cells, encode_cells_into, encode_payload, read_varint, write_varint, Arena,
+};
 use subzero_store::kv::{FileBackend, KvBackend, MemBackend};
 use subzero_store::RTree;
 
@@ -59,6 +61,57 @@ proptest! {
     }
 
     #[test]
+    fn arena_encode_matches_legacy_encode(
+        // A random "region batch": each element is one entry's cell list plus
+        // an optional payload blob, all serialised back-to-back into one
+        // arena.  Every spanned value must be byte-identical to what the
+        // legacy per-entry `Vec` encoders produce, and decode identically.
+        rows in 1u32..40,
+        cols in 1u32..40,
+        batch in prop::collection::vec(
+            (prop::collection::vec(0usize..1600, 0..32),
+             any::<bool>(),
+             prop::collection::vec(any::<u8>(), 0..24)),
+            1..24,
+        ),
+    ) {
+        let shape = Shape::d2(rows, cols);
+        let mut arena = Arena::new();
+        let mut spans = Vec::with_capacity(batch.len());
+        let mut legacy = Vec::with_capacity(batch.len());
+        for (picks, has_payload, payload) in &batch {
+            let coords: Vec<Coord> = picks
+                .iter()
+                .map(|&i| shape.unravel(i % shape.num_cells()))
+                .collect();
+            let start = arena.begin();
+            encode_cells_into(arena.buf_mut(), &shape, &coords);
+            if *has_payload {
+                encode_payload(arena.buf_mut(), payload);
+            }
+            spans.push(arena.finish(start));
+            let mut reference = encode_cells(&shape, &coords);
+            if *has_payload {
+                encode_payload(&mut reference, payload);
+            }
+            legacy.push(reference);
+        }
+        // Spans tile the arena exactly (no gaps, no overlaps) and each value
+        // is byte-identical to its legacy encoding, so anything the legacy
+        // decoder accepted decodes identically from the arena.
+        let mut expected_total = 0usize;
+        for (span, reference) in spans.iter().zip(&legacy) {
+            prop_assert_eq!(arena.get(*span), reference.as_slice());
+            expected_total += span.len();
+            let mut pos = 0usize;
+            let decoded =
+                subzero_store::codec::decode_cells_at(&shape, arena.get(*span), &mut pos);
+            prop_assert!(decoded.is_ok(), "arena value must stay decodable");
+        }
+        prop_assert_eq!(arena.len(), expected_total);
+    }
+
+    #[test]
     fn kv_backend_behaves_like_hashmap(
         ops in prop::collection::vec((prop::collection::vec(any::<u8>(), 1..8),
                                       prop::collection::vec(any::<u8>(), 0..16)), 0..100),
@@ -93,8 +146,13 @@ proptest! {
         for (i, (k, v)) in ops.iter().enumerate() {
             let key = [b'k', *k];
             if i >= batch_from {
-                // Exercise the batched write path against the same oracle.
-                file.put_batch(vec![(key.to_vec(), v.clone())]);
+                // Exercise both batched write paths against the same oracle:
+                // owned records and zero-copy arena slices.
+                if i % 2 == 0 {
+                    file.put_batch(vec![(key.to_vec(), v.clone())]);
+                } else {
+                    file.put_batch_slices(&[(&key[..], v.as_slice())]);
+                }
             } else {
                 file.put(&key, v);
             }
