@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Guard the committed benchmark snapshots (BENCH_*.json).
+
+The real benches are too slow and noise-sensitive for CI runners, so CI
+checks the *recorded* numbers instead: whenever a snapshot is refreshed, the
+floors and stanzas below must still hold.  The workflow's bench smoke steps
+check that the benches still run; this script checks what they last measured.
+
+Checks:
+
+* BENCH_ingest.json — the workload stanza records the arena encode path with
+  write-side key dedup, and every batched configuration is at least as fast
+  as its per-pair baseline (worst_batched_speedup >= 1.0, the PR 4 floor).
+* BENCH_query.json — the workload stanza records the same encode/dedup
+  provenance, and the batched mismatched-scan speedup floor holds.
+* BENCH_capture.json — the workload stanza records the async pipeline shape,
+  and async capture's operator wall-clock overhead stays below sync
+  capture's (the async-capture ceiling: if deferring flush work off the
+  executor thread stops paying for itself, the pipeline has regressed).
+
+Runnable locally from the repository root (or anywhere, with --root):
+
+    python3 ci/bench_guard.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+class GuardError(Exception):
+    """A benchmark snapshot violated a floor or is missing its stanza."""
+
+
+def load(root: pathlib.Path, name: str) -> dict:
+    path = root / name
+    if not path.exists():
+        raise GuardError(f"{name} is missing — run the matching bench to regenerate it")
+    with path.open() as fh:
+        return json.load(fh)
+
+
+def require(condition: bool, message: str) -> None:
+    if not condition:
+        raise GuardError(message)
+
+
+def check_ingest(root: pathlib.Path) -> str:
+    d = load(root, "BENCH_ingest.json")
+    w = d.get("workload", {})
+    require(
+        w.get("encode") == "arena",
+        f"BENCH_ingest.json: expected arena encode path, got {w.get('encode')!r}",
+    )
+    require(
+        w.get("key_dedup") is True,
+        "BENCH_ingest.json: expected write-side key dedup to be recorded",
+    )
+    worst = d["worst_batched_speedup"]
+    require(
+        worst >= 1.0,
+        f"batched ingest regressed: worst_batched_speedup={worst} < 1.0 "
+        "(re-run `cargo bench -p subzero-bench --bench ingest` and fix the slow "
+        "path before refreshing BENCH_ingest.json)",
+    )
+    return f"ingest ok: worst_batched_speedup={worst}"
+
+
+def check_query(root: pathlib.Path) -> str:
+    q = load(root, "BENCH_query.json")
+    qw = q.get("workload", {})
+    require(
+        qw.get("encode") == "arena" and qw.get("key_dedup") is True,
+        "BENCH_query.json: workload stanza missing arena/dedup record",
+    )
+    floor = q["mismatched_scan_min_batched_speedup"]
+    require(
+        floor >= 1.0,
+        f"batched queries regressed: mismatched_scan_min_batched_speedup={floor} < 1.0 "
+        "(re-run `cargo bench -p subzero-bench --bench query` and fix the batched "
+        "scan path before refreshing BENCH_query.json)",
+    )
+    return f"query ok: mismatched_scan_min_batched_speedup={floor}"
+
+
+def check_capture(root: pathlib.Path) -> str:
+    c = load(root, "BENCH_capture.json")
+    cw = c.get("workload", {})
+    require(
+        cw.get("workflow") == "astronomy",
+        "BENCH_capture.json: capture overhead must be measured on the astronomy workload",
+    )
+    for field in ("queue_depth", "flushers", "policy"):
+        require(
+            field in cw,
+            f"BENCH_capture.json: workload stanza missing {field!r} (pipeline shape "
+            "must be recorded so numbers are comparable across refreshes)",
+        )
+    overhead = c.get("overhead_vs_nocapture")
+    require(
+        isinstance(overhead, dict) and "sync" in overhead and "async" in overhead,
+        "BENCH_capture.json: overhead_vs_nocapture stanza missing sync/async entries",
+    )
+    sync, asyn = overhead["sync"], overhead["async"]
+    require(
+        sync > 0,
+        f"BENCH_capture.json: sync capture overhead {sync} is not positive — the "
+        "workload no longer exercises capture at all",
+    )
+    require(
+        asyn < sync,
+        f"async capture regressed: overhead_vs_nocapture async={asyn} >= sync={sync} "
+        "(deferring flush work off the executor thread must reduce operator "
+        "wall-clock; re-run `cargo bench -p subzero-bench --bench capture` and fix "
+        "the pipeline before refreshing BENCH_capture.json)",
+    )
+    return f"capture ok: overhead sync={sync} async={asyn}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repository root holding the BENCH_*.json snapshots",
+    )
+    args = parser.parse_args()
+    checks = (check_ingest, check_query, check_capture)
+    failures = []
+    for check in checks:
+        try:
+            print(check(args.root))
+        except GuardError as err:
+            failures.append(str(err))
+            print(f"FAIL: {err}", file=sys.stderr)
+    if failures:
+        print(f"\n{len(failures)} benchmark guard(s) failed", file=sys.stderr)
+        return 1
+    print("all benchmark snapshots within their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

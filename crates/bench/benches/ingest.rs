@@ -28,6 +28,7 @@ use subzero::model::{Direction, Granularity, StorageStrategy};
 use subzero::parallel::default_workers;
 use subzero::OpDatastore;
 use subzero_array::{Coord, Shape};
+use subzero_bench::harness::arg_value;
 use subzero_bench::micro::{MicroConfig, SyntheticOp};
 use subzero_bench::timing::Sample;
 use subzero_engine::{LineageMode, OpMeta, RegionPair};
@@ -41,20 +42,6 @@ struct Config {
     target: Duration,
     smoke: bool,
     dedup_rate: f64,
-}
-
-/// Parses `--name V` or `--name=V` from the argument list.
-fn arg_value(name: &str) -> Option<f64> {
-    let args: Vec<String> = std::env::args().collect();
-    for (i, a) in args.iter().enumerate() {
-        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
-            return v.parse().ok();
-        }
-        if a == name {
-            return args.get(i + 1).and_then(|v| v.parse().ok());
-        }
-    }
-    None
 }
 
 fn workload() -> Config {
@@ -85,7 +72,9 @@ fn workload() -> Config {
             Duration::from_secs(if paper_scale { 4 } else { 2 })
         },
         smoke,
-        dedup_rate: arg_value("--dedup-rate").unwrap_or(0.0).clamp(0.0, 1.0),
+        dedup_rate: arg_value::<f64>("--dedup-rate")
+            .unwrap_or(0.0)
+            .clamp(0.0, 1.0),
     }
 }
 

@@ -228,8 +228,9 @@ impl<T> EntryCache<T> {
 
 /// One operator's materialised lineage under one storage strategy.
 ///
-/// Ingestion is batch-oriented: the runtime hands whole [`RegionBatch`]es of
-/// pairs to [`store_batch`](OpDatastore::store_batch), which encodes the
+/// Ingestion is batch-oriented: the runtime hands whole
+/// [`RegionBatch`](subzero_engine::RegionBatch)es of pairs to
+/// [`store_batch`](OpDatastore::store_batch), which encodes the
 /// batch (in parallel on multi-core hosts), writes hash entries with one
 /// group-flushed [`put_batch`](Database::put_batch), coalesces key-collision
 /// merges per batch, and *stages* spatial-index entries instead of inserting
@@ -501,7 +502,7 @@ impl OpDatastore {
     /// * all entry records are written zero-copy from the arena slices with
     ///   one group-flushed [`put_batch_slices`](Database::put_batch_slices);
     /// * repeated cell keys are dedup'd *before they reach the kv table* by
-    ///   a per-batch interning table ([`KeyInterner`]), and the coalesced
+    ///   a per-batch interning table (`KeyInterner`), and the coalesced
     ///   append deltas are applied with one
     ///   [`merge_append_batch`](Database::merge_append_batch) group write —
     ///   one table probe per distinct key instead of a read-modify-write
@@ -832,7 +833,7 @@ impl OpDatastore {
     /// of the batch, instead of one scan per query.
     ///
     /// The work fans out across the scoped worker threads of
-    /// [`parallel`](crate::parallel) (see [`set_workers`](OpDatastore::set_workers)):
+    /// [`parallel`] (see [`set_workers`](OpDatastore::set_workers)):
     /// indexed lookups split the query batch into per-worker shards (each
     /// with its own decoded-entry cache), and the shared scan parallelises
     /// both the per-block entry decoding and the per-query join.  Results

@@ -8,7 +8,7 @@
 //! sets of output cells and sets of input cells of each operator.  Operators
 //! expose lineage through the `lwrite()` API and/or mapping functions; the
 //! runtime encodes and stores region pairs in per-operator datastores; and a
-//! per-run [`QuerySession`](query::QuerySession) answers backward and forward
+//! per-run [`QuerySession`] answers backward and forward
 //! lineage queries by joining query cells with stored lineage, mapping
 //! functions, or operator re-execution — whichever the chosen strategy (and
 //! the query-time optimizer) prefers.
@@ -20,26 +20,31 @@
 //!   backward optimized), plus workflow-level strategy assignments.
 //! * [`encoder`] — byte-level encodings of region-pair entries (Fig. 4 of the
 //!   paper).
-//! * [`datastore`] — one [`OpDatastore`](datastore::OpDatastore) per
+//! * [`datastore`] — one [`OpDatastore`] per
 //!   (operator, strategy): hash entries in a [`subzero_store`] database plus
 //!   an R-tree over the key cells for the *Many* encodings.  Lookups are
 //!   batch-oriented (`lookup_backward_many`): one call answers many queries,
 //!   sharing decoded entries and — on a mismatched index direction — the
 //!   single streamed full scan.
-//! * [`runtime`] — the [`Runtime`](runtime::Runtime) lineage collector that
+//! * [`runtime`] — the [`Runtime`] lineage collector that
 //!   plugs into the workflow executor, buffers and encodes region pairs, and
 //!   gathers the statistics the optimizer needs.
-//! * [`query`] — the [`QuerySession`](query::QuerySession): traversals
+//! * [`capture`] — the async capture pipeline: a bounded queue and a pool of
+//!   background flusher threads that take encode + store off the executor
+//!   thread ([`CaptureMode::Async`](capture::CaptureMode)), with a flush
+//!   barrier, drain-on-shutdown, and flusher-failure propagation back to the
+//!   next engine call.
+//! * [`query`] — the [`QuerySession`]: traversals
 //!   derived from the workflow DAG (callers name *arrays*, never `(operator,
 //!   input)` step vectors), multi-path fan-out at DAG joins, multi-query
-//!   batching, streaming [`LineageCursor`](query::LineageCursor)s, the
+//!   batching, streaming [`LineageCursor`]s, the
 //!   entire-array optimization, and the query-time fallback to re-execution.
-//!   The legacy [`LineageQuery`](query::LineageQuery) +
-//!   [`QueryExecutor`](query::QueryExecutor) explicit-path surface remains as
+//!   The legacy [`LineageQuery`] +
+//!   [`QueryExecutor`] explicit-path surface remains as
 //!   a validated shim over the same step engine.
 //! * [`reexec`] — turning traced region pairs (from black-box re-execution)
 //!   into query answers.
-//! * [`system`] — the [`SubZero`](system::SubZero) façade: execute workflows
+//! * [`system`] — the [`SubZero`] façade: execute workflows
 //!   under a lineage strategy, borrow query sessions, report overheads.
 //!
 //! ## Quick start
@@ -88,9 +93,10 @@
 //! endpoint arrays and the session derives the steps (unioning over every
 //! DAG path between them).  The old type still works as a deprecated shim
 //! for pinning one exact path, now validated against the DAG
-//! ([`QueryError::InvalidPath`](query::QueryError::InvalidPath) instead of
+//! ([`QueryError::InvalidPath`] instead of
 //! silently-wrong answers), and a parity test holds the two surfaces equal.
 
+pub mod capture;
 pub mod datastore;
 pub mod encoder;
 pub mod model;
@@ -100,6 +106,7 @@ pub mod reexec;
 pub mod runtime;
 pub mod system;
 
+pub use capture::{BoundedQueue, CaptureConfig, CaptureMode, OverflowPolicy};
 pub use datastore::OpDatastore;
 pub use model::{Direction, Granularity, LineageStrategy, StorageStrategy, StrategyError};
 pub use query::{
@@ -112,6 +119,7 @@ pub use system::SubZero;
 
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {
+    pub use crate::capture::{CaptureConfig, CaptureMode, OverflowPolicy};
     pub use crate::model::{Direction, Granularity, LineageStrategy, StorageStrategy};
     pub use crate::query::{LineageCursor, LineageQuery, QueryResult, QuerySession, QuerySpec};
     pub use crate::system::SubZero;

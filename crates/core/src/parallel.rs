@@ -15,6 +15,19 @@ pub fn default_workers() -> usize {
         .min(8)
 }
 
+/// Splits a worker budget across `shares` concurrent consumers: each share
+/// gets an equal slice, never less than one worker.  Used when independent
+/// units (datastore shards flushed in parallel, capture flusher threads) each
+/// run their own `store_batch` and must not collectively oversubscribe the
+/// host.
+pub fn split_budget(workers: usize, shares: usize) -> usize {
+    if shares <= 1 {
+        workers.max(1)
+    } else {
+        (workers / shares).max(1)
+    }
+}
+
 /// Minimum number of items before `parallel_map` spawns threads; below this
 /// the spawn overhead outweighs the encode work.
 const PARALLEL_MIN_ITEMS: usize = 64;
@@ -164,6 +177,15 @@ mod tests {
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
         assert!(default_workers() <= 8);
+    }
+
+    #[test]
+    fn split_budget_never_starves_a_share() {
+        assert_eq!(split_budget(8, 1), 8);
+        assert_eq!(split_budget(8, 2), 4);
+        assert_eq!(split_budget(8, 3), 2);
+        assert_eq!(split_budget(2, 8), 1);
+        assert_eq!(split_budget(0, 0), 1);
     }
 
     #[test]

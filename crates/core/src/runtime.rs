@@ -8,12 +8,14 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use subzero_engine::executor::{LineageCollector, OpExecution};
+use subzero_engine::executor::{CaptureError, LineageCollector, OpExecution};
 use subzero_engine::{LineageMode, OpId, OperatorExt, RegionBatch, RegionPair, Workflow};
 use subzero_store::kv::{FileBackend, KvBackend, MemBackend};
 
+use crate::capture::{CaptureConfig, CaptureMode, CapturePipeline, OverflowPolicy, Shard};
 use crate::datastore::OpDatastore;
 use crate::model::{LineageStrategy, StorageStrategy};
 use crate::parallel;
@@ -92,6 +94,24 @@ pub struct Runtime {
     storage_dir: Option<PathBuf>,
     strategy: LineageStrategy,
     ingest_mode: IngestMode,
+    /// How captured batches reach the datastores: on the executor thread
+    /// ([`CaptureMode::Sync`], the parity reference) or through the bounded
+    /// queue and flusher pool ([`CaptureMode::Async`]).
+    capture_mode: CaptureMode,
+    /// Queue depth, flusher count and overflow policy of the async pipeline.
+    capture_config: CaptureConfig,
+    /// The running flusher pool (started lazily on the first async capture).
+    pipeline: Option<CapturePipeline>,
+    /// Shards owned by the flusher side while the pipeline runs; harvested
+    /// back into `datastores` by the flush barrier.
+    pending: HashMap<(u64, OpId), Arc<Shard>>,
+    /// The first flusher failure, kept sticky so every later engine call
+    /// reports it instead of silently storing partial lineage.
+    capture_failed: Option<CaptureError>,
+    /// Batches shed by *retired* pipelines under
+    /// [`OverflowPolicy::DropNewest`]; the live pipeline's count is added on
+    /// read so the total survives shutdown and reconfiguration.
+    dropped_total: u64,
     /// Worker threads available to encode a batch (and to flush independent
     /// datastore shards concurrently).  1 means fully serial.
     workers: usize,
@@ -110,6 +130,12 @@ impl Runtime {
             storage_dir: None,
             strategy: LineageStrategy::new(),
             ingest_mode: IngestMode::default(),
+            capture_mode: CaptureMode::default(),
+            capture_config: CaptureConfig::default(),
+            pipeline: None,
+            pending: HashMap::new(),
+            capture_failed: None,
+            dropped_total: 0,
             workers: parallel::default_workers(),
             datastores: HashMap::new(),
             stats: HashMap::new(),
@@ -147,10 +173,149 @@ impl Runtime {
         self.ingest_mode
     }
 
+    /// Selects whether capture runs on the executor thread or through the
+    /// async pipeline.  Switching back to [`CaptureMode::Sync`] drains and
+    /// shuts down a running pipeline first (best-effort; a flusher failure
+    /// stays sticky and surfaces on the next fallible call).
+    pub fn set_capture_mode(&mut self, mode: CaptureMode) {
+        if mode == CaptureMode::Sync && self.pipeline.is_some() {
+            let _ = self.shutdown_capture();
+        }
+        self.capture_mode = mode;
+    }
+
+    /// The current capture mode.
+    pub fn capture_mode(&self) -> CaptureMode {
+        self.capture_mode
+    }
+
+    /// Replaces the async pipeline configuration (queue depth, flusher
+    /// count, overflow policy).  A running pipeline is drained and restarted
+    /// lazily with the new configuration on the next async capture.
+    pub fn set_capture_config(&mut self, config: CaptureConfig) {
+        if self.pipeline.is_some() {
+            let _ = self.shutdown_capture();
+        }
+        self.capture_config = config;
+    }
+
+    /// The async pipeline configuration.
+    pub fn capture_config(&self) -> CaptureConfig {
+        self.capture_config
+    }
+
+    /// Sets the capture queue depth (see [`CaptureConfig::queue_depth`]).
+    pub fn set_capture_queue_depth(&mut self, depth: usize) {
+        let config = CaptureConfig {
+            queue_depth: depth,
+            ..self.capture_config
+        };
+        self.set_capture_config(config);
+    }
+
+    /// Sets the number of background flusher threads.
+    pub fn set_capture_flushers(&mut self, flushers: usize) {
+        let config = CaptureConfig {
+            flushers,
+            ..self.capture_config
+        };
+        self.set_capture_config(config);
+    }
+
+    /// Sets what a full capture queue does with the next batch.
+    pub fn set_capture_policy(&mut self, policy: OverflowPolicy) {
+        let config = CaptureConfig {
+            policy,
+            ..self.capture_config
+        };
+        self.set_capture_config(config);
+    }
+
+    /// Batches shed under [`OverflowPolicy::DropNewest`] over this runtime's
+    /// lifetime, across pipeline restarts (0 under the default blocking
+    /// policy).  Callers auditing shed lineage — e.g. to decide whether
+    /// queries must fall back to re-execution — see the full count even
+    /// after the pipeline was shut down or reconfigured.
+    pub fn dropped_batches(&self) -> u64 {
+        self.dropped_total
+            + self
+                .pipeline
+                .as_ref()
+                .map(CapturePipeline::dropped_batches)
+                .unwrap_or(0)
+    }
+
+    /// Flush barrier: blocks until every batch staged with the async
+    /// pipeline has been applied to its datastores, harvests the shards back
+    /// into the runtime, and reports any flusher failure.  A no-op in sync
+    /// mode (beyond re-reporting a sticky failure).
+    pub fn flush_capture(&mut self) -> Result<(), CaptureError> {
+        if self.pipeline.is_some() {
+            self.quiesce_capture()
+        } else {
+            match &self.capture_failed {
+                Some(e) => Err(e.clone()),
+                None => Ok(()),
+            }
+        }
+    }
+
+    /// Drains the async pipeline (flush barrier + harvest) and joins its
+    /// flusher threads.  The next async capture starts a fresh pipeline.
+    pub fn shutdown_capture(&mut self) -> Result<(), CaptureError> {
+        let result = self.flush_capture();
+        // Roll the retiring pipeline's shed count into the lifetime total
+        // before dropping it, then let Drop close the queue and join the
+        // flushers; the barrier above already drained it, so the join is
+        // immediate.
+        if let Some(pipeline) = &self.pipeline {
+            self.dropped_total += pipeline.dropped_batches();
+        }
+        self.pipeline = None;
+        result
+    }
+
+    /// Waits for the pipeline to go idle and moves every flusher-side shard
+    /// back into `datastores`, charging flusher time to the owning
+    /// operator's capture statistics.  Harvests even after a failure so
+    /// whatever was stored stays inspectable; the failure is reported and
+    /// kept sticky.
+    fn quiesce_capture(&mut self) -> Result<(), CaptureError> {
+        let result = match &self.pipeline {
+            Some(pipeline) => pipeline.flush(),
+            None => Ok(()),
+        };
+        for (key, shard) in self.pending.drain() {
+            let mut state = shard.lock();
+            let stores = std::mem::take(&mut state.stores);
+            let flush_time = std::mem::replace(&mut state.flush_time, Duration::ZERO);
+            drop(state);
+            if !stores.is_empty() {
+                self.datastores.insert(key, stores);
+            }
+            if let Some(stats) = self.stats.get_mut(&key) {
+                stats.capture_time += flush_time;
+            }
+        }
+        if let Err(e) = result {
+            self.capture_failed = Some(e.clone());
+            return Err(e);
+        }
+        match &self.capture_failed {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
     /// Sets the number of worker threads used to encode batches (clamped to
-    /// at least 1; 1 disables threading entirely).
+    /// at least 1; 1 disables threading entirely).  A running async pipeline
+    /// is drained and restarted lazily so its flushers pick up the new
+    /// per-flusher encode budget, exactly as the capture-config setters do.
     pub fn set_workers(&mut self, workers: usize) {
         self.workers = workers.max(1);
+        if self.pipeline.is_some() {
+            let _ = self.shutdown_capture();
+        }
     }
 
     /// The configured worker count.
@@ -168,19 +333,34 @@ impl Runtime {
     }
 
     /// The datastores holding lineage captured for `(run_id, op_id)`.
+    ///
+    /// In async capture mode this first waits for the pipeline to go idle
+    /// and harvests the flusher-side shards, so callers always observe fully
+    /// applied lineage.
     pub fn datastores(&mut self, run_id: u64, op_id: OpId) -> &mut [OpDatastore] {
+        if self.pipeline.is_some() {
+            // Failures stay sticky and surface from the next fallible call.
+            let _ = self.quiesce_capture();
+        }
         self.datastores
             .get_mut(&(run_id, op_id))
             .map(|v| v.as_mut_slice())
             .unwrap_or(&mut [])
     }
 
-    /// Whether any materialised lineage exists for `(run_id, op_id)`.
+    /// Whether any materialised lineage exists for `(run_id, op_id)`
+    /// (including lineage still owned by the async pipeline's flushers).
     pub fn has_lineage(&self, run_id: u64, op_id: OpId) -> bool {
-        self.datastores
+        if self
+            .datastores
             .get(&(run_id, op_id))
-            .map(|v| !v.is_empty())
-            .unwrap_or(false)
+            .is_some_and(|v| !v.is_empty())
+        {
+            return true;
+        }
+        self.pending
+            .get(&(run_id, op_id))
+            .is_some_and(|shard| !shard.lock().stores.is_empty())
     }
 
     /// Per-operator capture statistics for a run.
@@ -198,6 +378,11 @@ impl Runtime {
     }
 
     /// Aggregate capture statistics for a run.
+    ///
+    /// Shards still owned by the async pipeline are counted through their
+    /// locks; while flushers are actively applying batches those numbers are
+    /// a consistent-but-partial snapshot (call
+    /// [`flush_capture`](Runtime::flush_capture) first for final figures).
     pub fn capture_stats(&self, run_id: u64) -> CaptureStats {
         let mut agg = CaptureStats::default();
         for ((r, op), stats) in &self.stats {
@@ -211,6 +396,13 @@ impl Runtime {
                     agg.bytes += ds.bytes_used();
                     agg.pairs += ds.pairs_stored();
                 }
+            } else if let Some(shard) = self.pending.get(&(*r, *op)) {
+                let state = shard.lock();
+                for ds in &state.stores {
+                    agg.bytes += ds.bytes_used();
+                    agg.pairs += ds.pairs_stored();
+                }
+                agg.capture_time += state.flush_time;
             }
         }
         agg
@@ -227,6 +419,11 @@ impl Runtime {
     /// optional — but benchmarks must, or the first query per datastore gets
     /// billed for the index build.  Returns the total time spent.
     pub fn finish_run(&mut self, run_id: u64) -> Duration {
+        if self.pipeline.is_some() {
+            // Deferred stores must land before the indexes are built;
+            // failures stay sticky and surface from the next fallible call.
+            let _ = self.quiesce_capture();
+        }
         let mut total = Duration::ZERO;
         for ((r, op), stores) in self.datastores.iter_mut() {
             if *r != run_id {
@@ -248,8 +445,118 @@ impl Runtime {
     /// Drops all lineage stored for a run (used by the benchmark harness to
     /// bound memory between strategy configurations).
     pub fn clear_run(&mut self, run_id: u64) {
+        if self.pipeline.is_some() {
+            let _ = self.quiesce_capture();
+        }
         self.datastores.retain(|(r, _), _| *r != run_id);
         self.stats.retain(|(r, _), _| *r != run_id);
+    }
+
+    /// Allocates one datastore per pair-storing strategy of an operator.
+    fn make_stores(
+        &self,
+        exec: &OpExecution<'_>,
+        strategies: &[StorageStrategy],
+    ) -> Vec<OpDatastore> {
+        let mut stores = Vec::with_capacity(strategies.len());
+        for s in strategies {
+            let name = format!("run{}_op{}_{}", exec.run_id, exec.op_id, s.db_suffix());
+            let backend = self.make_backend(&name);
+            let mut ds = OpDatastore::new(name, *s, exec.meta, backend);
+            // Batched lookups fan out over the same worker budget the
+            // capture pipeline was given.
+            ds.set_workers(self.workers);
+            stores.push(ds);
+        }
+        stores
+    }
+
+    /// The synchronous store path: encode and store on the calling
+    /// (executor) thread, exactly as before async capture existed.
+    fn store_sync(
+        &mut self,
+        key: (u64, OpId),
+        exec: &OpExecution<'_>,
+        strategies: &[StorageStrategy],
+        batches: &[RegionBatch],
+    ) {
+        if !self.datastores.contains_key(&key) {
+            let stores = self.make_stores(exec, strategies);
+            self.datastores.insert(key, stores);
+        }
+        let stores = self.datastores.get_mut(&key).expect("just inserted");
+        match self.ingest_mode {
+            IngestMode::Batched => {
+                // Each datastore is an independent shard; with spare
+                // workers and several shards, flush them concurrently and
+                // split the worker budget, otherwise give the single
+                // shard all encode workers.
+                let shard_parallel = self.workers > 1 && stores.len() > 1;
+                let shard_workers = if shard_parallel {
+                    parallel::split_budget(self.workers, stores.len())
+                } else {
+                    self.workers
+                };
+                for batch in batches {
+                    parallel::for_each_mut(stores, shard_parallel, |_, ds| {
+                        ds.store_batch(&batch.pairs, shard_workers);
+                    });
+                }
+            }
+            IngestMode::PerPair => {
+                for batch in batches {
+                    for pair in &batch.pairs {
+                        for ds in stores.iter_mut() {
+                            ds.store_pair(pair);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The asynchronous hand-off: create the operator's capture shard on
+    /// first touch, then stage every batch on the bounded queue.  The
+    /// executor thread pays only for backend creation and the enqueue (plus
+    /// any backpressure wait); flusher threads do the encode + store.
+    fn stage_async(
+        &mut self,
+        key: (u64, OpId),
+        exec: &OpExecution<'_>,
+        strategies: &[StorageStrategy],
+        batches: Vec<RegionBatch>,
+    ) -> Result<(), CaptureError> {
+        if self.pipeline.is_none() {
+            // Flushers run concurrently with each other; split the encode
+            // worker budget so the pool doesn't oversubscribe the host.
+            let store_workers =
+                parallel::split_budget(self.workers, self.capture_config.flushers.max(1));
+            self.pipeline = Some(CapturePipeline::start(self.capture_config, store_workers));
+        }
+        if !self.pending.contains_key(&key) {
+            // A repeated collection for a key whose shard was already
+            // harvested resumes capturing into the same datastores (exactly
+            // like the sync path reusing its `datastores` entry) instead of
+            // allocating a second set that a later harvest would clobber.
+            let stores = match self.datastores.remove(&key) {
+                Some(stores) => stores,
+                None => self.make_stores(exec, strategies),
+            };
+            self.pending.insert(key, Arc::new(Shard::new(stores)));
+        }
+        let shard = Arc::clone(self.pending.get(&key).expect("just inserted"));
+        let pipeline = self.pipeline.as_ref().expect("pipeline just started");
+        for batch in batches {
+            // Sequence numbers come from the shard, not this call, so a
+            // second collection for the same key continues where the first
+            // stopped rather than re-issuing already-applied numbers.
+            let seq = shard.ticket();
+            if let Err(e) = pipeline.submit(&shard, seq, batch) {
+                self.capture_failed = Some(e.clone());
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 
     fn make_backend(&self, name: &str) -> Box<dyn KvBackend> {
@@ -296,7 +603,16 @@ impl LineageCollector for Runtime {
         }
     }
 
-    fn collect_batches(&mut self, exec: &OpExecution<'_>, batches: Vec<RegionBatch>) {
+    fn collect_batches(
+        &mut self,
+        exec: &OpExecution<'_>,
+        batches: Vec<RegionBatch>,
+    ) -> Result<(), CaptureError> {
+        if let Some(e) = &self.capture_failed {
+            // A flusher failed earlier; refuse further capture so the run
+            // cannot silently continue with holes in its stored lineage.
+            return Err(e.clone());
+        }
         let start = Instant::now();
         let key = (exec.run_id, exec.op_id);
 
@@ -338,56 +654,26 @@ impl LineageCollector for Runtime {
             .collect();
         let total_pairs: usize = batches.iter().map(RegionBatch::len).sum();
         if !strategies.is_empty() && total_pairs > 0 {
-            if !self.datastores.contains_key(&key) {
-                let mut stores = Vec::with_capacity(strategies.len());
-                for s in &strategies {
-                    let name = format!("run{}_op{}_{}", exec.run_id, exec.op_id, s.db_suffix());
-                    let backend = self.make_backend(&name);
-                    let mut ds = OpDatastore::new(name, *s, exec.meta, backend);
-                    // Batched lookups fan out over the same worker budget the
-                    // capture pipeline was given.
-                    ds.set_workers(self.workers);
-                    stores.push(ds);
-                }
-                self.datastores.insert(key, stores);
-            }
-            let stores = self.datastores.get_mut(&key).expect("just inserted");
-            match self.ingest_mode {
-                IngestMode::Batched => {
-                    // Each datastore is an independent shard; with spare
-                    // workers and several shards, flush them concurrently and
-                    // split the worker budget, otherwise give the single
-                    // shard all encode workers.
-                    let shard_parallel = self.workers > 1 && stores.len() > 1;
-                    let shard_workers = if shard_parallel {
-                        (self.workers / stores.len()).max(1)
-                    } else {
-                        self.workers
-                    };
-                    for batch in &batches {
-                        parallel::for_each_mut(stores, shard_parallel, |_, ds| {
-                            ds.store_batch(&batch.pairs, shard_workers);
-                        });
-                    }
-                }
-                IngestMode::PerPair => {
-                    for batch in &batches {
-                        for pair in &batch.pairs {
-                            for ds in stores.iter_mut() {
-                                ds.store_pair(pair);
-                            }
-                        }
-                    }
-                }
+            // The async pipeline serves the batched path only; the per-pair
+            // reference path always stores synchronously.
+            let use_async =
+                self.capture_mode == CaptureMode::Async && self.ingest_mode == IngestMode::Batched;
+            if use_async {
+                self.stage_async(key, exec, &strategies, batches)?;
+            } else {
+                self.store_sync(key, exec, &strategies, &batches);
             }
         }
 
-        // Charge the full collect time (routing + encoding + storing) to
+        // Charge the collect time spent on the executor thread (routing +
+        // encoding + storing for sync capture; routing + queue hand-off for
+        // async capture — that difference is the point of the pipeline) to
         // this operator's capture overhead.
         let elapsed = start.elapsed();
         if let Some(stats) = self.stats.get_mut(&key) {
             stats.capture_time += elapsed;
         }
+        Ok(())
     }
 }
 
@@ -396,6 +682,8 @@ impl std::fmt::Debug for Runtime {
         f.debug_struct("Runtime")
             .field("datastores", &self.datastores.len())
             .field("storage_dir", &self.storage_dir)
+            .field("capture_mode", &self.capture_mode)
+            .field("pending_shards", &self.pending.len())
             .finish()
     }
 }
@@ -591,6 +879,234 @@ mod tests {
         assert_eq!(rt.workers(), 4);
         rt.set_ingest_mode(IngestMode::PerPair);
         assert_eq!(rt.ingest_mode(), IngestMode::PerPair);
+    }
+
+    /// Reference snapshots of a sync-capture run of `workflow()` with two
+    /// strategies on op 0.
+    fn sync_reference() -> Vec<Vec<(Vec<u8>, Vec<u8>)>> {
+        let wf = workflow();
+        let mut rt = Runtime::in_memory();
+        let mut strategy = LineageStrategy::new();
+        strategy.set(
+            0,
+            vec![StorageStrategy::full_one(), StorageStrategy::full_many()],
+        );
+        rt.set_strategy(strategy);
+        let mut engine = Engine::new();
+        let run = engine.execute(&wf, &externals(), &mut rt).unwrap();
+        rt.datastores(run.run_id, 0)
+            .iter()
+            .map(|ds| ds.snapshot())
+            .collect()
+    }
+
+    #[test]
+    fn async_capture_matches_sync_byte_for_byte() {
+        let reference = sync_reference();
+        let wf = workflow();
+        let mut rt = Runtime::in_memory();
+        rt.set_capture_mode(CaptureMode::Async);
+        rt.set_capture_config(CaptureConfig {
+            queue_depth: 2,
+            flushers: 2,
+            policy: OverflowPolicy::Block,
+        });
+        let mut strategy = LineageStrategy::new();
+        strategy.set(
+            0,
+            vec![StorageStrategy::full_one(), StorageStrategy::full_many()],
+        );
+        rt.set_strategy(strategy);
+        let mut engine = Engine::new();
+        // Small batches force several queued jobs per shard.
+        engine.set_capture_batch_size(3);
+        let run = engine.execute(&wf, &externals(), &mut rt).unwrap();
+        rt.flush_capture().unwrap();
+        let snapshots: Vec<_> = rt
+            .datastores(run.run_id, 0)
+            .iter()
+            .map(|ds| ds.snapshot())
+            .collect();
+        assert_eq!(snapshots, reference);
+    }
+
+    #[test]
+    fn datastore_access_harvests_without_explicit_flush() {
+        let reference = sync_reference();
+        let wf = workflow();
+        let mut rt = Runtime::in_memory();
+        rt.set_capture_mode(CaptureMode::Async);
+        let mut strategy = LineageStrategy::new();
+        strategy.set(
+            0,
+            vec![StorageStrategy::full_one(), StorageStrategy::full_many()],
+        );
+        rt.set_strategy(strategy);
+        let mut engine = Engine::new();
+        let run = engine.execute(&wf, &externals(), &mut rt).unwrap();
+        // No flush_capture: the datastore accessor performs the barrier.
+        assert!(rt.has_lineage(run.run_id, 0), "pending shards count");
+        let snapshots: Vec<_> = rt
+            .datastores(run.run_id, 0)
+            .iter()
+            .map(|ds| ds.snapshot())
+            .collect();
+        assert_eq!(snapshots, reference);
+        let stats = rt.capture_stats(run.run_id);
+        assert!(stats.pairs > 0 && stats.bytes > 0);
+    }
+
+    #[test]
+    fn switching_back_to_sync_drains_the_pipeline() {
+        let reference = sync_reference();
+        let wf = workflow();
+        let mut rt = Runtime::in_memory();
+        rt.set_capture_mode(CaptureMode::Async);
+        let mut strategy = LineageStrategy::new();
+        strategy.set(
+            0,
+            vec![StorageStrategy::full_one(), StorageStrategy::full_many()],
+        );
+        rt.set_strategy(strategy);
+        let mut engine = Engine::new();
+        let run = engine.execute(&wf, &externals(), &mut rt).unwrap();
+        // Drain-on-shutdown: switching modes joins the flushers and harvests.
+        rt.set_capture_mode(CaptureMode::Sync);
+        assert_eq!(rt.capture_mode(), CaptureMode::Sync);
+        let snapshots: Vec<_> = rt
+            .datastores(run.run_id, 0)
+            .iter()
+            .map(|ds| ds.snapshot())
+            .collect();
+        assert_eq!(snapshots, reference);
+    }
+
+    /// Claims one input but emits two incell vectors per pair, which makes
+    /// the encoder index a missing input shape and panic — on a background
+    /// flusher thread under async capture.
+    struct BadArity;
+
+    impl subzero_engine::Operator for BadArity {
+        fn name(&self) -> &str {
+            "bad-arity"
+        }
+        fn output_shape(&self, input_shapes: &[Shape]) -> Shape {
+            input_shapes[0]
+        }
+        fn supported_modes(&self) -> Vec<LineageMode> {
+            vec![LineageMode::Full, LineageMode::Blackbox]
+        }
+        fn run(
+            &self,
+            inputs: &[subzero_array::ArrayRef],
+            cur_modes: &[LineageMode],
+            sink: &mut dyn subzero_engine::LineageSink,
+        ) -> Array {
+            if cur_modes.contains(&LineageMode::Full) {
+                let c = Coord::d2(0, 0);
+                sink.lwrite(vec![c], vec![vec![c], vec![c]]);
+            }
+            (*inputs[0]).clone()
+        }
+    }
+
+    #[test]
+    fn flusher_panic_surfaces_as_error_not_hang() {
+        let mut b = Workflow::builder("bad");
+        let _op = b.add_source(Arc::new(BadArity), "x");
+        let wf = Arc::new(b.build().unwrap());
+        let mut rt = Runtime::in_memory();
+        rt.set_capture_mode(CaptureMode::Async);
+        rt.set_capture_config(CaptureConfig {
+            queue_depth: 1,
+            flushers: 1,
+            policy: OverflowPolicy::Block,
+        });
+        let mut strategy = LineageStrategy::new();
+        strategy.set(0, vec![StorageStrategy::full_many()]);
+        rt.set_strategy(strategy);
+        let mut engine = Engine::new();
+        // The first execution may succeed (the panic happens on the flusher
+        // after the hand-off) or already observe the failure while staging.
+        let first = engine.execute(&wf, &externals(), &mut rt);
+        let flush = rt.flush_capture();
+        assert!(
+            first.is_err() || flush.is_err(),
+            "flusher panic must be reported by the barrier"
+        );
+        // The failure is sticky: the next engine call errors instead of
+        // storing lineage with silent holes.
+        let err = engine.execute(&wf, &externals(), &mut rt).unwrap_err();
+        assert!(
+            matches!(err, subzero_engine::executor::EngineError::Capture(_)),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn repeated_async_collections_for_one_operator_accumulate() {
+        // The engine collects once per (run, op), but Runtime is a public
+        // collector: a second collection for the same key — even with a
+        // harvest in between — must continue the shard's sequence and keep
+        // storing into the same datastores, not deadlock or clobber them.
+        let mut rt = Runtime::in_memory();
+        rt.set_capture_mode(CaptureMode::Async);
+        let mut strategy = LineageStrategy::new();
+        strategy.set(0, vec![StorageStrategy::full_one()]);
+        rt.set_strategy(strategy);
+        let shape = Shape::d2(4, 4);
+        let meta = subzero_engine::OpMeta::new(vec![shape], shape);
+        let pair = |i: u32| RegionPair::Full {
+            outcells: vec![Coord::d2(i / 4, i % 4)],
+            incells: vec![vec![Coord::d2(i / 4, i % 4)]],
+        };
+        let exec = OpExecution {
+            run_id: 0,
+            op_id: 0,
+            op_name: "op",
+            meta: &meta,
+            elapsed: Duration::ZERO,
+        };
+        rt.collect_batches(&exec, vec![RegionBatch::new((0..8).map(pair).collect())])
+            .unwrap();
+        // Harvest in between (as a mid-run query would).
+        assert_eq!(rt.datastores(0, 0).len(), 1);
+        rt.collect_batches(&exec, vec![RegionBatch::new((8..16).map(pair).collect())])
+            .unwrap();
+        rt.flush_capture().unwrap();
+        let stored: u64 = rt.datastores(0, 0).iter().map(|ds| ds.pairs_stored()).sum();
+        assert_eq!(stored, 16, "both collections landed in one datastore set");
+    }
+
+    #[test]
+    fn drop_newest_policy_sheds_instead_of_blocking() {
+        let wf = workflow();
+        let mut rt = Runtime::in_memory();
+        rt.set_capture_mode(CaptureMode::Async);
+        rt.set_capture_config(CaptureConfig {
+            queue_depth: 1,
+            flushers: 1,
+            policy: OverflowPolicy::DropNewest,
+        });
+        let mut strategy = LineageStrategy::new();
+        strategy.set(0, vec![StorageStrategy::full_one()]);
+        rt.set_strategy(strategy);
+        let mut engine = Engine::new();
+        engine.set_capture_batch_size(1);
+        let run = engine.execute(&wf, &externals(), &mut rt).unwrap();
+        let dropped = rt.dropped_batches();
+        rt.flush_capture().unwrap();
+        let stored: u64 = rt
+            .datastores(run.run_id, 0)
+            .iter()
+            .map(|ds| ds.pairs_stored())
+            .sum();
+        // Whatever was shed is accounted for; nothing hangs and the stored
+        // prefix plus the drop counter covers every emitted pair.
+        assert_eq!(stored + dropped, 16, "16 single-pair batches emitted");
+        // The shed count survives pipeline shutdown and reconfiguration.
+        rt.shutdown_capture().unwrap();
+        assert_eq!(rt.dropped_batches(), dropped, "count survives shutdown");
     }
 
     #[test]

@@ -15,12 +15,14 @@ use subzero_array::Array;
 use subzero_engine::executor::{EngineError, WorkflowRun};
 use subzero_engine::{Engine, Workflow};
 
+use crate::capture::{CaptureConfig, CaptureMode};
 use crate::model::LineageStrategy;
 use crate::query::{
     LineageQuery, QueryError, QueryExecutor, QueryOptions, QueryResult, QuerySession,
     QueryTimePolicy,
 };
 use crate::runtime::{CaptureStats, IngestMode, Runtime};
+use subzero_engine::executor::CaptureError;
 
 /// The SubZero lineage system: workflow execution with lineage capture, plus
 /// lineage query execution.
@@ -87,6 +89,29 @@ impl SubZero {
         self.runtime.set_workers(workers);
     }
 
+    /// Selects whether capture runs on the executor thread
+    /// ([`CaptureMode::Sync`], the default and parity reference) or through
+    /// the bounded queue and background flusher pool
+    /// ([`CaptureMode::Async`]), which takes encode + store time out of
+    /// operator wall-clock.
+    pub fn set_capture_mode(&mut self, mode: CaptureMode) {
+        self.runtime.set_capture_mode(mode);
+    }
+
+    /// Replaces the async capture pipeline configuration (queue depth,
+    /// flusher count, overflow policy).
+    pub fn set_capture_config(&mut self, config: CaptureConfig) {
+        self.runtime.set_capture_config(config);
+    }
+
+    /// Flush barrier for async capture: blocks until every staged batch has
+    /// been applied to its datastores and reports any background flusher
+    /// failure.  Queries and statistics calls do this implicitly; benchmarks
+    /// call it to separate drain time from operator wall-clock.
+    pub fn flush_capture(&mut self) -> Result<(), CaptureError> {
+        self.runtime.flush_capture()
+    }
+
     /// Overrides the query executor options (entire-array optimization,
     /// query-time optimizer).
     pub fn set_query_options(&mut self, options: QueryOptions) {
@@ -123,8 +148,9 @@ impl SubZero {
 
     /// Executes a legacy explicit-path lineage query against a previous run.
     ///
-    /// Kept as a shim over the same step engine that [`session`] queries run
-    /// on; prefer [`session`](SubZero::session), which derives the path from
+    /// Kept as a shim over the same step engine that
+    /// [`session`](SubZero::session) queries run on; prefer the session
+    /// surface, which derives the path from
     /// the DAG instead of requiring a hand-assembled `(operator, input)`
     /// step vector.
     pub fn query(

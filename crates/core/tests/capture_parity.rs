@@ -1,0 +1,175 @@
+//! Byte-parity of async capture with the synchronous reference path.
+//!
+//! The async pipeline's contract is that datastore contents are *identical*
+//! to [`CaptureMode::Sync`] at any queue depth and flusher count: batches of
+//! one shard apply in emission order, backpressure blocks instead of
+//! dropping, and drain-on-shutdown applies everything still staged.  These
+//! properties randomise the workload (array shape, capture batch size,
+//! strategy assignment) and sweep the depth × flusher matrix the ISSUE pins:
+//! depths {1, 4, 64} × flushers {1, 2, 8}.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use subzero::capture::{CaptureConfig, CaptureMode, OverflowPolicy};
+use subzero::model::{LineageStrategy, StorageStrategy};
+use subzero::runtime::Runtime;
+use subzero_array::{Array, Coord, Shape};
+use subzero_engine::ops::{BinaryKind, Convolve, Elementwise1, Elementwise2, UnaryKind};
+use subzero_engine::{Engine, Workflow};
+
+const QUEUE_DEPTHS: [usize; 3] = [1, 4, 64];
+const FLUSHER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A three-operator workflow (scale -> blur -> mean with the scaled input)
+/// whose operators all store pairs under the assigned strategies.
+fn workflow() -> Arc<Workflow> {
+    let mut b = Workflow::builder("capture-parity");
+    let scale = b.add_source(Arc::new(Elementwise1::new(UnaryKind::Scale(1.5))), "img");
+    let blur = b.add_unary(Arc::new(Convolve::box_blur(1)), scale);
+    let _mean = b.add_binary(Arc::new(Elementwise2::new(BinaryKind::Mean)), scale, blur);
+    Arc::new(b.build().unwrap())
+}
+
+fn externals(rows: u32, cols: u32) -> HashMap<String, Array> {
+    let shape = Shape::d2(rows, cols);
+    let mut img = Array::zeros(shape);
+    for r in 0..rows {
+        for c in 0..cols {
+            img.set(&Coord::d2(r, c), ((r * cols + c) % 17) as f64 - 3.0);
+        }
+    }
+    let mut m = HashMap::new();
+    m.insert("img".to_string(), img);
+    m
+}
+
+/// The strategy sets a case may assign to each operator.
+fn strategy_sets() -> Vec<Vec<StorageStrategy>> {
+    vec![
+        vec![StorageStrategy::full_one()],
+        vec![StorageStrategy::full_many()],
+        vec![StorageStrategy::full_one_forward()],
+        vec![StorageStrategy::full_one(), StorageStrategy::full_many()],
+    ]
+}
+
+fn assignment(picks: &[usize]) -> LineageStrategy {
+    let sets = strategy_sets();
+    let mut strategy = LineageStrategy::new();
+    for (op, &pick) in picks.iter().enumerate() {
+        strategy.set(op as u32, sets[pick % sets.len()].clone());
+    }
+    strategy
+}
+
+/// Sorted `(key, value)` byte pairs of one datastore.
+type Snapshot = Vec<(Vec<u8>, Vec<u8>)>;
+/// Per operator, per strategy-datastore snapshots of one run.
+type RunSnapshots = Vec<Vec<Snapshot>>;
+
+/// Executes the workflow and returns each operator's datastore snapshots
+/// (sorted key/value bytes per store).
+fn run_capture(
+    rows: u32,
+    cols: u32,
+    batch_size: usize,
+    picks: &[usize],
+    configure: impl FnOnce(&mut Runtime),
+    shutdown_instead_of_flush: bool,
+) -> RunSnapshots {
+    let wf = workflow();
+    let mut rt = Runtime::in_memory();
+    rt.set_strategy(assignment(picks));
+    configure(&mut rt);
+    let mut engine = Engine::new();
+    engine.set_capture_batch_size(batch_size);
+    let run = engine
+        .execute(&wf, &externals(rows, cols), &mut rt)
+        .expect("parity workload executes");
+    if shutdown_instead_of_flush {
+        // The drain-on-shutdown path: joining the flushers must apply
+        // everything still staged before the first datastore access.
+        rt.shutdown_capture().expect("drain on shutdown");
+    } else {
+        rt.flush_capture().expect("flush barrier");
+    }
+    (0..3u32)
+        .map(|op| {
+            rt.datastores(run.run_id, op)
+                .iter()
+                .map(|ds| ds.snapshot())
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn async_capture_is_byte_identical_across_depths_and_flushers(
+        rows in 3u32..10,
+        cols in 3u32..10,
+        batch_size in 1usize..48,
+        picks in prop::collection::vec(0usize..4, 3..4),
+    ) {
+        let reference = run_capture(rows, cols, batch_size, &picks, |_| {}, false);
+        // The reference stores pairs for every operator.
+        prop_assert!(reference.iter().any(|stores| !stores.is_empty()));
+        for (i, &queue_depth) in QUEUE_DEPTHS.iter().enumerate() {
+            for (j, &flushers) in FLUSHER_COUNTS.iter().enumerate() {
+                let snapshots = run_capture(
+                    rows,
+                    cols,
+                    batch_size,
+                    &picks,
+                    |rt| {
+                        rt.set_capture_mode(CaptureMode::Async);
+                        rt.set_capture_config(CaptureConfig {
+                            queue_depth,
+                            flushers,
+                            policy: OverflowPolicy::Block,
+                        });
+                    },
+                    // Alternate harvest paths so both the flush barrier and
+                    // drain-on-shutdown are exercised across the matrix.
+                    (i + j) % 2 == 1,
+                );
+                prop_assert!(
+                    snapshots == reference,
+                    "async snapshots diverge from sync at depth={queue_depth} flushers={flushers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn async_capture_statistics_match_sync(
+        rows in 3u32..8,
+        batch_size in 1usize..16,
+        picks in prop::collection::vec(0usize..4, 3..4),
+    ) {
+        // Pair/byte accounting (what the optimizer's cost model reads) must
+        // not depend on which thread stored the batches.
+        let run_stats = |configure: fn(&mut Runtime)| {
+            let wf = workflow();
+            let mut rt = Runtime::in_memory();
+            rt.set_strategy(assignment(&picks));
+            configure(&mut rt);
+            let mut engine = Engine::new();
+            engine.set_capture_batch_size(batch_size);
+            let run = engine
+                .execute(&wf, &externals(rows, rows), &mut rt)
+                .expect("workload executes");
+            rt.flush_capture().expect("flush barrier");
+            let agg = rt.capture_stats(run.run_id);
+            (agg.pairs, agg.bytes)
+        };
+        let (sync_pairs, sync_bytes) = run_stats(|_| {});
+        let (async_pairs, async_bytes) = run_stats(|rt| {
+            rt.set_capture_mode(CaptureMode::Async);
+        });
+        prop_assert_eq!(async_pairs, sync_pairs);
+        prop_assert_eq!(async_bytes, sync_bytes);
+    }
+}

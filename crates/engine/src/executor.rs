@@ -24,6 +24,40 @@ use crate::lineage::{BatchingSink, BufferSink, LineageMode, RegionBatch, RegionP
 use crate::operator::OpMeta;
 use crate::workflow::{InputSource, OpId, Workflow, WorkflowError};
 
+/// A failure inside the lineage capture path.
+///
+/// Collectors that stage work on background threads (the async capture
+/// pipeline) report flusher failures through this type: the failure is
+/// recorded when it happens and surfaced as an `Err` from the *next* engine
+/// call that talks to the collector, rather than hanging the executor or
+/// silently dropping lineage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaptureError {
+    message: String,
+}
+
+impl CaptureError {
+    /// Wraps a failure description.
+    pub fn new(message: impl Into<String>) -> Self {
+        CaptureError {
+            message: message.into(),
+        }
+    }
+
+    /// The failure description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lineage capture failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
 /// Errors produced while executing a workflow.
 #[derive(Debug)]
 pub enum EngineError {
@@ -33,6 +67,9 @@ pub enum EngineError {
     Array(ArrayError),
     /// An external input named by the workflow was not supplied.
     MissingExternalInput(String),
+    /// The lineage collector failed to accept captured batches (for the async
+    /// capture pipeline this reports an earlier flusher-thread failure).
+    Capture(CaptureError),
     /// A lineage query or re-execution referenced a run/operator that never
     /// executed.
     NotExecuted {
@@ -51,6 +88,7 @@ impl fmt::Display for EngineError {
             EngineError::MissingExternalInput(name) => {
                 write!(f, "external input array '{name}' was not provided")
             }
+            EngineError::Capture(e) => write!(f, "{e}"),
             EngineError::NotExecuted { run_id, op_id } => {
                 write!(
                     f,
@@ -72,6 +110,12 @@ impl From<WorkflowError> for EngineError {
 impl From<ArrayError> for EngineError {
     fn from(e: ArrayError) -> Self {
         EngineError::Array(e)
+    }
+}
+
+impl From<CaptureError> for EngineError {
+    fn from(e: CaptureError) -> Self {
+        EngineError::Capture(e)
     }
 }
 
@@ -162,8 +206,15 @@ pub trait LineageCollector {
     /// pairs it emitted, in emission order.  Collectors encode and store
     /// batch-at-a-time; the time spent in this call is part of the workflow's
     /// lineage capture overhead and is charged to the run's total elapsed
-    /// time.
-    fn collect_batches(&mut self, exec: &OpExecution<'_>, batches: Vec<RegionBatch>);
+    /// time.  Asynchronous collectors only *stage* the batches here (the
+    /// executor thread pays for the hand-off, not for encode + store) and
+    /// use the `Err` return to surface failures recorded by their background
+    /// flusher threads on the next engine call.
+    fn collect_batches(
+        &mut self,
+        exec: &OpExecution<'_>,
+        batches: Vec<RegionBatch>,
+    ) -> Result<(), CaptureError>;
 }
 
 /// A collector that requests black-box lineage only and discards any pairs.
@@ -175,7 +226,13 @@ impl LineageCollector for NullCollector {
         vec![LineageMode::Blackbox]
     }
 
-    fn collect_batches(&mut self, _exec: &OpExecution<'_>, _batches: Vec<RegionBatch>) {}
+    fn collect_batches(
+        &mut self,
+        _exec: &OpExecution<'_>,
+        _batches: Vec<RegionBatch>,
+    ) -> Result<(), CaptureError> {
+        Ok(())
+    }
 }
 
 /// Default number of region pairs per sealed capture batch.
@@ -330,7 +387,7 @@ impl Engine {
                 meta: &meta,
                 elapsed,
             };
-            collector.collect_batches(&exec, sink.finish());
+            collector.collect_batches(&exec, sink.finish())?;
 
             records.insert(op_id, record);
         }
@@ -543,13 +600,18 @@ mod tests {
         fn modes_for(&self, _w: &Workflow, _op: OpId) -> Vec<LineageMode> {
             vec![LineageMode::Full]
         }
-        fn collect_batches(&mut self, exec: &OpExecution<'_>, batches: Vec<RegionBatch>) {
+        fn collect_batches(
+            &mut self,
+            exec: &OpExecution<'_>,
+            batches: Vec<RegionBatch>,
+        ) -> Result<(), CaptureError> {
             self.batches_seen += batches.len();
             for b in &batches {
                 self.pairs_seen += b.len();
                 self.batch_sizes.push(b.len());
             }
             self.ops_seen.push(exec.op_id);
+            Ok(())
         }
     }
 

@@ -21,10 +21,10 @@
 //! * [`paths`] — deriving lineage-query traversals from the DAG: pruned
 //!   [`TracePlan`]s with multi-path fan-out at joins, plus per-path
 //!   enumeration for parity testing.
-//! * [`executor`] — the [`Engine`](executor::Engine) that runs workflow
+//! * [`executor`] — the [`Engine`] that runs workflow
 //!   instances, persists array versions, appends black-box records to the
 //!   write-ahead log, and forwards captured lineage to a
-//!   [`LineageCollector`](executor::LineageCollector) (implemented by the
+//!   [`LineageCollector`] (implemented by the
 //!   `subzero` crate's runtime).
 //! * [`ops`] — the built-in operators (matrix arithmetic, transpose,
 //!   convolution, matrix multiply, aggregation, normalisation, slicing,
@@ -39,7 +39,9 @@ pub mod ops;
 pub mod paths;
 pub mod workflow;
 
-pub use executor::{Engine, ExecutionRecord, LineageCollector, NullCollector, WorkflowRun};
+pub use executor::{
+    CaptureError, Engine, ExecutionRecord, LineageCollector, NullCollector, WorkflowRun,
+};
 pub use lineage::{
     BatchingSink, BufferSink, LineageMode, LineageSink, NullSink, RegionBatch, RegionPair,
 };

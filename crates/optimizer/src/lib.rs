@@ -19,7 +19,7 @@
 //!   probabilities and direction mix.
 //! * [`ilp`] — the 0/1 integer program and its exact solver.
 //! * [`optimizer`] — candidate enumeration and the end-to-end
-//!   [`Optimizer`](optimizer::Optimizer) that produces a
+//!   [`Optimizer`] that produces a
 //!   [`LineageStrategy`](subzero::model::LineageStrategy).
 //!
 //! The *query-time* optimizer of §VII-A — the component that falls back to

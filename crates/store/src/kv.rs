@@ -283,7 +283,10 @@ pub struct FileBackend {
     writer: BufWriter<File>,
     /// Dedicated read handle (the writer's position must stay untouched).
     /// Opened once; re-opening the file per lookup costs more than the read.
-    reader: std::sync::Mutex<File>,
+    /// All reads go through positioned I/O (`read_at`/`seek_read`), so the
+    /// handle carries no cursor state and concurrent readers — fanned-out
+    /// lookup shards, capture flusher threads — never serialise on a lock.
+    reader: File,
     /// key -> (offset of the value bytes, value length)
     index: FxHashMap<Vec<u8>, (u64, u32)>,
     /// Values written since the last flush; served from memory because the
@@ -350,7 +353,7 @@ impl FileBackend {
         }
         let mut writer = BufWriter::new(file);
         writer.seek(SeekFrom::Start(write_offset))?;
-        let reader = std::sync::Mutex::new(File::open(path)?);
+        let reader = File::open(path)?;
         Ok(FileBackend {
             path: path.to_path_buf(),
             writer,
@@ -366,6 +369,39 @@ impl FileBackend {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// Reads exactly `buf.len()` bytes at absolute `offset` without moving any
+/// file cursor, so a single shared handle serves concurrent readers.
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+/// Windows equivalent of the positioned read (`seek_read` moves the handle's
+/// cursor, but every read in this backend passes an explicit offset, so the
+/// cursor state is irrelevant).
+#[cfg(windows)]
+fn read_exact_at(file: &File, mut buf: &mut [u8], mut offset: u64) -> io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !buf.is_empty() {
+        match file.seek_read(buf, offset) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "lineage log ended mid-record",
+                ))
+            }
+            Ok(n) => {
+                buf = &mut buf[n..];
+                offset += n as u64;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 impl KvBackend for FileBackend {
@@ -399,12 +435,9 @@ impl KvBackend for FileBackend {
             return Some(v.clone());
         }
         let &(off, len) = self.index.get(key)?;
-        // Reads go through the dedicated handle so the buffered writer
-        // position is untouched.
-        let mut f = self.reader.lock().expect("reader handle poisoned");
-        f.seek(SeekFrom::Start(off)).ok()?;
+        // Positioned read through the shared handle: no seek, no lock.
         let mut buf = vec![0u8; len as usize];
-        f.read_exact(&mut buf).ok()?;
+        read_exact_at(&self.reader, &mut buf, off).ok()?;
         Some(buf)
     }
 
@@ -508,29 +541,26 @@ impl KvBackend for FileBackend {
             scan_blocks(self.iter(), block, visit);
             return;
         }
-        let mut f = self.reader.lock().expect("reader handle poisoned");
-        // A truncated scan would silently drop lineage from query answers;
-        // like the other log I/O in this backend, treat failures as fatal.
-        f.seek(SeekFrom::Start(0)).expect("lineage log scan seek");
         const CHUNK: usize = 256 * 1024;
         let mut chunk = vec![0u8; CHUNK];
         let mut carry: Vec<u8> = Vec::new();
         let mut remaining = self.write_offset;
+        let mut read_pos = 0u64; // absolute log offset of the next chunk read
         let mut file_pos = 0u64; // absolute log offset of carry[0]
         let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(block);
         loop {
             if remaining > 0 {
                 let want = remaining.min(chunk.len() as u64) as usize;
-                let n = match f.read(&mut chunk[..want]) {
-                    Ok(n) => n,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(e) => panic!("lineage log scan read: {e}"),
-                };
-                if n == 0 {
-                    break;
-                }
-                remaining -= n as u64;
-                carry.extend_from_slice(&chunk[..n]);
+                // Positioned read: the scan tracks its own offset, so
+                // concurrent point lookups through the same handle are
+                // unaffected.  A truncated scan would silently drop lineage
+                // from query answers; like the other log I/O in this
+                // backend, treat failures as fatal.
+                read_exact_at(&self.reader, &mut chunk[..want], read_pos)
+                    .expect("lineage log scan read");
+                read_pos += want as u64;
+                remaining -= want as u64;
+                carry.extend_from_slice(&chunk[..want]);
             }
             // Parse every complete record in the carry buffer.
             let mut pos = 0usize;
@@ -1159,6 +1189,35 @@ mod tests {
         b.scan_batch(3, &mut |pairs| seen.extend_from_slice(pairs));
         seen.sort();
         assert_eq!(seen, items);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_positioned_reads_are_concurrent() {
+        // The reader handle carries no cursor: point lookups and full scans
+        // from many threads must all see consistent records.
+        let dir = std::env::temp_dir().join(format!("subzero-kv-pread-{}", std::process::id()));
+        let path = dir.join("pread.kv");
+        let _ = std::fs::remove_file(&path);
+        let mut b = FileBackend::open(&path).unwrap();
+        let items: Vec<(Vec<u8>, Vec<u8>)> = (0..64u32)
+            .map(|i| (i.to_be_bytes().to_vec(), vec![i as u8; 100 + i as usize]))
+            .collect();
+        b.put_batch(items.clone());
+        let b = &b;
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                scope.spawn(move || {
+                    for i in (t..64u32).step_by(4) {
+                        let got = b.get(&i.to_be_bytes()).expect("key present");
+                        assert_eq!(got, vec![i as u8; 100 + i as usize]);
+                    }
+                    let mut seen = 0usize;
+                    b.scan_batch(7, &mut |pairs| seen += pairs.len());
+                    assert_eq!(seen, 64);
+                });
+            }
+        });
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -14,7 +14,7 @@
 //!
 //! * [`kv`] — an embedded hash-bucket key-value store with an in-memory
 //!   backend and an append-only-file backend, managed per operator by a
-//!   [`StoreManager`](kv::StoreManager).
+//!   [`StoreManager`].
 //! * [`wal`] — a simple write-ahead log of workflow/operator executions used
 //!   for black-box lineage.
 //! * [`codec`] — varint and coordinate bit-packing codecs used by the lineage
