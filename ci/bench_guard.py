@@ -13,6 +13,10 @@ Checks:
   as its per-pair baseline (worst_batched_speedup >= 1.0, the PR 4 floor).
 * BENCH_query.json — the workload stanza records the same encode/dedup
   provenance, and the batched mismatched-scan speedup floor holds.
+* Schema — every snapshot's top-level and workload keys must match the
+  STANZA_KEYS table exactly (no unknown keys, no missing keys), so stanzas
+  cannot drift out of guard coverage unnoticed.  `cargo xtask lint`
+  cross-checks the same table against the snapshots from the Rust side.
 * BENCH_capture.json — the workload stanza records the async pipeline shape,
   and async capture's operator wall-clock overhead stays below sync
   capture's (the async-capture ceiling: if deferring flush work off the
@@ -35,6 +39,37 @@ class GuardError(Exception):
     """A benchmark snapshot violated a floor or is missing its stanza."""
 
 
+# The exact schema of every committed snapshot: top-level keys and the keys
+# of the `workload` stanza.  check_schema() fails on *unknown* keys as well
+# as missing ones, so a renamed stanza cannot silently fall out of guard
+# coverage.  Keep this a plain dict of string lists: `cargo xtask lint`
+# cross-checks it against the snapshots with a text parser (no Python
+# needed), and fails CI when the two drift apart.
+STANZA_KEYS = {
+    "BENCH_ingest.json": {
+        "top": ["indexed_chain_min_speedup", "results", "workload", "worst_batched_speedup"],
+        "workload": [
+            "backend_hasher", "coverage", "dedup_rate", "encode", "fanin",
+            "fanout", "key_dedup", "pairs", "shape", "workers",
+        ],
+    },
+    "BENCH_query.json": {
+        "top": ["mismatched_scan_min_batched_speedup", "results", "workload"],
+        "workload": [
+            "cells_per_query", "encode", "fanin", "fanout", "key_dedup",
+            "queries", "query_fanout_workers", "shape",
+        ],
+    },
+    "BENCH_capture.json": {
+        "top": ["overhead_vs_nocapture", "results", "workload"],
+        "workload": [
+            "flushers", "operators", "pairs", "policy", "queue_depth",
+            "shape", "strategy", "workflow",
+        ],
+    },
+}
+
+
 def load(root: pathlib.Path, name: str) -> dict:
     path = root / name
     if not path.exists():
@@ -46,6 +81,31 @@ def load(root: pathlib.Path, name: str) -> dict:
 def require(condition: bool, message: str) -> None:
     if not condition:
         raise GuardError(message)
+
+
+def check_schema(root: pathlib.Path) -> str:
+    for name, schema in STANZA_KEYS.items():
+        d = load(root, name)
+        for section, found in (
+            ("top", set(d.keys())),
+            ("workload", set(d.get("workload", {}).keys())),
+        ):
+            expected = set(schema[section])
+            unknown = sorted(found - expected)
+            missing = sorted(expected - found)
+            require(
+                not unknown,
+                f"{name}: unknown {section} key(s) {unknown} — declare them in "
+                "ci/bench_guard.py STANZA_KEYS (and guard them) or drop them "
+                "from the snapshot",
+            )
+            require(
+                not missing,
+                f"{name}: missing {section} key(s) {missing} — the snapshot no "
+                "longer records what STANZA_KEYS pins; regenerate it or update "
+                "the schema deliberately",
+            )
+    return f"schema ok: {len(STANZA_KEYS)} snapshots match STANZA_KEYS exactly"
 
 
 def check_ingest(root: pathlib.Path) -> str:
@@ -129,7 +189,7 @@ def main() -> int:
         help="repository root holding the BENCH_*.json snapshots",
     )
     args = parser.parse_args()
-    checks = (check_ingest, check_query, check_capture)
+    checks = (check_schema, check_ingest, check_query, check_capture)
     failures = []
     for check in checks:
         try:

@@ -27,11 +27,18 @@
 //! * **Drain on shutdown.**  Dropping the pipeline closes the queue, lets the
 //!   flushers finish every staged batch, and joins them — nothing staged is
 //!   lost on a clean shutdown.
+//!
+//! Every primitive below comes from [`crate::sync`] (never `std::sync`
+//! directly, enforced by `cargo xtask lint`): under `--cfg loom` the same
+//! code runs against the model-checking shim and `tests/loom.rs` explores
+//! every interleaving of the queue, the shard sequencing and the failure
+//! paths.  Types marked `#[doc(hidden)]` are exposed for that suite only.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use crate::sync::thread::JoinHandle;
+use crate::sync::{lock_or_recover, wait_or_recover, Arc, Condvar, Mutex, MutexGuard};
 
 use subzero_engine::executor::CaptureError;
 use subzero_engine::RegionBatch;
@@ -114,7 +121,8 @@ impl CaptureConfig {
 /// so the producer's shed path and waiting flushers are never blocked behind
 /// an in-progress `store_batch` — only the flusher whose turn it is touches
 /// `state`, and sequencing guarantees that flusher exclusive access.
-pub(crate) struct Shard {
+#[doc(hidden)]
+pub struct Shard {
     seq: Mutex<SeqState>,
     applied: Condvar,
     state: Mutex<ShardState>,
@@ -136,7 +144,8 @@ struct SeqState {
     skipped: Vec<u64>,
 }
 
-pub(crate) struct ShardState {
+#[doc(hidden)]
+pub struct ShardState {
     /// One datastore per pair-storing strategy of the operator.
     pub(crate) stores: Vec<OpDatastore>,
     /// Flusher-side time spent storing into this shard (charged back to the
@@ -157,7 +166,8 @@ impl SeqState {
 }
 
 impl Shard {
-    pub(crate) fn new(stores: Vec<OpDatastore>) -> Self {
+    #[doc(hidden)]
+    pub fn new(stores: Vec<OpDatastore>) -> Self {
         Shard {
             seq: Mutex::new(SeqState {
                 next_ticket: 0,
@@ -172,25 +182,27 @@ impl Shard {
         }
     }
 
-    /// Locks the sequencing gate, ignoring poisoning (nothing panics while
-    /// holding it, but harvest-after-failure must stay usable regardless).
+    /// Locks the sequencing gate, recovering from poisoning (nothing panics
+    /// while holding it, but harvest-after-failure must stay usable
+    /// regardless).
     fn lock_seq(&self) -> MutexGuard<'_, SeqState> {
-        self.seq.lock().unwrap_or_else(|p| p.into_inner())
+        lock_or_recover(&self.seq)
     }
 
     /// Takes the sequence number for the next submitted batch.
-    pub(crate) fn ticket(&self) -> u64 {
+    #[doc(hidden)]
+    pub fn ticket(&self) -> u64 {
         let mut gate = self.lock_seq();
         let ticket = gate.next_ticket;
         gate.next_ticket += 1;
         ticket
     }
 
-    /// Locks the datastore state, ignoring poisoning: flusher panics are
-    /// caught before they can unwind across this mutex, and
+    /// Locks the datastore state, recovering from poisoning: flusher panics
+    /// are caught before they can unwind across this mutex, and
     /// harvest-after-failure must still be able to read statistics.
     pub(crate) fn lock(&self) -> MutexGuard<'_, ShardState> {
-        self.state.lock().unwrap_or_else(|p| p.into_inner())
+        lock_or_recover(&self.state)
     }
 
     /// Blocks until `seq` is the next batch to apply (on failure the failing
@@ -198,7 +210,7 @@ impl Shard {
     fn wait_turn(&self, seq: u64) {
         let mut gate = self.lock_seq();
         while gate.next_seq != seq {
-            gate = self.applied.wait(gate).unwrap_or_else(|p| p.into_inner());
+            gate = wait_or_recover(&self.applied, gate);
         }
     }
 
@@ -209,14 +221,35 @@ impl Shard {
         drop(gate);
         self.applied.notify_all();
     }
+
+    /// Marks a shed batch's sequence number as never-arriving so successors
+    /// don't stall behind it.  If it is the current head, advance past it
+    /// (and past any shed batches queued up right behind it); otherwise
+    /// record it so the flusher that applies its predecessor skips over it.
+    /// Only the sequencing gate is taken — never the datastore mutex — so a
+    /// shedding producer cannot stall behind an in-progress store.
+    #[doc(hidden)]
+    pub fn abandon(&self, seq: u64) {
+        let mut gate = self.lock_seq();
+        if gate.next_seq == seq {
+            gate.advance_from(seq);
+            drop(gate);
+            self.applied.notify_all();
+        } else {
+            gate.skipped.push(seq);
+        }
+    }
 }
 
 /// One staged unit of flusher work: apply `batch` as the `seq`'th batch of
-/// `shard`.
-struct Job {
-    shard: Arc<Shard>,
-    seq: u64,
-    batch: RegionBatch,
+/// `shard`.  Generic over the batch payload so the loom suite can drive the
+/// real flusher loop with trivial (or panic-injecting) payloads; the
+/// pipeline itself always uses [`RegionBatch`].
+#[doc(hidden)]
+pub struct Job<B> {
+    pub shard: Arc<Shard>,
+    pub seq: u64,
+    pub batch: B,
 }
 
 struct QueueInner<T> {
@@ -266,7 +299,7 @@ impl<T> BoundedQueue<T> {
     }
 
     fn lock(&self) -> MutexGuard<'_, QueueInner<T>> {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+        lock_or_recover(&self.inner)
     }
 
     /// Stages one item, blocking while the queue is full (under
@@ -291,7 +324,7 @@ impl<T> BoundedQueue<T> {
             }
             match self.policy {
                 OverflowPolicy::Block => {
-                    inner = self.not_full.wait(inner).unwrap_or_else(|p| p.into_inner());
+                    inner = wait_or_recover(&self.not_full, inner);
                 }
                 OverflowPolicy::DropNewest => {
                     inner.dropped += 1;
@@ -316,10 +349,7 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self
-                .not_empty
-                .wait(inner)
-                .unwrap_or_else(|p| p.into_inner());
+            inner = wait_or_recover(&self.not_empty, inner);
         }
     }
 
@@ -336,7 +366,7 @@ impl<T> BoundedQueue<T> {
     pub fn wait_idle(&self) {
         let mut inner = self.lock();
         while !(inner.items.is_empty() && inner.in_flight == 0) {
-            inner = self.idle.wait(inner).unwrap_or_else(|p| p.into_inner());
+            inner = wait_or_recover(&self.idle, inner);
         }
     }
 
@@ -385,7 +415,7 @@ impl<T> BoundedQueue<T> {
 /// The background flusher pool: owns the queue and the worker threads that
 /// drain it into the capture shards.
 pub(crate) struct CapturePipeline {
-    queue: Arc<BoundedQueue<Job>>,
+    queue: Arc<BoundedQueue<Job<RegionBatch>>>,
     error: Arc<Mutex<Option<CaptureError>>>,
     handles: Vec<JoinHandle<()>>,
 }
@@ -404,9 +434,15 @@ impl CapturePipeline {
                 let queue = Arc::clone(&queue);
                 let error = Arc::clone(&error);
                 let workers = store_workers.max(1);
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("subzero-capture-flusher-{i}"))
-                    .spawn(move || flusher_loop(&queue, &error, workers))
+                    .spawn(move || {
+                        flusher_loop(&queue, &error, |state, batch: &RegionBatch| {
+                            for ds in state.stores.iter_mut() {
+                                ds.store_batch(&batch.pairs, workers);
+                            }
+                        })
+                    })
                     .expect("spawn capture flusher thread")
             })
             .collect();
@@ -436,20 +472,8 @@ impl CapturePipeline {
             })
             .map_err(|_| self.error_or_generic())?;
         if !accepted {
-            // Shed batch: its sequence number must not stall successors.  If
-            // it is the current head, advance past it (and past any shed
-            // batches queued up right behind it); otherwise record it so the
-            // flusher that applies its predecessor skips over it.  Only the
-            // sequencing gate is taken — never the datastore mutex — so a
-            // shedding producer cannot stall behind an in-progress store.
-            let mut gate = shard.lock_seq();
-            if gate.next_seq == seq {
-                gate.advance_from(seq);
-                drop(gate);
-                shard.applied.notify_all();
-            } else {
-                gate.skipped.push(seq);
-            }
+            // Shed batch: its sequence number must not stall successors.
+            shard.abandon(seq);
         }
         Ok(())
     }
@@ -468,7 +492,7 @@ impl CapturePipeline {
     /// The first recorded flusher error, if any (left in place so later
     /// calls see it too).
     pub(crate) fn take_error(&self) -> Option<CaptureError> {
-        self.error.lock().unwrap_or_else(|p| p.into_inner()).clone()
+        lock_or_recover(&self.error).clone()
     }
 
     /// Number of batches shed under [`OverflowPolicy::DropNewest`].
@@ -494,15 +518,22 @@ impl Drop for CapturePipeline {
     }
 }
 
-/// Body of one flusher thread: pop, wait for the shard's turn, store, bump
-/// the shard sequence, repeat.  Panics from `store_batch` are caught *inside*
-/// the datastore critical section (so the mutex is never poisoned
-/// mid-update), recorded, and fail the queue.
-fn flusher_loop(
-    queue: &BoundedQueue<Job>,
+/// Body of one flusher thread: pop, wait for the shard's turn, apply, bump
+/// the shard sequence, repeat.  Panics from `apply` (normally `store_batch`)
+/// are caught *inside* the datastore critical section (so the mutex is never
+/// poisoned mid-update), recorded, and fail the queue.
+///
+/// Generic over the batch payload and apply function so `tests/loom.rs` can
+/// model-check this exact loop — including the panic path — without real
+/// datastores.
+#[doc(hidden)]
+pub fn flusher_loop<B, F>(
+    queue: &BoundedQueue<Job<B>>,
     error: &Mutex<Option<CaptureError>>,
-    store_workers: usize,
-) {
+    apply: F,
+) where
+    F: Fn(&mut ShardState, &B),
+{
     while let Some(job) = queue.pop() {
         // Predecessor batches were popped by other flushers (the queue is
         // FIFO); wait until they have been applied.  On failure the failing
@@ -515,15 +546,16 @@ fn flusher_loop(
             let mut state = job.shard.lock();
             let start = Instant::now();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                for ds in state.stores.iter_mut() {
-                    ds.store_batch(&job.batch.pairs, store_workers);
-                }
+                apply(&mut state, &job.batch);
             }));
             match outcome {
                 Ok(()) => state.flush_time += start.elapsed(),
                 Err(panic) => {
-                    let msg = panic_message(&panic);
-                    let mut slot = error.lock().unwrap_or_else(|p| p.into_inner());
+                    // `panic.as_ref()`, not `&panic`: coercing `&Box<dyn
+                    // Any>` unsizes the *box* into the trait object and every
+                    // downcast of the payload inside would miss.
+                    let msg = panic_message(panic.as_ref());
+                    let mut slot = lock_or_recover(error);
                     slot.get_or_insert(CaptureError::new(format!(
                         "capture flusher panicked while storing a batch: {msg}"
                     )));
@@ -547,7 +579,7 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};

@@ -46,6 +46,10 @@
 //!   into query answers.
 //! * [`system`] — the [`SubZero`] façade: execute workflows
 //!   under a lineage strategy, borrow query sessions, report overheads.
+//! * [`sync`] — the sanctioned gateway to sync/thread primitives: std
+//!   re-exports normally, the loom model-checking shim under `--cfg loom`.
+//!   Direct `std::sync`/`std::thread` use elsewhere is banned by
+//!   `cargo xtask lint`.
 //!
 //! ## Quick start
 //!
@@ -104,6 +108,7 @@ pub mod parallel;
 pub mod query;
 pub mod reexec;
 pub mod runtime;
+pub mod sync;
 pub mod system;
 
 pub use capture::{BoundedQueue, CaptureConfig, CaptureMode, OverflowPolicy};

@@ -5,11 +5,19 @@
 //! datastore to flush) and each shard is owned by exactly one scoped thread
 //! for the duration of the call.  On single-core hosts (`workers <= 1`) every
 //! helper degrades to a plain serial loop with zero thread overhead.
+//!
+//! Edge cases are pinned down by contract (and by unit + property tests):
+//! a zero or one worker budget, an empty input, and an input below the
+//! serial threshold never spawn a thread; a budget larger than the item
+//! count is capped at one thread per item.  All threading goes through
+//! [`crate::sync::thread`] so `tests/loom.rs` can model-check the fan-out.
+
+use crate::sync::thread;
 
 /// Default worker count: the host's available parallelism, capped so a wide
 /// machine does not spawn more encode threads than a batch can feed.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
+    thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8)
@@ -58,8 +66,12 @@ where
     if workers <= 1 || items.len() < min_items.max(2) {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    // A budget larger than the item count would slice chunks of one item
+    // anyway; cap it so the chunk arithmetic can never produce more threads
+    // than items.
+    let workers = workers.min(items.len());
     let chunk = items.len().div_ceil(workers);
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .enumerate()
@@ -100,8 +112,9 @@ where
     if workers <= 1 || items.len() < min_items.max(2) {
         return vec![g(0, items)];
     }
+    let workers = workers.min(items.len());
     let chunk = items.len().div_ceil(workers);
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .enumerate()
@@ -131,7 +144,7 @@ where
         }
         return;
     }
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         for (i, item) in items.iter_mut().enumerate() {
             let f = &f;
             scope.spawn(move || f(i, item));
@@ -139,9 +152,127 @@ where
     });
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
+
+    /// Runs `run` with a probe that records every thread executing an item,
+    /// returning the set of observed thread ids.
+    fn observed_threads(run: impl FnOnce(&(dyn Fn() + Sync))) -> HashSet<ThreadId> {
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let probe = || {
+            seen.lock().unwrap().insert(std::thread::current().id());
+        };
+        run(&probe);
+        seen.into_inner().unwrap()
+    }
+
+    #[test]
+    fn zero_workers_and_empty_inputs_never_spawn() {
+        // workers == 0 stays on the calling thread.
+        let items: Vec<u32> = (0..100).collect();
+        let seen = observed_threads(|probe| {
+            let out = parallel_map_min(&items, 0, 2, |i, &v| {
+                probe();
+                v + i as u32
+            });
+            assert_eq!(out.len(), 100);
+        });
+        assert_eq!(seen.len(), 1, "workers=0 must not spawn");
+        assert!(seen.contains(&std::thread::current().id()));
+
+        // An empty input short-circuits before any scope is entered.
+        let empty: Vec<u32> = Vec::new();
+        let seen = observed_threads(|probe| {
+            assert!(parallel_map_min(&empty, 8, 0, |_, &v| {
+                probe();
+                v
+            })
+            .is_empty());
+        });
+        assert!(seen.is_empty(), "empty input must not run f at all");
+        assert_eq!(parallel_chunks(&empty, 8, 0, |_, s| s.len()), vec![0]);
+    }
+
+    #[test]
+    fn oversized_worker_budget_caps_at_one_thread_per_item() {
+        // 3 items with a budget of 64: at most 3 worker threads may touch
+        // the items (the serial threshold is forced down to let it fan out).
+        let items = [1u32, 2, 3];
+        let seen = observed_threads(|probe| {
+            let out = parallel_map_min(&items, 64, 2, |i, &v| {
+                probe();
+                v + i as u32
+            });
+            assert_eq!(out, vec![1, 3, 5]);
+        });
+        assert!(
+            seen.len() <= items.len(),
+            "spawned more threads than items: {}",
+            seen.len()
+        );
+        let chunks = parallel_chunks(&items, 64, 2, |start, slice| (start, slice.to_vec()));
+        assert_eq!(chunks.len(), items.len(), "one single-item chunk per item");
+    }
+
+    proptest! {
+        #[test]
+        fn parallel_map_min_matches_serial_for_any_config(
+            len in 0usize..40,
+            workers in 0usize..12,
+            min_items in 0usize..12,
+        ) {
+            let items: Vec<u64> = (0..len as u64).map(|v| v * 3 + 1).collect();
+            let serial: Vec<u64> =
+                items.iter().enumerate().map(|(i, &v)| v * 2 + i as u64).collect();
+            let par = parallel_map_min(&items, workers, min_items, |i, &v| v * 2 + i as u64);
+            prop_assert_eq!(par, serial);
+        }
+
+        #[test]
+        fn parallel_chunks_rebuild_input_for_any_config(
+            len in 0usize..40,
+            workers in 0usize..12,
+            min_items in 0usize..12,
+        ) {
+            let items: Vec<u64> = (0..len as u64).collect();
+            let chunks = parallel_chunks(&items, workers, min_items, |start, slice| {
+                (start, slice.to_vec())
+            });
+            let mut rebuilt = Vec::new();
+            for (start, slice) in &chunks {
+                prop_assert_eq!(*start, rebuilt.len());
+                rebuilt.extend_from_slice(slice);
+            }
+            prop_assert_eq!(rebuilt, items.clone());
+            prop_assert!(chunks.len() <= items.len().max(1), "more chunks than items");
+        }
+
+        #[test]
+        fn split_budget_partitions_without_starving(
+            workers in 0usize..32,
+            shares in 0usize..32,
+        ) {
+            let per_share = split_budget(workers, shares);
+            prop_assert!(per_share >= 1, "a share must never be starved");
+            if shares <= 1 {
+                prop_assert_eq!(per_share, workers.max(1));
+            } else if workers >= shares {
+                prop_assert!(
+                    per_share * shares <= workers,
+                    "shares oversubscribe a sufficient budget: \
+                     {} shares x {} workers each from {}",
+                    shares, per_share, workers
+                );
+            } else {
+                prop_assert_eq!(per_share, 1);
+            }
+        }
+    }
 
     #[test]
     fn parallel_map_preserves_order() {

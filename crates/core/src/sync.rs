@@ -1,0 +1,127 @@
+//! The sanctioned gateway to synchronization and threading primitives.
+//!
+//! Every sync/thread primitive used by this crate's concurrent runtimes —
+//! the async capture pipeline ([`crate::capture`]) and the scoped worker
+//! helpers ([`crate::parallel`]) — is imported from this module, **never**
+//! from `std::sync`/`std::thread` directly.  The indirection is what makes
+//! the concurrency model-checkable:
+//!
+//! * In a normal build this module re-exports `std::sync` and `std::thread`
+//!   verbatim — zero abstraction cost, identical runtime behaviour.
+//! * Under `RUSTFLAGS="--cfg loom"` it re-exports the loom shim
+//!   (`crates/shims/loom`) instead: every mutex acquire, condvar
+//!   wait/notify, atomic access, spawn and join becomes a scheduling point,
+//!   and the `tests/loom.rs` suite runs the capture-queue and parallel-map
+//!   code under *every* thread interleaving, not just the ones the host
+//!   scheduler happens to produce.
+//!
+//! Direct `std::sync`/`std::thread` imports elsewhere in the workspace are
+//! banned by `cargo xtask lint` (the `sync-gateway` lint): code that
+//! bypasses this module silently escapes the model checker, so tests could
+//! pass while an unexplored interleaving deadlocks or corrupts state in
+//! production.  `std::sync::Arc` is exempt — it is pure reference counting
+//! with no blocking or ordering behaviour worth exploring, and both cfgs
+//! re-export it unchanged.
+//!
+//! ## Lock poisoning
+//!
+//! Library code must not `.unwrap()`/`.expect()` lock results (enforced by
+//! the `lock-unwrap` lint): a panicking flusher would poison the mutex and
+//! turn every later harvest or statistics read into a second panic,
+//! cascading one failure into a wedged runtime.  Use [`lock_or_recover`] /
+//! [`wait_or_recover`] instead — lineage state guarded by these locks is
+//! kept consistent *by construction* (writers catch panics before
+//! unwinding across an update, see [`crate::capture`]), so recovering a
+//! poisoned guard is always sound here.
+
+#[cfg(not(loom))]
+pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub mod atomic {
+    //! Re-export of [`std::sync::atomic`] (loom-aware under `--cfg loom`).
+    pub use std::sync::atomic::*;
+}
+
+#[cfg(not(loom))]
+pub mod thread {
+    //! Re-export of [`std::thread`] (loom-aware under `--cfg loom`).
+    pub use std::thread::*;
+}
+
+#[cfg(loom)]
+pub use ::loom::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+#[cfg(loom)]
+pub mod atomic {
+    //! Model-checked atomics from the loom shim.
+    pub use ::loom::sync::atomic::*;
+}
+
+#[cfg(loom)]
+pub mod thread {
+    //! Model-checked threads from the loom shim.
+    pub use ::loom::thread::*;
+}
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// See the module docs for why recovery (rather than propagating the
+/// poison panic) is correct for every lock in this crate.
+pub fn lock_or_recover<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Waits on `condvar`, recovering the reacquired guard if another holder
+/// panicked while the caller slept.
+pub fn wait_or_recover<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar
+        .wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_or_recover_returns_working_guard() {
+        let m = Mutex::new(7u32);
+        *lock_or_recover(&m) += 1;
+        assert_eq!(*lock_or_recover(&m), 8);
+    }
+
+    #[test]
+    fn lock_or_recover_survives_poison() {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex must actually be poisoned");
+        *lock_or_recover(&m) = 5;
+        assert_eq!(*lock_or_recover(&m), 5);
+    }
+
+    #[test]
+    fn wait_or_recover_round_trips() {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let state2 = Arc::clone(&state);
+        let waker = std::thread::spawn(move || {
+            let (m, cv) = &*state2;
+            *lock_or_recover(m) = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*state;
+        let mut ready = lock_or_recover(m);
+        while !*ready {
+            ready = wait_or_recover(cv, ready);
+        }
+        drop(ready);
+        waker.join().unwrap();
+    }
+}

@@ -1,0 +1,1172 @@
+//! Offline stand-in for the `loom` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements a
+//! small systematic concurrency tester (in the spirit of loom and CHESS) with
+//! the API surface `subzero::sync` needs: [`model`] runs a test body under
+//! *every* schedule of its threads, where a schedule is a sequence of
+//! decisions about which runnable thread proceeds at each synchronization
+//! point.
+//!
+//! ## How it works
+//!
+//! Model threads are real OS threads, but only one ever runs at a time: each
+//! synchronization operation — mutex acquire, condvar wait/notify, atomic
+//! access, spawn, join, `yield_now` — is a *yield point* where the active
+//! thread hands control to a scheduler that picks the next runnable thread.
+//! Whenever more than one thread is runnable the pick is a recorded decision;
+//! the model replays the test body under every decision sequence via
+//! depth-first search until the space is exhausted.  Data-race-free code only
+//! communicates through these synchronization operations, so exploring all
+//! schedules *modulo local computation* is exhaustive for the properties the
+//! suites assert (ordering, accounting, absence of lost wake-ups and
+//! deadlocks).
+//!
+//! Blocked threads (on a held lock, a condvar, or a join) are excluded from
+//! the runnable set; if no thread is runnable while some are still blocked,
+//! the model reports a deadlock together with every thread's wait state.  A
+//! panic that escapes a model thread (and is not consumed by a `join`) fails
+//! the model and is re-raised on the caller with the failing schedule's
+//! iteration number.
+//!
+//! ## Differences from upstream loom
+//!
+//! * No `Arc` tracking or leak detection: [`sync::Arc`] is `std`'s.
+//! * Atomics are sequentially consistent regardless of the requested
+//!   `Ordering` (every access is a yield point, and accesses are serialized,
+//!   so weaker orderings are explored as SeqCst).  This explores *fewer*
+//!   behaviours than real hardware allows; the subzero concurrency code uses
+//!   its atomics SeqCst-only, where the two models agree.
+//! * Condvars do not wake spuriously and `notify_one` wakes the
+//!   longest-waiting thread, so wake-up *order* nondeterminism beyond
+//!   scheduling is not explored.
+//! * No partial-order reduction.  Instead the scheduler uses CHESS-style
+//!   *preemption bounding*: switching away from a thread that could keep
+//!   running is a preemption, and schedules are explored exhaustively up to
+//!   `LOOM_MAX_PREEMPTIONS` of them (default 2) — voluntary switches
+//!   (blocking on a lock/condvar/join, finishing) are always free and fully
+//!   explored.  Empirically almost all concurrency bugs need very few
+//!   preemptions (Musuvathi & Qadeer, PLDI'07), and the bound turns an
+//!   exponential schedule space into a polynomial one.  Raise the bound to
+//!   widen the exploration (at exponential cost in the bound).
+//!
+//! The iteration budget defaults to 1,000,000 schedules and can be raised
+//! with the `LOOM_MAX_ITERATIONS` environment variable; exceeding it panics
+//! (an incomplete exploration must never pass silently).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex, OnceLock};
+
+/// Sentinel panic payload used to unwind parked threads when a model run
+/// aborts (deadlock or escaped panic); never surfaced to the caller.
+struct Abort;
+
+type Payload = Box<dyn Any + Send + 'static>;
+
+/// What a non-runnable thread is waiting for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Wait {
+    /// Blocked acquiring the lock with this identity.
+    Lock(u64),
+    /// Parked on the condvar with this identity.
+    Condvar(u64),
+    /// Waiting for this thread id to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked(Wait),
+    Finished,
+}
+
+/// One recorded scheduling decision: index `chosen` out of `options`
+/// runnable threads (ordered by thread id).
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    chosen: usize,
+    options: usize,
+}
+
+#[derive(Default)]
+struct SchedState {
+    /// Run state per thread id (0 is the model's root thread).
+    threads: Vec<Run>,
+    /// The one thread allowed to make progress, `None` once all finished.
+    active: Option<usize>,
+    /// Logical lock table: lock identity -> owning thread.
+    locks: HashMap<u64, usize>,
+    /// FIFO waiters per condvar identity.
+    cv_waiters: HashMap<u64, Vec<usize>>,
+    /// Decisions taken this run.
+    trace: Vec<Choice>,
+    /// Decision prefix to replay this run.
+    replay: Vec<usize>,
+    /// Panics of finished threads not yet consumed by a `join`.
+    panics: HashMap<usize, Payload>,
+    /// Deadlock diagnostic, if the run wedged.
+    deadlock: Option<String>,
+    /// Tear the run down: parked threads unwind with [`Abort`].
+    abort: bool,
+    /// Preemptions taken so far this run (switches away from a thread that
+    /// was still runnable).
+    preemptions: usize,
+    /// Maximum preemptions to explore; once spent, a runnable thread keeps
+    /// the schedule until it blocks or finishes.
+    preemption_bound: usize,
+}
+
+impl SchedState {
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.threads[t] == Run::Runnable)
+            .collect()
+    }
+
+    /// Releases `lock` and makes its waiters runnable (they re-race for the
+    /// lock when next scheduled).
+    fn release_lock(&mut self, lock: u64) {
+        self.locks.remove(&lock);
+        for t in 0..self.threads.len() {
+            if self.threads[t] == Run::Blocked(Wait::Lock(lock)) {
+                self.threads[t] = Run::Runnable;
+            }
+        }
+    }
+
+    fn describe_wedge(&self) -> String {
+        let states: Vec<String> = self
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(t, r)| format!("thread {t}: {r:?}"))
+            .collect();
+        format!("no runnable thread ({})", states.join(", "))
+    }
+}
+
+/// One model run: a scheduler serializing the run's OS threads.
+struct Execution {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+    /// Join handles of `thread::spawn`ed (non-scoped) OS threads, joined at
+    /// the end of the run so iterations never overlap.
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(StdArc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(StdArc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn current_expect(op: &str) -> (StdArc<Execution>, usize) {
+    current().unwrap_or_else(|| panic!("loom shim: {op} used outside loom::model"))
+}
+
+/// Runs `body` on the current OS thread as model thread `me`, restoring the
+/// previous model-thread binding afterwards (executions never nest, but the
+/// root runs on a scoped thread that outlives nothing).
+fn bind<R>(exec: &StdArc<Execution>, me: usize, body: impl FnOnce() -> R) -> R {
+    CURRENT.with(|c| *c.borrow_mut() = Some((StdArc::clone(exec), me)));
+    let r = body();
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    r
+}
+
+impl Execution {
+    fn new(replay: Vec<usize>, preemption_bound: usize) -> Self {
+        let state = SchedState {
+            threads: vec![Run::Runnable], // root
+            active: Some(0),
+            replay,
+            preemption_bound,
+            ..SchedState::default()
+        };
+        Execution {
+            state: StdMutex::new(state),
+            cv: StdCondvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Picks the next active thread from the runnable set, recording a
+    /// decision when there is a real choice.  `prev` is the thread that just
+    /// yielded: continuing it is free, while scheduling another thread while
+    /// `prev` could still run is a *preemption*, charged against the run's
+    /// preemption bound — once the bound is spent the continuation is forced
+    /// and no decision is recorded.  Caller holds the state lock.  Returns
+    /// the chosen thread, or `None` when nothing is runnable (all finished,
+    /// or wedged — the caller distinguishes).
+    fn pick_next(&self, st: &mut SchedState, prev: usize) -> Option<usize> {
+        let runnable = st.runnable();
+        if runnable.is_empty() {
+            return None;
+        }
+        let prev_runnable = runnable.contains(&prev);
+        // Order options so index 0 is the zero-preemption continuation: the
+        // DFS then explores cheap schedules first and the bound check below
+        // stays a prefix cut.
+        let options: Vec<usize> = if prev_runnable {
+            std::iter::once(prev)
+                .chain(runnable.iter().copied().filter(|&t| t != prev))
+                .collect()
+        } else {
+            runnable
+        };
+        if options.len() == 1 || (prev_runnable && st.preemptions >= st.preemption_bound) {
+            return Some(options[0]);
+        }
+        let n = options.len();
+        let depth = st.trace.len();
+        let idx = if depth < st.replay.len() {
+            // Clamp defensively: the model bodies are deterministic,
+            // so a mismatch here is a shim bug, not a user error.
+            st.replay[depth].min(n - 1)
+        } else {
+            0
+        };
+        st.trace.push(Choice {
+            chosen: idx,
+            options: n,
+        });
+        if prev_runnable && idx != 0 {
+            st.preemptions += 1;
+        }
+        Some(options[idx])
+    }
+
+    /// Parks the calling OS thread until it is the active model thread.
+    /// Caller holds the state lock; the guard is returned re-acquired.
+    fn park_until_active<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, SchedState>,
+        me: usize,
+    ) -> std::sync::MutexGuard<'a, SchedState> {
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.active == Some(me) && st.threads[me] == Run::Runnable {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// The fundamental yield point: optionally block the calling thread,
+    /// schedule the next one, and return once the caller is active again.
+    /// `pre` runs under the state lock before scheduling (lock releases,
+    /// waiter registration) so block + bookkeeping are one atomic step.
+    fn switch(&self, me: usize, block: Option<Wait>, pre: impl FnOnce(&mut SchedState)) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        pre(&mut st);
+        if let Some(wait) = block {
+            st.threads[me] = Run::Blocked(wait);
+        }
+        match self.pick_next(&mut st, me) {
+            Some(next) => {
+                st.active = Some(next);
+                if next == me {
+                    return;
+                }
+                self.cv.notify_all();
+                let st = self.park_until_active(st, me);
+                drop(st);
+            }
+            None => {
+                // The caller is blocked (it cannot be runnable and absent
+                // from the runnable set) and so is everyone else: deadlock.
+                let msg = st.describe_wedge();
+                st.deadlock.get_or_insert(msg);
+                st.abort = true;
+                drop(st);
+                self.cv.notify_all();
+                std::panic::panic_any(Abort);
+            }
+        }
+    }
+
+    /// A plain preemption point (no blocking, no bookkeeping).
+    fn yield_point(&self, me: usize) {
+        self.switch(me, None, |_| {});
+    }
+
+    /// Registers a new model thread, runnable but not yet scheduled.
+    fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        assert!(
+            st.threads.len() < 64,
+            "loom shim: more than 64 model threads — runaway spawn loop?"
+        );
+        st.threads.push(Run::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Marks `me` finished, wakes joiners, and hands the schedule to the
+    /// next runnable thread (without parking: the caller's OS thread exits).
+    fn finish(&self, me: usize, panic: Option<Payload>) {
+        let mut st = self.lock_state();
+        st.threads[me] = Run::Finished;
+        if let Some(p) = panic {
+            st.panics.insert(me, p);
+        }
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Run::Blocked(Wait::Join(me)) {
+                st.threads[t] = Run::Runnable;
+            }
+        }
+        if st.abort {
+            drop(st);
+            self.cv.notify_all();
+            return;
+        }
+        match self.pick_next(&mut st, me) {
+            Some(next) => {
+                st.active = Some(next);
+            }
+            None => {
+                if st.threads.iter().any(|r| *r != Run::Finished) {
+                    let msg = st.describe_wedge();
+                    st.deadlock.get_or_insert(msg);
+                    st.abort = true;
+                } else {
+                    st.active = None;
+                }
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Blocks `me` until `target` finishes, then takes its panic payload (if
+    /// any) out of the unconsumed set.
+    fn join_thread(&self, me: usize, target: usize) -> Result<(), Payload> {
+        self.switch(me, None, |_| {});
+        let finished = { self.lock_state().threads[target] == Run::Finished };
+        if !finished {
+            self.switch(me, Some(Wait::Join(target)), |_| {});
+        }
+        match self.lock_state().panics.remove(&target) {
+            Some(p) => Err(p),
+            None => Ok(()),
+        }
+    }
+
+    /// Acquires the logical lock `id` for `me`, blocking (and re-racing
+    /// against other woken waiters) as needed.
+    fn acquire_lock(&self, me: usize, id: u64) {
+        loop {
+            // Preemption point before every acquire attempt: another thread
+            // may grab (or give up) the lock here, exploring acquisition
+            // order.
+            self.yield_point(me);
+            let mut st = self.lock_state();
+            if let std::collections::hash_map::Entry::Vacant(e) = st.locks.entry(id) {
+                e.insert(me);
+                return;
+            }
+            drop(st);
+            self.switch(me, Some(Wait::Lock(id)), |_| {});
+        }
+    }
+
+    fn release_lock(&self, _me: usize, id: u64) {
+        let mut st = self.lock_state();
+        st.release_lock(id);
+        drop(st);
+        // Waiters woken here become schedulable at the *next* yield point;
+        // releasing itself is not a decision (only local work can follow
+        // before the releaser's next synchronization operation).
+        self.cv.notify_all();
+    }
+}
+
+/// Identity for shim mutexes/condvars: assigned once per object, stable
+/// across moves (unlike the object's address).
+fn fresh_id(slot: &OnceLock<u64>) -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    *slot.get_or_init(|| NEXT.fetch_add(1, StdOrdering::Relaxed))
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+/// Computes the next DFS decision prefix after a run with `trace`, or `None`
+/// when the space is exhausted.
+fn next_replay(trace: &[Choice]) -> Option<Vec<usize>> {
+    let mut prefix: Vec<usize> = trace.iter().map(|c| c.chosen).collect();
+    for i in (0..trace.len()).rev() {
+        if prefix[i] + 1 < trace[i].options {
+            prefix[i] += 1;
+            prefix.truncate(i + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+fn max_iterations() -> usize {
+    std::env::var("LOOM_MAX_ITERATIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+fn max_preemptions() -> usize {
+    std::env::var("LOOM_MAX_PREEMPTIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
+/// Explores every schedule of `f`'s threads (exhaustively up to the
+/// preemption bound, see the module docs), panicking on the first failing
+/// one (escaped panic, failed assertion, or deadlock).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync,
+{
+    let budget = max_iterations();
+    let preemption_bound = max_preemptions();
+    let mut replay: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= budget,
+            "loom shim: exceeded {budget} schedules without exhausting the model \
+             (shrink the test or raise LOOM_MAX_ITERATIONS)"
+        );
+        let exec = StdArc::new(Execution::new(replay.clone(), preemption_bound));
+        let root_panic: Option<Payload> = std::thread::scope(|scope| {
+            let exec = &exec;
+            let f = &f;
+            scope
+                .spawn(move || {
+                    bind(exec, 0, || {
+                        let result = catch_unwind(AssertUnwindSafe(f));
+                        match result {
+                            Ok(()) => {
+                                exec.finish(0, None);
+                                None
+                            }
+                            Err(p) if p.is::<Abort>() => {
+                                exec.finish(0, None);
+                                None
+                            }
+                            Err(p) => {
+                                // Tear down the run before reporting: parked
+                                // threads must unwind so the scope can close.
+                                let mut st = exec.lock_state();
+                                st.abort = true;
+                                drop(st);
+                                exec.finish(0, None);
+                                Some(p)
+                            }
+                        }
+                    })
+                })
+                .join()
+                .expect("loom shim: root wrapper never panics")
+        });
+        // Non-scoped model threads keep running after the root returns (the
+        // scheduler drives them to completion); reap their OS threads so the
+        // next iteration starts clean.
+        let handles: Vec<_> = exec
+            .os_handles
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = exec.lock_state();
+        let trace = std::mem::take(&mut st.trace);
+        let unconsumed = st.panics.drain().next().map(|(_, p)| p);
+        let deadlock = st.deadlock.take();
+        drop(st);
+        if let Some(p) = root_panic.or(unconsumed) {
+            eprintln!(
+                "loom shim: schedule {iterations} failed; decision trace: {:?}",
+                trace.iter().map(|c| c.chosen).collect::<Vec<_>>()
+            );
+            resume_unwind(p);
+        }
+        if let Some(msg) = deadlock {
+            panic!("loom shim: deadlock on schedule {iterations}: {msg}");
+        }
+        match next_replay(&trace) {
+            Some(next) => replay = next,
+            None => break,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// loom::sync
+// ---------------------------------------------------------------------------
+
+pub mod sync {
+    //! Model-checked replacements for `std::sync` primitives.
+
+    pub use std::sync::{Arc, LockResult, PoisonError, TryLockError, Weak};
+
+    use super::{current, current_expect, fresh_id, Wait};
+    use std::ops::{Deref, DerefMut};
+    use std::sync::OnceLock;
+
+    /// A mutex whose acquire is a model yield point.  Storage is a real
+    /// `std::sync::Mutex` that is never contended: the logical lock table
+    /// admits one owner at a time, and only the owner touches the data.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized> {
+        id: OnceLock<u64>,
+        data: std::sync::Mutex<T>,
+    }
+
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+        /// `Some` until dropped; taken first so the real guard is released
+        /// before the logical lock (waiters only race after both).
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        pub const fn new(value: T) -> Self {
+            Mutex {
+                id: OnceLock::new(),
+                data: std::sync::Mutex::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> LockResult<T> {
+            self.data.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub(crate) fn identity(&self) -> u64 {
+            fresh_id(&self.id)
+        }
+
+        /// Takes the real (always-uncontended) guard, swallowing poison: the
+        /// model tracks panics itself, and a poisoned inner mutex would
+        /// otherwise mask the panic actually under test.
+        fn real_guard(&self) -> std::sync::MutexGuard<'_, T> {
+            match self.data.try_lock() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("loom shim: logical lock admitted two owners")
+                }
+            }
+        }
+
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match current() {
+                Some((exec, me)) => {
+                    exec.acquire_lock(me, self.identity());
+                    Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(self.real_guard()),
+                    })
+                }
+                // Outside a model (e.g. state inspected after `model`
+                // returns) the logical table does not exist; fall back to
+                // the real mutex.
+                None => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(self.real_guard()),
+                }),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            if let Some((exec, me)) = current() {
+                exec.release_lock(me, self.lock.identity());
+            }
+        }
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard live")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard live")
+        }
+    }
+
+    /// A condition variable whose wait/notify are model yield points.  No
+    /// spurious wake-ups; `notify_one` wakes the longest waiter.
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        id: OnceLock<u64>,
+    }
+
+    impl Condvar {
+        pub const fn new() -> Self {
+            Condvar {
+                id: OnceLock::new(),
+            }
+        }
+
+        fn identity(&self) -> u64 {
+            fresh_id(&self.id)
+        }
+
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let (exec, me) = current_expect("Condvar::wait");
+            let lock = guard.lock;
+            let lock_id = lock.identity();
+            let cv_id = self.identity();
+            // Release the real guard first: after the logical release below,
+            // another model thread may legitimately acquire.
+            drop(guard.inner.take());
+            // The guard's Drop would release the logical lock *outside* the
+            // waiter registration; the atomic release-and-wait happens in
+            // `pre` below instead, so the guard must not run its Drop.
+            #[allow(clippy::mem_forget)]
+            std::mem::forget(guard);
+            exec.switch(me, Some(Wait::Condvar(cv_id)), |st| {
+                st.release_lock(lock_id);
+                st.cv_waiters.entry(cv_id).or_default().push(me);
+            });
+            // Woken: re-acquire like any other contender.
+            exec.acquire_lock(me, lock_id);
+            Ok(MutexGuard {
+                lock,
+                inner: Some(lock.real_guard()),
+            })
+        }
+
+        pub fn notify_one(&self) {
+            let (exec, me) = current_expect("Condvar::notify_one");
+            let cv_id = self.identity();
+            exec.switch(me, None, |st| {
+                if let Some(waiters) = st.cv_waiters.get_mut(&cv_id) {
+                    if !waiters.is_empty() {
+                        let t = waiters.remove(0);
+                        st.threads[t] = super::Run::Runnable;
+                    }
+                }
+            });
+        }
+
+        pub fn notify_all(&self) {
+            let (exec, me) = current_expect("Condvar::notify_all");
+            let cv_id = self.identity();
+            exec.switch(me, None, |st| {
+                if let Some(waiters) = st.cv_waiters.get_mut(&cv_id) {
+                    for t in waiters.drain(..) {
+                        st.threads[t] = super::Run::Runnable;
+                    }
+                }
+            });
+        }
+    }
+
+    pub mod atomic {
+        //! Atomics whose every access is a model yield point (all orderings
+        //! explored as sequentially consistent).
+
+        pub use std::sync::atomic::Ordering;
+
+        use crate::current;
+
+        macro_rules! shim_atomic {
+            ($name:ident, $std:ident, $ty:ty) => {
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    v: std::sync::atomic::$std,
+                }
+
+                impl $name {
+                    pub const fn new(v: $ty) -> Self {
+                        $name {
+                            v: std::sync::atomic::$std::new(v),
+                        }
+                    }
+
+                    fn pre_op(&self) {
+                        if let Some((exec, me)) = current() {
+                            exec.yield_point(me);
+                        }
+                    }
+
+                    pub fn load(&self, order: Ordering) -> $ty {
+                        self.pre_op();
+                        self.v.load(order)
+                    }
+
+                    pub fn store(&self, val: $ty, order: Ordering) {
+                        self.pre_op();
+                        self.v.store(val, order)
+                    }
+
+                    pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                        self.pre_op();
+                        self.v.swap(val, order)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $ty,
+                        new: $ty,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        self.pre_op();
+                        self.v.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicBool, AtomicBool, bool);
+        shim_atomic!(AtomicU64, AtomicU64, u64);
+
+        macro_rules! shim_atomic_arith {
+            ($name:ident, $ty:ty) => {
+                impl $name {
+                    pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                        self.pre_op();
+                        self.v.fetch_add(val, order)
+                    }
+
+                    pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                        self.pre_op();
+                        self.v.fetch_sub(val, order)
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicUsize, AtomicUsize, usize);
+        shim_atomic_arith!(AtomicUsize, usize);
+        shim_atomic_arith!(AtomicU64, u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// loom::thread
+// ---------------------------------------------------------------------------
+
+pub mod thread {
+    //! Model-checked replacements for `std::thread`.
+
+    use super::{bind, current_expect, Payload};
+    use std::io;
+    use std::num::NonZeroUsize;
+    use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+    type ResultSlot<T> = StdArc<StdMutex<Option<Result<T, Payload>>>>;
+
+    fn run_registered<T>(
+        exec: &StdArc<super::Execution>,
+        tid: usize,
+        slot: &ResultSlot<T>,
+        f: impl FnOnce() -> T,
+    ) {
+        bind(exec, tid, || {
+            // Wait to be scheduled for the first time.
+            let st = exec.lock_state();
+            let st = exec.park_until_active(st, tid);
+            drop(st);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            match result {
+                Ok(v) => {
+                    *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(Ok(v));
+                    exec.finish(tid, None);
+                }
+                Err(p) if p.is::<super::Abort>() => {
+                    exec.finish(tid, None);
+                }
+                Err(p) => {
+                    // The payload is surfaced through `join` when the handle
+                    // is joined, and fails the model otherwise.
+                    *slot.lock().unwrap_or_else(|p| p.into_inner()) =
+                        Some(Err(Box::new("thread panicked") as Payload));
+                    exec.finish(tid, Some(p));
+                }
+            }
+        });
+    }
+
+    /// Consumes the slot after `target` finished: `Ok(value)` on success, or
+    /// the panic payload (taken out of the model's unconsumed set).
+    fn join_registered<T>(
+        exec: &StdArc<super::Execution>,
+        me: usize,
+        target: usize,
+        slot: &ResultSlot<T>,
+    ) -> Result<T, Payload> {
+        match exec.join_thread(me, target) {
+            Ok(()) => match slot.lock().unwrap_or_else(|p| p.into_inner()).take() {
+                Some(Ok(v)) => Ok(v),
+                _ => unreachable!("loom shim: joined thread left no result"),
+            },
+            Err(p) => Err(p),
+        }
+    }
+
+    pub struct JoinHandle<T> {
+        tid: usize,
+        exec: StdArc<super::Execution>,
+        slot: ResultSlot<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> Result<T, Payload> {
+            let (_, me) = current_expect("JoinHandle::join");
+            join_registered(&self.exec, me, self.tid, &self.slot)
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("loom shim spawn")
+    }
+
+    /// Mirror of `std::thread::Builder` (the name is recorded nowhere; model
+    /// threads are identified by spawn order).
+    #[derive(Default)]
+    pub struct Builder {
+        _name: Option<String>,
+    }
+
+    impl Builder {
+        pub fn new() -> Self {
+            Builder::default()
+        }
+
+        pub fn name(mut self, name: String) -> Self {
+            self._name = Some(name);
+            self
+        }
+
+        pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            let (exec, me) = current_expect("thread::spawn");
+            let tid = exec.register_thread();
+            let slot: ResultSlot<T> = StdArc::new(StdMutex::new(None));
+            let os = {
+                let exec = StdArc::clone(&exec);
+                let slot = StdArc::clone(&slot);
+                std::thread::spawn(move || run_registered(&exec, tid, &slot, f))
+            };
+            exec.os_handles
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(os);
+            // Spawning is a yield point: the child may run first.
+            exec.yield_point(me);
+            Ok(JoinHandle { tid, exec, slot })
+        }
+    }
+
+    pub fn yield_now() {
+        let (exec, me) = current_expect("thread::yield_now");
+        exec.yield_point(me);
+    }
+
+    /// Model time does not advance; sleeping is just a preemption point.
+    pub fn sleep(_dur: std::time::Duration) {
+        yield_now();
+    }
+
+    /// Models report a fixed two-way parallelism (the host's real value
+    /// would make explored schedules host-dependent).
+    pub fn available_parallelism() -> io::Result<NonZeroUsize> {
+        Ok(NonZeroUsize::new(2).expect("nonzero"))
+    }
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        std: &'scope std::thread::Scope<'scope, 'env>,
+        /// Children spawned through this scope; scheduler-joined before the
+        /// underlying std scope's implicit join so the parent never blocks
+        /// the model while holding the active slot.
+        spawned: StdMutex<Vec<usize>>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        tid: usize,
+        exec: StdArc<super::Execution>,
+        slot: ResultSlot<T>,
+        _marker: std::marker::PhantomData<&'scope ()>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Payload> {
+            let (_, me) = current_expect("ScopedJoinHandle::join");
+            join_registered(&self.exec, me, self.tid, &self.slot)
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let (exec, me) = current_expect("Scope::spawn");
+            let tid = exec.register_thread();
+            let slot: ResultSlot<T> = StdArc::new(StdMutex::new(None));
+            {
+                let exec = StdArc::clone(&exec);
+                let slot = StdArc::clone(&slot);
+                self.std.spawn(move || run_registered(&exec, tid, &slot, f));
+            }
+            self.spawned
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(tid);
+            exec.yield_point(me);
+            ScopedJoinHandle {
+                tid,
+                exec,
+                slot,
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        let (exec, me) = current_expect("thread::scope");
+        std::thread::scope(|std_scope| {
+            let scope = Scope {
+                std: std_scope,
+                spawned: StdMutex::new(Vec::new()),
+            };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&scope)));
+            // Scheduler-join every child before the std scope's implicit
+            // join: the children are real OS threads that only make progress
+            // when scheduled, so the parent must keep driving the model.
+            // Already-joined children finish instantly (join_thread is
+            // idempotent on finished threads).
+            let spawned: Vec<usize> = scope
+                .spawned
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone();
+            let mut child_panic: Option<Payload> = None;
+            for tid in spawned {
+                if let Err(p) = exec.join_thread(me, tid) {
+                    child_panic.get_or_insert(p);
+                }
+            }
+            match result {
+                Ok(v) => match child_panic {
+                    // Mirror std: a scoped thread whose panic was never
+                    // consumed by an explicit join panics the scope.
+                    Some(p) => std::panic::resume_unwind(p),
+                    None => v,
+                },
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::{model, next_replay, thread, Choice};
+    use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+
+    #[test]
+    fn dfs_prefix_enumeration() {
+        let trace = [
+            Choice {
+                chosen: 0,
+                options: 2,
+            },
+            Choice {
+                chosen: 1,
+                options: 2,
+            },
+        ];
+        assert_eq!(next_replay(&trace), Some(vec![1]));
+        let done = [Choice {
+            chosen: 1,
+            options: 2,
+        }];
+        assert_eq!(next_replay(&done), None);
+    }
+
+    #[test]
+    fn counter_with_mutex_is_always_consistent() {
+        model(|| {
+            let counter = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        let mut g = counter.lock().unwrap();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*counter.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn explores_atomic_interleavings() {
+        // A racy read-modify-write: under *some* schedule both threads read
+        // 0 and the final value is 1, under others it is 2.  The model must
+        // visit both outcomes — that is what "exploring interleavings"
+        // means.
+        let saw_lost_update = StdAtomicUsize::new(0);
+        let saw_both = StdAtomicUsize::new(0);
+        model(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let v = Arc::clone(&v);
+                    thread::spawn(move || {
+                        let read = v.load(Ordering::SeqCst);
+                        v.store(read + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            match v.load(Ordering::SeqCst) {
+                1 => {
+                    saw_lost_update.fetch_add(1, StdOrdering::SeqCst);
+                }
+                2 => {
+                    saw_both.fetch_add(1, StdOrdering::SeqCst);
+                }
+                other => panic!("impossible counter value {other}"),
+            }
+        });
+        assert!(
+            saw_lost_update.load(StdOrdering::SeqCst) > 0,
+            "exploration missed the lost-update schedule"
+        );
+        assert!(
+            saw_both.load(StdOrdering::SeqCst) > 0,
+            "exploration missed the sequential schedule"
+        );
+    }
+
+    #[test]
+    fn detects_assertion_failures_in_some_schedule() {
+        // The unsynchronized flag handoff fails only when the reader runs
+        // before the writer; the model must find that schedule.
+        let result = std::panic::catch_unwind(|| {
+            model(|| {
+                let flag = Arc::new(AtomicUsize::new(0));
+                let writer = {
+                    let flag = Arc::clone(&flag);
+                    thread::spawn(move || flag.store(1, Ordering::SeqCst))
+                };
+                assert_eq!(flag.load(Ordering::SeqCst), 1, "reader ran first");
+                writer.join().unwrap();
+            });
+        });
+        assert!(result.is_err(), "model missed the racy schedule");
+    }
+
+    #[test]
+    fn detects_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            model(|| {
+                // Waits forever: nobody notifies.
+                let m = Mutex::new(());
+                let cv = Condvar::new();
+                let g = m.lock().unwrap();
+                let _g = cv.wait(g).unwrap();
+            });
+        });
+        let err = result.expect_err("missed deadlock");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn condvar_handoff_never_loses_wakeups() {
+        model(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let setter = {
+                let state = Arc::clone(&state);
+                thread::spawn(move || {
+                    let (m, cv) = &*state;
+                    let mut ready = m.lock().unwrap();
+                    *ready = true;
+                    drop(ready);
+                    cv.notify_one();
+                })
+            };
+            let (m, cv) = &*state;
+            let mut ready = m.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+            drop(ready);
+            setter.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn scoped_threads_join_in_model() {
+        model(|| {
+            let items = [1u32, 2, 3];
+            let total = thread::scope(|s| {
+                let handles: Vec<_> = items.iter().map(|&v| s.spawn(move || v * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+            });
+            assert_eq!(total, 60);
+        });
+    }
+
+    #[test]
+    fn join_consumes_child_panics() {
+        // A panic consumed through `join` must not fail the model.
+        model(|| {
+            let h = thread::spawn(|| panic!("expected"));
+            assert!(h.join().is_err());
+        });
+    }
+}
