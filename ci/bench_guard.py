@@ -54,7 +54,7 @@ STANZA_KEYS = {
         ],
     },
     "BENCH_query.json": {
-        "top": ["mismatched_scan_min_batched_speedup", "results", "workload"],
+        "top": ["mismatched_scan_min_batched_speedup", "results", "scan_decode", "workload"],
         "workload": [
             "cells_per_query", "encode", "fanin", "fanout", "key_dedup",
             "queries", "query_fanout_workers", "shape",
@@ -143,7 +143,35 @@ def check_query(root: pathlib.Path) -> str:
         "(re-run `cargo bench -p subzero-bench --bench query` and fix the batched "
         "scan path before refreshing BENCH_query.json)",
     )
-    return f"query ok: mismatched_scan_min_batched_speedup={floor}"
+    # Absolute throughput floors for the batched mismatched-direction scan:
+    # the pre-mmap/columnar seed measured 457.2 (mem) / 489.0 (file) q/s, and
+    # the read-path rework must never fall back below it.
+    qps_floors = {"mem": 457.0, "file": 489.0}
+    for row in q.get("results", []):
+        if row.get("config") == "mismatched_scan" and row.get("mode") == "batched":
+            backend = row.get("backend")
+            qps = row.get("queries_per_sec", 0.0)
+            qfloor = qps_floors.pop(backend, None)
+            require(
+                qfloor is None or qps >= qfloor,
+                f"mismatched-scan batched throughput regressed on {backend}: "
+                f"{qps} q/s < seed floor {qfloor} (the mmap'd block read path + "
+                "columnar decode must not be slower than the pre-columnar scan)",
+            )
+    require(
+        not qps_floors,
+        f"BENCH_query.json: missing batched mismatched_scan results for {sorted(qps_floors)}",
+    )
+    sd = q.get("scan_decode", {})
+    require(
+        sd.get("speedup", 0.0) >= 1.0,
+        f"columnar scan decode regressed: scan_decode speedup={sd.get('speedup')} < 1.0 "
+        "(decode_cells_block must stay at least as fast as the legacy per-coord decoder)",
+    )
+    return (
+        f"query ok: mismatched_scan_min_batched_speedup={floor}, "
+        f"scan_decode speedup={sd.get('speedup')}"
+    )
 
 
 def check_capture(root: pathlib.Path) -> str:

@@ -23,9 +23,12 @@ use std::time::{Duration, Instant};
 use subzero::model::{LineageStrategy, StorageStrategy};
 use subzero::query::QueryOptions;
 use subzero::SubZero;
-use subzero_array::Shape;
+use subzero_array::{Coord, Shape};
 use subzero_bench::micro::{MicroConfig, MicroWorkflow};
 use subzero_bench::timing::Sample;
+use subzero_store::codec::{
+    decode_cells_at, decode_cells_block, encode_cells_into, pack_coord, ScanFrame,
+};
 
 struct Config {
     micro: MicroConfig,
@@ -104,6 +107,100 @@ fn query_pass(
         }
     }
     (start.elapsed(), checksum)
+}
+
+/// The scan-decode micro-measurement: legacy per-coord cells-block decoding
+/// (`decode_cells_at`, one `Vec<Coord>` per block) vs the columnar decoder
+/// (`decode_cells_block`, linear indices into one reused [`ScanFrame`]) over
+/// the same synthetic block set — the per-entry work a mismatched-direction
+/// scan performs for every stored entry.
+struct ScanDecodeRow {
+    blocks: usize,
+    cells: usize,
+    legacy_mcells_per_s: f64,
+    columnar_mcells_per_s: f64,
+    speedup: f64,
+}
+
+fn scan_decode_bench(smoke: bool) -> ScanDecodeRow {
+    let shape = Shape::d2(300, 300);
+    let num_cells = shape.num_cells() as u64;
+    let blocks = if smoke { 64 } else { 1024 };
+    let per_block = if smoke { 32 } else { 200 };
+    // Deterministic pseudo-random cell picks (LCG), no RNG dependency.
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(blocks);
+    for _ in 0..blocks {
+        let coords: Vec<Coord> = (0..per_block)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                shape.unravel((state >> 16) as usize % shape.num_cells())
+            })
+            .collect();
+        let mut buf = Vec::new();
+        encode_cells_into(&mut buf, &shape, &coords);
+        bufs.push(buf);
+    }
+
+    // Parity up front: both decoders must see the same cells.
+    let mut frame = ScanFrame::new();
+    let mut cells = 0usize;
+    for buf in &bufs {
+        let mut pos = 0usize;
+        let coords = decode_cells_at(&shape, buf, &mut pos).expect("legacy decode");
+        let mut cpos = 0usize;
+        let run = decode_cells_block(&mut frame, num_cells, buf, &mut cpos).expect("block decode");
+        let legacy: Vec<u64> = coords.iter().map(|c| pack_coord(&shape, c)).collect();
+        assert_eq!(frame.run(run), legacy.as_slice(), "decoders disagree");
+        assert_eq!(cpos, pos, "decoders consumed different bytes");
+        cells += legacy.len();
+        frame.clear();
+    }
+
+    let target = Duration::from_millis(if smoke { 20 } else { 400 });
+    let mut totals = [Duration::ZERO; 2];
+    let mut iters = [0u64; 2];
+    while totals.iter().sum::<Duration>() < target * 2 {
+        let start = Instant::now();
+        let mut n = 0usize;
+        for buf in &bufs {
+            let mut pos = 0usize;
+            n += decode_cells_at(&shape, buf, &mut pos)
+                .expect("legacy decode")
+                .len();
+        }
+        assert_eq!(n, cells);
+        totals[0] += start.elapsed();
+        iters[0] += 1;
+
+        let start = Instant::now();
+        let mut n = 0usize;
+        for buf in &bufs {
+            let mut pos = 0usize;
+            let run =
+                decode_cells_block(&mut frame, num_cells, buf, &mut pos).expect("block decode");
+            n += frame.run(run).len();
+            frame.clear();
+        }
+        assert_eq!(n, cells);
+        totals[1] += start.elapsed();
+        iters[1] += 1;
+    }
+    let mcells = |i: usize| (cells as f64 * iters[i] as f64) / totals[i].as_secs_f64() / 1e6;
+    let (legacy_mcells_per_s, columnar_mcells_per_s) = (mcells(0), mcells(1));
+    ScanDecodeRow {
+        blocks,
+        cells,
+        legacy_mcells_per_s,
+        columnar_mcells_per_s,
+        speedup: if legacy_mcells_per_s > 0.0 {
+            columnar_mcells_per_s / legacy_mcells_per_s
+        } else {
+            0.0
+        },
+    }
 }
 
 fn main() {
@@ -204,6 +301,12 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     println!("\nmismatched-direction batched speedup, min over backends: {scan_min:.2}x");
 
+    let sd = scan_decode_bench(cfg.smoke);
+    println!(
+        "scan decode: {} blocks / {} cells — legacy {:.1} Mcells/s, columnar {:.1} Mcells/s ({:.2}x)",
+        sd.blocks, sd.cells, sd.legacy_mcells_per_s, sd.columnar_mcells_per_s, sd.speedup
+    );
+
     if cfg.smoke {
         println!("smoke run: skipping BENCH_query.json");
         return;
@@ -219,8 +322,13 @@ fn main() {
         subzero::parallel::default_workers()
     ));
     json.push_str(&format!(
-        "  \"mismatched_scan_min_batched_speedup\": {scan_min:.3},\n  \"results\": [\n"
+        "  \"mismatched_scan_min_batched_speedup\": {scan_min:.3},\n"
     ));
+    json.push_str(&format!(
+        "  \"scan_decode\": {{\"blocks\": {}, \"cells\": {}, \"legacy_mcells_per_s\": {:.1}, \"columnar_mcells_per_s\": {:.1}, \"speedup\": {:.3}}},\n",
+        sd.blocks, sd.cells, sd.legacy_mcells_per_s, sd.columnar_mcells_per_s, sd.speedup
+    ));
+    json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"config\": \"{}\", \"backend\": \"{}\", \"mode\": \"{}\", \"queries_per_sec\": {:.1}, \"speedup_vs_one_at_a_time\": {:.3}}}{}\n",

@@ -18,14 +18,15 @@ use std::time::{Duration, Instant};
 
 use subzero_array::{BoundingBox, CellSet, Coord, Shape};
 use subzero_engine::{OpMeta, Operator, RegionPair};
-use subzero_store::codec::{Arena, Span};
+use subzero_store::codec::{Arena, ScanFrame, Span};
 use subzero_store::hash::FxHashMap;
 use subzero_store::kv::{Database, KvBackend, MemBackend};
 use subzero_store::RTree;
 
 use crate::encoder::{
-    self, decode_entry_ids, decode_full_entry, decode_key, decode_pay_entry, decode_payloads,
-    DecodedKey, FullEntry, PackedCellKey, PayEntry,
+    self, decode_entry_ids, decode_entry_ids_into, decode_full_entry, decode_full_entry_frame,
+    decode_key, decode_key_linear, decode_pay_entry, decode_payloads, DecodedKey, DecodedKeyLinear,
+    FullEntry, FullEntryRuns, PackedCellKey, PayEntry,
 };
 use crate::model::{Direction, Granularity, StorageStrategy};
 use crate::parallel;
@@ -224,6 +225,30 @@ impl<T> EntryCache<T> {
             });
         (slot.0, slot.1.as_ref())
     }
+
+    /// Forgets every cached entry (keeping the allocation); the write paths
+    /// call this because a cached "no body for this id" miss can be
+    /// invalidated by a later write of that entry id.
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// Grows `pool` to the shard count a fanned-out lookup will use (one cache
+/// per worker chunk, capped at one per query) and returns the slice whose
+/// shards [`parallel::parallel_chunks_stateful`] pins to the query chunks.
+/// Caches persist on the datastore between calls, so a repeat batch against
+/// an unchanged store starts warm.
+fn cache_shards<T>(
+    pool: &mut Vec<EntryCache<T>>,
+    workers: usize,
+    queries: usize,
+) -> &mut [EntryCache<T>] {
+    let want = workers.min(queries).max(1);
+    while pool.len() < want {
+        pool.push(EntryCache::new());
+    }
+    &mut pool[..want]
 }
 
 /// One operator's materialised lineage under one storage strategy.
@@ -257,6 +282,13 @@ pub struct OpDatastore {
     /// batched write path takes its worker budget per call, because the
     /// runtime splits it between datastore shards).
     workers: usize,
+    /// Per-worker decoded-entry caches reused across batched `Full` lookups:
+    /// shard `i` of a fanned-out lookup always runs with cache `i`, so repeat
+    /// batches against an unchanged store hit warm caches instead of
+    /// rebuilding one per call site.  Cleared by the write paths.
+    full_caches: Vec<EntryCache<FullEntry>>,
+    /// As [`full_caches`](Self::full_caches), for payload entries.
+    pay_caches: Vec<EntryCache<PayEntry>>,
 }
 
 impl OpDatastore {
@@ -283,6 +315,19 @@ impl OpDatastore {
             cells_stored: 0,
             encode_time: Duration::ZERO,
             workers: parallel::default_workers(),
+            full_caches: Vec::new(),
+            pay_caches: Vec::new(),
+        }
+    }
+
+    /// Drops every cached decoded entry; the write paths call this because a
+    /// newly written entry id invalidates a cached "no body" miss.
+    fn invalidate_caches(&mut self) {
+        for cache in &mut self.full_caches {
+            cache.clear();
+        }
+        for cache in &mut self.pay_caches {
+            cache.clear();
         }
     }
 
@@ -353,6 +398,7 @@ impl OpDatastore {
     /// several kinds when asked for several modes, and each datastore keeps
     /// only what it understands.
     pub fn store_pair(&mut self, pair: &RegionPair) {
+        self.invalidate_caches();
         let start = Instant::now();
         match (self.strategy.mode, pair) {
             (LineageMode::Full, RegionPair::Full { outcells, incells }) => {
@@ -513,6 +559,7 @@ impl OpDatastore {
         if pairs.is_empty() {
             return;
         }
+        self.invalidate_caches();
         let start = Instant::now();
         match self.strategy.mode {
             LineageMode::Full => self.store_full_batch(pairs, workers),
@@ -855,6 +902,8 @@ impl OpDatastore {
         let workers = self.workers;
         let db = &self.db;
         let rtree = self.rtree.as_ref();
+        let full_caches = cache_shards(&mut self.full_caches, workers, queries.len());
+        let pay_caches = cache_shards(&mut self.pay_caches, workers, queries.len());
         let empty_outcome = || LookupOutcome {
             result: CellSet::empty(in_shapes[input_idx]),
             covered: CellSet::empty(out_shape),
@@ -869,8 +918,7 @@ impl OpDatastore {
         ) {
             // --- Indexed (backward-optimized) paths -------------------------
             (LineageMode::Full, Direction::Backward, Granularity::One) => flatten(
-                parallel::parallel_chunks(queries, workers, 2, |_, shard| {
-                    let mut cache = EntryCache::new();
+                parallel::parallel_chunks_stateful(queries, full_caches, 2, |_, cache, shard| {
                     shard
                         .iter()
                         .map(|query| {
@@ -902,8 +950,7 @@ impl OpDatastore {
                 }),
             ),
             (LineageMode::Full, Direction::Backward, Granularity::Many) => flatten(
-                parallel::parallel_chunks(queries, workers, 2, |_, shard| {
-                    let mut cache = EntryCache::new();
+                parallel::parallel_chunks_stateful(queries, full_caches, 2, |_, cache, shard| {
                     shard
                         .iter()
                         .map(|query| {
@@ -970,8 +1017,7 @@ impl OpDatastore {
                 ))
             }
             (LineageMode::Pay | LineageMode::Comp, _, Granularity::Many) => flatten(
-                parallel::parallel_chunks(queries, workers, 2, |_, shard| {
-                    let mut cache = EntryCache::new();
+                parallel::parallel_chunks_stateful(queries, pay_caches, 2, |_, cache, shard| {
                     shard
                         .iter()
                         .map(|query| {
@@ -1000,77 +1046,80 @@ impl OpDatastore {
             ),
             // --- Mismatched index: forward-optimized store, backward query --
             (LineageMode::Full, Direction::Forward, Granularity::One) => {
-                // One streamed scan collects the input-cell records and the
-                // decoded entry bodies (decoding fans out per block); the
-                // parallel per-query join below answers every query.
-                let mut in_records: Vec<(Coord, Vec<u64>)> = Vec::new();
-                let mut entries: HashMap<u64, Option<FullEntry>> = HashMap::new();
-                db.scan_batch(SCAN_BLOCK, &mut |block| {
-                    for item in parallel::parallel_map(block, workers, |_, (key, value)| {
-                        match decode_key(&out_shape, in_shapes, key) {
-                            Ok(DecodedKey::InCell { input_idx: i, cell }) if i == input_idx => {
-                                ScannedFull::Record(
-                                    cell,
-                                    decode_entry_ids(value).unwrap_or_default(),
-                                )
-                            }
-                            Ok(DecodedKey::Entry(id)) => ScannedFull::Entry(
-                                id,
-                                decode_full_entry(&out_shape, in_shapes, value).ok(),
-                            ),
-                            _ => ScannedFull::Skip,
-                        }
-                    }) {
-                        match item {
-                            ScannedFull::Record(cell, ids) => in_records.push((cell, ids)),
-                            ScannedFull::Entry(id, decoded) => {
-                                entries.insert(id, decoded);
-                            }
-                            ScannedFull::Skip => {}
+                // One streamed, zero-copy scan decodes the input-cell records
+                // and the entry bodies into a shared columnar frame (the
+                // decode fans out per block); the parallel per-query join
+                // below answers every query in linear-index space, never
+                // materialising a coordinate.
+                let sd = scan_full_decode(
+                    db,
+                    &out_shape,
+                    in_shapes,
+                    input_idx,
+                    RecordSide::InCells,
+                    workers,
+                );
+                // Resolve each record's entry ids against the decoded map
+                // once, into one flat (cell, runs) join list; the per-query
+                // join then streams plain run handles with no hash lookups.
+                let entries: FxHashMap<u64, Option<FullEntryRuns>> =
+                    sd.entries.iter().copied().collect();
+                let mut resolved: Vec<(u64, Option<FullEntryRuns>)> =
+                    Vec::with_capacity(sd.records.len());
+                for &(cell, start, len) in &sd.records {
+                    for id in sd.record_ids(start, len) {
+                        if let Some(&runs) = entries.get(id) {
+                            resolved.push((cell, runs));
                         }
                     }
-                });
-                // Resolve each record's entry ids against the decoded map
-                // once, into one flat (cell, entry) join list; the per-query
-                // join then streams plain references with no hash lookups.
-                let resolved: Vec<(&Coord, &Option<FullEntry>)> = in_records
-                    .iter()
-                    .flat_map(|(cell, ids)| {
-                        ids.iter()
-                            .filter_map(|id| entries.get(id))
-                            .map(move |decoded| (cell, decoded))
-                    })
-                    .collect();
+                }
+                let frame = &sd.frame;
                 parallel::parallel_map_min(queries, workers, 2, |_, query| {
                     let mut out = empty_outcome();
                     out.scanned = true;
-                    for &(cell, decoded) in &resolved {
+                    for &(cell, runs) in &resolved {
                         out.entries_fetched += 1;
-                        let Some(entry) = decoded else { continue };
-                        if entry.outcells.iter().any(|c| query.contains(c)) {
-                            out.result.insert(cell);
-                            for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
-                                out.covered.insert(oc);
+                        let Some(runs) = runs else { continue };
+                        let mut hit = false;
+                        for &oc in frame.run(runs.outcells) {
+                            if query.contains_linear(oc as usize) {
+                                hit = true;
+                                out.covered.insert_linear(oc as usize);
                             }
+                        }
+                        if hit {
+                            out.result.insert_linear(cell as usize);
                         }
                     }
                     out
                 })
             }
             (LineageMode::Full, Direction::Forward, Granularity::Many) => {
-                let entries = scan_full_entries(db, &out_shape, in_shapes, workers);
+                let sd = scan_full_decode(
+                    db,
+                    &out_shape,
+                    in_shapes,
+                    input_idx,
+                    RecordSide::InCells,
+                    workers,
+                );
+                let frame = &sd.frame;
                 parallel::parallel_map_min(queries, workers, 2, |_, query| {
                     let mut out = empty_outcome();
                     out.scanned = true;
-                    for decoded in &entries {
+                    for &(_, runs) in &sd.entries {
                         out.entries_fetched += 1;
-                        let Some(entry) = decoded else { continue };
-                        if entry.outcells.iter().any(|c| query.contains(c)) {
-                            for oc in entry.outcells.iter().filter(|c| query.contains(c)) {
-                                out.covered.insert(oc);
+                        let Some(runs) = runs else { continue };
+                        let mut hit = false;
+                        for &oc in frame.run(runs.outcells) {
+                            if query.contains_linear(oc as usize) {
+                                hit = true;
+                                out.covered.insert_linear(oc as usize);
                             }
-                            for c in entry.incells.get(input_idx).into_iter().flatten() {
-                                out.result.insert(c);
+                        }
+                        if hit {
+                            for &c in frame.run(runs.incells) {
+                                out.result.insert_linear(c as usize);
                             }
                         }
                     }
@@ -1107,6 +1156,7 @@ impl OpDatastore {
         let workers = self.workers;
         let db = &self.db;
         let rtree = self.rtree.as_ref();
+        let full_caches = cache_shards(&mut self.full_caches, workers, queries.len());
         let empty_outcome = || LookupOutcome {
             result: CellSet::empty(out_shape),
             covered: CellSet::empty(in_shapes[input_idx]),
@@ -1121,8 +1171,7 @@ impl OpDatastore {
         ) {
             // --- Indexed (forward-optimized) paths ---------------------------
             (LineageMode::Full, Direction::Forward, Granularity::One) => flatten(
-                parallel::parallel_chunks(queries, workers, 2, |_, shard| {
-                    let mut cache = EntryCache::new();
+                parallel::parallel_chunks_stateful(queries, full_caches, 2, |_, cache, shard| {
                     shard
                         .iter()
                         .map(|query| {
@@ -1154,8 +1203,7 @@ impl OpDatastore {
                 }),
             ),
             (LineageMode::Full, Direction::Forward, Granularity::Many) => flatten(
-                parallel::parallel_chunks(queries, workers, 2, |_, shard| {
-                    let mut cache = EntryCache::new();
+                parallel::parallel_chunks_stateful(queries, full_caches, 2, |_, cache, shard| {
                     shard
                         .iter()
                         .map(|query| {
@@ -1191,82 +1239,72 @@ impl OpDatastore {
             ),
             // --- Mismatched index: backward-optimized store, forward query ---
             (LineageMode::Full, Direction::Backward, Granularity::One) => {
-                let mut out_records: Vec<(Coord, Vec<u64>)> = Vec::new();
-                let mut entries: HashMap<u64, Option<FullEntry>> = HashMap::new();
-                db.scan_batch(SCAN_BLOCK, &mut |block| {
-                    for item in parallel::parallel_map(block, workers, |_, (key, value)| {
-                        match decode_key(&out_shape, in_shapes, key) {
-                            Ok(DecodedKey::OutCell(oc)) => {
-                                ScannedFull::Record(oc, decode_entry_ids(value).unwrap_or_default())
-                            }
-                            Ok(DecodedKey::Entry(id)) => ScannedFull::Entry(
-                                id,
-                                decode_full_entry(&out_shape, in_shapes, value).ok(),
-                            ),
-                            _ => ScannedFull::Skip,
-                        }
-                    }) {
-                        match item {
-                            ScannedFull::Record(oc, ids) => out_records.push((oc, ids)),
-                            ScannedFull::Entry(id, decoded) => {
-                                entries.insert(id, decoded);
-                            }
-                            ScannedFull::Skip => {}
+                let sd = scan_full_decode(
+                    db,
+                    &out_shape,
+                    in_shapes,
+                    input_idx,
+                    RecordSide::OutCells,
+                    workers,
+                );
+                let entries: FxHashMap<u64, Option<FullEntryRuns>> =
+                    sd.entries.iter().copied().collect();
+                let mut resolved: Vec<(u64, Option<FullEntryRuns>)> =
+                    Vec::with_capacity(sd.records.len());
+                for &(oc, start, len) in &sd.records {
+                    for id in sd.record_ids(start, len) {
+                        if let Some(&runs) = entries.get(id) {
+                            resolved.push((oc, runs));
                         }
                     }
-                });
-                let resolved: Vec<(&Coord, &Option<FullEntry>)> = out_records
-                    .iter()
-                    .flat_map(|(oc, ids)| {
-                        ids.iter()
-                            .filter_map(|id| entries.get(id))
-                            .map(move |decoded| (oc, decoded))
-                    })
-                    .collect();
+                }
+                let frame = &sd.frame;
                 parallel::parallel_map_min(queries, workers, 2, |_, query| {
                     let mut out = empty_outcome();
                     out.scanned = true;
-                    for &(oc, decoded) in &resolved {
+                    for &(oc, runs) in &resolved {
                         out.entries_fetched += 1;
-                        let Some(entry) = decoded else { continue };
-                        let hits: Vec<&Coord> = entry
-                            .incells
-                            .get(input_idx)
-                            .into_iter()
-                            .flatten()
-                            .filter(|c| query.contains(c))
-                            .collect();
-                        if !hits.is_empty() {
-                            out.result.insert(oc);
-                            for c in &hits {
-                                out.covered.insert(c);
+                        let Some(runs) = runs else { continue };
+                        let mut hit = false;
+                        for &c in frame.run(runs.incells) {
+                            if query.contains_linear(c as usize) {
+                                hit = true;
+                                out.covered.insert_linear(c as usize);
                             }
+                        }
+                        if hit {
+                            out.result.insert_linear(oc as usize);
                         }
                     }
                     out
                 })
             }
             (LineageMode::Full, Direction::Backward, Granularity::Many) => {
-                let entries = scan_full_entries(db, &out_shape, in_shapes, workers);
+                let sd = scan_full_decode(
+                    db,
+                    &out_shape,
+                    in_shapes,
+                    input_idx,
+                    RecordSide::OutCells,
+                    workers,
+                );
+                let frame = &sd.frame;
                 parallel::parallel_map_min(queries, workers, 2, |_, query| {
                     let mut out = empty_outcome();
                     out.scanned = true;
-                    for decoded in &entries {
+                    for &(_, runs) in &sd.entries {
                         out.entries_fetched += 1;
-                        let Some(entry) = decoded else { continue };
-                        let hits: Vec<&Coord> = entry
-                            .incells
-                            .get(input_idx)
-                            .into_iter()
-                            .flatten()
-                            .filter(|c| query.contains(c))
-                            .collect();
-                        if !hits.is_empty() {
-                            for c in &hits {
-                                out.covered.insert(c);
+                        let Some(runs) = runs else { continue };
+                        let mut hit = false;
+                        for &c in frame.run(runs.incells) {
+                            if query.contains_linear(c as usize) {
+                                hit = true;
+                                out.covered.insert_linear(c as usize);
                             }
-                            for c in &entry.outcells {
-                                out.result.insert(c);
+                        }
+                        if hit {
+                            for &oc in frame.run(runs.outcells) {
+                                out.result.insert_linear(oc as usize);
                             }
                         }
                     }
@@ -1280,7 +1318,7 @@ impl OpDatastore {
                 // region — fanned across the workers — and the parallel
                 // per-query join consumes the precomputed regions.
                 let mut records: Vec<(Coord, Vec<Vec<u8>>)> = Vec::new();
-                db.scan_batch(SCAN_BLOCK, &mut |block| {
+                db.scan_slices(SCAN_BLOCK, &mut |block| {
                     records.extend(
                         parallel::parallel_map(block, workers, |_, (key, value)| match decode_key(
                             &out_shape, in_shapes, key,
@@ -1325,7 +1363,7 @@ impl OpDatastore {
             }
             (LineageMode::Pay | LineageMode::Comp, _, Granularity::Many) => {
                 let mut scanned: Vec<Option<PayEntry>> = Vec::new();
-                db.scan_batch(SCAN_BLOCK, &mut |block| {
+                db.scan_slices(SCAN_BLOCK, &mut |block| {
                     scanned.extend(
                         parallel::parallel_map(block, workers, |_, (key, body)| {
                             if matches!(
@@ -1394,44 +1432,126 @@ fn flatten(shards: Vec<Vec<LookupOutcome>>) -> Vec<LookupOutcome> {
 /// the input cells its mapping function produced.
 type MappedRegions = Vec<(Coord, Vec<Coord>)>;
 
-/// One classified record of a streamed full scan over a `Full` datastore.
-enum ScannedFull {
-    /// A cell record: its coordinate and the entry ids it references.
-    Record(Coord, Vec<u64>),
-    /// A shared entry record and its decoded body (if decodable).
-    Entry(u64, Option<FullEntry>),
-    /// A record belonging to neither key space of interest.
-    Skip,
+/// Which cell-keyed record space of a mismatched scan feeds the join (the
+/// entry-keyed records are always decoded).
+#[derive(Clone, Copy)]
+enum RecordSide {
+    /// Backward-optimized store: output-cell records.
+    OutCells,
+    /// Forward-optimized store: the queried input's input-cell records.
+    InCells,
 }
 
-/// Streams the whole database once, decoding every entry-keyed record (the
-/// decode fans out across the worker threads per scan block) and returning
-/// the decoded bodies in scan order — `None` where a body failed to decode,
-/// so fetch accounting still sees the record.
-fn scan_full_entries(
+/// The columnar result of one streamed scan over a `Full` datastore: every
+/// decoded cell lives as a linear index in one flat [`ScanFrame`], and the
+/// records/entries hold [`FullEntryRuns`] run handles into it instead of a
+/// `Vec<Coord>` per entry.
+#[derive(Default)]
+struct ScanDecode {
+    /// The flat cell-index column every run below points into.
+    frame: ScanFrame,
+    /// Every record's entry-id list, concatenated.
+    ids: Vec<u64>,
+    /// Cell-keyed records in scan order: the cell's linear index and its
+    /// id span in `ids`.
+    records: Vec<(u64, u32, u32)>,
+    /// Entry-keyed records in scan order (`None` where the body failed to
+    /// decode, so fetch accounting still sees the record).
+    entries: Vec<(u64, Option<FullEntryRuns>)>,
+}
+
+impl ScanDecode {
+    /// Appends a chunk-local decode, rebasing its runs and id spans into
+    /// this decode's flat buffers.
+    fn merge(&mut self, part: ScanDecode) {
+        let base = self.frame.append(&part.frame);
+        let id_base = self.ids.len() as u32;
+        self.ids.extend_from_slice(&part.ids);
+        self.records.extend(
+            part.records
+                .iter()
+                .map(|&(cell, start, len)| (cell, start + id_base, len)),
+        );
+        self.entries
+            .extend(part.entries.into_iter().map(|(id, runs)| {
+                (
+                    id,
+                    runs.map(|r| FullEntryRuns {
+                        outcells: r.outcells.rebased(base),
+                        incells: r.incells.rebased(base),
+                    }),
+                )
+            }));
+    }
+
+    /// The entry-id slice of one cell record.
+    fn record_ids(&self, start: u32, len: u32) -> &[u64] {
+        &self.ids[start as usize..(start + len) as usize]
+    }
+}
+
+/// Streams the whole database once through the zero-copy
+/// [`Database::scan_slices`] path, decoding every record of interest into one
+/// columnar [`ScanDecode`]: per scan block the raw records fan out across the
+/// workers in contiguous chunks (each building a private frame), and the
+/// chunks merge back in scan order — so the result is deterministic at any
+/// worker count, and no per-entry `Vec` is ever allocated.
+fn scan_full_decode(
     db: &Database,
     out_shape: &Shape,
     in_shapes: &[Shape],
+    input_idx: usize,
+    records_from: RecordSide,
     workers: usize,
-) -> Vec<Option<FullEntry>> {
-    let mut entries = Vec::new();
-    db.scan_batch(SCAN_BLOCK, &mut |block| {
-        entries.extend(
-            parallel::parallel_map(block, workers, |_, (key, body)| {
-                if matches!(
-                    decode_key(out_shape, in_shapes, key),
-                    Ok(DecodedKey::Entry(_))
-                ) {
-                    Some(decode_full_entry(out_shape, in_shapes, body).ok())
-                } else {
-                    None
+) -> ScanDecode {
+    let out_cells = out_shape.num_cells() as u64;
+    let in_cells: Vec<u64> = in_shapes.iter().map(|s| s.num_cells() as u64).collect();
+    let in_cells = &in_cells;
+    let mut global = ScanDecode::default();
+    db.scan_slices(SCAN_BLOCK, &mut |block| {
+        for part in parallel::parallel_chunks(block, workers, 64, |_, chunk| {
+            let mut part = ScanDecode::default();
+            for &(key, value) in chunk {
+                match decode_key_linear(out_cells, in_cells, key) {
+                    Ok(DecodedKeyLinear::Entry(id)) => {
+                        let runs = decode_full_entry_frame(
+                            &mut part.frame,
+                            out_cells,
+                            in_cells,
+                            input_idx,
+                            value,
+                        )
+                        .ok();
+                        part.entries.push((id, runs));
+                    }
+                    Ok(DecodedKeyLinear::OutCell(cell))
+                        if matches!(records_from, RecordSide::OutCells) =>
+                    {
+                        let start = part.ids.len() as u32;
+                        // A torn value decodes to no ids, exactly as the
+                        // legacy row decoder treated it.
+                        let _ = decode_entry_ids_into(&mut part.ids, value);
+                        part.records
+                            .push((cell, start, part.ids.len() as u32 - start));
+                    }
+                    Ok(DecodedKeyLinear::InCell {
+                        input_idx: i,
+                        index,
+                    }) if matches!(records_from, RecordSide::InCells) && i == input_idx => {
+                        let start = part.ids.len() as u32;
+                        let _ = decode_entry_ids_into(&mut part.ids, value);
+                        part.records
+                            .push((index, start, part.ids.len() as u32 - start));
+                    }
+                    _ => {}
                 }
-            })
-            .into_iter()
-            .flatten(),
-        );
+            }
+            part
+        }) {
+            global.merge(part);
+        }
     });
-    entries
+    global
 }
 
 /// Entry ids whose key-side bounding box intersects any query cell,

@@ -19,8 +19,8 @@
 
 use subzero_array::{Coord, Shape};
 use subzero_store::codec::{
-    self, decode_cells_at, decode_payload, encode_cells_into, encode_payload, read_varint,
-    write_varint, CodecError,
+    self, decode_cells_at, decode_cells_block, decode_payload, encode_cells_into, encode_payload,
+    read_varint, skip_cells_block, write_varint, CellRun, CodecError, ScanFrame,
 };
 
 /// Key-space tags: every key in an operator datastore starts with one of
@@ -165,6 +165,65 @@ pub fn decode_key(
     }
 }
 
+/// Linear-index classification of a raw datastore key: the columnar scan
+/// counterpart of [`DecodedKey`] — same accept/reject behaviour, but cells
+/// stay packed (bounds-checked against the shapes' cell counts) so the scan
+/// join never unravels a coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodedKeyLinear {
+    /// A shared entry record.
+    Entry(u64),
+    /// A backward (output-cell) record, as a linear index under the output
+    /// shape.
+    OutCell(u64),
+    /// A forward (input-cell) record for the given input index, as a linear
+    /// index under that input's shape.
+    InCell {
+        /// Which input array the cell belongs to.
+        input_idx: usize,
+        /// The input cell's linear index.
+        index: u64,
+    },
+}
+
+/// Decodes a raw key into its linear form, given the operator's cell counts
+/// (`out_cells` = output shape cells, `in_cells[i]` = input `i` cells).
+pub fn decode_key_linear(
+    out_cells: u64,
+    in_cells: &[u64],
+    key: &[u8],
+) -> Result<DecodedKeyLinear, CodecError> {
+    match key.first() {
+        Some(&tag::ENTRY) => Ok(DecodedKeyLinear::Entry(codec::decode_fixed_u64(&key[1..])?)),
+        Some(&tag::OUT_CELL) => {
+            let packed = codec::decode_fixed_u64(&key[1..])?;
+            if packed >= out_cells {
+                return Err(CodecError::IndexOutOfBounds {
+                    index: packed,
+                    num_cells: out_cells,
+                });
+            }
+            Ok(DecodedKeyLinear::OutCell(packed))
+        }
+        Some(&tag::IN_CELL) => {
+            let input_idx = *key.get(1).ok_or(CodecError::UnexpectedEof)? as usize;
+            let packed = codec::decode_fixed_u64(&key[2..])?;
+            let num_cells = *in_cells.get(input_idx).ok_or(CodecError::UnexpectedEof)?;
+            if packed >= num_cells {
+                return Err(CodecError::IndexOutOfBounds {
+                    index: packed,
+                    num_cells,
+                });
+            }
+            Ok(DecodedKeyLinear::InCell {
+                input_idx,
+                index: packed,
+            })
+        }
+        _ => Err(CodecError::UnexpectedEof),
+    }
+}
+
 /// A decoded *full* entry body.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FullEntry {
@@ -241,6 +300,77 @@ pub fn decode_full_entry(
         incells.push(decode_cells_at(shape, buf, &mut pos)?);
     }
     Ok(FullEntry { outcells, incells })
+}
+
+/// The two [`CellRun`]s of one full entry a scan join needs: where the entry's
+/// output cells and the queried input's cells landed in the [`ScanFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FullEntryRuns {
+    /// The entry's output cells (empty run when the encoding omits them).
+    pub outcells: CellRun,
+    /// The entry's cells for the queried input index (empty run when the
+    /// entry has fewer inputs than that).
+    pub incells: CellRun,
+}
+
+/// Columnar counterpart of [`decode_full_entry`]: decodes the entry's output
+/// cells and the cells of input `input_idx` into `frame` as linear-index
+/// runs, *validating* (but not materialising) every other input's cells so a
+/// body is accepted or rejected exactly as the legacy decoder would.  On
+/// error the frame is rolled back to its pre-call length.
+pub fn decode_full_entry_frame(
+    frame: &mut ScanFrame,
+    out_cells: u64,
+    in_cells: &[u64],
+    input_idx: usize,
+    buf: &[u8],
+) -> Result<FullEntryRuns, CodecError> {
+    let mark = frame.len();
+    let mut inner = || {
+        let mut pos = 0usize;
+        let has_outcells = *buf.first().ok_or(CodecError::UnexpectedEof)? == 1;
+        pos += 1;
+        let outcells = if has_outcells {
+            decode_cells_block(frame, out_cells, buf, &mut pos)?
+        } else {
+            frame.empty_run()
+        };
+        let n_inputs = read_varint(buf, &mut pos)? as usize;
+        let mut incells = frame.empty_run();
+        for i in 0..n_inputs {
+            let num_cells = *in_cells.get(i).ok_or(CodecError::UnexpectedEof)?;
+            if i == input_idx {
+                incells = decode_cells_block(frame, num_cells, buf, &mut pos)?;
+            } else {
+                skip_cells_block(num_cells, buf, &mut pos)?;
+            }
+        }
+        Ok(FullEntryRuns { outcells, incells })
+    };
+    let result = inner();
+    if result.is_err() {
+        frame.truncate(mark);
+    }
+    result
+}
+
+/// Appends the entry ids of one cell-record value to `ids`, returning how
+/// many were appended — the columnar counterpart of [`decode_entry_ids`]
+/// (scan decoders collect all records' ids in one flat buffer instead of a
+/// `Vec` per record).
+pub fn decode_entry_ids_into(ids: &mut Vec<u64>, value: &[u8]) -> Result<usize, CodecError> {
+    let before = ids.len();
+    let mut pos = 0usize;
+    while pos < value.len() {
+        match read_varint(value, &mut pos) {
+            Ok(id) => ids.push(id),
+            Err(e) => {
+                ids.truncate(before);
+                return Err(e);
+            }
+        }
+    }
+    Ok(ids.len() - before)
 }
 
 /// A decoded *payload* entry body.
@@ -388,6 +518,100 @@ mod tests {
             true,
         );
         assert!(buf.len() < with.len());
+    }
+
+    #[test]
+    fn full_entry_frame_decode_matches_legacy() {
+        let (out_shape, in_shapes) = shapes();
+        let out_cells = out_shape.num_cells() as u64;
+        let in_cells: Vec<u64> = in_shapes.iter().map(|s| s.num_cells() as u64).collect();
+        let outcells = vec![Coord::d2(0, 1), Coord::d2(2, 3)];
+        let incells = vec![
+            vec![Coord::d2(4, 5), Coord::d2(6, 7)],
+            vec![Coord::d2(0, 0), Coord::d2(3, 3)],
+        ];
+        let mut frame = ScanFrame::new();
+        for include in [true, false] {
+            for input_idx in 0..in_shapes.len() {
+                let buf = encode_full_entry(&out_shape, &in_shapes, &outcells, &incells, include);
+                let legacy = decode_full_entry(&out_shape, &in_shapes, &buf).unwrap();
+                let runs =
+                    decode_full_entry_frame(&mut frame, out_cells, &in_cells, input_idx, &buf)
+                        .unwrap();
+                let packed = |shape: &Shape, cs: &[Coord]| {
+                    cs.iter()
+                        .map(|c| codec::pack_coord(shape, c))
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(
+                    frame.run(runs.outcells),
+                    packed(&out_shape, &legacy.outcells).as_slice(),
+                    "outcells include={include} input={input_idx}"
+                );
+                assert_eq!(
+                    frame.run(runs.incells),
+                    packed(&in_shapes[input_idx], &legacy.incells[input_idx]).as_slice(),
+                    "incells include={include} input={input_idx}"
+                );
+            }
+        }
+
+        // Rejection parity: a body whose *other* input is corrupt fails the
+        // frame decode too (skip validates), leaving the frame untouched.
+        let mut corrupt = encode_full_entry(&out_shape, &in_shapes, &outcells, &incells, true);
+        corrupt.truncate(corrupt.len() - 1);
+        assert!(decode_full_entry(&out_shape, &in_shapes, &corrupt).is_err());
+        let before = frame.len();
+        assert!(decode_full_entry_frame(&mut frame, out_cells, &in_cells, 0, &corrupt).is_err());
+        assert_eq!(frame.len(), before, "failed decode left cells behind");
+    }
+
+    #[test]
+    fn linear_key_decode_matches_decode_key() {
+        let (out_shape, in_shapes) = shapes();
+        let out_cells = out_shape.num_cells() as u64;
+        let in_cells: Vec<u64> = in_shapes.iter().map(|s| s.num_cells() as u64).collect();
+        for key in [
+            entry_key(42),
+            out_cell_key(&out_shape, &Coord::d2(3, 4)),
+            in_cell_key(&in_shapes[1], 1, &Coord::d2(2, 2)),
+        ] {
+            let linear = decode_key_linear(out_cells, &in_cells, &key).unwrap();
+            match decode_key(&out_shape, &in_shapes, &key).unwrap() {
+                DecodedKey::Entry(id) => assert_eq!(linear, DecodedKeyLinear::Entry(id)),
+                DecodedKey::OutCell(c) => assert_eq!(
+                    linear,
+                    DecodedKeyLinear::OutCell(codec::pack_coord(&out_shape, &c))
+                ),
+                DecodedKey::InCell { input_idx, cell } => assert_eq!(
+                    linear,
+                    DecodedKeyLinear::InCell {
+                        input_idx,
+                        index: codec::pack_coord(&in_shapes[input_idx], &cell),
+                    }
+                ),
+            }
+        }
+        // Rejection parity with decode_key.
+        assert!(decode_key_linear(out_cells, &in_cells, &[]).is_err());
+        assert!(decode_key_linear(out_cells, &in_cells, b"zzzz").is_err());
+        let mut bad = in_cell_key(&in_shapes[0], 0, &Coord::d2(0, 0));
+        bad[1] = 9;
+        assert!(decode_key_linear(out_cells, &in_cells, &bad).is_err());
+    }
+
+    #[test]
+    fn entry_ids_into_matches_decode_entry_ids() {
+        let mut value = Vec::new();
+        append_entry_id(&mut value, 7);
+        append_entry_id(&mut value, 300);
+        let mut flat = vec![99u64];
+        assert_eq!(decode_entry_ids_into(&mut flat, &value).unwrap(), 2);
+        assert_eq!(flat, vec![99, 7, 300]);
+        // A torn id list rolls the flat buffer back.
+        let torn = vec![0x80u8];
+        assert!(decode_entry_ids_into(&mut flat, &torn).is_err());
+        assert_eq!(flat, vec![99, 7, 300]);
     }
 
     #[test]

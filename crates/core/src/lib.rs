@@ -115,8 +115,8 @@ pub use capture::{BoundedQueue, CaptureConfig, CaptureMode, OverflowPolicy};
 pub use datastore::OpDatastore;
 pub use model::{Direction, Granularity, LineageStrategy, StorageStrategy, StrategyError};
 pub use query::{
-    LineageCursor, LineageQuery, QueryError, QueryExecutor, QueryReport, QueryResult, QuerySession,
-    QuerySpec, StepMethod,
+    LineageCursor, LineageQuery, QueryCache, QueryCacheStats, QueryError, QueryExecutor,
+    QueryReport, QueryResult, QuerySession, QuerySpec, StepMethod,
 };
 pub use runtime::{CaptureStats, IngestMode, OperatorLineageStats, Runtime};
 pub use subzero_engine::paths::ArrayNode;

@@ -130,6 +130,55 @@ where
     })
 }
 
+/// [`parallel_chunks`] with one slot of caller-owned mutable state pinned to
+/// each chunk: chunk `i` runs with exclusive access to `states[i]`, so
+/// per-worker state that outlives one call (a decoded-entry cache, say)
+/// keeps a stable shard↔state association across calls — the state that
+/// served a query range last batch serves the same range next batch, warm,
+/// instead of being rebuilt at every call site.
+///
+/// The chunk count is `states.len()` capped at one chunk per item; with a
+/// single state or fewer than `min_items` items the whole input is one chunk
+/// processed inline with `states[0]`.  Like [`parallel_chunks`], slicing
+/// never changes observable results — states only memoise shared reads.
+pub fn parallel_chunks_stateful<T, S, U, F>(
+    items: &[T],
+    states: &mut [S],
+    min_items: usize,
+    g: F,
+) -> Vec<U>
+where
+    T: Sync,
+    S: Send,
+    U: Send,
+    F: Fn(usize, &mut S, &[T]) -> U + Sync,
+{
+    assert!(
+        !states.is_empty(),
+        "stateful fan-out needs at least one state"
+    );
+    if states.len() <= 1 || items.len() < min_items.max(2) {
+        return vec![g(0, &mut states[0], items)];
+    }
+    let shards = states.len().min(items.len());
+    let chunk = items.len().div_ceil(shards);
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .zip(states.iter_mut())
+            .enumerate()
+            .map(|(ci, (slice, state))| {
+                let g = &g;
+                scope.spawn(move || g(ci * chunk, state, slice))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chunk worker panicked"))
+            .collect()
+    })
+}
+
 /// Runs `f` once per item with exclusive access, one scoped thread per item
 /// when `parallel` is set (used to flush the independent per-operator
 /// datastore shards concurrently).
@@ -346,6 +395,59 @@ mod tests {
                 rebuilt.extend_from_slice(slice);
             }
             assert_eq!(rebuilt, items, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_stateful_pins_states_and_covers_items() {
+        let items: Vec<u32> = (0..100).collect();
+        for nstates in [1usize, 2, 3, 8] {
+            // Each state counts the items its chunk saw, twice over, so the
+            // second call must land on already-warm (non-zero) counters.
+            let mut states = vec![0u64; nstates];
+            for round in 1..=2u64 {
+                let chunks =
+                    parallel_chunks_stateful(&items, &mut states, 2, |start, state, slice| {
+                        *state += slice.len() as u64;
+                        (start, slice.to_vec())
+                    });
+                let mut rebuilt = Vec::new();
+                for (start, slice) in &chunks {
+                    assert_eq!(*start, rebuilt.len());
+                    rebuilt.extend_from_slice(slice);
+                }
+                assert_eq!(rebuilt, items, "states={nstates}");
+                let total: u64 = states.iter().sum();
+                assert_eq!(total, round * items.len() as u64, "states={nstates}");
+            }
+        }
+        // Below the serial threshold everything runs inline on states[0].
+        let mut states = vec![0u64; 4];
+        let out = parallel_chunks_stateful(&[7u32], &mut states, 2, |start, state, slice| {
+            *state += 1;
+            (start, slice.len())
+        });
+        assert_eq!(out, vec![(0, 1)]);
+        assert_eq!(states, vec![1, 0, 0, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn parallel_chunks_stateful_matches_parallel_chunks(
+            len in 0usize..40,
+            nstates in 1usize..12,
+            min_items in 0usize..12,
+        ) {
+            let items: Vec<u64> = (0..len as u64).collect();
+            let plain = parallel_chunks(&items, nstates, min_items, |start, slice| {
+                (start, slice.to_vec())
+            });
+            let mut states = vec![(); nstates];
+            let stateful =
+                parallel_chunks_stateful(&items, &mut states, min_items, |start, _, slice| {
+                    (start, slice.to_vec())
+                });
+            prop_assert_eq!(stateful, plain);
         }
     }
 

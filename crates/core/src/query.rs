@@ -40,6 +40,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use subzero_array::{CellSet, Coord, Shape};
@@ -414,17 +415,146 @@ enum StepChoice {
     Reexec,
 }
 
+/// Hit/miss counters of one [`QueryCache`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCacheStats {
+    /// Traversal plans served from the cache.
+    pub plan_hits: u64,
+    /// Traversal plans derived fresh (and cached).
+    pub plan_misses: u64,
+    /// Re-execution traces served from the cache.
+    pub trace_hits: u64,
+    /// Operators re-executed in tracing mode (and cached).
+    pub trace_misses: u64,
+}
+
+/// Cross-session cache of derived query artifacts.
+///
+/// A [`QuerySession`] borrows the engine and runtime, so it cannot outlive
+/// one query burst; the expensive artifacts it derives can.  This cache owns
+/// them, keyed by the workflow's [DAG hash](Workflow::dag_hash):
+///
+/// * **traversal plans** — the DAG-derived edge list between two arrays,
+///   keyed by `(dag hash, direction, from, to)`.  Plans depend only on the
+///   workflow wiring, so they are shared across sessions *and* across runs
+///   of equal workflow specifications.
+/// * **re-execution traces** — the region pairs traced by re-running an
+///   operator in tracing mode (the black-box path), keyed by
+///   `(dag hash, run id, operator)`.  Traces read the run's recorded arrays,
+///   so they are per-run; caching them here means one traced re-execution
+///   per `(run, operator)` across every session over that run.
+///
+/// [`SubZero`](crate::system::SubZero) owns one and threads it through every
+/// [`session`](crate::system::SubZero::session); clearing a run's lineage
+/// evicts that run's traces.  Sessions built directly from an engine +
+/// runtime pair use a private cache unless one is attached with
+/// [`QuerySession::with_cache`].
+#[derive(Default)]
+pub struct QueryCache {
+    plans: HashMap<(u64, Direction, ArrayNode, ArrayNode), Arc<Vec<Edge>>>,
+    traces: HashMap<(u64, u64, OpId), Arc<Vec<RegionPair>>>,
+    stats: QueryCacheStats,
+}
+
+impl QueryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hit/miss counters since creation (or the last [`clear`](Self::clear)).
+    pub fn stats(&self) -> QueryCacheStats {
+        self.stats
+    }
+
+    /// Number of cached traversal plans.
+    pub fn plans_cached(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Number of cached re-execution traces.
+    pub fn traces_cached(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Drops every cached artifact and resets the counters.
+    pub fn clear(&mut self) {
+        self.plans.clear();
+        self.traces.clear();
+        self.stats = QueryCacheStats::default();
+    }
+
+    /// Drops the re-execution traces of one run.  Plans are run-independent
+    /// and stay.  Called when a run's lineage is cleared, so a later run
+    /// reusing the id cannot see stale traces.
+    pub fn evict_run(&mut self, run_id: u64) {
+        self.traces.retain(|&(_, rid, _), _| rid != run_id);
+    }
+
+    /// The plan under `key`, deriving and caching it on first use.
+    /// Derivation errors are returned and not cached.
+    fn plan(
+        &mut self,
+        key: (u64, Direction, ArrayNode, ArrayNode),
+        derive: impl FnOnce() -> Result<Vec<Edge>, QueryError>,
+    ) -> Result<Arc<Vec<Edge>>, QueryError> {
+        if let Some(plan) = self.plans.get(&key) {
+            self.stats.plan_hits += 1;
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(derive()?);
+        self.stats.plan_misses += 1;
+        self.plans.insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// The trace under `key`, tracing and caching it on first use.
+    /// Trace errors are returned and not cached.
+    fn trace(
+        &mut self,
+        key: (u64, u64, OpId),
+        derive: impl FnOnce() -> Result<Vec<RegionPair>, QueryError>,
+    ) -> Result<Arc<Vec<RegionPair>>, QueryError> {
+        if let Some(pairs) = self.traces.get(&key) {
+            self.stats.trace_hits += 1;
+            return Ok(Arc::clone(pairs));
+        }
+        let pairs = Arc::new(derive()?);
+        self.stats.trace_misses += 1;
+        self.traces.insert(key, Arc::clone(&pairs));
+        Ok(pairs)
+    }
+}
+
+/// The cache a [`StepEngine`] works against: borrowed from the system façade
+/// (cross-session) or owned (session-private fallback).
+enum CacheHandle<'a> {
+    Owned(QueryCache),
+    Shared(&'a mut QueryCache),
+}
+
+impl CacheHandle<'_> {
+    fn get_mut(&mut self) -> &mut QueryCache {
+        match self {
+            CacheHandle::Owned(cache) => cache,
+            CacheHandle::Shared(cache) => cache,
+        }
+    }
+}
+
 /// Executes single traversal steps for batches of query intermediates,
 /// sharing the heavy artifacts across the batch: one traced re-execution per
-/// operator (cached across steps and queries), one datastore lookup batch —
-/// and therefore at most one mismatched-direction scan — per step.
+/// operator (cached in the [`QueryCache`], across sessions when the cache is
+/// shared), one datastore lookup batch — and therefore at most one
+/// mismatched-direction scan — per step.
 struct StepEngine<'a> {
     engine: &'a Engine,
     runtime: &'a mut Runtime,
     options: QueryOptions,
     policy: QueryTimePolicy,
-    /// Traced pairs from black-box re-execution, keyed by `(run, operator)`.
-    reexec_pairs: HashMap<(u64, OpId), Vec<RegionPair>>,
+    /// Plans + traced re-execution pairs, shared across sessions when the
+    /// session was built by the system façade.
+    cache: CacheHandle<'a>,
 }
 
 impl<'a> StepEngine<'a> {
@@ -434,7 +564,7 @@ impl<'a> StepEngine<'a> {
             runtime,
             options: QueryOptions::default(),
             policy: QueryTimePolicy::default(),
-            reexec_pairs: HashMap::new(),
+            cache: CacheHandle::Owned(QueryCache::new()),
         }
     }
 
@@ -575,14 +705,17 @@ impl<'a> StepEngine<'a> {
             }
         }
 
-        // --- Re-execution: trace the operator once for everyone -----------
-        if choices.contains(&StepChoice::Reexec) {
-            let key = (run.run_id, op_id);
-            if !self.reexec_pairs.contains_key(&key) {
-                let (pairs, _elapsed) = self.engine.rerun_tracing(run, op_id)?;
-                self.reexec_pairs.insert(key, pairs);
-            }
-        }
+        // --- Re-execution: trace the operator once ever per (run, op) -----
+        let reexec_pairs: Option<Arc<Vec<RegionPair>>> = if choices.contains(&StepChoice::Reexec) {
+            let engine = self.engine;
+            let key = (run.workflow.dag_hash(), run.run_id, op_id);
+            Some(self.cache.get_mut().trace(key, || {
+                let (pairs, _elapsed) = engine.rerun_tracing(run, op_id)?;
+                Ok(pairs)
+            })?)
+        } else {
+            None
+        };
 
         // --- Assemble per-query results ------------------------------------
         let is_composite = strategies.iter().any(|s| s.mode == LineageMode::Comp);
@@ -605,7 +738,7 @@ impl<'a> StepEngine<'a> {
                     result = apply_mapping(op, meta, current, input_idx, direction);
                 }
                 StepChoice::Reexec => {
-                    let pairs = &self.reexec_pairs[&(run.run_id, op_id)];
+                    let pairs = reexec_pairs.as_deref().expect("trace for reexec step");
                     result = match direction {
                         Direction::Backward => {
                             reexec::backward_from_pairs(pairs, current, input_idx, op, meta)
@@ -757,6 +890,15 @@ impl<'a> QuerySession<'a> {
         self
     }
 
+    /// Threads a cross-session [`QueryCache`] through this session: plans
+    /// and re-execution traces are served from (and derived into) `cache`
+    /// instead of a session-private one.  The system façade does this with
+    /// the cache it owns, so the artifacts survive the session borrow.
+    pub fn with_cache(mut self, cache: &'a mut QueryCache) -> Self {
+        self.steps.cache = CacheHandle::Shared(cache);
+        self
+    }
+
     /// Replaces the executor options for subsequent queries.
     pub fn set_options(&mut self, options: QueryOptions) {
         self.steps.options = options;
@@ -827,15 +969,19 @@ impl<'a> QuerySession<'a> {
         self.collect_results(&mut frontier, &spec.to, reports, batches.len())
     }
 
-    /// The derived traversal edges between two arrays, in execution order.
+    /// The derived traversal edges between two arrays, in execution order —
+    /// served from the [`QueryCache`] when an equal workflow specification
+    /// already derived this plan (in this session or any earlier one sharing
+    /// the cache).
     fn plan_for(
-        &self,
+        &mut self,
         direction: Direction,
         from: &ArrayNode,
         to: &ArrayNode,
-    ) -> Result<Vec<Edge>, QueryError> {
+    ) -> Result<Arc<Vec<Edge>>, QueryError> {
         let wf: &Workflow = &self.run.workflow;
-        match direction {
+        let key = (wf.dag_hash(), direction, from.clone(), to.clone());
+        self.steps.cache.get_mut().plan(key, || match direction {
             Direction::Backward => {
                 let ArrayNode::Output(op) = from else {
                     return Err(QueryError::Spec(
@@ -852,7 +998,7 @@ impl<'a> QuerySession<'a> {
                 };
                 Ok(paths::forward_plan(wf, from, *op)?.edges)
             }
-        }
+        })
     }
 
     /// The shape of an array of this run.
@@ -1210,7 +1356,7 @@ pub struct CursorStep {
 pub struct LineageCursor<'s, 'a> {
     session: &'s mut QuerySession<'a>,
     direction: Direction,
-    edges: Vec<Edge>,
+    edges: Arc<Vec<Edge>>,
     next: usize,
     frontier: Frontier,
     reports: Vec<QueryReport>,

@@ -18,7 +18,7 @@ use subzero_engine::{Engine, Workflow};
 use crate::capture::{CaptureConfig, CaptureMode};
 use crate::model::LineageStrategy;
 use crate::query::{
-    LineageQuery, QueryError, QueryExecutor, QueryOptions, QueryResult, QuerySession,
+    LineageQuery, QueryCache, QueryError, QueryExecutor, QueryOptions, QueryResult, QuerySession,
     QueryTimePolicy,
 };
 use crate::runtime::{CaptureStats, IngestMode, Runtime};
@@ -31,6 +31,9 @@ pub struct SubZero {
     runtime: Runtime,
     options: QueryOptions,
     policy: QueryTimePolicy,
+    /// Plans + re-execution traces derived at query time, kept across
+    /// session borrows (and across runs of equal workflows, for plans).
+    query_cache: QueryCache,
 }
 
 impl Default for SubZero {
@@ -47,6 +50,7 @@ impl SubZero {
             runtime: Runtime::in_memory(),
             options: QueryOptions::default(),
             policy: QueryTimePolicy::default(),
+            query_cache: QueryCache::new(),
         }
     }
 
@@ -57,6 +61,7 @@ impl SubZero {
             runtime: Runtime::on_disk(dir),
             options: QueryOptions::default(),
             policy: QueryTimePolicy::default(),
+            query_cache: QueryCache::new(),
         }
     }
 
@@ -138,12 +143,15 @@ impl SubZero {
     /// DAG (`session.backward(cells).from(op).to_source("img")`), batch
     /// queries so they share decoded scans and datastore handles
     /// (`session.backward_many(...)`), stream per-step results through a
-    /// [`LineageCursor`](crate::query::LineageCursor), and cache traced
-    /// re-execution pairs across the session's queries.
+    /// [`LineageCursor`](crate::query::LineageCursor), and serve derived
+    /// plans and traced re-execution pairs from the system's persistent
+    /// [`QueryCache`] — so a session borrowed tomorrow reuses what a session
+    /// derived today.
     pub fn session<'a>(&'a mut self, run: &'a WorkflowRun) -> QuerySession<'a> {
         QuerySession::new(&self.engine, &mut self.runtime, run)
             .with_options(self.options)
             .with_policy(self.policy)
+            .with_cache(&mut self.query_cache)
     }
 
     /// Executes a legacy explicit-path lineage query against a previous run.
@@ -206,9 +214,22 @@ impl SubZero {
         self.engine.store().bytes_stored()
     }
 
-    /// Drops all lineage stored for a run.
+    /// Drops all lineage stored for a run, along with the run's cached
+    /// re-execution traces (derived plans are run-independent and stay).
     pub fn clear_lineage(&mut self, run_id: u64) {
         self.runtime.clear_run(run_id);
+        self.query_cache.evict_run(run_id);
+    }
+
+    /// The cross-session query cache (plans + re-execution traces) and its
+    /// hit/miss counters.
+    pub fn query_cache(&self) -> &QueryCache {
+        &self.query_cache
+    }
+
+    /// Mutable access to the query cache (e.g. to clear it wholesale).
+    pub fn query_cache_mut(&mut self) -> &mut QueryCache {
+        &mut self.query_cache
     }
 }
 
@@ -343,6 +364,58 @@ mod tests {
         let q = LineageQuery::backward(vec![Coord::d2(4, 4)], vec![(2, 0), (0, 0)]);
         let legacy = sz.query(&run, &q).unwrap();
         assert_eq!(legacy.cells, stored_answer.cells);
+    }
+
+    #[test]
+    fn query_cache_persists_plans_and_traces_across_sessions() {
+        let mut sz = SubZero::new();
+        // All-blackbox assignment forces traced re-execution at query time —
+        // the expensive artifact the cache exists to keep.
+        let mut strategy = LineageStrategy::new();
+        for op in 0..4 {
+            strategy.set(op, vec![StorageStrategy::blackbox()]);
+        }
+        sz.set_strategy(strategy);
+        let wf = workflow();
+        let run = sz.execute(&wf, &inputs()).unwrap();
+
+        let first = sz
+            .session(&run)
+            .backward(vec![Coord::d2(4, 4)])
+            .from(3)
+            .to_source("exp1")
+            .unwrap();
+        let stats = sz.query_cache().stats();
+        assert!(stats.plan_misses >= 1, "first session derives the plan");
+        assert!(stats.trace_misses >= 1, "first session traces operators");
+        assert_eq!(stats.plan_hits, 0);
+        let derived = (stats.plan_misses, stats.trace_misses);
+
+        // A later session over the same run re-derives nothing.
+        let second = sz
+            .session(&run)
+            .backward(vec![Coord::d2(4, 4)])
+            .from(3)
+            .to_source("exp1")
+            .unwrap();
+        assert_eq!(second.cells, first.cells);
+        let stats = sz.query_cache().stats();
+        assert_eq!(
+            (stats.plan_misses, stats.trace_misses),
+            derived,
+            "second session must not re-trace or re-plan"
+        );
+        assert!(stats.plan_hits >= 1);
+        assert!(stats.trace_hits >= 1);
+
+        // Clearing the run's lineage evicts its traces; plans depend only on
+        // the workflow specification and stay.
+        assert!(sz.query_cache().traces_cached() > 0);
+        let plans = sz.query_cache().plans_cached();
+        assert!(plans > 0);
+        sz.clear_lineage(run.run_id);
+        assert_eq!(sz.query_cache().traces_cached(), 0);
+        assert_eq!(sz.query_cache().plans_cached(), plans);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::Hasher;
 use std::sync::Arc;
+
+use subzero_store::hash::FxHasher;
 
 use crate::operator::Operator;
 
@@ -92,6 +95,7 @@ pub struct Workflow {
     name: String,
     nodes: Vec<WorkflowNode>,
     topo: Vec<OpId>,
+    dag_hash: u64,
 }
 
 impl fmt::Debug for Workflow {
@@ -143,6 +147,15 @@ impl Workflow {
     /// operators whose output it consumes).
     pub fn topo_order(&self) -> &[OpId] {
         &self.topo
+    }
+
+    /// A content hash of the workflow DAG: its name, per-node operator names
+    /// and the input wiring.  Computed once at build time.  Equal
+    /// specifications hash equally across program runs of the same build, so
+    /// the hash keys cross-session caches of DAG-derived artifacts (e.g.
+    /// traversal plans, which depend only on the wiring).
+    pub fn dag_hash(&self) -> u64 {
+        self.dag_hash
     }
 
     /// The operators that consume the output of `id`, together with the input
@@ -286,12 +299,42 @@ impl WorkflowBuilder {
         if topo.len() != n {
             return Err(WorkflowError::Cycle);
         }
+        let dag_hash = compute_dag_hash(&self.name, &self.nodes);
         Ok(Workflow {
             name: self.name,
             nodes: self.nodes,
             topo,
+            dag_hash,
         })
     }
+}
+
+/// Hashes a workflow specification's identity: the name, each node's
+/// operator name, and where each input comes from.  Deliberately *not* the
+/// operator parameters — two workflows that wire the same graph shape share
+/// DAG-derived artifacts even if their operators are tuned differently.
+fn compute_dag_hash(name: &str, nodes: &[WorkflowNode]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(name.as_bytes());
+    h.write_usize(nodes.len());
+    for node in nodes {
+        h.write_u32(node.id);
+        h.write(node.operator.name().as_bytes());
+        h.write_usize(node.inputs.len());
+        for src in &node.inputs {
+            match src {
+                InputSource::External(ext) => {
+                    h.write_u8(0);
+                    h.write(ext.as_bytes());
+                }
+                InputSource::Operator(id) => {
+                    h.write_u8(1);
+                    h.write_u32(*id);
+                }
+            }
+        }
+    }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -368,6 +411,17 @@ mod tests {
         assert_eq!(w.consumers(3), vec![]);
         assert_eq!(w.sinks(), vec![3]);
         assert_eq!(w.external_inputs(), vec!["ext"]);
+    }
+
+    #[test]
+    fn dag_hash_is_stable_and_wiring_sensitive() {
+        // Equal specifications hash equally; different graphs do not.
+        assert_eq!(diamond().dag_hash(), diamond().dag_hash());
+        let mut b = Workflow::builder("diamond");
+        let a = b.add_source(Dummy::arc("a", 1), "ext");
+        let _b1 = b.add_unary(Dummy::arc("b", 1), a);
+        let chain = b.build().unwrap();
+        assert_ne!(diamond().dag_hash(), chain.dag_hash());
     }
 
     #[test]

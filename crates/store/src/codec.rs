@@ -248,7 +248,10 @@ pub fn decode_cells_at(
     pos: &mut usize,
 ) -> Result<Vec<Coord>, CodecError> {
     let count = read_varint(buf, pos)? as usize;
-    let mut out = Vec::with_capacity(count);
+    // A corrupt count can claim more cells than the buffer could possibly
+    // hold (each delta is at least one byte); cap the pre-allocation so bad
+    // input fails with `UnexpectedEof` instead of an absurd allocation.
+    let mut out = Vec::with_capacity(count.min(buf.len() - *pos + 1));
     let mut acc = 0u64;
     for i in 0..count {
         let delta = read_varint(buf, pos)?;
@@ -256,6 +259,168 @@ pub fn decode_cells_at(
         out.push(unpack_coord(shape, acc)?);
     }
     Ok(out)
+}
+
+/// Half-open bounds of one decoded cells-block inside a [`ScanFrame`]:
+/// `frame.run(cell_run)` is the block's linear indices.
+///
+/// Runs are plain indices, not borrows (like [`Span`] for the [`Arena`]), so
+/// decoders can keep appending blocks to the frame while holding runs for
+/// earlier ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRun {
+    start: u32,
+    len: u32,
+}
+
+impl CellRun {
+    /// Number of cells in the run.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the run decodes no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The run shifted by `base` frame slots — used when merging a frame
+    /// decoded by one worker into a combined frame (see
+    /// [`ScanFrame::append`]).
+    pub fn rebased(self, base: u32) -> CellRun {
+        CellRun {
+            start: self.start + base,
+            len: self.len,
+        }
+    }
+}
+
+/// A reusable columnar buffer of decoded cell sets.
+///
+/// Scan-side decoders used to materialise every entry's cells as its own
+/// `Vec<Coord>` — two allocations plus an unravel per cell, repeated for
+/// every record of a full-datastore scan.  A `ScanFrame` instead accumulates
+/// the *linear* indices of many decoded blocks back-to-back in one flat
+/// buffer, addressed by [`CellRun`]s; joins run directly in linear-index
+/// space against the query's bitmap (`CellSet::contains_linear`), and the
+/// frame is [`clear`](ScanFrame::clear)ed and reused across scan blocks so a
+/// steady-state scan allocates nothing.
+#[derive(Debug, Default)]
+pub struct ScanFrame {
+    idx: Vec<u64>,
+}
+
+impl ScanFrame {
+    /// An empty frame.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total decoded cells across all runs.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether no cells are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Drops every run, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.idx.clear();
+    }
+
+    /// Rolls the frame back to `len` cells (used by entry decoders to undo
+    /// partially-decoded runs when a later block of the same value fails).
+    pub fn truncate(&mut self, len: usize) {
+        self.idx.truncate(len);
+    }
+
+    /// The linear indices of one decoded run.
+    pub fn run(&self, run: CellRun) -> &[u64] {
+        &self.idx[run.start as usize..run.start as usize + run.len as usize]
+    }
+
+    /// An empty run positioned at the frame's current end.
+    pub fn empty_run(&self) -> CellRun {
+        CellRun {
+            start: self.idx.len() as u32,
+            len: 0,
+        }
+    }
+
+    /// Appends every cell of `other`, returning the base offset to
+    /// [`rebase`](CellRun::rebased) the other frame's runs by.
+    pub fn append(&mut self, other: &ScanFrame) -> u32 {
+        let base = self.idx.len() as u32;
+        self.idx.extend_from_slice(&other.idx);
+        base
+    }
+}
+
+/// Decodes one [`encode_cells`] block starting at `*pos`, advancing `*pos`,
+/// appending the delta-decoded **linear** indices to `frame` and returning
+/// their [`CellRun`].
+///
+/// This is the columnar counterpart of [`decode_cells_at`]: same wire format,
+/// same bounds checks (`num_cells` plays the role of the shape), but no
+/// per-cell unravel and no per-block allocation — the hot loop is a straight
+/// varint + prefix-sum fill of a flat `u64` buffer.  On error the frame is
+/// rolled back to its pre-call length.
+pub fn decode_cells_block(
+    frame: &mut ScanFrame,
+    num_cells: u64,
+    buf: &[u8],
+    pos: &mut usize,
+) -> Result<CellRun, CodecError> {
+    let count = read_varint(buf, pos)? as usize;
+    let start = frame.idx.len();
+    frame.idx.reserve(count.min(buf.len() - *pos + 1));
+    let mut acc = 0u64;
+    for i in 0..count {
+        let delta = match read_varint(buf, pos) {
+            Ok(d) => d,
+            Err(e) => {
+                frame.idx.truncate(start);
+                return Err(e);
+            }
+        };
+        acc = if i == 0 { delta } else { acc + delta };
+        if acc >= num_cells {
+            frame.idx.truncate(start);
+            return Err(CodecError::IndexOutOfBounds {
+                index: acc,
+                num_cells,
+            });
+        }
+        frame.idx.push(acc);
+    }
+    Ok(CellRun {
+        start: start as u32,
+        len: (frame.idx.len() - start) as u32,
+    })
+}
+
+/// Parses one [`encode_cells`] block starting at `*pos`, advancing `*pos`,
+/// validating every index against `num_cells` but materialising nothing.
+/// Entry decoders use it to step over the cell sets of inputs a query did
+/// not ask about while keeping exactly [`decode_cells_at`]'s accept/reject
+/// behaviour.
+pub fn skip_cells_block(num_cells: u64, buf: &[u8], pos: &mut usize) -> Result<(), CodecError> {
+    let count = read_varint(buf, pos)? as usize;
+    let mut acc = 0u64;
+    for i in 0..count {
+        let delta = read_varint(buf, pos)?;
+        acc = if i == 0 { delta } else { acc + delta };
+        if acc >= num_cells {
+            return Err(CodecError::IndexOutOfBounds {
+                index: acc,
+                num_cells,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Encodes a length-prefixed binary payload (the `Pay`/`Comp` lineage blob).
@@ -432,6 +597,110 @@ mod tests {
         encode_cells_into(arena.buf_mut(), &shape, &cells);
         let span = arena.finish(start);
         assert_eq!(arena.get(span), legacy.as_slice());
+    }
+
+    #[test]
+    fn decode_cells_block_matches_decode_cells_at() {
+        let shape = Shape::d2(8, 8);
+        let a = vec![Coord::d2(0, 0), Coord::d2(1, 1), Coord::d2(7, 7)];
+        let b = vec![Coord::d2(3, 5)];
+        let mut buf = encode_cells(&shape, &a);
+        buf.extend(encode_cells(&shape, &b));
+
+        let mut frame = ScanFrame::new();
+        let mut pos = 0usize;
+        let run_a =
+            decode_cells_block(&mut frame, shape.num_cells() as u64, &buf, &mut pos).unwrap();
+        let run_b =
+            decode_cells_block(&mut frame, shape.num_cells() as u64, &buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(frame.len(), 4);
+        assert!(!run_a.is_empty());
+
+        // Same indices, same order, as the legacy coordinate decoder.
+        let mut legacy_pos = 0usize;
+        let legacy_a = decode_cells_at(&shape, &buf, &mut legacy_pos).unwrap();
+        let legacy_b = decode_cells_at(&shape, &buf, &mut legacy_pos).unwrap();
+        let as_packed = |cs: &[Coord]| cs.iter().map(|c| pack_coord(&shape, c)).collect::<Vec<_>>();
+        assert_eq!(frame.run(run_a), as_packed(&legacy_a).as_slice());
+        assert_eq!(frame.run(run_b), as_packed(&legacy_b).as_slice());
+    }
+
+    #[test]
+    fn decode_cells_block_rolls_back_on_error() {
+        let shape = Shape::d1(4);
+        let good = encode_cells(&shape, &[Coord::d1(1), Coord::d1(2)]);
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 2);
+        write_varint(&mut bad, 1); // in bounds
+        write_varint(&mut bad, 9); // 10 > 3: out of bounds
+
+        let mut frame = ScanFrame::new();
+        let mut pos = 0usize;
+        let run = decode_cells_block(&mut frame, 4, &good, &mut pos).unwrap();
+        let before = frame.len();
+        let mut pos = 0usize;
+        assert!(matches!(
+            decode_cells_block(&mut frame, 4, &bad, &mut pos),
+            Err(CodecError::IndexOutOfBounds { .. })
+        ));
+        assert_eq!(frame.len(), before, "failed decode left cells behind");
+        assert_eq!(frame.run(run), &[1, 2]);
+
+        // Truncated input is rolled back too.
+        let mut truncated = Vec::new();
+        write_varint(&mut truncated, 3);
+        write_varint(&mut truncated, 1);
+        let mut pos = 0usize;
+        assert!(matches!(
+            decode_cells_block(&mut frame, 4, &truncated, &mut pos),
+            Err(CodecError::UnexpectedEof)
+        ));
+        assert_eq!(frame.len(), before);
+    }
+
+    #[test]
+    fn skip_cells_block_validates_like_decode() {
+        let shape = Shape::d2(6, 6);
+        let cells = vec![Coord::d2(0, 3), Coord::d2(5, 5)];
+        let mut buf = encode_cells(&shape, &cells);
+        buf.extend(encode_cells(&shape, &[Coord::d2(2, 2)]));
+        let n = shape.num_cells() as u64;
+
+        let mut pos = 0usize;
+        skip_cells_block(n, &buf, &mut pos).unwrap();
+        // The skip leaves `pos` exactly where a real decode would.
+        let mut frame = ScanFrame::new();
+        let run = decode_cells_block(&mut frame, n, &buf, &mut pos).unwrap();
+        assert_eq!(frame.run(run), &[pack_coord(&shape, &Coord::d2(2, 2))]);
+        assert_eq!(pos, buf.len());
+
+        // And it rejects what a real decode rejects.
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 1);
+        write_varint(&mut bad, n); // first index out of bounds
+        let mut pos = 0usize;
+        assert!(skip_cells_block(n, &bad, &mut pos).is_err());
+    }
+
+    #[test]
+    fn scan_frame_append_rebases_runs() {
+        let mut a = ScanFrame::new();
+        let mut b = ScanFrame::new();
+        let shape = Shape::d1(100);
+        let n = shape.num_cells() as u64;
+        let buf_a = encode_cells(&shape, &[Coord::d1(5)]);
+        let buf_b = encode_cells(&shape, &[Coord::d1(7), Coord::d1(9)]);
+        let mut pos = 0usize;
+        decode_cells_block(&mut a, n, &buf_a, &mut pos).unwrap();
+        let mut pos = 0usize;
+        let run_b = decode_cells_block(&mut b, n, &buf_b, &mut pos).unwrap();
+        let base = a.append(&b);
+        assert_eq!(a.run(run_b.rebased(base)), &[7, 9]);
+        assert_eq!(a.len(), 3);
+        a.clear();
+        assert!(a.is_empty());
+        assert!(a.empty_run().is_empty());
     }
 
     #[test]

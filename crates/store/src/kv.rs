@@ -21,9 +21,58 @@ use std::path::{Path, PathBuf};
 
 use crate::codec::{read_varint, write_varint};
 use crate::hash::FxHashMap;
+use crate::mmap::MmapRegion;
 
 /// One owned `(key, value)` record, as stored and scanned.
 pub type KvPair = (Vec<u8>, Vec<u8>);
+
+/// One borrowed `(key, value)` record, as streamed zero-copy by
+/// [`KvBackend::scan_slices`].
+pub type KvRef<'a> = (&'a [u8], &'a [u8]);
+
+/// How [`FileBackend`] physically serves full scans and point reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Serve reads zero-copy from a read-only memory mapping of the flushed
+    /// log prefix (the default on unix).  Concurrent scans, fanned-out query
+    /// shards and point lookups all share one mapping — and therefore one
+    /// copy of the page cache — instead of issuing per-record positioned
+    /// reads.
+    Mmap,
+    /// Positioned-read (`pread`) fallback: scans fetch the log in large
+    /// block-batched chunks through the shared cursor-less reader handle.
+    /// Selected automatically where mmap is unavailable or refused, at
+    /// compile time by the `pread-scan` feature, or at runtime via
+    /// `SUBZERO_SCAN_MODE=pread`.
+    Pread,
+}
+
+impl ScanMode {
+    /// Mode a fresh backend starts in: the `pread-scan` feature and non-unix
+    /// targets force [`ScanMode::Pread`]; otherwise `SUBZERO_SCAN_MODE`
+    /// (`mmap`/`pread`) decides, defaulting to [`ScanMode::Mmap`].
+    fn default_mode() -> ScanMode {
+        if cfg!(feature = "pread-scan") || !cfg!(unix) {
+            return ScanMode::Pread;
+        }
+        match std::env::var("SUBZERO_SCAN_MODE").as_deref() {
+            Ok("pread") => ScanMode::Pread,
+            _ => ScanMode::Mmap,
+        }
+    }
+}
+
+/// Default sequential-read chunk for [`ScanMode::Pread`] scans.
+const DEFAULT_SCAN_CHUNK: usize = 256 * 1024;
+
+/// Chunk size a fresh backend starts with: `SUBZERO_SCAN_CHUNK` (bytes)
+/// overrides the 256 KiB default.
+fn default_scan_chunk() -> usize {
+    std::env::var("SUBZERO_SCAN_CHUNK")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(DEFAULT_SCAN_CHUNK, |v| v.max(1))
+}
 
 /// Abstract hash-table storage backend.
 ///
@@ -118,6 +167,27 @@ pub trait KvBackend: Send + Sync {
     /// chunks rather than issuing one seek per key.
     fn scan_batch(&self, block: usize, visit: &mut dyn FnMut(&[KvPair])) {
         scan_blocks(self.iter(), block, visit);
+    }
+
+    /// Streams every live `(key, value)` pair through `visit` as blocks of
+    /// *borrowed* slices — the zero-copy counterpart of
+    /// [`scan_batch`](KvBackend::scan_batch).
+    ///
+    /// The slices are only valid for the duration of each `visit` call;
+    /// consumers decode out of them in place (into a columnar
+    /// [`ScanFrame`](crate::codec::ScanFrame)) instead of taking ownership.
+    /// The file backend serves the slices straight from its mapped log
+    /// region, the memory backend from its table — neither allocates per
+    /// record.  The default implementation adapts [`iter`](KvBackend::iter)
+    /// and does copy; backends with a physical layout override it.
+    fn scan_slices(&self, block: usize, visit: &mut dyn FnMut(&[KvRef])) {
+        scan_blocks(self.iter(), block, &mut |pairs: &[KvPair]| {
+            let refs: Vec<(&[u8], &[u8])> = pairs
+                .iter()
+                .map(|(k, v)| (k.as_slice(), v.as_slice()))
+                .collect();
+            visit(&refs);
+        });
     }
 }
 
@@ -269,6 +339,23 @@ impl KvBackend for MemBackend {
             }
         }
     }
+
+    fn scan_slices(&self, block: usize, visit: &mut dyn FnMut(&[KvRef])) {
+        // The table owns every record, so blocks borrow straight from it —
+        // no per-record clones, unlike the iter-driven default.
+        let block = block.max(1);
+        let mut refs: Vec<(&[u8], &[u8])> = Vec::with_capacity(block);
+        for (k, v) in self.map.iter() {
+            refs.push((k.as_slice(), v.as_slice()));
+            if refs.len() == block {
+                visit(&refs);
+                refs.clear();
+            }
+        }
+        if !refs.is_empty() {
+            visit(&refs);
+        }
+    }
 }
 
 /// Append-only-file backend with an in-memory hash index.
@@ -296,6 +383,15 @@ pub struct FileBackend {
     live_bytes: usize,
     /// Next append offset.
     write_offset: u64,
+    /// Read-only mapping of the flushed log prefix, refreshed after every
+    /// group flush (`&mut self` paths only, so readers never race a remap —
+    /// writer exclusivity is the backend's concurrency contract).  `None`
+    /// when empty, unavailable on this target, or in [`ScanMode::Pread`].
+    map: Option<MmapRegion>,
+    /// How scans and point reads are served; see [`ScanMode`].
+    scan_mode: ScanMode,
+    /// Sequential-read chunk size for [`ScanMode::Pread`] scans.
+    scan_chunk: usize,
 }
 
 impl FileBackend {
@@ -354,7 +450,7 @@ impl FileBackend {
         let mut writer = BufWriter::new(file);
         writer.seek(SeekFrom::Start(write_offset))?;
         let reader = File::open(path)?;
-        Ok(FileBackend {
+        let mut backend = FileBackend {
             path: path.to_path_buf(),
             writer,
             reader,
@@ -362,12 +458,105 @@ impl FileBackend {
             pending: FxHashMap::default(),
             live_bytes,
             write_offset,
-        })
+            map: None,
+            scan_mode: ScanMode::default_mode(),
+            scan_chunk: default_scan_chunk(),
+        };
+        backend.remap();
+        Ok(backend)
     }
 
     /// Path of the backing log file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Current [`ScanMode`].
+    pub fn scan_mode(&self) -> ScanMode {
+        self.scan_mode
+    }
+
+    /// Switches between the mmap and pread read paths (tests use this to
+    /// prove both serve identical results).  Entering [`ScanMode::Mmap`]
+    /// maps the flushed prefix immediately; leaving it drops the mapping.
+    pub fn set_scan_mode(&mut self, mode: ScanMode) {
+        self.scan_mode = mode;
+        self.remap();
+    }
+
+    /// Sequential-read chunk size used by [`ScanMode::Pread`] scans.
+    pub fn scan_chunk(&self) -> usize {
+        self.scan_chunk
+    }
+
+    /// Tunes the pread scan chunk (clamped to ≥ 1 byte; the default is
+    /// 256 KiB, overridable per process with `SUBZERO_SCAN_CHUNK`).
+    pub fn set_scan_chunk(&mut self, bytes: usize) {
+        self.scan_chunk = bytes.max(1);
+    }
+
+    /// Refreshes the mapped region to cover exactly the flushed log prefix.
+    /// Called from `&mut self` write paths only (open / flush / group
+    /// writes), so no reader can hold a view of the old region — writer
+    /// exclusivity is what makes dropping it sound.  Mapping failure simply
+    /// leaves `map` unset and reads fall back to positioned I/O.
+    fn remap(&mut self) {
+        if self.scan_mode != ScanMode::Mmap {
+            self.map = None;
+            return;
+        }
+        let covered = self.map.as_ref().map_or(0, |m| m.len() as u64);
+        if covered != self.write_offset {
+            self.map = MmapRegion::map(&self.reader, self.write_offset);
+        }
+    }
+
+    /// Parses every *complete* record in `buf` (whose first byte sits at
+    /// absolute log offset `base`), emitting live records as blocks of
+    /// borrowed `(key, value)` slices; superseded records are dropped by
+    /// checking each parsed value position against the live index.  Returns
+    /// the number of bytes consumed (everything up to the first incomplete
+    /// trailing record).
+    fn emit_live_records<'b>(
+        &self,
+        buf: &'b [u8],
+        base: u64,
+        block: usize,
+        visit: &mut dyn FnMut(&[KvRef]),
+    ) -> usize {
+        let mut refs: Vec<(&'b [u8], &'b [u8])> = Vec::with_capacity(block);
+        let mut pos = 0usize;
+        loop {
+            let record_start = pos;
+            let (Ok(klen), Ok(vlen)) = (read_varint(buf, &mut pos), read_varint(buf, &mut pos))
+            else {
+                pos = record_start;
+                break;
+            };
+            let (klen, vlen) = (klen as usize, vlen as usize);
+            if pos + klen + vlen > buf.len() {
+                pos = record_start;
+                break;
+            }
+            let key = &buf[pos..pos + klen];
+            let value_off = base + (pos + klen) as u64;
+            let live = self
+                .index
+                .get(key)
+                .is_some_and(|&(off, len)| off == value_off && len as usize == vlen);
+            if live {
+                refs.push((key, &buf[pos + klen..pos + klen + vlen]));
+                if refs.len() == block {
+                    visit(&refs);
+                    refs.clear();
+                }
+            }
+            pos += klen + vlen;
+        }
+        if !refs.is_empty() {
+            visit(&refs);
+        }
+        pos
     }
 }
 
@@ -435,6 +624,14 @@ impl KvBackend for FileBackend {
             return Some(v.clone());
         }
         let &(off, len) = self.index.get(key)?;
+        let end = off + len as u64;
+        if let Some(map) = &self.map {
+            if end <= map.len() as u64 {
+                // The mapped prefix covers the record: serve it with a plain
+                // memcpy out of the shared page cache — no syscall.
+                return Some(map.as_slice()[off as usize..end as usize].to_vec());
+            }
+        }
         // Positioned read through the shared handle: no seek, no lock.
         let mut buf = vec![0u8; len as usize];
         read_exact_at(&self.reader, &mut buf, off).ok()?;
@@ -464,6 +661,9 @@ impl KvBackend for FileBackend {
     fn flush(&mut self) -> io::Result<()> {
         self.writer.flush()?;
         self.pending.clear();
+        // Every flushed byte is now in the file; extend the mapped prefix
+        // over it so subsequent scans and gets stay zero-copy.
+        self.remap();
         Ok(())
     }
 
@@ -507,6 +707,7 @@ impl KvBackend for FileBackend {
         self.write_offset += buf.len() as u64;
         self.writer.write_all(&buf).expect("lineage log write");
         self.writer.flush().expect("lineage log group flush");
+        self.remap();
     }
 
     fn merge_append_batch(&mut self, items: &[(&[u8], &[u8])]) {
@@ -529,25 +730,62 @@ impl KvBackend for FileBackend {
         self.put_batch_slices(&slices);
     }
 
-    /// Scans the log file *sequentially* in large chunks instead of issuing
-    /// one seek per indexed key: record parsing rides the `put_batch` layout
-    /// (batched records are physically contiguous), and superseded records
-    /// are skipped by checking each parsed record against the live index.
+    /// Owned-pair scan: a thin adapter over [`KvBackend::scan_slices`] that copies each
+    /// block into a scratch buffer whose `(key, value)` allocations are
+    /// reused across blocks (and only ever grow), so a whole-log scan costs
+    /// at most one allocation per scratch slot rather than two per record.
     fn scan_batch(&self, block: usize, visit: &mut dyn FnMut(&[KvPair])) {
+        let mut scratch: Vec<KvPair> = Vec::new();
+        self.scan_slices(block, &mut |pairs| {
+            for (i, &(key, value)) in pairs.iter().enumerate() {
+                if i < scratch.len() {
+                    let (k, v) = &mut scratch[i];
+                    k.clear();
+                    k.extend_from_slice(key);
+                    v.clear();
+                    v.extend_from_slice(value);
+                } else {
+                    scratch.push((key.to_vec(), value.to_vec()));
+                }
+            }
+            visit(&scratch[..pairs.len()]);
+        });
+    }
+
+    /// Scans the log zero-copy.  In [`ScanMode::Mmap`] the whole flushed
+    /// prefix is one mapped slice and blocks borrow straight from the page
+    /// cache; in [`ScanMode::Pread`] (or when the prefix could not be
+    /// mapped) the log is fetched *sequentially* in large tunable chunks and
+    /// blocks borrow from the carry buffer for the duration of each `visit`.
+    /// Either way record parsing rides the `put_batch` layout (batched
+    /// records are physically contiguous) and superseded records are skipped
+    /// via the live index.
+    fn scan_slices(&self, block: usize, visit: &mut dyn FnMut(&[KvRef])) {
         let block = block.max(1);
         if !self.pending.is_empty() {
             // Unflushed one-at-a-time puts may not have reached the file yet;
             // fall back to the index-driven scan, which serves them.
-            scan_blocks(self.iter(), block, visit);
+            scan_blocks(self.iter(), block, &mut |pairs: &[KvPair]| {
+                let refs: Vec<(&[u8], &[u8])> = pairs
+                    .iter()
+                    .map(|(k, v)| (k.as_slice(), v.as_slice()))
+                    .collect();
+                visit(&refs);
+            });
             return;
         }
-        const CHUNK: usize = 256 * 1024;
-        let mut chunk = vec![0u8; CHUNK];
+        if let Some(map) = &self.map {
+            if map.len() as u64 == self.write_offset {
+                // Zero-copy fast path: every record lives in the mapping.
+                self.emit_live_records(map.as_slice(), 0, block, visit);
+                return;
+            }
+        }
+        let mut chunk = vec![0u8; self.scan_chunk];
         let mut carry: Vec<u8> = Vec::new();
         let mut remaining = self.write_offset;
         let mut read_pos = 0u64; // absolute log offset of the next chunk read
         let mut file_pos = 0u64; // absolute log offset of carry[0]
-        let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(block);
         loop {
             if remaining > 0 {
                 let want = remaining.min(chunk.len() as u64) as usize;
@@ -562,44 +800,15 @@ impl KvBackend for FileBackend {
                 remaining -= want as u64;
                 carry.extend_from_slice(&chunk[..want]);
             }
-            // Parse every complete record in the carry buffer.
-            let mut pos = 0usize;
-            loop {
-                let record_start = pos;
-                let (Ok(klen), Ok(vlen)) =
-                    (read_varint(&carry, &mut pos), read_varint(&carry, &mut pos))
-                else {
-                    pos = record_start;
-                    break;
-                };
-                let (klen, vlen) = (klen as usize, vlen as usize);
-                if pos + klen + vlen > carry.len() {
-                    pos = record_start;
-                    break;
-                }
-                let key = &carry[pos..pos + klen];
-                let value_off = file_pos + (pos + klen) as u64;
-                let live = self
-                    .index
-                    .get(key)
-                    .is_some_and(|&(off, len)| off == value_off && len as usize == vlen);
-                if live {
-                    out.push((key.to_vec(), carry[pos + klen..pos + klen + vlen].to_vec()));
-                    if out.len() == block {
-                        visit(&out);
-                        out.clear();
-                    }
-                }
-                pos += klen + vlen;
-            }
-            carry.drain(..pos);
-            file_pos += pos as u64;
+            // Parse and emit every complete record in the carry buffer; the
+            // borrowed blocks are handed out before the drain invalidates
+            // them (a block may come up short at a chunk boundary).
+            let consumed = self.emit_live_records(&carry, file_pos, block, visit);
+            carry.drain(..consumed);
+            file_pos += consumed as u64;
             if remaining == 0 {
                 break;
             }
-        }
-        if !out.is_empty() {
-            visit(&out);
         }
     }
 }
@@ -703,6 +912,14 @@ impl Database {
     /// physical layout.
     pub fn scan_batch(&self, block: usize, visit: &mut dyn FnMut(&[KvPair])) {
         self.backend.scan_batch(block, visit);
+    }
+
+    /// Streams every `(key, value)` pair through `visit` as blocks of
+    /// borrowed slices, zero-copy where the backend's layout allows it (see
+    /// [`KvBackend::scan_slices`]); the slices are valid only during each
+    /// `visit` call.
+    pub fn scan_slices(&self, block: usize, visit: &mut dyn FnMut(&[KvRef])) {
+        self.backend.scan_slices(block, visit);
     }
 
     /// Logical bytes stored.
@@ -1176,19 +1393,81 @@ mod tests {
 
     #[test]
     fn file_backend_scan_batch_spans_chunk_boundaries() {
-        // Values larger than the 256 KiB read chunk force the carry-buffer
-        // path: records parse correctly across refills.
+        // Values larger than the pread chunk force the carry-buffer path:
+        // records parse correctly across refills.  Pin ScanMode::Pread so
+        // the mmap fast path can't serve the scan in one slice.
         let dir = std::env::temp_dir().join(format!("subzero-kv-scanbig-{}", std::process::id()));
         let path = dir.join("scanbig.kv");
         let _ = std::fs::remove_file(&path);
         let mut b = FileBackend::open(&path).unwrap();
+        b.set_scan_mode(ScanMode::Pread);
         let items: Vec<(Vec<u8>, Vec<u8>)> =
             (0..8u8).map(|i| (vec![i], vec![i; 100_000])).collect();
         b.put_batch(items.clone());
-        let mut seen: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-        b.scan_batch(3, &mut |pairs| seen.extend_from_slice(pairs));
-        seen.sort();
-        assert_eq!(seen, items);
+        for chunk in [DEFAULT_SCAN_CHUNK, 4096, 37] {
+            b.set_scan_chunk(chunk);
+            assert_eq!(b.scan_chunk(), chunk);
+            let mut seen: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            b.scan_batch(3, &mut |pairs| seen.extend_from_slice(pairs));
+            seen.sort();
+            assert_eq!(seen, items, "scan chunk {chunk}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_mmap_and_pread_scans_are_identical() {
+        // The same backend must serve byte-identical scans, slice scans and
+        // point reads in both modes.
+        let dir = std::env::temp_dir().join(format!("subzero-kv-modes-{}", std::process::id()));
+        let path = dir.join("modes.kv");
+        let _ = std::fs::remove_file(&path);
+        let mut b = FileBackend::open(&path).unwrap();
+        let items: Vec<(Vec<u8>, Vec<u8>)> = (0..257u32)
+            .map(|i| {
+                (
+                    i.to_be_bytes().to_vec(),
+                    vec![i as u8; 1 + (i as usize % 97)],
+                )
+            })
+            .collect();
+        b.put_batch(items.clone());
+        b.put_batch(vec![(0u32.to_be_bytes().to_vec(), b"superseded".to_vec())]);
+
+        let collect = |b: &FileBackend| {
+            let mut owned: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            b.scan_batch(13, &mut |pairs| owned.extend_from_slice(pairs));
+            owned.sort();
+            let mut sliced: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            b.scan_slices(13, &mut |pairs| {
+                sliced.extend(pairs.iter().map(|&(k, v)| (k.to_vec(), v.to_vec())));
+            });
+            sliced.sort();
+            assert_eq!(owned, sliced, "scan_batch and scan_slices disagree");
+            owned
+        };
+
+        b.set_scan_mode(ScanMode::Mmap);
+        let via_mmap = collect(&b);
+        b.set_scan_mode(ScanMode::Pread);
+        let via_pread = collect(&b);
+        assert_eq!(via_mmap, via_pread);
+        assert_eq!(via_mmap.len(), 257);
+        assert_eq!(via_mmap[0].1, b"superseded".to_vec());
+
+        for mode in [ScanMode::Mmap, ScanMode::Pread] {
+            b.set_scan_mode(mode);
+            assert_eq!(b.scan_mode(), mode);
+            for i in [0u32, 7, 256] {
+                let got = b.get(&i.to_be_bytes()).expect("key present");
+                let want = if i == 0 {
+                    b"superseded".to_vec()
+                } else {
+                    vec![i as u8; 1 + (i as usize % 97)]
+                };
+                assert_eq!(got, want, "mode {mode:?} key {i}");
+            }
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -22,15 +22,18 @@
 //! * [`hash`] — the FxHash-style hasher the key-value backends key their
 //!   tables with (one-granularity ingest is hash-table bound).
 //! * [`rtree`] — an R-tree spatial index over cell bounding boxes.
+//! * [`mmap`] — the read-only memory-mapped log view the file backend's scan
+//!   path serves zero-copy slices from (the crate's only `unsafe` module).
 
 pub mod codec;
 pub mod hash;
 pub mod kv;
+pub mod mmap;
 pub mod rtree;
 pub mod wal;
 
-pub use codec::{Arena, Span};
+pub use codec::{Arena, CellRun, ScanFrame, Span};
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
-pub use kv::{Database, KvBackend, StoreManager, StoreStats};
+pub use kv::{Database, KvBackend, ScanMode, StoreManager, StoreStats};
 pub use rtree::RTree;
 pub use wal::{WalEntry, WriteAheadLog};

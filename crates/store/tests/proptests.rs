@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 use subzero_array::{BoundingBox, Coord, Shape};
 use subzero_store::codec::{
-    decode_cells, encode_cells, encode_cells_into, encode_payload, read_varint, write_varint, Arena,
+    decode_cells, decode_cells_at, decode_cells_block, encode_cells, encode_cells_into,
+    encode_payload, pack_coord, read_varint, skip_cells_block, write_varint, Arena, ScanFrame,
 };
 use subzero_store::kv::{FileBackend, KvBackend, MemBackend};
 use subzero_store::RTree;
@@ -58,6 +59,101 @@ proptest! {
         expected.sort();
         expected.dedup();
         prop_assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn columnar_decode_matches_legacy_decode(
+        // Several cell blocks encoded back-to-back into one buffer, the way
+        // entry values carry them.  Decoding each block with the columnar
+        // `decode_cells_block` must visit the same bytes and yield the same
+        // cells (as linear indices) as the legacy per-coord `decode_cells_at`,
+        // and the validate-only `skip_cells_block` must advance identically.
+        rows in 1u32..60,
+        cols in 1u32..60,
+        blocks in prop::collection::vec(prop::collection::vec(0usize..3600, 0..96), 1..12),
+    ) {
+        let shape = Shape::d2(rows, cols);
+        let num_cells = shape.num_cells() as u64;
+        let mut buf = Vec::new();
+        let mut expected: Vec<Vec<u64>> = Vec::with_capacity(blocks.len());
+        for picks in &blocks {
+            let coords: Vec<Coord> = picks
+                .iter()
+                .map(|&i| shape.unravel(i % shape.num_cells()))
+                .collect();
+            encode_cells_into(&mut buf, &shape, &coords);
+            let mut idxs: Vec<u64> = coords.iter().map(|c| pack_coord(&shape, c)).collect();
+            idxs.sort_unstable();
+            idxs.dedup();
+            expected.push(idxs);
+        }
+        let mut frame = ScanFrame::new();
+        let mut legacy_pos = 0usize;
+        let mut columnar_pos = 0usize;
+        let mut skip_pos = 0usize;
+        for idxs in &expected {
+            let coords = decode_cells_at(&shape, &buf, &mut legacy_pos).unwrap();
+            let run = decode_cells_block(&mut frame, num_cells, &buf, &mut columnar_pos).unwrap();
+            skip_cells_block(num_cells, &buf, &mut skip_pos).unwrap();
+            // Same bytes consumed, same cells produced.
+            prop_assert_eq!(columnar_pos, legacy_pos);
+            prop_assert_eq!(skip_pos, legacy_pos);
+            let linear: Vec<u64> = coords.iter().map(|c| pack_coord(&shape, c)).collect();
+            prop_assert_eq!(frame.run(run), linear.as_slice());
+            prop_assert_eq!(frame.run(run), idxs.as_slice());
+        }
+        prop_assert_eq!(legacy_pos, buf.len());
+        prop_assert_eq!(frame.len(), expected.iter().map(Vec::len).sum::<usize>());
+    }
+
+    #[test]
+    fn columnar_decode_rejects_exactly_what_legacy_rejects(
+        // Arbitrary (mostly invalid) bytes: the columnar decoder must accept
+        // and reject exactly the inputs the legacy decoder does, and on
+        // rejection roll the frame back to its pre-call length.
+        rows in 1u32..20,
+        cols in 1u32..20,
+        raw in prop::collection::vec(any::<u8>(), 0..64),
+        picks in prop::collection::vec(0usize..400, 0..32),
+    ) {
+        let shape = Shape::d2(rows, cols);
+        let num_cells = shape.num_cells() as u64;
+        let cut = raw.iter().map(|&b| b as usize).sum::<usize>() % 200;
+        // Mix of genuinely random bytes and a truncated valid encoding, so
+        // both accept and reject paths are exercised.
+        let coords: Vec<Coord> = picks
+            .iter()
+            .map(|&i| shape.unravel(i % shape.num_cells()))
+            .collect();
+        let mut valid = encode_cells(&shape, &coords);
+        valid.truncate(cut.min(valid.len()));
+        for buf in [raw.as_slice(), valid.as_slice()] {
+            let mut legacy_pos = 0usize;
+            let legacy = decode_cells_at(&shape, buf, &mut legacy_pos);
+            // Seed the frame with pre-existing content to protect.
+            let mut frame = ScanFrame::new();
+            let seed = encode_cells(&shape, &[shape.unravel(0)]);
+            let mut seed_pos = 0usize;
+            decode_cells_block(&mut frame, num_cells, &seed, &mut seed_pos).unwrap();
+            let pre_len = frame.len();
+            let mut columnar_pos = 0usize;
+            let columnar = decode_cells_block(&mut frame, num_cells, buf, &mut columnar_pos);
+            let mut skip_pos = 0usize;
+            let skipped = skip_cells_block(num_cells, buf, &mut skip_pos);
+            prop_assert_eq!(legacy.is_ok(), columnar.is_ok());
+            prop_assert_eq!(legacy.is_ok(), skipped.is_ok());
+            match (legacy, columnar) {
+                (Ok(coords), Ok(run)) => {
+                    prop_assert_eq!(columnar_pos, legacy_pos);
+                    prop_assert_eq!(skip_pos, legacy_pos);
+                    let linear: Vec<u64> =
+                        coords.iter().map(|c| pack_coord(&shape, c)).collect();
+                    prop_assert_eq!(frame.run(run), linear.as_slice());
+                }
+                // On rejection the frame must roll back to its pre-call length.
+                _ => prop_assert_eq!(frame.len(), pre_len),
+            }
+        }
     }
 
     #[test]

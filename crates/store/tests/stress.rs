@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::RwLock;
 
-use subzero_store::kv::{FileBackend, KvBackend};
+use subzero_store::kv::{FileBackend, KvBackend, ScanMode};
 
 /// Batches appended by the writer; readers assert they only ever observe
 /// whole batches.
@@ -97,6 +97,90 @@ fn readers_race_scan_batch_against_put_batch_flushes() {
         max_seen.load(Ordering::Acquire),
         BATCHES * BATCH,
         "readers never observed the fully-flushed backend"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mmap_and_pread_scans_agree_under_flush_race() {
+    // Same reader-vs-flush race as above, but run against two backends over
+    // identical data pinned to the two scan modes.  Every observation a
+    // reader makes must be identical between the mmap'd read path and the
+    // pread fallback — same batches, same bytes, in the same order — so the
+    // zero-copy region can never serve a view the portable path wouldn't.
+    let dir = std::env::temp_dir().join(format!("subzero-kv-stress-modes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mmap_path = dir.join("race-mmap.kv");
+    let pread_path = dir.join("race-pread.kv");
+    let _ = std::fs::remove_file(&mmap_path);
+    let _ = std::fs::remove_file(&pread_path);
+
+    let mut mmap = FileBackend::open(&mmap_path).unwrap();
+    mmap.set_scan_mode(ScanMode::Mmap);
+    let mut pread = FileBackend::open(&pread_path).unwrap();
+    pread.set_scan_mode(ScanMode::Pread);
+    // One lock over the pair: the writer appends each batch to both backends
+    // atomically, so readers always compare like-for-like states.
+    let backends = RwLock::new((mmap, pread));
+    let done = AtomicBool::new(false);
+    let max_seen = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let backends = &backends;
+        let done = &done;
+        let max_seen = &max_seen;
+
+        for reader in 0..READERS {
+            scope.spawn(move || {
+                let mut last_count = 0usize;
+                while !done.load(Ordering::Acquire) || last_count < BATCHES * BATCH {
+                    let guard = backends.read().unwrap();
+                    let (m, p) = &*guard;
+                    let mut via_mmap: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+                    m.scan_slices(7, &mut |pairs| {
+                        via_mmap.extend(pairs.iter().map(|&(k, v)| (k.to_vec(), v.to_vec())));
+                    });
+                    let mut via_pread: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+                    p.scan_slices(7, &mut |pairs| {
+                        via_pread.extend(pairs.iter().map(|&(k, v)| (k.to_vec(), v.to_vec())));
+                    });
+                    assert_eq!(via_mmap, via_pread, "scan modes diverged");
+                    let count = via_mmap.len();
+                    assert_eq!(count % BATCH, 0, "reader saw a partial batch: {count}");
+                    assert!(
+                        count >= last_count,
+                        "scan went backwards: {count} < {last_count}"
+                    );
+                    last_count = count;
+                    // Point reads must agree between the modes too.
+                    if count > 0 {
+                        let i = (reader * 13) % count;
+                        let (key, val) = record(i / BATCH, i % BATCH);
+                        assert_eq!(m.get(&key).as_deref(), Some(&val[..]));
+                        assert_eq!(p.get(&key).as_deref(), Some(&val[..]));
+                    }
+                    max_seen.fetch_max(count, Ordering::Release);
+                }
+            });
+        }
+
+        scope.spawn(move || {
+            for batch in 0..BATCHES {
+                let items: Vec<_> = (0..BATCH).map(|i| record(batch, i)).collect();
+                let mut guard = backends.write().unwrap();
+                guard.0.put_batch(items.clone());
+                guard.1.put_batch(items);
+                drop(guard);
+                std::thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        });
+    });
+
+    assert_eq!(
+        max_seen.load(Ordering::Acquire),
+        BATCHES * BATCH,
+        "readers never observed the fully-flushed backends"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

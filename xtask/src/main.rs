@@ -19,6 +19,10 @@
 //!   (`crates/array`, `crates/store`, `crates/core/src/encoder.rs`): timing
 //!   belongs to the runtime/statistics layers; a clock read per element
 //!   wrecks the arena encode throughput the benches guard.
+//! * `unsafe-outside-mmap` — `subzero-store` keeps every `unsafe` block in
+//!   `crates/store/src/mmap.rs` (the audited mmap read-path module); the
+//!   token anywhere else in the crate's library code is rejected so the
+//!   zero-copy surface stays reviewable in one place.
 //! * `bench-stanza-drift` — every key in the committed `BENCH_*.json`
 //!   snapshots must be declared in `ci/bench_guard.py`'s `STANZA_KEYS`
 //!   table (and vice versa), so the CI guard can never silently ignore a
@@ -155,6 +159,29 @@ fn is_sync_gateway(path: &str) -> bool {
     path == "crates/core/src/sync.rs"
 }
 
+/// Store-crate library files where `unsafe-outside-mmap` applies: everything
+/// under `crates/store/src/` except the sanctioned mmap module itself.
+fn is_unsafe_restricted(path: &str) -> bool {
+    path.starts_with("crates/store/src/") && path != "crates/store/src/mmap.rs"
+}
+
+/// Whether one (comment-stripped) line of code contains the `unsafe` keyword
+/// as a whole token.
+fn has_unsafe_token(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("unsafe") {
+        let at = from + pos;
+        let end = at + "unsafe".len();
+        let boundary = |b: u8| !(b.is_ascii_alphanumeric() || b == b'_');
+        if (at == 0 || boundary(bytes[at - 1])) && (end == bytes.len() || boundary(bytes[end])) {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
 /// Files on the codec/encode hot path, where `hot-loop-timing` applies.
 fn is_hot_path(path: &str) -> bool {
     path.starts_with("crates/array/src/")
@@ -270,6 +297,17 @@ fn lint_rust_source(path: &str, content: &str) -> Vec<Diagnostic> {
                      into a wedged runtime; use `subzero::sync::lock_or_recover` / \
                      `wait_or_recover`"
                 ),
+            ));
+        }
+        if is_unsafe_restricted(path) && has_unsafe_token(code) {
+            out.push(diag(
+                path,
+                line,
+                "unsafe-outside-mmap",
+                "`unsafe` outside `crates/store/src/mmap.rs`: the store crate \
+                 confines all unsafe code to the audited mmap module so the \
+                 zero-copy surface stays reviewable in one place"
+                    .to_string(),
             ));
         }
         if is_hot_path(path) && code.contains("Instant::now") {
@@ -729,6 +767,32 @@ mod tests {
         );
         // Timing in the runtime layer is fine.
         assert!(lint_rust_source(LIB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_outside_mmap_fires_only_in_store_non_mmap_code() {
+        let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        assert_eq!(
+            lints_of(&lint_rust_source("crates/store/src/kv.rs", src)),
+            vec!["unsafe-outside-mmap"]
+        );
+        assert_eq!(
+            lints_of(&lint_rust_source("crates/store/src/codec.rs", src)),
+            vec!["unsafe-outside-mmap"]
+        );
+        // The sanctioned module, other crates, and store tests are exempt.
+        assert!(lint_rust_source("crates/store/src/mmap.rs", src).is_empty());
+        assert!(lint_rust_source(LIB_PATH, src).is_empty());
+        assert!(lint_rust_source("crates/store/tests/stress.rs", src).is_empty());
+        // Comments and identifiers containing the word don't count.
+        assert!(
+            lint_rust_source("crates/store/src/kv.rs", "// unsafe is banned here\n").is_empty()
+        );
+        assert!(
+            lint_rust_source("crates/store/src/kv.rs", "fn not_unsafe_at_all() {}\n").is_empty()
+        );
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { unsafe {} }\n}\n";
+        assert!(lint_rust_source("crates/store/src/kv.rs", src).is_empty());
     }
 
     #[test]
