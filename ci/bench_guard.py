@@ -21,6 +21,11 @@ Checks:
   and async capture's operator wall-clock overhead stays below sync
   capture's (the async-capture ceiling: if deferring flush work off the
   executor thread stops paying for itself, the pipeline has regressed).
+* BENCH_server.json — the workload stanza records the daemon topology and the
+  bounded lookup batch size, and chunk-batched lookups over the socket stay
+  at least as fast as per-query round-trips (batched_lookup_min_speedup
+  >= 1.0: if batching stops amortising framing and the shard rendezvous,
+  the wire path has regressed).
 
 Runnable locally from the repository root (or anywhere, with --root):
 
@@ -65,6 +70,13 @@ STANZA_KEYS = {
         "workload": [
             "flushers", "operators", "pairs", "policy", "queue_depth",
             "shape", "strategy", "workflow",
+        ],
+    },
+    "BENCH_server.json": {
+        "top": ["batched_lookup_min_speedup", "results", "workload"],
+        "workload": [
+            "batches", "clients", "lookup_chunk", "ops", "pairs_per_batch",
+            "policy", "queries", "shape", "shards",
         ],
     },
 }
@@ -208,6 +220,38 @@ def check_capture(root: pathlib.Path) -> str:
     return f"capture ok: overhead sync={sync} async={asyn}"
 
 
+def check_server(root: pathlib.Path) -> str:
+    s = load(root, "BENCH_server.json")
+    w = s.get("workload", {})
+    require(
+        w.get("shards", 0) >= 2 and w.get("clients", 0) >= 2,
+        "BENCH_server.json: the daemon bench must exercise multiple shards "
+        "and concurrent clients (recorded workload is degenerate)",
+    )
+    chunk = w.get("lookup_chunk", 0)
+    require(
+        1 < chunk < w.get("queries", 0),
+        f"BENCH_server.json: lookup_chunk={chunk} must be a real batch size "
+        "(>1 and smaller than the total query count), or the batched/single "
+        "comparison is vacuous",
+    )
+    speedup = s["batched_lookup_min_speedup"]
+    require(
+        speedup >= 1.0,
+        f"batched daemon lookups regressed: batched_lookup_min_speedup={speedup} "
+        "< 1.0 (chunk-batched lookups must amortise framing and the shard "
+        "rendezvous; re-run `cargo bench -p subzero-bench --bench server` and "
+        "fix the wire path before refreshing BENCH_server.json)",
+    )
+    stages = {row.get("stage") for row in s.get("results", [])}
+    require(
+        {"ingest", "lookup_single", "lookup_batched"} <= stages,
+        f"BENCH_server.json: results must record ingest and both lookup "
+        f"modes, got {sorted(stages)}",
+    )
+    return f"server ok: batched_lookup_min_speedup={speedup}"
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -217,7 +261,7 @@ def main() -> int:
         help="repository root holding the BENCH_*.json snapshots",
     )
     args = parser.parse_args()
-    checks = (check_schema, check_ingest, check_query, check_capture)
+    checks = (check_schema, check_ingest, check_query, check_capture, check_server)
     failures = []
     for check in checks:
         try:

@@ -1,0 +1,327 @@
+//! Lineage daemon throughput: concurrent clients over the unix socket.
+//!
+//! Measures the `subzero-server` subsystem end to end — wire protocol,
+//! per-connection lanes, round-robin shard workers, datastore ingest and
+//! batched lookups — with everything on one machine, so the numbers are the
+//! daemon's own overhead rather than network noise:
+//!
+//! * `ingest`  — N concurrent clients stream region-pair batches into their
+//!   own operators (hash-partitioned across the shards); reports batches/s
+//!   and pairs/s across all clients.
+//! * `lookup`  — after a durability barrier, backward lookups two ways:
+//!   one query per request (a round-trip per cell) and batched in bounded
+//!   steps (`lookup_chunk` queries per request).  The batched/single speedup
+//!   is the headline number: batching amortises framing, syscalls and the
+//!   shard rendezvous, and must never fall below 1.0
+//!   (`batched_lookup_min_speedup`, enforced by `ci/bench_guard.py`).
+//!
+//! The batch size is bounded on purpose: query results are dense bitmaps
+//! (one `CellSet` allocation per query and answer), so an unbounded batch
+//! materialises its whole answer set at once and falls out of cache —
+//! at 512 one-cell queries over a 256x256 shape a single-request batch
+//! measures *slower* than per-query round-trips.  Chunks keep the working
+//! set cache-resident while still amortising the per-request overhead.
+//!
+//! Run with `cargo bench -p subzero-bench --bench server`; `--smoke` is a
+//! seconds-long validity check that leaves `BENCH_server.json` untouched.
+//! `--clients N` / `--shards N` override the topology.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use subzero::capture::OverflowPolicy;
+use subzero::model::{Direction, StorageStrategy};
+use subzero_array::{CellSet, Coord, Shape};
+use subzero_bench::harness::arg_value;
+use subzero_engine::lineage::RegionPair;
+use subzero_server::{Client, LookupStep, OpSpec, Server, ServerConfig};
+
+struct Config {
+    shape: Shape,
+    clients: usize,
+    shards: usize,
+    ops_per_client: u32,
+    batches_per_op: u32,
+    pairs_per_batch: u32,
+    queries: u32,
+    lookup_chunk: u32,
+    target: Duration,
+    smoke: bool,
+}
+
+fn workload() -> Config {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let clients = arg_value("--clients").unwrap_or(4);
+    let shards = arg_value("--shards").unwrap_or(4);
+    if smoke {
+        Config {
+            shape: Shape::d2(32, 32),
+            clients: clients.min(2),
+            shards: shards.min(2),
+            ops_per_client: 1,
+            batches_per_op: 8,
+            pairs_per_batch: 16,
+            queries: 32,
+            lookup_chunk: 16,
+            target: Duration::from_millis(200),
+            smoke,
+        }
+    } else {
+        Config {
+            shape: Shape::d2(256, 256),
+            clients,
+            shards,
+            ops_per_client: 2,
+            batches_per_op: 64,
+            pairs_per_batch: 64,
+            queries: arg_value("--queries").unwrap_or(512),
+            lookup_chunk: arg_value("--lookup-chunk").unwrap_or(32),
+            target: Duration::from_secs(8),
+            smoke,
+        }
+    }
+}
+
+/// Deterministic structural pairs for one operator: output cell `i` depends
+/// on a mirrored input cell, so lookups have non-trivial answers.
+fn pairs_of(op: u32, shape: Shape, count: u32) -> Vec<RegionPair> {
+    let (rows, cols) = (shape.dims()[0], shape.dims()[1]);
+    let n = rows * cols;
+    (0..count)
+        .map(|i| {
+            let lin = (i.wrapping_mul(2654435761).wrapping_add(op)) % n;
+            let (r, c) = (lin / cols, lin % cols);
+            RegionPair::Full {
+                outcells: vec![Coord::d2(r, c)],
+                incells: vec![vec![
+                    Coord::d2(rows - 1 - r, cols - 1 - c),
+                    Coord::d2(r, cols - 1 - c),
+                ]],
+            }
+        })
+        .collect()
+}
+
+fn spec_of(op: u32, shape: Shape) -> OpSpec {
+    OpSpec {
+        op_id: op,
+        input_shapes: vec![shape],
+        output_shape: shape,
+        strategies: vec![StorageStrategy::full_one()],
+    }
+}
+
+struct Pass {
+    ingest_wall: Duration,
+    single_wall: Duration,
+    batched_wall: Duration,
+}
+
+fn one_pass(cfg: &Config, dir: &std::path::Path, round: usize) -> Pass {
+    let socket = dir.join(format!("bench-{round}.sock"));
+    let server = Server::start(
+        &socket,
+        ServerConfig {
+            data_dir: None,
+            shards: cfg.shards,
+            queue_depth: 64,
+            ingest_policy: OverflowPolicy::Block,
+            store_stall: Duration::ZERO,
+        },
+    )
+    .expect("bench server starts");
+
+    let nops = cfg.clients as u32 * cfg.ops_per_client;
+    let specs: Vec<OpSpec> = (0..nops).map(|op| spec_of(op, cfg.shape)).collect();
+    let mut admin = Client::connect(&socket).expect("admin connect");
+    let session = admin
+        .open_session("bench", specs)
+        .expect("open bench session");
+
+    // --- Concurrent ingest ------------------------------------------------
+    let ingest_start = Instant::now();
+    let workers: Vec<_> = (0..cfg.clients)
+        .map(|cid| {
+            let socket = socket.clone();
+            let cfg_ops = cfg.ops_per_client;
+            let (shape, batches, per_batch) = (cfg.shape, cfg.batches_per_op, cfg.pairs_per_batch);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket).expect("client connect");
+                for k in 0..cfg_ops {
+                    let op = cid as u32 * cfg_ops + k;
+                    let pairs = pairs_of(op, shape, batches * per_batch);
+                    for chunk in pairs.chunks(per_batch as usize) {
+                        let ack = client
+                            .store_batch(session, op, chunk.to_vec())
+                            .expect("bench store");
+                        assert!(ack.accepted, "Block admission never sheds");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("ingest client");
+    }
+    admin.finish_session(session).expect("durability barrier");
+    let ingest_wall = ingest_start.elapsed();
+
+    // --- Lookups: one query per request vs batched ------------------------
+    let cells: Vec<Coord> = pairs_of(0, cfg.shape, cfg.queries)
+        .iter()
+        .map(|p| p.outcells()[0])
+        .collect();
+    let step_of = |queries: Vec<CellSet>| LookupStep {
+        op_id: 0,
+        direction: Direction::Backward,
+        input_idx: 0,
+        queries,
+    };
+
+    let single_start = Instant::now();
+    let mut single_hits = 0u64;
+    for &cell in &cells {
+        let out = admin
+            .lookup(
+                session,
+                vec![step_of(vec![CellSet::from_coords(cfg.shape, [cell])])],
+            )
+            .expect("single lookup");
+        single_hits += u64::from(!out[0][0].result.is_empty());
+    }
+    let single_wall = single_start.elapsed();
+
+    let batched_start = Instant::now();
+    let mut batched_hits = 0u64;
+    for chunk in cells.chunks(cfg.lookup_chunk as usize) {
+        let queries: Vec<CellSet> = chunk
+            .iter()
+            .map(|&c| CellSet::from_coords(cfg.shape, [c]))
+            .collect();
+        let out = admin
+            .lookup(session, vec![step_of(queries)])
+            .expect("batched lookup");
+        batched_hits += out[0]
+            .iter()
+            .map(|o| u64::from(!o.result.is_empty()))
+            .sum::<u64>();
+    }
+    let batched_wall = batched_start.elapsed();
+    assert_eq!(
+        batched_hits, single_hits,
+        "batched lookups must answer identically to single lookups"
+    );
+    assert!(single_hits > 0, "the lookup workload must actually hit");
+
+    drop(admin);
+    server.shutdown_and_wait();
+    Pass {
+        ingest_wall,
+        single_wall,
+        batched_wall,
+    }
+}
+
+fn main() {
+    let cfg = workload();
+    let dir = std::env::temp_dir().join(format!("subzero-bench-server-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+
+    let nops = cfg.clients as u32 * cfg.ops_per_client;
+    let total_batches = u64::from(nops * cfg.batches_per_op);
+    let total_pairs = total_batches * u64::from(cfg.pairs_per_batch);
+    println!(
+        "Lineage daemon — {} shards, {} clients x {} ops, {} batches x {} pairs, {} lookups ({}/step)\n",
+        cfg.shards, cfg.clients, cfg.ops_per_client, total_batches, cfg.pairs_per_batch,
+        cfg.queries, cfg.lookup_chunk,
+    );
+
+    // Warmup, then best-of rounds until the budget is spent: each stage keeps
+    // its own minimum across rounds (noise only ever slows a round down).
+    one_pass(&cfg, &dir, 0);
+    let mut best: Option<Pass> = None;
+    let mut rounds = 0usize;
+    let budget = Instant::now();
+    loop {
+        rounds += 1;
+        let pass = one_pass(&cfg, &dir, rounds);
+        best = Some(match best {
+            None => pass,
+            Some(b) => Pass {
+                ingest_wall: b.ingest_wall.min(pass.ingest_wall),
+                single_wall: b.single_wall.min(pass.single_wall),
+                batched_wall: b.batched_wall.min(pass.batched_wall),
+            },
+        });
+        if budget.elapsed() >= cfg.target {
+            break;
+        }
+    }
+    let best = best.expect("at least one round");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let batches_per_sec = total_batches as f64 / best.ingest_wall.as_secs_f64();
+    let pairs_per_sec = total_pairs as f64 / best.ingest_wall.as_secs_f64();
+    let single_qps = f64::from(cfg.queries) / best.single_wall.as_secs_f64();
+    let batched_qps = f64::from(cfg.queries) / best.batched_wall.as_secs_f64();
+    let speedup = batched_qps / single_qps;
+    println!("{:<28} {:>14} {:>14}", "metric", "value", "per second");
+    println!(
+        "{:<28} {:>14.3?} {:>14.0}",
+        "ingest wall (all clients)", best.ingest_wall, batches_per_sec
+    );
+    println!(
+        "{:<28} {:>14} {:>14.0}",
+        "ingest pairs", total_pairs, pairs_per_sec
+    );
+    println!(
+        "{:<28} {:>14.3?} {:>14.0}",
+        "lookup single (round-trips)", best.single_wall, single_qps
+    );
+    println!(
+        "{:<28} {:>14.3?} {:>14.0}",
+        "lookup batched (chunked)", best.batched_wall, batched_qps
+    );
+    println!(
+        "\nbatching lookups over the wire is {speedup:.1}x the per-request round-trip path \
+         ({rounds} rounds)"
+    );
+
+    if cfg.smoke {
+        println!("smoke run: skipping BENCH_server.json");
+        return;
+    }
+    // Hand-rolled JSON (no serde in the offline environment).
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"shape\": \"{}\", \"shards\": {}, \"clients\": {}, \"ops\": {}, \"batches\": {}, \"pairs_per_batch\": {}, \"queries\": {}, \"lookup_chunk\": {}, \"policy\": \"block\"}},\n",
+        cfg.shape, cfg.shards, cfg.clients, nops, total_batches, cfg.pairs_per_batch, cfg.queries,
+        cfg.lookup_chunk,
+    ));
+    json.push_str(&format!(
+        "  \"batched_lookup_min_speedup\": {speedup:.4},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    json.push_str(&format!(
+        "    {{\"stage\": \"ingest\", \"wall_ms\": {:.3}, \"batches_per_sec\": {:.1}, \"pairs_per_sec\": {:.1}}},\n",
+        best.ingest_wall.as_secs_f64() * 1e3,
+        batches_per_sec,
+        pairs_per_sec,
+    ));
+    json.push_str(&format!(
+        "    {{\"stage\": \"lookup_single\", \"wall_ms\": {:.3}, \"queries_per_sec\": {:.1}}},\n",
+        best.single_wall.as_secs_f64() * 1e3,
+        single_qps,
+    ));
+    json.push_str(&format!(
+        "    {{\"stage\": \"lookup_batched\", \"wall_ms\": {:.3}, \"queries_per_sec\": {:.1}}}\n",
+        best.batched_wall.as_secs_f64() * 1e3,
+        batched_qps,
+    ));
+    json.push_str("  ]\n}\n");
+
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_server.json");
+    std::fs::write(&out, json).expect("write BENCH_server.json");
+    println!("wrote {}", out.display());
+}

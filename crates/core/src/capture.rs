@@ -308,6 +308,15 @@ impl<T> BoundedQueue<T> {
     /// [`OverflowPolicy::DropNewest`], and `Err` when the queue has failed or
     /// been closed.
     pub fn push(&self, item: T) -> Result<bool, CaptureError> {
+        self.push_with_policy(item, self.policy)
+    }
+
+    /// [`push`](BoundedQueue::push) with an explicit overflow policy for this
+    /// one item, overriding the queue's configured policy.  The lineage
+    /// server uses this to keep query admission lossless
+    /// ([`OverflowPolicy::Block`]) on queues whose ingest side is configured
+    /// to shed ([`OverflowPolicy::DropNewest`]).
+    pub fn push_with_policy(&self, item: T, policy: OverflowPolicy) -> Result<bool, CaptureError> {
         let mut inner = self.lock();
         loop {
             if inner.failed {
@@ -322,7 +331,7 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(true);
             }
-            match self.policy {
+            match policy {
                 OverflowPolicy::Block => {
                     inner = wait_or_recover(&self.not_full, inner);
                 }
@@ -351,6 +360,26 @@ impl<T> BoundedQueue<T> {
             }
             inner = wait_or_recover(&self.not_empty, inner);
         }
+    }
+
+    /// Takes the next item without blocking.  Returns `None` when the queue
+    /// is currently empty (regardless of open/closed state); like
+    /// [`pop`](BoundedQueue::pop), every `Some` must be paired with a later
+    /// [`task_done`](BoundedQueue::task_done).  The lineage server's
+    /// round-robin scheduler uses this to sweep many per-client queues
+    /// without parking on any one of them.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        let item = inner.items.pop_front()?;
+        inner.in_flight += 1;
+        drop(inner);
+        self.not_full.notify_one();
+        Some(item)
+    }
+
+    /// Whether the queue has been closed (items may still be draining).
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
     }
 
     /// Marks one popped item as fully processed (successfully or not).
@@ -689,6 +718,46 @@ mod tests {
         assert_eq!(done.load(Ordering::SeqCst), 6, "idle only after task_done");
         q.close();
         consumer.join().unwrap();
+    }
+
+    #[test]
+    fn try_pop_is_non_blocking_and_tracks_in_flight() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2, OverflowPolicy::Block);
+        assert_eq!(q.try_pop(), None, "empty queue returns None immediately");
+        q.push(7).unwrap();
+        assert_eq!(q.try_pop(), Some(7));
+        // The popped item is in flight, so the queue is not idle yet.
+        q.push(8).unwrap();
+        assert_eq!(q.try_pop(), Some(8));
+        q.task_done();
+        q.task_done();
+        q.wait_idle();
+        assert_eq!(q.try_pop(), None);
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_pop(), None, "closed+drained queue returns None");
+    }
+
+    #[test]
+    fn push_with_policy_overrides_queue_policy() {
+        // Queue configured to shed; a per-push Block override must not shed.
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1, OverflowPolicy::DropNewest));
+        assert!(q.push(0).unwrap());
+        assert!(!q.push(1).unwrap(), "configured policy sheds when full");
+        assert_eq!(q.dropped(), 1);
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                let v = q.pop();
+                q.task_done();
+                v
+            })
+        };
+        // Block override: waits for the consumer instead of shedding.
+        assert!(q.push_with_policy(2, OverflowPolicy::Block).unwrap());
+        assert_eq!(consumer.join().unwrap(), Some(0));
+        assert_eq!(q.dropped(), 1, "Block override never sheds");
     }
 
     #[test]

@@ -18,7 +18,10 @@ use std::time::{Duration, Instant};
 
 use subzero_array::{BoundingBox, CellSet, Coord, Shape};
 use subzero_engine::{OpMeta, Operator, RegionPair};
-use subzero_store::codec::{Arena, ScanFrame, Span};
+use subzero_store::codec::{
+    decode_fixed_u64, encode_fixed_u64, read_varint, write_varint, Arena, CodecError, ScanFrame,
+    Span,
+};
 use subzero_store::hash::FxHashMap;
 use subzero_store::kv::{Database, KvBackend, MemBackend};
 use subzero_store::RTree;
@@ -31,6 +34,13 @@ use crate::encoder::{
 use crate::model::{Direction, Granularity, StorageStrategy};
 use crate::parallel;
 use subzero_engine::LineageMode;
+
+/// Magic bytes of the sidecar spatial-index file persisted next to a
+/// file-backed store's `.kv` log (see
+/// [`persist_sidecar_index`](OpDatastore::persist_sidecar_index)).
+const SIDECAR_MAGIC: [u8; 4] = *b"SZIX";
+/// Format version of the sidecar index file.
+const SIDECAR_VERSION: u8 = 1;
 
 /// Outcome of one datastore lookup.
 #[derive(Debug, Clone)]
@@ -303,7 +313,7 @@ impl OpDatastore {
             Granularity::Many if strategy.stores_pairs() => Some(RTree::new()),
             _ => None,
         };
-        OpDatastore {
+        let mut store = OpDatastore {
             strategy,
             out_shape: meta.output_shape,
             in_shapes: meta.input_shapes.clone(),
@@ -317,7 +327,13 @@ impl OpDatastore {
             workers: parallel::default_workers(),
             full_caches: Vec::new(),
             pay_caches: Vec::new(),
-        }
+        };
+        // A non-empty file backend means this datastore is being *reopened*
+        // (daemon restart, crash recovery): restore the spatial index and
+        // entry counters, from the sidecar when it is still valid, otherwise
+        // by rescanning the log.
+        store.recover_on_open();
+        store
     }
 
     /// Drops every cached decoded entry; the write paths call this because a
@@ -808,12 +824,14 @@ impl OpDatastore {
     }
 
     /// Finishes an ingestion phase: builds the spatial index from staged
-    /// entries and flushes the hash database.  Lookups do this lazily; call
-    /// it explicitly to move the cost out of the first query (the benchmarks
+    /// entries, flushes the hash database and persists the sidecar index
+    /// file for file-backed stores.  Lookups do this lazily; call it
+    /// explicitly to move the cost out of the first query (the benchmarks
     /// do, so index build time is charged to ingestion, not to queries).
     pub fn finish_ingest(&mut self) {
         self.ensure_spatial_index();
         self.db.flush().expect("lineage database flush");
+        self.persist_sidecar_index();
     }
 
     /// Drains staged spatial-index entries into the R-tree.  An empty tree is
@@ -836,6 +854,213 @@ impl OpDatastore {
                 tree.insert(bbox, id);
             }
         }
+    }
+
+    /// Path of the sidecar index file (`<log>.kv.idx`) for file-backed
+    /// stores, `None` in memory.
+    fn sidecar_path(&self) -> Option<std::path::PathBuf> {
+        let path = self.db.file_path()?;
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".idx");
+        Some(std::path::PathBuf::from(os))
+    }
+
+    /// Writes the spatial index and entry counters to the sidecar file next
+    /// to the backing `.kv` log, stamped with the log's current persist
+    /// fingerprint so a reopen can tell whether the sidecar still describes
+    /// the log contents.  No-op for in-memory stores and strategies that
+    /// store no region pairs.  A write failure only warns: the sidecar is a
+    /// restart accelerator, and a reopen rebuilds everything from the log.
+    pub fn persist_sidecar_index(&mut self) {
+        if !self.strategy.stores_pairs() {
+            return;
+        }
+        let Some(path) = self.sidecar_path() else {
+            return;
+        };
+        self.ensure_spatial_index();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&SIDECAR_MAGIC);
+        buf.push(SIDECAR_VERSION);
+        buf.extend_from_slice(&encode_fixed_u64(self.db.persist_stamp()));
+        write_varint(&mut buf, self.next_entry_id);
+        write_varint(&mut buf, self.pairs_stored);
+        write_varint(&mut buf, self.cells_stored);
+        match &self.rtree {
+            Some(tree) => {
+                buf.push(1);
+                tree.serialize_into(&mut buf);
+            }
+            None => buf.push(0),
+        }
+        if let Err(e) = std::fs::write(&path, &buf) {
+            eprintln!(
+                "subzero: failed to write spatial-index sidecar {}: {e}",
+                path.display()
+            );
+        }
+    }
+
+    /// Restores index state when constructed over a non-empty file backend:
+    /// loads the sidecar index if its stamp still matches the log, otherwise
+    /// rebuilds the index and counters by scanning the log (warning when a
+    /// sidecar existed but no longer matched — e.g. after a crash between a
+    /// log append and the sidecar rewrite).
+    fn recover_on_open(&mut self) {
+        if !self.strategy.stores_pairs() || self.db.is_empty() {
+            return;
+        }
+        let Some(path) = self.sidecar_path() else {
+            return;
+        };
+        let loaded = match std::fs::read(&path) {
+            Err(_) => false, // No sidecar (older store / crash before first write).
+            Ok(bytes) => match Self::parse_sidecar(&bytes, self.db.persist_stamp()) {
+                Ok((next_entry_id, pairs_stored, cells_stored, tree)) => {
+                    self.next_entry_id = next_entry_id;
+                    self.pairs_stored = pairs_stored;
+                    self.cells_stored = cells_stored;
+                    if self.rtree.is_some() {
+                        match tree {
+                            Some(tree) => self.rtree = Some(tree),
+                            // Valid sidecar but no tree for an indexed
+                            // strategy: treat as corrupt, fall through.
+                            None => {
+                                eprintln!(
+                                    "subzero: spatial-index sidecar {} lacks the index tree; \
+                                     rebuilding from the log",
+                                    path.display()
+                                );
+                                self.rebuild_index_from_scan();
+                                return;
+                            }
+                        }
+                    }
+                    self.rtree_staged.clear();
+                    true
+                }
+                Err(e) => {
+                    eprintln!(
+                        "subzero: stale or corrupt spatial-index sidecar {} ({e}); \
+                         rebuilding from the log",
+                        path.display()
+                    );
+                    false
+                }
+            },
+        };
+        if !loaded {
+            self.rebuild_index_from_scan();
+        }
+    }
+
+    /// Decodes a sidecar file, validating magic, version and the log stamp.
+    #[allow(clippy::type_complexity)]
+    fn parse_sidecar(
+        bytes: &[u8],
+        expect_stamp: u64,
+    ) -> Result<(u64, u64, u64, Option<RTree>), CodecError> {
+        if bytes.len() < 13 || bytes[..4] != SIDECAR_MAGIC {
+            return Err(CodecError::Corrupt("sidecar magic"));
+        }
+        if bytes[4] != SIDECAR_VERSION {
+            return Err(CodecError::Corrupt("sidecar format version"));
+        }
+        let stamp = decode_fixed_u64(&bytes[5..13])?;
+        if stamp != expect_stamp {
+            return Err(CodecError::Corrupt(
+                "sidecar stamp does not match the log contents",
+            ));
+        }
+        let mut pos = 13usize;
+        let next_entry_id = read_varint(bytes, &mut pos)?;
+        let pairs_stored = read_varint(bytes, &mut pos)?;
+        let cells_stored = read_varint(bytes, &mut pos)?;
+        let has_tree = *bytes.get(pos).ok_or(CodecError::UnexpectedEof)?;
+        pos += 1;
+        let tree = match has_tree {
+            0 => None,
+            1 => Some(RTree::deserialize(bytes, &mut pos)?),
+            _ => return Err(CodecError::Corrupt("sidecar tree flag")),
+        };
+        if pos != bytes.len() {
+            return Err(CodecError::Corrupt("sidecar trailing bytes"));
+        }
+        Ok((next_entry_id, pairs_stored, cells_stored, tree))
+    }
+
+    /// Rebuilds the spatial index and entry counters by scanning the hash
+    /// database — the fallback when no valid sidecar exists.  `next_entry_id`
+    /// and the index are restored exactly; `pairs_stored`/`cells_stored`
+    /// (optimizer statistics only) are reconstructed from the shared entries,
+    /// which undercounts the *One*-granularity layouts that fold cells into
+    /// hash keys.
+    fn rebuild_index_from_scan(&mut self) {
+        let out_shape = self.out_shape;
+        let in_shapes = self.in_shapes.clone();
+        let mode = self.strategy.mode;
+        let direction = self.strategy.direction;
+        let wants_tree = self.rtree.is_some();
+        let mut next_entry_id = 0u64;
+        let mut pairs_stored = 0u64;
+        let mut cells_stored = 0u64;
+        let mut staged: Vec<(BoundingBox, u64)> = Vec::new();
+        self.db.scan_batch(256, &mut |records| {
+            for (key, value) in records.iter().map(|(k, v)| (k.as_slice(), v.as_slice())) {
+                let Ok(DecodedKey::Entry(id)) = encoder::decode_key(&out_shape, &in_shapes, key)
+                else {
+                    continue;
+                };
+                next_entry_id = next_entry_id.max(id + 1);
+                pairs_stored += 1;
+                match mode {
+                    LineageMode::Full => {
+                        let Ok(entry) = decode_full_entry(&out_shape, &in_shapes, value) else {
+                            continue;
+                        };
+                        cells_stored += entry.outcells.len() as u64;
+                        cells_stored += entry.incells.iter().map(|c| c.len() as u64).sum::<u64>();
+                        if wants_tree {
+                            match direction {
+                                Direction::Backward => {
+                                    if let Some(bbox) = BoundingBox::enclosing(&entry.outcells) {
+                                        staged.push((bbox, id));
+                                    }
+                                }
+                                Direction::Forward => {
+                                    for cells in &entry.incells {
+                                        if let Some(bbox) = BoundingBox::enclosing(cells) {
+                                            staged.push((bbox, id));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    LineageMode::Pay | LineageMode::Comp => {
+                        let Ok(entry) = decode_pay_entry(&out_shape, value) else {
+                            continue;
+                        };
+                        cells_stored += entry.outcells.len() as u64;
+                        if wants_tree {
+                            if let Some(bbox) = BoundingBox::enclosing(&entry.outcells) {
+                                staged.push((bbox, id));
+                            }
+                        }
+                    }
+                    LineageMode::Map | LineageMode::Blackbox => {}
+                }
+            }
+        });
+        self.next_entry_id = next_entry_id;
+        self.pairs_stored = pairs_stored;
+        self.cells_stored = cells_stored;
+        if wants_tree {
+            // STR bulk load sorts by spatial tiles with id tie-breaks, so the
+            // rebuilt tree is deterministic regardless of scan order.
+            self.rtree = Some(RTree::bulk_load(staged));
+        }
+        self.rtree_staged.clear();
     }
 
     /// Answers one backward lookup: which cells of input `input_idx` do the
@@ -2145,6 +2370,130 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Reopens an on-disk datastore over the same `.kv` file.
+    fn reopen(path: &std::path::Path, strategy: StorageStrategy, m: &OpMeta) -> OpDatastore {
+        let backend = subzero_store::kv::FileBackend::open(path).unwrap();
+        OpDatastore::new("t", strategy, m, Box::new(backend))
+    }
+
+    /// Every lookup answer (both directions, both inputs) over a probe grid.
+    fn probe_answers(ds: &mut OpDatastore, op: &dyn Operator, m: &OpMeta) -> Vec<Vec<Coord>> {
+        let shape = Shape::d2(8, 8);
+        let mut answers = Vec::new();
+        for i in 0..8 {
+            let q = query_of(shape, &[Coord::d2(i, i), Coord::d2(i, (i + 3) % 8)]);
+            for input_idx in 0..2 {
+                answers.push(ds.lookup_backward(&q, input_idx, op, m).result.to_coords());
+                answers.push(ds.lookup_forward(&q, input_idx, op, m).result.to_coords());
+            }
+        }
+        answers
+    }
+
+    #[test]
+    fn sidecar_restores_index_and_counters_on_reopen() {
+        let dir = std::env::temp_dir().join(format!("subzero-ds-sidecar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = meta();
+        let op = RadiusOp;
+        for (i, strategy) in all_strategies().iter().enumerate() {
+            if !strategy.stores_pairs() {
+                continue;
+            }
+            let path = dir.join(format!("s{i}.kv"));
+            let mut ds = reopen(&path, *strategy, &m);
+            ds.store_batch(&mixed_pairs(), 2);
+            ds.finish_ingest();
+            let (pairs, cells, next) = (ds.pairs_stored, ds.cells_stored, ds.next_entry_id);
+            let expected = probe_answers(&mut ds, &op, &m);
+            drop(ds);
+            let sidecar = dir.join(format!("s{i}.kv.idx"));
+            assert!(sidecar.exists(), "finish_ingest persists the sidecar");
+
+            let mut back = reopen(&path, *strategy, &m);
+            assert_eq!(back.pairs_stored, pairs, "strategy {strategy}");
+            assert_eq!(back.cells_stored, cells, "strategy {strategy}");
+            assert_eq!(back.next_entry_id, next, "strategy {strategy}");
+            assert!(
+                back.rtree_staged.is_empty(),
+                "sidecar load must not leave staged entries"
+            );
+            assert_eq!(
+                probe_answers(&mut back, &op, &m),
+                expected,
+                "strategy {strategy}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_missing_sidecar_rebuilds_from_log() {
+        let dir = std::env::temp_dir().join(format!("subzero-ds-rebuild-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = meta();
+        let op = RadiusOp;
+        let strategy = StorageStrategy::full_many();
+        let path = dir.join("r.kv");
+        let sidecar = dir.join("r.kv.idx");
+        let mut ds = reopen(&path, strategy, &m);
+        ds.store_batch(&mixed_pairs(), 2);
+        ds.finish_ingest();
+        let next = ds.next_entry_id;
+        let expected = probe_answers(&mut ds, &op, &m);
+        drop(ds);
+
+        // Deleted sidecar: reopen rebuilds index + entry ids from the log.
+        std::fs::remove_file(&sidecar).unwrap();
+        let mut back = reopen(&path, strategy, &m);
+        assert_eq!(back.next_entry_id, next);
+        assert_eq!(probe_answers(&mut back, &op, &m), expected);
+        drop(back);
+
+        // Corrupted sidecar bytes: reopen warns, rebuilds, answers identically.
+        for corrupt in [
+            b"garbage".to_vec(),
+            std::fs::read(&sidecar)
+                .map(|mut b| {
+                    let mid = b.len() / 2;
+                    b[mid] ^= 0xff;
+                    b.truncate(b.len() - 3);
+                    b
+                })
+                .unwrap_or_else(|_| vec![0; 40]),
+        ] {
+            std::fs::write(&sidecar, &corrupt).unwrap();
+            let mut back = reopen(&path, strategy, &m);
+            assert_eq!(back.next_entry_id, next);
+            assert_eq!(probe_answers(&mut back, &op, &m), expected);
+            drop(back);
+        }
+
+        // Stale sidecar (log grew after it was written): the stamp no longer
+        // matches, so the reopen must ignore it and rebuild.
+        let mut grow = reopen(&path, strategy, &m);
+        grow.finish_ingest(); // fresh, valid sidecar
+                              // Flushed to the log by the group write, but the sidecar is not
+                              // rewritten — exactly the crash-mid-ingest window.
+        grow.store_batch(&[full_pair(&[Coord::d2(7, 0)], &[Coord::d2(0, 7)], &[])], 1);
+        let expected_grown = probe_answers(&mut grow, &op, &m);
+        let next_grown = grow.next_entry_id;
+        drop(grow);
+        let mut back = reopen(&path, strategy, &m);
+        assert_eq!(back.next_entry_id, next_grown);
+        assert_eq!(probe_answers(&mut back, &op, &m), expected_grown);
+
+        // Ingest continues cleanly after a rebuild-recovered reopen.
+        back.store_batch(&[full_pair(&[Coord::d2(0, 7)], &[Coord::d2(7, 7)], &[])], 1);
+        back.finish_ingest();
+        let q = query_of(Shape::d2(8, 8), &[Coord::d2(0, 7)]);
+        let out = back.lookup_backward(&q, 0, &op, &m);
+        assert!(out.result.contains(&Coord::d2(7, 7)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Drives a lineage daemon end to end: open a session, stream region
+//! pairs, and answer backward/forward lookups over the socket.
+//!
+//! By default it starts an in-process [`Server`] on a temporary socket;
+//! pass `--socket <path>` to talk to an already-running `subzero-serverd`
+//! instead:
+//!
+//! ```sh
+//! cargo run --release -p subzero-server --example remote_quickstart
+//! # or, against the real daemon:
+//! target/release/subzero-serverd --socket /tmp/subzero.sock --data-dir /tmp/subzero &
+//! cargo run --release -p subzero-server --example remote_quickstart -- --socket /tmp/subzero.sock
+//! ```
+
+use std::path::PathBuf;
+
+use subzero::model::{Direction, StorageStrategy};
+use subzero_array::{CellSet, Coord, Shape};
+use subzero_engine::lineage::RegionPair;
+use subzero_server::{Client, LookupStep, OpSpec, Server};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let external = args
+        .iter()
+        .position(|a| a == "--socket")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+
+    // Without --socket, run the daemon in-process on a scratch socket.
+    let (socket, local) = match &external {
+        Some(path) => (path.clone(), None),
+        None => {
+            let dir = std::env::temp_dir().join(format!("subzero-rq-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            let socket = dir.join("daemon.sock");
+            let server = Server::start(&socket, Default::default()).expect("start server");
+            (socket, Some((server, dir)))
+        }
+    };
+
+    let shape = Shape::d2(8, 8);
+    let mut client = Client::connect(&socket).expect("connect");
+    let session = client
+        .open_session(
+            "remote-quickstart",
+            vec![OpSpec {
+                op_id: 0,
+                input_shapes: vec![shape],
+                output_shape: shape,
+                strategies: vec![StorageStrategy::full_one()],
+            }],
+        )
+        .expect("open session");
+
+    // A transpose-shaped lineage: output (r, c) came from input (c, r).
+    let pairs: Vec<RegionPair> = (0..8u32)
+        .flat_map(|r| {
+            (0..8u32).map(move |c| RegionPair::Full {
+                outcells: vec![Coord::d2(r, c)],
+                incells: vec![vec![Coord::d2(c, r)]],
+            })
+        })
+        .collect();
+    for chunk in pairs.chunks(16) {
+        let ack = client
+            .store_batch(session, 0, chunk.to_vec())
+            .expect("store batch");
+        assert!(ack.accepted);
+    }
+    client.finish_session(session).expect("finish");
+    println!("stored {} region pairs for operator 0", pairs.len());
+
+    // One chunk-batched lookup step: trace three output cells backward.
+    let queries: Vec<CellSet> = [(0, 0), (2, 5), (7, 7)]
+        .into_iter()
+        .map(|(r, c)| CellSet::from_coords(shape, [Coord::d2(r, c)]))
+        .collect();
+    let outcomes = client
+        .lookup(
+            session,
+            vec![LookupStep {
+                op_id: 0,
+                direction: Direction::Backward,
+                input_idx: 0,
+                queries,
+            }],
+        )
+        .expect("lookup");
+    for (i, out) in outcomes[0].iter().enumerate() {
+        println!(
+            "query {i}: {} input cell(s) {:?} ({} entr{} fetched)",
+            out.result.len(),
+            out.result.to_coords(),
+            out.entries_fetched,
+            if out.entries_fetched == 1 { "y" } else { "ies" },
+        );
+    }
+    assert_eq!(outcomes[0][1].result.to_coords(), vec![Coord::d2(5, 2)]);
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "daemon: {} session(s), {} shard(s), {} batches stored, {} lookup steps",
+        stats.sessions, stats.shards, stats.store_batches, stats.lookup_steps
+    );
+
+    match local {
+        Some((server, dir)) => {
+            drop(client);
+            server.shutdown_and_wait();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        None => {
+            // Leave an external daemon running; just close our session.
+            client.close_session(session).expect("close");
+        }
+    }
+    println!("done");
+}

@@ -1,0 +1,81 @@
+//! `subzero-serverd` — the lineage daemon binary.
+//!
+//! ```text
+//! subzero-serverd --socket /run/subzero.sock --data-dir /var/lib/subzero \
+//!                 [--shards N] [--queue-depth N] [--policy block|drop-newest]
+//! ```
+//!
+//! Runs until a client sends the `Shutdown` request, then drains every
+//! shard queue, flushes the datastores and persists their sidecar indexes
+//! before exiting.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use subzero::capture::OverflowPolicy;
+use subzero_server::{Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: subzero-serverd --socket <path> [--data-dir <dir>] [--shards <n>] \
+         [--queue-depth <n>] [--policy block|drop-newest]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut socket: Option<PathBuf> = None;
+    let mut config = ServerConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("subzero-serverd: {name} needs a value");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--socket" => match value("--socket") {
+                Some(v) => socket = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--data-dir" => match value("--data-dir") {
+                Some(v) => config.data_dir = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--shards" => match value("--shards").and_then(|v| v.parse().ok()) {
+                Some(n) => config.shards = n,
+                None => return usage(),
+            },
+            "--queue-depth" => match value("--queue-depth").and_then(|v| v.parse().ok()) {
+                Some(n) => config.queue_depth = n,
+                None => return usage(),
+            },
+            "--policy" => match value("--policy").as_deref() {
+                Some("block") => config.ingest_policy = OverflowPolicy::Block,
+                Some("drop-newest") => config.ingest_policy = OverflowPolicy::DropNewest,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(socket) = socket else {
+        return usage();
+    };
+    let server = match Server::start(&socket, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "subzero-serverd: failed to start on {}: {e}",
+                socket.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("subzero-serverd: listening on {}", socket.display());
+    server.wait();
+    eprintln!("subzero-serverd: shut down");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,372 @@
+//! The typed client: a thin request/response wrapper over the unix socket,
+//! plus [`RemoteSession`] — a client-side traversal composer that mirrors
+//! the in-process query engine edge for edge.
+//!
+//! [`RemoteSession::backward_many`]/[`forward_many`](RemoteSession::forward_many)
+//! derive the same DAG plan as `QuerySession`
+//! ([`subzero_engine::paths::backward_plan`] and its forward twin),
+//! seed the same per-query frontier, skip the same all-empty edges, issue
+//! one batched lookup per edge, and union results identically — which is
+//! what makes daemon answers byte-identical to a local `QuerySession` run
+//! over the same stored lineage.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use subzero::model::Direction;
+use subzero_array::{CellSet, Coord, Shape};
+use subzero_engine::lineage::RegionPair;
+use subzero_engine::paths::{backward_plan, forward_plan, ArrayNode, Edge};
+use subzero_engine::workflow::{InputSource, OpId, Workflow};
+use subzero_engine::OpMeta;
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, LookupStep, OpSpec, ProtocolError,
+    Request, Response, ServerStats, WireOutcome,
+};
+
+/// Anything that can go wrong talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The daemon sent something this client cannot decode.
+    Protocol(ProtocolError),
+    /// The daemon answered with an error response.
+    Server(String),
+    /// The daemon answered with the wrong response kind, or the client-side
+    /// traversal plan could not be derived.
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Protocol(e) => write!(f, "client protocol error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// Acknowledgement of one ingest batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchAck {
+    /// Whether the batch was admitted (`false` means the daemon's
+    /// `DropNewest` policy shed it; resend or accept the lineage hole).
+    pub accepted: bool,
+    /// The connection's running shed count.
+    pub shed_total: u64,
+}
+
+/// A blocking client for one daemon connection.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to a daemon's unix socket.
+    pub fn connect(socket_path: impl AsRef<Path>) -> io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(socket_path)?,
+        })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(request))?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Unexpected("server closed the connection".into()))?;
+        match decode_response(&payload)? {
+            Response::Error { message } => Err(ClientError::Server(message)),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Opens (or reattaches to) the named session, registering its
+    /// operators.  Returns the session handle.
+    pub fn open_session(&mut self, name: &str, ops: Vec<OpSpec>) -> Result<u64, ClientError> {
+        match self.call(&Request::OpenSession {
+            name: name.to_string(),
+            ops,
+        })? {
+            Response::SessionOpened { session } => Ok(session),
+            other => Err(ClientError::Unexpected(format!(
+                "expected SessionOpened, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ingests one batch of region pairs into an operator's datastores.
+    pub fn store_batch(
+        &mut self,
+        session: u64,
+        op_id: OpId,
+        pairs: Vec<RegionPair>,
+    ) -> Result<BatchAck, ClientError> {
+        match self.call(&Request::StoreBatch {
+            session,
+            op_id,
+            pairs,
+        })? {
+            Response::BatchStored {
+                accepted,
+                shed_total,
+            } => Ok(BatchAck {
+                accepted,
+                shed_total,
+            }),
+            other => Err(ClientError::Unexpected(format!(
+                "expected BatchStored, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Executes lookup steps; `result[i][q]` answers step `i`'s query `q`.
+    pub fn lookup(
+        &mut self,
+        session: u64,
+        steps: Vec<LookupStep>,
+    ) -> Result<Vec<Vec<WireOutcome>>, ClientError> {
+        match self.call(&Request::Lookup { session, steps })? {
+            Response::LookupDone { steps } => Ok(steps),
+            other => Err(ClientError::Unexpected(format!(
+                "expected LookupDone, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Quiesces and persists the session's datastores (the durability
+    /// barrier).  Returns the connection's total shed-batch count.
+    pub fn finish_session(&mut self, session: u64) -> Result<u64, ClientError> {
+        match self.call(&Request::FinishSession { session })? {
+            Response::SessionFinished { shed_total } => Ok(shed_total),
+            other => Err(ClientError::Unexpected(format!(
+                "expected SessionFinished, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Drops the session's in-memory state daemon-side.
+    pub fn close_session(&mut self, session: u64) -> Result<(), ClientError> {
+        match self.call(&Request::CloseSession { session })? {
+            Response::SessionClosed => Ok(()),
+            other => Err(ClientError::Unexpected(format!(
+                "expected SessionClosed, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches daemon-wide counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ClientError::Unexpected(format!(
+                "expected Stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully (drain, harvest, exit).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Unexpected(format!(
+                "expected ShuttingDown, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The [`ArrayNode`] an operator input edge reads from (the same mapping
+/// the in-process query engine applies).
+fn array_node_of(src: &InputSource) -> ArrayNode {
+    match src {
+        InputSource::Operator(op) => ArrayNode::Output(*op),
+        InputSource::External(name) => ArrayNode::External(name.clone()),
+    }
+}
+
+/// Client-side multi-hop traversal over a daemon session.
+///
+/// Holds the workflow DAG and per-operator metadata (the daemon itself is
+/// operator-agnostic beyond shapes), derives plans locally, and issues one
+/// batched remote lookup per edge.
+pub struct RemoteSession<'a> {
+    client: &'a mut Client,
+    session: u64,
+    workflow: &'a Workflow,
+    metas: HashMap<OpId, OpMeta>,
+}
+
+impl<'a> RemoteSession<'a> {
+    /// Wraps an open session.  `metas` must cover every operator a
+    /// traversal can cross.
+    pub fn new(
+        client: &'a mut Client,
+        session: u64,
+        workflow: &'a Workflow,
+        metas: impl IntoIterator<Item = (OpId, OpMeta)>,
+    ) -> Self {
+        RemoteSession {
+            client,
+            session,
+            workflow,
+            metas: metas.into_iter().collect(),
+        }
+    }
+
+    /// Traces batches of output cells of `from` back to the array `to`;
+    /// one result per batch.
+    pub fn backward_many(
+        &mut self,
+        from: OpId,
+        to: &ArrayNode,
+        batches: &[Vec<Coord>],
+    ) -> Result<Vec<CellSet>, ClientError> {
+        let plan = backward_plan(self.workflow, from, to)
+            .map_err(|e| ClientError::Unexpected(format!("no backward plan: {e:?}")))?;
+        self.run_edges(
+            Direction::Backward,
+            &plan.edges,
+            &ArrayNode::Output(from),
+            to,
+            batches,
+        )
+    }
+
+    /// Traces batches of cells of the array `from` forward to the output
+    /// of `to`; one result per batch.
+    pub fn forward_many(
+        &mut self,
+        from: &ArrayNode,
+        to: OpId,
+        batches: &[Vec<Coord>],
+    ) -> Result<Vec<CellSet>, ClientError> {
+        let plan = forward_plan(self.workflow, from, to)
+            .map_err(|e| ClientError::Unexpected(format!("no forward plan: {e:?}")))?;
+        self.run_edges(
+            Direction::Forward,
+            &plan.edges,
+            from,
+            &ArrayNode::Output(to),
+            batches,
+        )
+    }
+
+    fn array_shape(&self, node: &ArrayNode) -> Result<Shape, ClientError> {
+        match node {
+            ArrayNode::Output(op) => self
+                .metas
+                .get(op)
+                .map(|m| m.output_shape)
+                .ok_or_else(|| ClientError::Unexpected(format!("no meta for op {op}"))),
+            ArrayNode::External(name) => {
+                for n in self.workflow.nodes() {
+                    for (idx, src) in n.inputs.iter().enumerate() {
+                        if matches!(src, InputSource::External(x) if x == name) {
+                            let meta = self.metas.get(&n.id).ok_or_else(|| {
+                                ClientError::Unexpected(format!("no meta for op {}", n.id))
+                            })?;
+                            return Ok(meta.input_shapes[idx]);
+                        }
+                    }
+                }
+                Err(ClientError::Unexpected(format!(
+                    "unknown external array {name:?}"
+                )))
+            }
+        }
+    }
+
+    /// The same frontier composition as the in-process engine: seed the
+    /// start array, cross each planned edge in order (skipping all-empty
+    /// intermediates without a round-trip), union into the target array,
+    /// and collect the destination.
+    fn run_edges(
+        &mut self,
+        direction: Direction,
+        edges: &[Edge],
+        from: &ArrayNode,
+        to: &ArrayNode,
+        batches: &[Vec<Coord>],
+    ) -> Result<Vec<CellSet>, ClientError> {
+        let nq = batches.len();
+        let from_shape = self.array_shape(from)?;
+        let mut frontier: HashMap<ArrayNode, Vec<CellSet>> = HashMap::new();
+        frontier.insert(
+            from.clone(),
+            batches
+                .iter()
+                .map(|cells| CellSet::from_coords(from_shape, cells.iter().copied()))
+                .collect(),
+        );
+        for &(op_id, input_idx) in edges {
+            let node = self
+                .workflow
+                .node(op_id)
+                .map_err(|e| ClientError::Unexpected(format!("bad plan edge: {e:?}")))?;
+            let Some(src) = node.inputs.get(input_idx) else {
+                return Err(ClientError::Unexpected(format!(
+                    "op {op_id} has no input {input_idx}"
+                )));
+            };
+            let side_array = array_node_of(src);
+            let (input_node, target_node) = match direction {
+                Direction::Backward => (ArrayNode::Output(op_id), side_array),
+                Direction::Forward => (side_array, ArrayNode::Output(op_id)),
+            };
+            let target_shape = self.array_shape(&target_node)?;
+            let queries: Option<Vec<CellSet>> = match frontier.get(&input_node) {
+                Some(inputs) if !inputs.iter().all(CellSet::is_empty) => Some(inputs.clone()),
+                _ => None,
+            };
+            let entry = frontier
+                .entry(target_node)
+                .or_insert_with(|| vec![CellSet::empty(target_shape); nq]);
+            let Some(queries) = queries else {
+                continue;
+            };
+            let step = LookupStep {
+                op_id,
+                direction,
+                input_idx: input_idx as u32,
+                queries,
+            };
+            let mut outcomes = self.client.lookup(self.session, vec![step])?;
+            let outcomes = outcomes
+                .pop()
+                .ok_or_else(|| ClientError::Unexpected("lookup returned no step results".into()))?;
+            if outcomes.len() != nq {
+                return Err(ClientError::Unexpected(format!(
+                    "lookup returned {} outcomes for {nq} queries",
+                    outcomes.len()
+                )));
+            }
+            for (acc, outcome) in entry.iter_mut().zip(&outcomes) {
+                acc.union_with(&outcome.result);
+            }
+        }
+        let to_shape = self.array_shape(to)?;
+        Ok(frontier
+            .remove(to)
+            .unwrap_or_else(|| vec![CellSet::empty(to_shape); nq]))
+    }
+}

@@ -1,0 +1,530 @@
+//! The daemon coordinator: unix-socket accept loop, session registry, and
+//! request routing onto the shard workers.
+//!
+//! One connection handler thread per client reads frames, routes each job
+//! to the shard that owns the target operator ([`crate::shard::shard_of`]),
+//! and writes the response.  Ingest admission uses the connection's
+//! per-shard [`BoundedQueue`] lane with the server's configured
+//! [`OverflowPolicy`] — under `Block` a slow shard back-pressures the
+//! client through its own socket, under `DropNewest` the batch is shed and
+//! the client is told so in the acknowledgement (never silently).  Control
+//! and lookup jobs always push with `Block`, so queries and durability
+//! barriers are never shed.
+//!
+//! Multi-step lookups are fanned out: every step is enqueued on its owning
+//! shard first, then the coordinator collects the slots in step order and
+//! merges them into one response — shards answer concurrently, the client
+//! sees deterministic ordering.
+//!
+//! Shutdown (a client `Shutdown` request, [`Server::shutdown`], or drop)
+//! closes every lane, drains the shard queues, and *harvests*: each worker
+//! flushes its datastores and persists their sidecar indexes, so a
+//! restarted daemon reopens warm.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::Shutdown as SocketShutdown;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use subzero::capture::{BoundedQueue, OverflowPolicy};
+use subzero::sync::atomic::{AtomicBool, Ordering};
+use subzero::sync::{lock_or_recover, thread, Mutex};
+
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, Request, Response, ServerStats,
+};
+use crate::shard::{shard_of, worker_loop, Counters, JobSlot, Shard, ShardJob};
+
+/// Tuning knobs of one daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Root directory for the per-shard datastore directories
+    /// (`<dir>/shard<i>/`).  `None` keeps every datastore in memory —
+    /// useful for tests, pointless for a daemon meant to survive restarts.
+    pub data_dir: Option<PathBuf>,
+    /// Number of shard worker threads; operators are hash-partitioned
+    /// across them (clamped to at least 1).
+    pub shards: usize,
+    /// Depth of each per-connection, per-shard job lane.
+    pub queue_depth: usize,
+    /// What a full lane does with the next *ingest* batch.  Control and
+    /// lookup jobs always block instead.
+    pub ingest_policy: OverflowPolicy,
+    /// Artificial per-ingest-batch stall in the shard workers, emulating a
+    /// slow storage device.  Zero (the default) outside saturation tests
+    /// and benchmarks.
+    pub store_stall: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            data_dir: None,
+            shards: 4,
+            queue_depth: 64,
+            ingest_policy: OverflowPolicy::Block,
+            store_stall: Duration::ZERO,
+        }
+    }
+}
+
+#[derive(Default)]
+struct SessionTable {
+    by_name: HashMap<String, u64>,
+    names: HashMap<u64, String>,
+    next: u64,
+}
+
+struct Inner {
+    socket_path: PathBuf,
+    queue_depth: usize,
+    ingest_policy: OverflowPolicy,
+    shards: Vec<Arc<Shard>>,
+    counters: Arc<Counters>,
+    sessions: Mutex<SessionTable>,
+    shutdown: AtomicBool,
+    /// Clones of every live connection's stream, so shutdown can unblock
+    /// handlers parked in a blocking read.
+    conns: Mutex<Vec<UnixStream>>,
+}
+
+impl Inner {
+    /// Registers a connection for shutdown teardown.  Returns `false` when
+    /// the daemon is already shutting down (the connection is refused);
+    /// flag and registry are checked under one lock so a concurrent
+    /// shutdown can never miss a just-registered stream.
+    fn register_conn(&self, stream: &UnixStream) -> bool {
+        let mut conns = lock_or_recover(&self.conns);
+        if self.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        match stream.try_clone() {
+            Ok(clone) => {
+                conns.push(clone);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn trigger_shutdown(&self) {
+        {
+            let conns = lock_or_recover(&self.conns);
+            if self.shutdown.swap(true, Ordering::AcqRel) {
+                return;
+            }
+            for c in conns.iter() {
+                let _ = c.shutdown(SocketShutdown::Both);
+            }
+        }
+        for shard in &self.shards {
+            shard.initiate_shutdown();
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = UnixStream::connect(&self.socket_path);
+    }
+}
+
+/// A running daemon instance (the library form of `subzero-serverd`).
+///
+/// Dropping the handle shuts the daemon down gracefully: lanes close,
+/// shards drain, datastores are flushed and their indexes persisted.
+pub struct Server {
+    inner: Arc<Inner>,
+    accept: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `socket_path` and starts the shard workers and accept loop.
+    /// A stale socket file from a previous (crashed) daemon is replaced.
+    pub fn start(socket_path: impl Into<PathBuf>, config: ServerConfig) -> io::Result<Server> {
+        let socket_path = socket_path.into();
+        if socket_path.exists() {
+            std::fs::remove_file(&socket_path)?;
+        }
+        let nshards = config.shards.max(1);
+        if let Some(dir) = &config.data_dir {
+            for i in 0..nshards {
+                std::fs::create_dir_all(dir.join(format!("shard{i}")))?;
+            }
+        }
+        let counters = Arc::new(Counters::default());
+        let shards: Vec<Arc<Shard>> = (0..nshards)
+            .map(|i| {
+                Shard::new(
+                    i,
+                    config
+                        .data_dir
+                        .as_ref()
+                        .map(|d| d.join(format!("shard{i}"))),
+                    config.store_stall,
+                    Arc::clone(&counters),
+                )
+            })
+            .collect();
+        let workers = shards
+            .iter()
+            .map(|s| {
+                let shard = Arc::clone(s);
+                thread::spawn(move || worker_loop(shard))
+            })
+            .collect();
+        let listener = UnixListener::bind(&socket_path)?;
+        let inner = Arc::new(Inner {
+            socket_path,
+            queue_depth: config.queue_depth,
+            ingest_policy: config.ingest_policy,
+            shards,
+            counters,
+            sessions: Mutex::new(SessionTable::default()),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let inner = Arc::clone(&inner);
+            let handlers = Arc::clone(&handlers);
+            thread::spawn(move || accept_loop(listener, inner, handlers))
+        };
+        Ok(Server {
+            inner,
+            accept: Some(accept),
+            workers,
+            handlers,
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.inner.socket_path
+    }
+
+    /// Initiates a graceful shutdown without waiting for it.
+    pub fn shutdown(&self) {
+        self.inner.trigger_shutdown();
+    }
+
+    /// Blocks until the daemon has shut down (a client `Shutdown` request
+    /// or a concurrent [`shutdown`](Server::shutdown) call) and every
+    /// worker has harvested its datastores.
+    pub fn wait(mut self) {
+        self.finish();
+    }
+
+    /// [`shutdown`](Server::shutdown) then [`wait`](Server::wait).
+    pub fn shutdown_and_wait(self) {
+        self.inner.trigger_shutdown();
+        self.wait();
+    }
+
+    fn finish(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        loop {
+            let drained: Vec<thread::JoinHandle<()>> = {
+                let mut handlers = lock_or_recover(&self.handlers);
+                handlers.drain(..).collect()
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let _ = std::fs::remove_file(&self.inner.socket_path);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.inner.trigger_shutdown();
+        self.finish();
+    }
+}
+
+fn accept_loop(
+    listener: UnixListener,
+    inner: Arc<Inner>,
+    handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if !inner.register_conn(&stream) {
+            break;
+        }
+        let conn_inner = Arc::clone(&inner);
+        let handle = thread::spawn(move || handle_connection(conn_inner, stream));
+        lock_or_recover(&handlers).push(handle);
+    }
+}
+
+/// What the connection loop does after writing a response.
+enum After {
+    Continue,
+    ShutdownServer,
+}
+
+fn handle_connection(inner: Arc<Inner>, mut stream: UnixStream) {
+    // One job lane per shard, registered for the round-robin sweep.  The
+    // lane's own policy is the ingest policy; control jobs override it.
+    let lanes: Vec<Arc<BoundedQueue<ShardJob>>> = inner
+        .shards
+        .iter()
+        .map(|shard| {
+            let queue = Arc::new(BoundedQueue::new(inner.queue_depth, inner.ingest_policy));
+            shard.register_lane(Arc::clone(&queue));
+            queue
+        })
+        .collect();
+    let mut shed_total: u64 = 0;
+    while let Ok(Some(payload)) = read_frame(&mut stream) {
+        // Framing is length-prefixed, so a payload that fails to decode
+        // does not desynchronise the stream: report and keep serving.
+        let (response, after) = match decode_request(&payload) {
+            Ok(request) => handle_request(&inner, &lanes, &mut shed_total, request),
+            Err(e) => (
+                Response::Error {
+                    message: format!("bad request: {e}"),
+                },
+                After::Continue,
+            ),
+        };
+        if write_frame(&mut stream, &encode_response(&response)).is_err() {
+            break;
+        }
+        if let After::ShutdownServer = after {
+            inner.trigger_shutdown();
+            break;
+        }
+    }
+    // Disconnect: close our lanes so the shard sweeps drop them once
+    // drained (any already-admitted ingest still lands).
+    for (queue, shard) in lanes.iter().zip(&inner.shards) {
+        queue.close();
+        shard.notify();
+    }
+}
+
+/// Pushes a control/lookup job, blocking on a full lane (never shedding).
+fn push_control(
+    inner: &Inner,
+    lanes: &[Arc<BoundedQueue<ShardJob>>],
+    shard_idx: usize,
+    job: ShardJob,
+) -> Result<(), Response> {
+    match lanes[shard_idx].push_with_policy(job, OverflowPolicy::Block) {
+        Ok(_) => {
+            inner.shards[shard_idx].notify();
+            Ok(())
+        }
+        Err(e) => Err(Response::Error {
+            message: format!("server is shutting down: {e}"),
+        }),
+    }
+}
+
+fn session_exists(inner: &Inner, session: u64) -> bool {
+    lock_or_recover(&inner.sessions)
+        .names
+        .contains_key(&session)
+}
+
+fn handle_request(
+    inner: &Inner,
+    lanes: &[Arc<BoundedQueue<ShardJob>>],
+    shed_total: &mut u64,
+    request: Request,
+) -> (Response, After) {
+    let nshards = inner.shards.len();
+    let err = |message: String| (Response::Error { message }, After::Continue);
+    match request {
+        Request::OpenSession { name, ops } => {
+            if name.is_empty() {
+                return err("session name must not be empty".into());
+            }
+            let session = {
+                let mut table = lock_or_recover(&inner.sessions);
+                match table.by_name.get(&name) {
+                    Some(&id) => id,
+                    None => {
+                        let id = table.next;
+                        table.next += 1;
+                        table.by_name.insert(name.clone(), id);
+                        table.names.insert(id, name.clone());
+                        id
+                    }
+                }
+            };
+            let mut pending = Vec::with_capacity(ops.len());
+            for spec in ops {
+                let shard_idx = shard_of(spec.op_id, nshards);
+                let done = JobSlot::new();
+                let job = ShardJob::Open {
+                    session,
+                    name: name.clone(),
+                    spec,
+                    done: Arc::clone(&done),
+                };
+                if let Err(resp) = push_control(inner, lanes, shard_idx, job) {
+                    return (resp, After::Continue);
+                }
+                pending.push(done);
+            }
+            for done in pending {
+                if let Err(message) = done.wait() {
+                    return err(message);
+                }
+            }
+            (Response::SessionOpened { session }, After::Continue)
+        }
+        Request::CloseSession { session } => {
+            {
+                let mut table = lock_or_recover(&inner.sessions);
+                let Some(name) = table.names.remove(&session) else {
+                    return err(format!("unknown session {session}"));
+                };
+                table.by_name.remove(&name);
+            }
+            let mut pending = Vec::with_capacity(nshards);
+            for shard_idx in 0..nshards {
+                let done = JobSlot::new();
+                let job = ShardJob::Close {
+                    session,
+                    done: Arc::clone(&done),
+                };
+                if let Err(resp) = push_control(inner, lanes, shard_idx, job) {
+                    return (resp, After::Continue);
+                }
+                pending.push(done);
+            }
+            for done in pending {
+                done.wait();
+            }
+            (Response::SessionClosed, After::Continue)
+        }
+        Request::StoreBatch {
+            session,
+            op_id,
+            pairs,
+        } => {
+            if !session_exists(inner, session) {
+                return err(format!("unknown session {session}"));
+            }
+            let shard_idx = shard_of(op_id, nshards);
+            let job = ShardJob::Store {
+                session,
+                op_id,
+                pairs,
+            };
+            match lanes[shard_idx].push(job) {
+                Ok(true) => {
+                    inner.shards[shard_idx].notify();
+                    (
+                        Response::BatchStored {
+                            accepted: true,
+                            shed_total: *shed_total,
+                        },
+                        After::Continue,
+                    )
+                }
+                Ok(false) => {
+                    *shed_total += 1;
+                    inner.counters.shed_batches.fetch_add(1, Ordering::Relaxed);
+                    (
+                        Response::BatchStored {
+                            accepted: false,
+                            shed_total: *shed_total,
+                        },
+                        After::Continue,
+                    )
+                }
+                Err(e) => err(format!("server is shutting down: {e}")),
+            }
+        }
+        Request::Lookup { session, steps } => {
+            if !session_exists(inner, session) {
+                return err(format!("unknown session {session}"));
+            }
+            // Fan out: every step goes to its owning shard first, then the
+            // slots are collected in step order — shards work concurrently,
+            // the response ordering stays deterministic.
+            let mut pending = Vec::with_capacity(steps.len());
+            for step in steps {
+                let shard_idx = shard_of(step.op_id, nshards);
+                let done = JobSlot::new();
+                let job = ShardJob::Lookup {
+                    session,
+                    step,
+                    done: Arc::clone(&done),
+                };
+                if let Err(resp) = push_control(inner, lanes, shard_idx, job) {
+                    return (resp, After::Continue);
+                }
+                pending.push(done);
+            }
+            let mut merged = Vec::with_capacity(pending.len());
+            for done in pending {
+                match done.wait() {
+                    Ok(outcomes) => merged.push(outcomes),
+                    Err(message) => return err(message),
+                }
+            }
+            (Response::LookupDone { steps: merged }, After::Continue)
+        }
+        Request::FinishSession { session } => {
+            if !session_exists(inner, session) {
+                return err(format!("unknown session {session}"));
+            }
+            let mut pending = Vec::with_capacity(nshards);
+            for shard_idx in 0..nshards {
+                let done = JobSlot::new();
+                let job = ShardJob::Finish {
+                    session,
+                    done: Arc::clone(&done),
+                };
+                if let Err(resp) = push_control(inner, lanes, shard_idx, job) {
+                    return (resp, After::Continue);
+                }
+                pending.push(done);
+            }
+            for done in pending {
+                if let Err(message) = done.wait() {
+                    return err(message);
+                }
+            }
+            (
+                Response::SessionFinished {
+                    shed_total: *shed_total,
+                },
+                After::Continue,
+            )
+        }
+        Request::Stats => {
+            let sessions = lock_or_recover(&inner.sessions).names.len() as u64;
+            (
+                Response::Stats(ServerStats {
+                    sessions,
+                    shards: nshards as u64,
+                    store_batches: inner.counters.store_batches.load(Ordering::Relaxed),
+                    lookup_steps: inner.counters.lookup_steps.load(Ordering::Relaxed),
+                    shed_batches: inner.counters.shed_batches.load(Ordering::Relaxed),
+                }),
+                After::Continue,
+            )
+        }
+        Request::Shutdown => (Response::ShuttingDown, After::ShutdownServer),
+    }
+}

@@ -1,0 +1,241 @@
+//! Property-based coverage of the wire-protocol frame codec: arbitrary
+//! messages round-trip exactly; truncated or length-corrupted frames are
+//! rejected with an error — never a panic, never an unbounded allocation
+//! (the length prefix is validated against [`MAX_FRAME_BYTES`] before any
+//! buffer is reserved, and every element count inside a payload is checked
+//! against the bytes actually remaining).
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use subzero::model::{Direction, StorageStrategy};
+use subzero_array::{CellSet, Coord, Shape};
+use subzero_engine::lineage::RegionPair;
+use subzero_server::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    LookupStep, OpSpec, ProtocolError, Request, Response, ServerStats, WireOutcome,
+    MAX_FRAME_BYTES,
+};
+
+/// Every wire-encodable storage strategy.
+fn strategy_pool() -> Vec<StorageStrategy> {
+    vec![
+        StorageStrategy::blackbox(),
+        StorageStrategy::mapping(),
+        StorageStrategy::full_one(),
+        StorageStrategy::full_many(),
+        StorageStrategy::full_one_forward(),
+        StorageStrategy::full_many_forward(),
+        StorageStrategy::pay_one(),
+        StorageStrategy::pay_many(),
+        StorageStrategy::composite_one(),
+        StorageStrategy::composite_many(),
+    ]
+}
+
+fn shape_of(rows: u32, cols: u32) -> Shape {
+    Shape::d2(rows.clamp(1, 48), cols.clamp(1, 48))
+}
+
+fn cellset_of(rows: u32, cols: u32, picks: &[u32]) -> CellSet {
+    let shape = shape_of(rows, cols);
+    let n = shape.num_cells() as u32;
+    CellSet::from_coords(
+        shape,
+        picks.iter().map(|&i| shape.unravel((i % n) as usize)),
+    )
+}
+
+fn coords_of(picks: &[u32]) -> Vec<Coord> {
+    picks
+        .iter()
+        .map(|&i| Coord::d2((i >> 8) & 63, i & 63))
+        .collect()
+}
+
+/// Builds one of every request kind from generated primitives.
+fn request_of(
+    kind: usize,
+    session: u64,
+    op_id: u32,
+    rows: u32,
+    cols: u32,
+    picks: &[u32],
+    strat_picks: &[usize],
+) -> Request {
+    let pool = strategy_pool();
+    let strategies: Vec<StorageStrategy> =
+        strat_picks.iter().map(|&i| pool[i % pool.len()]).collect();
+    match kind % 7 {
+        0 => Request::OpenSession {
+            name: format!("sess-{session}"),
+            ops: vec![OpSpec {
+                op_id,
+                input_shapes: vec![shape_of(rows, cols), shape_of(cols, rows)],
+                output_shape: shape_of(rows, cols),
+                strategies: if strategies.is_empty() {
+                    vec![StorageStrategy::full_one()]
+                } else {
+                    strategies
+                },
+            }],
+        },
+        1 => Request::CloseSession { session },
+        2 => Request::StoreBatch {
+            session,
+            op_id,
+            pairs: vec![
+                RegionPair::Full {
+                    outcells: coords_of(picks),
+                    incells: vec![coords_of(picks), Vec::new()],
+                },
+                RegionPair::Payload {
+                    outcells: coords_of(picks),
+                    payload: picks.iter().map(|&p| p as u8).collect(),
+                },
+            ],
+        },
+        3 => Request::Lookup {
+            session,
+            steps: vec![LookupStep {
+                op_id,
+                direction: if session.is_multiple_of(2) {
+                    Direction::Backward
+                } else {
+                    Direction::Forward
+                },
+                input_idx: op_id % 4,
+                queries: vec![cellset_of(rows, cols, picks), cellset_of(rows, cols, &[])],
+            }],
+        },
+        4 => Request::FinishSession { session },
+        5 => Request::Stats,
+        _ => Request::Shutdown,
+    }
+}
+
+/// Builds one of every response kind from generated primitives.
+fn response_of(kind: usize, n: u64, rows: u32, cols: u32, picks: &[u32]) -> Response {
+    match kind % 8 {
+        0 => Response::SessionOpened { session: n },
+        1 => Response::SessionClosed,
+        2 => Response::BatchStored {
+            accepted: n.is_multiple_of(2),
+            shed_total: n,
+        },
+        3 => Response::LookupDone {
+            steps: vec![vec![WireOutcome {
+                result: cellset_of(rows, cols, picks),
+                covered: cellset_of(rows, cols, &picks[..picks.len() / 2]),
+                entries_fetched: n,
+                scanned: n.is_multiple_of(3),
+            }]],
+        },
+        4 => Response::SessionFinished { shed_total: n },
+        5 => Response::Stats(ServerStats {
+            sessions: n,
+            shards: n % 7,
+            store_batches: n / 2,
+            lookup_steps: n / 3,
+            shed_batches: n % 5,
+        }),
+        6 => Response::ShuttingDown,
+        _ => Response::Error {
+            message: format!("err-{n}"),
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn requests_roundtrip_through_frames(
+        (kind, session, op_id) in (0usize..7, any::<u64>(), any::<u32>()),
+        (rows, cols) in (1u32..48, 1u32..48),
+        picks in prop::collection::vec(any::<u32>(), 0..48),
+        strat_picks in prop::collection::vec(0usize..10, 0..4),
+    ) {
+        let req = request_of(kind, session, op_id, rows, cols, &picks, &strat_picks);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&req)).unwrap();
+        let mut cursor = Cursor::new(wire);
+        let payload = read_frame(&mut cursor).unwrap().expect("one frame");
+        prop_assert_eq!(decode_request(&payload).unwrap(), req);
+        // The stream is exactly one frame long.
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn responses_roundtrip_through_frames(
+        (kind, n) in (0usize..8, any::<u64>()),
+        (rows, cols) in (1u32..48, 1u32..48),
+        picks in prop::collection::vec(any::<u32>(), 0..48),
+    ) {
+        let resp = response_of(kind, n, rows, cols, &picks);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_response(&resp)).unwrap();
+        let payload = read_frame(&mut Cursor::new(wire)).unwrap().expect("one frame");
+        prop_assert_eq!(decode_response(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn truncated_frames_error_and_never_panic(
+        kind in 0usize..7,
+        session in any::<u64>(),
+        picks in prop::collection::vec(any::<u32>(), 0..16),
+        cut in any::<usize>(),
+    ) {
+        let req = request_of(kind, session, 9, 8, 8, &picks, &[2]);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&req)).unwrap();
+        let cut = cut % wire.len();
+        let result = read_frame(&mut Cursor::new(&wire[..cut]));
+        if cut == 0 {
+            // A clean EOF at a frame boundary is not an error.
+            prop_assert!(matches!(result, Ok(None)));
+        } else {
+            // EOF inside the prefix or the payload is a torn frame.
+            prop_assert!(result.is_err(), "cut at {cut} of {}", wire.len());
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_are_rejected_before_allocating(
+        kind in 0usize..7,
+        session in any::<u64>(),
+        picks in prop::collection::vec(any::<u32>(), 0..16),
+        fake_len in any::<u32>(),
+    ) {
+        let req = request_of(kind, session, 9, 8, 8, &picks, &[2]);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&req)).unwrap();
+        wire[..4].copy_from_slice(&fake_len.to_le_bytes());
+        match read_frame(&mut Cursor::new(&wire)) {
+            Err(ProtocolError::FrameTooLarge(n)) => {
+                // The oversized length was refused before any buffer grew.
+                prop_assert!(n > MAX_FRAME_BYTES);
+            }
+            Err(_) => {} // short payload: torn-frame error
+            Ok(None) => prop_assert!(fake_len == 0 && wire.len() == 4),
+            Ok(Some(payload)) => {
+                // A shorter-than-real length can still frame-decode; the
+                // payload decoder must then reject or re-interpret it
+                // without panicking either way.
+                prop_assert!(payload.len() as u32 == fake_len);
+                let _ = decode_request(&payload);
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_payload_bytes_never_panic_the_decoders(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+        // And through the framing layer too.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &bytes).unwrap();
+        let payload = read_frame(&mut Cursor::new(wire)).unwrap().expect("frame");
+        prop_assert_eq!(payload, bytes);
+    }
+}

@@ -1,0 +1,218 @@
+//! Crash-restart robustness: SIGKILL the daemon binary mid-ingest (no
+//! `FinishSession`, so no sidecar persist), restart it over the same data
+//! directory and socket path, and the recovered stores must serve queries
+//! byte-identical to a clean run of the same workload.
+//!
+//! Determinism relies on two store-layer guarantees: applied batches are
+//! group-flushed to the log before the call returns, and lane FIFO means a
+//! lookup acknowledged after an ingest batch proves that batch was applied.
+//! The test therefore barriers with one lookup per operator before killing,
+//! so the recovered content is exactly the sent content.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use subzero::model::{Direction, StorageStrategy};
+use subzero_array::{CellSet, Coord, Shape};
+use subzero_engine::lineage::RegionPair;
+use subzero_server::{Client, LookupStep, OpSpec, Server, ServerConfig, WireOutcome};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("subzero-restart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn spawn_daemon(socket: &Path, data_dir: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_subzero-serverd"))
+        .args([
+            "--socket",
+            socket.to_str().unwrap(),
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+            "--shards",
+            "2",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn subzero-serverd")
+}
+
+fn connect_with_retry(socket: &Path) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::connect(socket) {
+            Ok(c) => return c,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => panic!("daemon never came up on {}: {e}", socket.display()),
+        }
+    }
+}
+
+fn shape() -> Shape {
+    Shape::d2(8, 8)
+}
+
+fn specs() -> Vec<OpSpec> {
+    vec![
+        OpSpec {
+            op_id: 0,
+            input_shapes: vec![shape()],
+            output_shape: shape(),
+            strategies: vec![StorageStrategy::full_one()],
+        },
+        OpSpec {
+            op_id: 1,
+            input_shapes: vec![shape()],
+            output_shape: shape(),
+            strategies: vec![
+                StorageStrategy::full_one(),
+                StorageStrategy::full_one_forward(),
+            ],
+        },
+        OpSpec {
+            op_id: 2,
+            input_shapes: vec![shape(), shape()],
+            output_shape: shape(),
+            strategies: vec![StorageStrategy::full_many()],
+        },
+    ]
+}
+
+/// A deterministic synthetic workload: per op, a distinct structural pattern.
+fn pairs_for(op: u32) -> Vec<RegionPair> {
+    let mut pairs = Vec::new();
+    for r in 0..8u32 {
+        for c in 0..8u32 {
+            let pair = match op {
+                0 => RegionPair::Full {
+                    outcells: vec![Coord::d2(r, c)],
+                    incells: vec![vec![Coord::d2(c, r)]],
+                },
+                1 => RegionPair::Full {
+                    outcells: vec![Coord::d2(r, c)],
+                    incells: vec![vec![Coord::d2(r, c), Coord::d2(r, (c + 1) % 8)]],
+                },
+                _ => RegionPair::Full {
+                    outcells: vec![Coord::d2(r, c)],
+                    incells: vec![vec![Coord::d2(r, c)], vec![Coord::d2(7 - r, 7 - c)]],
+                },
+            };
+            pairs.push(pair);
+        }
+    }
+    pairs
+}
+
+/// Ingests the workload, then barriers with one lookup per operator so every
+/// sent batch is provably applied (lane FIFO) and group-flushed to the log.
+fn ingest(client: &mut Client, session: u64) {
+    for op in 0..3u32 {
+        for chunk in pairs_for(op).chunks(7) {
+            let ack = client
+                .store_batch(session, op, chunk.to_vec())
+                .expect("store batch");
+            assert!(ack.accepted);
+        }
+    }
+    for op in 0..3u32 {
+        let step = LookupStep {
+            op_id: op,
+            direction: Direction::Backward,
+            input_idx: 0,
+            queries: vec![CellSet::from_coords(shape(), [Coord::d2(0, 0)])],
+        };
+        client.lookup(session, vec![step]).expect("ingest barrier");
+    }
+}
+
+/// The probe suite whose answers must be byte-identical across daemons.
+fn probe(client: &mut Client, session: u64) -> Vec<Vec<Vec<WireOutcome>>> {
+    let queries = || {
+        vec![
+            CellSet::from_coords(shape(), [Coord::d2(3, 3)]),
+            CellSet::from_coords(shape(), [Coord::d2(0, 7), Coord::d2(7, 0)]),
+            CellSet::from_coords(shape(), (0..8).map(|i| Coord::d2(i, i))),
+        ]
+    };
+    let mut all = Vec::new();
+    for op in 0..3u32 {
+        let inputs = if op == 2 { 2 } else { 1 };
+        for input_idx in 0..inputs {
+            for direction in [Direction::Backward, Direction::Forward] {
+                let step = LookupStep {
+                    op_id: op,
+                    direction,
+                    input_idx,
+                    queries: queries(),
+                };
+                all.push(client.lookup(session, vec![step]).expect("probe lookup"));
+            }
+        }
+    }
+    all
+}
+
+#[test]
+fn sigkilled_daemon_recovers_byte_identical_to_a_clean_run() {
+    // Clean reference: ingest, finish, probe against an in-process server.
+    let clean_dir = temp_dir("clean");
+    let reference = {
+        let socket = clean_dir.join("daemon.sock");
+        let server = Server::start(
+            &socket,
+            ServerConfig {
+                data_dir: Some(clean_dir.join("data")),
+                shards: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("reference server starts");
+        let mut client = Client::connect(&socket).expect("connect");
+        let session = client.open_session("restart", specs()).expect("open");
+        ingest(&mut client, session);
+        client.finish_session(session).expect("finish");
+        let answers = probe(&mut client, session);
+        drop(client);
+        server.shutdown_and_wait();
+        answers
+    };
+
+    // Crash run: same workload through the real binary, SIGKILLed mid-ingest
+    // (no FinishSession — the sidecar indexes were never persisted).
+    let dir = temp_dir("crash");
+    let socket = dir.join("daemon.sock");
+    let data_dir = dir.join("data");
+    let mut child = spawn_daemon(&socket, &data_dir);
+    {
+        let mut client = connect_with_retry(&socket);
+        let session = client.open_session("restart", specs()).expect("open");
+        ingest(&mut client, session);
+    }
+    child.kill().expect("SIGKILL the daemon");
+    child.wait().expect("reap the daemon");
+
+    // Restart over the same directories (and the same, now-stale, socket
+    // file); the stores rebuild from their logs on reopen.
+    let mut child = spawn_daemon(&socket, &data_dir);
+    let mut client = connect_with_retry(&socket);
+    let session = client.open_session("restart", specs()).expect("reopen");
+    client
+        .finish_session(session)
+        .expect("finish after recovery");
+    let recovered = probe(&mut client, session);
+    assert_eq!(
+        recovered, reference,
+        "recovered answers diverge from the clean run"
+    );
+    client.shutdown_server().expect("graceful shutdown");
+    drop(client);
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status: {status:?}");
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}

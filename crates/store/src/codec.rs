@@ -33,6 +33,9 @@ pub enum CodecError {
         /// Number of cells in the target shape.
         num_cells: u64,
     },
+    /// The byte stream decoded but violated a structural invariant of the
+    /// encoded value (wrong magic, impossible count, bad tag, ...).
+    Corrupt(&'static str),
 }
 
 impl std::fmt::Display for CodecError {
@@ -44,6 +47,7 @@ impl std::fmt::Display for CodecError {
                 f,
                 "decoded cell index {index} out of bounds for array with {num_cells} cells"
             ),
+            CodecError::Corrupt(what) => write!(f, "corrupt encoded value: {what}"),
         }
     }
 }

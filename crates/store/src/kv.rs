@@ -109,6 +109,22 @@ pub trait KvBackend: Send + Sync {
     /// Flushes buffered writes to their destination (no-op for memory).
     fn flush(&mut self) -> io::Result<()>;
 
+    /// Path of the backing file for persistent backends, `None` for memory.
+    ///
+    /// Callers use this to place sidecar artefacts (e.g. a serialised
+    /// spatial index) next to the data they derive from.
+    fn file_path(&self) -> Option<&Path> {
+        None
+    }
+
+    /// A cheap fingerprint of the flushed contents, used to validate sidecar
+    /// artefacts on reopen: a sidecar written at stamp `s` is only trusted
+    /// while the backend still reports `s`.  Purely in-memory backends
+    /// (which never outlive the process) may return 0.
+    fn persist_stamp(&self) -> u64 {
+        0
+    }
+
     /// Inserts or replaces many pairs with one group flush at the end.
     ///
     /// Backends take ownership of the keys and values, so batched writers
@@ -667,6 +683,22 @@ impl KvBackend for FileBackend {
         Ok(())
     }
 
+    fn file_path(&self) -> Option<&Path> {
+        Some(&self.path)
+    }
+
+    fn persist_stamp(&self) -> u64 {
+        // Mixes the append offset with the live-key population: reopening the
+        // log replays to the same offset/index, while any write (or a torn
+        // tail truncated on reopen) moves the stamp and invalidates sidecars
+        // derived from the old contents.
+        self.write_offset
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(self.index.len() as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(self.live_bytes as u64)
+    }
+
     fn put_batch(&mut self, items: Vec<(Vec<u8>, Vec<u8>)>) {
         let slices: Vec<(&[u8], &[u8])> = items
             .iter()
@@ -930,6 +962,18 @@ impl Database {
     /// Flushes buffered writes.
     pub fn flush(&mut self) -> io::Result<()> {
         self.backend.flush()
+    }
+
+    /// Path of the backing file for persistent backends, `None` for memory
+    /// (see [`KvBackend::file_path`]).
+    pub fn file_path(&self) -> Option<&Path> {
+        self.backend.file_path()
+    }
+
+    /// Fingerprint of the flushed contents for sidecar validation (see
+    /// [`KvBackend::persist_stamp`]).
+    pub fn persist_stamp(&self) -> u64 {
+        self.backend.persist_stamp()
     }
 
     /// Access statistics `(puts, gets)`.

@@ -11,6 +11,7 @@
 //! Entries are `(BoundingBox, u64)` pairs; the `u64` is an opaque identifier
 //! (for SubZero, the hash-entry id of the encoded region pair).
 
+use crate::codec::{read_varint, write_varint, CodecError};
 use subzero_array::{BoundingBox, Coord};
 
 /// Maximum number of entries per node before a split (the tree's branching
@@ -202,6 +203,142 @@ impl RTree {
             }
         }
         depth_rec(&self.root)
+    }
+
+    /// Appends a byte serialisation of the tree to `out`.
+    ///
+    /// The encoding is a pre-order walk (entry count, then the node tree;
+    /// each node is a tag byte, a child/entry count and varint-packed
+    /// bounding boxes), so a bulk-loaded index round-trips structurally
+    /// identical — [`deserialize`](RTree::deserialize) restores the exact
+    /// packing without re-running STR.  Persisting the index beside its `.kv`
+    /// file is what lets a restarted lineage daemon skip the per-shard
+    /// rebuild.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        fn write_bbox(out: &mut Vec<u8>, b: &BoundingBox) {
+            let (lo, hi) = (b.lo(), b.hi());
+            write_varint(out, lo.ndim() as u64);
+            for &d in lo.as_slice() {
+                write_varint(out, u64::from(d));
+            }
+            for &d in hi.as_slice() {
+                write_varint(out, u64::from(d));
+            }
+        }
+        fn write_node(out: &mut Vec<u8>, n: &Node) {
+            match n {
+                Node::Leaf(entries) => {
+                    out.push(0);
+                    write_varint(out, entries.len() as u64);
+                    for (b, id) in entries {
+                        write_bbox(out, b);
+                        write_varint(out, *id);
+                    }
+                }
+                Node::Inner(children) => {
+                    out.push(1);
+                    write_varint(out, children.len() as u64);
+                    for (b, child) in children {
+                        write_bbox(out, b);
+                        write_node(out, child);
+                    }
+                }
+            }
+        }
+        write_varint(out, self.len as u64);
+        write_node(out, &self.root);
+    }
+
+    /// Decodes a tree serialised by [`serialize_into`](RTree::serialize_into),
+    /// advancing `*pos` past the encoded bytes.
+    ///
+    /// Corrupt input is rejected with an error — never a panic, unbounded
+    /// recursion or oversized allocation: counts are validated against the
+    /// remaining buffer and nesting is capped well beyond any tree this
+    /// module can build.
+    pub fn deserialize(buf: &[u8], pos: &mut usize) -> Result<RTree, CodecError> {
+        // A node of depth d indexes >= MIN_ENTRIES^d entries, so genuine
+        // trees stay tiny; anything deeper is corruption trying to recurse.
+        const MAX_DEPTH: usize = 64;
+        fn read_bbox(buf: &[u8], pos: &mut usize) -> Result<BoundingBox, CodecError> {
+            let ndim = read_varint(buf, pos)? as usize;
+            if ndim == 0 || ndim > subzero_array::MAX_NDIM {
+                return Err(CodecError::Corrupt("r-tree bbox dimensionality"));
+            }
+            let mut dims = [0u32; subzero_array::MAX_NDIM];
+            let read_coord = |pos: &mut usize,
+                              dims: &mut [u32; subzero_array::MAX_NDIM]|
+             -> Result<Coord, CodecError> {
+                for d in dims.iter_mut().take(ndim) {
+                    let v = read_varint(buf, pos)?;
+                    *d = u32::try_from(v)
+                        .map_err(|_| CodecError::Corrupt("r-tree bbox coordinate"))?;
+                }
+                Ok(Coord::new(&dims[..ndim]))
+            };
+            let lo = read_coord(pos, &mut dims)?;
+            let hi = read_coord(pos, &mut dims)?;
+            for d in 0..ndim {
+                if lo.get(d) > hi.get(d) {
+                    return Err(CodecError::Corrupt("r-tree bbox inverted"));
+                }
+            }
+            Ok(BoundingBox::new(&lo, &hi))
+        }
+        fn read_node(
+            buf: &[u8],
+            pos: &mut usize,
+            depth: usize,
+            entries_seen: &mut u64,
+        ) -> Result<Node, CodecError> {
+            if depth > MAX_DEPTH {
+                return Err(CodecError::Corrupt("r-tree nesting depth"));
+            }
+            let tag = *buf.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+            *pos += 1;
+            let count = read_varint(buf, pos)? as usize;
+            // Every entry/child costs at least one encoded byte; a count the
+            // remaining buffer cannot possibly satisfy is corruption, and
+            // rejecting it here bounds every allocation below.
+            if count > buf.len() - *pos {
+                return Err(CodecError::Corrupt("r-tree node count"));
+            }
+            match tag {
+                0 => {
+                    let mut entries = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let b = read_bbox(buf, pos)?;
+                        let id = read_varint(buf, pos)?;
+                        entries.push((b, id));
+                    }
+                    *entries_seen += count as u64;
+                    Ok(Node::Leaf(entries))
+                }
+                1 => {
+                    if count == 0 {
+                        return Err(CodecError::Corrupt("r-tree empty inner node"));
+                    }
+                    let mut children = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let b = read_bbox(buf, pos)?;
+                        let child = read_node(buf, pos, depth + 1, entries_seen)?;
+                        children.push((b, Box::new(child)));
+                    }
+                    Ok(Node::Inner(children))
+                }
+                _ => Err(CodecError::Corrupt("r-tree node tag")),
+            }
+        }
+        let len = read_varint(buf, pos)?;
+        let mut entries_seen = 0u64;
+        let root = read_node(buf, pos, 1, &mut entries_seen)?;
+        if entries_seen != len {
+            return Err(CodecError::Corrupt("r-tree entry count mismatch"));
+        }
+        Ok(RTree {
+            root,
+            len: len as usize,
+        })
     }
 }
 
@@ -476,6 +613,88 @@ mod tests {
         let mut hits = t.query_point(&Coord::d1(5));
         hits.sort_unstable();
         assert_eq!(hits, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn serialize_round_trips_structure_and_queries() {
+        let entries: Vec<(BoundingBox, u64)> = (0u32..500)
+            .map(|i| {
+                let r = (i * 37) % 700;
+                let c = (i * 91) % 700;
+                (
+                    BoundingBox::new(&Coord::d2(r, c), &Coord::d2(r + i % 5, c + i % 7)),
+                    i as u64,
+                )
+            })
+            .collect();
+        let tree = RTree::bulk_load(entries);
+        let mut bytes = Vec::new();
+        tree.serialize_into(&mut bytes);
+        let mut pos = 0;
+        let back = RTree::deserialize(&bytes, &mut pos).unwrap();
+        assert_eq!(pos, bytes.len(), "decoder consumes exactly what it wrote");
+        assert_eq!(back.len(), tree.len());
+        assert_eq!(back.depth(), tree.depth());
+        assert_eq!(back.size_bytes(), tree.size_bytes());
+        for q in [
+            BoundingBox::new(&Coord::d2(0, 0), &Coord::d2(80, 80)),
+            BoundingBox::point(&Coord::d2(350, 350)),
+            BoundingBox::new(&Coord::d2(0, 0), &Coord::d2(699, 699)),
+        ] {
+            assert_eq!(back.query(&q), tree.query(&q), "identical visit order");
+        }
+        // A deserialized tree stays mutable.
+        let mut back = back;
+        back.insert(BoundingBox::point(&Coord::d2(1000, 1000)), 9999);
+        assert_eq!(back.query_point(&Coord::d2(1000, 1000)), vec![9999]);
+    }
+
+    #[test]
+    fn serialize_round_trips_empty_and_1d() {
+        for tree in [
+            RTree::new(),
+            RTree::bulk_load(vec![(BoundingBox::point(&Coord::d1(5)), 7)]),
+        ] {
+            let mut bytes = Vec::new();
+            tree.serialize_into(&mut bytes);
+            let mut pos = 0;
+            let back = RTree::deserialize(&bytes, &mut pos).unwrap();
+            assert_eq!(back.len(), tree.len());
+            assert_eq!(
+                back.query(&BoundingBox::new(&Coord::d1(0), &Coord::d1(100))),
+                tree.query(&BoundingBox::new(&Coord::d1(0), &Coord::d1(100)))
+            );
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_corruption_without_panicking() {
+        let tree = RTree::bulk_load(
+            (0u32..100)
+                .map(|i| (BoundingBox::point(&Coord::d2(i, i)), i as u64))
+                .collect(),
+        );
+        let mut bytes = Vec::new();
+        tree.serialize_into(&mut bytes);
+        // Truncations at every prefix length must error, never panic.
+        for cut in 0..bytes.len() {
+            let mut pos = 0;
+            assert!(RTree::deserialize(&bytes[..cut], &mut pos).is_err());
+        }
+        // A huge claimed count must be rejected before allocating for it.
+        let mut huge = Vec::new();
+        write_varint(&mut huge, 100);
+        huge.push(0); // leaf tag
+        write_varint(&mut huge, u64::MAX); // absurd entry count
+        let mut pos = 0;
+        assert!(RTree::deserialize(&huge, &mut pos).is_err());
+        // Single flipped bytes either decode to *some* tree or error cleanly.
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0xff;
+            let mut pos = 0;
+            let _ = RTree::deserialize(&flipped, &mut pos);
+        }
     }
 
     #[test]

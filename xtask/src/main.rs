@@ -751,6 +751,34 @@ mod tests {
     }
 
     #[test]
+    fn daemon_crate_is_covered_by_the_workspace_lints() {
+        // The server crate is deliberately *not* a sync gateway: its shard
+        // workers and connection threads must go through `subzero::sync`
+        // like every other library crate.
+        let src = "fn f() { let t = std::thread::spawn(|| {}); t.join().unwrap(); }\n";
+        assert_eq!(
+            lints_of(&lint_rust_source("crates/server/src/shard.rs", src)),
+            vec!["sync-gateway"]
+        );
+        let src = "use std::sync::mpsc;\n";
+        assert_eq!(
+            lints_of(&lint_rust_source("crates/server/src/server.rs", src)),
+            vec!["sync-gateway"]
+        );
+        let src = "fn f(m: &Mutex<u32>) { *m.lock().unwrap() += 1; }\n";
+        assert_eq!(
+            lints_of(&lint_rust_source("crates/server/src/server.rs", src)),
+            vec!["lock-unwrap"]
+        );
+        // The wire codec is not on the encode hot path; its integration
+        // tests and the daemon binary may drive real threads and sockets.
+        let src = "fn encode() { let t = Instant::now(); }\n";
+        assert!(lint_rust_source("crates/server/src/protocol.rs", src).is_empty());
+        let src = "fn t() { std::thread::sleep(d); m.lock().unwrap(); }\n";
+        assert!(lint_rust_source("crates/server/tests/restart.rs", src).is_empty());
+    }
+
+    #[test]
     fn hot_loop_timing_fires_only_on_hot_paths() {
         let src = "fn encode() { let t = Instant::now(); }\n";
         assert_eq!(
