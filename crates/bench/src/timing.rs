@@ -113,7 +113,14 @@ mod tests {
         let mut count = 0u64;
         let s = run("t", Duration::from_millis(5), || {
             count += 1;
-            count
+            // A dependent-multiply chain keeps one iteration above a
+            // nanosecond; a sub-nanosecond closure would make per_iter()
+            // truncate to Duration::ZERO and flake the assertion below.
+            let mut acc = count;
+            for i in 0..64 {
+                acc = std::hint::black_box(acc.wrapping_mul(31).wrapping_add(i));
+            }
+            acc
         });
         // One warmup call plus the measured iterations.
         assert_eq!(count, s.iters + 1);

@@ -9,10 +9,13 @@
 //!
 //! Decoding is defensive end to end: truncated frames, corrupt counts,
 //! out-of-range shapes and non-canonical cell sets are all rejected with a
-//! [`ProtocolError`] — never a panic, and never an allocation larger than
-//! the (already length-capped) frame itself.  Every element count is
-//! validated against the bytes actually remaining in the frame before any
-//! buffer is reserved.
+//! [`ProtocolError`] — never a panic, and never unbounded allocation.
+//! Every element count is validated against the bytes actually remaining
+//! in the frame before any buffer is reserved, and the cells declared by
+//! *all* of a frame's cell sets combined are charged against one
+//! [`MAX_FRAME_CELLS`] budget — a frame packed with thousands of tiny
+//! encodings each declaring a huge shape cannot drive the decoder's total
+//! bitmap allocation past that cap.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -28,9 +31,46 @@ use subzero_store::codec::{read_varint, write_varint, CodecError};
 /// into multiple `StoreBatch` frames well before this.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
-/// Hard cap on the number of cells of any shape travelling over the wire
-/// (bounds the bitmap a decoded [`CellSet`] allocates).
+/// Hard cap on the number of cells of any *single* shape travelling over
+/// the wire (bounds the bitmap one decoded [`CellSet`] allocates).
 pub const MAX_WIRE_CELLS: usize = 1 << 28;
+
+/// Hard cap on the *total* cells declared by all cell sets in one frame.
+///
+/// Each decoded [`CellSet`] allocates a dense bitmap sized by its declared
+/// shape, so the per-shape cap alone would let one frame encode thousands
+/// of ~10-byte empty cell sets each declaring a [`MAX_WIRE_CELLS`]-cell
+/// shape and multiply that allocation without bound.  Charging every
+/// declared shape against one per-frame budget caps the frame's total
+/// decoded-bitmap footprint at `MAX_FRAME_CELLS / 8` bytes (128 MiB).  The
+/// budget is 4× the per-shape cap so a lookup outcome pair on maximum-size
+/// shapes still fits; batches declaring more cells than this must be split
+/// across frames.
+pub const MAX_FRAME_CELLS: u64 = 1 << 30;
+
+/// The per-frame allocation budget shared by every cell set a frame
+/// decodes (see [`MAX_FRAME_CELLS`]).
+struct CellBudget {
+    remaining: u64,
+}
+
+impl CellBudget {
+    fn new() -> CellBudget {
+        CellBudget {
+            remaining: MAX_FRAME_CELLS,
+        }
+    }
+
+    fn charge(&mut self, cells: u64) -> Result<(), ProtocolError> {
+        if cells > self.remaining {
+            return Err(ProtocolError::Malformed(
+                "frame's total declared cells exceed wire cap",
+            ));
+        }
+        self.remaining -= cells;
+        Ok(())
+    }
+}
 
 /// Anything that can go wrong reading or decoding a frame.
 #[derive(Debug)]
@@ -393,8 +433,13 @@ fn write_cellset(out: &mut Vec<u8>, cs: &CellSet) {
     }
 }
 
-fn read_cellset(buf: &[u8], pos: &mut usize) -> Result<CellSet, ProtocolError> {
+fn read_cellset(
+    buf: &[u8],
+    pos: &mut usize,
+    budget: &mut CellBudget,
+) -> Result<CellSet, ProtocolError> {
     let shape = read_shape(buf, pos)?;
+    budget.charge(shape.num_cells() as u64)?;
     let n = read_count(buf, pos, 1)?;
     let num_cells = shape.num_cells();
     if n > num_cells {
@@ -572,7 +617,11 @@ fn write_lookup_step(out: &mut Vec<u8>, step: &LookupStep) {
     }
 }
 
-fn read_lookup_step(buf: &[u8], pos: &mut usize) -> Result<LookupStep, ProtocolError> {
+fn read_lookup_step(
+    buf: &[u8],
+    pos: &mut usize,
+    budget: &mut CellBudget,
+) -> Result<LookupStep, ProtocolError> {
     let op_id = read_varint(buf, pos)?;
     if op_id > u64::from(u32::MAX) {
         return Err(ProtocolError::Malformed("operator id out of range"));
@@ -585,7 +634,7 @@ fn read_lookup_step(buf: &[u8], pos: &mut usize) -> Result<LookupStep, ProtocolE
     let n_queries = read_count(buf, pos, 2)?;
     let mut queries = Vec::with_capacity(n_queries);
     for _ in 0..n_queries {
-        queries.push(read_cellset(buf, pos)?);
+        queries.push(read_cellset(buf, pos, budget)?);
     }
     Ok(LookupStep {
         op_id: op_id as OpId,
@@ -602,10 +651,14 @@ fn write_outcome(out: &mut Vec<u8>, o: &WireOutcome) {
     write_bool(out, o.scanned);
 }
 
-fn read_outcome(buf: &[u8], pos: &mut usize) -> Result<WireOutcome, ProtocolError> {
+fn read_outcome(
+    buf: &[u8],
+    pos: &mut usize,
+    budget: &mut CellBudget,
+) -> Result<WireOutcome, ProtocolError> {
     Ok(WireOutcome {
-        result: read_cellset(buf, pos)?,
-        covered: read_cellset(buf, pos)?,
+        result: read_cellset(buf, pos, budget)?,
+        covered: read_cellset(buf, pos, budget)?,
         entries_fetched: read_varint(buf, pos)?,
         scanned: read_bool(buf, pos)?,
     })
@@ -716,9 +769,10 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, ProtocolError> {
         REQ_LOOKUP => {
             let session = read_varint(buf, &mut pos)?;
             let n = read_count(buf, &mut pos, 4)?;
+            let mut budget = CellBudget::new();
             let mut steps = Vec::with_capacity(n);
             for _ in 0..n {
-                steps.push(read_lookup_step(buf, &mut pos)?);
+                steps.push(read_lookup_step(buf, &mut pos, &mut budget)?);
             }
             Request::Lookup { session, steps }
         }
@@ -798,12 +852,13 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, ProtocolError> {
         },
         RESP_LOOKUP => {
             let n = read_count(buf, &mut pos, 1)?;
+            let mut budget = CellBudget::new();
             let mut steps = Vec::with_capacity(n);
             for _ in 0..n {
                 let m = read_count(buf, &mut pos, 4)?;
                 let mut outcomes = Vec::with_capacity(m);
                 for _ in 0..m {
-                    outcomes.push(read_outcome(buf, &mut pos)?);
+                    outcomes.push(read_outcome(buf, &mut pos, &mut budget)?);
                 }
                 steps.push(outcomes);
             }
@@ -964,6 +1019,47 @@ mod tests {
         assert!(read_frame(&mut &*torn).is_err());
         let half_len: &[u8] = &[3, 0];
         assert!(read_frame(&mut &*half_len).is_err());
+    }
+
+    #[test]
+    fn packed_huge_empty_cellsets_exhaust_the_frame_budget() {
+        // Each empty cell set costs ~10 bytes on the wire but declares a
+        // MAX_WIRE_CELLS-cell shape (a 32 MiB bitmap when decoded).  A
+        // frame packing many of them must be refused by the shared
+        // per-frame budget, not multiplied into gigabytes of bitmaps.
+        let huge = Shape::d2(1 << 14, 1 << 14);
+        assert_eq!(huge.num_cells(), MAX_WIRE_CELLS);
+        let n_queries = 64u64;
+        let mut buf = vec![REQ_LOOKUP];
+        write_varint(&mut buf, 1); // session
+        write_varint(&mut buf, 1); // one step
+        write_varint(&mut buf, 7); // op_id
+        buf.push(0); // direction
+        write_varint(&mut buf, 0); // input_idx
+        write_varint(&mut buf, n_queries);
+        for _ in 0..n_queries {
+            write_shape(&mut buf, &huge);
+            write_varint(&mut buf, 0); // empty cell set
+        }
+        assert!(buf.len() < 1024, "the attack frame itself is tiny");
+        let err = decode_request(&buf).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::Malformed(m) if m.contains("total declared cells")),
+            "{err}"
+        );
+        // The same packing under the budget still decodes fine.
+        let mut ok = vec![REQ_LOOKUP];
+        write_varint(&mut ok, 1);
+        write_varint(&mut ok, 1);
+        write_varint(&mut ok, 7);
+        ok.push(0);
+        write_varint(&mut ok, 0);
+        write_varint(&mut ok, 2);
+        for _ in 0..2 {
+            write_shape(&mut ok, &huge);
+            write_varint(&mut ok, 0);
+        }
+        assert!(decode_request(&ok).is_ok());
     }
 
     #[test]

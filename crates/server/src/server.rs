@@ -21,7 +21,7 @@
 //! flushes its datastores and persists their sidecar indexes, so a
 //! restarted daemon reopens warm.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::Shutdown as SocketShutdown;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -32,6 +32,7 @@ use std::time::Duration;
 use subzero::capture::{BoundedQueue, OverflowPolicy};
 use subzero::sync::atomic::{AtomicBool, Ordering};
 use subzero::sync::{lock_or_recover, thread, Mutex};
+use subzero_engine::workflow::OpId;
 
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, Request, Response, ServerStats,
@@ -75,6 +76,11 @@ impl Default for ServerConfig {
 struct SessionTable {
     by_name: HashMap<String, u64>,
     names: HashMap<u64, String>,
+    /// Operators usable per session: only those whose shard-side opens
+    /// *all* succeeded are registered, and ingest/lookup admission rejects
+    /// targets outside this set — so a batch can never be acknowledged and
+    /// then silently dropped at a shard that never opened the operator.
+    ops: HashMap<u64, HashSet<OpId>>,
     next: u64,
 }
 
@@ -267,7 +273,20 @@ fn accept_loop(
         }
         let conn_inner = Arc::clone(&inner);
         let handle = thread::spawn(move || handle_connection(conn_inner, stream));
-        lock_or_recover(&handlers).push(handle);
+        let mut registry = lock_or_recover(&handlers);
+        // Reap finished handlers while we hold the lock anyway, so a
+        // long-lived daemon serving many short connections doesn't
+        // accumulate dead JoinHandles without bound.  Joining a finished
+        // thread returns immediately.
+        let mut i = 0;
+        while i < registry.len() {
+            if registry[i].is_finished() {
+                let _ = registry.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        registry.push(handle);
     }
 }
 
@@ -355,20 +374,22 @@ fn handle_request(
             if name.is_empty() {
                 return err("session name must not be empty".into());
             }
-            let session = {
+            let (session, created) = {
                 let mut table = lock_or_recover(&inner.sessions);
                 match table.by_name.get(&name) {
-                    Some(&id) => id,
+                    Some(&id) => (id, false),
                     None => {
                         let id = table.next;
                         table.next += 1;
                         table.by_name.insert(name.clone(), id);
                         table.names.insert(id, name.clone());
-                        id
+                        (id, true)
                     }
                 }
             };
+            let op_ids: Vec<OpId> = ops.iter().map(|spec| spec.op_id).collect();
             let mut pending = Vec::with_capacity(ops.len());
+            let mut push_err: Option<Response> = None;
             for spec in ops {
                 let shard_idx = shard_of(spec.op_id, nshards);
                 let done = JobSlot::new();
@@ -379,16 +400,58 @@ fn handle_request(
                     done: Arc::clone(&done),
                 };
                 if let Err(resp) = push_control(inner, lanes, shard_idx, job) {
-                    return (resp, After::Continue);
+                    push_err = Some(resp);
+                    break;
                 }
                 pending.push(done);
             }
+            // Wait for every submitted open before judging the request: a
+            // partial failure must never leave the session half-live.
+            let mut first_err: Option<String> = None;
             for done in pending {
                 if let Err(message) = done.wait() {
-                    return err(message);
+                    first_err.get_or_insert(message);
                 }
             }
-            (Response::SessionOpened { session }, After::Continue)
+            if push_err.is_none() && first_err.is_none() {
+                let mut table = lock_or_recover(&inner.sessions);
+                table.ops.entry(session).or_default().extend(op_ids);
+                return (Response::SessionOpened { session }, After::Continue);
+            }
+            // Roll back a session this request created: unregister it and
+            // drop whatever ops did open on the shards, so a failed open
+            // leaves no live-but-broken session behind.  On a reattach the
+            // pre-existing session stays as it was; ops first opened by
+            // the failed request are simply never registered, so admission
+            // rejects traffic to them.
+            if created {
+                {
+                    let mut table = lock_or_recover(&inner.sessions);
+                    table.names.remove(&session);
+                    table.by_name.remove(&name);
+                    table.ops.remove(&session);
+                }
+                let mut closes = Vec::with_capacity(nshards);
+                for shard_idx in 0..nshards {
+                    let done = JobSlot::new();
+                    let job = ShardJob::Close {
+                        session,
+                        done: Arc::clone(&done),
+                    };
+                    // A push failure here means shutdown, where the shard
+                    // workers drop their state anyway.
+                    if push_control(inner, lanes, shard_idx, job).is_ok() {
+                        closes.push(done);
+                    }
+                }
+                for done in closes {
+                    done.wait();
+                }
+            }
+            match push_err {
+                Some(resp) => (resp, After::Continue),
+                None => err(first_err.expect("open failed without an error")),
+            }
         }
         Request::CloseSession { session } => {
             {
@@ -397,6 +460,7 @@ fn handle_request(
                     return err(format!("unknown session {session}"));
                 };
                 table.by_name.remove(&name);
+                table.ops.remove(&session);
             }
             let mut pending = Vec::with_capacity(nshards);
             for shard_idx in 0..nshards {
@@ -420,8 +484,14 @@ fn handle_request(
             op_id,
             pairs,
         } => {
-            if !session_exists(inner, session) {
-                return err(format!("unknown session {session}"));
+            {
+                let table = lock_or_recover(&inner.sessions);
+                if !table.names.contains_key(&session) {
+                    return err(format!("unknown session {session}"));
+                }
+                if !table.ops.get(&session).is_some_and(|s| s.contains(&op_id)) {
+                    return err(format!("op {op_id} is not registered in session {session}"));
+                }
             }
             let shard_idx = shard_of(op_id, nshards);
             let job = ShardJob::Store {
@@ -455,8 +525,20 @@ fn handle_request(
             }
         }
         Request::Lookup { session, steps } => {
-            if !session_exists(inner, session) {
-                return err(format!("unknown session {session}"));
+            {
+                let table = lock_or_recover(&inner.sessions);
+                if !table.names.contains_key(&session) {
+                    return err(format!("unknown session {session}"));
+                }
+                let registered = table.ops.get(&session);
+                for step in &steps {
+                    if !registered.is_some_and(|s| s.contains(&step.op_id)) {
+                        return err(format!(
+                            "op {} is not registered in session {session}",
+                            step.op_id
+                        ));
+                    }
+                }
             }
             // Fan out: every step goes to its owning shard first, then the
             // slots are collected in step order — shards work concurrently,

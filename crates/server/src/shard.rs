@@ -49,18 +49,41 @@ pub fn shard_of(op_id: OpId, n: usize) -> usize {
 }
 
 /// Maps a session name to the stable on-disk file prefix, mirroring the
-/// store layer's own sanitisation (which is private to it): every byte
+/// store layer's own character rules (which are private to it): every byte
 /// outside `[A-Za-z0-9_-]` becomes `_`.
+///
+/// Plain replacement alone would let distinct session names collide on one
+/// prefix (`"run.1"` and `"run_1"` both become `run_1`), handing two
+/// concurrently open sessions `FileBackend`s appending to the same `.kv`
+/// log and corrupting both.  So any name the replacement actually changed
+/// gets a hash of the *raw* name appended, keeping distinct names distinct
+/// on disk; names already made of clean characters keep their verbatim
+/// prefix, so existing on-disk layouts stay readable.  The mapping is a
+/// pure function of the name — a restarted daemon recovers the same files.
 pub fn sanitize_name(name: &str) -> String {
-    name.chars()
+    let mut changed = false;
+    let clean: String = name
+        .chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
                 c
             } else {
+                changed = true;
                 '_'
             }
         })
-        .collect()
+        .collect();
+    if !changed {
+        return clean;
+    }
+    // FNV-1a over the raw bytes; 64 bits is plenty to keep the handful of
+    // names a daemon hosts from colliding.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{clean}-{h:016x}")
 }
 
 /// Daemon-wide counters shared by shards and the coordinator.
@@ -140,6 +163,51 @@ pub(crate) enum ShardJob {
         session: u64,
         done: Arc<JobSlot<()>>,
     },
+}
+
+/// The reply slot a [`ShardJob`] carries, extracted (cheap `Arc` clones)
+/// *before* the job is processed so that a panic inside
+/// [`Worker::process`] can still unblock the connection handler parked on
+/// the slot — otherwise a panicking job (e.g. a flush failing on a full
+/// disk during `Finish`) would leave the handler in [`JobSlot::wait`]
+/// forever and make graceful shutdown hang joining it.
+pub(crate) enum ReplySlot {
+    /// `Open` and `Finish` jobs: acknowledged with `Ok(())` or an error.
+    Ack(Arc<JobSlot<Result<(), String>>>),
+    /// `Lookup` jobs.
+    Lookup(Arc<JobSlot<Result<Vec<WireOutcome>, String>>>),
+    /// `Close` jobs (infallible acknowledgement).
+    Close(Arc<JobSlot<()>>),
+    /// `Store` jobs carry no slot (admission was already acknowledged).
+    None,
+}
+
+impl ReplySlot {
+    /// Fills the slot with the failure so the waiter wakes.  Filling a slot
+    /// the job already answered just leaves an unread value behind — the
+    /// rendezvous is one-shot, so that is harmless.
+    pub(crate) fn fail(self, message: String) {
+        match self {
+            ReplySlot::Ack(slot) => slot.fill(Err(message)),
+            ReplySlot::Lookup(slot) => slot.fill(Err(message)),
+            ReplySlot::Close(slot) => slot.fill(()),
+            ReplySlot::None => {}
+        }
+    }
+}
+
+impl ShardJob {
+    /// Clones the job's reply slot for panic recovery (see [`ReplySlot`]).
+    pub(crate) fn reply_slot(&self) -> ReplySlot {
+        match self {
+            ShardJob::Open { done, .. } | ShardJob::Finish { done, .. } => {
+                ReplySlot::Ack(Arc::clone(done))
+            }
+            ShardJob::Lookup { done, .. } => ReplySlot::Lookup(Arc::clone(done)),
+            ShardJob::Close { done, .. } => ReplySlot::Close(Arc::clone(done)),
+            ShardJob::Store { .. } => ReplySlot::None,
+        }
+    }
 }
 
 /// A registered per-client job queue.
@@ -290,6 +358,7 @@ pub(crate) fn worker_loop(shard: Arc<Shard>) {
         failed: None,
     };
     while let Some((job, queue)) = shard.next_job() {
+        let reply = job.reply_slot();
         let outcome = catch_unwind(AssertUnwindSafe(|| worker.process(job)));
         queue.task_done();
         if let Err(panic) = outcome {
@@ -299,6 +368,9 @@ pub(crate) fn worker_loop(shard: Arc<Shard>) {
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "shard job panicked".to_string());
             eprintln!("subzero-server: shard {} job panicked: {what}", shard.index);
+            // Answer the waiter before anything else: a job that dies with
+            // its slot unfilled would park its connection handler forever.
+            reply.fail(format!("shard {} job panicked: {what}", shard.index));
             worker.failed.get_or_insert(what);
         }
     }
@@ -527,9 +599,27 @@ mod tests {
     }
 
     #[test]
-    fn sanitize_matches_store_layer_rules() {
+    fn sanitize_keeps_clean_names_and_disambiguates_dirty_ones() {
+        // Already-clean names keep their verbatim prefix (on-disk layouts
+        // from before the hash suffix stay readable).
         assert_eq!(sanitize_name("run-a_1"), "run-a_1");
-        assert_eq!(sanitize_name("a/b c.d"), "a_b_c_d");
+        // Dirty names get the store-layer character replacement plus a
+        // raw-name hash, and the mapping is deterministic.
+        let dirty = sanitize_name("a/b c.d");
+        assert!(dirty.starts_with("a_b_c_d-"), "{dirty}");
+        assert!(dirty
+            .bytes()
+            .all(|b| { b.is_ascii_alphanumeric() || b == b'-' || b == b'_' }));
+        assert_eq!(dirty, sanitize_name("a/b c.d"));
+    }
+
+    #[test]
+    fn distinct_session_names_never_share_a_file_prefix() {
+        // The corruption case: "run.1" sanitising into the same prefix as
+        // the live session "run_1" would interleave two .kv logs.
+        assert_ne!(sanitize_name("run.1"), sanitize_name("run_1"));
+        assert_ne!(sanitize_name("run.1"), sanitize_name("run 1"));
+        assert_ne!(sanitize_name("run.1"), sanitize_name("run/1"));
     }
 
     #[test]
@@ -539,5 +629,23 @@ mod tests {
         let t = std::thread::spawn(move || s2.wait());
         slot.fill(7);
         assert_eq!(t.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn panicked_job_still_answers_its_reply_slot() {
+        // worker_loop extracts the reply slot before processing; when the
+        // job panics (and is consumed by the unwind), failing the extracted
+        // slot must still wake the connection handler parked on it.
+        let done = JobSlot::new();
+        let job = ShardJob::Finish {
+            session: 1,
+            done: Arc::clone(&done),
+        };
+        let reply = job.reply_slot();
+        let waiter = std::thread::spawn(move || done.wait());
+        drop(job); // the unwind destroyed the job itself
+        reply.fail("shard 0 job panicked: disk full".into());
+        let got = waiter.join().unwrap();
+        assert!(got.unwrap_err().contains("panicked"));
     }
 }

@@ -24,7 +24,9 @@ use subzero_engine::ops::{BinaryKind, Convolve, Elementwise1, Elementwise2, Unar
 use subzero_engine::paths::ArrayNode;
 use subzero_engine::workflow::{InputSource, OpId, Workflow};
 use subzero_engine::{Engine, LineageMode, OpMeta};
-use subzero_server::{Client, LookupStep, OpSpec, RemoteSession, Server, ServerConfig};
+use subzero_server::{
+    Client, ClientError, LookupStep, OpSpec, RemoteSession, Server, ServerConfig,
+};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("subzero-server-{tag}-{}", std::process::id()));
@@ -341,6 +343,94 @@ fn saturation_honors_policy_and_loses_no_committed_lineage() {
         server.shutdown_and_wait();
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+#[test]
+fn failed_open_rolls_back_and_unregistered_ops_are_rejected() {
+    let cols = 4u32;
+    let shape = Shape::d2(1, cols);
+    let dir = temp_dir("rollback");
+    let socket = dir.join("daemon.sock");
+    let server = Server::start(
+        &socket,
+        ServerConfig {
+            data_dir: None,
+            shards: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let good = OpSpec {
+        op_id: 0,
+        input_shapes: vec![shape],
+        output_shape: shape,
+        strategies: vec![StorageStrategy::full_one()],
+    };
+    // Mapping-mode storage is rejected at shard-side open (payload and
+    // composite lookups cannot travel over the wire), which makes this the
+    // partial-failure case: op 0 opens, op 1 fails.
+    let bad = OpSpec {
+        op_id: 1,
+        input_shapes: vec![shape],
+        output_shape: shape,
+        strategies: vec![StorageStrategy::mapping()],
+    };
+    let mut client = Client::connect(&socket).expect("connect");
+
+    // A partially failing open reports the failure...
+    let err = client
+        .open_session("roll", vec![good.clone(), bad.clone()])
+        .expect_err("mixed open must fail");
+    assert!(matches!(err, ClientError::Server(_)), "{err}");
+    // ...and leaves no half-open session behind: the id the failed open
+    // would have used (the daemon's first, 0) is not live, so ingest to
+    // the op that *did* open is refused instead of acked-and-dropped.
+    let err = client
+        .store_batch(0, 0, vec![indexed_pair(0, cols)])
+        .expect_err("store to rolled-back session must fail");
+    assert!(format!("{err}").contains("unknown session"), "{err}");
+
+    // The name is reusable immediately.
+    let session = client
+        .open_session("roll", vec![good.clone()])
+        .expect("clean reopen");
+    assert!(
+        client
+            .store_batch(session, 0, vec![indexed_pair(0, cols)])
+            .expect("store to registered op")
+            .accepted
+    );
+    // Ingest to an operator the session never registered is an error, not
+    // a silent drop at the owning shard.
+    let err = client
+        .store_batch(session, 9, vec![indexed_pair(1, cols)])
+        .expect_err("store to unregistered op must fail");
+    assert!(format!("{err}").contains("not registered"), "{err}");
+
+    // A failed *reattach* leaves the existing session fully usable.
+    let err = client
+        .open_session("roll", vec![good, bad])
+        .expect_err("reattach with a bad op must fail");
+    assert!(matches!(err, ClientError::Server(_)), "{err}");
+    assert!(
+        client
+            .store_batch(session, 0, vec![indexed_pair(1, cols)])
+            .expect("store after failed reattach")
+            .accepted
+    );
+    assert_eq!(client.finish_session(session).expect("finish"), 0);
+    let step = LookupStep {
+        op_id: 0,
+        direction: Direction::Backward,
+        input_idx: 0,
+        queries: vec![CellSet::from_coords(shape, [Coord::d2(0, 0)])],
+    };
+    let out = client.lookup(session, vec![step]).expect("lookup");
+    assert_eq!(out[0][0].result.to_coords(), vec![Coord::d2(0, cols - 1)]);
+
+    drop(client);
+    server.shutdown_and_wait();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
