@@ -127,6 +127,7 @@ fn one_pass(cfg: &Config, dir: &std::path::Path, round: usize) -> Pass {
             queue_depth: 64,
             ingest_policy: OverflowPolicy::Block,
             store_stall: Duration::ZERO,
+            session_ttl: None,
         },
     )
     .expect("bench server starts");

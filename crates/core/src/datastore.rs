@@ -834,6 +834,38 @@ impl OpDatastore {
         self.persist_sidecar_index();
     }
 
+    /// Forces flushed log bytes to stable storage (no-op in memory).  The
+    /// transactional prepare path calls this before recording the log length
+    /// as durable.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.db.sync()
+    }
+
+    /// `(file name, flushed byte length)` of the backing `.kv` log — exactly
+    /// what a [`WalRecord::Prepare`](subzero_store::WalRecord::Prepare)
+    /// publishes for this store.  `None` for in-memory stores (nothing to
+    /// recover, nothing to prepare).
+    pub fn commit_file(&self) -> Option<(String, u64)> {
+        let name = self.db.file_path()?.file_name()?.to_str()?.to_string();
+        Some((name, self.db.log_len()?))
+    }
+
+    /// Folds superseded `merge_append_batch` delta chains (and overwritten
+    /// entries generally) out of the backing log, returning bytes reclaimed.
+    ///
+    /// Only call on fully committed stores: compaction rewrites the file, so
+    /// staged-but-uncommitted tail bytes would be folded in.  Decoded-entry
+    /// caches are dropped (record offsets moved) and the sidecar index is
+    /// re-stamped against the dense log.
+    pub fn compact(&mut self) -> std::io::Result<u64> {
+        let reclaimed = self.db.compact()?;
+        if reclaimed > 0 {
+            self.invalidate_caches();
+            self.persist_sidecar_index();
+        }
+        Ok(reclaimed)
+    }
+
     /// Drains staged spatial-index entries into the R-tree.  An empty tree is
     /// STR bulk-loaded from the whole staged set (the common case: capture
     /// everything, then query); a non-empty tree absorbs late arrivals with

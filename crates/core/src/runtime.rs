@@ -13,7 +13,9 @@ use std::time::{Duration, Instant};
 
 use subzero_engine::executor::{CaptureError, LineageCollector, OpExecution};
 use subzero_engine::{LineageMode, OpId, OperatorExt, RegionBatch, RegionPair, Workflow};
+use subzero_store::failpoint;
 use subzero_store::kv::{FileBackend, KvBackend, MemBackend};
+use subzero_store::wal::{recover_dir, RecoveryReport, WalRecord, WriteAheadLog};
 
 use crate::capture::{CaptureConfig, CaptureMode, CapturePipeline, OverflowPolicy, Shard};
 use crate::datastore::OpDatastore;
@@ -121,6 +123,15 @@ pub struct Runtime {
     datastores: HashMap<(u64, OpId), Vec<OpDatastore>>,
     /// Capture statistics keyed by `(run_id, op_id)`.
     stats: HashMap<(u64, OpId), OperatorLineageStats>,
+    /// The storage directory's write-ahead log (`None` in memory).  Batches
+    /// land in the `.kv` files as *staged* bytes; [`commit_run`]
+    /// (Runtime::commit_run) publishes them with a prepare/commit record
+    /// pair, and [`on_disk`](Runtime::on_disk) replays the log to roll any
+    /// uncommitted staging back.
+    wal: Option<WriteAheadLog>,
+    /// What [`on_disk`](Runtime::on_disk) recovery had to do (for tests and
+    /// operational visibility; `None` in memory).
+    recovery: Option<RecoveryReport>,
 }
 
 impl Runtime {
@@ -139,15 +150,38 @@ impl Runtime {
             workers: parallel::default_workers(),
             datastores: HashMap::new(),
             stats: HashMap::new(),
+            wal: None,
+            recovery: None,
         }
     }
 
     /// A runtime whose datastores persist under `dir`.
+    ///
+    /// Opening is also recovery: the directory's write-ahead log is replayed
+    /// and every `.kv` file rolled back to its last committed length — a run
+    /// that was never published by [`commit_run`](Runtime::commit_run)
+    /// leaves nothing behind.  A directory without a log (first use, or one
+    /// written before the transactional tier) is adopted as-is.
     pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).expect("create lineage storage directory");
+        let (wal, report) = recover_dir(&dir, None).expect("recover lineage storage directory");
         Runtime {
-            storage_dir: Some(dir.into()),
+            storage_dir: Some(dir),
+            wal: Some(wal),
+            recovery: Some(report),
             ..Self::in_memory()
         }
+    }
+
+    /// What opening the storage directory had to recover (`None` in memory).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// The storage directory's write-ahead log (`None` in memory).
+    pub fn wal(&self) -> Option<&WriteAheadLog> {
+        self.wal.as_ref()
     }
 
     /// Replaces the workflow-level lineage strategy.  Takes effect for
@@ -440,6 +474,97 @@ impl Runtime {
             }
         }
         total
+    }
+
+    /// Publishes everything a run has captured: finishes ingest, fsyncs
+    /// every touched `.kv` log, and writes the prepare + commit record pair
+    /// that makes the run's bytes survive [`on_disk`](Runtime::on_disk)
+    /// recovery.  All-or-nothing: a crash anywhere before the commit record
+    /// is durable rolls the whole run back on reopen.  Returns the committed
+    /// transaction id (0 for in-memory runtimes, which have nothing to
+    /// publish).
+    pub fn commit_run(&mut self, run_id: u64) -> std::io::Result<u64> {
+        self.finish_run(run_id);
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(0);
+        };
+        let mut files = Vec::new();
+        for ((r, _), stores) in self.datastores.iter_mut() {
+            if *r != run_id {
+                continue;
+            }
+            for ds in stores.iter_mut() {
+                ds.sync()?;
+                if let Some(file) = ds.commit_file() {
+                    files.push(file);
+                }
+            }
+        }
+        let txn = wal.next_txn();
+        failpoint::crash_if_armed(failpoint::PRE_PREPARE);
+        wal.append_record(WalRecord::Prepare { txn, files })?;
+        wal.sync()?;
+        failpoint::crash_if_armed(failpoint::PRE_COMMIT);
+        // The commit record is the publish point (a mid-write crash is
+        // injected inside `append_record` when `commit.mid-commit` is armed).
+        wal.append_record(WalRecord::Commit { txn })?;
+        wal.sync()?;
+        failpoint::crash_if_armed(failpoint::POST_COMMIT);
+        // Fold the decision into the baseline so replay stays bounded: the
+        // log never carries more than one checkpoint record per live file
+        // plus the current run's prepare/commit, no matter how many runs
+        // this directory has committed.
+        let committed = wal.committed_txns();
+        let baseline = wal.fold_committed(&|t| committed.contains(&t));
+        let next = wal.next_txn();
+        wal.checkpoint(&baseline, next, Vec::new())?;
+        Ok(txn)
+    }
+
+    /// Folds superseded records (e.g. committed `merge_append_batch` delta
+    /// chains) out of a run's `.kv` logs and re-checkpoints the write-ahead
+    /// log with the dense lengths.  Returns total bytes reclaimed.
+    ///
+    /// Only fully published stores are touched: a store whose physical log
+    /// is longer than its committed length still carries staged bytes, and
+    /// compacting it would fold uncommitted data into the committed image.
+    pub fn compact_run(&mut self, run_id: u64) -> std::io::Result<u64> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(0);
+        };
+        let baseline: HashMap<String, u64> = wal.fold_committed(&|_| true).into_iter().collect();
+        let mut reclaimed = 0u64;
+        let mut compacted: Vec<(String, u64)> = Vec::new();
+        for ((r, _), stores) in self.datastores.iter_mut() {
+            if *r != run_id {
+                continue;
+            }
+            for ds in stores.iter_mut() {
+                let Some((name, len)) = ds.commit_file() else {
+                    continue;
+                };
+                if baseline.get(&name) != Some(&len) {
+                    continue;
+                }
+                let freed = ds.compact()?;
+                if freed > 0 {
+                    reclaimed += freed;
+                    let (name, dense_len) = ds.commit_file().expect("still file-backed");
+                    compacted.push((name, dense_len));
+                }
+            }
+        }
+        if reclaimed > 0 {
+            let mut baseline = baseline;
+            for (name, len) in compacted {
+                baseline.insert(name, len);
+            }
+            let mut files: Vec<(String, u64)> = baseline.into_iter().collect();
+            files.sort_unstable();
+            let next = wal.next_txn();
+            wal.checkpoint(&files, next, Vec::new())?;
+        }
+        Ok(reclaimed)
     }
 
     /// Drops all lineage stored for a run (used by the benchmark harness to
@@ -809,6 +934,61 @@ mod tests {
         assert!(rt.has_lineage(run.run_id, 0));
         let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
         assert!(!files.is_empty(), "lineage database files were created");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_rolls_back_uncommitted_runs_and_keeps_committed_bytes() {
+        let dir = std::env::temp_dir().join(format!("subzero-rt-txn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wf = workflow();
+        let committed_run;
+        let staged_run;
+        {
+            let mut rt = Runtime::on_disk(&dir);
+            let mut strategy = LineageStrategy::new();
+            strategy.set(0, vec![StorageStrategy::full_one()]);
+            rt.set_strategy(strategy);
+            let mut engine = Engine::new();
+            let r1 = engine.execute(&wf, &externals(), &mut rt).unwrap();
+            rt.commit_run(r1.run_id).unwrap();
+            committed_run = r1.run_id;
+            // The checkpoint folded the commit: replay is one baseline
+            // record, not a history of the run.
+            assert_eq!(rt.wal().unwrap().len(), 1);
+            // A second run flushes but never commits — as if the process
+            // died after ingest.
+            let r2 = engine.execute(&wf, &externals(), &mut rt).unwrap();
+            rt.finish_run(r2.run_id);
+            staged_run = r2.run_id;
+        }
+        let committed_files: std::collections::HashMap<String, Vec<u8>> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                let name = e.unwrap().file_name().into_string().unwrap();
+                let prefix = format!("run{committed_run}_");
+                name.starts_with(&prefix)
+                    .then(|| (name.clone(), std::fs::read(dir.join(&name)).unwrap()))
+            })
+            .collect();
+        assert!(!committed_files.is_empty());
+        let rt = Runtime::on_disk(&dir);
+        let report = rt.recovery_report().unwrap();
+        assert!(report.deleted > 0, "staged run's files must be rolled back");
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name().into_string().unwrap();
+            assert!(
+                !name.starts_with(&format!("run{staged_run}_")),
+                "uncommitted {name} survived recovery"
+            );
+            if let Some(bytes) = committed_files.get(&name) {
+                assert_eq!(
+                    &std::fs::read(dir.join(&name)).unwrap(),
+                    bytes,
+                    "committed {name} must be byte-identical after recovery"
+                );
+            }
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

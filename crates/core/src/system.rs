@@ -197,6 +197,15 @@ impl SubZero {
         self.runtime.finish_run(run_id)
     }
 
+    /// Durably publishes a run's captured lineage: finishes ingest, fsyncs
+    /// the datastore logs and writes the run's commit record, so the run
+    /// survives a crash + reopen of the storage directory.  A run that is
+    /// never committed is rolled back wholesale on reopen.  No-op (returns
+    /// transaction id 0) for in-memory systems.
+    pub fn commit_capture(&mut self, run_id: u64) -> std::io::Result<u64> {
+        self.runtime.commit_run(run_id)
+    }
+
     /// Aggregate lineage capture statistics for a run.
     pub fn capture_stats(&self, run_id: u64) -> CaptureStats {
         self.runtime.capture_stats(run_id)

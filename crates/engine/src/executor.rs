@@ -709,8 +709,16 @@ mod tests {
             r1.record(0).unwrap().output_version,
             r2.record(0).unwrap().output_version
         );
-        assert_eq!(engine.wal().for_run(r1.run_id).len(), 3);
-        assert_eq!(engine.wal().for_run(r2.run_id).len(), 3);
+        let execs_for = |run_id: u64| {
+            engine
+                .wal()
+                .records()
+                .iter()
+                .filter(|r| matches!(r, subzero_store::WalRecord::Exec(e) if e.run_id == run_id))
+                .count()
+        };
+        assert_eq!(execs_for(r1.run_id), 3);
+        assert_eq!(execs_for(r2.run_id), 3);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! subzero-serverd --socket /run/subzero.sock --data-dir /var/lib/subzero \
-//!                 [--shards N] [--queue-depth N] [--policy block|drop-newest]
+//!                 [--shards N] [--queue-depth N] [--policy block|drop-newest] \
+//!                 [--session-ttl SECS]
 //! ```
 //!
 //! Runs until a client sends the `Shutdown` request, then drains every
@@ -18,7 +19,7 @@ use subzero_server::{Server, ServerConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: subzero-serverd --socket <path> [--data-dir <dir>] [--shards <n>] \
-         [--queue-depth <n>] [--policy block|drop-newest]"
+         [--queue-depth <n>] [--policy block|drop-newest] [--session-ttl <secs>]"
     );
     ExitCode::from(2)
 }
@@ -57,6 +58,12 @@ fn main() -> ExitCode {
                 Some("block") => config.ingest_policy = OverflowPolicy::Block,
                 Some("drop-newest") => config.ingest_policy = OverflowPolicy::DropNewest,
                 _ => return usage(),
+            },
+            "--session-ttl" => match value("--session-ttl").and_then(|v| v.parse().ok()) {
+                Some(secs) => {
+                    config.session_ttl = Some(std::time::Duration::from_secs(secs));
+                }
+                None => return usage(),
             },
             _ => return usage(),
         }

@@ -14,7 +14,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use subzero::model::Direction;
 use subzero_array::{CellSet, Coord, Shape};
@@ -77,26 +78,139 @@ pub struct BatchAck {
     pub shed_total: u64,
 }
 
+/// Connection and request resilience knobs for [`Client::connect_with`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Connection attempts before giving up (clamped to at least 1).
+    /// Useful against a daemon that is still binding its socket.
+    pub connect_attempts: u32,
+    /// Backoff before the second connection attempt; doubles per attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Socket read/write timeout per request round-trip.  `None` (the
+    /// default) blocks indefinitely, which is the right call for ingest
+    /// under a `Block` admission policy — back-pressure is not a failure.
+    pub request_timeout: Option<Duration>,
+    /// Reconnect-and-resend attempts after a transport failure, applied
+    /// only to idempotent requests (session open/lookup/stats/close).
+    /// Ingest batches and commits are never resent: the daemon may have
+    /// applied them before the connection died, and replaying them would
+    /// double lineage or double-commit.
+    pub request_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            connect_attempts: 5,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_secs(1),
+            request_timeout: None,
+            request_retries: 0,
+        }
+    }
+}
+
+/// Whether a request can be safely resent on a fresh connection.
+fn is_idempotent(request: &Request) -> bool {
+    match request {
+        // Re-opening a session reattaches; lookups and stats are reads;
+        // closing an already-closed session fails loudly but mutates
+        // nothing beyond the first attempt.
+        Request::OpenSession { .. }
+        | Request::Lookup { .. }
+        | Request::Stats
+        | Request::CloseSession { .. } => true,
+        // A replayed batch would double lineage; a replayed finish would
+        // commit whatever happens to be staged at the time; a replayed
+        // shutdown races the socket teardown.
+        Request::StoreBatch { .. } | Request::FinishSession { .. } | Request::Shutdown => false,
+    }
+}
+
+fn connect_stream(socket_path: &Path, policy: &RetryPolicy) -> io::Result<UnixStream> {
+    let attempts = policy.connect_attempts.max(1);
+    let mut delay = policy.base_delay.min(policy.max_delay);
+    for attempt in 1..=attempts {
+        match UnixStream::connect(socket_path) {
+            Ok(stream) => {
+                stream.set_read_timeout(policy.request_timeout)?;
+                stream.set_write_timeout(policy.request_timeout)?;
+                return Ok(stream);
+            }
+            Err(e) if attempt == attempts => return Err(e),
+            Err(_) => {
+                subzero::sync::thread::sleep(delay);
+                delay = (delay * 2).min(policy.max_delay);
+            }
+        }
+    }
+    unreachable!("connect loop returns on the last attempt")
+}
+
 /// A blocking client for one daemon connection.
 pub struct Client {
     stream: UnixStream,
+    socket_path: PathBuf,
+    policy: RetryPolicy,
 }
 
 impl Client {
-    /// Connects to a daemon's unix socket.
+    /// Connects to a daemon's unix socket in one attempt, with no request
+    /// timeout and no retries (the [`RetryPolicy`] fields governing those
+    /// are zeroed; see [`connect_with`](Client::connect_with)).
     pub fn connect(socket_path: impl AsRef<Path>) -> io::Result<Client> {
+        Client::connect_with(
+            socket_path,
+            RetryPolicy {
+                connect_attempts: 1,
+                ..RetryPolicy::default()
+            },
+        )
+    }
+
+    /// Connects with bounded-exponential-backoff connection retries, a
+    /// per-request timeout, and transparent reconnect-and-resend for
+    /// idempotent requests — all per `policy`.
+    pub fn connect_with(socket_path: impl AsRef<Path>, policy: RetryPolicy) -> io::Result<Client> {
+        let socket_path = socket_path.as_ref().to_path_buf();
+        let stream = connect_stream(&socket_path, &policy)?;
         Ok(Client {
-            stream: UnixStream::connect(socket_path)?,
+            stream,
+            socket_path,
+            policy,
         })
     }
 
-    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+    fn call_once(&mut self, request: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.stream, &encode_request(request))?;
-        let payload = read_frame(&mut self.stream)?
-            .ok_or_else(|| ClientError::Unexpected("server closed the connection".into()))?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
         match decode_response(&payload)? {
             Response::Error { message } => Err(ClientError::Server(message)),
             resp => Ok(resp),
+        }
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut retries_left = if is_idempotent(request) {
+            self.policy.request_retries
+        } else {
+            0
+        };
+        loop {
+            match self.call_once(request) {
+                Err(ClientError::Io(_)) if retries_left > 0 => {
+                    retries_left -= 1;
+                    self.stream = connect_stream(&self.socket_path, &self.policy)?;
+                }
+                outcome => return outcome,
+            }
         }
     }
 

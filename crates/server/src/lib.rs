@@ -31,9 +31,9 @@ pub mod protocol;
 pub mod server;
 pub mod shard;
 
-pub use client::{BatchAck, Client, ClientError, RemoteSession};
+pub use client::{BatchAck, Client, ClientError, RemoteSession, RetryPolicy};
 pub use protocol::{
     LookupStep, OpSpec, ProtocolError, Request, Response, ServerStats, WireOutcome,
 };
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, COMMIT_WAL};
 pub use shard::{sanitize_name, shard_of};

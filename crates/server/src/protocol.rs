@@ -172,6 +172,10 @@ pub struct ServerStats {
     pub lookup_steps: u64,
     /// Ingest batches shed by the `DropNewest` overflow policy.
     pub shed_batches: u64,
+    /// Transactions committed (durable `FinishSession` publishes).
+    pub commits: u64,
+    /// Sessions evicted by the idle-lease sweeper.
+    pub evicted_sessions: u64,
 }
 
 /// A client-to-daemon message.
@@ -827,6 +831,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             write_varint(&mut out, stats.store_batches);
             write_varint(&mut out, stats.lookup_steps);
             write_varint(&mut out, stats.shed_batches);
+            write_varint(&mut out, stats.commits);
+            write_varint(&mut out, stats.evicted_sessions);
         }
         Response::ShuttingDown => out.push(RESP_SHUTDOWN),
         Response::Error { message } => {
@@ -873,6 +879,8 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, ProtocolError> {
             store_batches: read_varint(buf, &mut pos)?,
             lookup_steps: read_varint(buf, &mut pos)?,
             shed_batches: read_varint(buf, &mut pos)?,
+            commits: read_varint(buf, &mut pos)?,
+            evicted_sessions: read_varint(buf, &mut pos)?,
         }),
         RESP_SHUTDOWN => Response::ShuttingDown,
         RESP_ERROR => Response::Error {
@@ -971,6 +979,8 @@ mod tests {
                 store_batches: 100,
                 lookup_steps: 7,
                 shed_batches: 2,
+                commits: 3,
+                evicted_sessions: 1,
             }),
             Response::ShuttingDown,
             Response::Error {

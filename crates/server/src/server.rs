@@ -27,12 +27,14 @@ use std::net::Shutdown as SocketShutdown;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use subzero::capture::{BoundedQueue, OverflowPolicy};
-use subzero::sync::atomic::{AtomicBool, Ordering};
+use subzero::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use subzero::sync::{lock_or_recover, thread, Mutex};
 use subzero_engine::workflow::OpId;
+use subzero_store::failpoint;
+use subzero_store::wal::{recover_dir, WalRecord, WriteAheadLog};
 
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, Request, Response, ServerStats,
@@ -58,6 +60,11 @@ pub struct ServerConfig {
     /// slow storage device.  Zero (the default) outside saturation tests
     /// and benchmarks.
     pub store_stall: Duration,
+    /// Session lease: a session idle (no open/ingest/lookup/finish traffic)
+    /// for longer than this is evicted — its shard-side state is dropped
+    /// exactly as an explicit `CloseSession` would.  `None` (the default)
+    /// keeps sessions forever, the pre-lease behaviour.
+    pub session_ttl: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -68,8 +75,27 @@ impl Default for ServerConfig {
             queue_depth: 64,
             ingest_policy: OverflowPolicy::Block,
             store_stall: Duration::ZERO,
+            session_ttl: None,
         }
     }
+}
+
+/// File name of the coordinator's commit log inside `data_dir`.
+///
+/// The two-phase protocol splits the write-ahead state: each shard's own
+/// `wal.log` records *prepares* (which files a transaction flushed, and to
+/// what length), while the decision — the single `Commit` record that
+/// atomically publishes the transaction across every shard — lives here.
+/// On restart the set of committed transaction ids from this log is handed
+/// to every shard's recovery as the `extra_committed` set.
+pub const COMMIT_WAL: &str = "commit.wal";
+
+/// The coordinator's decision log plus the set of committed transactions
+/// whose per-shard checkpoints have not all landed yet.  Both live under
+/// one lock so the commit record and the bookkeeping can never disagree.
+struct CommitLog {
+    wal: WriteAheadLog,
+    uncheckpointed: HashSet<u64>,
 }
 
 #[derive(Default)]
@@ -81,7 +107,24 @@ struct SessionTable {
     /// targets outside this set — so a batch can never be acknowledged and
     /// then silently dropped at a shard that never opened the operator.
     ops: HashMap<u64, HashSet<OpId>>,
+    /// Lease bookkeeping: when each session last saw traffic.  Only
+    /// consulted when a session TTL is configured.
+    last_active: HashMap<u64, Instant>,
     next: u64,
+}
+
+impl SessionTable {
+    fn touch(&mut self, session: u64) {
+        self.last_active.insert(session, Instant::now());
+    }
+
+    fn forget(&mut self, session: u64) -> Option<String> {
+        let name = self.names.remove(&session)?;
+        self.by_name.remove(&name);
+        self.ops.remove(&session);
+        self.last_active.remove(&session);
+        Some(name)
+    }
 }
 
 struct Inner {
@@ -95,6 +138,15 @@ struct Inner {
     /// Clones of every live connection's stream, so shutdown can unblock
     /// handlers parked in a blocking read.
     conns: Mutex<Vec<UnixStream>>,
+    /// The coordinator's decision log; `None` when serving from memory
+    /// (no `data_dir`), in which case `FinishSession` degrades to a plain
+    /// flush with transaction id 0.
+    commit_log: Option<Mutex<CommitLog>>,
+    /// Next transaction id to hand out; seeded past everything the commit
+    /// log and the shard WALs have ever seen.
+    next_txn: AtomicU64,
+    /// Evict sessions idle longer than this (see [`ServerConfig`]).
+    session_ttl: Option<Duration>,
 }
 
 impl Inner {
@@ -143,6 +195,7 @@ pub struct Server {
     accept: Option<thread::JoinHandle<()>>,
     workers: Vec<thread::JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    sweeper: Option<thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -154,10 +207,39 @@ impl Server {
             std::fs::remove_file(&socket_path)?;
         }
         let nshards = config.shards.max(1);
+        let mut commit_log = None;
+        let mut next_txn = 1u64;
         if let Some(dir) = &config.data_dir {
+            std::fs::create_dir_all(dir)?;
+            // Crash recovery, before any worker touches a file.  The
+            // decision log names the committed transactions; each shard's
+            // recovery rolls its `.kv` files back to the last committed
+            // lengths, treating prepares whose decision landed only in the
+            // coordinator's log as committed.
+            let mut commit_wal = WriteAheadLog::open(dir.join(COMMIT_WAL))?;
+            let committed = commit_wal.committed_txns();
+            next_txn = commit_wal.next_txn();
             for i in 0..nshards {
-                std::fs::create_dir_all(dir.join(format!("shard{i}")))?;
+                let shard_dir = dir.join(format!("shard{i}"));
+                std::fs::create_dir_all(&shard_dir)?;
+                let (shard_wal, report) = recover_dir(&shard_dir, Some(&committed))?;
+                next_txn = next_txn.max(shard_wal.next_txn());
+                if report.truncated + report.deleted + report.finished_compactions > 0 {
+                    eprintln!(
+                        "subzero-server: shard {i}: recovered ({} truncated, \
+                         {} deleted, {} compactions finished)",
+                        report.truncated, report.deleted, report.finished_compactions
+                    );
+                }
             }
+            // Every decided transaction is now folded into the shard
+            // baselines (recovery ends each shard WAL with a healing
+            // checkpoint), so the decision log restarts empty.
+            commit_wal.checkpoint(&[], next_txn, Vec::new())?;
+            commit_log = Some(Mutex::new(CommitLog {
+                wal: commit_wal,
+                uncheckpointed: HashSet::new(),
+            }));
         }
         let counters = Arc::new(Counters::default());
         let shards: Vec<Arc<Shard>> = (0..nshards)
@@ -190,6 +272,9 @@ impl Server {
             sessions: Mutex::new(SessionTable::default()),
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
+            commit_log,
+            next_txn: AtomicU64::new(next_txn),
+            session_ttl: config.session_ttl,
         });
         let handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -197,11 +282,16 @@ impl Server {
             let handlers = Arc::clone(&handlers);
             thread::spawn(move || accept_loop(listener, inner, handlers))
         };
+        let sweeper = inner.session_ttl.map(|ttl| {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || lease_sweeper(inner, ttl))
+        });
         Ok(Server {
             inner,
             accept: Some(accept),
             workers,
             handlers,
+            sweeper,
         })
     }
 
@@ -230,6 +320,9 @@ impl Server {
 
     fn finish(&mut self) {
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sweeper.take() {
             let _ = h.join();
         }
         loop {
@@ -287,6 +380,85 @@ fn accept_loop(
             }
         }
         registry.push(handle);
+    }
+}
+
+/// Lease enforcement: periodically evicts sessions idle past the TTL.
+///
+/// The sweeper owns its own per-shard job lanes (exactly like a connection
+/// handler) and pushes the same `Close` jobs an explicit `CloseSession`
+/// would, so eviction and client-driven close share one code path on the
+/// shards.  Expiry is re-checked under the session lock immediately before
+/// unregistering, so a request that touches the session in the meantime
+/// wins and the lease renews.
+fn lease_sweeper(inner: Arc<Inner>, ttl: Duration) {
+    let lanes: Vec<Arc<BoundedQueue<ShardJob>>> = inner
+        .shards
+        .iter()
+        .map(|shard| {
+            let queue = Arc::new(BoundedQueue::new(inner.queue_depth, OverflowPolicy::Block));
+            shard.register_lane(Arc::clone(&queue));
+            queue
+        })
+        .collect();
+    // Sleep in short steps so shutdown never waits on a long TTL.
+    let step = ttl
+        .min(Duration::from_millis(100))
+        .max(Duration::from_millis(1));
+    let mut last_sweep = Instant::now();
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        thread::sleep(step);
+        if last_sweep.elapsed() < ttl.min(Duration::from_millis(500)) {
+            continue;
+        }
+        last_sweep = Instant::now();
+        let candidates: Vec<u64> = {
+            let table = lock_or_recover(&inner.sessions);
+            table
+                .last_active
+                .iter()
+                .filter(|(_, at)| at.elapsed() > ttl)
+                .map(|(&s, _)| s)
+                .collect()
+        };
+        for session in candidates {
+            let evicted = {
+                let mut table = lock_or_recover(&inner.sessions);
+                match table.last_active.get(&session) {
+                    Some(at) if at.elapsed() > ttl => table.forget(session).is_some(),
+                    _ => false,
+                }
+            };
+            if !evicted {
+                continue;
+            }
+            let mut pending = Vec::with_capacity(lanes.len());
+            for (shard_idx, queue) in lanes.iter().enumerate() {
+                let done = JobSlot::new();
+                let job = ShardJob::Close {
+                    session,
+                    done: Arc::clone(&done),
+                };
+                if queue.push_with_policy(job, OverflowPolicy::Block).is_ok() {
+                    inner.shards[shard_idx].notify();
+                    pending.push(done);
+                }
+            }
+            for done in pending {
+                done.wait();
+            }
+            inner
+                .counters
+                .evicted_sessions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    for (queue, shard) in lanes.iter().zip(&inner.shards) {
+        queue.close();
+        shard.notify();
     }
 }
 
@@ -355,12 +527,6 @@ fn push_control(
     }
 }
 
-fn session_exists(inner: &Inner, session: u64) -> bool {
-    lock_or_recover(&inner.sessions)
-        .names
-        .contains_key(&session)
-}
-
 fn handle_request(
     inner: &Inner,
     lanes: &[Arc<BoundedQueue<ShardJob>>],
@@ -416,6 +582,7 @@ fn handle_request(
             if push_err.is_none() && first_err.is_none() {
                 let mut table = lock_or_recover(&inner.sessions);
                 table.ops.entry(session).or_default().extend(op_ids);
+                table.touch(session);
                 return (Response::SessionOpened { session }, After::Continue);
             }
             // Roll back a session this request created: unregister it and
@@ -427,9 +594,7 @@ fn handle_request(
             if created {
                 {
                     let mut table = lock_or_recover(&inner.sessions);
-                    table.names.remove(&session);
-                    table.by_name.remove(&name);
-                    table.ops.remove(&session);
+                    table.forget(session);
                 }
                 let mut closes = Vec::with_capacity(nshards);
                 for shard_idx in 0..nshards {
@@ -456,11 +621,9 @@ fn handle_request(
         Request::CloseSession { session } => {
             {
                 let mut table = lock_or_recover(&inner.sessions);
-                let Some(name) = table.names.remove(&session) else {
+                if table.forget(session).is_none() {
                     return err(format!("unknown session {session}"));
-                };
-                table.by_name.remove(&name);
-                table.ops.remove(&session);
+                }
             }
             let mut pending = Vec::with_capacity(nshards);
             for shard_idx in 0..nshards {
@@ -485,13 +648,14 @@ fn handle_request(
             pairs,
         } => {
             {
-                let table = lock_or_recover(&inner.sessions);
+                let mut table = lock_or_recover(&inner.sessions);
                 if !table.names.contains_key(&session) {
                     return err(format!("unknown session {session}"));
                 }
                 if !table.ops.get(&session).is_some_and(|s| s.contains(&op_id)) {
                     return err(format!("op {op_id} is not registered in session {session}"));
                 }
+                table.touch(session);
             }
             let shard_idx = shard_of(op_id, nshards);
             let job = ShardJob::Store {
@@ -526,7 +690,7 @@ fn handle_request(
         }
         Request::Lookup { session, steps } => {
             {
-                let table = lock_or_recover(&inner.sessions);
+                let mut table = lock_or_recover(&inner.sessions);
                 if !table.names.contains_key(&session) {
                     return err(format!("unknown session {session}"));
                 }
@@ -539,6 +703,7 @@ fn handle_request(
                         ));
                     }
                 }
+                table.touch(session);
             }
             // Fan out: every step goes to its owning shard first, then the
             // slots are collected in step order — shards work concurrently,
@@ -567,24 +732,119 @@ fn handle_request(
             (Response::LookupDone { steps: merged }, After::Continue)
         }
         Request::FinishSession { session } => {
-            if !session_exists(inner, session) {
-                return err(format!("unknown session {session}"));
+            {
+                let mut table = lock_or_recover(&inner.sessions);
+                if !table.names.contains_key(&session) {
+                    return err(format!("unknown session {session}"));
+                }
+                table.touch(session);
             }
-            let mut pending = Vec::with_capacity(nshards);
+            let Some(commit_log) = &inner.commit_log else {
+                // In-memory serving: no decision log to write, so the
+                // finish is a plain parallel flush (transaction id 0 tells
+                // the shards to skip their prepare records).
+                let mut pending = Vec::with_capacity(nshards);
+                for shard_idx in 0..nshards {
+                    let done = JobSlot::new();
+                    let job = ShardJob::Finish {
+                        session,
+                        txn: 0,
+                        done: Arc::clone(&done),
+                    };
+                    if let Err(resp) = push_control(inner, lanes, shard_idx, job) {
+                        return (resp, After::Continue);
+                    }
+                    pending.push(done);
+                }
+                for done in pending {
+                    if let Err(message) = done.wait() {
+                        return err(message);
+                    }
+                }
+                return (
+                    Response::SessionFinished {
+                        shed_total: *shed_total,
+                    },
+                    After::Continue,
+                );
+            };
+            // Two-phase commit.  Phase one: every shard flushes the
+            // session's stores and durably records the prepared lengths in
+            // its own WAL.  Shards prepare sequentially so the mid-prepare
+            // crash point deterministically leaves some shards prepared and
+            // others not — recovery must roll both kinds back, since no
+            // decision was written.
+            let txn = inner.next_txn.fetch_add(1, Ordering::Relaxed);
+            failpoint::crash_if_armed(failpoint::PRE_PREPARE);
             for shard_idx in 0..nshards {
                 let done = JobSlot::new();
                 let job = ShardJob::Finish {
                     session,
+                    txn,
                     done: Arc::clone(&done),
                 };
                 if let Err(resp) = push_control(inner, lanes, shard_idx, job) {
                     return (resp, After::Continue);
                 }
-                pending.push(done);
-            }
-            for done in pending {
                 if let Err(message) = done.wait() {
+                    // Abort: no decision record is ever written, so the
+                    // prepares already on disk are rolled back on the next
+                    // restart, and the client sees the failure.
                     return err(message);
+                }
+                if shard_idx == 0 {
+                    failpoint::crash_if_armed(failpoint::MID_PREPARE);
+                }
+            }
+            // Phase two: the single decision record.  Once this append is
+            // synced the transaction is committed on every shard at once;
+            // before it, the transaction never happened.
+            failpoint::crash_if_armed(failpoint::PRE_COMMIT);
+            {
+                let mut log = lock_or_recover(commit_log);
+                let append = log
+                    .wal
+                    .append_record(WalRecord::Commit { txn })
+                    .and_then(|()| log.wal.sync());
+                if let Err(e) = append {
+                    return err(format!("write commit record: {e}"));
+                }
+                log.uncheckpointed.insert(txn);
+            }
+            inner.counters.commits.fetch_add(1, Ordering::Relaxed);
+            failpoint::crash_if_armed(failpoint::POST_COMMIT);
+            // Fold the decision into the shard baselines: each shard
+            // checkpoints its WAL (retiring this transaction's prepare) and
+            // opportunistically compacts the session's stores.  A failure
+            // here does NOT fail the request — the commit record is
+            // durable, and the next restart folds it instead.
+            let mut pending = Vec::with_capacity(nshards);
+            for shard_idx in 0..nshards {
+                let done = JobSlot::new();
+                let job = ShardJob::Checkpoint {
+                    session,
+                    txn,
+                    done: Arc::clone(&done),
+                };
+                match push_control(inner, lanes, shard_idx, job) {
+                    Ok(()) => pending.push(done),
+                    Err(_) => break,
+                }
+            }
+            let all_folded =
+                pending.len() == nshards && pending.into_iter().all(|done| done.wait().is_ok());
+            if all_folded {
+                let mut log = lock_or_recover(commit_log);
+                log.uncheckpointed.remove(&txn);
+                let retain: Vec<WalRecord> = log
+                    .uncheckpointed
+                    .iter()
+                    .map(|&t| WalRecord::Commit { txn: t })
+                    .collect();
+                let next = inner.next_txn.load(Ordering::Relaxed);
+                if let Err(e) = log.wal.checkpoint(&[], next, retain) {
+                    eprintln!("subzero-server: commit log checkpoint: {e}");
+                    log.uncheckpointed.insert(txn);
                 }
             }
             (
@@ -603,6 +863,8 @@ fn handle_request(
                     store_batches: inner.counters.store_batches.load(Ordering::Relaxed),
                     lookup_steps: inner.counters.lookup_steps.load(Ordering::Relaxed),
                     shed_batches: inner.counters.shed_batches.load(Ordering::Relaxed),
+                    commits: inner.counters.commits.load(Ordering::Relaxed),
+                    evicted_sessions: inner.counters.evicted_sessions.load(Ordering::Relaxed),
                 }),
                 After::Continue,
             )

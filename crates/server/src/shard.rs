@@ -32,6 +32,7 @@ use subzero_engine::lineage::{LineageSink, RegionPair};
 use subzero_engine::workflow::OpId;
 use subzero_engine::{LineageMode, OpMeta, Operator};
 use subzero_store::kv::FileBackend;
+use subzero_store::wal::{WalFileLen, WalRecord, WriteAheadLog, WAL_FILE};
 
 use crate::protocol::{LookupStep, OpSpec, WireOutcome};
 
@@ -95,6 +96,10 @@ pub(crate) struct Counters {
     pub lookup_steps: AtomicU64,
     /// Ingest batches shed by `DropNewest` admission.
     pub shed_batches: AtomicU64,
+    /// Transactions committed (durable `FinishSession` publishes).
+    pub commits: AtomicU64,
+    /// Sessions evicted by the idle-lease sweeper.
+    pub evicted_sessions: AtomicU64,
 }
 
 /// A one-shot rendezvous a connection handler parks on while the owning
@@ -153,9 +158,22 @@ pub(crate) enum ShardJob {
         step: LookupStep,
         done: Arc<JobSlot<Result<Vec<WireOutcome>, String>>>,
     },
-    /// Flush and persist every datastore of the session on this shard.
+    /// Phase one of a durable commit: flush, fsync and persist every
+    /// datastore of the session on this shard, then log a
+    /// [`WalRecord::Prepare`] for transaction `txn` naming the exact
+    /// flushed file lengths.  `txn` is 0 for in-memory shards (nothing to
+    /// prepare, plain flush semantics).
     Finish {
         session: u64,
+        txn: u64,
+        done: Arc<JobSlot<Result<(), String>>>,
+    },
+    /// Phase two, after the coordinator's decision is durable: fold `txn`
+    /// into the shard's committed baseline, compact the session's logs, and
+    /// rewrite the shard WAL so replay stays bounded.
+    Checkpoint {
+        session: u64,
+        txn: u64,
         done: Arc<JobSlot<Result<(), String>>>,
     },
     /// Drop the session's in-memory state on this shard.
@@ -200,9 +218,9 @@ impl ShardJob {
     /// Clones the job's reply slot for panic recovery (see [`ReplySlot`]).
     pub(crate) fn reply_slot(&self) -> ReplySlot {
         match self {
-            ShardJob::Open { done, .. } | ShardJob::Finish { done, .. } => {
-                ReplySlot::Ack(Arc::clone(done))
-            }
+            ShardJob::Open { done, .. }
+            | ShardJob::Finish { done, .. }
+            | ShardJob::Checkpoint { done, .. } => ReplySlot::Ack(Arc::clone(done)),
             ShardJob::Lookup { done, .. } => ReplySlot::Lookup(Arc::clone(done)),
             ShardJob::Close { done, .. } => ReplySlot::Close(Arc::clone(done)),
             ShardJob::Store { .. } => ReplySlot::None,
@@ -344,6 +362,10 @@ struct OpState {
 struct Worker {
     shard: Arc<Shard>,
     ops: HashMap<(u64, OpId), OpState>,
+    /// The shard directory's write-ahead log (`None` for in-memory shards).
+    /// The coordinator recovered it before this worker started, so opening
+    /// replays at most a checkpoint baseline plus undecided prepares.
+    wal: Option<WriteAheadLog>,
     /// Set when a job panicked; the shard then refuses further work instead
     /// of serving from possibly inconsistent stores.
     failed: Option<String>,
@@ -355,8 +377,19 @@ pub(crate) fn worker_loop(shard: Arc<Shard>) {
     let mut worker = Worker {
         shard: Arc::clone(&shard),
         ops: HashMap::new(),
+        wal: None,
         failed: None,
     };
+    if let Some(dir) = shard.dir.clone() {
+        match WriteAheadLog::open(dir.join(WAL_FILE)) {
+            Ok(wal) => worker.wal = Some(wal),
+            Err(e) => {
+                let what = format!("open shard write-ahead log: {e}");
+                eprintln!("subzero-server: shard {}: {what}", shard.index);
+                worker.failed = Some(what);
+            }
+        }
+    }
     while let Some((job, queue)) = shard.next_job() {
         let reply = job.reply_slot();
         let outcome = catch_unwind(AssertUnwindSafe(|| worker.process(job)));
@@ -384,7 +417,9 @@ impl Worker {
             // answer everything with the failure instead of guessing.
             let msg = format!("shard {} failed: {why}", self.shard.index);
             match job {
-                ShardJob::Open { done, .. } | ShardJob::Finish { done, .. } => {
+                ShardJob::Open { done, .. }
+                | ShardJob::Finish { done, .. }
+                | ShardJob::Checkpoint { done, .. } => {
                     done.fill(Err(msg));
                 }
                 ShardJob::Lookup { done, .. } => done.fill(Err(msg)),
@@ -410,7 +445,10 @@ impl Worker {
                 step,
                 done,
             } => done.fill(self.lookup(session, &step)),
-            ShardJob::Finish { session, done } => done.fill(self.finish(session)),
+            ShardJob::Finish { session, txn, done } => done.fill(self.finish(session, txn)),
+            ShardJob::Checkpoint { session, txn, done } => {
+                done.fill(self.checkpoint(session, txn));
+            }
             ShardJob::Close { session, done } => {
                 self.ops.retain(|(s, _), _| *s != session);
                 done.fill(());
@@ -550,30 +588,122 @@ impl Worker {
             .collect())
     }
 
-    fn finish(&mut self, session: u64) -> Result<(), String> {
-        for ((s, _), state) in self.ops.iter_mut() {
+    /// Prepare phase of the two-phase commit: flush and fsync every store
+    /// the session touched on this shard, then record the committed lengths
+    /// in the shard WAL.  `txn == 0` (in-memory serving) skips the durable
+    /// part and degrades to a plain flush.
+    fn finish(&mut self, session: u64, txn: u64) -> Result<(), String> {
+        let mut files: Vec<WalFileLen> = Vec::new();
+        for ((s, op), state) in self.ops.iter_mut() {
             if *s == session {
                 for store in &mut state.stores {
                     store.finish_ingest();
+                    store
+                        .sync()
+                        .map_err(|e| format!("sync op {op} store: {e}"))?;
+                    if let Some((name, len)) = store.commit_file() {
+                        files.push((name, len));
+                    }
                 }
+            }
+        }
+        if txn != 0 {
+            if let Some(wal) = self.wal.as_mut() {
+                wal.append_record(WalRecord::Prepare { txn, files })
+                    .and_then(|_| wal.sync())
+                    .map_err(|e| format!("shard wal prepare: {e}"))?;
             }
         }
         Ok(())
     }
 
-    /// Graceful-shutdown harvest: flush every remaining datastore and
-    /// persist its sidecar index so a restarted daemon recovers without a
-    /// rebuild scan.
+    /// Post-decision checkpoint: fold the now-committed transaction into the
+    /// shard WAL baseline, opportunistically compact the session's stores
+    /// (delta chains fold into dense entries), and rewrite the WAL so replay
+    /// stays bounded.  Prepares belonging to other, still-undecided
+    /// transactions are retained verbatim.
+    fn checkpoint(&mut self, session: u64, txn: u64) -> Result<(), String> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        let mut baseline: std::collections::HashMap<String, u64> =
+            wal.fold_committed(&|t| t == txn).into_iter().collect();
+        // Compact only stores whose on-disk length matches what the commit
+        // published — a store with trailing uncommitted bytes from another
+        // in-flight session must keep its log intact.
+        for ((s, op), state) in self.ops.iter_mut() {
+            if *s != session {
+                continue;
+            }
+            for store in &mut state.stores {
+                let Some((name, len)) = store.commit_file() else {
+                    continue;
+                };
+                if baseline.get(&name) != Some(&len) {
+                    continue;
+                }
+                match store.compact() {
+                    Ok(reclaimed) => {
+                        if reclaimed > 0 {
+                            if let Some((name, dense)) = store.commit_file() {
+                                baseline.insert(name, dense);
+                            }
+                        }
+                    }
+                    Err(e) => return Err(format!("compact op {op} store: {e}")),
+                }
+            }
+        }
+        let retain: Vec<WalRecord> = wal
+            .records()
+            .iter()
+            .filter(|r| matches!(r, WalRecord::Prepare { txn: t, .. } if *t != txn))
+            .cloned()
+            .collect();
+        let mut files: Vec<WalFileLen> = baseline.into_iter().collect();
+        files.sort();
+        let next = wal.next_txn();
+        wal.checkpoint(&files, next, retain)
+            .map_err(|e| format!("shard wal checkpoint: {e}"))
+    }
+
+    /// Graceful-shutdown harvest: flush every remaining datastore, then
+    /// write a checkpoint adopting the flushed lengths as the committed
+    /// baseline.  A clean shutdown thereby keeps even un-finished sessions'
+    /// data (matching the pre-transactional behaviour), while a crash rolls
+    /// back to the last committed transaction.
     fn harvest(&mut self) {
         if self.failed.is_some() {
-            // Don't persist possibly inconsistent state; the log itself is
-            // still intact (every applied batch was group-flushed), and the
-            // next open will rebuild from it.
+            // Don't persist possibly inconsistent state; the WAL is still
+            // intact, and the next open recovers to the last commit.
             return;
         }
+        let mut flushed: Vec<WalFileLen> = Vec::new();
         for state in self.ops.values_mut() {
             for store in &mut state.stores {
                 store.finish_ingest();
+                if store.sync().is_err() {
+                    return;
+                }
+                if let Some((name, len)) = store.commit_file() {
+                    flushed.push((name, len));
+                }
+            }
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            let mut baseline: std::collections::HashMap<String, u64> =
+                wal.fold_committed(&|_| true).into_iter().collect();
+            for (name, len) in flushed {
+                baseline.insert(name, len);
+            }
+            let mut files: Vec<WalFileLen> = baseline.into_iter().collect();
+            files.sort();
+            let next = wal.next_txn();
+            if let Err(e) = wal.checkpoint(&files, next, Vec::new()) {
+                eprintln!(
+                    "subzero-server: shard {}: shutdown checkpoint: {e}",
+                    self.shard.index
+                );
             }
         }
     }
@@ -639,6 +769,7 @@ mod tests {
         let done = JobSlot::new();
         let job = ShardJob::Finish {
             session: 1,
+            txn: 0,
             done: Arc::clone(&done),
         };
         let reply = job.reply_slot();

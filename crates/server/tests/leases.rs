@@ -1,0 +1,139 @@
+//! Session leases and client resilience: idle sessions are evicted after
+//! the configured TTL (and traffic renews the lease), and a client with a
+//! [`RetryPolicy`] survives a daemon restart for idempotent requests.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use subzero::model::StorageStrategy;
+use subzero_array::{Coord, Shape};
+use subzero_engine::lineage::RegionPair;
+use subzero_server::{Client, ClientError, OpSpec, RetryPolicy, Server, ServerConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("subzero-lease-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn spec() -> OpSpec {
+    let shape = Shape::d2(4, 4);
+    OpSpec {
+        op_id: 0,
+        input_shapes: vec![shape],
+        output_shape: shape,
+        strategies: vec![StorageStrategy::full_one()],
+    }
+}
+
+fn one_pair() -> Vec<RegionPair> {
+    vec![RegionPair::Full {
+        outcells: vec![Coord::d2(0, 0)],
+        incells: vec![vec![Coord::d2(1, 1)]],
+    }]
+}
+
+#[test]
+fn idle_sessions_are_evicted_and_traffic_renews_the_lease() {
+    let dir = temp_dir("evict");
+    let socket = dir.join("daemon.sock");
+    let ttl = Duration::from_millis(200);
+    let server = Server::start(
+        &socket,
+        ServerConfig {
+            shards: 2,
+            session_ttl: Some(ttl),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let mut client = Client::connect(&socket).expect("connect");
+
+    // `busy` keeps trafficking and must outlive several TTLs; `idle` goes
+    // quiet and must be evicted.
+    let busy = client.open_session("busy", vec![spec()]).expect("open");
+    let idle = client.open_session("idle", vec![spec()]).expect("open");
+    for _ in 0..8 {
+        std::thread::sleep(ttl / 2);
+        let ack = client
+            .store_batch(busy, 0, one_pair())
+            .expect("busy session stays admitted");
+        assert!(ack.accepted);
+    }
+
+    // The idle session has been silent for 4 TTLs by now.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.evicted_sessions, 1, "exactly the idle session");
+    let denied = client.store_batch(idle, 0, one_pair());
+    assert!(
+        matches!(&denied, Err(ClientError::Server(m)) if m.contains("unknown session")),
+        "evicted session still admitted: {denied:?}"
+    );
+    // The busy session is still live.
+    assert!(
+        client
+            .store_batch(busy, 0, one_pair())
+            .expect("busy")
+            .accepted
+    );
+
+    drop(client);
+    server.shutdown_and_wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retrying_client_survives_a_daemon_restart_for_idempotent_requests() {
+    let dir = temp_dir("retry");
+    let socket = dir.join("daemon.sock");
+    let config = ServerConfig {
+        shards: 1,
+        data_dir: Some(dir.join("data")),
+        ..ServerConfig::default()
+    };
+
+    let server = Server::start(&socket, config.clone()).expect("server starts");
+    let mut client = Client::connect_with(
+        &socket,
+        RetryPolicy {
+            connect_attempts: 50,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+            request_timeout: Some(Duration::from_secs(10)),
+            request_retries: 3,
+        },
+    )
+    .expect("connect");
+    let session = client.open_session("retry", vec![spec()]).expect("open");
+    assert!(
+        client
+            .store_batch(session, 0, one_pair())
+            .expect("store")
+            .accepted
+    );
+    client.finish_session(session).expect("commit");
+
+    // Bounce the daemon under the client's feet.
+    server.shutdown_and_wait();
+    let server = Server::start(&socket, config).expect("server restarts");
+
+    // Stats is idempotent: the client reconnects and resends transparently.
+    let stats = client.stats().expect("stats after restart");
+    assert_eq!(stats.shards, 1);
+    // So is open: it reattaches to the recovered on-disk session stores.
+    let session = client
+        .open_session("retry", vec![spec()])
+        .expect("reopen after restart");
+
+    // Non-idempotent requests are NOT resent: the first store_batch after
+    // shutdown_and_wait of a *new* bounce fails instead of replaying.
+    server.shutdown_and_wait();
+    let denied = client.store_batch(session, 0, one_pair());
+    assert!(
+        matches!(denied, Err(ClientError::Io(_))),
+        "non-idempotent request was retried or mis-reported: {denied:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

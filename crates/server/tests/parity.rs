@@ -284,6 +284,7 @@ fn saturation_honors_policy_and_loses_no_committed_lineage() {
                 queue_depth: 2,
                 ingest_policy: policy,
                 store_stall: Duration::from_millis(4),
+                session_ttl: None,
             },
         )
         .expect("server starts");
@@ -449,6 +450,7 @@ fn interactive_lookup_is_not_starved_by_bulk_ingest() {
             queue_depth: backlog as usize + 4,
             ingest_policy: OverflowPolicy::Block,
             store_stall: stall,
+            session_ttl: None,
         },
     )
     .expect("server starts");

@@ -138,6 +138,8 @@ fn response_of(kind: usize, n: u64, rows: u32, cols: u32, picks: &[u32]) -> Resp
             store_batches: n / 2,
             lookup_steps: n / 3,
             shed_batches: n % 5,
+            commits: n / 4,
+            evicted_sessions: n % 3,
         }),
         6 => Response::ShuttingDown,
         _ => Response::Error {

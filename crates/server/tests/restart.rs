@@ -1,14 +1,21 @@
-//! Crash-restart robustness: SIGKILL the daemon binary mid-ingest (no
-//! `FinishSession`, so no sidecar persist), restart it over the same data
-//! directory and socket path, and the recovered stores must serve queries
-//! byte-identical to a clean run of the same workload.
+//! Crash-restart robustness for the transactional commit path.
 //!
-//! Determinism relies on two store-layer guarantees: applied batches are
-//! group-flushed to the log before the call returns, and lane FIFO means a
-//! lookup acknowledged after an ingest batch proves that batch was applied.
-//! The test therefore barriers with one lookup per operator before killing,
-//! so the recovered content is exactly the sent content.
+//! Since runs became transactional, a SIGKILL rolls the store back to the
+//! last *committed* run: `FinishSession` is the commit, and anything
+//! ingested after it is discarded on recovery.  These tests SIGKILL the
+//! real daemon binary — both at arbitrary moments and at every registered
+//! crash point in the two-phase commit ([`failpoint::CRASH_POINTS`]) —
+//! restart it over the same data directory, and assert the recovered
+//! stores answer byte-identical to a clean run of the committed prefix of
+//! the workload, down to the `.kv` file bytes where the write sequence is
+//! deterministic.
+//!
+//! The crash-point tests arm `SUBZERO_FAILPOINT` in the daemon's
+//! environment; the coordinator (and, for the torn decision write, the WAL
+//! append itself) calls `std::process::abort()` at the armed point, which
+//! is as merciless as a SIGKILL: no unwinding, no flushes, no harvest.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -17,6 +24,7 @@ use subzero::model::{Direction, StorageStrategy};
 use subzero_array::{CellSet, Coord, Shape};
 use subzero_engine::lineage::RegionPair;
 use subzero_server::{Client, LookupStep, OpSpec, Server, ServerConfig, WireOutcome};
+use subzero_store::failpoint;
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("subzero-restart-{tag}-{}", std::process::id()));
@@ -25,20 +33,23 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn spawn_daemon(socket: &Path, data_dir: &Path) -> Child {
-    Command::new(env!("CARGO_BIN_EXE_subzero-serverd"))
-        .args([
-            "--socket",
-            socket.to_str().unwrap(),
-            "--data-dir",
-            data_dir.to_str().unwrap(),
-            "--shards",
-            "2",
-        ])
-        .stdout(Stdio::null())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("spawn subzero-serverd")
+fn spawn_daemon(socket: &Path, data_dir: &Path, armed: Option<&str>) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_subzero-serverd"));
+    cmd.args([
+        "--socket",
+        socket.to_str().unwrap(),
+        "--data-dir",
+        data_dir.to_str().unwrap(),
+        "--shards",
+        "2",
+    ])
+    .stdout(Stdio::null())
+    .stderr(Stdio::null());
+    match armed {
+        Some(point) => cmd.env(failpoint::ENV, point),
+        None => cmd.env_remove(failpoint::ENV),
+    };
+    cmd.spawn().expect("spawn subzero-serverd")
 }
 
 fn connect_with_retry(socket: &Path) -> Client {
@@ -82,23 +93,26 @@ fn specs() -> Vec<OpSpec> {
     ]
 }
 
-/// A deterministic synthetic workload: per op, a distinct structural pattern.
-fn pairs_for(op: u32) -> Vec<RegionPair> {
+/// A deterministic synthetic workload: per op, a distinct structural
+/// pattern; `round` shifts the mapping so successive runs write different
+/// lineage for the same output cells.
+fn pairs_for(op: u32, round: u32) -> Vec<RegionPair> {
     let mut pairs = Vec::new();
     for r in 0..8u32 {
         for c in 0..8u32 {
+            let s = (c + round) % 8;
             let pair = match op {
                 0 => RegionPair::Full {
                     outcells: vec![Coord::d2(r, c)],
-                    incells: vec![vec![Coord::d2(c, r)]],
+                    incells: vec![vec![Coord::d2(s, r)]],
                 },
                 1 => RegionPair::Full {
                     outcells: vec![Coord::d2(r, c)],
-                    incells: vec![vec![Coord::d2(r, c), Coord::d2(r, (c + 1) % 8)]],
+                    incells: vec![vec![Coord::d2(r, c), Coord::d2(r, (s + 1) % 8)]],
                 },
                 _ => RegionPair::Full {
                     outcells: vec![Coord::d2(r, c)],
-                    incells: vec![vec![Coord::d2(r, c)], vec![Coord::d2(7 - r, 7 - c)]],
+                    incells: vec![vec![Coord::d2(r, s)], vec![Coord::d2(7 - r, 7 - s)]],
                 },
             };
             pairs.push(pair);
@@ -107,11 +121,12 @@ fn pairs_for(op: u32) -> Vec<RegionPair> {
     pairs
 }
 
-/// Ingests the workload, then barriers with one lookup per operator so every
-/// sent batch is provably applied (lane FIFO) and group-flushed to the log.
-fn ingest(client: &mut Client, session: u64) {
+/// Ingests one round of the workload, then barriers with one lookup per
+/// operator so every sent batch is provably applied (lane FIFO) and
+/// group-flushed to the log.
+fn ingest(client: &mut Client, session: u64, round: u32) {
     for op in 0..3u32 {
-        for chunk in pairs_for(op).chunks(7) {
+        for chunk in pairs_for(op, round).chunks(7) {
             let ack = client
                 .store_batch(session, op, chunk.to_vec())
                 .expect("store batch");
@@ -156,53 +171,81 @@ fn probe(client: &mut Client, session: u64) -> Vec<Vec<Vec<WireOutcome>>> {
     all
 }
 
-#[test]
-fn sigkilled_daemon_recovers_byte_identical_to_a_clean_run() {
-    // Clean reference: ingest, finish, probe against an in-process server.
-    let clean_dir = temp_dir("clean");
-    let reference = {
-        let socket = clean_dir.join("daemon.sock");
-        let server = Server::start(
-            &socket,
-            ServerConfig {
-                data_dir: Some(clean_dir.join("data")),
-                shards: 2,
-                ..ServerConfig::default()
-            },
-        )
-        .expect("reference server starts");
-        let mut client = Client::connect(&socket).expect("connect");
-        let session = client.open_session("restart", specs()).expect("open");
-        ingest(&mut client, session);
+/// Reference answers from a clean in-process server that ingests and
+/// commits `rounds` rounds of the workload.
+fn reference_answers(tag: &str, rounds: u32) -> Vec<Vec<Vec<WireOutcome>>> {
+    let dir = temp_dir(tag);
+    let socket = dir.join("daemon.sock");
+    let server = Server::start(
+        &socket,
+        ServerConfig {
+            data_dir: Some(dir.join("data")),
+            shards: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("reference server starts");
+    let mut client = Client::connect(&socket).expect("connect");
+    let session = client.open_session("restart", specs()).expect("open");
+    for round in 0..rounds {
+        ingest(&mut client, session, round);
         client.finish_session(session).expect("finish");
-        let answers = probe(&mut client, session);
-        drop(client);
-        server.shutdown_and_wait();
-        answers
-    };
+    }
+    let answers = probe(&mut client, session);
+    drop(client);
+    server.shutdown_and_wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    answers
+}
 
-    // Crash run: same workload through the real binary, SIGKILLed mid-ingest
-    // (no FinishSession — the sidecar indexes were never persisted).
+/// Every `.kv` file under the per-shard data directories, as bytes.
+fn kv_snapshot(data_dir: &Path) -> BTreeMap<PathBuf, Vec<u8>> {
+    let mut snap = BTreeMap::new();
+    for shard in std::fs::read_dir(data_dir).expect("read data dir") {
+        let shard = shard.expect("dir entry").path();
+        if !shard.is_dir() {
+            continue;
+        }
+        for f in std::fs::read_dir(&shard).expect("read shard dir") {
+            let f = f.expect("dir entry").path();
+            if f.extension().is_some_and(|e| e == "kv") {
+                let rel = f.strip_prefix(data_dir).unwrap().to_path_buf();
+                snap.insert(rel, std::fs::read(&f).expect("read kv file"));
+            }
+        }
+    }
+    assert!(
+        !snap.is_empty(),
+        "no .kv files under {}",
+        data_dir.display()
+    );
+    snap
+}
+
+#[test]
+fn sigkilled_daemon_recovers_committed_run_byte_identical() {
+    let reference = reference_answers("clean", 1);
+
+    // Crash run: ingest and COMMIT through the real binary, then SIGKILL.
+    // The committed run must survive verbatim.
     let dir = temp_dir("crash");
     let socket = dir.join("daemon.sock");
     let data_dir = dir.join("data");
-    let mut child = spawn_daemon(&socket, &data_dir);
+    let mut child = spawn_daemon(&socket, &data_dir, None);
     {
         let mut client = connect_with_retry(&socket);
         let session = client.open_session("restart", specs()).expect("open");
-        ingest(&mut client, session);
+        ingest(&mut client, session, 0);
+        client.finish_session(session).expect("commit");
     }
     child.kill().expect("SIGKILL the daemon");
     child.wait().expect("reap the daemon");
 
     // Restart over the same directories (and the same, now-stale, socket
-    // file); the stores rebuild from their logs on reopen.
-    let mut child = spawn_daemon(&socket, &data_dir);
+    // file); recovery rolls the stores forward to the committed state.
+    let mut child = spawn_daemon(&socket, &data_dir, None);
     let mut client = connect_with_retry(&socket);
     let session = client.open_session("restart", specs()).expect("reopen");
-    client
-        .finish_session(session)
-        .expect("finish after recovery");
     let recovered = probe(&mut client, session);
     assert_eq!(
         recovered, reference,
@@ -213,6 +256,236 @@ fn sigkilled_daemon_recovers_byte_identical_to_a_clean_run() {
     let status = child.wait().expect("daemon exits");
     assert!(status.success(), "daemon exit status: {status:?}");
 
-    let _ = std::fs::remove_dir_all(&clean_dir);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn uncommitted_ingest_rolls_back_to_last_commit() {
+    let reference = reference_answers("rb-clean", 1);
+
+    // Commit round 0, then ingest round 1 WITHOUT committing and SIGKILL.
+    let dir = temp_dir("rb-crash");
+    let socket = dir.join("daemon.sock");
+    let data_dir = dir.join("data");
+    let mut child = spawn_daemon(&socket, &data_dir, None);
+    {
+        let mut client = connect_with_retry(&socket);
+        let session = client.open_session("restart", specs()).expect("open");
+        ingest(&mut client, session, 0);
+        client.finish_session(session).expect("commit");
+        ingest(&mut client, session, 1);
+    }
+    child.kill().expect("SIGKILL the daemon");
+    child.wait().expect("reap the daemon");
+
+    // Control: the same committed prefix, shut down gracefully.  The write
+    // sequence into each `.kv` log is deterministic (lane FIFO, stable
+    // shard assignment), so recovery truncating round 1 away must leave
+    // files byte-identical to never having ingested it.
+    let control_dir = temp_dir("rb-control");
+    {
+        let socket = control_dir.join("daemon.sock");
+        let mut child = spawn_daemon(&socket, &control_dir.join("data"), None);
+        let mut client = connect_with_retry(&socket);
+        let session = client.open_session("restart", specs()).expect("open");
+        ingest(&mut client, session, 0);
+        client.finish_session(session).expect("commit");
+        client.shutdown_server().expect("graceful shutdown");
+        drop(client);
+        child.wait().expect("control daemon exits");
+    }
+
+    let mut child = spawn_daemon(&socket, &data_dir, None);
+    let mut client = connect_with_retry(&socket);
+    let session = client.open_session("restart", specs()).expect("reopen");
+    let recovered = probe(&mut client, session);
+    assert_eq!(
+        recovered, reference,
+        "rolled-back answers diverge from the committed prefix"
+    );
+    // Byte-level: the recovered .kv files equal the control's.
+    assert_eq!(
+        kv_snapshot(&data_dir),
+        kv_snapshot(&control_dir.join("data")),
+        "recovered .kv bytes diverge from a run that never saw round 1"
+    );
+    client.shutdown_server().expect("graceful shutdown");
+    drop(client);
+    child.wait().expect("daemon exits");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&control_dir);
+}
+
+/// One crash-point scenario: commit round 0 cleanly, restart the daemon
+/// with `point` armed, ingest round 1 and attempt to commit — the daemon
+/// aborts at the crash point mid-request.  Restart unarmed and verify the
+/// recovered state: crash points before the decision record roll round 1
+/// back; the post-decision point keeps it.
+fn crash_point_scenario(point: &str, committed_rounds: u32) {
+    let tag = format!("fp-{}", point.replace('.', "-"));
+    let reference = reference_answers(&format!("{tag}-ref"), committed_rounds);
+
+    let dir = temp_dir(&tag);
+    let socket = dir.join("daemon.sock");
+    let data_dir = dir.join("data");
+
+    // Round 0 commits with no failpoint armed.
+    {
+        let mut child = spawn_daemon(&socket, &data_dir, None);
+        let mut client = connect_with_retry(&socket);
+        let session = client.open_session("restart", specs()).expect("open");
+        ingest(&mut client, session, 0);
+        client.finish_session(session).expect("commit round 0");
+        client.shutdown_server().expect("graceful shutdown");
+        drop(client);
+        child.wait().expect("daemon exits");
+    }
+    let committed_snapshot = kv_snapshot(&data_dir);
+
+    // Round 1 runs against a daemon with the crash point armed: the
+    // commit attempt kills the process.
+    {
+        let mut child = spawn_daemon(&socket, &data_dir, Some(point));
+        let mut client = connect_with_retry(&socket);
+        let session = client.open_session("restart", specs()).expect("reopen");
+        ingest(&mut client, session, 1);
+        let died = client.finish_session(session);
+        assert!(
+            died.is_err(),
+            "{point}: commit request survived an armed crash point: {died:?}"
+        );
+        drop(client);
+        let status = child.wait().expect("reap the aborted daemon");
+        assert!(!status.success(), "{point}: daemon exited cleanly");
+    }
+
+    // Recovery, unarmed.
+    let mut child = spawn_daemon(&socket, &data_dir, None);
+    let mut client = connect_with_retry(&socket);
+    let session = client.open_session("restart", specs()).expect("reopen");
+    let recovered = probe(&mut client, session);
+    assert_eq!(
+        recovered, reference,
+        "{point}: recovered answers diverge from the {committed_rounds}-round reference"
+    );
+    if committed_rounds == 1 {
+        // Round 1 was rolled back: byte-identical to the pre-crash commit.
+        assert_eq!(
+            kv_snapshot(&data_dir),
+            committed_snapshot,
+            "{point}: recovered .kv bytes diverge from the committed state"
+        );
+    }
+    client.shutdown_server().expect("graceful shutdown");
+    drop(client);
+    child.wait().expect("daemon exits");
+
+    // Recovery is idempotent: a second restart changes nothing and serves
+    // the same answers.
+    let after_first = kv_snapshot(&data_dir);
+    let mut child = spawn_daemon(&socket, &data_dir, None);
+    let mut client = connect_with_retry(&socket);
+    let session = client.open_session("restart", specs()).expect("reopen");
+    assert_eq!(
+        probe(&mut client, session),
+        reference,
+        "{point}: second recovery diverges"
+    );
+    assert_eq!(
+        kv_snapshot(&data_dir),
+        after_first,
+        "{point}: second recovery rewrote .kv bytes"
+    );
+    client.shutdown_server().expect("graceful shutdown");
+    drop(client);
+    child.wait().expect("daemon exits");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_at_pre_prepare_rolls_back() {
+    crash_point_scenario(failpoint::PRE_PREPARE, 1);
+}
+
+#[test]
+fn crash_at_mid_prepare_rolls_back() {
+    crash_point_scenario(failpoint::MID_PREPARE, 1);
+}
+
+#[test]
+fn crash_at_pre_commit_rolls_back() {
+    crash_point_scenario(failpoint::PRE_COMMIT, 1);
+}
+
+#[test]
+fn crash_at_mid_commit_truncates_torn_decision_and_rolls_back() {
+    crash_point_scenario(failpoint::MID_COMMIT, 1);
+}
+
+#[test]
+fn crash_at_post_commit_keeps_the_decided_run() {
+    crash_point_scenario(failpoint::POST_COMMIT, 2);
+}
+
+#[test]
+fn repeated_commits_keep_wal_replay_bounded() {
+    use subzero_store::wal::{WriteAheadLog, WAL_FILE};
+
+    // N commit cycles against an in-process durable server; the per-shard
+    // WALs and the coordinator's decision log must stay flat — each commit
+    // checkpoints, so replay work is independent of history length.
+    let measure = |rounds: u32, tag: &str| -> (usize, u64) {
+        let dir = temp_dir(tag);
+        let socket = dir.join("daemon.sock");
+        let data_dir = dir.join("data");
+        let server = Server::start(
+            &socket,
+            ServerConfig {
+                data_dir: Some(data_dir.clone()),
+                shards: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server starts");
+        let mut client = Client::connect(&socket).expect("connect");
+        let session = client.open_session("restart", specs()).expect("open");
+        for round in 0..rounds {
+            ingest(&mut client, session, round % 8);
+            client.finish_session(session).expect("commit");
+        }
+        drop(client);
+        server.shutdown_and_wait();
+        let mut records = 0usize;
+        let mut bytes = 0u64;
+        for entry in std::fs::read_dir(&data_dir).expect("read data dir") {
+            let p = entry.expect("dir entry").path();
+            let wal_path = if p.is_dir() { p.join(WAL_FILE) } else { p };
+            if wal_path.file_name().is_some_and(|n| {
+                n.to_str()
+                    .is_some_and(|n| n == WAL_FILE || n == "commit.wal")
+            }) && wal_path.exists()
+            {
+                let wal = WriteAheadLog::open(&wal_path).expect("open wal");
+                records += wal.len();
+                bytes += wal.size_bytes() as u64;
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        (records, bytes)
+    };
+
+    let (small_records, small_bytes) = measure(2, "bounded-small");
+    let (large_records, large_bytes) = measure(10, "bounded-large");
+    assert_eq!(
+        small_records, large_records,
+        "replay record count grew with commit history"
+    );
+    // The byte sizes may differ by a few varint bytes (file lengths vary
+    // with the workload content), but not with the number of commits.
+    assert!(
+        large_bytes.abs_diff(small_bytes) <= 64,
+        "replay byte size grew with commit history: {small_bytes} -> {large_bytes}"
+    );
 }

@@ -1,0 +1,90 @@
+//! Crash-point registry for fault-injection testing.
+//!
+//! The transactional commit path (see [`crate::wal`]) registers a small,
+//! fixed set of *crash points* — moments in the two-phase commit where a
+//! process death is interesting: before any shard prepared, between two
+//! shard prepares, before the decision record, mid-way through writing the
+//! decision record (a torn write), and after the decision but before the
+//! checkpoint.  The SIGKILL integration tests in `crates/server` spawn the
+//! real daemon with one point armed and assert byte-identical recovery to
+//! the last committed run.
+//!
+//! Arming is runtime-gated by the `SUBZERO_FAILPOINT` environment variable
+//! (set it to one of the [`CRASH_POINTS`] names) and compile-time-gated by
+//! the `failpoints` cargo feature (on by default; disabling it compiles
+//! every check down to `false`).  The environment variable is consulted
+//! directly on each check: crash points sit on the commit path only — a
+//! handful of checks per committed run — so no caching (and no atomics,
+//! which the store crate deliberately avoids) is needed.
+
+/// Environment variable naming the armed crash point.
+pub const ENV: &str = "SUBZERO_FAILPOINT";
+
+/// Before the coordinator sends the first shard prepare.
+pub const PRE_PREPARE: &str = "commit.pre-prepare";
+/// After the first shard prepared, before the remaining shards do.
+pub const MID_PREPARE: &str = "commit.mid-prepare";
+/// Every shard prepared; the decision record is not yet written.
+pub const PRE_COMMIT: &str = "commit.pre-commit";
+/// Mid-way through writing the commit record: a torn write — the record's
+/// length prefix reaches the disk but the payload does not, exercising the
+/// replay-side torn-tail truncation.
+pub const MID_COMMIT: &str = "commit.mid-commit";
+/// The commit record is durable; the checkpoint/compaction that folds it
+/// into the baseline has not run.
+pub const POST_COMMIT: &str = "commit.post-commit";
+
+/// Every registered crash point, in commit-lifecycle order.
+pub const CRASH_POINTS: &[&str] = &[
+    PRE_PREPARE,
+    MID_PREPARE,
+    PRE_COMMIT,
+    MID_COMMIT,
+    POST_COMMIT,
+];
+
+/// Whether `name` is the armed crash point.
+#[cfg(feature = "failpoints")]
+pub fn armed(name: &str) -> bool {
+    std::env::var_os(ENV).is_some_and(|v| v == *name)
+}
+
+/// Always `false` without the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+pub fn armed(_name: &str) -> bool {
+    false
+}
+
+/// Dies on the spot (as `SIGKILL` would: no unwinding, no destructors, no
+/// flushes) if `name` is the armed crash point.
+pub fn crash_if_armed(name: &str) {
+    if armed(name) {
+        std::process::abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_distinct_and_prefixed() {
+        let mut seen = std::collections::HashSet::new();
+        for p in CRASH_POINTS {
+            assert!(p.starts_with("commit."), "{p}");
+            assert!(seen.insert(*p), "duplicate crash point {p}");
+        }
+        assert_eq!(CRASH_POINTS.len(), 5);
+    }
+
+    #[test]
+    fn unarmed_points_never_fire() {
+        // The test harness never arms SUBZERO_FAILPOINT for unit tests, so
+        // this both documents and exercises the fast path.
+        for p in CRASH_POINTS {
+            assert!(!armed(p));
+            crash_if_armed(p); // must not abort
+        }
+        assert!(!armed("commit.unknown"));
+    }
+}

@@ -109,6 +109,31 @@ pub trait KvBackend: Send + Sync {
     /// Flushes buffered writes to their destination (no-op for memory).
     fn flush(&mut self) -> io::Result<()>;
 
+    /// Forces flushed bytes to stable storage (`fdatasync`; no-op for
+    /// memory).  The transactional commit path calls this before a prepare
+    /// record may name this store's length as durable.
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Byte length of the append-only log for persistent backends (`None`
+    /// for memory).  Only meaningful after [`flush`](KvBackend::flush): the
+    /// commit path records this as the published length of the file.
+    fn log_len(&self) -> Option<u64> {
+        None
+    }
+
+    /// Rewrites the log keeping only live records, folding superseded
+    /// `merge_append_batch` delta chains into dense entries.  Returns the
+    /// bytes reclaimed (0 for memory backends and garbage-free logs).
+    ///
+    /// Crash-safe: the dense log is staged as `<file>.compact`, fsynced and
+    /// renamed over the original, so an interrupted compaction leaves either
+    /// the old log or a staging file that recovery finishes or discards.
+    fn compact(&mut self) -> io::Result<u64> {
+        Ok(0)
+    }
+
     /// Path of the backing file for persistent backends, `None` for memory.
     ///
     /// Callers use this to place sidecar artefacts (e.g. a serialised
@@ -683,6 +708,94 @@ impl KvBackend for FileBackend {
         Ok(())
     }
 
+    fn sync(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.pending.clear();
+        self.writer.get_ref().sync_data()?;
+        self.remap();
+        Ok(())
+    }
+
+    fn log_len(&self) -> Option<u64> {
+        Some(self.write_offset)
+    }
+
+    fn compact(&mut self) -> io::Result<u64> {
+        self.writer.flush()?;
+        self.pending.clear();
+        let old_len = self.write_offset;
+        if self.index.is_empty() && old_len == 0 {
+            return Ok(0);
+        }
+        let mut raw = Vec::with_capacity(old_len as usize);
+        File::open(&self.path)?.read_to_end(&mut raw)?;
+        // Stream live records, in log order, into the staging file.  The
+        // recovery path (`wal::apply_recovery`) recognises `<file>.compact`
+        // and either finishes the rename or discards it, so a crash anywhere
+        // in here never loses committed data.
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(".compact");
+        let staging_path = PathBuf::from(name);
+        let staging = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&staging_path)?;
+        let mut dense = BufWriter::new(staging);
+        let mut new_index: FxHashMap<Vec<u8>, (u64, u32)> = FxHashMap::default();
+        let mut new_offset = 0u64;
+        let mut pos = 0usize;
+        while pos < raw.len() {
+            let record_start = pos;
+            let (Ok(klen), Ok(vlen)) = (read_varint(&raw, &mut pos), read_varint(&raw, &mut pos))
+            else {
+                break;
+            };
+            let (klen, vlen) = (klen as usize, vlen as usize);
+            if pos + klen + vlen > raw.len() {
+                break;
+            }
+            let key = &raw[pos..pos + klen];
+            let value_off = (pos + klen) as u64;
+            let live = self
+                .index
+                .get(key)
+                .is_some_and(|&(off, len)| off == value_off && len as usize == vlen);
+            if live {
+                let header_len = pos - record_start;
+                dense.write_all(&raw[record_start..pos + klen + vlen])?;
+                new_index.insert(
+                    key.to_vec(),
+                    (new_offset + (header_len + klen) as u64, vlen as u32),
+                );
+                new_offset += (header_len + klen + vlen) as u64;
+            }
+            pos += klen + vlen;
+        }
+        dense.flush()?;
+        let staging = dense.into_inner().map_err(|e| e.into_error())?;
+        staging.sync_data()?;
+        if new_offset == old_len {
+            // Nothing superseded: keep the original log untouched.
+            drop(staging);
+            std::fs::remove_file(&staging_path)?;
+            return Ok(0);
+        }
+        drop(staging);
+        std::fs::rename(&staging_path, &self.path)?;
+        // Swap every handle over to the dense log and rebuild derived state.
+        let file = OpenOptions::new().write(true).read(true).open(&self.path)?;
+        let mut writer = BufWriter::new(file);
+        writer.seek(SeekFrom::Start(new_offset))?;
+        self.writer = writer;
+        self.reader = File::open(&self.path)?;
+        self.index = new_index;
+        self.write_offset = new_offset;
+        self.map = None;
+        self.remap();
+        Ok(old_len - new_offset)
+    }
+
     fn file_path(&self) -> Option<&Path> {
         Some(&self.path)
     }
@@ -964,6 +1077,23 @@ impl Database {
         self.backend.flush()
     }
 
+    /// Forces flushed bytes to stable storage (see [`KvBackend::sync`]).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.backend.sync()
+    }
+
+    /// Flushed log length for persistent backends (see
+    /// [`KvBackend::log_len`]).
+    pub fn log_len(&self) -> Option<u64> {
+        self.backend.log_len()
+    }
+
+    /// Folds superseded records out of the log, returning bytes reclaimed
+    /// (see [`KvBackend::compact`]).
+    pub fn compact(&mut self) -> io::Result<u64> {
+        self.backend.compact()
+    }
+
     /// Path of the backing file for persistent backends, `None` for memory
     /// (see [`KvBackend::file_path`]).
     pub fn file_path(&self) -> Option<&Path> {
@@ -1189,6 +1319,47 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert_eq!(b.get(b"a").as_deref(), Some(&b"3"[..]));
         assert_eq!(b.get(b"b").as_deref(), Some(&b"2"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_compact_folds_delta_chains() {
+        let dir = std::env::temp_dir().join(format!("subzero-kv-compact-{}", std::process::id()));
+        let path = dir.join("compact.kv");
+        let _ = std::fs::remove_file(&path);
+        let mut b = FileBackend::open(&path).unwrap();
+        // Build delta chains: each merge_append supersedes the previous
+        // record for the key, so the log accumulates garbage.
+        for round in 0..8u8 {
+            let delta = [round; 16];
+            b.merge_append_batch(&[(b"chain-a", &delta[..]), (b"chain-b", &delta[..])]);
+        }
+        b.put(b"plain", b"value");
+        b.sync().unwrap();
+        let before = b.log_len().unwrap();
+        let expected_a = b.get(b"chain-a").unwrap();
+        let reclaimed = b.compact().unwrap();
+        assert!(reclaimed > 0, "delta chains must free bytes");
+        let after = b.log_len().unwrap();
+        assert_eq!(after + reclaimed, before);
+        assert_eq!(after, path.metadata().unwrap().len());
+        // Contents survive, through the live handles and through a reopen.
+        assert_eq!(b.get(b"chain-a").as_deref(), Some(&expected_a[..]));
+        assert_eq!(b.get(b"plain").as_deref(), Some(&b"value"[..]));
+        assert_eq!(b.len(), 3);
+        // Appends after compaction land cleanly on the dense log.
+        b.put(b"post", b"compact");
+        b.flush().unwrap();
+        drop(b);
+        let b = FileBackend::open(&path).unwrap();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.get(b"chain-a").as_deref(), Some(&expected_a[..]));
+        assert_eq!(b.get(b"post").as_deref(), Some(&b"compact"[..]));
+        // A second compaction over the (now dense + one live append) log
+        // reclaims nothing and leaves the file alone.
+        let mut b = b;
+        assert_eq!(b.compact().unwrap(), 0);
+        assert!(!path.with_extension("kv.compact").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

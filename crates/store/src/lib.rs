@@ -15,8 +15,11 @@
 //! * [`kv`] — an embedded hash-bucket key-value store with an in-memory
 //!   backend and an append-only-file backend, managed per operator by a
 //!   [`StoreManager`].
-//! * [`wal`] — a simple write-ahead log of workflow/operator executions used
-//!   for black-box lineage.
+//! * [`wal`] — the durable write-ahead log: black-box execution records plus
+//!   the prepare/commit/checkpoint records of the transactional run-commit
+//!   path, with torn-tail-truncating replay and directory recovery.
+//! * [`failpoint`] — the crash-point registry the fault-injection tests arm
+//!   via `SUBZERO_FAILPOINT` to kill a real process at commit boundaries.
 //! * [`codec`] — varint and coordinate bit-packing codecs used by the lineage
 //!   encoder.
 //! * [`hash`] — the FxHash-style hasher the key-value backends key their
@@ -26,6 +29,7 @@
 //!   path serves zero-copy slices from (the crate's only `unsafe` module).
 
 pub mod codec;
+pub mod failpoint;
 pub mod hash;
 pub mod kv;
 pub mod mmap;
@@ -36,4 +40,7 @@ pub use codec::{Arena, CellRun, ScanFrame, Span};
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use kv::{Database, KvBackend, ScanMode, StoreManager, StoreStats};
 pub use rtree::RTree;
-pub use wal::{WalEntry, WriteAheadLog};
+pub use wal::{
+    recover_dir, RecoveryPlan, RecoveryReport, WalEntry, WalFileLen, WalRecord, WriteAheadLog,
+    WAL_FILE,
+};

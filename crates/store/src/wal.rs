@@ -1,15 +1,57 @@
-//! Write-ahead log of operator executions (black-box lineage).
+//! Durable write-ahead log and the transactional run-commit records.
 //!
 //! "We automatically store black-box lineage by using write-ahead logging,
 //! which guarantees that black-box lineage is written before the array data"
-//! (§VI-A).  A black-box record is simply: which operator ran, which array
-//! versions it consumed, which version it produced, and how long it took.
-//! Together with the no-overwrite versioned array store this is sufficient to
-//! re-run any previously executed operator from any point in the workflow.
+//! (§VI-A).  The log started life as that in-memory black-box record; it is
+//! now also the durability backbone of the storage tier: a run's `.kv`
+//! appends are *staged* (bytes past the last committed length are
+//! provisional) and published by a two-phase commit — each shard logs a
+//! [`WalRecord::Prepare`] naming the exact flushed length of every file the
+//! run touched, and the coordinator's single [`WalRecord::Commit`] record is
+//! the atomic publish point.  On reopen, [`recover_dir`] replays the log and
+//! rolls every file back to its last committed length, so a run without a
+//! commit record vanishes entirely — all-or-nothing across every touched
+//! shard.  [`WalRecord::Checkpoint`] folds decided transactions into a
+//! baseline and truncates the log (atomically, via rename), so replay cost
+//! never grows with history.
+//!
+//! ## On-disk format
+//!
+//! Each record is length-prefixed and checksummed, mirroring the `.kv` log's
+//! own recovery discipline (torn tails are truncated, never trusted):
+//!
+//! ```text
+//! [payload len: u32 LE][crc32(payload): u32 LE][payload]
+//! ```
+//!
+//! The payload starts with a tag byte followed by varint/length-prefixed
+//! fields (see [`WalRecord`]).  Replay accepts the longest valid prefix: a
+//! record with a short body, a checksum mismatch, an unknown tag, or a
+//! malformed payload ends the replay *and truncates the file there*, so a
+//! torn append from a crash mid-write cannot be misread as data and a
+//! reopened log appends from a clean boundary.
 
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
-/// One operator execution record.
+use crate::codec::{read_varint, write_varint};
+use crate::failpoint;
+
+/// File name of a shard- or runtime-local log inside its datastore
+/// directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Records larger than this are rejected on append and treated as
+/// corruption on replay — a bit-flipped length prefix must not provoke a
+/// multi-gigabyte allocation.
+pub const MAX_WAL_RECORD: usize = 16 << 20;
+
+/// One operator execution record (the paper's black-box lineage: which
+/// operator ran, which array versions it consumed/produced, how long it
+/// took).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalEntry {
     /// Workflow-instance identifier the execution belonged to.
@@ -41,65 +83,691 @@ impl fmt::Display for WalEntry {
     }
 }
 
-/// An append-only log of [`WalEntry`] records.
+/// `(file name, byte length)` of one `.kv` log at a commit boundary.  The
+/// name is the bare file name (no directory): the log never outlives its
+/// directory, so records stay valid when the tree is moved.
+pub type WalFileLen = (String, u64);
+
+/// One record of the write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A black-box operator-execution record (tag 1).
+    Exec(WalEntry),
+    /// A shard's vote: every file the transaction touched, flushed and
+    /// fsynced, with its exact byte length (tag 2).  Bytes beyond these
+    /// lengths — and files not named by any decided prepare — are staged,
+    /// not published.
+    Prepare {
+        /// Coordinator-allocated transaction id.
+        txn: u64,
+        /// Flushed length of every touched file at prepare time.
+        files: Vec<WalFileLen>,
+    },
+    /// The coordinator's decision: the transaction is published (tag 3).
+    Commit {
+        /// The decided transaction.
+        txn: u64,
+    },
+    /// A baseline: the committed length of every live file, folding all
+    /// previously decided transactions (tag 4).  Always the first record of
+    /// a freshly checkpointed log.
+    Checkpoint {
+        /// Committed length of every live file.
+        files: Vec<WalFileLen>,
+        /// Next transaction id to allocate (coordinator logs only; shard
+        /// logs record 0 and defer to the coordinator).
+        next_txn: u64,
+    },
+}
+
+const TAG_EXEC: u8 = 1;
+const TAG_PREPARE: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_CHECKPOINT: u8 = 4;
+
+fn write_file_lens(out: &mut Vec<u8>, files: &[WalFileLen]) {
+    write_varint(out, files.len() as u64);
+    for (name, len) in files {
+        write_varint(out, name.len() as u64);
+        out.extend_from_slice(name.as_bytes());
+        write_varint(out, *len);
+    }
+}
+
+fn read_file_lens(buf: &[u8], pos: &mut usize) -> Option<Vec<WalFileLen>> {
+    let count = read_varint(buf, pos).ok()? as usize;
+    // Each entry costs at least two bytes; a corrupt count fails cleanly.
+    if count > buf.len() - *pos + 1 {
+        return None;
+    }
+    let mut files = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_varint(buf, pos).ok()? as usize;
+        let end = pos.checked_add(name_len).filter(|&e| e <= buf.len())?;
+        let name = std::str::from_utf8(&buf[*pos..end]).ok()?.to_string();
+        *pos = end;
+        let len = read_varint(buf, pos).ok()?;
+        files.push((name, len));
+    }
+    Some(files)
+}
+
+impl WalRecord {
+    /// Serialises the record payload (tag byte + fields, no frame header).
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::Exec(e) => {
+                out.push(TAG_EXEC);
+                write_varint(out, e.run_id);
+                write_varint(out, u64::from(e.op_id));
+                write_varint(out, e.op_name.len() as u64);
+                out.extend_from_slice(e.op_name.as_bytes());
+                write_varint(out, e.input_versions.len() as u64);
+                for v in &e.input_versions {
+                    write_varint(out, *v);
+                }
+                write_varint(out, e.output_version);
+                write_varint(out, e.elapsed_us);
+            }
+            WalRecord::Prepare { txn, files } => {
+                out.push(TAG_PREPARE);
+                write_varint(out, *txn);
+                write_file_lens(out, files);
+            }
+            WalRecord::Commit { txn } => {
+                out.push(TAG_COMMIT);
+                write_varint(out, *txn);
+            }
+            WalRecord::Checkpoint { files, next_txn } => {
+                out.push(TAG_CHECKPOINT);
+                write_varint(out, *next_txn);
+                write_file_lens(out, files);
+            }
+        }
+    }
+
+    /// Parses one payload.  `None` means the payload is malformed — replay
+    /// treats that exactly like a checksum failure (truncate here).
+    fn decode(buf: &[u8]) -> Option<WalRecord> {
+        let (&tag, body) = buf.split_first()?;
+        let mut pos = 0usize;
+        let record = match tag {
+            TAG_EXEC => {
+                let run_id = read_varint(body, &mut pos).ok()?;
+                let op_id = u32::try_from(read_varint(body, &mut pos).ok()?).ok()?;
+                let name_len = read_varint(body, &mut pos).ok()? as usize;
+                let end = pos.checked_add(name_len).filter(|&e| e <= body.len())?;
+                let op_name = std::str::from_utf8(&body[pos..end]).ok()?.to_string();
+                pos = end;
+                let n_inputs = read_varint(body, &mut pos).ok()? as usize;
+                if n_inputs > body.len() - pos + 1 {
+                    return None;
+                }
+                let mut input_versions = Vec::with_capacity(n_inputs);
+                for _ in 0..n_inputs {
+                    input_versions.push(read_varint(body, &mut pos).ok()?);
+                }
+                let output_version = read_varint(body, &mut pos).ok()?;
+                let elapsed_us = read_varint(body, &mut pos).ok()?;
+                WalRecord::Exec(WalEntry {
+                    run_id,
+                    op_id,
+                    op_name,
+                    input_versions,
+                    output_version,
+                    elapsed_us,
+                })
+            }
+            TAG_PREPARE => {
+                let txn = read_varint(body, &mut pos).ok()?;
+                let files = read_file_lens(body, &mut pos)?;
+                WalRecord::Prepare { txn, files }
+            }
+            TAG_COMMIT => {
+                let txn = read_varint(body, &mut pos).ok()?;
+                WalRecord::Commit { txn }
+            }
+            TAG_CHECKPOINT => {
+                let next_txn = read_varint(body, &mut pos).ok()?;
+                let files = read_file_lens(body, &mut pos)?;
+                WalRecord::Checkpoint { files, next_txn }
+            }
+            _ => return None,
+        };
+        // Trailing bytes inside a checksummed payload mean the writer and
+        // reader disagree about the format; reject rather than guess.
+        if pos != buf.len() - 1 {
+            return None;
+        }
+        Some(record)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.  Hand-rolled
+/// because the workspace builds offline with no checksum crates; the table
+/// is computed at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 of `data` (IEEE polynomial, init/xorout `0xFFFF_FFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Frames `payload` as one on-disk record.
+fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The durable half of [`WriteAheadLog`]: an open file positioned at the
+/// end of the valid record prefix.
+struct DurableLog {
+    path: PathBuf,
+    file: File,
+}
+
+/// An append-only, optionally durable log of [`WalRecord`]s.
 ///
-/// The log is held in memory and can optionally be mirrored to a file; the
-/// important property for SubZero is ordering (the entry is appended *before*
-/// the output array version becomes visible), which the workflow executor
-/// guarantees by calling [`WriteAheadLog::append`] first.
-#[derive(Default, Debug)]
+/// [`new`](WriteAheadLog::new) builds the in-memory form the workflow
+/// executor uses for black-box lineage (ordering is what matters there: the
+/// record is appended before the output version becomes visible).
+/// [`open`](WriteAheadLog::open) builds the durable form: records are
+/// framed, checksummed and written through to the file, torn tails are
+/// truncated on replay, and [`checkpoint`](WriteAheadLog::checkpoint)
+/// atomically rewrites the log so it never grows with history.
 pub struct WriteAheadLog {
-    entries: Vec<WalEntry>,
+    records: Vec<WalRecord>,
+    /// Total framed bytes of `records` (equals the file length when
+    /// durable).
+    bytes: u64,
+    durable: Option<DurableLog>,
+}
+
+impl Default for WriteAheadLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for WriteAheadLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WriteAheadLog")
+            .field("records", &self.records.len())
+            .field("bytes", &self.bytes)
+            .field("path", &self.durable.as_ref().map(|d| d.path.as_path()))
+            .finish()
+    }
 }
 
 impl WriteAheadLog {
-    /// Creates an empty log.
+    /// Creates an empty in-memory log.
     pub fn new() -> Self {
-        Self::default()
+        WriteAheadLog {
+            records: Vec::new(),
+            bytes: 0,
+            durable: None,
+        }
     }
 
-    /// Appends a record, returning its sequence number.
+    /// Opens (or creates) a durable log at `path`, replaying its records.
+    ///
+    /// Replay accepts the longest valid prefix and truncates the file to it:
+    /// a crash mid-append leaves a torn tail, never a corrupt log.  A stale
+    /// `<path>.new` from a crashed [`checkpoint`](WriteAheadLog::checkpoint)
+    /// is removed (the rename never happened, so the old log is still the
+    /// authority).
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        let staging = checkpoint_staging_path(&path);
+        if staging.exists() {
+            fs::remove_file(&staging)?;
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let (records, valid_len) = replay(&raw);
+        if (valid_len as u64) < raw.len() as u64 {
+            file.set_len(valid_len as u64)?;
+        }
+        file.seek(SeekFrom::Start(valid_len as u64))?;
+        Ok(WriteAheadLog {
+            records,
+            bytes: valid_len as u64,
+            durable: Some(DurableLog { path, file }),
+        })
+    }
+
+    /// Whether records are written through to a file.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The backing file of a durable log.
+    pub fn path(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.path.as_path())
+    }
+
+    /// Appends a black-box execution record, returning its sequence number.
+    ///
+    /// Infallible convenience for the executor's in-memory log; a durable
+    /// log treats a write failure like the `.kv` log does (the storage
+    /// medium failing mid-run is unrecoverable for the run either way).
     pub fn append(&mut self, entry: WalEntry) -> u64 {
-        self.entries.push(entry);
-        (self.entries.len() - 1) as u64
+        self.append_record(WalRecord::Exec(entry))
+            .expect("write-ahead log append");
+        (self.records.len() - 1) as u64
     }
 
-    /// All records, in append order.
-    pub fn entries(&self) -> &[WalEntry] {
-        &self.entries
+    /// Appends one record, writing it through to the file when durable.
+    ///
+    /// The write is buffered by the OS but not fsynced; call
+    /// [`sync`](WriteAheadLog::sync) before the record must survive power
+    /// loss (the commit path syncs after the prepare and after the decision).
+    pub fn append_record(&mut self, record: WalRecord) -> io::Result<()> {
+        let mut payload = Vec::new();
+        record.encode(&mut payload);
+        if payload.len() > MAX_WAL_RECORD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "write-ahead log record too large",
+            ));
+        }
+        let frame = frame_record(&payload);
+        if let Some(durable) = &mut self.durable {
+            if matches!(record, WalRecord::Commit { .. }) && failpoint::armed(failpoint::MID_COMMIT)
+            {
+                // Torn decision write: the length prefix and part of the
+                // payload reach the disk, the rest never does.  Replay must
+                // truncate this tail and treat the transaction as aborted.
+                let torn = 8 + payload.len() / 2;
+                durable.file.write_all(&frame[..torn])?;
+                durable.file.sync_data()?;
+                std::process::abort();
+            }
+            durable.file.write_all(&frame)?;
+        }
+        self.bytes += frame.len() as u64;
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// Forces appended records to stable storage (no-op in memory).
+    pub fn sync(&mut self) -> io::Result<()> {
+        match &mut self.durable {
+            Some(durable) => durable.file.sync_data(),
+            None => Ok(()),
+        }
+    }
+
+    /// All records, in append order (a checkpointed log starts at its
+    /// baseline record).
+    pub fn records(&self) -> &[WalRecord] {
+        &self.records
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.records.len()
     }
 
-    /// Whether the log is empty.
+    /// Whether the log holds no records.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.records.is_empty()
     }
 
-    /// Records for one workflow run.
-    pub fn for_run(&self, run_id: u64) -> Vec<&WalEntry> {
-        self.entries.iter().filter(|e| e.run_id == run_id).collect()
-    }
-
-    /// The most recent record for `(run_id, op_id)`, if the operator ran.
-    pub fn lookup(&self, run_id: u64, op_id: u32) -> Option<&WalEntry> {
-        self.entries
-            .iter()
-            .rev()
-            .find(|e| e.run_id == run_id && e.op_id == op_id)
-    }
-
-    /// Approximate size of the log in bytes (black-box lineage overhead is
-    /// reported as ~0 in the paper; this lets the harness verify that).
+    /// Size of the log in framed bytes (the file length when durable).
     pub fn size_bytes(&self) -> usize {
-        self.entries
-            .iter()
-            .map(|e| 8 + 4 + e.op_name.len() + e.input_versions.len() * 8 + 8 + 8)
-            .sum()
+        self.bytes as usize
     }
+
+    /// Transaction ids with a commit record in this log.
+    pub fn committed_txns(&self) -> HashSet<u64> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The next transaction id a coordinator should allocate: past every id
+    /// this log has seen and at least the last checkpoint's floor.
+    pub fn next_txn(&self) -> u64 {
+        let mut next = 1u64;
+        for r in &self.records {
+            match r {
+                WalRecord::Prepare { txn, .. } | WalRecord::Commit { txn } => {
+                    next = next.max(txn + 1);
+                }
+                WalRecord::Checkpoint { next_txn, .. } => next = next.max(*next_txn),
+                WalRecord::Exec(_) => {}
+            }
+        }
+        next
+    }
+
+    /// Folds the log into a committed-length baseline: the last checkpoint's
+    /// files overlaid, in order, with every prepare whose transaction
+    /// `is_committed`.  Sorted by name for determinism.
+    pub fn fold_committed(&self, is_committed: &dyn Fn(u64) -> bool) -> Vec<WalFileLen> {
+        let mut committed: HashMap<String, u64> = HashMap::new();
+        for r in &self.records {
+            match r {
+                WalRecord::Checkpoint { files, .. } => {
+                    committed = files.iter().cloned().collect();
+                }
+                WalRecord::Prepare { txn, files } if is_committed(*txn) => {
+                    for (name, len) in files {
+                        committed.insert(name.clone(), *len);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out: Vec<WalFileLen> = committed.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Atomically replaces the log with a [`WalRecord::Checkpoint`] baseline
+    /// followed by `retain` (prepares still awaiting a decision, commits
+    /// still awaiting shard checkpoints).
+    ///
+    /// Durably: the new log is written to `<path>.new`, fsynced, and renamed
+    /// over the old one — the checkpoint either fully replaces the log or
+    /// never happened ([`open`](WriteAheadLog::open) removes a stale
+    /// `.new`).  This is what keeps steady-state replay bounded: the live
+    /// log never holds more than the baseline plus undecided work.
+    pub fn checkpoint(
+        &mut self,
+        files: &[WalFileLen],
+        next_txn: u64,
+        retain: Vec<WalRecord>,
+    ) -> io::Result<()> {
+        let mut records = Vec::with_capacity(1 + retain.len());
+        records.push(WalRecord::Checkpoint {
+            files: files.to_vec(),
+            next_txn,
+        });
+        records.extend(retain);
+        let mut framed = Vec::new();
+        for r in &records {
+            let mut payload = Vec::new();
+            r.encode(&mut payload);
+            framed.extend_from_slice(&frame_record(&payload));
+        }
+        if let Some(durable) = &mut self.durable {
+            let staging = checkpoint_staging_path(&durable.path);
+            let mut fresh = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&staging)?;
+            fresh.write_all(&framed)?;
+            fresh.sync_data()?;
+            fs::rename(&staging, &durable.path)?;
+            fresh.seek(SeekFrom::End(0))?;
+            durable.file = fresh;
+        }
+        self.records = records;
+        self.bytes = framed.len() as u64;
+        Ok(())
+    }
+}
+
+fn checkpoint_staging_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".new");
+    PathBuf::from(name)
+}
+
+/// Parses the longest valid record prefix of `raw`, returning the records
+/// and the byte length of that prefix.  Never panics: any framing, checksum
+/// or payload defect ends the replay at the last good boundary.
+pub fn replay(raw: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while raw.len() - pos >= 8 {
+        let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > MAX_WAL_RECORD || raw.len() - pos - 8 < len {
+            break;
+        }
+        let payload = &raw[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Some(record) = WalRecord::decode(payload) else {
+            break;
+        };
+        records.push(record);
+        pos += 8 + len;
+    }
+    (records, pos)
+}
+
+/// What [`plan_recovery`] decided for one datastore directory.
+#[derive(Debug, Clone)]
+pub struct RecoveryPlan {
+    /// Committed length per file; every other `.kv` file in the directory
+    /// is staged-only and gets deleted.
+    pub committed: Vec<WalFileLen>,
+    /// Next transaction id (for the log's post-recovery checkpoint).
+    pub next_txn: u64,
+    /// Prepared transactions without a commit record — their staged bytes
+    /// are rolled back.
+    pub aborted_txns: Vec<u64>,
+}
+
+/// What [`apply_recovery`] actually did.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Files truncated back to their committed length.
+    pub truncated: usize,
+    /// Staged-only files (no decided prepare names them) deleted.
+    pub deleted: usize,
+    /// Interrupted compactions completed by renaming a finished `.compact`.
+    pub finished_compactions: usize,
+}
+
+/// Computes the recovery actions for a directory from its replayed log.
+/// `is_committed` is the decision authority — the coordinator's commit set
+/// for shard logs, this log's own commit records for a self-contained log.
+pub fn plan_recovery(records: &[WalRecord], is_committed: &dyn Fn(u64) -> bool) -> RecoveryPlan {
+    let mut committed: HashMap<String, u64> = HashMap::new();
+    let mut aborted = Vec::new();
+    let mut next_txn = 1u64;
+    for r in records {
+        match r {
+            WalRecord::Checkpoint { files, next_txn: n } => {
+                committed = files.iter().cloned().collect();
+                next_txn = next_txn.max(*n);
+            }
+            WalRecord::Prepare { txn, files } => {
+                next_txn = next_txn.max(txn + 1);
+                if is_committed(*txn) {
+                    for (name, len) in files {
+                        committed.insert(name.clone(), *len);
+                    }
+                } else {
+                    aborted.push(*txn);
+                }
+            }
+            WalRecord::Commit { txn } => next_txn = next_txn.max(txn + 1),
+            WalRecord::Exec(_) => {}
+        }
+    }
+    let mut files: Vec<WalFileLen> = committed.into_iter().collect();
+    files.sort_unstable();
+    RecoveryPlan {
+        committed: files,
+        next_txn,
+        aborted_txns: aborted,
+    }
+}
+
+/// Rolls the `.kv` files under `dir` back to the plan's committed state:
+///
+/// * a finished-but-unrenamed `<name>.compact` whose length matches the
+///   committed length completes its interrupted compaction (rename over the
+///   original); any other `.compact` is deleted;
+/// * a committed file longer than its committed length is truncated to it
+///   (every `.kv` record boundary at a commit is a clean cut, because the
+///   prepare recorded the flushed length) and its sidecar index dropped;
+/// * a committed file *shorter* than its committed length is left alone —
+///   that is the compacted-before-checkpoint state, already dense and fully
+///   committed;
+/// * a `.kv` file no decided prepare ever named is staged-only and deleted,
+///   along with its sidecar.
+pub fn apply_recovery(dir: &Path, plan: &RecoveryPlan) -> io::Result<RecoveryReport> {
+    let committed: HashMap<&str, u64> = plan
+        .committed
+        .iter()
+        .map(|(n, l)| (n.as_str(), *l))
+        .collect();
+    let mut report = RecoveryReport::default();
+    let mut kv_files = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        if let Some(base) = name.strip_suffix(".compact") {
+            let compact = dir.join(&name);
+            let done = committed.get(base).copied() == Some(entry.metadata()?.len());
+            if done {
+                fs::rename(&compact, dir.join(base))?;
+                report.finished_compactions += 1;
+            } else {
+                fs::remove_file(&compact)?;
+            }
+        } else if name.ends_with(".kv") {
+            kv_files.push(name);
+        }
+    }
+    for name in kv_files {
+        let path = dir.join(&name);
+        match committed.get(name.as_str()) {
+            Some(&len) => {
+                let actual = path.metadata()?.len();
+                if actual > len {
+                    let file = OpenOptions::new().write(true).open(&path)?;
+                    file.set_len(len)?;
+                    file.sync_data()?;
+                    remove_sidecar(dir, &name)?;
+                    report.truncated += 1;
+                }
+            }
+            None => {
+                fs::remove_file(&path)?;
+                remove_sidecar(dir, &name)?;
+                report.deleted += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn remove_sidecar(dir: &Path, kv_name: &str) -> io::Result<()> {
+    let sidecar = dir.join(format!("{kv_name}.idx"));
+    if sidecar.exists() {
+        fs::remove_file(&sidecar)?;
+    }
+    Ok(())
+}
+
+/// Opens `dir`'s write-ahead log and rolls the directory back to its last
+/// committed state, returning the recovered log (already re-checkpointed to
+/// the surviving files, so replay stays bounded no matter how the previous
+/// process died).
+///
+/// `extra_committed` is the coordinator's decision set for shard
+/// directories; transactions committed in this log itself always count
+/// (the self-contained single-process form).  A directory without a
+/// `wal.log` is adopted as-is: its existing `.kv` files become the
+/// committed baseline — pre-transactional layouts survive the upgrade
+/// untouched.
+pub fn recover_dir(
+    dir: &Path,
+    extra_committed: Option<&HashSet<u64>>,
+) -> io::Result<(WriteAheadLog, RecoveryReport)> {
+    let wal_path = dir.join(WAL_FILE);
+    let fresh = !wal_path.exists();
+    let mut wal = WriteAheadLog::open(&wal_path)?;
+    if fresh {
+        let files = scan_kv_lens(dir)?;
+        wal.checkpoint(&files, 1, Vec::new())?;
+        return Ok((wal, RecoveryReport::default()));
+    }
+    let mut committed = wal.committed_txns();
+    if let Some(extra) = extra_committed {
+        committed.extend(extra.iter().copied());
+    }
+    let plan = plan_recovery(wal.records(), &|txn| committed.contains(&txn));
+    let report = apply_recovery(dir, &plan)?;
+    // Re-stamp the baseline with the *actual* post-recovery lengths (a
+    // compacted-but-not-yet-checkpointed file is shorter than its recorded
+    // committed length; the new baseline must say so, or a later aborted
+    // transaction would be "rolled back" to a stale longer length that cuts
+    // mid-record).
+    let mut files = Vec::with_capacity(plan.committed.len());
+    for (name, _) in &plan.committed {
+        let path = dir.join(name);
+        if let Ok(meta) = path.metadata() {
+            files.push((name.clone(), meta.len()));
+        }
+    }
+    wal.checkpoint(&files, plan.next_txn, Vec::new())?;
+    Ok((wal, report))
+}
+
+/// Every `.kv` file directly under `dir`, with its length.
+fn scan_kv_lens(dir: &Path) -> io::Result<Vec<WalFileLen>> {
+    let mut files = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        if name.ends_with(".kv") {
+            files.push((name, entry.metadata()?.len()));
+        }
+    }
+    files.sort_unstable();
+    Ok(files)
 }
 
 #[cfg(test)]
@@ -117,36 +785,41 @@ mod tests {
         }
     }
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("subzero-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
-    fn append_and_lookup() {
+    fn in_memory_append_and_len() {
         let mut wal = WriteAheadLog::new();
         assert!(wal.is_empty());
+        assert!(!wal.is_durable());
         assert_eq!(wal.append(entry(1, 0, 10)), 0);
         assert_eq!(wal.append(entry(1, 1, 11)), 1);
         assert_eq!(wal.append(entry(2, 0, 20)), 2);
         assert_eq!(wal.len(), 3);
-        assert_eq!(wal.lookup(1, 1).unwrap().output_version, 11);
-        assert!(wal.lookup(3, 0).is_none());
-        assert_eq!(wal.for_run(1).len(), 2);
-    }
-
-    #[test]
-    fn lookup_returns_latest_record_for_reruns() {
-        let mut wal = WriteAheadLog::new();
-        wal.append(entry(1, 0, 10));
-        wal.append(entry(1, 0, 15));
-        assert_eq!(wal.lookup(1, 0).unwrap().output_version, 15);
+        assert!(wal.size_bytes() > 0);
+        let execs = wal
+            .records()
+            .iter()
+            .filter(|r| matches!(r, WalRecord::Exec(e) if e.run_id == 1))
+            .count();
+        assert_eq!(execs, 2);
     }
 
     #[test]
     fn size_is_small() {
         let mut wal = WriteAheadLog::new();
         for i in 0..26 {
-            wal.append(entry(1, i, 100 + i as u64));
+            wal.append(entry(1, i, 100 + u64::from(i)));
         }
-        // 26 operators (the astronomy workflow) should cost well under a KB.
+        // 26 operators (the astronomy workflow) should cost well under 2 KB
+        // even framed: black-box lineage overhead stays ~0 as in the paper.
         assert!(
-            wal.size_bytes() < 1500,
+            wal.size_bytes() < 2000,
             "wal too large: {}",
             wal.size_bytes()
         );
@@ -159,5 +832,336 @@ mod tests {
         assert!(s.contains("run=7"));
         assert!(s.contains("op#3"));
         assert!(s.contains("output=42"));
+    }
+
+    #[test]
+    fn durable_roundtrip_all_record_kinds() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join(WAL_FILE);
+        let records = vec![
+            WalRecord::Exec(entry(1, 2, 3)),
+            WalRecord::Prepare {
+                txn: 7,
+                files: vec![("a.kv".into(), 128), ("b.kv".into(), 0)],
+            },
+            WalRecord::Commit { txn: 7 },
+            WalRecord::Checkpoint {
+                files: vec![("a.kv".into(), 128)],
+                next_txn: 8,
+            },
+        ];
+        {
+            let mut wal = WriteAheadLog::open(&path).unwrap();
+            for r in &records {
+                wal.append_record(r.clone()).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let wal = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(wal.records(), records.as_slice());
+        assert_eq!(wal.committed_txns(), HashSet::from([7]));
+        assert_eq!(wal.next_txn(), 8);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume_cleanly() {
+        let dir = temp_dir("torn");
+        let path = dir.join(WAL_FILE);
+        let good_len = {
+            let mut wal = WriteAheadLog::open(&path).unwrap();
+            wal.append_record(WalRecord::Commit { txn: 1 }).unwrap();
+            wal.sync().unwrap();
+            wal.size_bytes() as u64
+        };
+        // Simulate a crash mid-append: a full frame header promising more
+        // payload than was written.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&100u32.to_le_bytes()).unwrap();
+            f.write_all(&0u32.to_le_bytes()).unwrap();
+            f.write_all(b"partial").unwrap();
+        }
+        let mut wal = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(wal.len(), 1, "torn tail must be dropped");
+        assert_eq!(path.metadata().unwrap().len(), good_len);
+        // The next append lands at the clean boundary and replays.
+        wal.append_record(WalRecord::Commit { txn: 2 }).unwrap();
+        wal.sync().unwrap();
+        let wal = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(wal.committed_txns(), HashSet::from([1, 2]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_mismatch_ends_replay() {
+        let dir = temp_dir("crc");
+        let path = dir.join(WAL_FILE);
+        {
+            let mut wal = WriteAheadLog::open(&path).unwrap();
+            wal.append_record(WalRecord::Commit { txn: 1 }).unwrap();
+            wal.append_record(WalRecord::Commit { txn: 2 }).unwrap();
+            wal.sync().unwrap();
+        }
+        // Flip one payload bit of the second record.
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x40;
+        fs::write(&path, &raw).unwrap();
+        let wal = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(wal.committed_txns(), HashSet::from([1]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_not_allocated() {
+        let dir = temp_dir("len");
+        let path = dir.join(WAL_FILE);
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        raw.extend_from_slice(&0u32.to_le_bytes());
+        raw.extend_from_slice(&[0u8; 64]);
+        fs::write(&path, &raw).unwrap();
+        let wal = WriteAheadLog::open(&path).unwrap();
+        assert!(wal.is_empty());
+        assert_eq!(path.metadata().unwrap().len(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_survives_reopen() {
+        let dir = temp_dir("ckpt");
+        let path = dir.join(WAL_FILE);
+        let mut wal = WriteAheadLog::open(&path).unwrap();
+        for txn in 1..50u64 {
+            wal.append_record(WalRecord::Prepare {
+                txn,
+                files: vec![("a.kv".into(), txn * 10)],
+            })
+            .unwrap();
+            wal.append_record(WalRecord::Commit { txn }).unwrap();
+        }
+        let grown = wal.size_bytes();
+        let baseline = wal.fold_committed(&|_| true);
+        assert_eq!(baseline, vec![("a.kv".to_string(), 490)]);
+        wal.checkpoint(&baseline, wal.next_txn(), Vec::new())
+            .unwrap();
+        assert!(
+            wal.size_bytes() < grown / 10,
+            "checkpoint must shrink the log"
+        );
+        assert_eq!(wal.len(), 1);
+        let reopened = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(reopened.next_txn(), 50);
+        assert_eq!(
+            reopened.fold_committed(&|_| true),
+            vec![("a.kv".to_string(), 490)]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_retains_undecided_prepares() {
+        let dir = temp_dir("retain");
+        let path = dir.join(WAL_FILE);
+        let mut wal = WriteAheadLog::open(&path).unwrap();
+        let undecided = WalRecord::Prepare {
+            txn: 9,
+            files: vec![("b.kv".into(), 5)],
+        };
+        wal.append_record(undecided.clone()).unwrap();
+        wal.checkpoint(&[("a.kv".into(), 3)], 10, vec![undecided.clone()])
+            .unwrap();
+        let reopened = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.records()[1], undecided);
+        // Once the decision arrives, the fold includes the prepare.
+        assert_eq!(
+            reopened.fold_committed(&|txn| txn == 9),
+            vec![("a.kv".to_string(), 3), ("b.kv".to_string(), 5)]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_checkpoint_staging_file_is_discarded() {
+        let dir = temp_dir("staging");
+        let path = dir.join(WAL_FILE);
+        {
+            let mut wal = WriteAheadLog::open(&path).unwrap();
+            wal.append_record(WalRecord::Commit { txn: 3 }).unwrap();
+            wal.sync().unwrap();
+        }
+        fs::write(checkpoint_staging_path(&path), b"half-written checkpoint").unwrap();
+        let wal = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(wal.committed_txns(), HashSet::from([3]));
+        assert!(!checkpoint_staging_path(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_recovery_rolls_back_uncommitted_prepares() {
+        let records = vec![
+            WalRecord::Checkpoint {
+                files: vec![("a.kv".into(), 100)],
+                next_txn: 5,
+            },
+            WalRecord::Prepare {
+                txn: 5,
+                files: vec![("a.kv".into(), 150), ("b.kv".into(), 40)],
+            },
+            WalRecord::Prepare {
+                txn: 6,
+                files: vec![("a.kv".into(), 200)],
+            },
+        ];
+        // txn 5 committed (coordinator says so), txn 6 not.
+        let plan = plan_recovery(&records, &|txn| txn == 5);
+        assert_eq!(
+            plan.committed,
+            vec![("a.kv".to_string(), 150), ("b.kv".to_string(), 40)]
+        );
+        assert_eq!(plan.aborted_txns, vec![6]);
+        assert_eq!(plan.next_txn, 7);
+    }
+
+    #[test]
+    fn apply_recovery_truncates_deletes_and_finishes_compactions() {
+        let dir = temp_dir("apply");
+        fs::write(dir.join("a.kv"), vec![1u8; 150]).unwrap(); // 100 committed
+        fs::write(dir.join("a.kv.idx"), b"stale sidecar").unwrap();
+        fs::write(dir.join("staged.kv"), vec![2u8; 30]).unwrap(); // never prepared
+        fs::write(dir.join("staged.kv.idx"), b"sidecar").unwrap();
+        fs::write(dir.join("c.kv"), vec![3u8; 90]).unwrap(); // compaction interrupted
+        fs::write(dir.join("c.kv.compact"), vec![4u8; 60]).unwrap();
+        fs::write(dir.join("d.kv.compact"), vec![5u8; 7]).unwrap(); // junk tmp
+        let plan = RecoveryPlan {
+            committed: vec![("a.kv".into(), 100), ("c.kv".into(), 60)],
+            next_txn: 3,
+            aborted_txns: vec![],
+        };
+        let report = apply_recovery(&dir, &plan).unwrap();
+        assert_eq!(report.truncated, 1);
+        assert_eq!(report.deleted, 1);
+        assert_eq!(report.finished_compactions, 1);
+        assert_eq!(dir.join("a.kv").metadata().unwrap().len(), 100);
+        assert!(!dir.join("a.kv.idx").exists(), "stale sidecar dropped");
+        assert!(!dir.join("staged.kv").exists());
+        assert!(!dir.join("staged.kv.idx").exists());
+        assert_eq!(
+            fs::read(dir.join("c.kv")).unwrap(),
+            vec![4u8; 60],
+            "finished compaction replaces the original"
+        );
+        assert!(!dir.join("c.kv.compact").exists());
+        assert!(!dir.join("d.kv.compact").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_dir_adopts_legacy_layouts() {
+        let dir = temp_dir("legacy");
+        fs::write(dir.join("old.kv"), vec![9u8; 42]).unwrap();
+        let (wal, report) = recover_dir(&dir, None).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        assert!(
+            dir.join("old.kv").exists(),
+            "legacy data adopted, not deleted"
+        );
+        assert_eq!(
+            wal.fold_committed(&|_| true),
+            vec![("old.kv".to_string(), 42)]
+        );
+        // A second recovery over the now-transactional dir keeps the file.
+        drop(wal);
+        let (wal, report) = recover_dir(&dir, None).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(
+            wal.fold_committed(&|_| true),
+            vec![("old.kv".to_string(), 42)]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_dir_discards_runs_without_commit() {
+        let dir = temp_dir("discard");
+        // Committed state: a.kv at 20 bytes.
+        {
+            let (mut wal, _) = recover_dir(&dir, None).unwrap();
+            fs::write(dir.join("a.kv"), vec![1u8; 20]).unwrap();
+            wal.append_record(WalRecord::Prepare {
+                txn: 1,
+                files: vec![("a.kv".into(), 20)],
+            })
+            .unwrap();
+            wal.append_record(WalRecord::Commit { txn: 1 }).unwrap();
+            wal.sync().unwrap();
+            // Staged beyond the commit: a.kv grows, b.kv appears, txn 2
+            // prepares but never commits (the coordinator died).
+            fs::write(dir.join("a.kv"), vec![1u8; 35]).unwrap();
+            fs::write(dir.join("b.kv"), vec![2u8; 10]).unwrap();
+            wal.append_record(WalRecord::Prepare {
+                txn: 2,
+                files: vec![("a.kv".into(), 35), ("b.kv".into(), 10)],
+            })
+            .unwrap();
+            wal.sync().unwrap();
+        }
+        let (wal, report) = recover_dir(&dir, None).unwrap();
+        assert_eq!(dir.join("a.kv").metadata().unwrap().len(), 20);
+        assert!(!dir.join("b.kv").exists());
+        assert_eq!(report.truncated, 1);
+        assert_eq!(report.deleted, 1);
+        assert_eq!(
+            wal.fold_committed(&|_| true),
+            vec![("a.kv".to_string(), 20)]
+        );
+        assert_eq!(wal.next_txn(), 3, "aborted txn id is not reissued");
+        // The coordinator's decision set can publish txn 2 instead.
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_dir_honours_coordinator_decisions() {
+        let dir = temp_dir("coord");
+        {
+            let (mut wal, _) = recover_dir(&dir, None).unwrap();
+            fs::write(dir.join("a.kv"), vec![1u8; 30]).unwrap();
+            wal.append_record(WalRecord::Prepare {
+                txn: 4,
+                files: vec![("a.kv".into(), 30)],
+            })
+            .unwrap();
+            wal.sync().unwrap();
+        }
+        // The shard log has no commit record; the coordinator's does.
+        let committed = HashSet::from([4u64]);
+        let (wal, report) = recover_dir(&dir, Some(&committed)).unwrap();
+        assert_eq!(report.deleted, 0);
+        assert_eq!(dir.join("a.kv").metadata().unwrap().len(), 30);
+        assert_eq!(
+            wal.fold_committed(&|_| true),
+            vec![("a.kv".to_string(), 30)]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn replay_never_reads_past_declared_lengths() {
+        // A frame claiming MAX_WAL_RECORD+1 bytes is rejected outright.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&((MAX_WAL_RECORD as u32) + 1).to_le_bytes());
+        raw.extend_from_slice(&0u32.to_le_bytes());
+        let (records, pos) = replay(&raw);
+        assert!(records.is_empty());
+        assert_eq!(pos, 0);
     }
 }

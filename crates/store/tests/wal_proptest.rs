@@ -1,0 +1,166 @@
+//! Property tests for write-ahead-log replay: under arbitrary torn tails
+//! (truncation at any byte) and arbitrary single-bit corruption, replay
+//! must never panic, must accept exactly a prefix of the original records,
+//! and recovery planning must only treat transactions whose commit record
+//! survived as committed.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use subzero_store::wal::{plan_recovery, replay, WalEntry, WalRecord, WriteAheadLog};
+use subzero_store::{WalFileLen, WAL_FILE};
+
+fn entry(seed: u64) -> WalEntry {
+    WalEntry {
+        run_id: seed % 7,
+        op_id: (seed % 11) as u32,
+        op_name: format!("op{}", seed % 5),
+        input_versions: vec![seed, seed.wrapping_mul(3)],
+        output_version: seed.wrapping_add(1),
+        elapsed_us: seed % 1000,
+    }
+}
+
+fn files_of(seed: u64, n: usize) -> Vec<WalFileLen> {
+    (0..n)
+        .map(|i| {
+            (
+                format!("store{}.kv", (seed as usize).wrapping_add(i) % 4),
+                seed.wrapping_mul(10).wrapping_add(i as u64),
+            )
+        })
+        .collect()
+}
+
+/// One arbitrary record from a small generator alphabet.
+fn record_of(kind: u8, seed: u64) -> WalRecord {
+    match kind % 4 {
+        0 => WalRecord::Exec(entry(seed)),
+        1 => WalRecord::Prepare {
+            txn: seed % 9 + 1,
+            files: files_of(seed, (seed % 3) as usize + 1),
+        },
+        2 => WalRecord::Commit { txn: seed % 9 + 1 },
+        _ => WalRecord::Checkpoint {
+            files: files_of(seed, (seed % 3) as usize),
+            next_txn: seed % 64 + 1,
+        },
+    }
+}
+
+/// Writes `records` through the durable API and returns the raw log bytes.
+fn raw_log(dir: &std::path::Path, records: &[WalRecord]) -> Vec<u8> {
+    let path = dir.join(WAL_FILE);
+    let _ = std::fs::remove_file(&path);
+    let mut wal = WriteAheadLog::open(&path).expect("open fresh wal");
+    for r in records {
+        wal.append_record(r.clone()).expect("append");
+    }
+    wal.sync().expect("sync");
+    drop(wal);
+    std::fs::read(&path).expect("read wal bytes")
+}
+
+fn tmp() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "subzero-wal-proptest-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+proptest! {
+    #[test]
+    fn truncated_logs_replay_to_a_prefix_and_recover_to_last_commit(
+        kinds in prop::collection::vec((0u8..4, any::<u64>()), 1..24),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let records: Vec<WalRecord> =
+            kinds.iter().map(|&(k, s)| record_of(k, s)).collect();
+        let dir = tmp();
+        let raw = raw_log(&dir, &records);
+        let cut = ((raw.len() as f64) * cut_frac) as usize;
+        let torn = &raw[..cut];
+
+        // Replay never panics and yields a prefix of what was written.
+        let (replayed, valid_len) = replay(torn);
+        prop_assert!(valid_len <= torn.len());
+        prop_assert!(replayed.len() <= records.len());
+        prop_assert_eq!(&replayed[..], &records[..replayed.len()]);
+        // Re-replaying the valid prefix is a fixpoint.
+        let (again, again_len) = replay(&torn[..valid_len]);
+        prop_assert_eq!(again_len, valid_len);
+        prop_assert_eq!(again, replayed.clone());
+
+        // Opening the torn file truncates it to the valid prefix, and a
+        // second open finds nothing more to heal.
+        let torn_path = dir.join("torn.wal");
+        std::fs::write(&torn_path, torn).expect("write torn log");
+        let wal = WriteAheadLog::open(&torn_path).expect("open torn log");
+        prop_assert_eq!(wal.records(), &replayed[..]);
+        drop(wal);
+        let healed = std::fs::read(&torn_path).expect("read healed log");
+        prop_assert_eq!(healed.len(), valid_len);
+        let wal = WriteAheadLog::open(&torn_path).expect("reopen healed log");
+        prop_assert_eq!(wal.records(), &replayed[..]);
+        drop(wal);
+
+        // Recovery-to-last-commit: only transactions whose commit record
+        // survived the tear are committed; every prepared-but-undecided
+        // transaction is rolled back.
+        let committed: HashSet<u64> = replayed
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        let plan = plan_recovery(&replayed, &|t| committed.contains(&t));
+        for txn in &plan.aborted_txns {
+            prop_assert!(!committed.contains(txn), "aborted a committed txn {txn}");
+        }
+        let prepared: HashSet<u64> = replayed
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Prepare { txn, .. } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        for txn in prepared.difference(&committed) {
+            prop_assert!(
+                plan.aborted_txns.contains(txn),
+                "undecided txn {txn} was not rolled back"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flipped_logs_replay_to_a_clean_prefix_without_panicking(
+        kinds in prop::collection::vec((0u8..4, any::<u64>()), 1..16),
+        flip_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let records: Vec<WalRecord> =
+            kinds.iter().map(|&(k, s)| record_of(k, s)).collect();
+        let dir = tmp();
+        let mut raw = raw_log(&dir, &records);
+        // At least one record was written, so the log is never empty.
+        let pos = ((raw.len() as f64) * flip_frac) as usize % raw.len();
+        raw[pos] ^= 1 << bit;
+
+        // A corrupt byte invalidates its frame's checksum (or its length
+        // prefix): replay keeps the records before it and never panics.
+        let (replayed, valid_len) = replay(&raw);
+        prop_assert!(valid_len <= raw.len());
+        prop_assert!(replayed.len() <= records.len());
+        prop_assert_eq!(&replayed[..], &records[..replayed.len()]);
+
+        // And opening the corrupt file both succeeds and heals it.
+        let path = dir.join("flipped.wal");
+        std::fs::write(&path, &raw).expect("write flipped log");
+        let wal = WriteAheadLog::open(&path).expect("open flipped log");
+        prop_assert_eq!(wal.records(), &replayed[..]);
+    }
+}
