@@ -75,8 +75,8 @@ STANZA_KEYS = {
     "BENCH_server.json": {
         "top": ["batched_lookup_min_speedup", "results", "workload"],
         "workload": [
-            "batches", "clients", "lookup_chunk", "ops", "pairs_per_batch",
-            "policy", "queries", "shape", "shards",
+            "batches", "clients", "container_mix", "lookup_chunk", "ops",
+            "pairs_per_batch", "policy", "queries", "shape", "shards",
         ],
     },
 }
@@ -235,6 +235,24 @@ def check_server(root: pathlib.Path) -> str:
         "(>1 and smaller than the total query count), or the batched/single "
         "comparison is vacuous",
     )
+    # Adaptive CellSet containers removed the cache-blowup that used to cap
+    # the batch at 32; the recorded run must keep exercising big batches.
+    require(
+        chunk >= 128,
+        f"BENCH_server.json: lookup_chunk={chunk} < 128 — the adaptive "
+        "container work unlocked large lookup batches; refresh the snapshot "
+        "with the default chunk (or larger), not a hand-lowered one",
+    )
+    mix = w.get("container_mix", {})
+    require(
+        isinstance(mix, dict)
+        and set(mix) == {"sparse", "runs", "dense"}
+        and all(isinstance(v, int) and v >= 0 for v in mix.values())
+        and sum(mix.values()) > 0,
+        "BENCH_server.json: workload.container_mix must record how many "
+        "sparse/runs/dense containers the batched answers used (and at "
+        "least one answer must be non-empty)",
+    )
     speedup = s["batched_lookup_min_speedup"]
     require(
         speedup >= 1.0,
@@ -249,7 +267,28 @@ def check_server(root: pathlib.Path) -> str:
         f"BENCH_server.json: results must record ingest and both lookup "
         f"modes, got {sorted(stages)}",
     )
-    return f"server ok: batched_lookup_min_speedup={speedup}"
+    # Absolute throughput floor for chunk-batched lookups: the flat-bitmap
+    # seed measured 88,547 q/s at lookup_chunk=32; batching four times as
+    # many queries per request on adaptive containers must never fall back
+    # below that.
+    batched_qps = next(
+        (
+            row.get("queries_per_sec", 0.0)
+            for row in s.get("results", [])
+            if row.get("stage") == "lookup_batched"
+        ),
+        0.0,
+    )
+    require(
+        batched_qps >= 90_000.0,
+        f"batched daemon lookups regressed: {batched_qps} q/s < 90,000 floor "
+        "(the chunk-32 flat-bitmap seed measured 88,547 q/s; large batches "
+        "over adaptive containers must stay strictly ahead of it)",
+    )
+    return (
+        f"server ok: batched_lookup_min_speedup={speedup}, "
+        f"batched {batched_qps:.0f} q/s at lookup_chunk={chunk}"
+    )
 
 
 def main() -> int:

@@ -34,7 +34,7 @@ pub mod version;
 
 pub use array::Array;
 pub use bbox::BoundingBox;
-pub use cellset::CellSet;
+pub use cellset::{CellSet, ReprCounts};
 pub use coord::{Coord, MAX_NDIM};
 pub use error::ArrayError;
 pub use shape::Shape;

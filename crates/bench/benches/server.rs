@@ -15,12 +15,15 @@
 //!   shard rendezvous, and must never fall below 1.0
 //!   (`batched_lookup_min_speedup`, enforced by `ci/bench_guard.py`).
 //!
-//! The batch size is bounded on purpose: query results are dense bitmaps
-//! (one `CellSet` allocation per query and answer), so an unbounded batch
-//! materialises its whole answer set at once and falls out of cache —
-//! at 512 one-cell queries over a 256x256 shape a single-request batch
-//! measures *slower* than per-query round-trips.  Chunks keep the working
-//! set cache-resident while still amortising the per-request overhead.
+//! The batch size used to be capped at 32: with one flat bitmap per query
+//! and answer, a bigger batch materialised its whole answer set at once and
+//! fell out of cache.  Adaptive `CellSet` containers (sparse / run / dense
+//! per 2^16-cell chunk) shrank both the in-memory answers and their wire
+//! frames, so the default chunk is now 128 — `--lookup-chunk N` overrides
+//! it, and `ci/bench_guard.py` pins the floor so the cap never silently
+//! creeps back down.  The recorded stanza also counts which container
+//! representations the batched answers actually used (`container_mix`), so
+//! a refresh that degenerates into all-dense answers is visible in review.
 //!
 //! Run with `cargo bench -p subzero-bench --bench server`; `--smoke` is a
 //! seconds-long validity check that leaves `BENCH_server.json` untouched.
@@ -31,7 +34,7 @@ use std::time::{Duration, Instant};
 
 use subzero::capture::OverflowPolicy;
 use subzero::model::{Direction, StorageStrategy};
-use subzero_array::{CellSet, Coord, Shape};
+use subzero_array::{CellSet, Coord, ReprCounts, Shape};
 use subzero_bench::harness::arg_value;
 use subzero_engine::lineage::RegionPair;
 use subzero_server::{Client, LookupStep, OpSpec, Server, ServerConfig};
@@ -75,7 +78,7 @@ fn workload() -> Config {
             batches_per_op: 64,
             pairs_per_batch: 64,
             queries: arg_value("--queries").unwrap_or(512),
-            lookup_chunk: arg_value("--lookup-chunk").unwrap_or(32),
+            lookup_chunk: arg_value("--lookup-chunk").unwrap_or(128),
             target: Duration::from_secs(8),
             smoke,
         }
@@ -115,6 +118,10 @@ struct Pass {
     ingest_wall: Duration,
     single_wall: Duration,
     batched_wall: Duration,
+    /// Container representations across every batched answer set (result and
+    /// covered); the workload is deterministic, so this is identical each
+    /// round.
+    mix: ReprCounts,
 }
 
 fn one_pass(cfg: &Config, dir: &std::path::Path, round: usize) -> Pass {
@@ -194,6 +201,7 @@ fn one_pass(cfg: &Config, dir: &std::path::Path, round: usize) -> Pass {
 
     let batched_start = Instant::now();
     let mut batched_hits = 0u64;
+    let mut mix = ReprCounts::default();
     for chunk in cells.chunks(cfg.lookup_chunk as usize) {
         let queries: Vec<CellSet> = chunk
             .iter()
@@ -202,10 +210,11 @@ fn one_pass(cfg: &Config, dir: &std::path::Path, round: usize) -> Pass {
         let out = admin
             .lookup(session, vec![step_of(queries)])
             .expect("batched lookup");
-        batched_hits += out[0]
-            .iter()
-            .map(|o| u64::from(!o.result.is_empty()))
-            .sum::<u64>();
+        for o in &out[0] {
+            batched_hits += u64::from(!o.result.is_empty());
+            mix.merge(&o.result.repr_counts());
+            mix.merge(&o.covered.repr_counts());
+        }
     }
     let batched_wall = batched_start.elapsed();
     assert_eq!(
@@ -220,6 +229,7 @@ fn one_pass(cfg: &Config, dir: &std::path::Path, round: usize) -> Pass {
         ingest_wall,
         single_wall,
         batched_wall,
+        mix,
     }
 }
 
@@ -253,6 +263,7 @@ fn main() {
                 ingest_wall: b.ingest_wall.min(pass.ingest_wall),
                 single_wall: b.single_wall.min(pass.single_wall),
                 batched_wall: b.batched_wall.min(pass.batched_wall),
+                mix: pass.mix,
             },
         });
         if budget.elapsed() >= cfg.target {
@@ -286,7 +297,8 @@ fn main() {
     );
     println!(
         "\nbatching lookups over the wire is {speedup:.1}x the per-request round-trip path \
-         ({rounds} rounds)"
+         ({rounds} rounds); answer containers: {} sparse, {} runs, {} dense",
+        best.mix.sparse, best.mix.runs, best.mix.dense,
     );
 
     if cfg.smoke {
@@ -296,9 +308,9 @@ fn main() {
     // Hand-rolled JSON (no serde in the offline environment).
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"workload\": {{\"shape\": \"{}\", \"shards\": {}, \"clients\": {}, \"ops\": {}, \"batches\": {}, \"pairs_per_batch\": {}, \"queries\": {}, \"lookup_chunk\": {}, \"policy\": \"block\"}},\n",
+        "  \"workload\": {{\"shape\": \"{}\", \"shards\": {}, \"clients\": {}, \"ops\": {}, \"batches\": {}, \"pairs_per_batch\": {}, \"queries\": {}, \"lookup_chunk\": {}, \"policy\": \"block\", \"container_mix\": {{\"sparse\": {}, \"runs\": {}, \"dense\": {}}}}},\n",
         cfg.shape, cfg.shards, cfg.clients, nops, total_batches, cfg.pairs_per_batch, cfg.queries,
-        cfg.lookup_chunk,
+        cfg.lookup_chunk, best.mix.sparse, best.mix.runs, best.mix.dense,
     ));
     json.push_str(&format!(
         "  \"batched_lookup_min_speedup\": {speedup:.4},\n"

@@ -1334,20 +1334,41 @@ impl OpDatastore {
                 parallel::parallel_map_min(queries, workers, 2, |_, query| {
                     let mut out = empty_outcome();
                     out.scanned = true;
+                    let mut hits: Vec<u64> = Vec::new();
+                    // Hits accumulate in flat vectors across the whole scan
+                    // and merge into the answer containers once at the end:
+                    // a per-entry container merge would re-splice the
+                    // accumulated set once per matching record.
+                    // One densified clone of the query turns the
+                    // thousands of per-record membership probes below into
+                    // O(1) word tests; the few-KiB promotion cost amortises
+                    // over the whole scan.
+                    let probe = {
+                        let mut p = CellSet::clone(query);
+                        p.densify();
+                        p
+                    };
+                    let mut covered_acc: Vec<u64> = Vec::new();
+                    let mut result_acc: Vec<u64> = Vec::new();
                     for &(cell, runs) in &resolved {
                         out.entries_fetched += 1;
                         let Some(runs) = runs else { continue };
-                        let mut hit = false;
-                        for &oc in frame.run(runs.outcells) {
-                            if query.contains_linear(oc as usize) {
-                                hit = true;
-                                out.covered.insert_linear(oc as usize);
-                            }
-                        }
-                        if hit {
-                            out.result.insert_linear(cell as usize);
+                        hits.clear();
+                        // Intersect the query's containers against the
+                        // record's sorted scan indices (word probes on dense
+                        // chunks, tail bisection on sparse/run chunks)
+                        // instead of testing a bitmap per index.
+                        if probe.intersect_sorted(frame.run(runs.outcells), |oc| hits.push(oc)) {
+                            covered_acc.extend_from_slice(&hits);
+                            result_acc.push(cell);
                         }
                     }
+                    covered_acc.sort_unstable();
+                    covered_acc.dedup();
+                    out.covered.insert_sorted(&covered_acc);
+                    result_acc.sort_unstable();
+                    result_acc.dedup();
+                    out.result.insert_sorted(&result_acc);
                     out
                 })
             }
@@ -1364,22 +1385,35 @@ impl OpDatastore {
                 parallel::parallel_map_min(queries, workers, 2, |_, query| {
                     let mut out = empty_outcome();
                     out.scanned = true;
+                    let mut hits: Vec<u64> = Vec::new();
+                    // One densified clone of the query turns the
+                    // thousands of per-record membership probes below into
+                    // O(1) word tests; the few-KiB promotion cost amortises
+                    // over the whole scan.
+                    let probe = {
+                        let mut p = CellSet::clone(query);
+                        p.densify();
+                        p
+                    };
+                    let mut covered_acc: Vec<u64> = Vec::new();
+                    let mut result_acc: Vec<u64> = Vec::new();
                     for &(_, runs) in &sd.entries {
                         out.entries_fetched += 1;
                         let Some(runs) = runs else { continue };
-                        let mut hit = false;
-                        for &oc in frame.run(runs.outcells) {
-                            if query.contains_linear(oc as usize) {
-                                hit = true;
-                                out.covered.insert_linear(oc as usize);
-                            }
-                        }
-                        if hit {
-                            for &c in frame.run(runs.incells) {
-                                out.result.insert_linear(c as usize);
-                            }
+                        hits.clear();
+                        if probe.intersect_sorted(frame.run(runs.outcells), |oc| hits.push(oc)) {
+                            covered_acc.extend_from_slice(&hits);
+                            // The whole record matched: every input cell
+                            // joins the flat accumulator.
+                            result_acc.extend_from_slice(frame.run(runs.incells));
                         }
                     }
+                    covered_acc.sort_unstable();
+                    covered_acc.dedup();
+                    out.covered.insert_sorted(&covered_acc);
+                    result_acc.sort_unstable();
+                    result_acc.dedup();
+                    out.result.insert_sorted(&result_acc);
                     out
                 })
             }
@@ -1519,20 +1553,33 @@ impl OpDatastore {
                 parallel::parallel_map_min(queries, workers, 2, |_, query| {
                     let mut out = empty_outcome();
                     out.scanned = true;
+                    let mut hits: Vec<u64> = Vec::new();
+                    // One densified clone of the query turns the
+                    // thousands of per-record membership probes below into
+                    // O(1) word tests; the few-KiB promotion cost amortises
+                    // over the whole scan.
+                    let probe = {
+                        let mut p = CellSet::clone(query);
+                        p.densify();
+                        p
+                    };
+                    let mut covered_acc: Vec<u64> = Vec::new();
+                    let mut result_acc: Vec<u64> = Vec::new();
                     for &(oc, runs) in &resolved {
                         out.entries_fetched += 1;
                         let Some(runs) = runs else { continue };
-                        let mut hit = false;
-                        for &c in frame.run(runs.incells) {
-                            if query.contains_linear(c as usize) {
-                                hit = true;
-                                out.covered.insert_linear(c as usize);
-                            }
-                        }
-                        if hit {
-                            out.result.insert_linear(oc as usize);
+                        hits.clear();
+                        if probe.intersect_sorted(frame.run(runs.incells), |c| hits.push(c)) {
+                            covered_acc.extend_from_slice(&hits);
+                            result_acc.push(oc);
                         }
                     }
+                    covered_acc.sort_unstable();
+                    covered_acc.dedup();
+                    out.covered.insert_sorted(&covered_acc);
+                    result_acc.sort_unstable();
+                    result_acc.dedup();
+                    out.result.insert_sorted(&result_acc);
                     out
                 })
             }
@@ -1549,22 +1596,33 @@ impl OpDatastore {
                 parallel::parallel_map_min(queries, workers, 2, |_, query| {
                     let mut out = empty_outcome();
                     out.scanned = true;
+                    let mut hits: Vec<u64> = Vec::new();
+                    // One densified clone of the query turns the
+                    // thousands of per-record membership probes below into
+                    // O(1) word tests; the few-KiB promotion cost amortises
+                    // over the whole scan.
+                    let probe = {
+                        let mut p = CellSet::clone(query);
+                        p.densify();
+                        p
+                    };
+                    let mut covered_acc: Vec<u64> = Vec::new();
+                    let mut result_acc: Vec<u64> = Vec::new();
                     for &(_, runs) in &sd.entries {
                         out.entries_fetched += 1;
                         let Some(runs) = runs else { continue };
-                        let mut hit = false;
-                        for &c in frame.run(runs.incells) {
-                            if query.contains_linear(c as usize) {
-                                hit = true;
-                                out.covered.insert_linear(c as usize);
-                            }
-                        }
-                        if hit {
-                            for &oc in frame.run(runs.outcells) {
-                                out.result.insert_linear(oc as usize);
-                            }
+                        hits.clear();
+                        if probe.intersect_sorted(frame.run(runs.incells), |c| hits.push(c)) {
+                            covered_acc.extend_from_slice(&hits);
+                            result_acc.extend_from_slice(frame.run(runs.outcells));
                         }
                     }
+                    covered_acc.sort_unstable();
+                    covered_acc.dedup();
+                    out.covered.insert_sorted(&covered_acc);
+                    result_acc.sort_unstable();
+                    result_acc.dedup();
+                    out.result.insert_sorted(&result_acc);
                     out
                 })
             }

@@ -924,6 +924,37 @@ impl<'a> QuerySession<'a> {
     }
 
     /// Starts a batch of backward queries, answered in one shared pass.
+    ///
+    /// The batch shares decoded entries, datastore handles and (on a
+    /// mismatched index direction) one streamed full scan; results come
+    /// back in query order.
+    ///
+    /// ```
+    /// use std::collections::HashMap;
+    /// use std::sync::Arc;
+    /// use subzero::prelude::*;
+    /// use subzero_engine::ops::{Elementwise1, UnaryKind};
+    ///
+    /// let mut b = Workflow::builder("backward-many-doc");
+    /// let scale = b.add_source(Arc::new(Elementwise1::new(UnaryKind::Scale(2.0))), "img");
+    /// let wf = Arc::new(b.build().unwrap());
+    ///
+    /// let mut subzero = SubZero::new();
+    /// let mut inputs = HashMap::new();
+    /// inputs.insert("img".to_string(), Array::from_rows(&[vec![1.0, 3.0]]));
+    /// let run = subzero.execute(&wf, &inputs).unwrap();
+    ///
+    /// // Two backward queries answered in one shared pass.
+    /// let mut session = subzero.session(&run);
+    /// let results = session
+    ///     .backward_many(vec![vec![Coord::d2(0, 0)], vec![Coord::d2(0, 1)]])
+    ///     .from(scale)
+    ///     .to_source("img")
+    ///     .unwrap();
+    /// assert_eq!(results.len(), 2);
+    /// assert_eq!(results[0].cells.to_coords(), vec![Coord::d2(0, 0)]);
+    /// assert_eq!(results[1].cells.to_coords(), vec![Coord::d2(0, 1)]);
+    /// ```
     pub fn backward_many(&mut self, batches: Vec<Vec<Coord>>) -> BackwardBatch<'_, 'a> {
         BackwardBatch {
             session: self,

@@ -147,6 +147,31 @@ impl SubZero {
     /// plans and traced re-execution pairs from the system's persistent
     /// [`QueryCache`] — so a session borrowed tomorrow reuses what a session
     /// derived today.
+    ///
+    /// ```
+    /// use std::collections::HashMap;
+    /// use std::sync::Arc;
+    /// use subzero::prelude::*;
+    /// use subzero_engine::ops::{Elementwise1, UnaryKind};
+    ///
+    /// let mut b = Workflow::builder("session-doc");
+    /// let scale = b.add_source(Arc::new(Elementwise1::new(UnaryKind::Scale(2.0))), "img");
+    /// let wf = Arc::new(b.build().unwrap());
+    ///
+    /// let mut subzero = SubZero::new();
+    /// let mut inputs = HashMap::new();
+    /// inputs.insert("img".to_string(), Array::from_rows(&[vec![1.0, 3.0]]));
+    /// let run = subzero.execute(&wf, &inputs).unwrap();
+    ///
+    /// // The session derives the scale -> "img" traversal from the DAG.
+    /// let mut session = subzero.session(&run);
+    /// let result = session
+    ///     .backward(vec![Coord::d2(0, 1)])
+    ///     .from(scale)
+    ///     .to_source("img")
+    ///     .unwrap();
+    /// assert_eq!(result.cells.to_coords(), vec![Coord::d2(0, 1)]);
+    /// ```
     pub fn session<'a>(&'a mut self, run: &'a WorkflowRun) -> QuerySession<'a> {
         QuerySession::new(&self.engine, &mut self.runtime, run)
             .with_options(self.options)

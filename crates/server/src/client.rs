@@ -150,6 +150,65 @@ fn connect_stream(socket_path: &Path, policy: &RetryPolicy) -> io::Result<UnixSt
 }
 
 /// A blocking client for one daemon connection.
+///
+/// ```
+/// use subzero::model::{Direction, StorageStrategy};
+/// use subzero_array::{CellSet, Coord, Shape};
+/// use subzero_engine::lineage::RegionPair;
+/// use subzero_server::{Client, LookupStep, OpSpec, Server};
+///
+/// // An in-process daemon on a scratch socket (in-memory stores).
+/// let dir = std::env::temp_dir().join(format!("subzero-client-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let socket = dir.join("daemon.sock");
+/// let server = Server::start(&socket, Default::default()).unwrap();
+///
+/// let shape = Shape::d2(4, 4);
+/// let mut client = Client::connect(&socket).unwrap();
+/// let session = client
+///     .open_session(
+///         "client-doc",
+///         vec![OpSpec {
+///             op_id: 0,
+///             input_shapes: vec![shape],
+///             output_shape: shape,
+///             strategies: vec![StorageStrategy::full_one()],
+///         }],
+///     )
+///     .unwrap();
+///
+/// // Store one region pair: output (1, 2) came from input (2, 1).
+/// let ack = client
+///     .store_batch(
+///         session,
+///         0,
+///         vec![RegionPair::Full {
+///             outcells: vec![Coord::d2(1, 2)],
+///             incells: vec![vec![Coord::d2(2, 1)]],
+///         }],
+///     )
+///     .unwrap();
+/// assert!(ack.accepted);
+/// client.finish_session(session).unwrap();
+///
+/// // Trace the output cell backward over the wire.
+/// let outcomes = client
+///     .lookup(
+///         session,
+///         vec![LookupStep {
+///             op_id: 0,
+///             direction: Direction::Backward,
+///             input_idx: 0,
+///             queries: vec![CellSet::from_coords(shape, [Coord::d2(1, 2)])],
+///         }],
+///     )
+///     .unwrap();
+/// assert_eq!(outcomes[0][0].result.to_coords(), vec![Coord::d2(2, 1)]);
+///
+/// drop(client);
+/// server.shutdown_and_wait();
+/// std::fs::remove_dir_all(&dir).ok();
+/// ```
 pub struct Client {
     stream: UnixStream,
     socket_path: PathBuf,

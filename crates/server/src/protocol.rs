@@ -11,11 +11,17 @@
 //! out-of-range shapes and non-canonical cell sets are all rejected with a
 //! [`ProtocolError`] — never a panic, and never unbounded allocation.
 //! Every element count is validated against the bytes actually remaining
-//! in the frame before any buffer is reserved, and the cells declared by
-//! *all* of a frame's cell sets combined are charged against one
-//! [`MAX_FRAME_CELLS`] budget — a frame packed with thousands of tiny
-//! encodings each declaring a huge shape cannot drive the decoder's total
-//! bitmap allocation past that cap.
+//! in the frame before any buffer is reserved, and the *decoded container
+//! footprint* of all of a frame's cell sets combined is charged against
+//! one [`MAX_FRAME_CELLS`] budget — a frame packed with thousands of tiny
+//! encodings cannot amplify into gigabytes of decoded containers, no
+//! matter which cell-set encoding or shape each one declares.
+//!
+//! Cell sets travel in one of three encodings (the full grammar is in
+//! `docs/WIRE_PROTOCOL.md`): the legacy sparse delta frame, a run-length
+//! frame for contiguous answers, and a dense word frame for heavily
+//! populated answers.  The encoder picks the cheapest per set; decoders
+//! accept all three.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -32,24 +38,29 @@ use subzero_store::codec::{read_varint, write_varint, CodecError};
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
 /// Hard cap on the number of cells of any *single* shape travelling over
-/// the wire (bounds the bitmap one decoded [`CellSet`] allocates).
+/// the wire (bounds the index space one decoded [`CellSet`] ranges over).
 pub const MAX_WIRE_CELLS: usize = 1 << 28;
 
-/// Hard cap on the *total* cells declared by all cell sets in one frame.
+/// Per-frame budget, in **bits of decoded container footprint**, shared by
+/// every cell set one frame decodes.
 ///
-/// Each decoded [`CellSet`] allocates a dense bitmap sized by its declared
-/// shape, so the per-shape cap alone would let one frame encode thousands
-/// of ~10-byte empty cell sets each declaring a [`MAX_WIRE_CELLS`]-cell
-/// shape and multiply that allocation without bound.  Charging every
-/// declared shape against one per-frame budget caps the frame's total
-/// decoded-bitmap footprint at `MAX_FRAME_CELLS / 8` bytes (128 MiB).  The
-/// budget is 4× the per-shape cap so a lookup outcome pair on maximum-size
-/// shapes still fits; batches declaring more cells than this must be split
-/// across frames.
+/// A [`CellSet`] is an adaptive chunked container: an empty set allocates
+/// nothing and a full-array answer is a handful of runs, so (unlike the
+/// old one-dense-bitmap-per-set representation) a set's decoded memory is
+/// governed by its *content*, not its declared shape.  The decoder charges
+/// that content as it goes — 16 bits per sparse cell, 32 bits per run, 64
+/// bits per dense word — and then charges each finished set's actual
+/// [`CellSet::size_bytes`] footprint, which also covers the chunk-table
+/// and container-promotion overheads an adversarial encoding could
+/// otherwise multiply (e.g. thousands of one-word dense frames each
+/// targeting the highest chunk of a maximum-size shape).  A frame whose
+/// sets' combined footprint would exceed this budget is rejected; the
+/// double-counting makes the enforced ceiling conservative (≤ 2× the
+/// budget, i.e. ≤ 256 MiB of decoded containers per frame).
 pub const MAX_FRAME_CELLS: u64 = 1 << 30;
 
-/// The per-frame allocation budget shared by every cell set a frame
-/// decodes (see [`MAX_FRAME_CELLS`]).
+/// The per-frame decoded-footprint budget shared by every cell set a
+/// frame decodes (see [`MAX_FRAME_CELLS`]).
 struct CellBudget {
     remaining: u64,
 }
@@ -61,13 +72,13 @@ impl CellBudget {
         }
     }
 
-    fn charge(&mut self, cells: u64) -> Result<(), ProtocolError> {
-        if cells > self.remaining {
+    fn charge(&mut self, bits: u64) -> Result<(), ProtocolError> {
+        if bits > self.remaining {
             return Err(ProtocolError::Malformed(
-                "frame's total declared cells exceed wire cap",
+                "frame's decoded cell-set footprint exceeds wire cap",
             ));
         }
-        self.remaining -= cells;
+        self.remaining -= bits;
         Ok(())
     }
 }
@@ -418,22 +429,93 @@ fn read_coords(buf: &[u8], pos: &mut usize) -> Result<Vec<Coord>, ProtocolError>
     Ok(coords)
 }
 
-/// Cell sets travel as their shape plus the strictly-increasing linear
-/// indices of set cells, delta-encoded (first index verbatim, then the gap
-/// minus one).  Canonical and compact for the sparse sets queries use.
+/// Cell-set encoding tags: the byte after the shape selects how the
+/// members are laid out.
+const CELLSET_SPARSE: u8 = 0;
+const CELLSET_RUNS: u8 = 1;
+const CELLSET_DENSE: u8 = 2;
+
+/// Sets the bits `start .. start + len` (frame-relative) in `words`.
+fn fill_words(words: &mut [u64], start: usize, len: usize) {
+    let last = start + len - 1;
+    let (ws, wl) = (start / 64, last / 64);
+    let head = u64::MAX << (start % 64);
+    let tail = u64::MAX >> (63 - last % 64);
+    if ws == wl {
+        words[ws] |= head & tail;
+    } else {
+        words[ws] |= head;
+        for w in &mut words[ws + 1..wl] {
+            *w = u64::MAX;
+        }
+        words[wl] |= tail;
+    }
+}
+
+/// Cell sets travel as their shape, an encoding tag, and the members in
+/// whichever of three layouts is smallest for this set (the encoder
+/// estimates each and picks; decoders accept all three):
+///
+/// * **sparse** (`0`): cell count, then the strictly-increasing linear
+///   indices delta-encoded — first index verbatim, then gap minus one.
+/// * **runs** (`1`): run count, then per maximal run a start delta (first
+///   run's start verbatim, then the gap from the previous run's exclusive
+///   end minus one) and the run length minus one.  A full-array answer is
+///   one run, ~5 bytes.
+/// * **dense** (`2`): first word index, word count, then that many raw
+///   little-endian `u64` words of the linear-index bitmap.
 fn write_cellset(out: &mut Vec<u8>, cs: &CellSet) {
     let shape = cs.shape();
     write_shape(out, &shape);
-    write_varint(out, cs.len() as u64);
-    let mut prev: Option<usize> = None;
-    for c in cs.iter() {
-        let idx = shape.ravel(&c);
-        let delta = match prev {
-            None => idx as u64,
-            Some(p) => (idx - p - 1) as u64,
-        };
-        write_varint(out, delta);
-        prev = Some(idx);
+    let n = cs.len();
+    let Some((first, last)) = cs.bounds_linear() else {
+        out.push(CELLSET_SPARSE);
+        write_varint(out, 0);
+        return;
+    };
+    let nruns = cs.run_count();
+    let (fw, lw) = (first / 64, last / 64);
+    let nwords = lw - fw + 1;
+    // Size estimates: sparse deltas are usually 1–2 bytes, run headers
+    // ~2–5 bytes, dense words exactly 8 plus a small header.
+    let sparse_est = 2 + 2 * n;
+    let runs_est = 2 + 5 * nruns;
+    let dense_est = 12 + 8 * nwords;
+    if runs_est <= sparse_est && runs_est <= dense_est {
+        out.push(CELLSET_RUNS);
+        write_varint(out, nruns as u64);
+        let mut prev_end: u64 = 0; // exclusive end of the previous run
+        let mut first_run = true;
+        for (s, l) in cs.runs() {
+            let delta = if first_run { s } else { s - prev_end - 1 };
+            write_varint(out, delta);
+            write_varint(out, l - 1);
+            prev_end = s + l;
+            first_run = false;
+        }
+    } else if dense_est < sparse_est {
+        out.push(CELLSET_DENSE);
+        write_varint(out, fw as u64);
+        write_varint(out, nwords as u64);
+        let mut words = vec![0u64; nwords];
+        for (s, l) in cs.runs() {
+            fill_words(&mut words, s as usize - fw * 64, l as usize);
+        }
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    } else {
+        out.push(CELLSET_SPARSE);
+        write_varint(out, n as u64);
+        let mut prev: Option<usize> = None;
+        for idx in cs.iter_linear() {
+            let delta = match prev {
+                None => idx as u64,
+                Some(p) => (idx - p - 1) as u64,
+            };
+            write_varint(out, delta);
+            prev = Some(idx);
+        }
     }
 }
 
@@ -443,29 +525,111 @@ fn read_cellset(
     budget: &mut CellBudget,
 ) -> Result<CellSet, ProtocolError> {
     let shape = read_shape(buf, pos)?;
-    budget.charge(shape.num_cells() as u64)?;
-    let n = read_count(buf, pos, 1)?;
     let num_cells = shape.num_cells();
-    if n > num_cells {
-        return Err(ProtocolError::Malformed("cell count exceeds shape"));
-    }
-    let mut cs = CellSet::empty(shape);
-    let mut prev: Option<usize> = None;
-    for _ in 0..n {
-        let delta = read_varint(buf, pos)?;
-        let idx = match prev {
-            None => delta,
-            Some(p) => (p as u64)
-                .checked_add(1)
-                .and_then(|x| x.checked_add(delta))
-                .ok_or(ProtocolError::Malformed("cell index overflows"))?,
-        };
-        if idx >= num_cells as u64 {
-            return Err(ProtocolError::Malformed("cell index exceeds shape"));
+    let kind = read_u8(buf, pos)?;
+    let cs = match kind {
+        CELLSET_SPARSE => {
+            let n = read_count(buf, pos, 1)?;
+            if n > num_cells {
+                return Err(ProtocolError::Malformed("cell count exceeds shape"));
+            }
+            // Decoded sparse cells cost ~16 bits each until a chunk
+            // promotes; promotion (at 4096 cells/chunk) never exceeds
+            // this floor.
+            budget.charge(16 * n as u64)?;
+            let mut cs = CellSet::empty(shape);
+            let mut prev: Option<usize> = None;
+            for _ in 0..n {
+                let delta = read_varint(buf, pos)?;
+                let idx = match prev {
+                    None => delta,
+                    Some(p) => (p as u64)
+                        .checked_add(1)
+                        .and_then(|x| x.checked_add(delta))
+                        .ok_or(ProtocolError::Malformed("cell index overflows"))?,
+                };
+                if idx >= num_cells as u64 {
+                    return Err(ProtocolError::Malformed("cell index exceeds shape"));
+                }
+                cs.insert_linear(idx as usize);
+                prev = Some(idx as usize);
+            }
+            cs
         }
-        cs.insert_linear(idx as usize);
-        prev = Some(idx as usize);
-    }
+        CELLSET_RUNS => {
+            // Each run is at least two varint bytes on the wire and ~32
+            // bits decoded.
+            let nruns = read_count(buf, pos, 2)?;
+            budget.charge(32 * nruns as u64)?;
+            let mut cs = CellSet::empty(shape);
+            let mut prev_end: u64 = 0; // exclusive
+            let mut first_run = true;
+            for _ in 0..nruns {
+                let delta = read_varint(buf, pos)?;
+                let len_m1 = read_varint(buf, pos)?;
+                let start = if first_run {
+                    delta
+                } else {
+                    prev_end
+                        .checked_add(1)
+                        .and_then(|x| x.checked_add(delta))
+                        .ok_or(ProtocolError::Malformed("cell index overflows"))?
+                };
+                let last = start
+                    .checked_add(len_m1)
+                    .ok_or(ProtocolError::Malformed("cell index overflows"))?;
+                if last >= num_cells as u64 {
+                    return Err(ProtocolError::Malformed("cell index exceeds shape"));
+                }
+                cs.insert_span(start as usize, len_m1 as usize + 1);
+                prev_end = last + 1;
+                first_run = false;
+            }
+            cs
+        }
+        CELLSET_DENSE => {
+            let fw = read_varint(buf, pos)?;
+            // Each word is exactly eight raw bytes.
+            let nwords = read_count(buf, pos, 8)?;
+            budget.charge(64 * nwords as u64)?;
+            let total_words = num_cells.div_ceil(64) as u64;
+            let end_word = fw
+                .checked_add(nwords as u64)
+                .ok_or(ProtocolError::Malformed("cell index overflows"))?;
+            if end_word > total_words {
+                return Err(ProtocolError::Malformed("cell index exceeds shape"));
+            }
+            let mut cs = CellSet::empty(shape);
+            for i in 0..nwords {
+                let Some(bytes) = buf.get(*pos..*pos + 8) else {
+                    return Err(ProtocolError::Codec(CodecError::UnexpectedEof));
+                };
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(bytes);
+                *pos += 8;
+                let w = u64::from_le_bytes(arr);
+                let word_idx = fw as usize + i;
+                // Bits past the end of the shape must be zero.
+                let base = word_idx * 64;
+                if base + 64 > num_cells {
+                    let allowed = (1u64 << (num_cells - base)) - 1;
+                    if w & !allowed != 0 {
+                        return Err(ProtocolError::Malformed("cell index exceeds shape"));
+                    }
+                }
+                if w != 0 {
+                    cs.insert_word(word_idx, w);
+                }
+            }
+            cs.optimize();
+            cs
+        }
+        _ => return Err(ProtocolError::Malformed("unknown cell-set encoding")),
+    };
+    // Charge the set's actual decoded footprint on top of the per-element
+    // floors above: this is what bounds chunk-table and promotion overhead
+    // for adversarial encodings (see MAX_FRAME_CELLS).
+    budget.charge(cs.size_bytes() as u64 * 8)?;
     Ok(cs)
 }
 
@@ -1032,14 +1196,86 @@ mod tests {
     }
 
     #[test]
-    fn packed_huge_empty_cellsets_exhaust_the_frame_budget() {
-        // Each empty cell set costs ~10 bytes on the wire but declares a
-        // MAX_WIRE_CELLS-cell shape (a 32 MiB bitmap when decoded).  A
-        // frame packing many of them must be refused by the shared
-        // per-frame budget, not multiplied into gigabytes of bitmaps.
+    fn every_encoding_kind_round_trips() {
+        let shape = Shape::d2(8, 8);
+        // Scattered cells pick the sparse frame, a saturated set the run
+        // frame, and an every-other-cell set the dense word frame.  The
+        // shape of d2(8, 8) encodes in three bytes, so the kind tag is at
+        // offset 3.
+        let cases = [
+            (
+                CellSet::from_coords(
+                    shape,
+                    vec![Coord::d2(0, 0), Coord::d2(2, 1), Coord::d2(7, 7)],
+                ),
+                CELLSET_SPARSE,
+            ),
+            (CellSet::full(shape), CELLSET_RUNS),
+            (
+                CellSet::from_coords(shape, (0..64).step_by(2).map(|i| shape.unravel(i))),
+                CELLSET_DENSE,
+            ),
+        ];
+        for (cs, want_kind) in cases {
+            let mut buf = Vec::new();
+            write_cellset(&mut buf, &cs);
+            assert_eq!(buf[3], want_kind, "encoder picked the wrong frame");
+            let mut pos = 0;
+            let mut budget = CellBudget::new();
+            let back = read_cellset(&buf, &mut pos, &mut budget).unwrap();
+            assert_eq!(pos, buf.len(), "trailing bytes");
+            assert_eq!(back, cs);
+        }
+    }
+
+    #[test]
+    fn huge_empty_and_full_cellsets_decode_cheaply() {
+        // Under the old one-bitmap-per-set representation, 64 empty sets
+        // declaring a MAX_WIRE_CELLS shape decoded into 64 × 32 MiB of
+        // bitmaps and had to be refused outright.  Adaptive containers
+        // decode them (and full-array answers) into a few bytes each, so
+        // the same packing now sails under the footprint budget.
         let huge = Shape::d2(1 << 14, 1 << 14);
         assert_eq!(huge.num_cells(), MAX_WIRE_CELLS);
-        let n_queries = 64u64;
+        let req = Request::Lookup {
+            session: 1,
+            steps: vec![LookupStep {
+                op_id: 7,
+                direction: Direction::Backward,
+                input_idx: 0,
+                queries: vec![CellSet::empty(huge); 64],
+            }],
+        };
+        let bytes = encode_request(&req);
+        assert!(bytes.len() < 1024, "empty sets are ~8 wire bytes each");
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+
+        // A full-array answer is one run frame, not a 32 MiB bitmap.
+        let full = Request::Lookup {
+            session: 1,
+            steps: vec![LookupStep {
+                op_id: 7,
+                direction: Direction::Backward,
+                input_idx: 0,
+                queries: vec![CellSet::full(huge); 4],
+            }],
+        };
+        let bytes = encode_request(&full);
+        assert!(bytes.len() < 256, "full sets are ~15 wire bytes each");
+        assert_eq!(decode_request(&bytes).unwrap(), full);
+    }
+
+    #[test]
+    fn chunk_table_amplification_exhausts_the_frame_budget() {
+        // The footprint attack against adaptive containers: a ~20-byte
+        // dense frame carrying one word aimed at the *last* chunk of a
+        // maximum-size shape forces the decoder to size the set's chunk
+        // table for all 4096 chunks (~128 KiB).  Packing thousands of
+        // them must trip the decoded-footprint budget, not multiply into
+        // gigabytes of chunk tables.
+        let huge = Shape::d2(1 << 14, 1 << 14);
+        let last_word = (huge.num_cells() / 64 - 1) as u64;
+        let n_queries = 2000u64;
         let mut buf = vec![REQ_LOOKUP];
         write_varint(&mut buf, 1); // session
         write_varint(&mut buf, 1); // one step
@@ -1049,27 +1285,52 @@ mod tests {
         write_varint(&mut buf, n_queries);
         for _ in 0..n_queries {
             write_shape(&mut buf, &huge);
-            write_varint(&mut buf, 0); // empty cell set
+            buf.push(CELLSET_DENSE);
+            write_varint(&mut buf, last_word);
+            write_varint(&mut buf, 1); // one word...
+            buf.extend_from_slice(&1u64.to_le_bytes()); // ...one bit
         }
-        assert!(buf.len() < 1024, "the attack frame itself is tiny");
+        assert!(buf.len() < 64 << 10, "the attack frame itself is tiny");
         let err = decode_request(&buf).unwrap_err();
         assert!(
-            matches!(err, ProtocolError::Malformed(m) if m.contains("total declared cells")),
+            matches!(err, ProtocolError::Malformed(m) if m.contains("footprint")),
             "{err}"
         );
-        // The same packing under the budget still decodes fine.
+        // A handful of the same sets decodes fine.
         let mut ok = vec![REQ_LOOKUP];
         write_varint(&mut ok, 1);
         write_varint(&mut ok, 1);
         write_varint(&mut ok, 7);
         ok.push(0);
         write_varint(&mut ok, 0);
-        write_varint(&mut ok, 2);
-        for _ in 0..2 {
+        write_varint(&mut ok, 4);
+        for _ in 0..4 {
             write_shape(&mut ok, &huge);
-            write_varint(&mut ok, 0);
+            ok.push(CELLSET_DENSE);
+            write_varint(&mut ok, last_word);
+            write_varint(&mut ok, 1);
+            ok.extend_from_slice(&1u64.to_le_bytes());
         }
         assert!(decode_request(&ok).is_ok());
+    }
+
+    #[test]
+    fn dense_frames_reject_bits_past_the_shape() {
+        // d2(3, 3) has nine cells in one word; bit 9 is out of bounds.
+        let shape = Shape::d2(3, 3);
+        let mut buf = Vec::new();
+        write_shape(&mut buf, &shape);
+        buf.push(CELLSET_DENSE);
+        write_varint(&mut buf, 0); // first word
+        write_varint(&mut buf, 1); // one word
+        buf.extend_from_slice(&(1u64 << 9).to_le_bytes());
+        let mut pos = 0;
+        let mut budget = CellBudget::new();
+        let err = read_cellset(&buf, &mut pos, &mut budget).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::Malformed(m) if m.contains("exceeds shape")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -579,11 +579,20 @@ impl Worker {
             .fetch_add(1, Ordering::Relaxed);
         Ok(outcomes
             .into_iter()
-            .map(|o| WireOutcome {
-                result: o.result,
-                covered: o.covered,
-                entries_fetched: o.entries_fetched as u64,
-                scanned: o.scanned,
+            .map(|o| {
+                // The join only ever promotes containers; re-normalising the
+                // answer here lets the wire encoder see (and size) the
+                // smallest representation of each set before picking a frame.
+                let mut result = o.result;
+                let mut covered = o.covered;
+                result.optimize();
+                covered.optimize();
+                WireOutcome {
+                    result,
+                    covered,
+                    entries_fetched: o.entries_fetched as u64,
+                    scanned: o.scanned,
+                }
             })
             .collect())
     }

@@ -229,6 +229,85 @@ proptest! {
     }
 
     #[test]
+    fn every_cellset_density_roundtrips_bit_exact(
+        (rows, cols) in (1u32..400, 1u32..400),
+        (flavour, stride) in (0usize..5, 2u32..7),
+        picks in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        // Exercises each wire encoding the frame writer can pick — sparse
+        // deltas, run-length, and raw dense words — by shaping the answer's
+        // density, then demands semantic equality after a round trip.
+        let shape = Shape::d2(rows, cols);
+        let n = shape.num_cells();
+        let mut cs = CellSet::empty(shape);
+        match flavour {
+            0 => {} // empty
+            1 => {
+                // scattered sparse
+                for &p in &picks {
+                    cs.insert_linear(p as usize % n);
+                }
+            }
+            2 => {
+                // long runs
+                for &p in &picks {
+                    let start = p as usize % n;
+                    cs.insert_span(start, (97usize).min(n - start));
+                }
+            }
+            3 => {
+                // strided: dense in cells, worst case for run encoding
+                let mut i = 0usize;
+                while i < n {
+                    cs.insert_linear(i);
+                    i += stride as usize;
+                }
+            }
+            _ => cs.set_all(),
+        }
+        let resp = Response::LookupDone {
+            steps: vec![vec![WireOutcome {
+                result: cs.clone(),
+                covered: cs,
+                entries_fetched: 1,
+                scanned: false,
+            }]],
+        };
+        let decoded = decode_response(&encode_response(&resp)).unwrap();
+        prop_assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn mutated_cellset_frames_never_panic(
+        (rows, cols) in (1u32..64, 1u32..64),
+        picks in prop::collection::vec(any::<u32>(), 0..48),
+        mutations in prop::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+    ) {
+        // Corrupt real encoded lookup traffic byte-by-byte: the decoder may
+        // reject or misread, but must never panic or over-allocate.
+        let req = Request::Lookup {
+            session: 7,
+            steps: vec![LookupStep {
+                op_id: 3,
+                direction: Direction::Backward,
+                input_idx: 0,
+                queries: vec![cellset_of(rows, cols, &picks)],
+            }],
+        };
+        let mut bytes = encode_request(&req);
+        let resp = response_of(3, 5, rows, cols, &picks);
+        let mut resp_bytes = encode_response(&resp);
+        for &(pos, val) in &mutations {
+            let i = pos % bytes.len();
+            bytes[i] = val;
+            let j = pos % resp_bytes.len();
+            resp_bytes[j] = val;
+        }
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&resp_bytes);
+    }
+
+    #[test]
     fn arbitrary_payload_bytes_never_panic_the_decoders(
         bytes in prop::collection::vec(any::<u8>(), 0..256),
     ) {
